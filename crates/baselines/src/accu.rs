@@ -1,0 +1,504 @@
+//! ACCU and POPACCU (Dong et al., PVLDB 2009 / 2012).
+//!
+//! Bayesian truth discovery with source-accuracy weighting and pairwise
+//! *copy detection*: a claim's vote is discounted when the claiming source
+//! appears to copy from an already-counted source. ACCU assumes wrong values
+//! are uniformly distributed over `n` false values per object; POPACCU
+//! replaces that assumption with the observed popularity of false values —
+//! its single difference.
+//!
+//! The dependence analysis follows the published model: for each source pair
+//! sharing objects, the probability of dependence is obtained by comparing
+//! the likelihood of their agreement pattern (both-true / same-false /
+//! different) under independence vs. copying. This pairwise pass is what
+//! makes ACCU/POPACCU the slowest algorithms on many-source corpora
+//! (Fig. 12), and its hunger for shared objects is why ACCU struggles on
+//! Heritages (Table 3).
+
+use std::collections::HashMap;
+
+use tdh_core::{ProbabilisticCrowdModel, TruthDiscovery, TruthEstimate};
+use tdh_data::{Dataset, ObjectId, ObservationIndex, SourceId, WorkerId};
+
+use crate::common::{bayes_posterior, normalize, WorkerAccuracy};
+
+/// Tuning knobs shared by [`Accu`] and [`PopAccu`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuConfig {
+    /// Iterations of the accuracy ⇄ truth fixed point.
+    pub max_iters: usize,
+    /// Initial source accuracy.
+    pub initial_accuracy: f64,
+    /// A-priori probability that a pair of sources is dependent.
+    pub dep_prior: f64,
+    /// Probability that a copier copies a particular value (`c` in the
+    /// paper).
+    pub copy_rate: f64,
+    /// Whether to run the pairwise dependence analysis at all.
+    pub detect_dependence: bool,
+}
+
+impl Default for AccuConfig {
+    fn default() -> Self {
+        AccuConfig {
+            max_iters: 20,
+            initial_accuracy: 0.8,
+            dep_prior: 0.2,
+            copy_rate: 0.8,
+            detect_dependence: true,
+        }
+    }
+}
+
+/// The ACCU algorithm (uniform false-value distribution).
+#[derive(Debug, Clone)]
+pub struct Accu {
+    cfg: AccuConfig,
+    engine: Engine,
+}
+
+/// The POPACCU algorithm (popularity-based false-value distribution).
+#[derive(Debug, Clone)]
+pub struct PopAccu {
+    cfg: AccuConfig,
+    engine: Engine,
+}
+
+impl Accu {
+    /// ACCU with the given configuration.
+    pub fn new(cfg: AccuConfig) -> Self {
+        Accu {
+            cfg,
+            engine: Engine::default(),
+        }
+    }
+
+    /// Estimated accuracy of source `s` after inference.
+    pub fn source_accuracy(&self, s: SourceId) -> f64 {
+        self.engine.accuracy[s.index()]
+    }
+}
+
+impl Default for Accu {
+    fn default() -> Self {
+        Accu::new(AccuConfig::default())
+    }
+}
+
+impl PopAccu {
+    /// POPACCU with the given configuration.
+    pub fn new(cfg: AccuConfig) -> Self {
+        PopAccu {
+            cfg,
+            engine: Engine::default(),
+        }
+    }
+}
+
+impl Default for PopAccu {
+    fn default() -> Self {
+        PopAccu::new(AccuConfig::default())
+    }
+}
+
+/// Shared fixed-point engine.
+#[derive(Debug, Clone, Default)]
+struct Engine {
+    accuracy: Vec<f64>,
+    confidences: Vec<Vec<f64>>,
+    workers: WorkerAccuracy,
+}
+
+impl Engine {
+    fn run(
+        &mut self,
+        ds: &Dataset,
+        idx: &ObservationIndex,
+        cfg: &AccuConfig,
+        popularity_false: bool,
+    ) -> TruthEstimate {
+        let n_sources = ds.n_sources();
+        self.accuracy = vec![cfg.initial_accuracy; n_sources];
+        self.confidences = idx
+            .views()
+            .iter()
+            .map(|v| vec![1.0 / v.n_candidates().max(1) as f64; v.n_candidates()])
+            .collect();
+
+        // Pairwise dependence probabilities (updated each iteration from the
+        // current truths; computed over co-claiming pairs only).
+        let mut dependence: HashMap<(u32, u32), f64> = HashMap::new();
+
+        for _ in 0..cfg.max_iters {
+            let truths = crate::common::truths_from_confidences(idx, &self.confidences);
+            if cfg.detect_dependence {
+                dependence = self.detect_dependence(idx, cfg, &truths);
+            }
+            self.update_confidences(idx, cfg, &dependence, popularity_false);
+            self.update_accuracies(idx);
+        }
+        let truths = crate::common::truths_from_confidences(idx, &self.confidences);
+        self.workers = WorkerAccuracy::estimate(idx, &truths);
+        TruthEstimate {
+            truths,
+            confidences: self.confidences.clone(),
+        }
+    }
+
+    /// Pairwise copy detection: Bayes factor of the agreement pattern under
+    /// dependence vs independence.
+    fn detect_dependence(
+        &self,
+        idx: &ObservationIndex,
+        cfg: &AccuConfig,
+        truths: &[Option<tdh_hierarchy::NodeId>],
+    ) -> HashMap<(u32, u32), f64> {
+        // Agreement pattern per co-claiming pair: (both true, same false,
+        // different).
+        let mut pattern: HashMap<(u32, u32), [u32; 3]> = HashMap::new();
+        for (oi, view) in idx.views().iter().enumerate() {
+            let truth = truths[oi];
+            let claims = &view.sources;
+            for i in 0..claims.len() {
+                for j in (i + 1)..claims.len() {
+                    let (s1, c1) = claims[i];
+                    let (s2, c2) = claims[j];
+                    if s1 == s2 {
+                        continue;
+                    }
+                    let key = if s1.0 < s2.0 {
+                        (s1.0, s2.0)
+                    } else {
+                        (s2.0, s1.0)
+                    };
+                    let v1 = view.candidates[c1 as usize];
+                    let v2 = view.candidates[c2 as usize];
+                    let both_true = Some(v1) == truth && Some(v2) == truth;
+                    let entry = pattern.entry(key).or_insert([0; 3]);
+                    if both_true {
+                        entry[0] += 1;
+                    } else if v1 == v2 {
+                        entry[1] += 1;
+                    } else {
+                        entry[2] += 1;
+                    }
+                }
+            }
+        }
+
+        let a = cfg.dep_prior;
+        let c = cfg.copy_rate;
+        pattern
+            .into_iter()
+            .map(|((s1, s2), [kt, kf, kd])| {
+                let a1 = self.accuracy[s1 as usize].clamp(0.05, 0.95);
+                let a2 = self.accuracy[s2 as usize].clamp(0.05, 0.95);
+                // Representative false-value count; the exact `n` matters
+                // little for the ranking of dependence probabilities.
+                let n = 3.0;
+                // Independent-case event probabilities.
+                let pt_i = a1 * a2;
+                let pf_i = (1.0 - a1) * (1.0 - a2) / n;
+                let pd_i = (1.0 - pt_i - pf_i).max(1e-9);
+                // Dependent: with prob c the value was copied (hence equal,
+                // true with the copied source's accuracy), else independent.
+                let am = (a1 * a2).sqrt();
+                let pt_d = c * am + (1.0 - c) * pt_i;
+                let pf_d = c * (1.0 - am) + (1.0 - c) * pf_i;
+                let pd_d = ((1.0 - c) * pd_i).max(1e-12);
+                let log_bayes = f64::from(kt) * (pt_d / pt_i).ln()
+                    + f64::from(kf) * (pf_d / pf_i).ln()
+                    + f64::from(kd) * (pd_d / pd_i).ln();
+                // P(dep | pattern) with prior a.
+                let logit = (a / (1.0 - a)).ln() + log_bayes;
+                let p = 1.0 / (1.0 + (-logit).exp());
+                ((s1, s2), p)
+            })
+            .collect()
+    }
+
+    /// Recompute every object's confidence: per candidate truth `t`, the
+    /// log-likelihood of all claims with dependence-damped contributions.
+    ///
+    /// `P(claim c | truth t)` is `A_s` when `c == t`, otherwise
+    /// `(1 − A_s) · f(c | t)` where the false-value distribution `f` is
+    /// uniform over the `k − 1` non-truth candidates (ACCU) or their
+    /// observed popularity among non-truth claims (POPACCU).
+    fn update_confidences(
+        &mut self,
+        idx: &ObservationIndex,
+        cfg: &AccuConfig,
+        dependence: &HashMap<(u32, u32), f64>,
+        popularity_false: bool,
+    ) {
+        for (oi, view) in idx.views().iter().enumerate() {
+            let k = view.n_candidates();
+            if k == 0 {
+                continue;
+            }
+            let n_false = (k - 1).max(1) as f64;
+            let total_claims: u32 = view.source_count.iter().sum();
+
+            // Dependence damping per claim: independence probability w.r.t.
+            // more accurate sources claiming the same value.
+            let mut damp: HashMap<(SourceId, u32), f64> = HashMap::new();
+            let mut per_value: Vec<Vec<SourceId>> = vec![Vec::new(); k];
+            for &(s, c) in &view.sources {
+                per_value[c as usize].push(s);
+            }
+            for (v, sources) in per_value.iter_mut().enumerate() {
+                sources.sort_by(|&x, &y| {
+                    self.accuracy[y.index()].total_cmp(&self.accuracy[x.index()])
+                });
+                for (pos, &s) in sources.iter().enumerate() {
+                    let mut indep = 1.0;
+                    for &prev in &sources[..pos] {
+                        let key = if prev.0 < s.0 {
+                            (prev.0, s.0)
+                        } else {
+                            (s.0, prev.0)
+                        };
+                        if let Some(&dep) = dependence.get(&key) {
+                            indep *= 1.0 - cfg.copy_rate * dep;
+                        }
+                    }
+                    damp.insert((s, v as u32), indep);
+                }
+            }
+
+            let mut scores = vec![0.0f64; k];
+            for (t, score) in scores.iter_mut().enumerate() {
+                for &(s, c) in &view.sources {
+                    let acc = self.accuracy[s.index()].clamp(0.01, 0.99);
+                    let lik = if c as usize == t {
+                        acc
+                    } else if popularity_false {
+                        // Popularity of `c` among claims that are not `t`.
+                        let denom = f64::from(total_claims - view.source_count[t]).max(1.0);
+                        (1.0 - acc) * f64::from(view.source_count[c as usize]).max(0.5)
+                            / denom
+                    } else {
+                        (1.0 - acc) / n_false
+                    };
+                    let indep = damp.get(&(s, c)).copied().unwrap_or(1.0);
+                    *score += indep * lik.max(1e-12).ln();
+                }
+                for &(w, c) in &view.workers {
+                    let q = self.workers.accuracy(w).clamp(0.01, 0.99);
+                    let lik = if c as usize == t {
+                        q
+                    } else {
+                        (1.0 - q) / n_false
+                    };
+                    *score += lik.max(1e-12).ln();
+                }
+            }
+
+            // Softmax over log-likelihoods = posterior under the model.
+            let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut conf: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+            normalize(&mut conf);
+            self.confidences[oi] = conf;
+        }
+    }
+
+    fn update_accuracies(&mut self, idx: &ObservationIndex) {
+        let n_sources = self.accuracy.len();
+        let mut num = vec![0.0f64; n_sources];
+        let mut den = vec![0.0f64; n_sources];
+        for (oi, view) in idx.views().iter().enumerate() {
+            for &(s, c) in &view.sources {
+                num[s.index()] += self.confidences[oi][c as usize];
+                den[s.index()] += 1.0;
+            }
+        }
+        for s in 0..n_sources {
+            if den[s] > 0.0 {
+                // Smooth toward 0.8 to keep rarely-seen sources stable.
+                self.accuracy[s] = (num[s] + 0.8) / (den[s] + 1.0);
+            }
+        }
+    }
+}
+
+impl TruthDiscovery for Accu {
+    fn name(&self) -> &'static str {
+        "ACCU"
+    }
+
+    fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> TruthEstimate {
+        self.engine.run(ds, idx, &self.cfg, false)
+    }
+}
+
+impl TruthDiscovery for PopAccu {
+    fn name(&self) -> &'static str {
+        "POPACCU"
+    }
+
+    fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> TruthEstimate {
+        self.engine.run(ds, idx, &self.cfg, true)
+    }
+}
+
+macro_rules! impl_crowd_model {
+    ($ty:ty) => {
+        impl ProbabilisticCrowdModel for $ty {
+            fn confidence(&self, o: ObjectId) -> &[f64] {
+                &self.engine.confidences[o.index()]
+            }
+            fn worker_exact_prob(&self, w: WorkerId) -> f64 {
+                self.engine.workers.accuracy(w)
+            }
+            fn answer_likelihood(
+                &self,
+                idx: &ObservationIndex,
+                o: ObjectId,
+                w: WorkerId,
+                c: u32,
+            ) -> f64 {
+                let k = idx.view(o).n_candidates();
+                let mu = &self.engine.confidences[o.index()];
+                (0..k as u32)
+                    .map(|t| self.engine.workers.likelihood(w, k, c, t) * mu[t as usize])
+                    .sum()
+            }
+            fn posterior_given_answer(
+                &self,
+                _idx: &ObservationIndex,
+                o: ObjectId,
+                w: WorkerId,
+                c: u32,
+            ) -> Vec<f64> {
+                bayes_posterior(&self.engine.confidences[o.index()], &self.engine.workers, w, c)
+            }
+            fn evidence_weight(&self, o: ObjectId) -> f64 {
+                self.engine.confidences[o.index()].len() as f64
+            }
+        }
+    };
+}
+
+impl_crowd_model!(Accu);
+impl_crowd_model!(PopAccu);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    /// Two honest sources, one liar, one copier of the liar.
+    fn corpus() -> Dataset {
+        let mut b = HierarchyBuilder::new();
+        for c in 0..4 {
+            for t in 0..4 {
+                b.add_path(&[&format!("C{c}"), &format!("C{c}T{t}")]);
+            }
+        }
+        let mut ds = Dataset::new(b.build());
+        let good1 = ds.intern_source("good1");
+        let good2 = ds.intern_source("good2");
+        let liar = ds.intern_source("liar");
+        let copier = ds.intern_source("copier");
+        for i in 0..24 {
+            let o = ds.intern_object(&format!("o{i}"));
+            let h = ds.hierarchy();
+            let t = h.node_by_name(&format!("C{}T{}", i % 4, i % 4)).unwrap();
+            let f = h
+                .node_by_name(&format!("C{}T{}", (i + 1) % 4, i % 4))
+                .unwrap();
+            ds.set_gold(o, t);
+            ds.add_record(o, good1, t);
+            ds.add_record(o, good2, t);
+            ds.add_record(o, liar, f);
+            ds.add_record(o, copier, f); // copies the liar's false values
+        }
+        ds
+    }
+
+    #[test]
+    fn accu_finds_truths_despite_copying() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let mut accu = Accu::default();
+        let est = accu.infer(&ds, &idx);
+        for o in ds.objects() {
+            assert_eq!(est.truths[o.index()], ds.gold(o));
+        }
+        // Honest sources end with higher estimated accuracy.
+        assert!(accu.source_accuracy(SourceId(0)) > accu.source_accuracy(SourceId(2)));
+    }
+
+    #[test]
+    fn dependence_detection_flags_the_copier_pair() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let mut accu = Accu::default();
+        let est = accu.infer(&ds, &idx);
+        let dep = accu.engine.detect_dependence(
+            &idx,
+            &AccuConfig::default(),
+            &est.truths,
+        );
+        // liar (2) & copier (3) always share false values: near-certain dep.
+        let copy_pair = dep.get(&(2, 3)).copied().unwrap_or(0.0);
+        // good1 (0) & good2 (1) only share true values: lower dep.
+        let honest_pair = dep.get(&(0, 1)).copied().unwrap_or(0.0);
+        assert!(
+            copy_pair > honest_pair,
+            "copier pair {copy_pair} vs honest pair {honest_pair}"
+        );
+        assert!(copy_pair > 0.9);
+    }
+
+    #[test]
+    fn popaccu_matches_accu_on_easy_data_and_differs_in_confidence() {
+        let mut ds = corpus();
+        // A three-candidate object with skewed false-value counts: the
+        // uniform (ACCU) and popularity (POPACCU) false distributions
+        // genuinely differ here (with two candidates both are the constant
+        // distribution).
+        let h = ds.hierarchy().clone();
+        let o = ds.intern_object("skewed");
+        let t = h.node_by_name("C0T0").unwrap();
+        let f1 = h.node_by_name("C1T0").unwrap();
+        let f2 = h.node_by_name("C2T0").unwrap();
+        let extra: Vec<_> = (0..6)
+            .map(|i| ds.intern_source(&format!("x{i}")))
+            .collect();
+        ds.add_record(o, extra[0], t);
+        ds.add_record(o, extra[1], t);
+        ds.add_record(o, extra[2], t);
+        ds.add_record(o, extra[3], f1);
+        ds.add_record(o, extra[4], f1);
+        ds.add_record(o, extra[5], f2);
+        let idx = ObservationIndex::build(&ds);
+        let a = Accu::default().infer(&ds, &idx);
+        let p = PopAccu::default().infer(&ds, &idx);
+        assert_eq!(a.truths[o.index()], p.truths[o.index()]);
+        let differs = a.confidences[o.index()]
+            .iter()
+            .zip(&p.confidences[o.index()])
+            .any(|(x, y)| (x - y).abs() > 1e-9);
+        assert!(differs, "3-candidate skew must separate the models");
+    }
+
+    #[test]
+    fn crowd_model_surface_behaves() {
+        let mut ds = corpus();
+        let w = ds.intern_worker("w");
+        let o = ObjectId(0);
+        let t = ds.gold(o).unwrap();
+        ds.add_answer(o, w, t);
+        let idx = ObservationIndex::build(&ds);
+        let mut accu = Accu::default();
+        accu.infer(&ds, &idx);
+        let k = idx.view(o).n_candidates();
+        let total: f64 = (0..k as u32)
+            .map(|c| accu.answer_likelihood(&idx, o, w, c))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "likelihoods sum to {total}");
+        let post = accu.posterior_given_answer(&idx, o, w, 0);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

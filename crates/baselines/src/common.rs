@@ -1,0 +1,175 @@
+//! Shared numerics for the baseline algorithms.
+
+use tdh_data::{ObservationIndex, WorkerId};
+use tdh_hierarchy::NodeId;
+
+/// Normalise `xs` in place to sum to 1; uniform fallback when the mass is 0.
+pub fn normalize(xs: &mut [f64]) {
+    let s: f64 = xs.iter().sum();
+    if s > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= s;
+        }
+    } else if !xs.is_empty() {
+        let u = 1.0 / xs.len() as f64;
+        for x in xs.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+/// Shannon entropy (nats) of a distribution; 0 for empty input.
+pub fn entropy(xs: &[f64]) -> f64 {
+    -xs.iter()
+        .filter(|&&x| x > 0.0)
+        .map(|&x| x * x.ln())
+        .sum::<f64>()
+}
+
+/// Index of the maximum (first on ties).
+pub fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if best.map_or(true, |(_, b)| x > b) {
+            best = Some((i, x));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Truths (as hierarchy nodes) from per-object confidences.
+pub fn truths_from_confidences(
+    idx: &ObservationIndex,
+    confidences: &[Vec<f64>],
+) -> Vec<Option<NodeId>> {
+    confidences
+        .iter()
+        .enumerate()
+        .map(|(o, mu)| {
+            argmax(mu).map(|i| idx.view(tdh_data::ObjectId::from_index(o)).candidates[i])
+        })
+        .collect()
+}
+
+/// A simple per-worker accuracy model shared by the baselines that need one
+/// (QASCA-style assignment on top of models that do not natively model
+/// workers): `q_w` is the Laplace-smoothed fraction of the worker's answers
+/// that agree with the current truth estimates.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerAccuracy {
+    q: Vec<f64>,
+}
+
+impl WorkerAccuracy {
+    /// Prior accuracy for workers with no answers yet.
+    pub const PRIOR: f64 = 0.7;
+
+    /// Estimate per-worker accuracies from agreement with `truths`.
+    pub fn estimate(idx: &ObservationIndex, truths: &[Option<NodeId>]) -> Self {
+        let mut q = Vec::with_capacity(idx.n_workers());
+        for wi in 0..idx.n_workers() {
+            let w = WorkerId::from_index(wi);
+            let mut agree = 0.0;
+            let mut total = 0.0;
+            for &(o, c) in idx.objects_of_worker(w) {
+                let view = idx.view(o);
+                if let Some(t) = truths[o.index()] {
+                    total += 1.0;
+                    if view.candidates[c as usize] == t {
+                        agree += 1.0;
+                    }
+                }
+            }
+            // Laplace smoothing toward the prior.
+            q.push((agree + 2.0 * Self::PRIOR) / (total + 2.0));
+        }
+        WorkerAccuracy { q }
+    }
+
+    /// Estimated accuracy of `w`.
+    pub fn accuracy(&self, w: WorkerId) -> f64 {
+        self.q.get(w.index()).copied().unwrap_or(Self::PRIOR)
+    }
+
+    /// `P(answer = c | truth = t)` under the symmetric-error worker model
+    /// with `k` candidates.
+    pub fn likelihood(&self, w: WorkerId, k: usize, c: u32, t: u32) -> f64 {
+        let q = self.accuracy(w);
+        if c == t {
+            q
+        } else if k > 1 {
+            (1.0 - q) / (k - 1) as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One Bayes update: posterior over truths after observing answer `c` from a
+/// symmetric-error worker. This is the (cheap, record-count-blind) posterior
+/// QASCA uses, as opposed to TDH's incremental EM.
+pub fn bayes_posterior(mu: &[f64], worker: &WorkerAccuracy, w: WorkerId, c: u32) -> Vec<f64> {
+    let k = mu.len();
+    let mut post: Vec<f64> = (0..k as u32)
+        .map(|t| mu[t as usize] * worker.likelihood(w, k, c, t))
+        .collect();
+    normalize(&mut post);
+    post
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_data::Dataset;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    #[test]
+    fn normalize_and_entropy() {
+        let mut xs = vec![2.0, 2.0];
+        normalize(&mut xs);
+        assert_eq!(xs, vec![0.5, 0.5]);
+        assert!((entropy(&xs) - (2.0f64).ln()).abs() < 1e-12);
+        let mut zeros = vec![0.0, 0.0, 0.0, 0.0];
+        normalize(&mut zeros);
+        assert_eq!(zeros, vec![0.25; 4]);
+        assert_eq!(entropy(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn worker_accuracy_estimation() {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["X", "A"]);
+        b.add_path(&["X", "B"]);
+        let mut ds = Dataset::new(b.build());
+        let a = ds.hierarchy().node_by_name("A").unwrap();
+        let bb = ds.hierarchy().node_by_name("B").unwrap();
+        let s = ds.intern_source("s");
+        let s2 = ds.intern_source("s2");
+        let w_good = ds.intern_worker("good");
+        let w_bad = ds.intern_worker("bad");
+        let mut truths = Vec::new();
+        for i in 0..10 {
+            let o = ds.intern_object(&format!("o{i}"));
+            ds.add_record(o, s, a);
+            ds.add_record(o, s2, bb);
+            ds.add_answer(o, w_good, a);
+            ds.add_answer(o, w_bad, bb);
+            truths.push(Some(a));
+        }
+        let idx = ObservationIndex::build(&ds);
+        let wa = WorkerAccuracy::estimate(&idx, &truths);
+        assert!(wa.accuracy(w_good) > 0.9);
+        assert!(wa.accuracy(w_bad) < 0.2);
+        // Unknown workers get the prior.
+        assert_eq!(wa.accuracy(WorkerId(99)), WorkerAccuracy::PRIOR);
+    }
+
+    #[test]
+    fn bayes_posterior_shifts_mass() {
+        let wa = WorkerAccuracy::default();
+        let mu = vec![0.5, 0.5];
+        let post = bayes_posterior(&mu, &wa, WorkerId(0), 0);
+        assert!(post[0] > 0.5);
+        assert!((post.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,426 @@
+//! DOCS (Zheng, Li & Cheng, PVLDB 2016): domain-aware crowdsourcing, the
+//! state-of-the-art single-truth baseline of the TDH paper, plus its
+//! entropy-based task assigner (the paper's "MB").
+//!
+//! DOCS observes that worker (and source) quality varies by *domain*: a
+//! film buff answers movie questions well and geography questions poorly.
+//! The published system derives domains from a knowledge base; offline we
+//! substitute the hierarchy's top-level branches (an object's domain is the
+//! majority top-level branch of its candidate values), which preserves the
+//! property that matters — per-domain quality estimation. Inference is a
+//! Dawid–Skene-style EM with per-(participant, domain) accuracies under a
+//! Beta prior.
+
+use tdh_core::{
+    Assignment, ProbabilisticCrowdModel, TaskAssigner, TruthDiscovery, TruthEstimate,
+};
+use tdh_data::{Dataset, ObjectId, ObservationIndex, WorkerId};
+use tdh_hierarchy::NodeId;
+
+use crate::common::{entropy, normalize, truths_from_confidences};
+
+/// Configuration for [`Docs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DocsConfig {
+    /// EM iterations.
+    pub max_iters: usize,
+    /// Beta prior pseudo-counts `(correct, wrong)` for per-domain quality.
+    pub quality_prior: (f64, f64),
+}
+
+impl Default for DocsConfig {
+    fn default() -> Self {
+        DocsConfig {
+            max_iters: 25,
+            quality_prior: (4.0, 2.0),
+        }
+    }
+}
+
+/// The DOCS model.
+#[derive(Debug, Clone)]
+pub struct Docs {
+    cfg: DocsConfig,
+    /// Domain per object (dense index into the domain table).
+    domain_of: Vec<usize>,
+    n_domains: usize,
+    /// Per (source, domain) accuracy.
+    q_source: Vec<Vec<f64>>,
+    /// Per (worker, domain) accuracy.
+    q_worker: Vec<Vec<f64>>,
+    confidences: Vec<Vec<f64>>,
+}
+
+impl Docs {
+    /// DOCS with the given configuration.
+    pub fn new(cfg: DocsConfig) -> Self {
+        Docs {
+            cfg,
+            domain_of: Vec::new(),
+            n_domains: 0,
+            q_source: Vec::new(),
+            q_worker: Vec::new(),
+            confidences: Vec::new(),
+        }
+    }
+
+    /// The fitted per-domain accuracy of a worker.
+    pub fn worker_domain_quality(&self, w: WorkerId, domain: usize) -> f64 {
+        let prior = self.cfg.quality_prior.0 / (self.cfg.quality_prior.0 + self.cfg.quality_prior.1);
+        self.q_worker
+            .get(w.index())
+            .and_then(|qs| qs.get(domain).copied())
+            .unwrap_or(prior)
+    }
+
+    /// The domain (top-level-branch index) of object `o` after fitting.
+    pub fn object_domain(&self, o: ObjectId) -> usize {
+        self.domain_of[o.index()]
+    }
+
+    /// Derive object domains: the majority top-level branch among the
+    /// object's candidate values. (Knowledge-base domain lookup substituted
+    /// by the hierarchy — see module docs.)
+    fn derive_domains(ds: &Dataset, idx: &ObservationIndex) -> (Vec<usize>, usize) {
+        let h = ds.hierarchy();
+        let mut branch_index: std::collections::HashMap<NodeId, usize> =
+            std::collections::HashMap::new();
+        let mut domains = Vec::with_capacity(idx.n_objects());
+        for view in idx.views() {
+            let mut votes: std::collections::HashMap<NodeId, usize> =
+                std::collections::HashMap::new();
+            for &v in &view.candidates {
+                if let Some(b) = h.top_level_branch(v) {
+                    *votes.entry(b).or_insert(0) += 1;
+                }
+            }
+            let majority = votes
+                .into_iter()
+                .max_by_key(|&(b, n)| (n, std::cmp::Reverse(b.index())))
+                .map(|(b, _)| b);
+            let idx_of = match majority {
+                Some(b) => {
+                    let next = branch_index.len();
+                    *branch_index.entry(b).or_insert(next)
+                }
+                None => usize::MAX,
+            };
+            domains.push(idx_of);
+        }
+        let n = branch_index.len().max(1);
+        // Objects without a branch share a catch-all domain.
+        for d in &mut domains {
+            if *d == usize::MAX {
+                *d = n - 1;
+            }
+        }
+        (domains, n)
+    }
+
+    fn likelihood(q: f64, k: usize, c: u32, t: u32) -> f64 {
+        let q = q.clamp(0.01, 0.99);
+        if c == t {
+            q
+        } else if k > 1 {
+            (1.0 - q) / (k - 1) as f64
+        } else {
+            1.0 - q
+        }
+    }
+}
+
+impl Default for Docs {
+    fn default() -> Self {
+        Docs::new(DocsConfig::default())
+    }
+}
+
+impl TruthDiscovery for Docs {
+    fn name(&self) -> &'static str {
+        "DOCS"
+    }
+
+    fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> TruthEstimate {
+        let (domains, n_domains) = Docs::derive_domains(ds, idx);
+        self.domain_of = domains;
+        self.n_domains = n_domains;
+        let prior = self.cfg.quality_prior;
+        let prior_q = prior.0 / (prior.0 + prior.1);
+        self.q_source = vec![vec![prior_q; n_domains]; ds.n_sources()];
+        self.q_worker =
+            vec![vec![prior_q; n_domains]; ds.n_workers().max(idx.n_workers())];
+
+        self.confidences = idx
+            .views()
+            .iter()
+            .map(|view| {
+                let mut f: Vec<f64> = (0..view.n_candidates())
+                    .map(|v| f64::from(view.source_count[v] + view.worker_count[v]) + 0.5)
+                    .collect();
+                normalize(&mut f);
+                f
+            })
+            .collect();
+
+        for _ in 0..self.cfg.max_iters {
+            // E-step.
+            for (oi, view) in idx.views().iter().enumerate() {
+                let k = view.n_candidates();
+                if k == 0 {
+                    continue;
+                }
+                let d = self.domain_of[oi];
+                let mut post = vec![1.0f64; k];
+                for &(s, c) in &view.sources {
+                    let q = self.q_source[s.index()][d];
+                    for (t, p) in post.iter_mut().enumerate() {
+                        *p *= Docs::likelihood(q, k, c, t as u32);
+                    }
+                }
+                for &(w, c) in &view.workers {
+                    let q = self.q_worker[w.index()][d];
+                    for (t, p) in post.iter_mut().enumerate() {
+                        *p *= Docs::likelihood(q, k, c, t as u32);
+                    }
+                }
+                normalize(&mut post);
+                self.confidences[oi] = post;
+            }
+            // M-step: per-(participant, domain) expected accuracy with the
+            // Beta prior.
+            let mut s_num = vec![vec![prior.0; n_domains]; self.q_source.len()];
+            let mut s_den = vec![vec![prior.0 + prior.1; n_domains]; self.q_source.len()];
+            let mut w_num = vec![vec![prior.0; n_domains]; self.q_worker.len()];
+            let mut w_den = vec![vec![prior.0 + prior.1; n_domains]; self.q_worker.len()];
+            for (oi, view) in idx.views().iter().enumerate() {
+                let d = self.domain_of[oi];
+                for &(s, c) in &view.sources {
+                    s_num[s.index()][d] += self.confidences[oi][c as usize];
+                    s_den[s.index()][d] += 1.0;
+                }
+                for &(w, c) in &view.workers {
+                    w_num[w.index()][d] += self.confidences[oi][c as usize];
+                    w_den[w.index()][d] += 1.0;
+                }
+            }
+            for (q, (n, dn)) in self
+                .q_source
+                .iter_mut()
+                .zip(s_num.iter().zip(s_den.iter()))
+            {
+                for d in 0..n_domains {
+                    q[d] = n[d] / dn[d];
+                }
+            }
+            for (q, (n, dn)) in self
+                .q_worker
+                .iter_mut()
+                .zip(w_num.iter().zip(w_den.iter()))
+            {
+                for d in 0..n_domains {
+                    q[d] = n[d] / dn[d];
+                }
+            }
+        }
+
+        TruthEstimate {
+            truths: truths_from_confidences(idx, &self.confidences),
+            confidences: self.confidences.clone(),
+        }
+    }
+}
+
+impl ProbabilisticCrowdModel for Docs {
+    fn confidence(&self, o: ObjectId) -> &[f64] {
+        &self.confidences[o.index()]
+    }
+
+    fn worker_exact_prob(&self, w: WorkerId) -> f64 {
+        // Mean over domains — used only to order workers.
+        match self.q_worker.get(w.index()) {
+            Some(qs) if !qs.is_empty() => qs.iter().sum::<f64>() / qs.len() as f64,
+            _ => {
+                self.cfg.quality_prior.0
+                    / (self.cfg.quality_prior.0 + self.cfg.quality_prior.1)
+            }
+        }
+    }
+
+    fn answer_likelihood(
+        &self,
+        idx: &ObservationIndex,
+        o: ObjectId,
+        w: WorkerId,
+        c: u32,
+    ) -> f64 {
+        let k = idx.view(o).n_candidates();
+        let q = self.worker_domain_quality(w, self.domain_of[o.index()]);
+        let mu = &self.confidences[o.index()];
+        (0..k as u32)
+            .map(|t| Docs::likelihood(q, k, c, t) * mu[t as usize])
+            .sum()
+    }
+
+    fn posterior_given_answer(
+        &self,
+        idx: &ObservationIndex,
+        o: ObjectId,
+        w: WorkerId,
+        c: u32,
+    ) -> Vec<f64> {
+        let k = idx.view(o).n_candidates();
+        let q = self.worker_domain_quality(w, self.domain_of[o.index()]);
+        let mu = &self.confidences[o.index()];
+        let mut post: Vec<f64> = (0..k as u32)
+            .map(|t| Docs::likelihood(q, k, c, t) * mu[t as usize])
+            .collect();
+        normalize(&mut post);
+        post
+    }
+
+    fn evidence_weight(&self, o: ObjectId) -> f64 {
+        self.confidences[o.index()].len() as f64
+    }
+}
+
+/// DOCS's task assigner (the TDH paper's "MB"): pick, per worker, the
+/// objects with the largest expected *entropy reduction* given the worker's
+/// per-domain quality.
+#[derive(Debug, Clone, Default)]
+pub struct MbAssigner;
+
+impl TaskAssigner for MbAssigner {
+    fn name(&self) -> &'static str {
+        "MB"
+    }
+
+    fn assign(
+        &mut self,
+        model: &dyn ProbabilisticCrowdModel,
+        _ds: &Dataset,
+        idx: &ObservationIndex,
+        workers: &[WorkerId],
+        k: usize,
+    ) -> Vec<Assignment> {
+        let mut scored: Vec<(f64, usize, ObjectId)> = Vec::new();
+        for (wi, &w) in workers.iter().enumerate() {
+            for oi in 0..idx.n_objects() {
+                let o = ObjectId::from_index(oi);
+                let kc = idx.view(o).n_candidates();
+                if kc < 2 || idx.has_answered(w, o) {
+                    continue;
+                }
+                let h0 = entropy(model.confidence(o));
+                if h0 <= 0.0 {
+                    continue;
+                }
+                // Expected posterior entropy over the worker's answers.
+                let mut expected = 0.0;
+                for c in 0..kc as u32 {
+                    let p = model.answer_likelihood(idx, o, w, c);
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    expected += p * entropy(&model.posterior_given_answer(idx, o, w, c));
+                }
+                scored.push((h0 - expected, wi, o));
+            }
+        }
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut taken = vec![false; idx.n_objects()];
+        let mut batches: Vec<Vec<ObjectId>> = vec![Vec::new(); workers.len()];
+        for (_, wi, o) in scored {
+            if taken[o.index()] || batches[wi].len() >= k {
+                continue;
+            }
+            taken[o.index()] = true;
+            batches[wi].push(o);
+        }
+        workers
+            .iter()
+            .zip(batches)
+            .map(|(&w, objects)| Assignment { worker: w, objects })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    /// Two domains (branches D0, D1); a source accurate only in D0.
+    fn corpus() -> Dataset {
+        let mut b = HierarchyBuilder::new();
+        for d in 0..2 {
+            for t in 0..4 {
+                b.add_path(&[&format!("D{d}"), &format!("D{d}T{t}")]);
+            }
+        }
+        let mut ds = Dataset::new(b.build());
+        let expert0 = ds.intern_source("expert-d0");
+        let all_round = ds.intern_source("allround");
+        let all_round2 = ds.intern_source("allround2");
+        for i in 0..32 {
+            let d = i % 2;
+            let o = ds.intern_object(&format!("o{i}"));
+            let h = ds.hierarchy();
+            let t = h.node_by_name(&format!("D{d}T{}", i % 4)).unwrap();
+            let f = h.node_by_name(&format!("D{d}T{}", (i + 1) % 4)).unwrap();
+            ds.set_gold(o, t);
+            // expert0 is right in domain 0, wrong in domain 1.
+            ds.add_record(o, expert0, if d == 0 { t } else { f });
+            ds.add_record(o, all_round, t);
+            ds.add_record(o, all_round2, t);
+        }
+        ds
+    }
+
+    #[test]
+    fn recovers_truths() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let est = Docs::default().infer(&ds, &idx);
+        for o in ds.objects() {
+            assert_eq!(est.truths[o.index()], ds.gold(o));
+        }
+    }
+
+    #[test]
+    fn per_domain_quality_is_learned() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let mut docs = Docs::default();
+        docs.infer(&ds, &idx);
+        // expert0's quality in domain of object 0 (D0) must beat its quality
+        // in the domain of object 1 (D1).
+        let d0 = docs.object_domain(ObjectId(0));
+        let d1 = docs.object_domain(ObjectId(1));
+        assert_ne!(d0, d1, "two domains should be derived");
+        let q = &docs.q_source[0];
+        assert!(
+            q[d0] > q[d1] + 0.3,
+            "domain-specific accuracy: {} vs {}",
+            q[d0],
+            q[d1]
+        );
+    }
+
+    #[test]
+    fn mb_prefers_uncertain_objects() {
+        let mut ds = corpus();
+        // Add one contested object (1v1) — highest entropy.
+        let h = ds.hierarchy().clone();
+        let o = ds.intern_object("contested");
+        let a = h.node_by_name("D0T0").unwrap();
+        let b2 = h.node_by_name("D0T1").unwrap();
+        ds.add_record(o, tdh_data::SourceId(0), a);
+        ds.add_record(o, tdh_data::SourceId(1), b2);
+        let w = ds.intern_worker("w");
+        let idx = ObservationIndex::build(&ds);
+        let mut docs = Docs::default();
+        docs.infer(&ds, &idx);
+        let batches = MbAssigner.assign(&docs, &ds, &idx, &[w], 1);
+        assert_eq!(batches[0].objects, vec![o]);
+    }
+}

@@ -1,0 +1,271 @@
+//! LTM — the Latent Truth Model (Zhao et al., PVLDB 2012).
+//!
+//! A multi-truth model: every (object, value) pair carries an independent
+//! Bernoulli truth label, and every source two quality parameters — a false
+//! positive rate (it claims values that are false) and a sensitivity (it
+//! claims values that are true). The published inference is collapsed Gibbs
+//! sampling over the truth labels with Beta priors on the rates; we run the
+//! same model with mean-field (soft) updates for determinism, which
+//! converges to the same posterior means on this model family.
+//!
+//! Observation model per (object `o`, value `v`, source `s ∈ S_o`):
+//! the source either *claims* `v` (it asserted exactly `v` for `o`) or
+//! implicitly *denies* it (it asserted something else).
+
+use tdh_core::TruthDiscovery;
+use tdh_data::{Dataset, ObservationIndex};
+use tdh_hierarchy::NodeId;
+
+use crate::common::normalize;
+use crate::MultiTruthDiscovery;
+
+/// Configuration for [`Ltm`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LtmConfig {
+    /// Mean-field iterations.
+    pub max_iters: usize,
+    /// Beta prior on sensitivity (true positive rate): `(α1, β1)`.
+    pub sensitivity_prior: (f64, f64),
+    /// Beta prior on the false positive rate: `(α0, β0)` — biased low,
+    /// sources rarely invent values.
+    pub fpr_prior: (f64, f64),
+    /// Prior probability that a claimed value is true.
+    pub truth_prior: f64,
+}
+
+impl Default for LtmConfig {
+    fn default() -> Self {
+        LtmConfig {
+            max_iters: 25,
+            // A source asserts only ONE value per object, so against a
+            // truth set of several values per object its per-value
+            // sensitivity is well below one half.
+            sensitivity_prior: (1.5, 3.5),
+            fpr_prior: (1.0, 7.0),
+            truth_prior: 0.5,
+        }
+    }
+}
+
+/// The LTM algorithm.
+#[derive(Debug, Clone)]
+pub struct Ltm {
+    cfg: LtmConfig,
+    sensitivity: Vec<f64>,
+    fpr: Vec<f64>,
+}
+
+impl Ltm {
+    /// LTM with the given configuration.
+    pub fn new(cfg: LtmConfig) -> Self {
+        Ltm {
+            cfg,
+            sensitivity: Vec::new(),
+            fpr: Vec::new(),
+        }
+    }
+
+    /// Per-(object, candidate) truth probabilities (the model's real
+    /// output; [`MultiTruthDiscovery::infer_multi`] thresholds them).
+    pub fn truth_probabilities(
+        &mut self,
+        ds: &Dataset,
+        idx: &ObservationIndex,
+    ) -> Vec<Vec<f64>> {
+        let n_sources = ds.n_sources();
+        let n_participants = n_sources + ds.n_workers().max(idx.n_workers());
+        let sp = self.cfg.sensitivity_prior;
+        let fp = self.cfg.fpr_prior;
+        self.sensitivity = vec![sp.0 / (sp.0 + sp.1); n_participants];
+        self.fpr = vec![fp.0 / (fp.0 + fp.1); n_participants];
+
+        let mut p_true: Vec<Vec<f64>> = idx
+            .views()
+            .iter()
+            .map(|view| vec![self.cfg.truth_prior; view.n_candidates()])
+            .collect();
+
+        let prior_logit = (self.cfg.truth_prior / (1.0 - self.cfg.truth_prior)).ln();
+        for _ in 0..self.cfg.max_iters {
+            // E-step: truth posterior per (o, v).
+            for (oi, view) in idx.views().iter().enumerate() {
+                for v in 0..view.n_candidates() {
+                    let mut log_odds = prior_logit;
+                    let parts = view
+                        .sources
+                        .iter()
+                        .map(|&(s, c)| (s.index(), c))
+                        .chain(
+                            view.workers
+                                .iter()
+                                .map(|&(w, c)| (n_sources + w.index(), c)),
+                        );
+                    for (p, c) in parts {
+                        let claimed = c as usize == v;
+                        let sens = self.sensitivity[p].clamp(0.01, 0.99);
+                        let fpr = self.fpr[p].clamp(0.01, 0.99);
+                        let (lt, lf) = if claimed {
+                            (sens, fpr)
+                        } else {
+                            (1.0 - sens, 1.0 - fpr)
+                        };
+                        log_odds += (lt / lf).ln();
+                    }
+                    p_true[oi][v] = 1.0 / (1.0 + (-log_odds).exp());
+                }
+            }
+            // M-step: posterior-mean rates under the Beta priors.
+            let mut s_num = vec![sp.0; n_participants];
+            let mut s_den = vec![sp.0 + sp.1; n_participants];
+            let mut f_num = vec![fp.0; n_participants];
+            let mut f_den = vec![fp.0 + fp.1; n_participants];
+            for (oi, view) in idx.views().iter().enumerate() {
+                let parts: Vec<(usize, u32)> = view
+                    .sources
+                    .iter()
+                    .map(|&(s, c)| (s.index(), c))
+                    .chain(
+                        view.workers
+                            .iter()
+                            .map(|&(w, c)| (n_sources + w.index(), c)),
+                    )
+                    .collect();
+                for v in 0..view.n_candidates() {
+                    let z = p_true[oi][v];
+                    for &(p, c) in &parts {
+                        let claimed = c as usize == v;
+                        if claimed {
+                            s_num[p] += z;
+                            f_num[p] += 1.0 - z;
+                        }
+                        s_den[p] += z;
+                        f_den[p] += 1.0 - z;
+                    }
+                }
+            }
+            for p in 0..n_participants {
+                self.sensitivity[p] = s_num[p] / s_den[p];
+                self.fpr[p] = f_num[p] / f_den[p];
+            }
+        }
+        p_true
+    }
+}
+
+impl Default for Ltm {
+    fn default() -> Self {
+        Ltm::new(LtmConfig::default())
+    }
+}
+
+impl MultiTruthDiscovery for Ltm {
+    fn name(&self) -> &'static str {
+        "LTM"
+    }
+
+    fn infer_multi(&mut self, ds: &Dataset, idx: &ObservationIndex) -> Vec<Vec<NodeId>> {
+        let probs = self.truth_probabilities(ds, idx);
+        idx.views()
+            .iter()
+            .zip(&probs)
+            .map(|(view, p)| {
+                view.candidates
+                    .iter()
+                    .zip(p)
+                    .filter(|&(_, &q)| q > 0.5)
+                    .map(|(&v, _)| v)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Single-truth adaptation: take the highest-probability value. This lets
+/// LTM drop into the single-truth harness when needed.
+impl TruthDiscovery for Ltm {
+    fn name(&self) -> &'static str {
+        "LTM"
+    }
+
+    fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> tdh_core::TruthEstimate {
+        let probs = self.truth_probabilities(ds, idx);
+        let confidences: Vec<Vec<f64>> = probs
+            .into_iter()
+            .map(|mut p| {
+                normalize(&mut p);
+                p
+            })
+            .collect();
+        tdh_core::TruthEstimate::from_confidences(idx, confidences)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    fn corpus() -> Dataset {
+        let mut b = HierarchyBuilder::new();
+        for c in 0..4 {
+            for t in 0..4 {
+                b.add_path(&[&format!("C{c}"), &format!("C{c}T{t}")]);
+            }
+        }
+        let mut ds = Dataset::new(b.build());
+        let g1 = ds.intern_source("g1");
+        let g2 = ds.intern_source("g2");
+        let g3 = ds.intern_source("g3");
+        let liar = ds.intern_source("liar");
+        for i in 0..24 {
+            let o = ds.intern_object(&format!("o{i}"));
+            let h = ds.hierarchy();
+            let t = h.node_by_name(&format!("C{}T{}", i % 4, i % 4)).unwrap();
+            let f = h
+                .node_by_name(&format!("C{}T{}", (i + 1) % 4, i % 4))
+                .unwrap();
+            ds.set_gold(o, t);
+            ds.add_record(o, g1, t);
+            ds.add_record(o, g2, t);
+            ds.add_record(o, g3, t);
+            ds.add_record(o, liar, f);
+        }
+        ds
+    }
+
+    #[test]
+    fn truth_sets_contain_gold_and_drop_lies() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let sets = Ltm::default().infer_multi(&ds, &idx);
+        for o in ds.objects() {
+            let gold = ds.gold(o).unwrap();
+            assert!(sets[o.index()].contains(&gold));
+            assert_eq!(
+                sets[o.index()].len(),
+                1,
+                "3v1 should keep only the gold value"
+            );
+        }
+    }
+
+    #[test]
+    fn sensitivity_separates_sources() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let mut ltm = Ltm::default();
+        ltm.infer_multi(&ds, &idx);
+        // The liar claims false values: higher FPR than the good sources.
+        assert!(ltm.fpr[3] > ltm.fpr[0]);
+    }
+
+    #[test]
+    fn single_truth_view_matches_gold() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let est = TruthDiscovery::infer(&mut Ltm::default(), &ds, &idx);
+        for o in ds.objects() {
+            assert_eq!(est.truths[o.index()], ds.gold(o));
+        }
+    }
+}

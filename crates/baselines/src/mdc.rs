@@ -1,0 +1,247 @@
+//! MDC (Li et al., WSDM 2017): truth discovery for crowdsourced medical
+//! diagnosis — joint estimation of participant reliability and *question
+//! difficulty*.
+//!
+//! The published model observes that a wrong answer to an easy question
+//! is stronger evidence of unreliability than a wrong answer to a hard one.
+//! We implement its core: each participant `p` has reliability `r_p`, each
+//! object a difficulty `d_o ∈ [0, 1)`, and the probability of answering
+//! correctly is the discounted reliability `r_p·(1 − d_o)`, spread over the
+//! `k` candidates through a symmetric error model. Reliability, difficulty
+//! and truths are iterated to a fixed point (an EM in which the difficulty
+//! update is the disagreement rate under the current truths).
+
+use tdh_core::{TruthDiscovery, TruthEstimate};
+use tdh_data::{Dataset, ObservationIndex};
+
+use crate::common::{normalize, truths_from_confidences};
+
+/// Configuration for [`Mdc`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MdcConfig {
+    /// Fixed-point iterations.
+    pub max_iters: usize,
+    /// Initial participant reliability.
+    pub initial_reliability: f64,
+    /// Cap on question difficulty (keeps the correct-answer probability
+    /// bounded away from zero).
+    pub max_difficulty: f64,
+}
+
+impl Default for MdcConfig {
+    fn default() -> Self {
+        MdcConfig {
+            max_iters: 20,
+            initial_reliability: 0.7,
+            max_difficulty: 0.8,
+        }
+    }
+}
+
+/// The MDC algorithm.
+#[derive(Debug, Clone)]
+pub struct Mdc {
+    cfg: MdcConfig,
+    /// Reliability per participant (sources, then workers).
+    reliability: Vec<f64>,
+    /// Difficulty per object.
+    difficulty: Vec<f64>,
+}
+
+impl Mdc {
+    /// MDC with the given configuration.
+    pub fn new(cfg: MdcConfig) -> Self {
+        Mdc {
+            cfg,
+            reliability: Vec::new(),
+            difficulty: Vec::new(),
+        }
+    }
+
+    /// Estimated difficulty of object `o` after fitting.
+    pub fn difficulty(&self, o: tdh_data::ObjectId) -> f64 {
+        self.difficulty[o.index()]
+    }
+
+    fn likelihood(r: f64, d: f64, k: usize, c: u32, t: u32) -> f64 {
+        let a = (r * (1.0 - d)).clamp(0.01, 0.99);
+        if c == t {
+            a + (1.0 - a) / k as f64
+        } else {
+            (1.0 - a) / k as f64
+        }
+    }
+}
+
+impl Default for Mdc {
+    fn default() -> Self {
+        Mdc::new(MdcConfig::default())
+    }
+}
+
+impl TruthDiscovery for Mdc {
+    fn name(&self) -> &'static str {
+        "MDC"
+    }
+
+    fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> TruthEstimate {
+        let n_sources = ds.n_sources();
+        let n_participants = n_sources + ds.n_workers().max(idx.n_workers());
+        self.reliability = vec![self.cfg.initial_reliability; n_participants];
+        self.difficulty = vec![0.3; idx.n_objects()];
+        let mut confidences: Vec<Vec<f64>> = idx
+            .views()
+            .iter()
+            .map(|view| {
+                let mut f: Vec<f64> = (0..view.n_candidates())
+                    .map(|v| f64::from(view.source_count[v] + view.worker_count[v]) + 0.5)
+                    .collect();
+                normalize(&mut f);
+                f
+            })
+            .collect();
+
+        for _ in 0..self.cfg.max_iters {
+            // E-step: truth posterior under reliability × difficulty.
+            for (oi, view) in idx.views().iter().enumerate() {
+                let k = view.n_candidates();
+                if k == 0 {
+                    continue;
+                }
+                let d = self.difficulty[oi];
+                let mut post = vec![1.0f64; k];
+                let parts = view
+                    .sources
+                    .iter()
+                    .map(|&(s, c)| (s.index(), c))
+                    .chain(view.workers.iter().map(|&(w, c)| (n_sources + w.index(), c)));
+                for (p, c) in parts {
+                    let r = self.reliability[p];
+                    for (t, q) in post.iter_mut().enumerate() {
+                        *q *= Mdc::likelihood(r, d, k, c, t as u32);
+                    }
+                }
+                normalize(&mut post);
+                confidences[oi] = post;
+            }
+            let truths = truths_from_confidences(idx, &confidences);
+
+            // M-step (reliability): expected agreement, deflated by how hard
+            // the answered questions were.
+            let mut num = vec![0.5f64; n_participants];
+            let mut den = vec![1.0f64; n_participants];
+            for (oi, view) in idx.views().iter().enumerate() {
+                let weight = 1.0 - self.difficulty[oi];
+                let parts = view
+                    .sources
+                    .iter()
+                    .map(|&(s, c)| (s.index(), c))
+                    .chain(view.workers.iter().map(|&(w, c)| (n_sources + w.index(), c)));
+                for (p, c) in parts {
+                    num[p] += confidences[oi][c as usize] * weight;
+                    den[p] += weight;
+                }
+            }
+            for p in 0..n_participants {
+                self.reliability[p] = (num[p] / den[p]).clamp(0.05, 0.99);
+            }
+
+            // M-step (difficulty): disagreement rate with the current truth.
+            for (oi, view) in idx.views().iter().enumerate() {
+                let Some(t) = truths[oi] else { continue };
+                let total = (view.sources.len() + view.workers.len()) as f64;
+                if total == 0.0 {
+                    continue;
+                }
+                let agree: f64 = view
+                    .sources
+                    .iter()
+                    .map(|&(_, c)| c)
+                    .chain(view.workers.iter().map(|&(_, c)| c))
+                    .filter(|&c| view.candidates[c as usize] == t)
+                    .count() as f64;
+                self.difficulty[oi] =
+                    ((1.0 - agree / total) * 0.9).min(self.cfg.max_difficulty);
+            }
+        }
+
+        TruthEstimate {
+            truths: truths_from_confidences(idx, &confidences),
+            confidences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_data::ObjectId;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    fn corpus() -> Dataset {
+        let mut b = HierarchyBuilder::new();
+        for c in 0..4 {
+            for t in 0..4 {
+                b.add_path(&[&format!("C{c}"), &format!("C{c}T{t}")]);
+            }
+        }
+        let mut ds = Dataset::new(b.build());
+        let good1 = ds.intern_source("good1");
+        let good2 = ds.intern_source("good2");
+        let good3 = ds.intern_source("good3");
+        let liar = ds.intern_source("liar");
+        for i in 0..24 {
+            let o = ds.intern_object(&format!("o{i}"));
+            let h = ds.hierarchy();
+            let t = h.node_by_name(&format!("C{}T{}", i % 4, i % 4)).unwrap();
+            let f = h
+                .node_by_name(&format!("C{}T{}", (i + 1) % 4, i % 4))
+                .unwrap();
+            ds.set_gold(o, t);
+            ds.add_record(o, good1, t);
+            ds.add_record(o, good2, t);
+            // Half the objects are "hard": the third good source errs too.
+            if i % 2 == 0 {
+                ds.add_record(o, good3, t);
+            } else {
+                ds.add_record(o, good3, f);
+            }
+            ds.add_record(o, liar, f);
+        }
+        ds
+    }
+
+    #[test]
+    fn recovers_truths() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let est = Mdc::default().infer(&ds, &idx);
+        for o in ds.objects() {
+            assert_eq!(est.truths[o.index()], ds.gold(o));
+        }
+    }
+
+    #[test]
+    fn contested_objects_are_harder() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let mut mdc = Mdc::default();
+        mdc.infer(&ds, &idx);
+        // Object 1 (2v2) should be rated harder than object 0 (3v1).
+        assert!(
+            mdc.difficulty(ObjectId(1)) > mdc.difficulty(ObjectId(0)),
+            "2v2 difficulty {} vs 3v1 difficulty {}",
+            mdc.difficulty(ObjectId(1)),
+            mdc.difficulty(ObjectId(0))
+        );
+    }
+
+    #[test]
+    fn reliability_separates_good_from_liar() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let mut mdc = Mdc::default();
+        mdc.infer(&ds, &idx);
+        assert!(mdc.reliability[0] > mdc.reliability[3]);
+    }
+}

@@ -1,0 +1,384 @@
+//! Numeric truth discovery baselines (paper §5.8, Table 6).
+//!
+//! * [`MeanNumeric`] — the outlier-sensitive averaging baseline.
+//! * [`VoteNumeric`] — mode of the claimed values (candidate selection, so
+//!   outlier-robust but resolution-blind).
+//! * [`CrhNumeric`] — CRH with normalised squared loss: weighted mean
+//!   truths, `−ln(loss share)` weights.
+//! * [`Catd`] — confidence-aware weights via chi-square upper quantiles
+//!   (Li et al., PVLDB 2014), the long-tail specialist; also a weighted
+//!   mean, hence also outlier-sensitive (Table 6's finding).
+//! * [`LcaNumeric`] — GuessLCA over the *flat* candidate set (distinct
+//!   claimed values with no hierarchy), isolating what the rounding lattice
+//!   adds to TDH.
+
+use std::collections::HashMap;
+
+use tdh_core::TruthDiscovery;
+use tdh_data::{Dataset, NumericDataset, ObservationIndex};
+use tdh_hierarchy::numeric::canonical;
+use tdh_hierarchy::HierarchyBuilder;
+
+use crate::lca::Lca;
+
+/// A numeric truth-discovery algorithm.
+pub trait NumericTruthDiscovery {
+    /// Name as used in Table 6.
+    fn name(&self) -> &'static str;
+
+    /// Estimate one value per object (`None` when the object has no claims).
+    fn infer_numeric(&mut self, ds: &NumericDataset) -> Vec<Option<f64>>;
+}
+
+/// MEAN: the per-object average of claimed values.
+#[derive(Debug, Clone, Default)]
+pub struct MeanNumeric;
+
+impl NumericTruthDiscovery for MeanNumeric {
+    fn name(&self) -> &'static str {
+        "MEAN"
+    }
+
+    fn infer_numeric(&mut self, ds: &NumericDataset) -> Vec<Option<f64>> {
+        ds.claims_by_object()
+            .into_iter()
+            .map(|claims| {
+                if claims.is_empty() {
+                    None
+                } else {
+                    Some(claims.iter().map(|&(_, v)| v).sum::<f64>() / claims.len() as f64)
+                }
+            })
+            .collect()
+    }
+}
+
+/// VOTE: the most frequently claimed value (ties → smallest canonical
+/// string, for determinism).
+#[derive(Debug, Clone, Default)]
+pub struct VoteNumeric;
+
+impl NumericTruthDiscovery for VoteNumeric {
+    fn name(&self) -> &'static str {
+        "VOTE"
+    }
+
+    fn infer_numeric(&mut self, ds: &NumericDataset) -> Vec<Option<f64>> {
+        ds.claims_by_object()
+            .into_iter()
+            .map(|claims| {
+                let mut counts: HashMap<String, (usize, f64)> = HashMap::new();
+                for &(_, v) in &claims {
+                    let e = counts.entry(canonical(v)).or_insert((0, v));
+                    e.0 += 1;
+                }
+                counts
+                    .into_iter()
+                    .max_by(|a, b| a.1 .0.cmp(&b.1 .0).then_with(|| b.0.cmp(&a.0)))
+                    .map(|(_, (_, v))| v)
+            })
+            .collect()
+    }
+}
+
+/// CRH for numeric attributes: weighted-mean truths with
+/// variance-normalised squared loss and `−ln` weights.
+#[derive(Debug, Clone)]
+pub struct CrhNumeric {
+    /// Fixed-point iterations.
+    pub max_iters: usize,
+}
+
+impl Default for CrhNumeric {
+    fn default() -> Self {
+        CrhNumeric { max_iters: 15 }
+    }
+}
+
+impl NumericTruthDiscovery for CrhNumeric {
+    fn name(&self) -> &'static str {
+        "CRH"
+    }
+
+    fn infer_numeric(&mut self, ds: &NumericDataset) -> Vec<Option<f64>> {
+        let by_obj = ds.claims_by_object();
+        let mut weights = vec![1.0f64; ds.n_sources()];
+        let mut truths: Vec<Option<f64>> = vec![None; ds.n_objects()];
+
+        for _ in 0..self.max_iters {
+            // Truth step: weighted mean per object.
+            for (oi, claims) in by_obj.iter().enumerate() {
+                if claims.is_empty() {
+                    continue;
+                }
+                let (mut num, mut den) = (0.0, 0.0);
+                for &(s, v) in claims {
+                    let w = weights[s.index()];
+                    num += w * v;
+                    den += w;
+                }
+                truths[oi] = Some(num / den.max(1e-12));
+            }
+            // Per-object deviation scale for loss normalisation.
+            let scale: Vec<f64> = by_obj
+                .iter()
+                .enumerate()
+                .map(|(oi, claims)| {
+                    let Some(t) = truths[oi] else { return 1.0 };
+                    let var: f64 = claims
+                        .iter()
+                        .map(|&(_, v)| (v - t).powi(2))
+                        .sum::<f64>()
+                        / claims.len().max(1) as f64;
+                    var.sqrt().max(1e-9)
+                })
+                .collect();
+            // Weight step.
+            let mut loss = vec![1e-6f64; ds.n_sources()];
+            for (oi, claims) in by_obj.iter().enumerate() {
+                let Some(t) = truths[oi] else { continue };
+                for &(s, v) in claims {
+                    loss[s.index()] += ((v - t) / scale[oi]).powi(2);
+                }
+            }
+            let total: f64 = loss.iter().sum();
+            for (w, l) in weights.iter_mut().zip(&loss) {
+                *w = (-((l / total).max(1e-12)).ln()).max(1e-6);
+            }
+        }
+        truths
+    }
+}
+
+/// CATD (Li et al., PVLDB 2014): confidence-aware truth discovery for
+/// long-tail data. Source weights are the 0.975 chi-square upper quantile
+/// of the claim count divided by the accumulated squared loss, so
+/// low-evidence sources are not over-trusted; truths are weighted means.
+#[derive(Debug, Clone)]
+pub struct Catd {
+    /// Fixed-point iterations.
+    pub max_iters: usize,
+}
+
+impl Default for Catd {
+    fn default() -> Self {
+        Catd { max_iters: 15 }
+    }
+}
+
+/// Upper `p`-quantile of the chi-square distribution via the
+/// Wilson–Hilferty approximation (adequate for weighting purposes).
+fn chi_square_quantile(p_z: f64, df: f64) -> f64 {
+    let df = df.max(1.0);
+    let t = 1.0 - 2.0 / (9.0 * df) + p_z * (2.0 / (9.0 * df)).sqrt();
+    df * t.powi(3)
+}
+
+impl NumericTruthDiscovery for Catd {
+    fn name(&self) -> &'static str {
+        "CATD"
+    }
+
+    fn infer_numeric(&mut self, ds: &NumericDataset) -> Vec<Option<f64>> {
+        const Z_975: f64 = 1.959_964;
+        let by_obj = ds.claims_by_object();
+        let mut claim_count = vec![0usize; ds.n_sources()];
+        for c in ds.claims() {
+            claim_count[c.source.index()] += 1;
+        }
+        let mut weights = vec![1.0f64; ds.n_sources()];
+        let mut truths: Vec<Option<f64>> = vec![None; ds.n_objects()];
+
+        for _ in 0..self.max_iters {
+            for (oi, claims) in by_obj.iter().enumerate() {
+                if claims.is_empty() {
+                    continue;
+                }
+                let (mut num, mut den) = (0.0, 0.0);
+                for &(s, v) in claims {
+                    let w = weights[s.index()];
+                    num += w * v;
+                    den += w;
+                }
+                truths[oi] = Some(num / den.max(1e-12));
+            }
+            let scale: Vec<f64> = by_obj
+                .iter()
+                .enumerate()
+                .map(|(oi, claims)| {
+                    let Some(t) = truths[oi] else { return 1.0 };
+                    let var: f64 = claims
+                        .iter()
+                        .map(|&(_, v)| (v - t).powi(2))
+                        .sum::<f64>()
+                        / claims.len().max(1) as f64;
+                    var.sqrt().max(1e-9)
+                })
+                .collect();
+            let mut loss = vec![1e-9f64; ds.n_sources()];
+            for (oi, claims) in by_obj.iter().enumerate() {
+                let Some(t) = truths[oi] else { continue };
+                for &(s, v) in claims {
+                    loss[s.index()] += ((v - t) / scale[oi]).powi(2);
+                }
+            }
+            for s in 0..ds.n_sources() {
+                weights[s] =
+                    chi_square_quantile(Z_975, claim_count[s] as f64) / loss[s].max(1e-9);
+            }
+            // Normalise for numerical stability.
+            let max_w = weights.iter().copied().fold(1e-12, f64::max);
+            weights.iter_mut().for_each(|w| *w /= max_w);
+        }
+        truths
+    }
+}
+
+/// GuessLCA over flat numeric candidates: distinct claimed values become an
+/// unstructured categorical candidate set (no rounding lattice), then
+/// [`Lca`] runs unchanged. Comparing this against numeric TDH isolates the
+/// contribution of the implicit hierarchy.
+#[derive(Debug, Clone, Default)]
+pub struct LcaNumeric;
+
+/// Lift numeric claims into a *flat* categorical dataset: per object, each
+/// distinct claimed value becomes a child of the root (object-prefixed to
+/// avoid cross-object interference). Returns the dataset and the node →
+/// value map.
+pub fn lift_flat(ds: &NumericDataset) -> (Dataset, HashMap<tdh_hierarchy::NodeId, f64>) {
+    let by_obj = ds.claims_by_object();
+    let mut builder = HierarchyBuilder::new();
+    let mut value_of = HashMap::new();
+    let mut node_of: Vec<HashMap<String, tdh_hierarchy::NodeId>> =
+        vec![HashMap::new(); ds.n_objects()];
+    for (oi, claims) in by_obj.iter().enumerate() {
+        for &(_, v) in claims {
+            let name = format!("o{oi}:{}", canonical(v));
+            let node = builder
+                .add_child(tdh_hierarchy::NodeId::ROOT, &name)
+                .expect("prefixed names are unique");
+            node_of[oi].insert(canonical(v), node);
+            value_of.insert(node, v);
+        }
+    }
+    let mut cat = Dataset::new(builder.build());
+    let objects: Vec<_> = (0..ds.n_objects())
+        .map(|i| cat.intern_object(&format!("num-{i}")))
+        .collect();
+    let sources: Vec<_> = (0..ds.n_sources())
+        .map(|i| cat.intern_source(&format!("src-{i}")))
+        .collect();
+    for (oi, claims) in by_obj.iter().enumerate() {
+        for &(s, v) in claims {
+            cat.add_record(objects[oi], sources[s.index()], node_of[oi][&canonical(v)]);
+        }
+    }
+    (cat, value_of)
+}
+
+impl NumericTruthDiscovery for LcaNumeric {
+    fn name(&self) -> &'static str {
+        "LCA"
+    }
+
+    fn infer_numeric(&mut self, ds: &NumericDataset) -> Vec<Option<f64>> {
+        let (cat, value_of) = lift_flat(ds);
+        let idx = ObservationIndex::build(&cat);
+        let est = Lca::default().infer(&cat, &idx);
+        est.truths
+            .iter()
+            .map(|t| t.map(|node| value_of[&node]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_data::{ObjectId, SourceId};
+
+    fn with_outlier() -> NumericDataset {
+        let mut ds = NumericDataset::new(1, 5);
+        ds.add_claim(ObjectId(0), SourceId(0), 100.0);
+        ds.add_claim(ObjectId(0), SourceId(1), 100.0);
+        ds.add_claim(ObjectId(0), SourceId(2), 100.0);
+        ds.add_claim(ObjectId(0), SourceId(3), 101.0);
+        ds.add_claim(ObjectId(0), SourceId(4), 1.0e7);
+        ds.set_gold(ObjectId(0), 100.0);
+        ds
+    }
+
+    #[test]
+    fn mean_is_wrecked_by_outliers() {
+        let ds = with_outlier();
+        let est = MeanNumeric.infer_numeric(&ds);
+        assert!((est[0].unwrap() - 100.0).abs() > 1e5);
+    }
+
+    #[test]
+    fn vote_and_lca_are_robust() {
+        let ds = with_outlier();
+        assert_eq!(VoteNumeric.infer_numeric(&ds)[0], Some(100.0));
+        assert_eq!(LcaNumeric.infer_numeric(&ds)[0], Some(100.0));
+    }
+
+    #[test]
+    fn crh_downweights_the_outlier_source() {
+        // Across many objects, CRH learns source 4 is bad and its weighted
+        // mean lands near the truth.
+        let mut ds = NumericDataset::new(20, 5);
+        for i in 0..20u32 {
+            let t = 50.0 + f64::from(i);
+            ds.set_gold(ObjectId(i), t);
+            for s in 0..4 {
+                ds.add_claim(ObjectId(i), SourceId(s), t);
+            }
+            ds.add_claim(ObjectId(i), SourceId(4), t + 1000.0);
+        }
+        let est = CrhNumeric::default().infer_numeric(&ds);
+        for i in 0..20u32 {
+            let e = est[i as usize].unwrap();
+            let t = ds.gold(ObjectId(i)).unwrap();
+            assert!(
+                (e - t).abs() < 30.0,
+                "object {i}: weighted mean {e} vs truth {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn catd_weights_scale_with_claim_counts() {
+        // A source with many claims and low loss gets a much larger weight
+        // than one with a single claim, per the chi-square quantile.
+        let q_many = chi_square_quantile(1.959_964, 100.0);
+        let q_one = chi_square_quantile(1.959_964, 1.0);
+        assert!(q_many > 100.0 && q_many < 140.0, "q_many = {q_many}");
+        assert!(q_one < 7.0, "q_one = {q_one}");
+    }
+
+    #[test]
+    fn catd_estimates_are_reasonable_without_outliers() {
+        let mut ds = NumericDataset::new(10, 4);
+        for i in 0..10u32 {
+            let t = 10.0 * f64::from(i + 1);
+            ds.set_gold(ObjectId(i), t);
+            ds.add_claim(ObjectId(i), SourceId(0), t);
+            ds.add_claim(ObjectId(i), SourceId(1), t);
+            ds.add_claim(ObjectId(i), SourceId(2), t + 0.5);
+            ds.add_claim(ObjectId(i), SourceId(3), t - 0.5);
+        }
+        let est = Catd::default().infer_numeric(&ds);
+        for i in 0..10usize {
+            let t = ds.gold(ObjectId(i as u32)).unwrap();
+            assert!((est[i].unwrap() - t).abs() < 0.5);
+        }
+    }
+
+    #[test]
+    fn empty_objects_yield_none() {
+        let ds = NumericDataset::new(2, 1);
+        assert_eq!(MeanNumeric.infer_numeric(&ds), vec![None, None]);
+        assert_eq!(VoteNumeric.infer_numeric(&ds), vec![None, None]);
+        assert_eq!(CrhNumeric::default().infer_numeric(&ds), vec![None, None]);
+    }
+}

@@ -1,0 +1,183 @@
+//! ME: uncertainty-sampling task assignment.
+//!
+//! The paper's baseline assigner: pick the objects whose confidence
+//! distribution has the maximum entropy,
+//! `o* = argmax_o ( −Σ_v μ_{o,v} ln μ_{o,v} )`. Uncertainty alone ignores
+//! how much an extra answer can *move* the estimate — the weakness EAI's
+//! evidence-aware measure fixes.
+
+use tdh_core::{Assignment, ProbabilisticCrowdModel, TaskAssigner};
+use tdh_data::{Dataset, ObjectId, ObservationIndex, WorkerId};
+
+use crate::common::entropy;
+
+/// Maximum-entropy (uncertainty sampling) assigner.
+#[derive(Debug, Clone, Default)]
+pub struct MeAssigner;
+
+impl TaskAssigner for MeAssigner {
+    fn name(&self) -> &'static str {
+        "ME"
+    }
+
+    fn assign(
+        &mut self,
+        model: &dyn ProbabilisticCrowdModel,
+        _ds: &Dataset,
+        idx: &ObservationIndex,
+        workers: &[WorkerId],
+        k: usize,
+    ) -> Vec<Assignment> {
+        let mut scored: Vec<(f64, ObjectId)> = (0..idx.n_objects())
+            .map(ObjectId::from_index)
+            .filter(|&o| idx.view(o).n_candidates() >= 2)
+            .map(|o| (entropy(model.confidence(o)), o))
+            .filter(|&(h, _)| h > 0.0)
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+        // Round-robin the most uncertain objects over the workers, each
+        // object to a single worker per round.
+        let mut batches: Vec<Vec<ObjectId>> = vec![Vec::new(); workers.len()];
+        let mut cursor = 0usize;
+        for (_, o) in scored {
+            if batches.iter().all(|b| b.len() >= k) {
+                break;
+            }
+            // Find the next worker (in rotation) who can still take `o`.
+            let mut placed = false;
+            for step in 0..workers.len() {
+                let wi = (cursor + step) % workers.len();
+                if batches[wi].len() < k && !idx.has_answered(workers[wi], o) {
+                    batches[wi].push(o);
+                    cursor = (wi + 1) % workers.len();
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                continue;
+            }
+        }
+        workers
+            .iter()
+            .zip(batches)
+            .map(|(&w, objects)| Assignment { worker: w, objects })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vote::Vote;
+    use tdh_core::TruthDiscovery;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    /// A model wrapper good enough for testing the assigner: VOTE
+    /// confidences with a uniform worker.
+    struct VoteModel {
+        conf: Vec<Vec<f64>>,
+    }
+
+    impl TruthDiscovery for VoteModel {
+        fn name(&self) -> &'static str {
+            "vote-model"
+        }
+        fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> tdh_core::TruthEstimate {
+            let est = Vote.infer(ds, idx);
+            self.conf = est.confidences.clone();
+            est
+        }
+    }
+
+    impl ProbabilisticCrowdModel for VoteModel {
+        fn confidence(&self, o: ObjectId) -> &[f64] {
+            &self.conf[o.index()]
+        }
+        fn worker_exact_prob(&self, _w: WorkerId) -> f64 {
+            0.7
+        }
+        fn answer_likelihood(
+            &self,
+            _idx: &ObservationIndex,
+            o: ObjectId,
+            _w: WorkerId,
+            c: u32,
+        ) -> f64 {
+            self.conf[o.index()][c as usize]
+        }
+        fn posterior_given_answer(
+            &self,
+            _idx: &ObservationIndex,
+            o: ObjectId,
+            _w: WorkerId,
+            _c: u32,
+        ) -> Vec<f64> {
+            self.conf[o.index()].clone()
+        }
+        fn evidence_weight(&self, o: ObjectId) -> f64 {
+            self.conf[o.index()].len() as f64
+        }
+    }
+
+    fn fixture() -> (Dataset, ObservationIndex, VoteModel) {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["X", "A"]);
+        b.add_path(&["X", "B"]);
+        let mut ds = Dataset::new(b.build());
+        let a = ds.hierarchy().node_by_name("A").unwrap();
+        let bb = ds.hierarchy().node_by_name("B").unwrap();
+        let s1 = ds.intern_source("s1");
+        let s2 = ds.intern_source("s2");
+        let s3 = ds.intern_source("s3");
+        // o0: contested 1v1 (max entropy); o1: 2v1; o2: unanimous.
+        let o0 = ds.intern_object("o0");
+        ds.add_record(o0, s1, a);
+        ds.add_record(o0, s2, bb);
+        let o1 = ds.intern_object("o1");
+        ds.add_record(o1, s1, a);
+        ds.add_record(o1, s2, a);
+        ds.add_record(o1, s3, bb);
+        let o2 = ds.intern_object("o2");
+        ds.add_record(o2, s1, a);
+        ds.add_record(o2, s2, a);
+        let _ = ds.intern_worker("w0");
+        let _ = ds.intern_worker("w1");
+        let idx = ObservationIndex::build(&ds);
+        let mut model = VoteModel { conf: Vec::new() };
+        model.infer(&ds, &idx);
+        (ds, idx, model)
+    }
+
+    #[test]
+    fn most_uncertain_first_and_no_duplicates() {
+        let (ds, idx, model) = fixture();
+        let workers: Vec<_> = ds.workers().collect();
+        let batches = MeAssigner.assign(&model, &ds, &idx, &workers, 1);
+        // o0 (entropy ln 2) goes to the first worker; o1 to the second.
+        assert_eq!(batches[0].objects, vec![ObjectId(0)]);
+        assert_eq!(batches[1].objects, vec![ObjectId(1)]);
+    }
+
+    #[test]
+    fn unanimous_objects_are_never_assigned() {
+        let (ds, idx, model) = fixture();
+        let workers: Vec<_> = ds.workers().collect();
+        let batches = MeAssigner.assign(&model, &ds, &idx, &workers, 5);
+        for b in &batches {
+            assert!(!b.objects.contains(&ObjectId(2)), "o2 has zero entropy");
+        }
+    }
+
+    #[test]
+    fn answered_pairs_are_skipped() {
+        let (mut ds, mut idx, model) = fixture();
+        let w0 = WorkerId(0);
+        let a = ds.hierarchy().node_by_name("A").unwrap();
+        ds.add_answer(ObjectId(0), w0, a);
+        idx.push_answer(*ds.answers().last().unwrap());
+        let batches = MeAssigner.assign(&model, &ds, &idx, &[w0], 5);
+        assert!(!batches[0].objects.contains(&ObjectId(0)));
+    }
+}

@@ -1,0 +1,96 @@
+//! VOTE: the majority baseline.
+//!
+//! Selects the value with the highest claim frequency (records + answers).
+//! In hierarchy-rich corpora VOTE tends to pick *generalized* values —
+//! many sources claim them — which is why the paper finds it near the top on
+//! GenAccuracy but weak on Accuracy and AvgDistance.
+
+use tdh_core::{TruthDiscovery, TruthEstimate};
+use tdh_data::{Dataset, ObservationIndex};
+
+use crate::common::normalize;
+
+/// The majority-vote algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct Vote;
+
+impl TruthDiscovery for Vote {
+    fn name(&self) -> &'static str {
+        "VOTE"
+    }
+
+    fn infer(&mut self, _ds: &Dataset, idx: &ObservationIndex) -> TruthEstimate {
+        let confidences: Vec<Vec<f64>> = idx
+            .views()
+            .iter()
+            .map(|view| {
+                let mut freq: Vec<f64> = (0..view.n_candidates())
+                    .map(|v| f64::from(view.source_count[v] + view.worker_count[v]))
+                    .collect();
+                normalize(&mut freq);
+                freq
+            })
+            .collect();
+        TruthEstimate::from_confidences(idx, confidences)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    #[test]
+    fn majority_wins_and_answers_count() {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["X", "A"]);
+        b.add_path(&["X", "B"]);
+        let mut ds = Dataset::new(b.build());
+        let a = ds.hierarchy().node_by_name("A").unwrap();
+        let bb = ds.hierarchy().node_by_name("B").unwrap();
+        let o = ds.intern_object("o");
+        let s1 = ds.intern_source("s1");
+        let s2 = ds.intern_source("s2");
+        let s3 = ds.intern_source("s3");
+        ds.add_record(o, s1, a);
+        ds.add_record(o, s2, bb);
+        ds.add_record(o, s3, bb);
+        let idx = ObservationIndex::build(&ds);
+        let est = Vote.infer(&ds, &idx);
+        assert_eq!(est.truths[0], Some(bb));
+
+        // Two worker answers flip the majority to A.
+        let mut ds2 = ds.clone();
+        let w1 = ds2.intern_worker("w1");
+        let w2 = ds2.intern_worker("w2");
+        let w3 = ds2.intern_worker("w3");
+        ds2.add_answer(o, w1, a);
+        ds2.add_answer(o, w2, a);
+        ds2.add_answer(o, w3, a);
+        let idx2 = ObservationIndex::build(&ds2);
+        let est2 = Vote.infer(&ds2, &idx2);
+        assert_eq!(est2.truths[0], Some(a));
+    }
+
+    #[test]
+    fn confidences_are_frequencies() {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["X", "A"]);
+        b.add_path(&["X", "B"]);
+        let mut ds = Dataset::new(b.build());
+        let a = ds.hierarchy().node_by_name("A").unwrap();
+        let bb = ds.hierarchy().node_by_name("B").unwrap();
+        let o = ds.intern_object("o");
+        for i in 0..3 {
+            let s = ds.intern_source(&format!("sa{i}"));
+            ds.add_record(o, s, a);
+        }
+        let s = ds.intern_source("sb");
+        ds.add_record(o, s, bb);
+        let idx = ObservationIndex::build(&ds);
+        let est = Vote.infer(&ds, &idx);
+        let view = idx.view(o);
+        let ai = view.cand_index(a).unwrap() as usize;
+        assert!((est.confidences[0][ai] - 0.75).abs() < 1e-12);
+    }
+}

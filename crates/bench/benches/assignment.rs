@@ -1,0 +1,79 @@
+//! Task-assignment benchmarks: the UEAI filter's effect (Fig. 13) and the
+//! competing assigners' costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tdh_bench::harness::{make_assigner, SEED};
+use tdh_core::{assign_exhaustive, EaiAssigner, TaskAssigner, TdhConfig, TdhModel, TruthDiscovery};
+use tdh_crowd::WorkerPool;
+use tdh_data::ObservationIndex;
+use tdh_datagen::{generate_birthplaces, BirthPlacesConfig};
+
+fn bench_filter_effect(c: &mut Criterion) {
+    let corpus = generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 400,
+            hierarchy_nodes: 600,
+        },
+        SEED,
+    );
+
+    let mut group = c.benchmark_group("assignment/filter");
+    group.sample_size(10);
+    for scale in [1usize, 4] {
+        let mut ds = corpus.dataset.duplicated(scale);
+        let pool = WorkerPool::uniform(&mut ds, 10, 0.75, SEED);
+        let idx = ObservationIndex::build(&ds);
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.infer(&ds, &idx);
+
+        group.bench_with_input(
+            BenchmarkId::new("with-ueai-filter", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    let mut assigner = EaiAssigner::new();
+                    black_box(assigner.assign(&model, &ds, &idx, pool.ids(), 5))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("without-filter", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| black_box(assign_exhaustive(&model, &ds, &idx, pool.ids(), 5)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_assigners(c: &mut Criterion) {
+    let corpus = generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 400,
+            hierarchy_nodes: 600,
+        },
+        SEED + 1,
+    );
+    let mut ds = corpus.dataset.clone();
+    let pool = WorkerPool::uniform(&mut ds, 10, 0.75, SEED);
+    let idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(TdhConfig::default());
+    model.infer(&ds, &idx);
+
+    let mut group = c.benchmark_group("assignment/assigners");
+    group.sample_size(10);
+    for name in ["EAI", "QASCA", "ME"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+            b.iter(|| {
+                let mut assigner = make_assigner(name);
+                black_box(assigner.assign(&model, &ds, &idx, pool.ids(), 5))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_effect, bench_assigners);
+criterion_main!(benches);

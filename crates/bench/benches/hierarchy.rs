@@ -1,0 +1,67 @@
+//! Hierarchy substrate benchmarks: the tree queries every E-step and every
+//! evaluation pass lean on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdh_datagen::{generate_hierarchy, HierarchyConfig};
+use tdh_hierarchy::numeric::NumericHierarchy;
+use tdh_hierarchy::NodeId;
+
+fn bench_tree_queries(c: &mut Criterion) {
+    let h = generate_hierarchy(
+        &HierarchyConfig {
+            n_nodes: 5_000,
+            height: 5,
+            top_level: 6,
+        },
+        7,
+    );
+    let nodes: Vec<NodeId> = h.nodes().collect();
+    let pairs: Vec<(NodeId, NodeId)> = (0..1_000)
+        .map(|i| {
+            (
+                nodes[(i * 37) % nodes.len()],
+                nodes[(i * 101 + 13) % nodes.len()],
+            )
+        })
+        .collect();
+
+    c.bench_function("hierarchy/lca-1k-pairs", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                black_box(h.lca(u, v));
+            }
+        })
+    });
+    c.bench_function("hierarchy/distance-1k-pairs", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                black_box(h.distance(u, v));
+            }
+        })
+    });
+    c.bench_function("hierarchy/is-strict-ancestor-1k-pairs", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                black_box(h.is_strict_ancestor(u, v));
+            }
+        })
+    });
+}
+
+fn bench_numeric_lattice(c: &mut Criterion) {
+    // Claimed values of one object at mixed resolutions.
+    let claims: Vec<f64> = (0..40)
+        .map(|i| {
+            let base = 605.196_432;
+            let places = i % 6;
+            tdh_hierarchy::numeric::round_to_place(base + (i / 6) as f64, -(places as i32))
+        })
+        .collect();
+    c.bench_function("hierarchy/numeric-lattice-40-claims", |b| {
+        b.iter(|| black_box(NumericHierarchy::build(&claims)))
+    });
+}
+
+criterion_group!(benches, bench_tree_queries, bench_numeric_lattice);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! The incremental EM (§4.2) vs a full EM refit: the speedup that makes
+//! per-pair EAI computation feasible at all.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tdh_core::{ProbabilisticCrowdModel, TdhConfig, TdhModel, TruthDiscovery};
+use tdh_data::{ObjectId, ObservationIndex};
+use tdh_datagen::{generate_birthplaces, BirthPlacesConfig};
+
+fn bench_incremental_vs_refit(c: &mut Criterion) {
+    let corpus = generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 400,
+            hierarchy_nodes: 600,
+        },
+        11,
+    );
+    let mut ds = corpus.dataset.clone();
+    let w = ds.intern_worker("bench-worker");
+    let idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(TdhConfig::default());
+    model.infer(&ds, &idx);
+    let o = ObjectId(0);
+
+    c.bench_function("incremental/posterior-one-answer", |b| {
+        b.iter(|| black_box(model.posterior_given_answer(&idx, o, w, 0)))
+    });
+
+    c.bench_function("incremental/full-em-refit", |b| {
+        b.iter(|| {
+            let mut fresh = TdhModel::new(TdhConfig::default());
+            black_box(fresh.infer(&ds, &idx))
+        })
+    });
+}
+
+fn bench_eai_single_pair(c: &mut Criterion) {
+    let corpus = generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 400,
+            hierarchy_nodes: 600,
+        },
+        12,
+    );
+    let mut ds = corpus.dataset.clone();
+    let w = ds.intern_worker("bench-worker");
+    let idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(TdhConfig::default());
+    model.infer(&ds, &idx);
+
+    c.bench_function("incremental/eai-single-pair", |b| {
+        b.iter(|| {
+            black_box(tdh_core::eai(
+                &model,
+                &idx,
+                ObjectId(1),
+                w,
+                idx.n_objects(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_incremental_vs_refit, bench_eai_single_pair);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the truth-inference algorithms — the
+//! measured backbone of Fig. 12's per-round inference times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tdh_bench::harness::{make_inference, INFERENCE_ALGORITHMS};
+use tdh_data::ObservationIndex;
+use tdh_datagen::{
+    generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig,
+};
+
+fn bench_inference(c: &mut Criterion) {
+    let birthplaces = generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 600,
+            hierarchy_nodes: 800,
+        },
+        42,
+    );
+    let heritages = generate_heritages(
+        &HeritagesConfig {
+            n_objects: 200,
+            n_sources: 400,
+            n_claims: 1_200,
+            hierarchy_nodes: 400,
+        },
+        43,
+    );
+
+    for corpus in [&birthplaces, &heritages] {
+        let idx = ObservationIndex::build(&corpus.dataset);
+        let mut group = c.benchmark_group(format!("inference/{}", corpus.name));
+        group.sample_size(10);
+        for name in INFERENCE_ALGORITHMS {
+            group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, &name| {
+                b.iter(|| {
+                    let mut algo = make_inference(name);
+                    black_box(algo.infer(&corpus.dataset, &idx))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let corpus = generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 600,
+            hierarchy_nodes: 800,
+        },
+        44,
+    );
+    c.bench_function("index/build-birthplaces-600", |b| {
+        b.iter(|| black_box(ObservationIndex::build(&corpus.dataset)))
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Ablation study: what each TDH design choice contributes.
+//!
+//! Not a paper artefact — this quantifies the two modelling decisions the
+//! paper motivates qualitatively:
+//!
+//! * the **three-way hierarchy-aware likelihood** (vs collapsing generalized
+//!   values into the wrong case, i.e. a classic two-interpretation model);
+//! * the **worker popularity terms** `Pop2`/`Pop3` (vs uniform worker error
+//!   distributions), which encode the source → worker misinformation
+//!   dependency;
+//! * the **incremental-EM posterior inside EAI** (vs QASCA's undamped
+//!   single Bayes update), isolated by comparing EAI and QASCA under the
+//!   same TDH model elsewhere (Fig. 6/7).
+
+use tdh_core::{AblationFlags, TdhConfig, TdhModel};
+use tdh_crowd::{run_simulation, SimulationConfig, WorkerPool};
+use tdh_data::ObservationIndex;
+use tdh_eval::single_truth_report_with_index;
+
+use crate::harness::{both_corpora, make_assigner, print_table, SEED};
+use crate::report::{save, MetricRow};
+use crate::Scale;
+
+const VARIANTS: [(&str, AblationFlags); 3] = [
+    (
+        "TDH (full)",
+        AblationFlags {
+            hierarchy_aware: true,
+            worker_popularity: true,
+        },
+    ),
+    (
+        "TDH w/o hierarchy",
+        AblationFlags {
+            hierarchy_aware: false,
+            worker_popularity: true,
+        },
+    ),
+    (
+        "TDH w/o popularity",
+        AblationFlags {
+            hierarchy_aware: true,
+            worker_popularity: false,
+        },
+    ),
+];
+
+/// Run the ablation grid: pure inference quality plus a short crowdsourcing
+/// campaign per variant.
+pub fn ablation(scale: Scale) {
+    let rounds = scale.rounds(20);
+    let mut out = Vec::new();
+    for corpus in both_corpora(scale) {
+        println!("[{}]", corpus.name);
+        let idx = ObservationIndex::build(&corpus.dataset);
+        let mut rows = Vec::new();
+        for (label, flags) in VARIANTS {
+            let cfg = TdhConfig {
+                ablation: flags,
+                ..Default::default()
+            };
+            // Inference-only quality.
+            let mut model = TdhModel::new(cfg);
+            let est = tdh_core::TruthDiscovery::infer(&mut model, &corpus.dataset, &idx);
+            let report = single_truth_report_with_index(&corpus.dataset, &idx, &est.truths);
+
+            // Short crowdsourcing campaign with EAI.
+            let mut ds = corpus.dataset.clone();
+            let mut pool = WorkerPool::uniform(&mut ds, 10, 0.75, SEED);
+            let mut model = TdhModel::new(cfg);
+            let mut assigner = make_assigner("EAI");
+            let sim = run_simulation(
+                &mut ds,
+                &mut model,
+                assigner.as_mut(),
+                &mut pool,
+                &SimulationConfig {
+                    rounds,
+                    tasks_per_worker: 5,
+                },
+            );
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.4}", report.accuracy),
+                format!("{:.4}", report.gen_accuracy),
+                format!("{:.4}", report.avg_distance),
+                format!("{:.4}", sim.final_accuracy()),
+            ]);
+            out.push(MetricRow {
+                label: label.to_string(),
+                corpus: corpus.name.clone(),
+                metrics: vec![
+                    ("accuracy".into(), report.accuracy),
+                    ("gen_accuracy".into(), report.gen_accuracy),
+                    ("avg_distance".into(), report.avg_distance),
+                    ("crowd_final_accuracy".into(), sim.final_accuracy()),
+                ],
+            });
+        }
+        print_table(
+            &[
+                "variant",
+                "Accuracy",
+                "GenAccuracy",
+                "AvgDistance",
+                &format!("Accuracy@r{rounds} (EAI)"),
+            ],
+            &rows,
+        );
+        println!();
+    }
+    save("ablation", &out);
+}

@@ -1,0 +1,295 @@
+//! Crowdsourcing-loop experiments: Fig. 6, Fig. 7, Table 4, Figs. 8–11,
+//! Figs. 14–17.
+
+use tdh_crowd::{run_simulation, SimulationConfig, SimulationResult, WorkerPool};
+use tdh_data::Dataset;
+use tdh_datagen::Corpus;
+
+use crate::harness::{
+    both_corpora, heritages, make_assigner, make_crowd_model, print_table, table4_combos, SEED,
+};
+use crate::report::{save, MetricRow, Series};
+use crate::Scale;
+
+/// How a worker pool is created per run (fresh ids on the cloned dataset).
+#[derive(Debug, Clone, Copy)]
+enum Pool {
+    /// §5's simulated workers: `n`, `π_p`.
+    Uniform(usize, f64),
+    /// §5.5's human annotators: `n`, familiarity.
+    Human(usize, f64),
+    /// §5.6's AMT workers: `n`.
+    Amt(usize),
+}
+
+impl Pool {
+    fn build(self, ds: &mut Dataset, seed: u64) -> WorkerPool {
+        match self {
+            Pool::Uniform(n, p) => WorkerPool::uniform(ds, n, p, seed),
+            Pool::Human(n, f) => WorkerPool::human_annotators(ds, n, f, seed),
+            Pool::Amt(n) => WorkerPool::amt(ds, n, seed),
+        }
+    }
+}
+
+/// Run one inference × assignment combo on a fresh copy of `corpus`.
+fn run_combo(
+    corpus: &Corpus,
+    model_name: &str,
+    assigner_name: &str,
+    rounds: usize,
+    pool: Pool,
+) -> SimulationResult {
+    let mut ds = corpus.dataset.clone();
+    let mut pool = pool.build(&mut ds, SEED ^ rounds as u64);
+    let mut model = make_crowd_model(model_name);
+    let mut assigner = make_assigner(assigner_name);
+    let cfg = SimulationConfig {
+        rounds,
+        tasks_per_worker: 5,
+    };
+    run_simulation(&mut ds, model.as_mut(), assigner.as_mut(), &mut pool, &cfg)
+}
+
+fn print_series_every5(label: &str, ys: &[f64]) {
+    let pts: Vec<String> = ys
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 5 == 0 || *i == ys.len() - 1)
+        .map(|(i, y)| format!("r{i}:{y:.4}"))
+        .collect();
+    println!("  {label:<14} {}", pts.join("  "));
+}
+
+/// Fig. 6 — task assignment with TDH: EAI vs QASCA vs ME, accuracy per
+/// round.
+pub fn fig6(scale: Scale) {
+    let rounds = scale.rounds(50);
+    let mut series = Vec::new();
+    for corpus in both_corpora(scale) {
+        println!("[{}] TDH × assigners, {rounds} rounds:", corpus.name);
+        for assigner in ["EAI", "QASCA", "ME"] {
+            let r = run_combo(&corpus, "TDH", assigner, rounds, Pool::Uniform(10, 0.75));
+            let ys = r.accuracy_series();
+            print_series_every5(&format!("TDH+{assigner}"), &ys);
+            series.push(Series {
+                label: format!("TDH+{assigner}"),
+                corpus: corpus.name.clone(),
+                x: (0..ys.len()).map(|i| i as f64).collect(),
+                y: ys,
+            });
+        }
+        println!();
+    }
+    save("fig6", &series);
+}
+
+/// Fig. 7 — actual vs estimated accuracy improvement for EAI and QASCA.
+pub fn fig7(scale: Scale) {
+    let rounds = scale.rounds(50);
+    let mut series = Vec::new();
+    for corpus in both_corpora(scale) {
+        for assigner in ["EAI", "QASCA"] {
+            let r = run_combo(&corpus, "TDH", assigner, rounds, Pool::Uniform(10, 0.75));
+            let actual = r.actual_improvements();
+            let estimated: Vec<f64> = r.rounds[..rounds]
+                .iter()
+                .map(|m| m.estimated_improvement.unwrap_or(0.0))
+                .collect();
+            let mae: f64 = actual
+                .iter()
+                .zip(&estimated)
+                .map(|(a, e)| (a - e).abs())
+                .sum::<f64>()
+                / actual.len().max(1) as f64;
+            let bias: f64 = estimated
+                .iter()
+                .zip(&actual)
+                .map(|(e, a)| e - a)
+                .sum::<f64>()
+                / actual.len().max(1) as f64;
+            println!(
+                "[{}] {assigner}: mean |estimated − actual| = {:.3} pps, mean bias = {:+.3} pps",
+                corpus.name,
+                mae * 100.0,
+                bias * 100.0
+            );
+            series.push(Series {
+                label: format!("{assigner}-actual"),
+                corpus: corpus.name.clone(),
+                x: (0..actual.len()).map(|i| i as f64).collect(),
+                y: actual,
+            });
+            series.push(Series {
+                label: format!("{assigner}-estimated"),
+                corpus: corpus.name.clone(),
+                x: (0..estimated.len()).map(|i| i as f64).collect(),
+                y: estimated,
+            });
+        }
+    }
+    save("fig7", &series);
+}
+
+/// Table 4 — accuracy after round 50, all valid combinations.
+pub fn table4(scale: Scale) {
+    let rounds = scale.rounds(50);
+    let mut out = Vec::new();
+    for corpus in both_corpora(scale) {
+        println!("[{}] accuracy after {rounds} rounds:", corpus.name);
+        let mut rows = Vec::new();
+        for (model, assigner) in table4_combos() {
+            let r = run_combo(&corpus, model, assigner, rounds, Pool::Uniform(10, 0.75));
+            let acc = r.final_accuracy();
+            rows.push(vec![format!("{model}+{assigner}"), format!("{acc:.4}")]);
+            out.push(MetricRow {
+                label: format!("{model}+{assigner}"),
+                corpus: corpus.name.clone(),
+                metrics: vec![("final_accuracy".into(), acc)],
+            });
+        }
+        rows.sort_by(|a, b| b[1].cmp(&a[1]));
+        print_table(&["combination", "Accuracy"], &rows);
+        println!();
+    }
+    save("table4", &out);
+}
+
+/// The five headline combos of Figs. 8–10 / 14–16.
+const HEADLINE_COMBOS: [(&str, &str); 5] = [
+    ("TDH", "EAI"),
+    ("VOTE", "ME"),
+    ("LCA", "ME"),
+    ("DOCS", "MB"),
+    ("DOCS", "QASCA"),
+];
+
+fn run_headline(
+    id: &str,
+    corpora: &[Corpus],
+    combos: &[(&str, &str)],
+    rounds: usize,
+    pool: impl Fn(&Corpus) -> Pool,
+) {
+    let mut series = Vec::new();
+    for corpus in corpora {
+        println!("[{}] {rounds} rounds:", corpus.name);
+        for &(model, assigner) in combos {
+            let r = run_combo(corpus, model, assigner, rounds, pool(corpus));
+            let label = format!("{model}+{assigner}");
+            let acc = r.accuracy_series();
+            print_series_every5(&label, &acc);
+            let gen: Vec<f64> = r.rounds.iter().map(|m| m.report.gen_accuracy).collect();
+            let dist: Vec<f64> = r.rounds.iter().map(|m| m.report.avg_distance).collect();
+            let x: Vec<f64> = (0..acc.len()).map(|i| i as f64).collect();
+            for (metric, ys) in [("accuracy", acc), ("gen_accuracy", gen), ("avg_distance", dist)]
+            {
+                series.push(Series {
+                    label: format!("{label}:{metric}"),
+                    corpus: corpus.name.clone(),
+                    x: x.clone(),
+                    y: ys,
+                });
+            }
+        }
+        println!();
+    }
+    save(id, &series);
+}
+
+/// Figs. 8–10 — cost efficiency of the best combos: Accuracy, GenAccuracy,
+/// AvgDistance per round (all three emitted into one JSON).
+pub fn fig8_to_10(scale: Scale) {
+    let rounds = scale.rounds(50);
+    run_headline("fig8", &both_corpora(scale), &HEADLINE_COMBOS, rounds, |_| {
+        Pool::Uniform(10, 0.75)
+    });
+    // Cost-efficiency headline: rounds needed by TDH+EAI to reach the
+    // runner-up's final accuracy.
+    for corpus in both_corpora(scale) {
+        let tdh = run_combo(&corpus, "TDH", "EAI", rounds, Pool::Uniform(10, 0.75));
+        let runner_up = run_combo(&corpus, "DOCS", "QASCA", rounds, Pool::Uniform(10, 0.75));
+        let target = runner_up.final_accuracy();
+        let reached = tdh
+            .accuracy_series()
+            .iter()
+            .position(|&a| a >= target)
+            .unwrap_or(rounds);
+        println!(
+            "[{}] TDH+EAI reaches DOCS+QASCA's round-{rounds} accuracy ({target:.4}) at round {reached} — {:.0}% of the crowdsourcing cost saved",
+            corpus.name,
+            100.0 * (1.0 - reached as f64 / rounds as f64)
+        );
+    }
+}
+
+/// Fig. 11 — accuracy after the campaign, varying the simulated workers'
+/// correctness probability `π_p`.
+pub fn fig11(scale: Scale) {
+    let rounds = scale.rounds(50);
+    let pi_ps = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let mut series = Vec::new();
+    for corpus in both_corpora(scale) {
+        println!("[{}]:", corpus.name);
+        for &(model, assigner) in &HEADLINE_COMBOS {
+            let label = format!("{model}+{assigner}");
+            let ys: Vec<f64> = pi_ps
+                .iter()
+                .map(|&p| {
+                    run_combo(&corpus, model, assigner, rounds, Pool::Uniform(10, p))
+                        .final_accuracy()
+                })
+                .collect();
+            let pts: Vec<String> = pi_ps
+                .iter()
+                .zip(&ys)
+                .map(|(p, y)| format!("πp={p}:{y:.3}"))
+                .collect();
+            println!("  {label:<14} {}", pts.join("  "));
+            series.push(Series {
+                label,
+                corpus: corpus.name.clone(),
+                x: pi_ps.to_vec(),
+                y: ys,
+            });
+        }
+        println!();
+    }
+    save("fig11", &series);
+}
+
+/// Figs. 14–16 — crowdsourcing with (simulated) human annotators: 10
+/// workers, 20 rounds, familiarity-dependent reliability.
+pub fn fig14_to_16(scale: Scale) {
+    let rounds = scale.rounds(20);
+    let combos = [
+        ("TDH", "EAI"),
+        ("LCA", "ME"),
+        ("DOCS", "MB"),
+        ("DOCS", "QASCA"),
+    ];
+    run_headline("fig14", &both_corpora(scale), &combos, rounds, |corpus| {
+        // §5.5: birthplaces are familiar (big cities), heritage sites are
+        // not.
+        if corpus.name == "birthplaces" {
+            Pool::Human(10, 1.0)
+        } else {
+            Pool::Human(10, 0.75)
+        }
+    });
+}
+
+/// Fig. 17 — crowdsourcing with an AMT-style population: 20 heterogeneous
+/// workers on Heritages.
+pub fn fig17(scale: Scale) {
+    let rounds = scale.rounds(20);
+    let combos = [
+        ("TDH", "EAI"),
+        ("LCA", "ME"),
+        ("DOCS", "MB"),
+        ("DOCS", "QASCA"),
+    ];
+    run_headline("fig17", &[heritages(scale)], &combos, rounds, |_| {
+        Pool::Amt(20)
+    });
+}

@@ -1,0 +1,39 @@
+//! One runner per table/figure of the paper. See `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for recorded outcomes.
+
+mod ablation;
+mod crowdsourcing;
+mod inference;
+mod performance;
+
+use crate::Scale;
+
+/// All experiment ids, in paper order.
+pub const ALL: [&str; 15] = [
+    "fig1", "table3", "fig5", "fig6", "fig7", "table4", "fig8", "fig11", "fig12", "fig13",
+    "fig14", "fig17", "table5", "table6", "ablation",
+];
+
+/// Run one experiment by id. Panics on unknown ids (the CLI validates).
+pub fn run(id: &str, scale: Scale) {
+    println!("== {id} ({scale:?} scale) ==");
+    match id {
+        "fig1" => inference::fig1(scale),
+        "table3" => inference::table3(scale),
+        "fig5" => inference::fig5(scale),
+        "table5" => inference::table5(scale),
+        "table6" => inference::table6(scale),
+        "fig6" => crowdsourcing::fig6(scale),
+        "fig7" => crowdsourcing::fig7(scale),
+        "table4" => crowdsourcing::table4(scale),
+        "fig8" => crowdsourcing::fig8_to_10(scale),
+        "fig11" => crowdsourcing::fig11(scale),
+        "fig14" => crowdsourcing::fig14_to_16(scale),
+        "fig17" => crowdsourcing::fig17(scale),
+        "fig12" => performance::fig12(scale),
+        "fig13" => performance::fig13(scale),
+        "ablation" => ablation::ablation(scale),
+        other => panic!("unknown experiment id {other}"),
+    }
+    println!();
+}

@@ -1,0 +1,141 @@
+//! Performance experiments: Fig. 12 (execution time per round) and Fig. 13
+//! (UEAI-filter effectiveness under data scaling).
+
+use std::time::{Duration, Instant};
+
+use tdh_core::{assign_exhaustive, EaiAssigner, TaskAssigner, TdhConfig, TdhModel, TruthDiscovery};
+use tdh_crowd::{run_simulation, SimulationConfig, WorkerPool};
+use tdh_data::ObservationIndex;
+
+use crate::harness::{both_corpora, make_assigner, make_crowd_model, print_table, SEED};
+use crate::report::{save, MetricRow};
+use crate::Scale;
+
+/// The combinations Fig. 12 times (paper's selection).
+const FIG12_COMBOS: [(&str, &str); 10] = [
+    ("VOTE", "ME"),
+    ("CRH", "ME"),
+    ("POPACCU", "ME"),
+    ("ACCU", "ME"),
+    ("DOCS", "MB"),
+    ("TDH", "EAI"),
+    ("MDC", "ME"),
+    ("LCA", "ME"),
+    ("ASUMS", "ME"),
+    ("LFC", "ME"),
+];
+
+fn mean(durations: &[Duration]) -> f64 {
+    if durations.is_empty() {
+        return 0.0;
+    }
+    durations.iter().map(Duration::as_secs_f64).sum::<f64>() / durations.len() as f64
+}
+
+/// Fig. 12 — average execution time per crowdsourcing round, split into
+/// truth inference (TDI) and task assignment (TA).
+pub fn fig12(scale: Scale) {
+    let rounds = match scale {
+        Scale::Paper => 5,
+        Scale::Quick => 2,
+    };
+    let mut out = Vec::new();
+    for corpus in both_corpora(scale) {
+        println!("[{}] mean seconds per round over {rounds} rounds:", corpus.name);
+        let mut rows = Vec::new();
+        for (model_name, assigner_name) in FIG12_COMBOS {
+            let mut ds = corpus.dataset.clone();
+            let mut pool = WorkerPool::uniform(&mut ds, 10, 0.75, SEED);
+            let mut model = make_crowd_model(model_name);
+            let mut assigner = make_assigner(assigner_name);
+            let cfg = SimulationConfig {
+                rounds,
+                tasks_per_worker: 5,
+            };
+            let result =
+                run_simulation(&mut ds, model.as_mut(), assigner.as_mut(), &mut pool, &cfg);
+            let infer: Vec<Duration> = result.rounds.iter().map(|r| r.infer_time).collect();
+            let assign: Vec<Duration> = result.rounds.iter().map(|r| r.assign_time).collect();
+            let (ti, ta) = (mean(&infer), mean(&assign));
+            rows.push(vec![
+                format!("{model_name}+{assigner_name}"),
+                format!("{ti:.3}"),
+                format!("{ta:.3}"),
+                format!("{:.3}", ti + ta),
+            ]);
+            out.push(MetricRow {
+                label: format!("{model_name}+{assigner_name}"),
+                corpus: corpus.name.clone(),
+                metrics: vec![
+                    ("inference_s".into(), ti),
+                    ("assignment_s".into(), ta),
+                ],
+            });
+        }
+        print_table(
+            &["combination", "inference (s)", "assignment (s)", "total (s)"],
+            &rows,
+        );
+        println!();
+    }
+    save("fig12", &out);
+}
+
+/// Fig. 13 — task-assignment time with and without the UEAI filter, scaling
+/// each corpus by duplication (factors 1, 5, 10, 15).
+pub fn fig13(scale: Scale) {
+    let factors: &[usize] = match scale {
+        Scale::Paper => &[1, 5, 10, 15],
+        Scale::Quick => &[1, 3, 5],
+    };
+    let mut out = Vec::new();
+    for corpus in both_corpora(scale) {
+        println!("[{}] EAI assignment time (10 workers × 5 tasks):", corpus.name);
+        let mut rows = Vec::new();
+        for &factor in factors {
+            let mut ds = corpus.dataset.duplicated(factor);
+            let pool = WorkerPool::uniform(&mut ds, 10, 0.75, SEED);
+            let idx = ObservationIndex::build(&ds);
+            let mut model = TdhModel::new(TdhConfig::default());
+            model.infer(&ds, &idx);
+
+            let mut pruned = EaiAssigner::new();
+            let t0 = Instant::now();
+            let _ = pruned.assign(&model, &ds, &idx, pool.ids(), 5);
+            let with_filter = t0.elapsed();
+            let pruned_evals = pruned.eai_evaluations;
+
+            let t1 = Instant::now();
+            let (_, full_evals) = assign_exhaustive(&model, &ds, &idx, pool.ids(), 5);
+            let without_filter = t1.elapsed();
+
+            let saved = 100.0
+                * (1.0 - with_filter.as_secs_f64() / without_filter.as_secs_f64().max(1e-12));
+            rows.push(vec![
+                format!("{factor}"),
+                format!("{:.4}", with_filter.as_secs_f64()),
+                format!("{:.4}", without_filter.as_secs_f64()),
+                format!("{saved:.0}%"),
+                format!("{pruned_evals}/{full_evals}"),
+            ]);
+            out.push(MetricRow {
+                label: format!("scale-{factor}"),
+                corpus: corpus.name.clone(),
+                metrics: vec![
+                    ("with_filter_s".into(), with_filter.as_secs_f64()),
+                    ("without_filter_s".into(), without_filter.as_secs_f64()),
+                    ("eai_evals_pruned".into(), pruned_evals as f64),
+                    ("eai_evals_full".into(), full_evals as f64),
+                ],
+            });
+        }
+        print_table(
+            &[
+                "scale", "with filter (s)", "w/o filter (s)", "time saved", "EAI evals",
+            ],
+            &rows,
+        );
+        println!();
+    }
+    save("fig13", &out);
+}

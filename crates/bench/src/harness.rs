@@ -1,0 +1,212 @@
+//! Corpus construction and algorithm registries shared by the experiments.
+
+use std::time::{Duration, Instant};
+
+use tdh_baselines::{
+    Accu, Asums, Crh, Docs, Lca, Lfc, MbAssigner, Mdc, MeAssigner, PopAccu, Qasca, Vote,
+};
+use tdh_core::{
+    EaiAssigner, ProbabilisticCrowdModel, TaskAssigner, TdhConfig, TdhModel, TruthDiscovery,
+    TruthEstimate,
+};
+use tdh_crowd::UniformAdapter;
+use tdh_data::{Dataset, ObservationIndex};
+use tdh_datagen::{
+    generate_birthplaces, generate_heritages, BirthPlacesConfig, Corpus, HeritagesConfig,
+};
+use tdh_eval::{single_truth_report_with_index, SingleTruthReport};
+
+use crate::Scale;
+
+/// Base RNG seed for all experiments (results are deterministic per scale).
+pub const SEED: u64 = 20190326; // EDBT 2019 opening day
+
+/// Build the BirthPlaces stand-in at the requested scale.
+pub fn birthplaces(scale: Scale) -> Corpus {
+    let cfg = match scale {
+        Scale::Paper => BirthPlacesConfig::default(),
+        Scale::Quick => BirthPlacesConfig {
+            n_objects: 600,
+            hierarchy_nodes: 800,
+        },
+    };
+    generate_birthplaces(&cfg, SEED)
+}
+
+/// Build the Heritages stand-in at the requested scale.
+pub fn heritages(scale: Scale) -> Corpus {
+    let cfg = match scale {
+        Scale::Paper => HeritagesConfig::default(),
+        Scale::Quick => HeritagesConfig {
+            n_objects: 200,
+            n_sources: 400,
+            n_claims: 1_200,
+            hierarchy_nodes: 400,
+        },
+    };
+    generate_heritages(&cfg, SEED + 1)
+}
+
+/// The two corpora, in the paper's column order.
+pub fn both_corpora(scale: Scale) -> Vec<Corpus> {
+    vec![birthplaces(scale), heritages(scale)]
+}
+
+/// Names of the single-truth inference algorithms in Table 3 order.
+pub const INFERENCE_ALGORITHMS: [&str; 10] = [
+    "TDH", "VOTE", "LCA", "DOCS", "ASUMS", "MDC", "ACCU", "POPACCU", "LFC", "CRH",
+];
+
+/// Instantiate an inference algorithm by its paper name.
+pub fn make_inference(name: &str) -> Box<dyn TruthDiscovery> {
+    match name {
+        "TDH" => Box::new(TdhModel::new(TdhConfig::default())),
+        "VOTE" => Box::new(Vote),
+        "LCA" => Box::new(Lca::default()),
+        "DOCS" => Box::new(Docs::default()),
+        "ASUMS" => Box::new(Asums::default()),
+        "MDC" => Box::new(Mdc::default()),
+        "ACCU" => Box::new(Accu::default()),
+        "POPACCU" => Box::new(PopAccu::default()),
+        "LFC" => Box::new(Lfc::default()),
+        "CRH" => Box::new(Crh::default()),
+        other => panic!("unknown inference algorithm {other}"),
+    }
+}
+
+/// Instantiate an inference algorithm as a crowd model (native for the
+/// probabilistic ones, [`UniformAdapter`]-wrapped otherwise).
+pub fn make_crowd_model(name: &str) -> Box<dyn ProbabilisticCrowdModel> {
+    match name {
+        "TDH" => Box::new(TdhModel::new(TdhConfig::default())),
+        "LCA" => Box::new(Lca::default()),
+        "DOCS" => Box::new(Docs::default()),
+        "ACCU" => Box::new(Accu::default()),
+        "POPACCU" => Box::new(PopAccu::default()),
+        "VOTE" => Box::new(UniformAdapter::new(Vote)),
+        "ASUMS" => Box::new(UniformAdapter::new(Asums::default())),
+        "MDC" => Box::new(UniformAdapter::new(Mdc::default())),
+        "LFC" => Box::new(UniformAdapter::new(Lfc::default())),
+        "CRH" => Box::new(UniformAdapter::new(Crh::default())),
+        other => panic!("unknown crowd model {other}"),
+    }
+}
+
+/// Instantiate a task assigner by its paper name.
+pub fn make_assigner(name: &str) -> Box<dyn TaskAssigner> {
+    match name {
+        "EAI" => Box::new(EaiAssigner::new()),
+        "QASCA" => Box::new(Qasca::new(SEED)),
+        "ME" => Box::new(MeAssigner),
+        "MB" => Box::new(MbAssigner),
+        other => panic!("unknown assigner {other}"),
+    }
+}
+
+/// The valid inference × assignment combinations of Table 4 (`-` cells of
+/// the paper are absent here).
+pub fn table4_combos() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("TDH", "EAI"),
+        ("TDH", "QASCA"),
+        ("TDH", "ME"),
+        ("DOCS", "MB"),
+        ("DOCS", "QASCA"),
+        ("DOCS", "ME"),
+        ("LCA", "QASCA"),
+        ("LCA", "ME"),
+        ("POPACCU", "QASCA"),
+        ("POPACCU", "ME"),
+        ("ACCU", "QASCA"),
+        ("ACCU", "ME"),
+        ("ASUMS", "ME"),
+        ("CRH", "ME"),
+        ("MDC", "ME"),
+        ("LFC", "ME"),
+        ("VOTE", "ME"),
+    ]
+}
+
+/// One inference run with timing.
+pub struct InferenceRun {
+    /// Algorithm name.
+    pub name: &'static str,
+    /// The quality report against the gold standard.
+    pub report: SingleTruthReport,
+    /// Wall-clock inference time.
+    pub time: Duration,
+    /// The raw estimate (kept for downstream analyses).
+    pub estimate: TruthEstimate,
+}
+
+/// Run one algorithm on a dataset and score it.
+pub fn run_inference(name: &str, ds: &Dataset, idx: &ObservationIndex) -> InferenceRun {
+    let mut algo = make_inference(name);
+    let t0 = Instant::now();
+    let estimate = algo.infer(ds, idx);
+    let time = t0.elapsed();
+    let report = single_truth_report_with_index(ds, idx, &estimate.truths);
+    InferenceRun {
+        name: algo.name(),
+        report,
+        time,
+        estimate,
+    }
+}
+
+/// Render a fixed-width table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let joined: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        println!("  {}", joined.join("  "));
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registries_cover_all_names() {
+        for name in INFERENCE_ALGORITHMS {
+            assert_eq!(make_inference(name).name(), name);
+            assert_eq!(make_crowd_model(name).name(), name);
+        }
+        for a in ["EAI", "QASCA", "ME", "MB"] {
+            assert_eq!(make_assigner(a).name(), a);
+        }
+    }
+
+    #[test]
+    fn table4_combos_are_valid() {
+        for (m, a) in table4_combos() {
+            let _ = make_crowd_model(m);
+            let _ = make_assigner(a);
+        }
+    }
+
+    #[test]
+    fn quick_corpora_build() {
+        let b = birthplaces(Scale::Quick);
+        let h = heritages(Scale::Quick);
+        assert!(b.dataset.n_objects() > 0);
+        assert!(h.dataset.n_sources() > 100);
+    }
+}

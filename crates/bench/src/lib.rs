@@ -1,0 +1,37 @@
+//! The experiment harness: one runner per table/figure of the paper.
+//!
+//! Every runner regenerates the corresponding artefact on the calibrated
+//! synthetic corpora (see `DESIGN.md` §3 for the substitutions), prints a
+//! human-readable table/series to stdout, and writes machine-readable JSON
+//! to `results/<id>.json` so `EXPERIMENTS.md` can cite exact numbers.
+//!
+//! ```text
+//! cargo run --release -p tdh-bench --bin experiments -- table3
+//! cargo run --release -p tdh-bench --bin experiments -- all --quick
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale corpora (BirthPlaces ≈ 6k objects, Heritages ≈ 785).
+    Paper,
+    /// Reduced corpora and round counts for smoke runs and CI.
+    Quick,
+}
+
+impl Scale {
+    /// Shrink a round count under `Quick`.
+    pub fn rounds(self, full: usize) -> usize {
+        match self {
+            Scale::Paper => full,
+            Scale::Quick => (full / 5).max(2),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! CLI entry point: `experiments <id>... [--quick]`.
+//!
+//! Ids: fig1, table3, fig5, fig6, fig7, table4, fig8, fig11, fig12, fig13,
+//! fig14, fig17, table5, table6, or `all`.
+
+use tdh_bench::{experiments, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if ids.is_empty() {
+        eprintln!("usage: experiments <id>... [--quick]");
+        eprintln!("ids: {} or all", experiments::ALL.join(", "));
+        std::process::exit(2);
+    }
+    for id in ids {
+        if id == "all" {
+            for e in experiments::ALL {
+                experiments::run(e, scale);
+            }
+        } else if experiments::ALL.contains(&id) {
+            experiments::run(id, scale);
+        } else {
+            eprintln!("unknown experiment id {id}; known: {}", experiments::ALL.join(", "));
+            std::process::exit(2);
+        }
+    }
+}

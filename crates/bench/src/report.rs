@@ -1,0 +1,84 @@
+//! Machine-readable experiment outputs (`results/<id>.json`).
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Where experiment outputs land (workspace-relative `results/`).
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // workspace root
+    p.push("results");
+    p
+}
+
+/// Serialise `payload` to `results/<id>.json`.
+pub fn save<T: Serialize>(id: &str, payload: &T) {
+    let dir = results_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{id}.json"));
+    match serde_json::to_string_pretty(payload) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: cannot write {path:?}: {e}");
+            } else {
+                println!("  → saved {path:?}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {id}: {e}"),
+    }
+}
+
+/// A generic metric row for tabular experiments.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricRow {
+    /// Row label (algorithm or combo).
+    pub label: String,
+    /// Corpus the row was measured on.
+    pub corpus: String,
+    /// Named metric values.
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A labelled numeric series (round → value), for the figure experiments.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series label (e.g. "TDH+EAI").
+    pub label: String,
+    /// Corpus the series was measured on.
+    pub corpus: String,
+    /// X values (usually round numbers).
+    pub x: Vec<f64>,
+    /// Y values.
+    pub y: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_workspace_relative() {
+        let d = results_dir();
+        assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let row = MetricRow {
+            label: "TDH".into(),
+            corpus: "test".into(),
+            metrics: vec![("accuracy".into(), 0.9)],
+        };
+        save("self-test", &vec![row]);
+        let path = results_dir().join("self-test.json");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("accuracy"));
+        let _ = std::fs::remove_file(path);
+    }
+}

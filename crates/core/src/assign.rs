@@ -1,0 +1,424 @@
+//! EAI task assignment (paper §4): the quality measure (Eq. 14–15), the
+//! `UEAI` upper bound (Lemma 4.1) and the heap-based Algorithm 1.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use tdh_data::{Dataset, ObjectId, ObservationIndex, WorkerId};
+
+use crate::traits::{Assignment, ProbabilisticCrowdModel, TaskAssigner};
+
+/// Total-ordered f64 for use inside heaps (scores are never NaN by
+/// construction, but `total_cmp` keeps the ordering well defined anyway).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Score(f64);
+
+impl Eq for Score {}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Score {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// `EAI(w, o)` — the Expected Accuracy Improvement of asking worker `w`
+/// about object `o` (Eq. 14):
+///
+/// ```text
+/// EAI(w,o) = ( E[max_v μ_{o,v|w}] − max_v μ_{o,v} ) / |O|
+/// ```
+///
+/// where the expectation runs over the worker's possible answers weighted by
+/// their marginal likelihood (Eq. 15), and the conditional confidence comes
+/// from the model's incremental posterior (for TDH, the incremental EM of
+/// §4.2 — which is what makes the estimate sensitive to how much evidence
+/// the object already has).
+pub fn eai(
+    model: &dyn ProbabilisticCrowdModel,
+    idx: &ObservationIndex,
+    o: ObjectId,
+    w: WorkerId,
+    n_objects: usize,
+) -> f64 {
+    let view = idx.view(o);
+    let k = view.n_candidates();
+    if k < 2 {
+        return 0.0; // a single (or no) candidate cannot be improved
+    }
+    let mu = model.confidence(o);
+    let cur_max = mu.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut expected = 0.0;
+    let mut total_p = 0.0;
+    for c in 0..k as u32 {
+        let p = model.answer_likelihood(idx, o, w, c);
+        if p <= 0.0 {
+            continue;
+        }
+        let post = model.posterior_given_answer(idx, o, w, c);
+        let m = post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        expected += p * m;
+        total_p += p;
+    }
+    if total_p <= 0.0 {
+        return 0.0;
+    }
+    // The answer distribution is normalised before taking the expectation:
+    // TDH's claim likelihood (Eq. 1–4) deliberately leaks the generalization
+    // mass ψ2 for truths without candidate ancestors, and without
+    // renormalisation that leak would deflate exactly the hierarchy-rich
+    // objects EAI should prioritise.
+    (expected / total_p - cur_max) / n_objects as f64
+}
+
+/// `UEAI(o)` — Lemma 4.1's worker-independent upper bound on `EAI(w, o)`:
+///
+/// ```text
+/// UEAI(o) = (1 − max_v μ_{o,v}) / (|O| · (D_o + 1))
+/// ```
+///
+/// The `D_o + 1` denominator is the paper's key observation: objects that
+/// already carry a lot of evidence cannot be moved much by one more answer.
+pub fn ueai(model: &dyn ProbabilisticCrowdModel, o: ObjectId, n_objects: usize) -> f64 {
+    let mu = model.confidence(o);
+    if mu.len() < 2 {
+        return 0.0;
+    }
+    let max = mu.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (1.0 - max) / (n_objects as f64 * (model.evidence_weight(o) + 1.0))
+}
+
+/// The paper's Algorithm 1: assign the best `k` objects to each worker,
+/// scanning objects in decreasing `UEAI` order with per-worker min-heaps and
+/// stopping as soon as no remaining object's bound can beat any heap
+/// minimum.
+#[derive(Debug, Default, Clone)]
+pub struct EaiAssigner {
+    /// Count of `EAI` evaluations performed in the last call (exposed for
+    /// the Figure 13 pruning-effectiveness experiment).
+    pub eai_evaluations: usize,
+}
+
+impl EaiAssigner {
+    /// Fresh assigner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TaskAssigner for EaiAssigner {
+    fn name(&self) -> &'static str {
+        "EAI"
+    }
+
+    fn assign(
+        &mut self,
+        model: &dyn ProbabilisticCrowdModel,
+        _ds: &Dataset,
+        idx: &ObservationIndex,
+        workers: &[WorkerId],
+        k: usize,
+    ) -> Vec<Assignment> {
+        self.eai_evaluations = 0;
+        let n_objects = idx.n_objects();
+        if workers.is_empty() || k == 0 || n_objects == 0 {
+            return workers
+                .iter()
+                .map(|&w| Assignment {
+                    worker: w,
+                    objects: Vec::new(),
+                })
+                .collect();
+        }
+
+        // Lines 1–2: UEAI for every object, max-heap over it.
+        let ueai_of: Vec<f64> = (0..n_objects)
+            .map(|oi| ueai(model, ObjectId::from_index(oi), n_objects))
+            .collect();
+        let mut hub: BinaryHeap<(Score, ObjectId)> = (0..n_objects)
+            .filter(|&oi| ueai_of[oi] > 0.0)
+            .map(|oi| (Score(ueai_of[oi]), ObjectId::from_index(oi)))
+            .collect();
+
+        // Line 3: workers in decreasing ψ_{w,1}.
+        let mut order: Vec<WorkerId> = workers.to_vec();
+        order.sort_by(|&a, &b| {
+            model
+                .worker_exact_prob(b)
+                .total_cmp(&model.worker_exact_prob(a))
+        });
+
+        // Lines 4–5: per-worker min-heaps of (EAI, object).
+        let mut heaps: Vec<BinaryHeap<Reverse<(Score, ObjectId)>>> =
+            vec![BinaryHeap::new(); order.len()];
+
+        // Lines 6–17.
+        while let Some((Score(ub), o)) = hub.pop() {
+            // Line 8: all heaps full and no heap minimum beatable → stop.
+            let all_full = heaps.iter().all(|h| h.len() >= k);
+            if all_full {
+                let beatable = heaps.iter().any(|h| {
+                    h.peek().map_or(true, |Reverse((Score(m), _))| *m < ub)
+                });
+                if !beatable {
+                    break;
+                }
+            }
+            // Lines 10–17: offer the object to workers in ψ order; an
+            // eviction passes the evicted object on to the next worker.
+            let mut cur = o;
+            for (wi, &w) in order.iter().enumerate() {
+                if idx.has_answered(w, cur) {
+                    continue;
+                }
+                let heap = &mut heaps[wi];
+                let bound = ueai_of[cur.index()];
+                if heap.len() >= k {
+                    // Pruning: this object cannot beat the worker's current
+                    // worst assignment.
+                    if heap
+                        .peek()
+                        .is_some_and(|Reverse((Score(m), _))| *m >= bound)
+                    {
+                        continue;
+                    }
+                }
+                self.eai_evaluations += 1;
+                let score = eai(model, idx, cur, w, n_objects);
+                heap.push(Reverse((Score(score), cur)));
+                if heap.len() <= k {
+                    break; // assigned without eviction
+                }
+                let Reverse((_, evicted)) = heap.pop().expect("heap non-empty");
+                if evicted == cur {
+                    continue; // didn't make the cut; try the next worker
+                }
+                cur = evicted; // pass the displaced object along
+            }
+        }
+
+        // Emit batches, most valuable object first.
+        order
+            .iter()
+            .zip(heaps)
+            .map(|(&w, heap)| {
+                let mut items: Vec<(Score, ObjectId)> =
+                    heap.into_iter().map(|Reverse(x)| x).collect();
+                items.sort_by(|a, b| b.0.cmp(&a.0));
+                Assignment {
+                    worker: w,
+                    objects: items.into_iter().map(|(_, o)| o).collect(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// EAI assignment *without* the `UEAI` filter: evaluates `EAI(w, o)` for
+/// every feasible pair and then assigns greedily (each object to at most one
+/// worker, `k` per worker). This is the "w/o filtering" arm of Figure 13;
+/// it reaches the same assignment quality at a much higher cost. Returns the
+/// batches together with the number of `EAI` evaluations performed.
+pub fn assign_exhaustive(
+    model: &dyn ProbabilisticCrowdModel,
+    _ds: &Dataset,
+    idx: &ObservationIndex,
+    workers: &[WorkerId],
+    k: usize,
+) -> (Vec<Assignment>, usize) {
+    let n_objects = idx.n_objects();
+    let mut evaluations = 0usize;
+    let mut scored: Vec<(Score, usize, ObjectId)> = Vec::new();
+    for (wi, &w) in workers.iter().enumerate() {
+        for oi in 0..n_objects {
+            let o = ObjectId::from_index(oi);
+            if idx.has_answered(w, o) || idx.view(o).n_candidates() < 2 {
+                continue;
+            }
+            evaluations += 1;
+            scored.push((Score(eai(model, idx, o, w, n_objects)), wi, o));
+        }
+    }
+    scored.sort_by(|a, b| b.0.cmp(&a.0));
+    let mut taken = vec![false; n_objects];
+    let mut batches: Vec<Vec<ObjectId>> = vec![Vec::new(); workers.len()];
+    for (_, wi, o) in scored {
+        if taken[o.index()] || batches[wi].len() >= k {
+            continue;
+        }
+        taken[o.index()] = true;
+        batches[wi].push(o);
+    }
+    (
+        workers
+            .iter()
+            .zip(batches)
+            .map(|(&w, objects)| Assignment { worker: w, objects })
+            .collect(),
+        evaluations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{TdhConfig, TdhModel};
+    use crate::traits::TruthDiscovery;
+    use tdh_data::Dataset;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    /// A corpus with both well-supported and contested objects.
+    fn fitted() -> (Dataset, ObservationIndex, TdhModel) {
+        let mut b = HierarchyBuilder::new();
+        for c in 0..4 {
+            for t in 0..4 {
+                b.add_path(&[&format!("C{c}"), &format!("C{c}R"), &format!("C{c}T{t}")]);
+            }
+        }
+        let mut ds = Dataset::new(b.build());
+        let srcs: Vec<_> = (0..6).map(|i| ds.intern_source(&format!("s{i}"))).collect();
+        for i in 0..30 {
+            let o = ds.intern_object(&format!("o{i}"));
+            let h = ds.hierarchy();
+            let truth = h.node_by_name(&format!("C{}T{}", i % 4, i % 4)).unwrap();
+            let wrong = h
+                .node_by_name(&format!("C{}T{}", (i + 1) % 4, i % 4))
+                .unwrap();
+            ds.set_gold(o, truth);
+            if i < 10 {
+                // Contested: 1 vs 1.
+                ds.add_record(o, srcs[0], truth);
+                ds.add_record(o, srcs[1], wrong);
+            } else {
+                // Well supported: 5 vs 1.
+                for s in &srcs[..5] {
+                    ds.add_record(o, *s, truth);
+                }
+                ds.add_record(o, srcs[5], wrong);
+            }
+        }
+        // Seed two workers with known behaviour.
+        let w_good = ds.intern_worker("good");
+        let w_bad = ds.intern_worker("bad");
+        for i in 10..25 {
+            let o = tdh_data::ObjectId(i);
+            let truth = ds.gold(o).unwrap();
+            ds.add_answer(o, w_good, truth);
+            let idx = ObservationIndex::build(&ds);
+            let wrong = idx.view(o).candidates.iter().copied().find(|&v| v != truth);
+            ds.add_answer(o, w_bad, wrong.unwrap());
+        }
+        let idx = ObservationIndex::build(&ds);
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.infer(&ds, &idx);
+        (ds, idx, model)
+    }
+
+    #[test]
+    fn lemma_4_1_bound_holds_everywhere() {
+        let (ds, idx, model) = fitted();
+        let n = idx.n_objects();
+        for o in ds.objects() {
+            let ub = ueai(&model, o, n);
+            for w in ds.workers() {
+                let score = eai(&model, &idx, o, w, n);
+                assert!(
+                    score <= ub + 1e-12,
+                    "EAI({w:?},{o:?}) = {score} exceeds UEAI = {ub}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contested_objects_score_higher() {
+        let (_, idx, model) = fitted();
+        let n = idx.n_objects();
+        let w = WorkerId(0);
+        // Contested object 0 (1v1, few claims) vs buried object 25 (5v1).
+        let contested = eai(&model, &idx, ObjectId(0), w, n);
+        let buried = eai(&model, &idx, ObjectId(25), w, n);
+        assert!(
+            contested > buried,
+            "contested {contested} should beat buried {buried}"
+        );
+    }
+
+    #[test]
+    fn assignment_respects_k_and_uniqueness() {
+        let (ds, idx, model) = fitted();
+        let workers: Vec<_> = ds.workers().collect();
+        let mut assigner = EaiAssigner::new();
+        let batches = assigner.assign(&model, &ds, &idx, &workers, 3);
+        assert_eq!(batches.len(), workers.len());
+        let mut seen = std::collections::HashSet::new();
+        for b in &batches {
+            assert!(b.objects.len() <= 3);
+            for &o in &b.objects {
+                assert!(seen.insert(o), "object {o:?} assigned twice");
+                assert!(!idx.has_answered(b.worker, o));
+            }
+        }
+        assert!(assigner.eai_evaluations > 0);
+    }
+
+    #[test]
+    fn reliable_workers_served_first() {
+        let (ds, idx, model) = fitted();
+        let workers: Vec<_> = ds.workers().collect();
+        // "good" answered truths, so ψ_{good,1} > ψ_{bad,1}.
+        assert!(
+            model.worker_exact_prob(WorkerId(0)) > model.worker_exact_prob(WorkerId(1))
+        );
+        let mut assigner = EaiAssigner::new();
+        let batches = assigner.assign(&model, &ds, &idx, &workers, 5);
+        // Batches come back in ψ order: first batch belongs to "good".
+        assert_eq!(batches[0].worker, WorkerId(0));
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_quality() {
+        let (ds, idx, model) = fitted();
+        let workers: Vec<_> = ds.workers().collect();
+        let mut assigner = EaiAssigner::new();
+        let pruned = assigner.assign(&model, &ds, &idx, &workers, 4);
+        let pruned_evals = assigner.eai_evaluations;
+        let (exhaustive, full_evals) =
+            assign_exhaustive(&model, &ds, &idx, &workers, 4);
+        let quality = |batches: &[Assignment]| -> f64 {
+            batches
+                .iter()
+                .flat_map(|b| {
+                    let idx = &idx;
+                    let model = &model;
+                    b.objects
+                        .iter()
+                        .map(move |&o| eai(model, idx, o, b.worker, idx.n_objects()))
+                })
+                .sum()
+        };
+        let (qp, qe) = (quality(&pruned), quality(&exhaustive));
+        assert!(
+            qp >= qe * 0.95 - 1e-12,
+            "pruned quality {qp} vs exhaustive {qe}"
+        );
+        assert!(
+            pruned_evals <= full_evals,
+            "pruning must not evaluate more: {pruned_evals} vs {full_evals}"
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (ds, idx, model) = fitted();
+        let mut assigner = EaiAssigner::new();
+        assert!(assigner.assign(&model, &ds, &idx, &[], 3).is_empty());
+        let batches = assigner.assign(&model, &ds, &idx, &[WorkerId(0)], 0);
+        assert!(batches[0].objects.is_empty());
+    }
+}

@@ -1,0 +1,456 @@
+//! The EM inference algorithm for the TDH model (§3.2 of the paper).
+//!
+//! Each iteration computes, in a single pass over records and answers, the
+//! E-step conditionals of Fig. 4 — the truth posteriors `f^v_{o,s}` /
+//! `f^v_{o,w}` and the relationship-type posteriors `g^t_{o,s}` / `g^t_{o,w}`
+//! — and folds them straight into the M-step accumulators of Eq. (9)–(11).
+//! The MAP objective `F` (Eq. 8) is tracked for convergence.
+
+use tdh_data::{Dataset, ObservationIndex};
+
+use crate::model::{prior_mean, TdhConfig, TdhModel};
+
+/// Diagnostics from one EM run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// Number of EM iterations performed.
+    pub iterations: usize,
+    /// Final value of the MAP objective `F` (up to additive constants).
+    pub objective: f64,
+    /// Whether the relative-improvement stopping rule fired before
+    /// `max_iters`.
+    pub converged: bool,
+    /// Objective value before each parameter update (one entry per
+    /// iteration). Non-decreasing up to floating-point noise — EM ascends
+    /// the MAP objective.
+    pub trace: Vec<f64>,
+}
+
+/// Clamp for logarithms of vanishing probabilities.
+const LOG_FLOOR: f64 = 1e-300;
+
+pub(crate) fn run_em(model: &mut TdhModel, ds: &Dataset, idx: &ObservationIndex) -> FitReport {
+    let cfg = *model.config();
+    initialize(model, ds, idx, &cfg);
+
+    let mut trace = Vec::new();
+    let mut converged = false;
+    let mut iterations = 0;
+    let mut prev_obj = f64::NEG_INFINITY;
+
+    for _ in 0..cfg.max_iters {
+        iterations += 1;
+        let obj = em_iteration(model, ds, idx, &cfg);
+        trace.push(obj);
+        if obj.is_finite() && prev_obj.is_finite() {
+            let rel = (obj - prev_obj).abs() / prev_obj.abs().max(1.0);
+            if rel < cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+        prev_obj = obj;
+    }
+
+    FitReport {
+        iterations,
+        objective: *trace.last().unwrap_or(&f64::NEG_INFINITY),
+        converged,
+        trace,
+    }
+}
+
+/// Initial parameters: priors' means for `φ`/`ψ`, claim-frequency smoothing
+/// for `μ` (a vote-shaped start converges in a handful of iterations and is
+/// deterministic).
+fn initialize(model: &mut TdhModel, ds: &Dataset, idx: &ObservationIndex, cfg: &TdhConfig) {
+    model.phi = vec![prior_mean(&cfg.alpha); ds.n_sources()];
+    let n_workers = ds.n_workers().max(idx.n_workers());
+    model.psi = vec![prior_mean(&cfg.beta); n_workers];
+    model.mu = idx
+        .views()
+        .iter()
+        .map(|view| {
+            let k = view.n_candidates();
+            if k == 0 {
+                return Vec::new();
+            }
+            let total: f64 = (0..k)
+                .map(|v| f64::from(view.source_count[v] + view.worker_count[v]) + 1.0)
+                .sum();
+            (0..k)
+                .map(|v| {
+                    (f64::from(view.source_count[v] + view.worker_count[v]) + 1.0) / total
+                })
+                .collect()
+        })
+        .collect();
+    model.n_ov = vec![Vec::new(); idx.n_objects()];
+    model.d_o = vec![0.0; idx.n_objects()];
+}
+
+/// One E+M pass. Returns the MAP objective evaluated at the *pre-update*
+/// parameters (the quantity EM is guaranteed not to decrease).
+fn em_iteration(
+    model: &mut TdhModel,
+    _ds: &Dataset,
+    idx: &ObservationIndex,
+    cfg: &TdhConfig,
+) -> f64 {
+    let n_obj = idx.n_objects();
+    let mut acc_mu: Vec<Vec<f64>> = model
+        .mu
+        .iter()
+        .map(|mu| vec![0.0; mu.len()])
+        .collect();
+    let mut acc_phi = vec![[0.0f64; 3]; model.phi.len()];
+    let mut acc_psi = vec![[0.0f64; 3]; model.psi.len()];
+    let mut log_lik = 0.0f64;
+
+    let mut posterior = Vec::new();
+    for oi in 0..n_obj {
+        let view = &idx.views()[oi];
+        let k = view.n_candidates();
+        if k == 0 {
+            continue;
+        }
+        let mu = &model.mu[oi];
+
+        // --- Records ---
+        for &(s, c) in &view.sources {
+            let phi = &model.phi[s.index()];
+            posterior.clear();
+            let mut z = 0.0;
+            for t in 0..k as u32 {
+                let p = TdhModel::source_likelihood_cfg(view, phi, c, t, cfg.ablation)
+                    * mu[t as usize];
+                posterior.push(p);
+                z += p;
+            }
+            if z <= 0.0 {
+                continue;
+            }
+            log_lik += z.max(LOG_FLOOR).ln();
+            for (t, p) in posterior.iter().enumerate() {
+                acc_mu[oi][t] += p / z;
+            }
+            // g^1: the claim was the exact truth.
+            let n1 = phi[0] * mu[c as usize];
+            // g^2: the claim was a generalization of the truth — the truth
+            // is then one of the claim's candidate descendants (Fig. 4).
+            let n2 = if view.in_oh && cfg.ablation.hierarchy_aware {
+                view.descendants[c as usize]
+                    .iter()
+                    .map(|&v| {
+                        phi[1] / view.ancestors[v as usize].len() as f64 * mu[v as usize]
+                    })
+                    .sum::<f64>()
+            } else {
+                phi[1] * mu[c as usize]
+            };
+            let g1 = n1 / z;
+            let g2 = n2 / z;
+            let g3 = ((z - n1 - n2) / z).max(0.0);
+            let a = &mut acc_phi[s.index()];
+            a[0] += g1;
+            a[1] += g2;
+            a[2] += g3;
+        }
+
+        // --- Answers ---
+        for &(w, c) in &view.workers {
+            let psi = model.psi[w.index()];
+            posterior.clear();
+            let mut z = 0.0;
+            for t in 0..k as u32 {
+                let p = TdhModel::worker_likelihood_cfg(view, &psi, c, t, cfg.ablation)
+                    * mu[t as usize];
+                posterior.push(p);
+                z += p;
+            }
+            if z <= 0.0 {
+                continue;
+            }
+            log_lik += z.max(LOG_FLOOR).ln();
+            for (t, p) in posterior.iter().enumerate() {
+                acc_mu[oi][t] += p / z;
+            }
+            let n1 = psi[0] * mu[c as usize];
+            let n2 = if view.in_oh && cfg.ablation.hierarchy_aware {
+                view.descendants[c as usize]
+                    .iter()
+                    .map(|&v| {
+                        TdhModel::worker_likelihood_cfg(view, &psi, c, v, cfg.ablation)
+                            * mu[v as usize]
+                    })
+                    .sum::<f64>()
+            } else {
+                psi[1] * mu[c as usize]
+            };
+            let g1 = n1 / z;
+            let g2 = n2 / z;
+            let g3 = ((z - n1 - n2) / z).max(0.0);
+            let a = &mut acc_psi[w.index()];
+            a[0] += g1;
+            a[1] += g2;
+            a[2] += g3;
+        }
+    }
+
+    // Log-priors (up to constants), completing Eq. (8).
+    let mut log_prior = 0.0;
+    for phi in &model.phi {
+        for t in 0..3 {
+            log_prior += (cfg.alpha[t] - 1.0) * phi[t].max(LOG_FLOOR).ln();
+        }
+    }
+    for psi in &model.psi {
+        for t in 0..3 {
+            log_prior += (cfg.beta[t] - 1.0) * psi[t].max(LOG_FLOOR).ln();
+        }
+    }
+    for mu in &model.mu {
+        for &m in mu {
+            log_prior += (cfg.gamma - 1.0) * m.max(LOG_FLOOR).ln();
+        }
+    }
+
+    // --- M-step: Eq. (9), (10), (11) ---
+    for oi in 0..n_obj {
+        let view = &idx.views()[oi];
+        let k = view.n_candidates();
+        if k == 0 {
+            continue;
+        }
+        let evidence = (view.sources.len() + view.workers.len()) as f64;
+        let d = evidence + k as f64 * (cfg.gamma - 1.0);
+        let n: Vec<f64> = (0..k).map(|v| acc_mu[oi][v] + cfg.gamma - 1.0).collect();
+        for v in 0..k {
+            model.mu[oi][v] = n[v] / d;
+        }
+        model.n_ov[oi] = n;
+        model.d_o[oi] = d;
+    }
+    let alpha_excess: f64 = cfg.alpha.iter().map(|a| a - 1.0).sum();
+    for (si, phi) in model.phi.iter_mut().enumerate() {
+        let n_os = idx.objects_of_source(tdh_data::SourceId::from_index(si)).len() as f64;
+        let denom = n_os + alpha_excess;
+        for t in 0..3 {
+            phi[t] = (acc_phi[si][t] + cfg.alpha[t] - 1.0) / denom;
+        }
+    }
+    let beta_excess: f64 = cfg.beta.iter().map(|b| b - 1.0).sum();
+    for (wi, psi) in model.psi.iter_mut().enumerate() {
+        let n_ow = if wi < idx.n_workers() {
+            idx.objects_of_worker(tdh_data::WorkerId::from_index(wi)).len() as f64
+        } else {
+            0.0
+        };
+        let denom = n_ow + beta_excess;
+        for t in 0..3 {
+            psi[t] = (acc_psi[wi][t] + cfg.beta[t] - 1.0) / denom;
+        }
+    }
+
+    log_lik + log_prior
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::TruthDiscovery;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    /// Two reliable sources, one generalizer, one adversary, over enough
+    /// objects for the reliabilities to be identifiable.
+    fn corpus() -> Dataset {
+        let mut b = HierarchyBuilder::new();
+        for c in 0..6 {
+            for r in 0..4 {
+                for city in 0..4 {
+                    b.add_path(&[
+                        &format!("C{c}"),
+                        &format!("C{c}R{r}"),
+                        &format!("C{c}R{r}T{city}"),
+                    ]);
+                }
+            }
+        }
+        let mut ds = Dataset::new(b.build());
+        let good1 = ds.intern_source("good1");
+        let good2 = ds.intern_source("good2");
+        let generalizer = ds.intern_source("generalizer");
+        let liar = ds.intern_source("liar");
+        for i in 0..40 {
+            let o = ds.intern_object(&format!("o{i}"));
+            let c = i % 6;
+            let r = i % 4;
+            let city = i % 4;
+            let h = ds.hierarchy();
+            let truth = h
+                .node_by_name(&format!("C{c}R{r}T{city}"))
+                .unwrap();
+            let region = h.node_by_name(&format!("C{c}R{r}")).unwrap();
+            let wrong = h
+                .node_by_name(&format!("C{}R{}T{}", (c + 1) % 6, r, city))
+                .unwrap();
+            ds.set_gold(o, truth);
+            ds.add_record(o, good1, truth);
+            ds.add_record(o, good2, truth);
+            ds.add_record(o, generalizer, region);
+            ds.add_record(o, liar, wrong);
+        }
+        ds
+    }
+
+    #[test]
+    fn em_recovers_truths_and_reliabilities() {
+        let ds = corpus();
+        let mut model = TdhModel::new(TdhConfig::default());
+        let est = model.fit(&ds);
+        // All truths recovered exactly: the two reliable sources outvote
+        // the generalizer + liar *because* the generalizer's claims support
+        // the truth hierarchically.
+        for o in ds.objects() {
+            assert_eq!(est.truths[o.index()], ds.gold(o), "object {o:?}");
+        }
+        // φ estimates reflect the construction.
+        let phi_good = model.phi(tdh_data::SourceId(0));
+        let phi_gen = model.phi(tdh_data::SourceId(2));
+        let phi_liar = model.phi(tdh_data::SourceId(3));
+        assert!(phi_good[0] > 0.8, "good source exact mass {phi_good:?}");
+        assert!(
+            phi_gen[1] > 0.6,
+            "generalizer should carry its mass on φ2: {phi_gen:?}"
+        );
+        assert!(phi_liar[2] > 0.6, "liar wrong mass {phi_liar:?}");
+    }
+
+    #[test]
+    fn objective_is_monotone_nondecreasing() {
+        let ds = corpus();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        let trace = &model.fit_report().unwrap().trace;
+        assert!(trace.len() >= 2);
+        for w in trace.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0),
+                "EM objective decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn confidences_are_distributions() {
+        let ds = corpus();
+        let mut model = TdhModel::new(TdhConfig::default());
+        let est = model.fit(&ds);
+        for mu in &est.confidences {
+            if mu.is_empty() {
+                continue;
+            }
+            let s: f64 = mu.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "μ sums to {s}");
+            assert!(mu.iter().all(|&x| x > 0.0), "γ=2 keeps μ interior");
+        }
+    }
+
+    #[test]
+    fn cached_statistics_reproduce_mu() {
+        let ds = corpus();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        for (oi, mu) in model.mu.iter().enumerate() {
+            for (v, &m) in mu.iter().enumerate() {
+                let recon = model.n_ov[oi][v] / model.d_o[oi];
+                assert!((m - recon).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn credible_workers_flip_a_contested_object() {
+        // Object 0 is contested 1 vs 1 between two sources; five workers
+        // first prove themselves on twenty anchor objects and then
+        // unanimously back one side of the contest.
+        let mut b = HierarchyBuilder::new();
+        for c in 0..5 {
+            for t in 0..5 {
+                b.add_path(&[&format!("C{c}"), &format!("C{c}R"), &format!("C{c}T{t}")]);
+            }
+        }
+        let mut ds = Dataset::new(b.build());
+        let s1 = ds.intern_source("s1");
+        let s2 = ds.intern_source("s2");
+        let mut node = |ds: &Dataset, c: usize, t: usize| {
+            ds.hierarchy().node_by_name(&format!("C{c}T{t}")).unwrap()
+        };
+        // Contested object.
+        let o0 = ds.intern_object("contested");
+        let side_a = node(&ds, 0, 0);
+        let side_b = node(&ds, 1, 1);
+        ds.set_gold(o0, side_b);
+        ds.add_record(o0, s1, side_a);
+        ds.add_record(o0, s2, side_b);
+        // Anchor objects: both sources agree (keeps them credible too).
+        let mut anchors = Vec::new();
+        for i in 0..20 {
+            let o = ds.intern_object(&format!("anchor{i}"));
+            let t = node(&ds, 2 + i % 3, i % 5);
+            ds.set_gold(o, t);
+            ds.add_record(o, s1, t);
+            ds.add_record(o, s2, t);
+            anchors.push((o, t));
+        }
+        // Five workers answer all anchors correctly, then back side B.
+        for wi in 0..5 {
+            let w = ds.intern_worker(&format!("w{wi}"));
+            for &(o, t) in &anchors {
+                ds.add_answer(o, w, t);
+            }
+            ds.add_answer(o0, w, side_b);
+        }
+        let mut model = TdhModel::new(TdhConfig::default());
+        let est = model.fit(&ds);
+        assert_eq!(
+            est.truths[o0.index()],
+            Some(side_b),
+            "five credible unanimous workers must break the 1v1 tie"
+        );
+        // The anchors are non-hierarchical objects, where Eq. (4) cannot
+        // separate "exact" from "generalized" — so assert on the combined
+        // correct mass ψ1 + ψ2 and on wrongness being low.
+        let psi = model.psi(tdh_data::WorkerId(0));
+        assert!(
+            psi[0] + psi[1] > 0.8,
+            "anchored worker correct mass = {}",
+            psi[0] + psi[1]
+        );
+        assert!(psi[2] < 0.2, "anchored worker ψ3 = {}", psi[2]);
+    }
+
+    #[test]
+    fn report_reflects_convergence() {
+        let ds = corpus();
+        let mut model = TdhModel::new(TdhConfig {
+            max_iters: 200,
+            ..Default::default()
+        });
+        model.fit(&ds);
+        let rep = model.fit_report().unwrap();
+        assert!(rep.converged, "should converge well before 200 iters");
+        assert!(rep.iterations < 200);
+        assert_eq!(rep.trace.len(), rep.iterations);
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let ds = Dataset::new(HierarchyBuilder::new().build());
+        let mut model = TdhModel::new(TdhConfig::default());
+        let est = model.fit(&ds);
+        assert!(est.truths.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! The TDH algorithm — *Truth Discovery in the presence of Hierarchies* —
+//! and its crowdsourcing companion, the EAI task assigner.
+//!
+//! This crate implements the primary contribution of Jung, Kim & Shim
+//! (EDBT 2019):
+//!
+//! * [`TdhModel`] — the probabilistic model of §3 (Fig. 3): every source `s`
+//!   and worker `w` carries a *three-way* trustworthiness distribution over
+//!   {exactly correct, hierarchically correct, incorrect}, and every object
+//!   a confidence distribution `μ_o` over its candidate values. Inference is
+//!   MAP estimation via EM (Fig. 4 E-step, Eq. 9–11 M-step).
+//! * [`TdhModel::posterior_given_answer`] — the incremental EM of §4.2
+//!   (Eq. 16–18): the conditional confidence after one hypothetical answer,
+//!   computed from the cached M-step numerators `N_{o,v}` and denominators
+//!   `D_o` in O(|V_o|) instead of a full EM rerun.
+//! * [`EaiAssigner`] — the task assigner of §4: the *Expected Accuracy
+//!   Increase* quality measure (Eq. 14–15), the `UEAI` upper bound
+//!   (Lemma 4.1) and the heap-based Algorithm 1 that assigns the top-`k`
+//!   objects to each worker with pruning.
+//! * [`numeric`] — the §3.2 extension: TDH over the implicit
+//!   significant-figure hierarchy of numeric claims.
+//!
+//! The crate also defines the abstractions the rest of the workspace plugs
+//! into: [`TruthDiscovery`] (any inference algorithm),
+//! [`ProbabilisticCrowdModel`] (inference algorithms that expose the
+//! confidence/worker machinery task assignment needs) and [`TaskAssigner`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod assign;
+mod em;
+mod model;
+pub mod numeric;
+mod traits;
+
+pub use assign::{assign_exhaustive, eai, ueai, EaiAssigner};
+pub use em::FitReport;
+pub use model::{AblationFlags, TdhConfig, TdhModel};
+pub use traits::{
+    Assignment, ProbabilisticCrowdModel, TaskAssigner, TruthDiscovery, TruthEstimate,
+};

@@ -1,0 +1,472 @@
+//! The TDH probabilistic model: state, likelihoods and configuration.
+//!
+//! Notation follows §3 of the paper. For an object `o` with candidate set
+//! `V_o`, truth `v*_o` and a claimed value `v`, the model distinguishes three
+//! relationships: `v = v*_o` (exact), `v ∈ G_o(v*_o)` (a generalization of
+//! the truth) and anything else (wrong). Sources draw their claims according
+//! to a per-source distribution `φ_s` over the three cases (Eq. 1/2);
+//! workers according to `ψ_w`, with the *popularity* of already-claimed
+//! values shaping the generalized/wrong choices (Eq. 3/4) to capture the
+//! source→worker dependency of widespread misinformation.
+
+use tdh_data::{Dataset, ObjectId, ObjectView, ObservationIndex, WorkerId};
+
+use crate::em;
+use crate::traits::{
+    argmax, ProbabilisticCrowdModel, TruthDiscovery, TruthEstimate,
+};
+
+/// Ablation switches for the TDH model, used by the `ablation` experiment
+/// to quantify what each design choice contributes. Both default to the
+/// paper's full model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AblationFlags {
+    /// When `false`, the hierarchy is ignored: every object is treated as if
+    /// it had no ancestor-descendant candidate pairs (Eq. 2/4 everywhere),
+    /// reducing TDH to a classic two-interpretation model.
+    pub hierarchy_aware: bool,
+    /// When `false`, the worker model's popularity terms `Pop2`/`Pop3`
+    /// (Eq. 3) are replaced by uniform distributions, removing the
+    /// source → worker misinformation dependency.
+    pub worker_popularity: bool,
+}
+
+impl Default for AblationFlags {
+    fn default() -> Self {
+        AblationFlags {
+            hierarchy_aware: true,
+            worker_popularity: true,
+        }
+    }
+}
+
+/// Hyperparameters and stopping rule for [`TdhModel`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TdhConfig {
+    /// Dirichlet prior over source trustworthiness `φ_s`. Paper default:
+    /// `(3, 3, 2)` — "correct values are more frequent than wrong values for
+    /// most of the sources".
+    pub alpha: [f64; 3],
+    /// Dirichlet prior over worker trustworthiness `ψ_w`. Paper default:
+    /// `(2, 2, 2)`.
+    pub beta: [f64; 3],
+    /// Symmetric Dirichlet prior over object confidences `μ_o`. Paper
+    /// default: 2 in every dimension.
+    pub gamma: f64,
+    /// Maximum number of EM iterations.
+    pub max_iters: usize,
+    /// Stop when the relative improvement of the MAP objective falls below
+    /// this threshold.
+    pub tol: f64,
+    /// Ablation switches (both on = the published model).
+    pub ablation: AblationFlags,
+}
+
+impl Default for TdhConfig {
+    fn default() -> Self {
+        TdhConfig {
+            alpha: [3.0, 3.0, 2.0],
+            beta: [2.0, 2.0, 2.0],
+            gamma: 2.0,
+            max_iters: 100,
+            tol: 1e-6,
+            ablation: AblationFlags::default(),
+        }
+    }
+}
+
+/// The fitted TDH model.
+///
+/// Holds the MAP estimates of all model parameters after
+/// [`TdhModel::fit`] / [`TruthDiscovery::infer`]:
+/// `φ_s` per source, `ψ_w` per worker and `μ_o` per object, plus the cached
+/// M-step numerators `N_{o,v}` and denominators `D_o` the incremental EM
+/// (§4.2) and the `UEAI` bound (Lemma 4.1) are built from.
+#[derive(Debug, Clone)]
+pub struct TdhModel {
+    cfg: TdhConfig,
+    /// `φ_s = (exact, generalized, wrong)` per source.
+    pub(crate) phi: Vec<[f64; 3]>,
+    /// `ψ_w = (exact, generalized, wrong)` per worker.
+    pub(crate) psi: Vec<[f64; 3]>,
+    /// `μ_o` per object, aligned with the candidate order of the fitted
+    /// index.
+    pub(crate) mu: Vec<Vec<f64>>,
+    /// Cached Eq. 9 numerators `N_{o,v}`.
+    pub(crate) n_ov: Vec<Vec<f64>>,
+    /// Cached Eq. 9 denominators `D_o`.
+    pub(crate) d_o: Vec<f64>,
+    /// Fit diagnostics of the last run.
+    pub(crate) last_fit: Option<em::FitReport>,
+}
+
+impl TdhModel {
+    /// An unfitted model with the given configuration.
+    pub fn new(cfg: TdhConfig) -> Self {
+        TdhModel {
+            cfg,
+            phi: Vec::new(),
+            psi: Vec::new(),
+            mu: Vec::new(),
+            n_ov: Vec::new(),
+            d_o: Vec::new(),
+            last_fit: None,
+        }
+    }
+
+    /// The configuration this model runs with.
+    pub fn config(&self) -> &TdhConfig {
+        &self.cfg
+    }
+
+    /// Convenience: build the observation index, fit, and return the
+    /// estimate.
+    pub fn fit(&mut self, ds: &Dataset) -> TruthEstimate {
+        let idx = ObservationIndex::build(ds);
+        self.infer(ds, &idx)
+    }
+
+    /// `φ_s` for source `s` (after fitting).
+    pub fn phi(&self, s: tdh_data::SourceId) -> [f64; 3] {
+        self.phi[s.index()]
+    }
+
+    /// `ψ_w` for worker `w` (after fitting); the prior mean for workers the
+    /// model has not seen answers from.
+    pub fn psi(&self, w: WorkerId) -> [f64; 3] {
+        self.psi
+            .get(w.index())
+            .copied()
+            .unwrap_or_else(|| prior_mean(&self.cfg.beta))
+    }
+
+    /// Fit diagnostics of the last [`TdhModel::fit`] run.
+    pub fn fit_report(&self) -> Option<&em::FitReport> {
+        self.last_fit.as_ref()
+    }
+
+    /// `P(v_o^s = c | v*_o = t, φ_s)` — Eq. (1) for objects in `O_H`,
+    /// Eq. (2) otherwise. `c` and `t` are candidate indices into `view`.
+    pub(crate) fn source_likelihood_cfg(
+        view: &ObjectView,
+        phi: &[f64; 3],
+        c: u32,
+        t: u32,
+        flags: AblationFlags,
+    ) -> f64 {
+        let k = view.n_candidates();
+        if view.in_oh && flags.hierarchy_aware {
+            if c == t {
+                phi[0]
+            } else if view.ancestors[t as usize].contains(&c) {
+                phi[1] / view.ancestors[t as usize].len() as f64
+            } else {
+                // `c` is wrong for truth `t`; the wrong set is non-empty
+                // because `c` belongs to it.
+                phi[2] / view.n_wrong(t) as f64
+            }
+        } else if c == t {
+            phi[0] + phi[1]
+        } else {
+            phi[2] / (k - 1) as f64
+        }
+    }
+
+    /// [`TdhModel::source_likelihood_cfg`] with the full (published) model.
+    #[cfg(test)]
+    pub(crate) fn source_likelihood(view: &ObjectView, phi: &[f64; 3], c: u32, t: u32) -> f64 {
+        Self::source_likelihood_cfg(view, phi, c, t, AblationFlags::default())
+    }
+
+    /// `P(v_o^w = c | v*_o = t, ψ_w)` — Eq. (3) for objects in `O_H`,
+    /// Eq. (4) otherwise.
+    pub(crate) fn worker_likelihood_cfg(
+        view: &ObjectView,
+        psi: &[f64; 3],
+        c: u32,
+        t: u32,
+        flags: AblationFlags,
+    ) -> f64 {
+        if view.in_oh && flags.hierarchy_aware {
+            if c == t {
+                psi[0]
+            } else if view.ancestors[t as usize].contains(&c) {
+                let pop = if flags.worker_popularity {
+                    view.pop2(t, c)
+                } else {
+                    1.0 / view.ancestors[t as usize].len() as f64
+                };
+                psi[1] * pop
+            } else {
+                let pop = if flags.worker_popularity {
+                    view.pop3(t, c)
+                } else {
+                    1.0 / view.n_wrong(t).max(1) as f64
+                };
+                psi[2] * pop
+            }
+        } else if c == t {
+            psi[0] + psi[1]
+        } else {
+            let pop = if !flags.worker_popularity {
+                1.0 / (view.n_candidates() - 1).max(1) as f64
+            } else if view.in_oh {
+                // Hierarchy-unaware ablation on a hierarchical object:
+                // popularity among all non-truth claims (no Go carve-out).
+                let total: u32 = view.source_count.iter().sum();
+                let denom = total - view.source_count[t as usize];
+                if denom == 0 {
+                    1.0 / (view.n_candidates() - 1).max(1) as f64
+                } else {
+                    f64::from(view.source_count[c as usize]) / f64::from(denom)
+                }
+            } else {
+                view.pop3(t, c)
+            };
+            psi[2] * pop
+        }
+    }
+
+    /// [`TdhModel::worker_likelihood_cfg`] with the full (published) model.
+    #[cfg(test)]
+    pub(crate) fn worker_likelihood(view: &ObjectView, psi: &[f64; 3], c: u32, t: u32) -> f64 {
+        Self::worker_likelihood_cfg(view, psi, c, t, AblationFlags::default())
+    }
+
+    /// Eq. (16)–(18): the conditional confidence `μ_{o,·|v_o^w = c}` via one
+    /// incremental EM step over the cached `N_{o,v}` / `D_o`.
+    pub(crate) fn incremental_posterior(
+        &self,
+        idx: &ObservationIndex,
+        o: ObjectId,
+        w: WorkerId,
+        c: u32,
+    ) -> Vec<f64> {
+        let view = idx.view(o);
+        let mu = &self.mu[o.index()];
+        let psi = self.psi(w);
+        // Eq. (16): f^v_{o,w|v'} — posterior over truths given the one new
+        // answer under current parameters.
+        let mut f: Vec<f64> = (0..view.n_candidates())
+            .map(|t| {
+                Self::worker_likelihood_cfg(view, &psi, c, t as u32, self.cfg.ablation) * mu[t]
+            })
+            .collect();
+        let z: f64 = f.iter().sum();
+        if z > 0.0 {
+            for x in &mut f {
+                *x /= z;
+            }
+        } else {
+            // Degenerate likelihood: fall back to the prior confidence.
+            f.copy_from_slice(mu);
+        }
+        // Eq. (17)/(18): fold the new fractional count into the cached
+        // M-step statistics.
+        let n = &self.n_ov[o.index()];
+        let d = self.d_o[o.index()];
+        (0..view.n_candidates())
+            .map(|v| (n[v] + f[v]) / (d + 1.0))
+            .collect()
+    }
+}
+
+/// Mean of a Dirichlet prior.
+pub(crate) fn prior_mean(alpha: &[f64; 3]) -> [f64; 3] {
+    let s: f64 = alpha.iter().sum();
+    [alpha[0] / s, alpha[1] / s, alpha[2] / s]
+}
+
+impl TruthDiscovery for TdhModel {
+    fn name(&self) -> &'static str {
+        "TDH"
+    }
+
+    fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> TruthEstimate {
+        let report = em::run_em(self, ds, idx);
+        self.last_fit = Some(report);
+        let truths = self
+            .mu
+            .iter()
+            .enumerate()
+            .map(|(o, mu)| argmax(mu).map(|i| idx.view(ObjectId::from_index(o)).candidates[i]))
+            .collect();
+        TruthEstimate {
+            truths,
+            confidences: self.mu.clone(),
+        }
+    }
+}
+
+impl ProbabilisticCrowdModel for TdhModel {
+    fn confidence(&self, o: ObjectId) -> &[f64] {
+        &self.mu[o.index()]
+    }
+
+    fn worker_exact_prob(&self, w: WorkerId) -> f64 {
+        self.psi(w)[0]
+    }
+
+    fn answer_likelihood(
+        &self,
+        idx: &ObservationIndex,
+        o: ObjectId,
+        w: WorkerId,
+        c: u32,
+    ) -> f64 {
+        let view = idx.view(o);
+        let psi = self.psi(w);
+        let mu = &self.mu[o.index()];
+        (0..view.n_candidates())
+            .map(|t| {
+                Self::worker_likelihood_cfg(view, &psi, c, t as u32, self.cfg.ablation) * mu[t]
+            })
+            .sum()
+    }
+
+    fn posterior_given_answer(
+        &self,
+        idx: &ObservationIndex,
+        o: ObjectId,
+        w: WorkerId,
+        c: u32,
+    ) -> Vec<f64> {
+        self.incremental_posterior(idx, o, w, c)
+    }
+
+    fn evidence_weight(&self, o: ObjectId) -> f64 {
+        self.d_o[o.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    /// Statue-of-Liberty fixture: candidates {NY, Liberty Island, LA} with
+    /// NY an ancestor of Liberty Island.
+    fn fixture() -> (Dataset, ObservationIndex, ObjectId) {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        let mut ds = Dataset::new(b.build());
+        let o = ds.intern_object("sol");
+        let s1 = ds.intern_source("s1");
+        let s2 = ds.intern_source("s2");
+        let s3 = ds.intern_source("s3");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        let la = ds.hierarchy().node_by_name("LA").unwrap();
+        ds.add_record(o, s1, ny);
+        ds.add_record(o, s2, li);
+        ds.add_record(o, s3, la);
+        let idx = ObservationIndex::build(&ds);
+        (ds, idx, o)
+    }
+
+    #[test]
+    fn source_likelihood_sums_to_one_over_claims() {
+        let (_, idx, o) = fixture();
+        let view = idx.view(o);
+        let phi = [0.6, 0.3, 0.1];
+        for t in 0..view.n_candidates() as u32 {
+            let total: f64 = (0..view.n_candidates() as u32)
+                .map(|c| TdhModel::source_likelihood(view, &phi, c, t))
+                .sum();
+            // Truths with no candidate ancestors leak the φ2 mass (the
+            // paper's Eq. 1 does not renormalise it), so the total is either
+            // 1 or 1 − φ2.
+            let expected = if view.ancestors[t as usize].is_empty() {
+                1.0 - phi[1]
+            } else {
+                1.0
+            };
+            assert!(
+                (total - expected).abs() < 1e-12,
+                "t={t}: claim-likelihood total {total}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_likelihood_sums_to_one_over_claims() {
+        let (_, idx, o) = fixture();
+        let view = idx.view(o);
+        let psi = [0.5, 0.2, 0.3];
+        for t in 0..view.n_candidates() as u32 {
+            let total: f64 = (0..view.n_candidates() as u32)
+                .map(|c| TdhModel::worker_likelihood(view, &psi, c, t))
+                .sum();
+            let expected = if view.ancestors[t as usize].is_empty() {
+                1.0 - psi[1]
+            } else {
+                1.0
+            };
+            assert!(
+                (total - expected).abs() < 1e-12,
+                "t={t}: total {total}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn generalized_claim_splits_phi2_uniformly() {
+        let (ds, idx, o) = fixture();
+        let view = idx.view(o);
+        let phi = [0.6, 0.3, 0.1];
+        let ny = view
+            .cand_index(ds.hierarchy().node_by_name("NY").unwrap())
+            .unwrap();
+        let li = view
+            .cand_index(ds.hierarchy().node_by_name("Liberty Island").unwrap())
+            .unwrap();
+        // Claim NY when truth is Liberty Island: |Go(LI)| = 1.
+        assert_eq!(TdhModel::source_likelihood(view, &phi, ny, li), 0.3);
+        // Exact claim.
+        assert_eq!(TdhModel::source_likelihood(view, &phi, li, li), 0.6);
+        // Wrong claim (LA for truth LI): one wrong candidate.
+        let la = view
+            .cand_index(ds.hierarchy().node_by_name("LA").unwrap())
+            .unwrap();
+        assert_eq!(TdhModel::source_likelihood(view, &phi, la, li), 0.1);
+        // Descendant claim counts as wrong: claiming LI when truth is NY,
+        // with two wrong candidates {LI, LA}.
+        assert_eq!(TdhModel::source_likelihood(view, &phi, li, ny), 0.05);
+    }
+
+    #[test]
+    fn non_oh_objects_merge_exact_and_generalized() {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["UK", "London"]);
+        b.add_path(&["UK", "Manchester"]);
+        let mut ds = Dataset::new(b.build());
+        let o = ds.intern_object("big-ben");
+        let s1 = ds.intern_source("s1");
+        let s2 = ds.intern_source("s2");
+        let lon = ds.hierarchy().node_by_name("London").unwrap();
+        let man = ds.hierarchy().node_by_name("Manchester").unwrap();
+        ds.add_record(o, s1, lon);
+        ds.add_record(o, s2, man);
+        let idx = ObservationIndex::build(&ds);
+        let view = idx.view(o);
+        assert!(!view.in_oh);
+        let phi = [0.6, 0.3, 0.1];
+        let c_lon = view.cand_index(lon).unwrap();
+        let c_man = view.cand_index(man).unwrap();
+        // Eq. (2): exact = φ1 + φ2, wrong = φ3 / (|Vo| − 1).
+        assert!(
+            (TdhModel::source_likelihood(view, &phi, c_lon, c_lon) - 0.9).abs() < 1e-12
+        );
+        assert!(
+            (TdhModel::source_likelihood(view, &phi, c_man, c_lon) - 0.1).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn prior_mean_normalises() {
+        let m = prior_mean(&[3.0, 3.0, 2.0]);
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((m[0] - 0.375).abs() < 1e-12);
+    }
+}

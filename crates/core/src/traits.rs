@@ -1,0 +1,145 @@
+//! Workspace-wide abstractions: inference algorithms, crowd models and task
+//! assigners.
+
+use tdh_data::{Dataset, ObjectId, ObservationIndex, WorkerId};
+use tdh_hierarchy::NodeId;
+
+/// The output of a truth-inference run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthEstimate {
+    /// Estimated truth per object (`None` for objects without candidates).
+    pub truths: Vec<Option<NodeId>>,
+    /// Per-object confidence distribution over the object's candidate
+    /// values, aligned with `ObjectView::candidates`. Algorithms without a
+    /// probabilistic interpretation still emit a normalised score vector so
+    /// that uncertainty-based task assignment (ME) can consume any of them.
+    pub confidences: Vec<Vec<f64>>,
+}
+
+impl TruthEstimate {
+    /// The estimate with the highest confidence per object, derived from
+    /// `confidences`.
+    pub fn from_confidences(idx: &ObservationIndex, confidences: Vec<Vec<f64>>) -> Self {
+        let truths = confidences
+            .iter()
+            .enumerate()
+            .map(|(o, mu)| {
+                argmax(mu).map(|i| idx.view(ObjectId::from_index(o)).candidates[i])
+            })
+            .collect();
+        TruthEstimate {
+            truths,
+            confidences,
+        }
+    }
+}
+
+/// Index of the maximum element (first on ties); `None` for empty slices.
+pub(crate) fn argmax(xs: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if best.map_or(true, |(_, b)| x > b) {
+            best = Some((i, x));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// A truth-inference algorithm: fits itself to the records and answers and
+/// produces a [`TruthEstimate`].
+///
+/// Implementations are re-run from scratch (or warm-started, at their
+/// discretion) each crowdsourcing round — the paper's loop alternates full
+/// inference with task assignment.
+pub trait TruthDiscovery {
+    /// Short algorithm name as used in the paper's tables ("TDH", "VOTE", …).
+    fn name(&self) -> &'static str;
+
+    /// Run inference over the dataset as indexed by `idx`.
+    fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> TruthEstimate;
+}
+
+/// A fitted probabilistic model that can answer the questions task
+/// assignment asks: current confidences, worker quality, the likelihood of
+/// a hypothetical answer, and the posterior confidence after it.
+///
+/// [`crate::TdhModel`] answers the posterior question with the paper's
+/// incremental EM; baseline models answer with a single Bayes update (which
+/// is exactly what QASCA does).
+pub trait ProbabilisticCrowdModel: TruthDiscovery {
+    /// Current confidence distribution `μ_o` (aligned with the candidate
+    /// order of the index the model was last fitted with).
+    fn confidence(&self, o: ObjectId) -> &[f64];
+
+    /// The probability that worker `w` answers the exact truth (TDH's
+    /// `ψ_{w,1}`); used to prioritise reliable workers in Algorithm 1.
+    fn worker_exact_prob(&self, w: WorkerId) -> f64;
+
+    /// `P(v_o^w = c | ψ_w, μ_o)` — the marginal likelihood that worker `w`
+    /// would answer candidate `c` for object `o` (Eq. 6).
+    fn answer_likelihood(
+        &self,
+        idx: &ObservationIndex,
+        o: ObjectId,
+        w: WorkerId,
+        c: u32,
+    ) -> f64;
+
+    /// The conditional confidence `μ_{o,·|v_o^w = c}` after a hypothetical
+    /// answer `c` from worker `w`.
+    fn posterior_given_answer(
+        &self,
+        idx: &ObservationIndex,
+        o: ObjectId,
+        w: WorkerId,
+        c: u32,
+    ) -> Vec<f64>;
+
+    /// The evidence mass `D_o` behind `μ_o` (the paper's M-step denominator:
+    /// `|S_o| + |W_o| + Σ(γ−1)`). Drives the `1/(D_o+1)` damping in the
+    /// `UEAI` bound — objects buried in evidence are barely moved by one
+    /// more answer.
+    fn evidence_weight(&self, o: ObjectId) -> f64;
+}
+
+/// One worker's batch of assigned objects for the next round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// The worker the batch goes to.
+    pub worker: WorkerId,
+    /// Objects to ask about, most valuable first.
+    pub objects: Vec<ObjectId>,
+}
+
+/// A task-assignment policy: selects the top-`k` objects for each available
+/// worker.
+pub trait TaskAssigner {
+    /// Short name as used in the paper ("EAI", "QASCA", "ME", "MB").
+    fn name(&self) -> &'static str;
+
+    /// Choose up to `k` objects per worker. Implementations must not assign
+    /// an object to a worker who already answered it.
+    fn assign(
+        &mut self,
+        model: &dyn ProbabilisticCrowdModel,
+        ds: &Dataset,
+        idx: &ObservationIndex,
+        workers: &[WorkerId],
+        k: usize,
+    ) -> Vec<Assignment>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_behaviour() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0]), Some(0));
+        assert_eq!(argmax(&[0.1, 0.7, 0.2]), Some(1));
+        // Ties break to the first index.
+        assert_eq!(argmax(&[0.5, 0.5]), Some(0));
+        assert_eq!(argmax(&[f64::NEG_INFINITY, 0.0]), Some(1));
+    }
+}

@@ -1,0 +1,122 @@
+//! Upgrading a plain inference algorithm into a crowd model.
+
+use tdh_baselines::common::{bayes_posterior, WorkerAccuracy};
+use tdh_core::{ProbabilisticCrowdModel, TruthDiscovery, TruthEstimate};
+use tdh_data::{Dataset, ObjectId, ObservationIndex, WorkerId};
+
+/// Wraps any [`TruthDiscovery`] algorithm into a [`ProbabilisticCrowdModel`]
+/// by pairing its confidence output with a symmetric-error worker model
+/// (per-worker accuracy estimated from agreement with the current truths).
+///
+/// This is what lets VOTE, CRH, ASUMS, MDC, LFC and LTM participate in the
+/// crowdsourcing loop (always with the ME assigner, as in Table 4): the
+/// assigners only consume the [`ProbabilisticCrowdModel`] surface.
+#[derive(Debug, Clone)]
+pub struct UniformAdapter<T> {
+    inner: T,
+    confidences: Vec<Vec<f64>>,
+    workers: WorkerAccuracy,
+}
+
+impl<T: TruthDiscovery> UniformAdapter<T> {
+    /// Wrap an algorithm.
+    pub fn new(inner: T) -> Self {
+        UniformAdapter {
+            inner,
+            confidences: Vec::new(),
+            workers: WorkerAccuracy::default(),
+        }
+    }
+
+    /// The wrapped algorithm.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: TruthDiscovery> TruthDiscovery for UniformAdapter<T> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> TruthEstimate {
+        let est = self.inner.infer(ds, idx);
+        self.confidences = est.confidences.clone();
+        self.workers = WorkerAccuracy::estimate(idx, &est.truths);
+        est
+    }
+}
+
+impl<T: TruthDiscovery> ProbabilisticCrowdModel for UniformAdapter<T> {
+    fn confidence(&self, o: ObjectId) -> &[f64] {
+        &self.confidences[o.index()]
+    }
+
+    fn worker_exact_prob(&self, w: WorkerId) -> f64 {
+        self.workers.accuracy(w)
+    }
+
+    fn answer_likelihood(
+        &self,
+        idx: &ObservationIndex,
+        o: ObjectId,
+        w: WorkerId,
+        c: u32,
+    ) -> f64 {
+        let k = idx.view(o).n_candidates();
+        let mu = &self.confidences[o.index()];
+        (0..k as u32)
+            .map(|t| self.workers.likelihood(w, k, c, t) * mu[t as usize])
+            .sum()
+    }
+
+    fn posterior_given_answer(
+        &self,
+        _idx: &ObservationIndex,
+        o: ObjectId,
+        w: WorkerId,
+        c: u32,
+    ) -> Vec<f64> {
+        bayes_posterior(&self.confidences[o.index()], &self.workers, w, c)
+    }
+
+    fn evidence_weight(&self, o: ObjectId) -> f64 {
+        self.confidences[o.index()].len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_baselines::Vote;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    #[test]
+    fn adapter_exposes_vote_confidences() {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["X", "A"]);
+        b.add_path(&["X", "B"]);
+        let mut ds = Dataset::new(b.build());
+        let o = ds.intern_object("o");
+        let a = ds.hierarchy().node_by_name("A").unwrap();
+        let bb = ds.hierarchy().node_by_name("B").unwrap();
+        let s1 = ds.intern_source("s1");
+        let s2 = ds.intern_source("s2");
+        let s3 = ds.intern_source("s3");
+        ds.add_record(o, s1, a);
+        ds.add_record(o, s2, a);
+        ds.add_record(o, s3, bb);
+        let idx = ObservationIndex::build(&ds);
+        let mut m = UniformAdapter::new(Vote);
+        let est = m.infer(&ds, &idx);
+        assert_eq!(est.truths[0], Some(a));
+        let ai = idx.view(o).cand_index(a).unwrap() as usize;
+        assert!((m.confidence(o)[ai] - 2.0 / 3.0).abs() < 1e-12);
+        // Surfaces behave like distributions.
+        let w = WorkerId(0);
+        let total: f64 = (0..2).map(|c| m.answer_likelihood(&idx, o, w, c)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let post = m.posterior_given_answer(&idx, o, w, ai as u32);
+        assert!(post[ai] > m.confidence(o)[ai]);
+    }
+}

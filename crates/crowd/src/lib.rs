@@ -1,0 +1,29 @@
+//! The crowdsourced truth-discovery loop (paper Fig. 2) and the simulated
+//! worker pools behind §5.4–§5.6.
+//!
+//! The engine alternates *truth inference* and *task assignment* until the
+//! crowdsourcing budget (a round count) runs out:
+//!
+//! 1. fit the inference model on all records + answers collected so far;
+//! 2. ask the task assigner for the top-`k` objects per available worker;
+//! 3. collect one simulated answer per assigned `(worker, object)` pair;
+//! 4. append the answers and go to 1.
+//!
+//! [`run_simulation`] drives any [`ProbabilisticCrowdModel`] with any
+//! [`TaskAssigner`]; [`UniformAdapter`] upgrades a plain [`TruthDiscovery`]
+//! algorithm (VOTE, CRH, …) into a crowd model with a symmetric-error worker
+//! assumption so that every inference × assignment combination of Table 4
+//! runs through one code path.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adapter;
+mod sim;
+pub mod workers;
+
+pub use adapter::UniformAdapter;
+pub use sim::{run_simulation, RoundMetrics, SimulationConfig, SimulationResult};
+pub use workers::{WorkerPool, WorkerProfile};
+
+pub use tdh_core::{ProbabilisticCrowdModel, TaskAssigner, TruthDiscovery};

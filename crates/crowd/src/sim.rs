@@ -1,0 +1,289 @@
+//! The round-based crowdsourcing simulation engine.
+
+use std::time::{Duration, Instant};
+
+use tdh_core::{eai, Assignment, ProbabilisticCrowdModel, TaskAssigner};
+use tdh_data::{Dataset, ObservationIndex};
+use tdh_eval::{single_truth_report_with_index, SingleTruthReport};
+
+use crate::workers::WorkerPool;
+
+/// Parameters of a simulated crowdsourcing campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationConfig {
+    /// Number of rounds (the paper runs 50 for simulation, 20 for humans).
+    pub rounds: usize,
+    /// Questions per worker per round (paper: 5).
+    pub tasks_per_worker: usize,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig {
+            rounds: 50,
+            tasks_per_worker: 5,
+        }
+    }
+}
+
+/// Quality and cost measurements for one round.
+#[derive(Debug, Clone)]
+pub struct RoundMetrics {
+    /// Round number (0 = before any crowdsourcing).
+    pub round: usize,
+    /// Quality of the inferred truths at the *start* of the round (i.e.
+    /// after incorporating all answers from earlier rounds).
+    pub report: SingleTruthReport,
+    /// Wall-clock time of the inference step.
+    pub infer_time: Duration,
+    /// Wall-clock time of the assignment step.
+    pub assign_time: Duration,
+    /// Number of answers collected in this round.
+    pub answers_collected: usize,
+    /// The assigner's own estimate of the accuracy improvement its batch
+    /// will deliver (Fig. 7's "ESTIMATED" series); `None` when the assigner
+    /// has no such estimate (ME, MB).
+    pub estimated_improvement: Option<f64>,
+}
+
+/// The outcome of a full simulation.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// Inference algorithm name.
+    pub model: &'static str,
+    /// Assigner name.
+    pub assigner: &'static str,
+    /// One entry per round, plus a final entry for the post-campaign state.
+    pub rounds: Vec<RoundMetrics>,
+}
+
+impl SimulationResult {
+    /// The accuracy trajectory (round → Accuracy).
+    pub fn accuracy_series(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.report.accuracy).collect()
+    }
+
+    /// Accuracy after the final round.
+    pub fn final_accuracy(&self) -> f64 {
+        self.rounds
+            .last()
+            .map(|r| r.report.accuracy)
+            .unwrap_or(0.0)
+    }
+
+    /// Fig. 7's actual improvement series: the per-round delta of accuracy
+    /// (aligned so `actual[i]` is the improvement delivered by round `i`'s
+    /// batch).
+    pub fn actual_improvements(&self) -> Vec<f64> {
+        self.rounds
+            .windows(2)
+            .map(|w| w[1].report.accuracy - w[0].report.accuracy)
+            .collect()
+    }
+}
+
+/// The per-round estimate the paper plots in Fig. 7: what the assigner
+/// *thinks* its batch is worth. For EAI this is the sum of the exact
+/// quality measure over the batch (already normalised by |O|); for QASCA,
+/// the sum of its record-count-blind Bayes-update estimates.
+fn estimated_gain(
+    assigner_name: &str,
+    model: &dyn ProbabilisticCrowdModel,
+    idx: &ObservationIndex,
+    batches: &[Assignment],
+) -> Option<f64> {
+    let n = idx.n_objects();
+    match assigner_name {
+        "EAI" => Some(
+            batches
+                .iter()
+                .flat_map(|b| b.objects.iter().map(move |&o| eai(model, idx, o, b.worker, n)))
+                .sum(),
+        ),
+        "QASCA" => {
+            // QASCA's published measure: confidence gain of a single Bayes
+            // update (expectation over answers, no evidence damping).
+            let mut total = 0.0;
+            for b in batches {
+                for &o in &b.objects {
+                    let mu = model.confidence(o);
+                    let cur = mu.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let k = idx.view(o).n_candidates();
+                    let mut exp = 0.0;
+                    for c in 0..k as u32 {
+                        let p = model.answer_likelihood(idx, o, b.worker, c);
+                        if p <= 0.0 {
+                            continue;
+                        }
+                        // Bayes update with the symmetric worker model.
+                        let q = model.worker_exact_prob(b.worker).clamp(1e-6, 1.0 - 1e-6);
+                        let mut post: Vec<f64> = (0..k as u32)
+                            .map(|t| {
+                                let lik = if c == t {
+                                    q
+                                } else {
+                                    (1.0 - q) / (k - 1).max(1) as f64
+                                };
+                                mu[t as usize] * lik
+                            })
+                            .collect();
+                        let z: f64 = post.iter().sum();
+                        if z > 0.0 {
+                            post.iter_mut().for_each(|x| *x /= z);
+                        }
+                        exp += p * post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    }
+                    total += (exp - cur) / n as f64;
+                }
+            }
+            Some(total)
+        }
+        _ => None,
+    }
+}
+
+/// Run a crowdsourcing campaign: `cfg.rounds` rounds of infer → assign →
+/// answer. The dataset is mutated in place (answers are appended), so pass a
+/// clone when the original must stay pristine.
+///
+/// The returned metrics contain `rounds + 1` entries: index `r` reports the
+/// quality *after* `r` rounds of crowdsourcing (index 0 = no crowdsourcing,
+/// matching the paper's round-0 points).
+pub fn run_simulation(
+    ds: &mut Dataset,
+    model: &mut dyn ProbabilisticCrowdModel,
+    assigner: &mut dyn TaskAssigner,
+    pool: &mut WorkerPool,
+    cfg: &SimulationConfig,
+) -> SimulationResult {
+    let mut idx = ObservationIndex::build(ds);
+    let mut rounds = Vec::with_capacity(cfg.rounds + 1);
+
+    for round in 0..=cfg.rounds {
+        let t0 = Instant::now();
+        let est = model.infer(ds, &idx);
+        let infer_time = t0.elapsed();
+        let report = single_truth_report_with_index(ds, &idx, &est.truths);
+
+        if round == cfg.rounds {
+            rounds.push(RoundMetrics {
+                round,
+                report,
+                infer_time,
+                assign_time: Duration::ZERO,
+                answers_collected: 0,
+                estimated_improvement: None,
+            });
+            break;
+        }
+
+        let t1 = Instant::now();
+        let batches = assigner.assign(model, ds, &idx, pool.ids(), cfg.tasks_per_worker);
+        let assign_time = t1.elapsed();
+        let estimated = estimated_gain(assigner.name(), model, &idx, &batches);
+
+        let mut collected = 0;
+        for b in &batches {
+            for &o in &b.objects {
+                if let Some(v) = pool.answer(ds, &idx, b.worker, o) {
+                    ds.add_answer(o, b.worker, v);
+                    idx.push_answer(*ds.answers().last().expect("just appended"));
+                    collected += 1;
+                }
+            }
+        }
+
+        rounds.push(RoundMetrics {
+            round,
+            report,
+            infer_time,
+            assign_time,
+            answers_collected: collected,
+            estimated_improvement: estimated,
+        });
+    }
+
+    SimulationResult {
+        model: model.name(),
+        assigner: assigner.name(),
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformAdapter;
+    use tdh_baselines::{MeAssigner, Vote};
+    use tdh_core::{EaiAssigner, TdhConfig, TdhModel};
+    use tdh_datagen::{generate_birthplaces, BirthPlacesConfig};
+
+    fn small_corpus(seed: u64) -> Dataset {
+        let cfg = BirthPlacesConfig {
+            n_objects: 150,
+            hierarchy_nodes: 300,
+        };
+        generate_birthplaces(&cfg, seed).dataset
+    }
+
+    #[test]
+    fn tdh_eai_improves_accuracy_over_rounds() {
+        let mut ds = small_corpus(1);
+        let mut pool = WorkerPool::uniform(&mut ds, 10, 0.75, 1);
+        let mut model = TdhModel::new(TdhConfig::default());
+        let mut assigner = EaiAssigner::new();
+        let cfg = SimulationConfig {
+            rounds: 8,
+            tasks_per_worker: 5,
+        };
+        let result = run_simulation(&mut ds, &mut model, &mut assigner, &mut pool, &cfg);
+        assert_eq!(result.rounds.len(), 9);
+        let first = result.rounds.first().unwrap().report.accuracy;
+        let last = result.final_accuracy();
+        assert!(
+            last > first,
+            "crowdsourcing should help: {first} -> {last}"
+        );
+        // Estimated improvements exist for EAI and are finite.
+        for r in &result.rounds[..8] {
+            let e = r.estimated_improvement.expect("EAI estimates");
+            assert!(e.is_finite());
+        }
+    }
+
+    #[test]
+    fn vote_me_combo_runs_and_collects_answers() {
+        let mut ds = small_corpus(2);
+        let mut pool = WorkerPool::uniform(&mut ds, 5, 0.8, 2);
+        let mut model = UniformAdapter::new(Vote);
+        let mut assigner = MeAssigner;
+        let cfg = SimulationConfig {
+            rounds: 4,
+            tasks_per_worker: 3,
+        };
+        let before = ds.answers().len();
+        let result = run_simulation(&mut ds, &mut model, &mut assigner, &mut pool, &cfg);
+        let collected: usize = result.rounds.iter().map(|r| r.answers_collected).sum();
+        assert_eq!(ds.answers().len() - before, collected);
+        assert!(collected > 0);
+        assert_eq!(result.model, "VOTE");
+        assert_eq!(result.assigner, "ME");
+        // ME has no self-estimate.
+        assert!(result.rounds[0].estimated_improvement.is_none());
+    }
+
+    #[test]
+    fn improvement_series_aligns() {
+        let mut ds = small_corpus(3);
+        let mut pool = WorkerPool::uniform(&mut ds, 4, 0.9, 3);
+        let mut model = TdhModel::new(TdhConfig::default());
+        let mut assigner = EaiAssigner::new();
+        let cfg = SimulationConfig {
+            rounds: 3,
+            tasks_per_worker: 4,
+        };
+        let result = run_simulation(&mut ds, &mut model, &mut assigner, &mut pool, &cfg);
+        assert_eq!(result.actual_improvements().len(), 3);
+        assert_eq!(result.accuracy_series().len(), 4);
+    }
+}

@@ -1,0 +1,204 @@
+//! Simulated crowd workers.
+//!
+//! The paper's §5 settings, verbatim: "each simulated worker answers a
+//! question correctly with its own probability `p_w` and randomly selects an
+//! answer from the candidate values with probability `1 − p_w`. We sampled
+//! the probability `p_w` from a uniform distribution ranging from
+//! `π_p − 0.05` to `π_p + 0.05` where the default value of `π_p` is 0.75."
+//!
+//! [`WorkerPool::human_annotators`] and [`WorkerPool::amt`] model the §5.5 /
+//! §5.6 populations: fewer/more workers with broader reliability spreads,
+//! and a *familiarity* discount for corpora whose answers are obscure
+//! (Heritages converges slower than BirthPlaces with real humans).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdh_data::{Dataset, ObjectId, ObservationIndex, WorkerId};
+use tdh_eval::mapped_gold;
+use tdh_hierarchy::NodeId;
+
+/// One simulated worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerProfile {
+    /// Probability of answering the (candidate-mapped) truth.
+    pub p_correct: f64,
+}
+
+/// A pool of simulated workers bound to a dataset's worker id space.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    profiles: Vec<WorkerProfile>,
+    ids: Vec<WorkerId>,
+    rng: StdRng,
+}
+
+impl WorkerPool {
+    /// The paper's default population: `n` workers with
+    /// `p_w ~ U(π_p − 0.05, π_p + 0.05)`.
+    pub fn uniform(ds: &mut Dataset, n: usize, pi_p: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_0001);
+        let profiles = (0..n)
+            .map(|_| WorkerProfile {
+                p_correct: (pi_p + (rng.random::<f64>() - 0.5) * 0.1).clamp(0.0, 1.0),
+            })
+            .collect();
+        Self::register(ds, profiles, rng)
+    }
+
+    /// §5.5's human annotators: 10 workers whose reliability depends on how
+    /// familiar the corpus is (`familiarity ∈ [0, 1]` scales a base 0.85
+    /// reliability; BirthPlaces ≈ 1.0, Heritages ≈ 0.75).
+    pub fn human_annotators(ds: &mut Dataset, n: usize, familiarity: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_0002);
+        let base = 0.85 * familiarity.clamp(0.1, 1.0);
+        let profiles = (0..n)
+            .map(|_| WorkerProfile {
+                p_correct: (base + (rng.random::<f64>() - 0.5) * 0.15).clamp(0.05, 0.98),
+            })
+            .collect();
+        Self::register(ds, profiles, rng)
+    }
+
+    /// §5.6's AMT population: `n` workers with widely heterogeneous
+    /// reliabilities (commercial platforms mix experts with spammers).
+    pub fn amt(ds: &mut Dataset, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5157_0003);
+        let profiles = (0..n)
+            .map(|_| WorkerProfile {
+                p_correct: 0.4 + 0.55 * rng.random::<f64>(),
+            })
+            .collect();
+        Self::register(ds, profiles, rng)
+    }
+
+    fn register(ds: &mut Dataset, profiles: Vec<WorkerProfile>, rng: StdRng) -> Self {
+        let ids = (0..profiles.len())
+            .map(|i| ds.intern_worker(&format!("sim-worker-{i}")))
+            .collect();
+        WorkerPool { profiles, ids, rng }
+    }
+
+    /// The dataset worker ids of this pool.
+    pub fn ids(&self) -> &[WorkerId] {
+        &self.ids
+    }
+
+    /// The profile backing worker `w`, if it belongs to this pool.
+    pub fn profile(&self, w: WorkerId) -> Option<&WorkerProfile> {
+        self.ids
+            .iter()
+            .position(|&x| x == w)
+            .map(|i| &self.profiles[i])
+    }
+
+    /// Produce `w`'s answer for object `o`: the candidate-mapped truth with
+    /// probability `p_w`, otherwise a uniformly random candidate. Returns
+    /// `None` for objects without candidates or unknown workers.
+    pub fn answer(
+        &mut self,
+        ds: &Dataset,
+        idx: &ObservationIndex,
+        w: WorkerId,
+        o: ObjectId,
+    ) -> Option<NodeId> {
+        let pos = self.ids.iter().position(|&x| x == w)?;
+        let view = idx.view(o);
+        if view.candidates.is_empty() {
+            return None;
+        }
+        let p = self.profiles[pos].p_correct;
+        let truth = mapped_gold(ds, idx, o)
+            .filter(|t| view.cand_index(*t).is_some());
+        if let Some(t) = truth {
+            if self.rng.random::<f64>() < p {
+                return Some(t);
+            }
+        }
+        let pick = self.rng.random_range(0..view.candidates.len());
+        Some(view.candidates[pick])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    fn fixture() -> (Dataset, ObservationIndex, ObjectId) {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["X", "A"]);
+        b.add_path(&["X", "B"]);
+        b.add_path(&["X", "C"]);
+        let mut ds = Dataset::new(b.build());
+        let o = ds.intern_object("o");
+        let a = ds.hierarchy().node_by_name("A").unwrap();
+        let bb = ds.hierarchy().node_by_name("B").unwrap();
+        let c = ds.hierarchy().node_by_name("C").unwrap();
+        let s1 = ds.intern_source("s1");
+        let s2 = ds.intern_source("s2");
+        let s3 = ds.intern_source("s3");
+        ds.add_record(o, s1, a);
+        ds.add_record(o, s2, bb);
+        ds.add_record(o, s3, c);
+        ds.set_gold(o, a);
+        let idx = ObservationIndex::build(&ds);
+        (ds, idx, o)
+    }
+
+    #[test]
+    fn reliability_controls_correctness_rate() {
+        let (mut ds, idx, o) = fixture();
+        let mut pool = WorkerPool::uniform(&mut ds, 1, 0.75, 7);
+        let w = pool.ids()[0];
+        let gold = ds.gold(o).unwrap();
+        let n = 4000;
+        let correct = (0..n)
+            .filter(|_| pool.answer(&ds, &idx, w, o) == Some(gold))
+            .count();
+        let rate = correct as f64 / n as f64;
+        // p ± 0.05 plus the 1/3 chance of a random pick landing right:
+        // expected ≈ p + (1 − p)/3 ∈ [0.76, 0.87].
+        assert!(rate > 0.72 && rate < 0.92, "correct rate {rate}");
+    }
+
+    #[test]
+    fn pools_register_distinct_workers() {
+        let (mut ds, _, _) = fixture();
+        let pool = WorkerPool::uniform(&mut ds, 10, 0.75, 1);
+        assert_eq!(pool.ids().len(), 10);
+        assert_eq!(ds.n_workers(), 10);
+        let p = pool.profile(pool.ids()[3]).unwrap();
+        assert!((0.70..=0.80).contains(&p.p_correct));
+    }
+
+    #[test]
+    fn amt_pool_is_heterogeneous() {
+        let (mut ds, _, _) = fixture();
+        let pool = WorkerPool::amt(&mut ds, 20, 2);
+        let ps: Vec<f64> = (0..20)
+            .map(|i| pool.profile(pool.ids()[i]).unwrap().p_correct)
+            .collect();
+        let spread = ps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - ps.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.2, "AMT reliabilities should vary: {spread}");
+    }
+
+    #[test]
+    fn unknown_worker_yields_none() {
+        let (mut ds, idx, o) = fixture();
+        let mut pool = WorkerPool::uniform(&mut ds, 1, 0.75, 3);
+        assert_eq!(pool.answer(&ds, &idx, WorkerId(99), o), None);
+    }
+
+    #[test]
+    fn answers_are_always_candidates() {
+        let (mut ds, idx, o) = fixture();
+        let mut pool = WorkerPool::uniform(&mut ds, 3, 0.5, 11);
+        for _ in 0..200 {
+            for &w in &pool.ids().to_vec() {
+                let ans = pool.answer(&ds, &idx, w, o).unwrap();
+                assert!(idx.view(o).cand_index(ans).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Owning container for a truth-discovery problem instance.
+
+use std::collections::HashMap;
+
+use tdh_hierarchy::{Hierarchy, NodeId};
+
+use crate::ids::{ObjectId, SourceId, WorkerId};
+use crate::{Answer, Record};
+
+/// A complete truth-discovery problem: hierarchy, entity universes, records,
+/// answers, and (optionally) the gold standard used for evaluation.
+///
+/// Entities are interned by name; all algorithm-facing structures use the
+/// dense ids. Mutation is append-only: records/answers are added, never
+/// removed, mirroring how knowledge-fusion pipelines accumulate evidence.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    hierarchy: Hierarchy,
+    object_names: Vec<String>,
+    object_by_name: HashMap<String, ObjectId>,
+    source_names: Vec<String>,
+    source_by_name: HashMap<String, SourceId>,
+    worker_names: Vec<String>,
+    worker_by_name: HashMap<String, WorkerId>,
+    records: Vec<Record>,
+    answers: Vec<Answer>,
+    /// Gold-standard truth per object (`None` where unknown).
+    gold: Vec<Option<NodeId>>,
+}
+
+impl Dataset {
+    /// A dataset over the given hierarchy, initially without entities.
+    pub fn new(hierarchy: Hierarchy) -> Self {
+        Dataset {
+            hierarchy,
+            object_names: Vec::new(),
+            object_by_name: HashMap::new(),
+            source_names: Vec::new(),
+            source_by_name: HashMap::new(),
+            worker_names: Vec::new(),
+            worker_by_name: HashMap::new(),
+            records: Vec::new(),
+            answers: Vec::new(),
+            gold: Vec::new(),
+        }
+    }
+
+    /// The value hierarchy `H`.
+    #[inline]
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Intern (or look up) an object by name.
+    pub fn intern_object(&mut self, name: &str) -> ObjectId {
+        if let Some(&id) = self.object_by_name.get(name) {
+            return id;
+        }
+        let id = ObjectId::from_index(self.object_names.len());
+        self.object_names.push(name.to_string());
+        self.object_by_name.insert(name.to_string(), id);
+        self.gold.push(None);
+        id
+    }
+
+    /// Intern (or look up) a source by name.
+    pub fn intern_source(&mut self, name: &str) -> SourceId {
+        if let Some(&id) = self.source_by_name.get(name) {
+            return id;
+        }
+        let id = SourceId::from_index(self.source_names.len());
+        self.source_names.push(name.to_string());
+        self.source_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Intern (or look up) a worker by name.
+    pub fn intern_worker(&mut self, name: &str) -> WorkerId {
+        if let Some(&id) = self.worker_by_name.get(name) {
+            return id;
+        }
+        let id = WorkerId::from_index(self.worker_names.len());
+        self.worker_names.push(name.to_string());
+        self.worker_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Number of objects `|O|`.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.object_names.len()
+    }
+
+    /// Number of sources `|S|`.
+    #[inline]
+    pub fn n_sources(&self) -> usize {
+        self.source_names.len()
+    }
+
+    /// Number of workers `|W|`.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.worker_names.len()
+    }
+
+    /// Display name of an object.
+    pub fn object_name(&self, o: ObjectId) -> &str {
+        &self.object_names[o.index()]
+    }
+
+    /// Display name of a source.
+    pub fn source_name(&self, s: SourceId) -> &str {
+        &self.source_names[s.index()]
+    }
+
+    /// Display name of a worker.
+    pub fn worker_name(&self, w: WorkerId) -> &str {
+        &self.worker_names[w.index()]
+    }
+
+    /// Look an object up by name.
+    pub fn object_by_name(&self, name: &str) -> Option<ObjectId> {
+        self.object_by_name.get(name).copied()
+    }
+
+    /// Append a record `(o, s, v)`.
+    ///
+    /// # Panics
+    /// Panics if `v` is the hierarchy root: the paper excludes root claims as
+    /// information-free ("Earth as a birthplace").
+    pub fn add_record(&mut self, object: ObjectId, source: SourceId, value: NodeId) {
+        assert!(value != NodeId::ROOT, "root claims carry no information");
+        self.records.push(Record {
+            object,
+            source,
+            value,
+        });
+    }
+
+    /// Append a crowdsourcing answer `(o, w, v)`.
+    ///
+    /// # Panics
+    /// Panics if `v` is the hierarchy root (workers select among candidate
+    /// values, which never include the root).
+    pub fn add_answer(&mut self, object: ObjectId, worker: WorkerId, value: NodeId) {
+        assert!(value != NodeId::ROOT, "root answers carry no information");
+        self.answers.push(Answer {
+            object,
+            worker,
+            value,
+        });
+    }
+
+    /// Set the gold-standard truth of `o`.
+    pub fn set_gold(&mut self, o: ObjectId, truth: NodeId) {
+        self.gold[o.index()] = Some(truth);
+    }
+
+    /// Gold-standard truth of `o`, if known.
+    #[inline]
+    pub fn gold(&self, o: ObjectId) -> Option<NodeId> {
+        self.gold[o.index()]
+    }
+
+    /// All records `R`.
+    #[inline]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// All answers `A` collected so far.
+    #[inline]
+    pub fn answers(&self) -> &[Answer] {
+        &self.answers
+    }
+
+    /// Iterate over all object ids.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.object_names.len()).map(ObjectId::from_index)
+    }
+
+    /// Iterate over all source ids.
+    pub fn sources(&self) -> impl Iterator<Item = SourceId> {
+        (0..self.source_names.len()).map(SourceId::from_index)
+    }
+
+    /// Iterate over all worker ids.
+    pub fn workers(&self) -> impl Iterator<Item = WorkerId> {
+        (0..self.worker_names.len()).map(WorkerId::from_index)
+    }
+
+    /// Summary statistics (record counts, per-source claim counts, …).
+    pub fn stats(&self) -> DatasetStats {
+        let mut claims_per_source = vec![0usize; self.n_sources()];
+        for r in &self.records {
+            claims_per_source[r.source.index()] += 1;
+        }
+        DatasetStats {
+            n_objects: self.n_objects(),
+            n_sources: self.n_sources(),
+            n_workers: self.n_workers(),
+            n_records: self.records.len(),
+            n_answers: self.answers.len(),
+            hierarchy_nodes: self.hierarchy.len(),
+            hierarchy_height: self.hierarchy.height(),
+            claims_per_source,
+        }
+    }
+
+    /// Duplicate every object (and its records and gold label) `factor`
+    /// times. This is the scale-up used by the paper's Figure 13 scalability
+    /// experiment ("we increase the size of both datasets by duplicating the
+    /// data by upto 15 times"). Workers and answers are not duplicated.
+    pub fn duplicated(&self, factor: usize) -> Dataset {
+        assert!(factor >= 1, "factor must be at least 1");
+        let mut out = Dataset::new(self.hierarchy.clone());
+        for (name, _) in self.source_names.iter().zip(0..) {
+            out.intern_source(name);
+        }
+        for (name, _) in self.worker_names.iter().zip(0..) {
+            out.intern_worker(name);
+        }
+        for copy in 0..factor {
+            for o in self.objects() {
+                let name = format!("{}#{copy}", self.object_name(o));
+                let no = out.intern_object(&name);
+                if let Some(g) = self.gold(o) {
+                    out.set_gold(no, g);
+                }
+            }
+        }
+        for copy in 0..factor {
+            let base = copy * self.n_objects();
+            for r in &self.records {
+                out.add_record(
+                    ObjectId::from_index(base + r.object.index()),
+                    r.source,
+                    r.value,
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Corpus-level summary statistics, as reported in the paper's §5 dataset
+/// descriptions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// `|O|`.
+    pub n_objects: usize,
+    /// `|S|`.
+    pub n_sources: usize,
+    /// `|W|`.
+    pub n_workers: usize,
+    /// `|R|`.
+    pub n_records: usize,
+    /// `|A|`.
+    pub n_answers: usize,
+    /// Nodes in the hierarchy, including the root.
+    pub hierarchy_nodes: usize,
+    /// Height of the hierarchy.
+    pub hierarchy_height: u32,
+    /// Number of claims per source (the "Number of claims" row of Fig. 5).
+    pub claims_per_source: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    fn tiny() -> Dataset {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        Dataset::new(b.build())
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut ds = tiny();
+        let a = ds.intern_object("Statue of Liberty");
+        let b = ds.intern_object("Statue of Liberty");
+        assert_eq!(a, b);
+        assert_eq!(ds.n_objects(), 1);
+        assert_eq!(ds.object_name(a), "Statue of Liberty");
+        assert_eq!(ds.object_by_name("Statue of Liberty"), Some(a));
+        assert_eq!(ds.object_by_name("Big Ben"), None);
+    }
+
+    #[test]
+    fn records_and_answers_append() {
+        let mut ds = tiny();
+        let o = ds.intern_object("Statue of Liberty");
+        let s = ds.intern_source("Wikipedia");
+        let w = ds.intern_worker("Emma Stone");
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        ds.add_record(o, s, li);
+        ds.add_answer(o, w, ny);
+        assert_eq!(ds.records().len(), 1);
+        assert_eq!(ds.answers().len(), 1);
+        assert_eq!(ds.records()[0].value, li);
+        assert_eq!(ds.answers()[0].worker, w);
+    }
+
+    #[test]
+    #[should_panic(expected = "root claims")]
+    fn root_record_rejected() {
+        let mut ds = tiny();
+        let o = ds.intern_object("x");
+        let s = ds.intern_source("s");
+        ds.add_record(o, s, tdh_hierarchy::NodeId::ROOT);
+    }
+
+    #[test]
+    fn gold_standard() {
+        let mut ds = tiny();
+        let o = ds.intern_object("Statue of Liberty");
+        assert_eq!(ds.gold(o), None);
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        ds.set_gold(o, li);
+        assert_eq!(ds.gold(o), Some(li));
+    }
+
+    #[test]
+    fn stats_counts() {
+        let mut ds = tiny();
+        let o1 = ds.intern_object("a");
+        let o2 = ds.intern_object("b");
+        let s1 = ds.intern_source("s1");
+        let s2 = ds.intern_source("s2");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        ds.add_record(o1, s1, ny);
+        ds.add_record(o2, s1, ny);
+        ds.add_record(o1, s2, ny);
+        let st = ds.stats();
+        assert_eq!(st.n_objects, 2);
+        assert_eq!(st.n_records, 3);
+        assert_eq!(st.claims_per_source, vec![2, 1]);
+        assert_eq!(st.hierarchy_height, 3);
+    }
+
+    #[test]
+    fn duplication_scales_objects_and_records() {
+        let mut ds = tiny();
+        let o = ds.intern_object("a");
+        let s = ds.intern_source("s1");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        ds.add_record(o, s, ny);
+        ds.set_gold(o, ny);
+        let big = ds.duplicated(5);
+        assert_eq!(big.n_objects(), 5);
+        assert_eq!(big.records().len(), 5);
+        assert_eq!(big.n_sources(), 1);
+        for o in big.objects() {
+            assert_eq!(big.gold(o), Some(ny));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Dense integer identifiers for objects, sources and workers.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a usize index into per-entity tables.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a dense index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an object (an entity whose target attribute value we
+    /// want to discover, e.g. "Statue of Liberty").
+    ObjectId,
+    "o"
+);
+id_type!(
+    /// Identifier of a data source (a web page or website).
+    SourceId,
+    "s"
+);
+id_type!(
+    /// Identifier of a crowd worker.
+    WorkerId,
+    "w"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_format() {
+        let o = ObjectId::from_index(7);
+        assert_eq!(o.index(), 7);
+        assert_eq!(format!("{o:?}"), "o7");
+        assert_eq!(format!("{o}"), "7");
+        assert_eq!(format!("{:?}", SourceId(3)), "s3");
+        assert_eq!(format!("{:?}", WorkerId(9)), "w9");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert_eq!(ObjectId(5), ObjectId::from_index(5));
+    }
+}

@@ -1,0 +1,411 @@
+//! The per-object observation index consumed by every inference algorithm.
+
+use std::collections::HashSet;
+
+use tdh_hierarchy::NodeId;
+
+use crate::dataset::Dataset;
+use crate::ids::{ObjectId, SourceId, WorkerId};
+use crate::Answer;
+
+/// Everything an algorithm needs to know about one object `o`.
+///
+/// Candidate values are the distinct values claimed by sources (`V_o`);
+/// workers answer by selecting among them, so answers never extend the
+/// candidate set. Candidates are addressed by their dense index `0..|V_o|`
+/// within this view.
+#[derive(Debug, Clone)]
+pub struct ObjectView {
+    /// `V_o`: the distinct claimed values, sorted by node id.
+    pub candidates: Vec<NodeId>,
+    /// `S_o` with the candidate index each source claimed.
+    pub sources: Vec<(SourceId, u32)>,
+    /// `W_o` with the candidate index each worker answered.
+    pub workers: Vec<(WorkerId, u32)>,
+    /// `G_o(v)` per candidate: indices of candidates that are *proper*
+    /// ancestors of `v` in the hierarchy (the root is never a candidate).
+    pub ancestors: Vec<Vec<u32>>,
+    /// `D_o(v)` per candidate: indices of candidates that are proper
+    /// descendants of `v`.
+    pub descendants: Vec<Vec<u32>>,
+    /// `o ∈ O_H`: some pair of candidates is in ancestor-descendant relation.
+    pub in_oh: bool,
+    /// Per candidate: number of source records claiming exactly that value.
+    /// These counts drive the popularity terms `Pop2`/`Pop3`.
+    pub source_count: Vec<u32>,
+    /// Per candidate: number of worker answers selecting that value.
+    pub worker_count: Vec<u32>,
+}
+
+impl ObjectView {
+    /// Number of candidate values `|V_o|`.
+    #[inline]
+    pub fn n_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Dense index of candidate `v`, if claimed for this object.
+    pub fn cand_index(&self, v: NodeId) -> Option<u32> {
+        self.candidates.binary_search(&v).ok().map(|i| i as u32)
+    }
+
+    /// `Pop2(v' | v* = v)`: among records claiming a *generalization* of the
+    /// truth `v`, the fraction claiming exactly `v'` (paper §3.1, worker
+    /// case 2). Falls back to uniform over `G_o(v)` when no source claims any
+    /// generalization (the paper's ratio is then 0/0).
+    pub fn pop2(&self, truth: u32, claim: u32) -> f64 {
+        debug_assert!(
+            self.ancestors[truth as usize].contains(&claim),
+            "pop2 requires claim ∈ Go(truth)"
+        );
+        let denom: u32 = self.ancestors[truth as usize]
+            .iter()
+            .map(|&a| self.source_count[a as usize])
+            .sum();
+        if denom == 0 {
+            1.0 / self.ancestors[truth as usize].len() as f64
+        } else {
+            f64::from(self.source_count[claim as usize]) / f64::from(denom)
+        }
+    }
+
+    /// `Pop3(v' | v* = v)`: among records claiming a *wrong* value for truth
+    /// `v` (neither `v` nor a generalization of it), the fraction claiming
+    /// exactly `v'`. Falls back to uniform over the wrong candidates when no
+    /// source claims any of them.
+    pub fn pop3(&self, truth: u32, claim: u32) -> f64 {
+        debug_assert!(claim != truth && !self.ancestors[truth as usize].contains(&claim));
+        let n_sources: u32 = self.source_count.iter().sum();
+        let correctish: u32 = self.source_count[truth as usize]
+            + self.ancestors[truth as usize]
+                .iter()
+                .map(|&a| self.source_count[a as usize])
+                .sum::<u32>();
+        let denom = n_sources - correctish;
+        if denom == 0 {
+            let n_wrong = self.candidates.len() - self.ancestors[truth as usize].len() - 1;
+            if n_wrong == 0 {
+                0.0
+            } else {
+                1.0 / n_wrong as f64
+            }
+        } else {
+            f64::from(self.source_count[claim as usize]) / f64::from(denom)
+        }
+    }
+
+    /// Number of wrong candidates for truth index `t`:
+    /// `|V_o| - |G_o(v_t)| - 1` (paper Eq. 1, third case's denominator).
+    #[inline]
+    pub fn n_wrong(&self, t: u32) -> usize {
+        self.candidates.len() - self.ancestors[t as usize].len() - 1
+    }
+}
+
+/// The observation index: one [`ObjectView`] per object plus the inverse
+/// incidence lists `O_s` / `O_w` and the worker-assignment bookkeeping.
+///
+/// Built once from a [`Dataset`]'s records and answers; kept current during
+/// crowdsourcing via [`ObservationIndex::push_answer`].
+#[derive(Debug, Clone)]
+pub struct ObservationIndex {
+    views: Vec<ObjectView>,
+    /// `O_s`: objects claimed by each source, with the claimed candidate idx.
+    by_source: Vec<Vec<(ObjectId, u32)>>,
+    /// `O_w`: objects answered by each worker, with the answered candidate idx.
+    by_worker: Vec<Vec<(ObjectId, u32)>>,
+    /// Pairs `(worker, object)` already asked, to avoid re-assignment.
+    answered: HashSet<(WorkerId, ObjectId)>,
+}
+
+impl ObservationIndex {
+    /// Build the index from a dataset's records and already-collected answers.
+    ///
+    /// # Panics
+    /// Panics if an answer's value is not among its object's candidates
+    /// (workers select from `V_o` by problem definition, §2.1).
+    pub fn build(ds: &Dataset) -> Self {
+        let h = ds.hierarchy();
+        let n_obj = ds.n_objects();
+
+        // Pass 1: collect candidate sets.
+        let mut cand_sets: Vec<Vec<NodeId>> = vec![Vec::new(); n_obj];
+        for r in ds.records() {
+            cand_sets[r.object.index()].push(r.value);
+        }
+        let mut views: Vec<ObjectView> = cand_sets
+            .into_iter()
+            .map(|mut cands| {
+                cands.sort_unstable();
+                cands.dedup();
+                let k = cands.len();
+                let mut ancestors = vec![Vec::new(); k];
+                let mut descendants = vec![Vec::new(); k];
+                for i in 0..k {
+                    for j in 0..k {
+                        if i != j && h.is_strict_ancestor(cands[j], cands[i]) {
+                            ancestors[i].push(j as u32);
+                            descendants[j].push(i as u32);
+                        }
+                    }
+                }
+                let in_oh = ancestors.iter().any(|a| !a.is_empty());
+                ObjectView {
+                    source_count: vec![0; k],
+                    worker_count: vec![0; k],
+                    sources: Vec::new(),
+                    workers: Vec::new(),
+                    ancestors,
+                    descendants,
+                    in_oh,
+                    candidates: cands,
+                }
+            })
+            .collect();
+
+        // Pass 2: incidence lists and counts.
+        let mut by_source: Vec<Vec<(ObjectId, u32)>> = vec![Vec::new(); ds.n_sources()];
+        for r in ds.records() {
+            let view = &mut views[r.object.index()];
+            let idx = view
+                .cand_index(r.value)
+                .expect("record value is a candidate by construction");
+            view.sources.push((r.source, idx));
+            view.source_count[idx as usize] += 1;
+            by_source[r.source.index()].push((r.object, idx));
+        }
+
+        let mut index = ObservationIndex {
+            views,
+            by_source,
+            by_worker: vec![Vec::new(); ds.n_workers()],
+            answered: HashSet::new(),
+        };
+        for a in ds.answers() {
+            index.push_answer(*a);
+        }
+        index
+    }
+
+    /// Record a fresh crowdsourcing answer, updating `W_o`, `O_w`, the
+    /// per-candidate worker counts and the assignment bookkeeping.
+    ///
+    /// # Panics
+    /// Panics if the worker id is out of range or the value is not among the
+    /// object's candidates.
+    pub fn push_answer(&mut self, a: Answer) {
+        let view = &mut self.views[a.object.index()];
+        let idx = view
+            .cand_index(a.value)
+            .expect("answers select among the object's candidate values");
+        view.workers.push((a.worker, idx));
+        view.worker_count[idx as usize] += 1;
+        if self.by_worker.len() <= a.worker.index() {
+            self.by_worker.resize(a.worker.index() + 1, Vec::new());
+        }
+        self.by_worker[a.worker.index()].push((a.object, idx));
+        self.answered.insert((a.worker, a.object));
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The view of object `o`.
+    #[inline]
+    pub fn view(&self, o: ObjectId) -> &ObjectView {
+        &self.views[o.index()]
+    }
+
+    /// All views, indexed by object id.
+    #[inline]
+    pub fn views(&self) -> &[ObjectView] {
+        &self.views
+    }
+
+    /// `O_s`: objects source `s` claimed about, with candidate indices.
+    #[inline]
+    pub fn objects_of_source(&self, s: SourceId) -> &[(ObjectId, u32)] {
+        &self.by_source[s.index()]
+    }
+
+    /// `O_w`: objects worker `w` answered about, with candidate indices.
+    #[inline]
+    pub fn objects_of_worker(&self, w: WorkerId) -> &[(ObjectId, u32)] {
+        self.by_worker
+            .get(w.index())
+            .map_or(&[][..], |v| v.as_slice())
+    }
+
+    /// Number of sources with at least one record (length of `O_s` table).
+    #[inline]
+    pub fn n_sources(&self) -> usize {
+        self.by_source.len()
+    }
+
+    /// Number of workers tracked (grows as unseen workers answer).
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.by_worker.len()
+    }
+
+    /// `true` iff worker `w` already answered about object `o`.
+    #[inline]
+    pub fn has_answered(&self, w: WorkerId, o: ObjectId) -> bool {
+        self.answered.contains(&(w, o))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    /// The paper's Table 1: locations of tourist attractions.
+    fn table1() -> (Dataset, ObservationIndex) {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        b.add_path(&["UK", "London"]);
+        b.add_path(&["UK", "Manchester"]);
+        let mut ds = Dataset::new(b.build());
+
+        let sol = ds.intern_object("Statue of Liberty");
+        let bb = ds.intern_object("Big Ben");
+        let unesco = ds.intern_source("UNESCO");
+        let wiki = ds.intern_source("Wikipedia");
+        let arrangy = ds.intern_source("Arrangy");
+        let quora = ds.intern_source("Quora");
+        let trip = ds.intern_source("tripadvisor");
+
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        let la = ds.hierarchy().node_by_name("LA").unwrap();
+        let man = ds.hierarchy().node_by_name("Manchester").unwrap();
+        let lon = ds.hierarchy().node_by_name("London").unwrap();
+
+        ds.add_record(sol, unesco, ny);
+        ds.add_record(sol, wiki, li);
+        ds.add_record(sol, arrangy, la);
+        ds.add_record(bb, quora, man);
+        ds.add_record(bb, trip, lon);
+
+        let idx = ObservationIndex::build(&ds);
+        (ds, idx)
+    }
+
+    #[test]
+    fn candidate_sets() {
+        let (ds, idx) = table1();
+        let sol = ds.object_by_name("Statue of Liberty").unwrap();
+        let view = idx.view(sol);
+        assert_eq!(view.n_candidates(), 3); // NY, Liberty Island, LA
+        assert!(view.in_oh);
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        let ny_i = view.cand_index(ny).unwrap() as usize;
+        let li_i = view.cand_index(li).unwrap() as usize;
+        // NY is an ancestor candidate of Liberty Island.
+        assert_eq!(view.ancestors[li_i], vec![ny_i as u32]);
+        assert_eq!(view.descendants[ny_i], vec![li_i as u32]);
+        assert!(view.ancestors[ny_i].is_empty());
+    }
+
+    #[test]
+    fn big_ben_not_in_oh() {
+        let (ds, idx) = table1();
+        let bb = ds.object_by_name("Big Ben").unwrap();
+        let view = idx.view(bb);
+        assert_eq!(view.n_candidates(), 2);
+        assert!(!view.in_oh, "London and Manchester are unrelated");
+    }
+
+    #[test]
+    fn incidence_lists() {
+        let (ds, idx) = table1();
+        let wiki = 1; // interned second
+        assert_eq!(idx.objects_of_source(SourceId(wiki)).len(), 1);
+        let sol = ds.object_by_name("Statue of Liberty").unwrap();
+        let view = idx.view(sol);
+        assert_eq!(view.sources.len(), 3);
+        assert_eq!(view.source_count.iter().sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn popularity_terms() {
+        let (ds, idx) = table1();
+        let sol = ds.object_by_name("Statue of Liberty").unwrap();
+        let view = idx.view(sol);
+        let li_i = view
+            .cand_index(ds.hierarchy().node_by_name("Liberty Island").unwrap())
+            .unwrap();
+        let ny_i = view
+            .cand_index(ds.hierarchy().node_by_name("NY").unwrap())
+            .unwrap();
+        let la_i = view
+            .cand_index(ds.hierarchy().node_by_name("LA").unwrap())
+            .unwrap();
+        // Truth = Liberty Island: the only generalization claimed is NY
+        // (1 record), so Pop2(NY | LI) = 1.
+        assert_eq!(view.pop2(li_i, ny_i), 1.0);
+        // Wrong values for truth LI: LA only (1 of 1 wrong records).
+        assert_eq!(view.pop3(li_i, la_i), 1.0);
+        // Truth = NY: wrong candidates are LI? No — LI is a *descendant*,
+        // which counts as wrong under the three-way model. Wrong records for
+        // truth NY: LI (1) + LA (1) = 2.
+        assert_eq!(view.pop3(ny_i, li_i), 0.5);
+        assert_eq!(view.pop3(ny_i, la_i), 0.5);
+        assert_eq!(view.n_wrong(li_i), 1);
+        assert_eq!(view.n_wrong(ny_i), 2);
+    }
+
+    #[test]
+    fn answers_update_incrementally() {
+        let (mut ds, mut idx) = table1();
+        let sol = ds.object_by_name("Statue of Liberty").unwrap();
+        let w = ds.intern_worker("Emma Stone");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        assert!(!idx.has_answered(w, sol));
+        ds.add_answer(sol, w, ny);
+        idx.push_answer(*ds.answers().last().unwrap());
+        assert!(idx.has_answered(w, sol));
+        let view = idx.view(sol);
+        assert_eq!(view.workers.len(), 1);
+        let ny_i = view.cand_index(ny).unwrap() as usize;
+        assert_eq!(view.worker_count[ny_i], 1);
+        assert_eq!(idx.objects_of_worker(w).len(), 1);
+    }
+
+    #[test]
+    fn rebuild_equals_incremental() {
+        let (mut ds, mut idx) = table1();
+        let sol = ds.object_by_name("Statue of Liberty").unwrap();
+        let w = ds.intern_worker("w0");
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        ds.add_answer(sol, w, li);
+        idx.push_answer(*ds.answers().last().unwrap());
+
+        let rebuilt = ObservationIndex::build(&ds);
+        let (a, b) = (idx.view(sol), rebuilt.view(sol));
+        assert_eq!(a.workers, b.workers);
+        assert_eq!(a.worker_count, b.worker_count);
+        assert_eq!(
+            idx.objects_of_worker(w),
+            rebuilt.objects_of_worker(w)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate")]
+    fn non_candidate_answer_rejected() {
+        let (mut ds, mut idx) = table1();
+        let sol = ds.object_by_name("Statue of Liberty").unwrap();
+        let w = ds.intern_worker("w0");
+        // London was never claimed for the Statue of Liberty.
+        let lon = ds.hierarchy().node_by_name("London").unwrap();
+        ds.add_answer(sol, w, lon);
+        idx.push_answer(*ds.answers().last().unwrap());
+    }
+}

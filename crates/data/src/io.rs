@@ -1,0 +1,379 @@
+//! Plain-text interchange format for truth-discovery datasets.
+//!
+//! The paper's corpora are distributed as flat files of `(object, source,
+//! claimed value)` triples plus a gold standard; this module reads and
+//! writes an equivalent tab-separated format so that users with access to
+//! the original crawls (or their own) can run every algorithm in this
+//! workspace on them:
+//!
+//! * **records**: `object \t source \t value-path` — one claim per line,
+//!   where `value-path` is the slash-separated root path of the claimed
+//!   value (`USA/NY/Liberty Island`). The hierarchy is the union of all
+//!   paths seen in the records, answers and gold files.
+//! * **answers** (optional): `object \t worker \t value-path`.
+//! * **gold** (optional): `object \t value-path`.
+//!
+//! Lines starting with `#` and blank lines are skipped. Paths must be
+//! consistent (a name cannot appear under two different parents), which is
+//! checked and reported with line numbers.
+
+use std::fmt;
+use std::path::Path;
+
+use tdh_hierarchy::{HierarchyBuilder, NodeId};
+
+use crate::dataset::Dataset;
+
+/// Errors raised while parsing the TSV interchange format.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// A malformed line (wrong number of fields, empty path, …).
+    Parse {
+        /// Which input unit the error was found in.
+        section: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse {
+                section,
+                line,
+                message,
+            } => write!(f, "{section} line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// In-memory text inputs for [`parse_dataset`]; use [`load_dataset`] for
+/// files.
+#[derive(Debug, Clone, Default)]
+pub struct TextInputs<'a> {
+    /// Records TSV content (required).
+    pub records: &'a str,
+    /// Answers TSV content (optional).
+    pub answers: Option<&'a str>,
+    /// Gold TSV content (optional).
+    pub gold: Option<&'a str>,
+}
+
+fn split_line<'a>(
+    section: &'static str,
+    lineno: usize,
+    line: &'a str,
+    want: usize,
+) -> Result<Vec<&'a str>, IoError> {
+    let fields: Vec<&str> = line.split('\t').map(str::trim).collect();
+    if fields.len() != want || fields.iter().any(|f| f.is_empty()) {
+        return Err(IoError::Parse {
+            section,
+            line: lineno,
+            message: format!(
+                "expected {want} non-empty tab-separated fields, got {:?}",
+                fields
+            ),
+        });
+    }
+    Ok(fields)
+}
+
+fn add_path(
+    b: &mut HierarchyBuilder,
+    section: &'static str,
+    lineno: usize,
+    path: &str,
+) -> Result<NodeId, IoError> {
+    let mut cur = NodeId::ROOT;
+    for part in path.split('/').map(str::trim) {
+        if part.is_empty() {
+            return Err(IoError::Parse {
+                section,
+                line: lineno,
+                message: format!("empty component in value path {path:?}"),
+            });
+        }
+        cur = b.add_child(cur, part).map_err(|e| IoError::Parse {
+            section,
+            line: lineno,
+            message: e.to_string(),
+        })?;
+    }
+    if cur == NodeId::ROOT {
+        return Err(IoError::Parse {
+            section,
+            line: lineno,
+            message: "value path must have at least one component".into(),
+        });
+    }
+    Ok(cur)
+}
+
+fn content_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+}
+
+/// Parse a dataset from in-memory TSV text.
+pub fn parse_dataset(inputs: &TextInputs<'_>) -> Result<Dataset, IoError> {
+    // Pass 1: build the hierarchy from every path mentioned anywhere.
+    let mut builder = HierarchyBuilder::new();
+    struct Row<'a> {
+        line: usize,
+        a: &'a str,
+        b: &'a str,
+        value: NodeId,
+    }
+    let mut record_rows = Vec::new();
+    for (lineno, line) in content_lines(inputs.records) {
+        let f = split_line("records", lineno, line, 3)?;
+        let value = add_path(&mut builder, "records", lineno, f[2])?;
+        record_rows.push(Row {
+            line: lineno,
+            a: f[0],
+            b: f[1],
+            value,
+        });
+    }
+    let mut answer_rows = Vec::new();
+    if let Some(answers) = inputs.answers {
+        for (lineno, line) in content_lines(answers) {
+            let f = split_line("answers", lineno, line, 3)?;
+            let value = add_path(&mut builder, "answers", lineno, f[2])?;
+            answer_rows.push(Row {
+                line: lineno,
+                a: f[0],
+                b: f[1],
+                value,
+            });
+        }
+    }
+    let mut gold_rows = Vec::new();
+    if let Some(gold) = inputs.gold {
+        for (lineno, line) in content_lines(gold) {
+            let f = split_line("gold", lineno, line, 2)?;
+            let value = add_path(&mut builder, "gold", lineno, f[1])?;
+            gold_rows.push(Row {
+                line: lineno,
+                a: f[0],
+                b: "",
+                value,
+            });
+        }
+    }
+
+    // Pass 2: intern entities and materialise the dataset.
+    let mut ds = Dataset::new(builder.build());
+    for row in &record_rows {
+        let o = ds.intern_object(row.a);
+        let s = ds.intern_source(row.b);
+        ds.add_record(o, s, row.value);
+    }
+    for row in &answer_rows {
+        let o = ds.intern_object(row.a);
+        let w = ds.intern_worker(row.b);
+        ds.add_answer(o, w, row.value);
+    }
+    for row in &gold_rows {
+        let o = ds.object_by_name(row.a).ok_or(IoError::Parse {
+            section: "gold",
+            line: row.line,
+            message: format!("gold label for unknown object {:?}", row.a),
+        })?;
+        ds.set_gold(o, row.value);
+    }
+    Ok(ds)
+}
+
+/// Load a dataset from TSV files. `answers` and `gold` are optional.
+pub fn load_dataset(
+    records: &Path,
+    answers: Option<&Path>,
+    gold: Option<&Path>,
+) -> Result<Dataset, IoError> {
+    let records_text = std::fs::read_to_string(records)?;
+    let answers_text = answers.map(std::fs::read_to_string).transpose()?;
+    let gold_text = gold.map(std::fs::read_to_string).transpose()?;
+    parse_dataset(&TextInputs {
+        records: &records_text,
+        answers: answers_text.as_deref(),
+        gold: gold_text.as_deref(),
+    })
+}
+
+/// The root-path of a node, slash-separated (inverse of the parse format).
+fn path_of(ds: &Dataset, v: NodeId) -> String {
+    let h = ds.hierarchy();
+    let mut parts: Vec<&str> = h
+        .ancestors(v)
+        .filter(|&a| a != NodeId::ROOT)
+        .map(|a| h.name(a))
+        .collect();
+    parts.reverse();
+    parts.push(h.name(v));
+    parts.join("/")
+}
+
+/// Serialise the records, answers and gold standard back to TSV strings
+/// `(records, answers, gold)`. Round-trips with [`parse_dataset`].
+pub fn to_tsv(ds: &Dataset) -> (String, String, String) {
+    let mut records = String::from("# object\tsource\tvalue-path\n");
+    for r in ds.records() {
+        records.push_str(&format!(
+            "{}\t{}\t{}\n",
+            ds.object_name(r.object),
+            ds.source_name(r.source),
+            path_of(ds, r.value)
+        ));
+    }
+    let mut answers = String::from("# object\tworker\tvalue-path\n");
+    for a in ds.answers() {
+        answers.push_str(&format!(
+            "{}\t{}\t{}\n",
+            ds.object_name(a.object),
+            ds.worker_name(a.worker),
+            path_of(ds, a.value)
+        ));
+    }
+    let mut gold = String::from("# object\tvalue-path\n");
+    for o in ds.objects() {
+        if let Some(g) = ds.gold(o) {
+            gold.push_str(&format!("{}\t{}\n", ds.object_name(o), path_of(ds, g)));
+        }
+    }
+    (records, answers, gold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECORDS: &str = "\
+# comment line
+Statue of Liberty\tUNESCO\tUSA/NY
+Statue of Liberty\tWikipedia\tUSA/NY/Liberty Island
+Statue of Liberty\tArrangy\tUSA/CA/LA
+
+Big Ben\tQuora\tUK/Manchester
+Big Ben\ttripadvisor\tUK/London
+";
+
+    const ANSWERS: &str = "Big Ben\tEmma Stone\tUK/London\n";
+    const GOLD: &str = "Statue of Liberty\tUSA/NY/Liberty Island\nBig Ben\tUK/London\n";
+
+    #[test]
+    fn parses_table1() {
+        let ds = parse_dataset(&TextInputs {
+            records: RECORDS,
+            answers: Some(ANSWERS),
+            gold: Some(GOLD),
+        })
+        .unwrap();
+        assert_eq!(ds.n_objects(), 2);
+        assert_eq!(ds.n_sources(), 5);
+        assert_eq!(ds.n_workers(), 1);
+        assert_eq!(ds.records().len(), 5);
+        assert_eq!(ds.answers().len(), 1);
+        let sol = ds.object_by_name("Statue of Liberty").unwrap();
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        assert_eq!(ds.gold(sol), Some(li));
+        assert_eq!(ds.hierarchy().height(), 3);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = parse_dataset(&TextInputs {
+            records: RECORDS,
+            answers: Some(ANSWERS),
+            gold: Some(GOLD),
+        })
+        .unwrap();
+        let (r, a, g) = to_tsv(&ds);
+        let ds2 = parse_dataset(&TextInputs {
+            records: &r,
+            answers: Some(&a),
+            gold: Some(&g),
+        })
+        .unwrap();
+        assert_eq!(ds.n_objects(), ds2.n_objects());
+        assert_eq!(ds.records().len(), ds2.records().len());
+        assert_eq!(ds.answers().len(), ds2.answers().len());
+        for (x, y) in ds.records().iter().zip(ds2.records()) {
+            assert_eq!(ds.object_name(x.object), ds2.object_name(y.object));
+            assert_eq!(
+                ds.hierarchy().name(x.value),
+                ds2.hierarchy().name(y.value)
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_position() {
+        let err = parse_dataset(&TextInputs {
+            records: "only-two-fields\tsrc\n",
+            ..Default::default()
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("records line 1"), "{msg}");
+
+        let err = parse_dataset(&TextInputs {
+            records: "o\ts\tUSA//NY\n",
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("empty component"));
+    }
+
+    #[test]
+    fn inconsistent_hierarchy_rejected() {
+        let err = parse_dataset(&TextInputs {
+            records: "o1\ts\tUSA/Springfield\no2\ts\tUK/Springfield\n",
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("Springfield"), "{err}");
+    }
+
+    #[test]
+    fn gold_for_unknown_object_rejected() {
+        let err = parse_dataset(&TextInputs {
+            records: "o1\ts\tUSA/NY\n",
+            gold: Some("phantom\tUSA/NY\n"),
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown object"));
+    }
+
+    #[test]
+    fn file_loading() {
+        let dir = std::env::temp_dir().join("tdh-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let rp = dir.join("records.tsv");
+        std::fs::write(&rp, RECORDS).unwrap();
+        let gp = dir.join("gold.tsv");
+        std::fs::write(&gp, GOLD).unwrap();
+        let ds = load_dataset(&rp, None, Some(&gp)).unwrap();
+        assert_eq!(ds.n_objects(), 2);
+        assert_eq!(ds.n_workers(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

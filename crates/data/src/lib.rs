@@ -1,0 +1,57 @@
+//! Data model for crowdsourced truth discovery.
+//!
+//! The problem input (paper §2) is a set of **records** `(o, s, v_o^s)`
+//! collected from web sources and a growing set of **answers** `(o, w, v_o^w)`
+//! collected from crowd workers, where every claimed value is a node of a
+//! hierarchy tree `H`.
+//!
+//! * [`Dataset`] owns the hierarchy, the interned object/source/worker
+//!   universes, the records, the answers, and the gold standard.
+//! * [`ObservationIndex`] is the per-object view every inference algorithm
+//!   consumes: candidate sets `V_o`, the source/worker incidence lists
+//!   (`S_o`, `W_o`, `O_s`, `O_w`), the within-candidate ancestor/descendant
+//!   sets (`G_o(v)`, `D_o(v)`), the `O_H` membership flag, and the claim
+//!   counts behind the worker popularity terms `Pop2`/`Pop3`.
+//! * [`NumericDataset`] is the flat `(object, source, f64)` form used by the
+//!   numeric-truth experiments (paper §3.2 extension and Table 6).
+//!
+//! The index is built once from the records and then kept up to date
+//! incrementally as crowdsourcing answers arrive
+//! ([`ObservationIndex::push_answer`]), matching the paper's loop that
+//! alternates inference and task assignment.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod ids;
+mod index;
+pub mod io;
+mod numeric;
+
+pub use dataset::{Dataset, DatasetStats};
+pub use ids::{ObjectId, SourceId, WorkerId};
+pub use index::{ObjectView, ObservationIndex};
+pub use numeric::{NumericClaim, NumericDataset};
+
+/// A record `(o, s, v_o^s)`: source `s` claims value `v` for object `o`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// The object the claim is about.
+    pub object: ObjectId,
+    /// The claiming source.
+    pub source: SourceId,
+    /// The claimed value, a node of the dataset's hierarchy.
+    pub value: tdh_hierarchy::NodeId,
+}
+
+/// An answer `(o, w, v_o^w)`: worker `w` answers value `v` for object `o`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Answer {
+    /// The object the task was about.
+    pub object: ObjectId,
+    /// The answering worker.
+    pub worker: WorkerId,
+    /// The selected value; workers choose among the object's candidates.
+    pub value: tdh_hierarchy::NodeId,
+}

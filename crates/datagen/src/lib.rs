@@ -1,0 +1,36 @@
+//! Synthetic corpora calibrated to the paper's evaluation datasets.
+//!
+//! The original corpora (BirthPlaces and Heritages crawls, the Stock deep-web
+//! dataset, AMT answer logs) are not redistributable, so this crate generates
+//! statistical stand-ins that preserve the properties the paper's experiments
+//! actually exercise — see `DESIGN.md` §3 for the substitution argument.
+//! Every generator is deterministic given a seed.
+//!
+//! * [`generate_birthplaces`] — 7 head-heavy sources over ~6,000 objects with
+//!   a deep geographic hierarchy (BirthPlaces, §5 "Datasets").
+//! * [`generate_heritages`] — ~1,600 long-tail sources over ~800 objects
+//!   (Heritages), the corpus where per-source evidence is scarce.
+//! * [`generate_stock`] — numeric claims with significant-figure truncation
+//!   and heavy-tailed outliers (the Stock dataset of Table 6).
+//! * [`generate_categorical`] — the general-purpose generator behind the two
+//!   categorical corpora, usable directly for custom experiments.
+//!
+//! Sources are sampled with individual three-way trustworthiness vectors
+//! `φ_s = (exact, generalized, wrong)`, reproducing Figure 1's observation
+//! that *each source has its own tendency of generalization*.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod categorical;
+mod corpora;
+mod hierarchy_gen;
+pub mod sampling;
+mod stock;
+
+pub use categorical::{generate_categorical, CategoricalConfig, Corpus, SourceSpec};
+pub use corpora::{
+    generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig,
+};
+pub use hierarchy_gen::{generate_hierarchy, HierarchyConfig};
+pub use stock::{generate_stock, StockAttribute, StockConfig};

@@ -1,0 +1,196 @@
+//! Distribution samplers used by the generators.
+//!
+//! The workspace deliberately depends only on `rand` (not `rand_distr`), so
+//! the handful of distributions the generators need — normal, gamma,
+//! Dirichlet, Zipf — are implemented here. They are exercised directly by
+//! unit tests and indirectly by every generated corpus.
+
+use rand::Rng;
+
+/// A standard-normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against log(0).
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// A Gamma(shape, 1) sample via the Marsaglia–Tsang squeeze method,
+/// with the standard boost for `shape < 1`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// A Dirichlet(α) sample: normalised independent Gamma draws.
+pub fn dirichlet<R: Rng + ?Sized, const K: usize>(rng: &mut R, alpha: &[f64; K]) -> [f64; K] {
+    let mut out = [0.0; K];
+    let mut sum = 0.0;
+    for (o, &a) in out.iter_mut().zip(alpha.iter()) {
+        *o = gamma(rng, a).max(f64::MIN_POSITIVE);
+        sum += *o;
+    }
+    for o in &mut out {
+        *o /= sum;
+    }
+    out
+}
+
+/// Sampler for a Zipf distribution over ranks `1..=n` with exponent `s`,
+/// using a precomputed CDF (the generators draw from modest `n`, so the
+/// O(n) setup and O(log n) draws are the simple, right choice).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over ranks `1..=n` with exponent `s > 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
+        }
+    }
+}
+
+/// Index sampled proportionally to `weights` (which need not be normalised).
+/// Returns `None` when all weights are zero.
+pub fn pick_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return Some(i);
+        }
+    }
+    Some(weights.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean ≈ 3, got {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var ≈ 4, got {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &shape in &[0.5, 1.0, 3.0, 9.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| gamma(&mut rng, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "E[Gamma({shape})] = {shape}, got {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_tracks_alpha() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let alpha = [6.0, 3.0, 1.0];
+        let mut acc = [0.0; 3];
+        let n = 10_000;
+        for _ in 0..n {
+            let d = dirichlet(&mut rng, &alpha);
+            assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for (a, x) in acc.iter_mut().zip(d.iter()) {
+                *a += x;
+            }
+        }
+        // E[d_i] = alpha_i / sum(alpha) = 0.6, 0.3, 0.1.
+        assert!((acc[0] / n as f64 - 0.6).abs() < 0.02);
+        assert!((acc[1] / n as f64 - 0.3).abs() < 0.02);
+        assert!((acc[2] / n as f64 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let z = Zipf::new(100, 1.2);
+        let n = 20_000;
+        let mut count1 = 0;
+        for _ in 0..n {
+            let r = z.sample(&mut rng);
+            assert!((1..=100).contains(&r));
+            if r == 1 {
+                count1 += 1;
+            }
+        }
+        // Rank-1 mass for s=1.2, n=100 is ≈ 0.27.
+        let p1 = count1 as f64 / n as f64;
+        assert!(p1 > 0.2 && p1 < 0.35, "rank-1 mass {p1}");
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..8_000 {
+            counts[pick_weighted(&mut rng, &w).unwrap()] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f64 / counts[1] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+        assert_eq!(pick_weighted(&mut rng, &[0.0, 0.0]), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! The numeric (stock-style) corpus behind Table 6.
+//!
+//! The paper evaluates the numeric extension on the deep-web stock dataset of
+//! Li et al. (2012): 1,000 symbols × 55 sources, with attributes reported at
+//! wildly varying significant figures and the occasional gross outlier. The
+//! generator reproduces those failure modes:
+//!
+//! * every source has a *resolution* — it truncates the truth to its number
+//!   of decimal places (creating the implicit rounding hierarchy §3.2 uses);
+//! * some claims are *wrong* (stale or scraped off the wrong row): truth
+//!   plus noise at the source's resolution;
+//! * rare claims are *outliers*: the truth scaled by a large power of ten or
+//!   an unrelated magnitude — the claims that wreck averaging baselines
+//!   (MEAN, CATD) but not candidate-selection ones (TDH, VOTE).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdh_data::{NumericDataset, ObjectId, SourceId};
+use tdh_hierarchy::numeric::round_to_place;
+
+use crate::sampling::normal;
+
+/// The three stock attributes of Table 6, each with its own truth
+/// distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StockAttribute {
+    /// Daily change rate: small signed ratios (e.g. `0.0123`).
+    ChangeRate,
+    /// Opening price: positive dollars-and-cents values.
+    OpenPrice,
+    /// Earnings per share: small signed values around a dollar.
+    Eps,
+}
+
+impl StockAttribute {
+    /// All attributes, in Table 6 order.
+    pub const ALL: [StockAttribute; 3] = [
+        StockAttribute::ChangeRate,
+        StockAttribute::OpenPrice,
+        StockAttribute::Eps,
+    ];
+
+    /// Human-readable name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StockAttribute::ChangeRate => "change rate",
+            StockAttribute::OpenPrice => "open price",
+            StockAttribute::Eps => "EPS",
+        }
+    }
+
+    /// Draw a ground-truth value for one object.
+    fn draw_truth(self, rng: &mut StdRng) -> f64 {
+        match self {
+            // Typical daily change rates, 4 decimals, avoiding exact zero.
+            StockAttribute::ChangeRate => {
+                let v = round_to_place(normal(rng, 0.0, 0.02), -4);
+                if v == 0.0 {
+                    0.0001
+                } else {
+                    v
+                }
+            }
+            // Log-normal-ish prices in roughly $1–$500, cents resolution.
+            StockAttribute::OpenPrice => {
+                let v = (normal(rng, 3.0, 1.0)).exp().clamp(0.5, 800.0);
+                round_to_place(v, -2)
+            }
+            // EPS around $0.5, 2 decimals.
+            StockAttribute::Eps => {
+                let v = round_to_place(normal(rng, 0.5, 0.8), -2);
+                if v == 0.0 {
+                    0.01
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+/// Configuration for [`generate_stock`].
+#[derive(Debug, Clone)]
+pub struct StockConfig {
+    /// The attribute to generate (truth distribution differs per attribute).
+    pub attribute: StockAttribute,
+    /// Number of objects (paper: 1,000 symbols).
+    pub n_objects: usize,
+    /// Number of sources (paper: 55).
+    pub n_sources: usize,
+    /// Probability that a source reports on a given object.
+    pub coverage: f64,
+    /// Probability of a wrong (noisy) claim.
+    pub wrong_prob: f64,
+    /// Probability of a gross outlier claim.
+    pub outlier_prob: f64,
+}
+
+impl Default for StockConfig {
+    fn default() -> Self {
+        StockConfig {
+            attribute: StockAttribute::OpenPrice,
+            n_objects: 1_000,
+            n_sources: 55,
+            coverage: 0.6,
+            wrong_prob: 0.15,
+            outlier_prob: 0.02,
+        }
+    }
+}
+
+/// Generate a numeric truth-discovery corpus for one stock attribute.
+pub fn generate_stock(cfg: &StockConfig, seed: u64) -> NumericDataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd_ef01_2345_6789);
+    let mut ds = NumericDataset::new(cfg.n_objects, cfg.n_sources);
+
+    let truths: Vec<f64> = (0..cfg.n_objects)
+        .map(|_| cfg.attribute.draw_truth(&mut rng))
+        .collect();
+    for (i, &t) in truths.iter().enumerate() {
+        ds.set_gold(ObjectId::from_index(i), t);
+    }
+
+    // Per-source resolution: how many decimal places the source keeps.
+    // Finer than the truth's own resolution just reproduces the truth.
+    let resolutions: Vec<i32> = (0..cfg.n_sources)
+        .map(|_| match cfg.attribute {
+            StockAttribute::ChangeRate => -rng.random_range(1..=4),
+            StockAttribute::OpenPrice => -rng.random_range(0..=2),
+            StockAttribute::Eps => -rng.random_range(0..=2),
+        })
+        .collect();
+
+    // Outliers concentrate in a few sloppy sources (scraper bugs live in
+    // specific extraction pipelines, as in the real deep-web stock data):
+    // 20% of the sources carry 4× the mean outlier rate, the rest 1/4 of
+    // it. This is what lets weighting baselines (CRH, CATD) partially
+    // recover while plain MEAN cannot.
+    let outlier_rate: Vec<f64> = (0..cfg.n_sources)
+        .map(|_| {
+            if rng.random::<f64>() < 0.2 {
+                (cfg.outlier_prob * 4.0).min(0.9)
+            } else {
+                cfg.outlier_prob / 4.0
+            }
+        })
+        .collect();
+
+    for oi in 0..cfg.n_objects {
+        let truth = truths[oi];
+        for si in 0..cfg.n_sources {
+            if rng.random::<f64>() >= cfg.coverage {
+                continue;
+            }
+            let roll: f64 = rng.random();
+            let value = if roll < outlier_rate[si] {
+                // Decimal-shift scrape errors or an unrelated magnitude.
+                if rng.random_bool(0.5) {
+                    truth * 10f64.powi(rng.random_range(2..=4))
+                } else {
+                    truth + normal(&mut rng, 0.0, 100.0 * truth.abs().max(1.0))
+                }
+            } else if roll < outlier_rate[si] + cfg.wrong_prob {
+                // Plausibly wrong: off by noise at the source's resolution.
+                let noise_scale = 10f64.powi(resolutions[si]) * 4.0;
+                round_to_place(truth + normal(&mut rng, 0.0, noise_scale), resolutions[si])
+            } else {
+                // Correct at the source's resolution (possibly generalized).
+                round_to_place(truth, resolutions[si])
+            };
+            if value.is_finite() {
+                ds.add_claim(
+                    ObjectId::from_index(oi),
+                    SourceId::from_index(si),
+                    value,
+                );
+            }
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::numeric::place_of;
+
+    #[test]
+    fn all_objects_have_gold_and_claims() {
+        let cfg = StockConfig {
+            n_objects: 100,
+            ..Default::default()
+        };
+        let ds = generate_stock(&cfg, 1);
+        let by_obj = ds.claims_by_object();
+        let mut with_claims = 0;
+        for o in ds.objects() {
+            assert!(ds.gold(o).is_some());
+            if !by_obj[o.index()].is_empty() {
+                with_claims += 1;
+            }
+        }
+        // Coverage 0.6 over 55 sources: virtually every object is claimed.
+        assert!(with_claims >= 99);
+    }
+
+    #[test]
+    fn truths_avoid_exact_zero() {
+        for attr in StockAttribute::ALL {
+            let cfg = StockConfig {
+                attribute: attr,
+                n_objects: 300,
+                ..Default::default()
+            };
+            let ds = generate_stock(&cfg, 2);
+            for o in ds.objects() {
+                assert_ne!(ds.gold(o), Some(0.0), "{}", attr.name());
+            }
+        }
+    }
+
+    #[test]
+    fn most_claims_are_rounded_truths() {
+        let cfg = StockConfig {
+            attribute: StockAttribute::OpenPrice,
+            n_objects: 200,
+            ..Default::default()
+        };
+        let ds = generate_stock(&cfg, 3);
+        let mut correctish = 0usize;
+        for c in ds.claims() {
+            let t = ds.gold(c.object).unwrap();
+            if (round_to_place(t, place_of(c.value)) - c.value).abs() < 1e-9 {
+                correctish += 1;
+            }
+        }
+        let frac = correctish as f64 / ds.claims().len() as f64;
+        assert!(frac > 0.7, "rounded-truth fraction {frac}");
+    }
+
+    #[test]
+    fn outliers_exist_but_are_rare() {
+        let cfg = StockConfig {
+            attribute: StockAttribute::OpenPrice,
+            n_objects: 500,
+            ..Default::default()
+        };
+        let ds = generate_stock(&cfg, 4);
+        let mut outliers = 0usize;
+        for c in ds.claims() {
+            let t = ds.gold(c.object).unwrap();
+            if (c.value - t).abs() > 10.0 * t.abs().max(1.0) {
+                outliers += 1;
+            }
+        }
+        let frac = outliers as f64 / ds.claims().len() as f64;
+        assert!(frac > 0.001 && frac < 0.05, "outlier fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = StockConfig {
+            n_objects: 50,
+            ..Default::default()
+        };
+        let a = generate_stock(&cfg, 9);
+        let b = generate_stock(&cfg, 9);
+        assert_eq!(a.claims(), b.claims());
+    }
+}

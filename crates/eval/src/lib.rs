@@ -1,0 +1,28 @@
+//! Quality measures for truth discovery (paper §5, "Quality Measures").
+//!
+//! * [`single_truth_report`] — *Accuracy*, *GenAccuracy* and *AvgDistance*
+//!   against the gold standard, with the paper's mapping of gold values that
+//!   are missing from the candidate set onto their most specific candidate
+//!   ancestor.
+//! * [`multi_truth_report`] — precision / recall / F1 for multi-truth
+//!   discovery (§5.7), where the truth set of `v` is taken to be `v` together
+//!   with all its non-root ancestors.
+//! * [`numeric_report`] — MAE and mean relative error for numeric truth
+//!   discovery (§5.8).
+//! * [`source_reliability`] — the per-source exact / generalized accuracies
+//!   behind Figures 1 and 5.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod multi;
+mod numeric;
+mod single;
+mod source;
+
+pub use multi::{multi_truth_report, truth_closure, MultiTruthReport};
+pub use numeric::{numeric_report, NumericReport};
+pub use single::{
+    mapped_gold, single_truth_report, single_truth_report_with_index, SingleTruthReport,
+};
+pub use source::{source_reliability, SourceReliability};

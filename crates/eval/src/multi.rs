@@ -1,0 +1,148 @@
+//! Multi-truth precision / recall / F1 (paper §5.7).
+//!
+//! In the presence of hierarchies, the truth of an object is not one value
+//! but a chain: the most specific truth together with all its (non-root)
+//! ancestors — `"Liberty Island"` entails `"NY"` entails `"USA"`. Multi-truth
+//! algorithms emit value sets directly; single-truth algorithms are evaluated
+//! by closing their single estimate under ancestors ("we treat the ancestors
+//! of v and v itself as the multi-truths of v").
+
+use tdh_data::Dataset;
+use tdh_hierarchy::{Hierarchy, NodeId};
+
+/// Aggregate (micro-averaged) precision, recall and F1 over all objects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiTruthReport {
+    /// `|est ∩ gold| / |est|`, aggregated over objects.
+    pub precision: f64,
+    /// `|est ∩ gold| / |gold|`, aggregated over objects.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Objects that entered the aggregation.
+    pub n_evaluated: usize,
+}
+
+/// `v` and all its non-root ancestors — the multi-truth set entailed by a
+/// single value.
+pub fn truth_closure(h: &Hierarchy, v: NodeId) -> Vec<NodeId> {
+    let mut out = vec![v];
+    out.extend(h.ancestors(v).filter(|&a| a != NodeId::ROOT));
+    out
+}
+
+/// Score per-object estimated truth *sets* against the gold standard.
+///
+/// `estimates[o]` is the set of values the algorithm believes true for `o`
+/// (empty = no output, still counted, contributing zero matches). The gold
+/// set is the closure of the gold value under ancestors. Counts are
+/// aggregated over objects (micro-averaging), so objects with larger truth
+/// sets weigh proportionally more.
+pub fn multi_truth_report(ds: &Dataset, estimates: &[Vec<NodeId>]) -> MultiTruthReport {
+    assert_eq!(estimates.len(), ds.n_objects());
+    let h = ds.hierarchy();
+    let mut tp = 0usize;
+    let mut est_total = 0usize;
+    let mut gold_total = 0usize;
+    let mut n = 0usize;
+    for o in ds.objects() {
+        let Some(gold) = ds.gold(o) else { continue };
+        n += 1;
+        let gold_set = truth_closure(h, gold);
+        let est = &estimates[o.index()];
+        est_total += est.len();
+        gold_total += gold_set.len();
+        tp += est.iter().filter(|v| gold_set.contains(v)).count();
+    }
+    let precision = if est_total == 0 {
+        0.0
+    } else {
+        tp as f64 / est_total as f64
+    };
+    let recall = if gold_total == 0 {
+        0.0
+    } else {
+        tp as f64 / gold_total as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    MultiTruthReport {
+        precision,
+        recall,
+        f1,
+        n_evaluated: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    fn fixture() -> Dataset {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        let mut ds = Dataset::new(b.build());
+        let o = ds.intern_object("sol");
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        ds.set_gold(o, li);
+        ds
+    }
+
+    #[test]
+    fn closure_excludes_root() {
+        let ds = fixture();
+        let h = ds.hierarchy();
+        let li = h.node_by_name("Liberty Island").unwrap();
+        let set = truth_closure(h, li);
+        assert_eq!(set.len(), 3); // LI, NY, USA
+        assert!(!set.contains(&NodeId::ROOT));
+    }
+
+    #[test]
+    fn exact_closure_scores_perfectly() {
+        let ds = fixture();
+        let h = ds.hierarchy();
+        let li = h.node_by_name("Liberty Island").unwrap();
+        let r = multi_truth_report(&ds, &[truth_closure(h, li)]);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.f1, 1.0);
+    }
+
+    #[test]
+    fn generalized_estimate_trades_recall_for_precision() {
+        // Estimating only USA: precision 1 (USA ∈ gold set) but recall 1/3.
+        let ds = fixture();
+        let usa = ds.hierarchy().node_by_name("USA").unwrap();
+        let r = multi_truth_report(&ds, &[vec![usa]]);
+        assert_eq!(r.precision, 1.0);
+        assert!((r.recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_values_hurt_precision() {
+        let ds = fixture();
+        let h = ds.hierarchy();
+        let la = h.node_by_name("LA").unwrap();
+        let usa = h.node_by_name("USA").unwrap();
+        // {LA, USA}: only USA matches the gold closure.
+        let r = multi_truth_report(&ds, &[vec![la, usa]]);
+        assert_eq!(r.precision, 0.5);
+        assert!((r.recall - 1.0 / 3.0).abs() < 1e-12);
+        assert!(r.f1 > 0.0 && r.f1 < 1.0);
+    }
+
+    #[test]
+    fn empty_estimate_zeroes() {
+        let ds = fixture();
+        let r = multi_truth_report(&ds, &[vec![]]);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.f1, 0.0);
+    }
+}

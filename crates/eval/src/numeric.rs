@@ -1,0 +1,93 @@
+//! MAE and relative error for numeric truth discovery (paper §5.8, Table 6).
+
+use tdh_data::NumericDataset;
+
+/// Error measures for numeric truth estimates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericReport {
+    /// Mean absolute error `Σ |est_o − gold_o| / n`.
+    pub mae: f64,
+    /// Mean relative error `Σ |est_o − gold_o| / |gold_o| / n`, skipping
+    /// objects whose gold value is exactly zero (undefined ratio).
+    pub relative_error: f64,
+    /// Objects that entered the MAE.
+    pub n_evaluated: usize,
+}
+
+/// Score numeric estimates against the gold standard. `estimates[o]` is the
+/// estimate for object `o`; objects without a gold value or an estimate are
+/// skipped.
+pub fn numeric_report(ds: &NumericDataset, estimates: &[Option<f64>]) -> NumericReport {
+    assert_eq!(estimates.len(), ds.n_objects());
+    let mut abs_sum = 0.0;
+    let mut rel_sum = 0.0;
+    let mut n = 0usize;
+    let mut n_rel = 0usize;
+    for o in ds.objects() {
+        let (Some(gold), Some(est)) = (ds.gold(o), estimates[o.index()]) else {
+            continue;
+        };
+        n += 1;
+        let err = (est - gold).abs();
+        abs_sum += err;
+        if gold != 0.0 {
+            rel_sum += err / gold.abs();
+            n_rel += 1;
+        }
+    }
+    NumericReport {
+        mae: abs_sum / n.max(1) as f64,
+        relative_error: rel_sum / n_rel.max(1) as f64,
+        n_evaluated: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_data::ObjectId;
+
+    fn ds3() -> NumericDataset {
+        let mut ds = NumericDataset::new(3, 1);
+        ds.set_gold(ObjectId(0), 10.0);
+        ds.set_gold(ObjectId(1), -4.0);
+        // object 2 has no gold
+        ds
+    }
+
+    #[test]
+    fn exact_estimates_have_zero_error() {
+        let ds = ds3();
+        let r = numeric_report(&ds, &[Some(10.0), Some(-4.0), Some(1.0)]);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.relative_error, 0.0);
+        assert_eq!(r.n_evaluated, 2);
+    }
+
+    #[test]
+    fn errors_average_over_evaluated_objects() {
+        let ds = ds3();
+        let r = numeric_report(&ds, &[Some(12.0), Some(-5.0), None]);
+        assert_eq!(r.mae, (2.0 + 1.0) / 2.0);
+        assert!((r.relative_error - (0.2 + 0.25) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_gold_skipped_for_relative_error_only() {
+        let mut ds = NumericDataset::new(2, 1);
+        ds.set_gold(ObjectId(0), 0.0);
+        ds.set_gold(ObjectId(1), 2.0);
+        let r = numeric_report(&ds, &[Some(1.0), Some(3.0)]);
+        assert_eq!(r.mae, (1.0 + 1.0) / 2.0);
+        assert_eq!(r.relative_error, 0.5); // only object 1 contributes
+        assert_eq!(r.n_evaluated, 2);
+    }
+
+    #[test]
+    fn missing_estimates_skipped() {
+        let ds = ds3();
+        let r = numeric_report(&ds, &[None, None, None]);
+        assert_eq!(r.n_evaluated, 0);
+        assert_eq!(r.mae, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Accuracy, GenAccuracy and AvgDistance (paper §5).
+
+use tdh_data::{Dataset, ObjectId, ObservationIndex};
+use tdh_hierarchy::NodeId;
+
+/// The three single-truth quality measures of the paper.
+///
+/// * `accuracy` — fraction of evaluated objects whose estimated truth equals
+///   the (mapped) gold truth exactly: `Σ I(v*_o = t_o) / |O|`.
+/// * `gen_accuracy` — fraction whose estimate is the gold truth *or one of
+///   its ancestors*: correct but possibly less informative.
+/// * `avg_distance` — mean number of hierarchy edges `d(v*_o, t_o)` between
+///   estimate and gold; robust to gold values that are less specific than
+///   the estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleTruthReport {
+    /// Exact-match accuracy.
+    pub accuracy: f64,
+    /// Hierarchical (ancestor-tolerant) accuracy.
+    pub gen_accuracy: f64,
+    /// Mean tree distance between estimate and gold.
+    pub avg_distance: f64,
+    /// Objects with a gold label that entered the averages.
+    pub n_evaluated: usize,
+    /// Objects skipped for lack of a gold label or an estimate.
+    pub n_skipped: usize,
+}
+
+/// The evaluation target `t_o` for object `o`: the gold value if it appears
+/// among the candidates, otherwise *the most specific candidate value among
+/// the ancestors of the truth* (paper §5). Falls back to the raw gold value
+/// when no candidate lies on the gold's root path (any estimate is then
+/// simply wrong, and distances are still well defined).
+pub fn mapped_gold(ds: &Dataset, idx: &ObservationIndex, o: ObjectId) -> Option<NodeId> {
+    let gold = ds.gold(o)?;
+    let view = idx.view(o);
+    if view.cand_index(gold).is_some() {
+        return Some(gold);
+    }
+    ds.hierarchy()
+        .most_specific_ancestor_in(&view.candidates, gold)
+        .or(Some(gold))
+}
+
+/// Score estimated truths against the gold standard.
+///
+/// `truths[o]` is the estimate for object `o` (`None` = no estimate, counted
+/// as skipped). Objects without gold labels are skipped.
+pub fn single_truth_report(ds: &Dataset, truths: &[Option<NodeId>]) -> SingleTruthReport {
+    let idx = ObservationIndex::build(ds);
+    single_truth_report_with_index(ds, &idx, truths)
+}
+
+/// [`single_truth_report`] with a pre-built index (avoids the rebuild inside
+/// evaluation loops that already maintain one).
+pub fn single_truth_report_with_index(
+    ds: &Dataset,
+    idx: &ObservationIndex,
+    truths: &[Option<NodeId>],
+) -> SingleTruthReport {
+    assert_eq!(
+        truths.len(),
+        ds.n_objects(),
+        "one estimate slot per object"
+    );
+    let h = ds.hierarchy();
+    let mut n = 0usize;
+    let mut skipped = 0usize;
+    let mut exact = 0usize;
+    let mut gen = 0usize;
+    let mut dist_sum = 0u64;
+    for o in ds.objects() {
+        let (Some(target), Some(est)) = (mapped_gold(ds, idx, o), truths[o.index()]) else {
+            skipped += 1;
+            continue;
+        };
+        n += 1;
+        if est == target {
+            exact += 1;
+        }
+        if h.is_ancestor_or_self(est, target) {
+            gen += 1;
+        }
+        dist_sum += u64::from(h.distance(est, target));
+    }
+    let denom = n.max(1) as f64;
+    SingleTruthReport {
+        accuracy: exact as f64 / denom,
+        gen_accuracy: gen as f64 / denom,
+        avg_distance: dist_sum as f64 / denom,
+        n_evaluated: n,
+        n_skipped: skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    fn fixture() -> (Dataset, Vec<ObjectId>) {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        let mut ds = Dataset::new(b.build());
+        let s = ds.intern_source("s");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        let la = ds.hierarchy().node_by_name("LA").unwrap();
+
+        let o1 = ds.intern_object("sol");
+        ds.add_record(o1, s, ny);
+        let s2 = ds.intern_source("s2");
+        let s3 = ds.intern_source("s3");
+        ds.add_record(o1, s2, li);
+        ds.add_record(o1, s3, la);
+        ds.set_gold(o1, li);
+
+        let o2 = ds.intern_object("other");
+        ds.add_record(o2, s, la);
+        ds.set_gold(o2, la);
+        (ds, vec![o1, o2])
+    }
+
+    #[test]
+    fn perfect_estimates() {
+        let (ds, os) = fixture();
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        let la = ds.hierarchy().node_by_name("LA").unwrap();
+        let mut truths = vec![None; ds.n_objects()];
+        truths[os[0].index()] = Some(li);
+        truths[os[1].index()] = Some(la);
+        let r = single_truth_report(&ds, &truths);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.gen_accuracy, 1.0);
+        assert_eq!(r.avg_distance, 0.0);
+        assert_eq!(r.n_evaluated, 2);
+    }
+
+    #[test]
+    fn generalized_estimate_counts_for_gen_accuracy_only() {
+        let (ds, os) = fixture();
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        let la = ds.hierarchy().node_by_name("LA").unwrap();
+        let mut truths = vec![None; ds.n_objects()];
+        truths[os[0].index()] = Some(ny); // ancestor of gold Liberty Island
+        truths[os[1].index()] = Some(la);
+        let r = single_truth_report(&ds, &truths);
+        assert_eq!(r.accuracy, 0.5);
+        assert_eq!(r.gen_accuracy, 1.0);
+        assert_eq!(r.avg_distance, 0.5); // d(NY, LI) = 1 over 2 objects
+    }
+
+    #[test]
+    fn wrong_estimate() {
+        let (ds, os) = fixture();
+        let la = ds.hierarchy().node_by_name("LA").unwrap();
+        let mut truths = vec![None; ds.n_objects()];
+        truths[os[0].index()] = Some(la); // gold is Liberty Island
+        truths[os[1].index()] = Some(la);
+        let r = single_truth_report(&ds, &truths);
+        assert_eq!(r.accuracy, 0.5);
+        assert_eq!(r.gen_accuracy, 0.5);
+        // d(LA, Liberty Island) = 4.
+        assert_eq!(r.avg_distance, 2.0);
+    }
+
+    #[test]
+    fn gold_mapped_to_most_specific_candidate_ancestor() {
+        // Gold = Liberty Island but only NY and LA are claimed: target
+        // becomes NY.
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        let mut ds = Dataset::new(b.build());
+        let o = ds.intern_object("sol");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        let la = ds.hierarchy().node_by_name("LA").unwrap();
+        let s1 = ds.intern_source("s1");
+        let s2 = ds.intern_source("s2");
+        ds.add_record(o, s1, ny);
+        ds.add_record(o, s2, la);
+        ds.set_gold(o, li);
+
+        let idx = ObservationIndex::build(&ds);
+        assert_eq!(mapped_gold(&ds, &idx, o), Some(ny));
+
+        let mut truths = vec![None; ds.n_objects()];
+        truths[o.index()] = Some(ny);
+        let r = single_truth_report(&ds, &truths);
+        assert_eq!(r.accuracy, 1.0, "NY is the mapped gold");
+    }
+
+    #[test]
+    fn missing_gold_and_estimates_are_skipped() {
+        let (ds, os) = fixture();
+        let mut truths = vec![None; ds.n_objects()];
+        truths[os[0].index()] = None;
+        truths[os[1].index()] = Some(ds.hierarchy().node_by_name("LA").unwrap());
+        let r = single_truth_report(&ds, &truths);
+        assert_eq!(r.n_evaluated, 1);
+        assert_eq!(r.n_skipped, 1);
+        assert_eq!(r.accuracy, 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Per-source reliability statistics (Figures 1 and 5).
+
+use tdh_data::{Dataset, ObservationIndex, SourceId};
+
+use crate::single::mapped_gold;
+
+/// Ground-truth reliability of one source, computed over its claims whose
+/// objects carry gold labels.
+///
+/// * `accuracy` — fraction of claims that equal the (mapped) gold exactly.
+/// * `gen_accuracy` — fraction that are the gold value or one of its
+///   ancestors: the *generalized accuracy* of Figure 1.
+///
+/// A source that generalizes a lot sits far above the `accuracy ==
+/// gen_accuracy` diagonal — exactly the phenomenon the TDH model's
+/// three-way trustworthiness `φ_s` captures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceReliability {
+    /// The source.
+    pub source: SourceId,
+    /// Number of claims this source made (over gold-labelled objects).
+    pub n_claims: usize,
+    /// Exact accuracy.
+    pub accuracy: f64,
+    /// Hierarchically-correct accuracy.
+    pub gen_accuracy: f64,
+}
+
+/// Compute [`SourceReliability`] for every source with at least one claim
+/// about a gold-labelled object. Sources without such claims are reported
+/// with `n_claims == 0` and zero accuracies.
+pub fn source_reliability(ds: &Dataset, idx: &ObservationIndex) -> Vec<SourceReliability> {
+    let h = ds.hierarchy();
+    let mut exact = vec![0usize; ds.n_sources()];
+    let mut gen = vec![0usize; ds.n_sources()];
+    let mut total = vec![0usize; ds.n_sources()];
+    for r in ds.records() {
+        let Some(target) = mapped_gold(ds, idx, r.object) else {
+            continue;
+        };
+        total[r.source.index()] += 1;
+        if r.value == target {
+            exact[r.source.index()] += 1;
+        }
+        if h.is_ancestor_or_self(r.value, target) {
+            gen[r.source.index()] += 1;
+        }
+    }
+    (0..ds.n_sources())
+        .map(|i| SourceReliability {
+            source: SourceId::from_index(i),
+            n_claims: total[i],
+            accuracy: exact[i] as f64 / total[i].max(1) as f64,
+            gen_accuracy: gen[i] as f64 / total[i].max(1) as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    #[test]
+    fn generalizing_source_sits_above_diagonal() {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        let mut ds = Dataset::new(b.build());
+        let exacting = ds.intern_source("exact");
+        let generalizer = ds.intern_source("general");
+        let liar = ds.intern_source("liar");
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        let la = ds.hierarchy().node_by_name("LA").unwrap();
+
+        for i in 0..4 {
+            let o = ds.intern_object(&format!("o{i}"));
+            ds.add_record(o, exacting, li);
+            ds.add_record(o, generalizer, ny);
+            ds.add_record(o, liar, la);
+            ds.set_gold(o, li);
+        }
+
+        let idx = ObservationIndex::build(&ds);
+        let rel = source_reliability(&ds, &idx);
+        assert_eq!(rel.len(), 3);
+
+        let ex = &rel[exacting.index()];
+        assert_eq!((ex.accuracy, ex.gen_accuracy), (1.0, 1.0));
+        assert_eq!(ex.n_claims, 4);
+
+        let ge = &rel[generalizer.index()];
+        assert_eq!(ge.accuracy, 0.0);
+        assert_eq!(ge.gen_accuracy, 1.0, "generalized claims are correct");
+
+        let lr = &rel[liar.index()];
+        assert_eq!((lr.accuracy, lr.gen_accuracy), (0.0, 0.0));
+    }
+
+    #[test]
+    fn sources_without_gold_claims_report_zero() {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY"]);
+        let mut ds = Dataset::new(b.build());
+        let s = ds.intern_source("s");
+        let o = ds.intern_object("o");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        ds.add_record(o, s, ny); // no gold set
+        let idx = ObservationIndex::build(&ds);
+        let rel = source_reliability(&ds, &idx);
+        assert_eq!(rel[0].n_claims, 0);
+        assert_eq!(rel[0].accuracy, 0.0);
+    }
+}

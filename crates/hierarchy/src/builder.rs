@@ -1,0 +1,207 @@
+//! Incremental construction of [`Hierarchy`] values.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::tree::{Hierarchy, NodeId};
+
+/// Errors raised while building a hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A node was inserted twice with two different parents. The hierarchy is
+    /// a tree: each value has exactly one parent.
+    ConflictingParent {
+        /// The offending node name.
+        node: String,
+        /// The name of the parent it was first registered under.
+        existing_parent: String,
+        /// The name of the conflicting new parent.
+        new_parent: String,
+    },
+    /// The reserved root name was used for a regular node.
+    ReservedRootName,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::ConflictingParent {
+                node,
+                existing_parent,
+                new_parent,
+            } => write!(
+                f,
+                "node {node:?} already has parent {existing_parent:?}, cannot reparent under {new_parent:?}"
+            ),
+            BuildError::ReservedRootName => write!(f, "the name \"<root>\" is reserved"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Name reserved for the implicit root node.
+pub(crate) const ROOT_NAME: &str = "<root>";
+
+/// Builds a [`Hierarchy`] from edges or paths.
+///
+/// Nodes are interned by name: adding the same name twice under the same
+/// parent is a no-op returning the existing id. The root exists implicitly
+/// and is never added by the caller.
+///
+/// ```
+/// use tdh_hierarchy::HierarchyBuilder;
+/// let mut b = HierarchyBuilder::new();
+/// let ny = b.add_child_of_root("NY");
+/// let li = b.add_child(ny, "Liberty Island").unwrap();
+/// let h = b.build();
+/// assert!(h.is_strict_ancestor(ny, li));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct HierarchyBuilder {
+    parent: Vec<NodeId>,
+    names: Vec<String>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl HierarchyBuilder {
+    /// Fresh builder containing only the implicit root.
+    pub fn new() -> Self {
+        let mut b = HierarchyBuilder {
+            parent: vec![NodeId::ROOT],
+            names: vec![ROOT_NAME.to_string()],
+            by_name: HashMap::new(),
+        };
+        b.by_name.insert(ROOT_NAME.to_string(), NodeId::ROOT);
+        b
+    }
+
+    /// Number of nodes added so far, including the root.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff only the implicit root exists.
+    pub fn is_empty(&self) -> bool {
+        self.parent.len() <= 1
+    }
+
+    /// Id of a previously added node, by name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Add `name` as a child of the root (a *top-level* value such as a
+    /// country or a continent). Idempotent for an existing root child.
+    ///
+    /// # Panics
+    /// Panics if `name` already exists under a non-root parent; use
+    /// [`HierarchyBuilder::add_child`] and handle the error when that is a
+    /// legitimate input condition.
+    pub fn add_child_of_root(&mut self, name: &str) -> NodeId {
+        self.add_child(NodeId::ROOT, name)
+            .expect("conflicting parent for root child")
+    }
+
+    /// Add `name` as a child of `parent`. Returns the existing id if the node
+    /// is already registered under the same parent; errors if it exists under
+    /// a different parent.
+    pub fn add_child(&mut self, parent: NodeId, name: &str) -> Result<NodeId, BuildError> {
+        if name == ROOT_NAME {
+            return Err(BuildError::ReservedRootName);
+        }
+        if let Some(&existing) = self.by_name.get(name) {
+            let existing_parent = self.parent[existing.index()];
+            if existing_parent == parent {
+                return Ok(existing);
+            }
+            return Err(BuildError::ConflictingParent {
+                node: name.to_string(),
+                existing_parent: self.names[existing_parent.index()].clone(),
+                new_parent: self.names[parent.index()].clone(),
+            });
+        }
+        let id = NodeId(self.parent.len() as u32);
+        self.parent.push(parent);
+        self.names.push(name.to_string());
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Add a full root-to-leaf path (e.g. `["USA", "California", "LA"]`),
+    /// creating missing intermediate nodes, and return the id of the final
+    /// (most specific) component.
+    ///
+    /// # Panics
+    /// Panics if a component already exists under a different parent — paths
+    /// fed to this convenience method are assumed to come from a consistent
+    /// gold hierarchy (as the paper builds its geo hierarchy from IMDb
+    /// places). Use [`HierarchyBuilder::add_child`] for untrusted input.
+    pub fn add_path(&mut self, path: &[&str]) -> NodeId {
+        assert!(!path.is_empty(), "path must have at least one component");
+        let mut cur = NodeId::ROOT;
+        for part in path {
+            cur = self
+                .add_child(cur, part)
+                .unwrap_or_else(|e| panic!("inconsistent path {path:?}: {e}"));
+        }
+        cur
+    }
+
+    /// Finish building. Consumes the builder.
+    pub fn build(self) -> Hierarchy {
+        Hierarchy::from_parts(self.parent, self.names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idempotent_insertion() {
+        let mut b = HierarchyBuilder::new();
+        let a = b.add_child_of_root("USA");
+        let a2 = b.add_child_of_root("USA");
+        assert_eq!(a, a2);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn conflicting_parent_rejected() {
+        let mut b = HierarchyBuilder::new();
+        let usa = b.add_child_of_root("USA");
+        let uk = b.add_child_of_root("UK");
+        b.add_child(usa, "Springfield").unwrap();
+        let err = b.add_child(uk, "Springfield").unwrap_err();
+        assert!(matches!(err, BuildError::ConflictingParent { .. }));
+        assert!(err.to_string().contains("Springfield"));
+    }
+
+    #[test]
+    fn reserved_root_name_rejected() {
+        let mut b = HierarchyBuilder::new();
+        assert_eq!(
+            b.add_child(NodeId::ROOT, "<root>"),
+            Err(BuildError::ReservedRootName)
+        );
+    }
+
+    #[test]
+    fn paths_share_prefixes() {
+        let mut b = HierarchyBuilder::new();
+        let la = b.add_path(&["USA", "CA", "LA"]);
+        let sf = b.add_path(&["USA", "CA", "SF"]);
+        let h = b.build();
+        assert_eq!(h.parent(la), h.parent(sf));
+        assert_eq!(h.len(), 5);
+    }
+
+    #[test]
+    fn lookup_before_build() {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "CA"]);
+        assert!(b.node("CA").is_some());
+        assert!(b.node("NV").is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! Value hierarchies for hierarchical truth discovery.
+//!
+//! Truth discovery in the presence of hierarchies (Jung, Kim & Shim,
+//! EDBT 2019) interprets a claimed value relative to a hierarchy tree `H`:
+//! a claim can be *exactly correct* (equal to the truth), *hierarchically
+//! correct* (a proper ancestor of the truth, i.e. a generalization such as
+//! `"NY"` for `"Liberty Island"`), or *incorrect* (anything else).
+//!
+//! This crate provides the tree machinery every other crate in the workspace
+//! builds on:
+//!
+//! * [`Hierarchy`] — an interned, immutable rooted tree with O(1) parent /
+//!   depth lookups, ancestor iteration, subtree (descendant) queries,
+//!   lowest-common-ancestor and tree-distance computations.
+//! * [`HierarchyBuilder`] — incremental construction from `(child, parent)`
+//!   edges or slash-separated paths (`"USA/California/LA"`), with duplicate
+//!   detection and cycle rejection.
+//! * [`numeric`] — the *implicit* hierarchy over numeric claims described in
+//!   §3.2 of the paper: `v_a` is an ancestor of `v_d` iff `v_a` is obtained
+//!   by rounding `v_d` to fewer significant digits.
+//!
+//! # Example
+//!
+//! ```
+//! use tdh_hierarchy::HierarchyBuilder;
+//!
+//! let mut b = HierarchyBuilder::new();
+//! let liberty = b.add_path(&["USA", "NY", "Liberty Island"]);
+//! let la = b.add_path(&["USA", "CA", "LA"]);
+//! let h = b.build();
+//!
+//! let ny = h.node_by_name("NY").unwrap();
+//! assert!(h.is_strict_ancestor(ny, liberty));
+//! assert!(!h.is_strict_ancestor(ny, la));
+//! assert_eq!(h.distance(liberty, la), 4); // up 2 to USA, down 2 to LA
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+pub mod numeric;
+mod tree;
+
+pub use builder::{BuildError, HierarchyBuilder};
+pub use tree::{AncestorIter, Hierarchy, NodeId};

@@ -1,0 +1,314 @@
+//! The *implicit* hierarchy over numeric claims (paper §3.2).
+//!
+//! Web sources report the same quantity at different measurement resolutions:
+//! the area of Seoul (605.196 km²) appears as `605.2` or `605` depending on
+//! the significant figures a page keeps. The paper models this by declaring
+//! `v_a` an ancestor of `v_d` whenever `v_a` is obtained by *rounding off*
+//! `v_d`, and then runs the ordinary TDH algorithm over the induced tree.
+//!
+//! This module derives that tree from a bag of claimed `f64` values:
+//!
+//! 1. Every value is canonicalised to its shortest round-trip decimal string.
+//! 2. Its *place* — the power of ten of its least significant digit — is
+//!    inferred from the canonical string (`605.196 → -3`, `605.2 → -1`,
+//!    `605 → 0`, `600 → 2`).
+//! 3. `v_a` is a direct-test ancestor of `v_d` iff `place(v_a) > place(v_d)`
+//!    and rounding `v_d` to `place(v_a)` (half away from zero, the convention
+//!    used when people truncate reported figures) yields exactly `v_a`.
+//! 4. Each value's parent is its most specific (smallest-place) direct-test
+//!    ancestor; values with no ancestor hang off the root.
+//!
+//! The direct test is not transitive at exact half-way boundaries
+//! (`0.445 → 0.45 → 0.5` but `0.445 → 0.4` at one decimal), so the exported
+//! tree's ancestor relation is the transitive closure of the *parent* edges,
+//! which is a well-defined tree by construction.
+
+use std::collections::HashMap;
+
+use crate::builder::HierarchyBuilder;
+use crate::tree::{Hierarchy, NodeId};
+
+/// Relative tolerance used when comparing rounded values.
+const REL_EPS: f64 = 1e-9;
+
+/// Canonical (shortest round-trip) decimal representation of `x`.
+///
+/// Two claims are considered the *same* value iff their canonical strings
+/// match; this is also the node name in the derived hierarchy.
+pub fn canonical(x: f64) -> String {
+    if x == 0.0 {
+        // Normalise -0.0.
+        return "0".to_string();
+    }
+    let s = format!("{x}");
+    // `format!("{}")` already emits the shortest representation that
+    // round-trips; it never prints a trailing ".0" for integers.
+    s
+}
+
+/// The power of ten of the least significant digit of `x`, inferred from its
+/// canonical decimal representation.
+///
+/// * `605.196` → `-3` (thousandths)
+/// * `605.2` → `-1`
+/// * `605` → `0`
+/// * `600` → `2` (trailing integer zeros are treated as insignificant, i.e.
+///   `600` is read as "rounded to hundreds")
+/// * `0` → `0`
+///
+/// Values with exponents in their shortest representation (e.g. `1e300`) are
+/// handled by falling back to the exponent.
+pub fn place_of(x: f64) -> i32 {
+    if x == 0.0 {
+        return 0;
+    }
+    let s = canonical(x);
+    let s = s.strip_prefix('-').unwrap_or(&s);
+    if let Some(epos) = s.find(['e', 'E']) {
+        // mantissa e exponent: place = exponent - fractional digits of mantissa
+        let exp: i32 = s[epos + 1..].parse().unwrap_or(0);
+        let mant = &s[..epos];
+        let frac = mant.find('.').map_or(0, |d| (mant.len() - d - 1) as i32);
+        return exp - frac;
+    }
+    if let Some(dot) = s.find('.') {
+        // Fractional digits after the dot determine the place.
+        -((s.len() - dot - 1) as i32)
+    } else {
+        // Count trailing zeros of the integer representation.
+        s.chars().rev().take_while(|&c| c == '0').count() as i32
+    }
+}
+
+/// Round `x` to decimal place `k` (the power of ten of the last kept digit),
+/// rounding halves away from zero.
+pub fn round_to_place(x: f64, k: i32) -> f64 {
+    let scale = 10f64.powi(-k);
+    let scaled = x * scale;
+    if !scaled.is_finite() {
+        return x;
+    }
+    scaled.round() / scale
+}
+
+/// `true` iff `a` is obtained by rounding off `d` — the paper's direct
+/// ancestor test: `a` is coarser than `d` and rounding `d` to `a`'s place
+/// yields `a`.
+pub fn is_rounding_ancestor(a: f64, d: f64) -> bool {
+    let (pa, pd) = (place_of(a), place_of(d));
+    if pa <= pd {
+        return false;
+    }
+    approx_eq(round_to_place(d, pa), a)
+}
+
+fn approx_eq(x: f64, y: f64) -> bool {
+    if x == y {
+        return true;
+    }
+    let scale = x.abs().max(y.abs()).max(1.0);
+    (x - y).abs() <= REL_EPS * scale
+}
+
+/// The hierarchy induced by significant-figure rounding over a set of
+/// claimed values (typically the candidate values of a single object).
+#[derive(Debug, Clone)]
+pub struct NumericHierarchy {
+    hierarchy: Hierarchy,
+    /// Distinct canonical values, indexed in step with node ids (offset by
+    /// the root, which carries no value).
+    node_value: Vec<f64>,
+    node_of_canon: HashMap<String, NodeId>,
+}
+
+impl NumericHierarchy {
+    /// Build the rounding hierarchy over `values`. Duplicate values (after
+    /// canonicalisation) collapse to a single node.
+    ///
+    /// Returns the hierarchy together with the node each input value maps to.
+    pub fn build(values: &[f64]) -> (Self, Vec<NodeId>) {
+        // Deduplicate by canonical string, keeping first-seen order stable.
+        let mut canon_of: Vec<String> = Vec::new();
+        let mut distinct: Vec<f64> = Vec::new();
+        let mut index_of: HashMap<String, usize> = HashMap::new();
+        for &v in values {
+            let c = canonical(v);
+            index_of.entry(c.clone()).or_insert_with(|| {
+                canon_of.push(c);
+                distinct.push(v);
+                distinct.len() - 1
+            });
+        }
+
+        // Sort candidate parents coarse-to-fine so we can build the tree with
+        // parents preceding children (required by HierarchyBuilder).
+        let mut order: Vec<usize> = (0..distinct.len()).collect();
+        order.sort_by(|&a, &b| {
+            place_of(distinct[b])
+                .cmp(&place_of(distinct[a]))
+                .then_with(|| canon_of[a].cmp(&canon_of[b]))
+        });
+
+        let mut builder = HierarchyBuilder::new();
+        let mut node_of: HashMap<usize, NodeId> = HashMap::new();
+        let mut node_value: Vec<f64> = vec![f64::NAN]; // slot for the root
+        for &i in &order {
+            let v = distinct[i];
+            // Most specific direct-test ancestor already placed in the tree.
+            let parent = order
+                .iter()
+                .take_while(|&&j| j != i)
+                .filter(|&&j| is_rounding_ancestor(distinct[j], v))
+                .min_by_key(|&&j| place_of(distinct[j]))
+                .and_then(|&j| node_of.get(&j).copied())
+                .unwrap_or(NodeId::ROOT);
+            let id = builder
+                .add_child(parent, &canon_of[i])
+                .expect("canonical strings are unique");
+            node_of.insert(i, id);
+            debug_assert_eq!(id.index(), node_value.len());
+            node_value.push(v);
+        }
+
+        let hierarchy = builder.build();
+        let node_of_canon = canon_of
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.clone(), node_of[&i]))
+            .collect();
+        let mapping = values.iter().map(|&v| node_of[&index_of[&canonical(v)]]).collect();
+        (
+            NumericHierarchy {
+                hierarchy,
+                node_value,
+                node_of_canon,
+            },
+            mapping,
+        )
+    }
+
+    /// The underlying tree.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The numeric value carried by node `v`.
+    ///
+    /// # Panics
+    /// Panics when asked for the root, which carries no value.
+    pub fn value(&self, v: NodeId) -> f64 {
+        assert!(v != NodeId::ROOT, "the root carries no numeric value");
+        self.node_value[v.index()]
+    }
+
+    /// The node a claimed value maps to, if it was part of the input.
+    pub fn node_of(&self, x: f64) -> Option<NodeId> {
+        self.node_of_canon.get(&canonical(x)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_strings() {
+        assert_eq!(canonical(605.196), "605.196");
+        assert_eq!(canonical(605.2), "605.2");
+        assert_eq!(canonical(605.0), "605");
+        assert_eq!(canonical(0.0), "0");
+        assert_eq!(canonical(-0.0), "0");
+        assert_eq!(canonical(-3.5), "-3.5");
+    }
+
+    #[test]
+    fn place_inference() {
+        assert_eq!(place_of(605.196), -3);
+        assert_eq!(place_of(605.2), -1);
+        assert_eq!(place_of(605.0), 0);
+        assert_eq!(place_of(600.0), 2);
+        assert_eq!(place_of(0.0006), -4);
+        assert_eq!(place_of(0.0), 0);
+        assert_eq!(place_of(-42.5), -1);
+    }
+
+    #[test]
+    fn rounding_half_away_from_zero() {
+        assert_eq!(round_to_place(605.196, -1), 605.2);
+        assert_eq!(round_to_place(605.196, 0), 605.0);
+        assert_eq!(round_to_place(605.196, 2), 600.0);
+        assert_eq!(round_to_place(0.45, -1), 0.5);
+        assert_eq!(round_to_place(-0.45, -1), -0.5);
+    }
+
+    #[test]
+    fn direct_ancestor_test() {
+        // The paper's Seoul example: 605.196 generalises to 605.2 and 605.
+        assert!(is_rounding_ancestor(605.2, 605.196));
+        assert!(is_rounding_ancestor(605.0, 605.196));
+        assert!(is_rounding_ancestor(605.0, 605.2));
+        assert!(!is_rounding_ancestor(605.196, 605.2), "finer is no ancestor");
+        assert!(!is_rounding_ancestor(606.0, 605.196), "wrong rounding");
+        assert!(!is_rounding_ancestor(605.2, 605.2), "never self");
+    }
+
+    #[test]
+    fn build_seoul_chain() {
+        let (nh, map) = NumericHierarchy::build(&[605.196, 605.2, 605.0]);
+        let h = nh.hierarchy();
+        assert_eq!(h.len(), 4); // root + 3
+        let fine = map[0];
+        let mid = map[1];
+        let coarse = map[2];
+        assert_eq!(h.parent(fine), mid);
+        assert_eq!(h.parent(mid), coarse);
+        assert_eq!(h.parent(coarse), NodeId::ROOT);
+        assert_eq!(nh.value(fine), 605.196);
+        assert_eq!(nh.node_of(605.2), Some(mid));
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let (nh, map) = NumericHierarchy::build(&[42.0, 42.0, 42.0]);
+        assert_eq!(nh.hierarchy().len(), 2);
+        assert_eq!(map[0], map[1]);
+        assert_eq!(map[1], map[2]);
+    }
+
+    #[test]
+    fn unrelated_values_are_siblings() {
+        let (nh, map) = NumericHierarchy::build(&[10.0, 77.7]);
+        let h = nh.hierarchy();
+        assert_eq!(h.parent(map[0]), NodeId::ROOT);
+        assert_eq!(h.parent(map[1]), NodeId::ROOT);
+    }
+
+    #[test]
+    fn outliers_do_not_capture_truth() {
+        // An extreme outlier has no rounding relation to the cluster.
+        let (nh, map) = NumericHierarchy::build(&[605.196, 605.2, 1.0e9]);
+        let h = nh.hierarchy();
+        assert_eq!(h.parent(map[2]), NodeId::ROOT);
+        assert!(!h.is_strict_ancestor(map[2], map[0]));
+    }
+
+    #[test]
+    fn negative_values() {
+        let (nh, map) = NumericHierarchy::build(&[-3.14159, -3.14, -3.0]);
+        let h = nh.hierarchy();
+        assert_eq!(h.parent(map[0]), map[1]);
+        assert_eq!(h.parent(map[1]), map[2]);
+        assert_eq!(nh.value(map[0]), -3.14159);
+    }
+
+    #[test]
+    fn parent_is_most_specific_ancestor() {
+        // 0.123456 should attach to 0.1235 (4 dp), not directly to 0.1.
+        let (nh, map) = NumericHierarchy::build(&[0.123456, 0.1235, 0.1]);
+        let h = nh.hierarchy();
+        assert_eq!(h.parent(map[0]), map[1]);
+        assert_eq!(h.parent(map[1]), map[2]);
+        let _ = nh;
+    }
+}

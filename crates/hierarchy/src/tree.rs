@@ -1,0 +1,427 @@
+//! The immutable rooted tree at the heart of hierarchical truth discovery.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node in a [`Hierarchy`].
+///
+/// Node ids are dense indices (`0..hierarchy.len()`); id `0` is always the
+/// root. They are deliberately small (`u32`) because candidate sets, records
+/// and confidence tables store millions of them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root of every hierarchy.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The node id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An immutable rooted tree over interned value names.
+///
+/// The tree is stored in parent-pointer form with per-node depth, plus a
+/// first-child/next-sibling index for subtree traversal. All per-node queries
+/// (`parent`, `depth`, `name`) are O(1); `is_strict_ancestor` is
+/// O(depth difference); `lca` and `distance` are O(depth).
+///
+/// Construct via [`crate::HierarchyBuilder`].
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// `parent[i]` is the parent of node `i`; the root points to itself.
+    parent: Vec<NodeId>,
+    /// `depth[i]` is the number of edges from the root (root = 0).
+    depth: Vec<u32>,
+    /// Interned display names, indexed by node id.
+    names: Vec<String>,
+    /// Reverse lookup from name to node id.
+    by_name: HashMap<String, NodeId>,
+    /// Children adjacency (first-child / next-sibling flattened to ranges).
+    children: Vec<Vec<NodeId>>,
+    /// Height of the tree: max depth over all nodes.
+    height: u32,
+}
+
+impl Hierarchy {
+    pub(crate) fn from_parts(parent: Vec<NodeId>, names: Vec<String>) -> Self {
+        debug_assert_eq!(parent.len(), names.len());
+        debug_assert!(!parent.is_empty(), "hierarchy must contain a root");
+        debug_assert_eq!(parent[0], NodeId::ROOT, "root must be its own parent");
+
+        let n = parent.len();
+        let mut depth = vec![0u32; n];
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        // Builder guarantees parents precede children, so a single forward
+        // pass computes depths.
+        for i in 1..n {
+            let p = parent[i];
+            debug_assert!(p.index() < i, "parent must precede child");
+            depth[i] = depth[p.index()] + 1;
+            children[p.index()].push(NodeId(i as u32));
+        }
+        let height = depth.iter().copied().max().unwrap_or(0);
+        let by_name = names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), NodeId(i as u32)))
+            .collect();
+        Hierarchy {
+            parent,
+            depth,
+            names,
+            by_name,
+            children,
+            height,
+        }
+    }
+
+    /// Number of nodes, including the root.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` iff the hierarchy contains only the root.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.parent.len() <= 1
+    }
+
+    /// Height of the tree (max depth over all nodes; a lone root has height 0).
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// The parent of `v`. The root is its own parent.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> NodeId {
+        self.parent[v.index()]
+    }
+
+    /// Depth of `v` (edges from the root).
+    #[inline]
+    pub fn depth(&self, v: NodeId) -> u32 {
+        self.depth[v.index()]
+    }
+
+    /// Display name of `v`.
+    #[inline]
+    pub fn name(&self, v: NodeId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Look a node up by its interned name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Direct children of `v`.
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// `true` iff `v` has no children.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v.index()].is_empty()
+    }
+
+    /// Iterate over all node ids, root first.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.parent.len() as u32).map(NodeId)
+    }
+
+    /// Iterate over the *proper* ancestors of `v`, nearest first, ending at
+    /// (and including) the root. An empty iterator for the root itself.
+    pub fn ancestors(&self, v: NodeId) -> AncestorIter<'_> {
+        AncestorIter {
+            hierarchy: self,
+            current: v,
+        }
+    }
+
+    /// `true` iff `a` is a *proper* ancestor of `v` (`a != v`, and `a` lies on
+    /// the path from `v` to the root). The root is a proper ancestor of every
+    /// other node.
+    pub fn is_strict_ancestor(&self, a: NodeId, v: NodeId) -> bool {
+        if self.depth[a.index()] >= self.depth[v.index()] {
+            return false;
+        }
+        self.walk_up(v, self.depth[v.index()] - self.depth[a.index()]) == a
+    }
+
+    /// `true` iff `a == v` or `a` is a proper ancestor of `v`.
+    pub fn is_ancestor_or_self(&self, a: NodeId, v: NodeId) -> bool {
+        a == v || self.is_strict_ancestor(a, v)
+    }
+
+    /// Ascend `steps` edges from `v` (clamping at the root).
+    fn walk_up(&self, mut v: NodeId, steps: u32) -> NodeId {
+        for _ in 0..steps {
+            v = self.parent[v.index()];
+        }
+        v
+    }
+
+    /// Lowest common ancestor of `u` and `v`.
+    pub fn lca(&self, u: NodeId, v: NodeId) -> NodeId {
+        let (mut u, mut v) = (u, v);
+        let (du, dv) = (self.depth[u.index()], self.depth[v.index()]);
+        if du > dv {
+            u = self.walk_up(u, du - dv);
+        } else if dv > du {
+            v = self.walk_up(v, dv - du);
+        }
+        while u != v {
+            u = self.parent[u.index()];
+            v = self.parent[v.index()];
+        }
+        u
+    }
+
+    /// Number of edges on the unique tree path between `u` and `v`.
+    ///
+    /// This is the `d(v*, t)` used by the paper's *AvgDistance* quality
+    /// measure: `d(u,v) = depth(u) + depth(v) - 2*depth(lca(u,v))`.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> u32 {
+        let l = self.lca(u, v);
+        self.depth[u.index()] + self.depth[v.index()] - 2 * self.depth[l.index()]
+    }
+
+    /// All nodes of the subtree rooted at `v` (including `v`), in preorder.
+    pub fn subtree(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            // Reverse so preorder visits children left-to-right.
+            stack.extend(self.children[x.index()].iter().rev().copied());
+        }
+        out
+    }
+
+    /// The ancestor of `v` at exactly `target_depth`, or `None` if `v` is
+    /// shallower than that depth.
+    pub fn ancestor_at_depth(&self, v: NodeId, target_depth: u32) -> Option<NodeId> {
+        let d = self.depth[v.index()];
+        if target_depth > d {
+            return None;
+        }
+        Some(self.walk_up(v, d - target_depth))
+    }
+
+    /// The depth-1 ancestor of `v` — its *top-level branch*. Used by the
+    /// DOCS baseline as a stand-in for knowledge-base domains. Returns `None`
+    /// for the root.
+    pub fn top_level_branch(&self, v: NodeId) -> Option<NodeId> {
+        if v == NodeId::ROOT {
+            None
+        } else {
+            self.ancestor_at_depth(v, 1)
+        }
+    }
+
+    /// The most specific node among `candidates` that is an ancestor-or-self
+    /// of `truth`, if any. Used to map a gold-standard value that is absent
+    /// from an object's candidate set onto the candidate set (§5, "the most
+    /// specific candidate value among the ancestors of the truth is assumed
+    /// to be the truth").
+    pub fn most_specific_ancestor_in(
+        &self,
+        candidates: &[NodeId],
+        truth: NodeId,
+    ) -> Option<NodeId> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&c| self.is_ancestor_or_self(c, truth))
+            .max_by_key(|&c| self.depth(c))
+    }
+
+    /// Verify internal invariants. Debug/test helper; O(n).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.parent.is_empty() {
+            return Err("empty hierarchy".into());
+        }
+        if self.parent[0] != NodeId::ROOT {
+            return Err("root is not its own parent".into());
+        }
+        for i in 1..self.parent.len() {
+            let p = self.parent[i];
+            if p.index() >= i {
+                return Err(format!("node {i} has non-preceding parent {p:?}"));
+            }
+            if self.depth[i] != self.depth[p.index()] + 1 {
+                return Err(format!("node {i} has inconsistent depth"));
+            }
+            if !self.children[p.index()].contains(&NodeId(i as u32)) {
+                return Err(format!("node {i} missing from parent's child list"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over the proper ancestors of a node, nearest first.
+///
+/// Yielded by [`Hierarchy::ancestors`]. The root terminates the iteration
+/// (it is yielded last, unless the starting node *is* the root, in which case
+/// nothing is yielded).
+pub struct AncestorIter<'h> {
+    hierarchy: &'h Hierarchy,
+    current: NodeId,
+}
+
+impl Iterator for AncestorIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if self.current == NodeId::ROOT {
+            return None;
+        }
+        self.current = self.hierarchy.parent(self.current);
+        Some(self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HierarchyBuilder;
+
+    /// Small geographic fixture mirroring the paper's running example.
+    fn geo() -> Hierarchy {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        b.add_path(&["UK", "London", "Westminster"]);
+        b.add_path(&["UK", "Manchester"]);
+        b.build()
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let h = geo();
+        assert_eq!(h.len(), 1 + 2 + 5 + 2); // root + {USA,UK} + ...
+        assert_eq!(h.height(), 3);
+        let usa = h.node_by_name("USA").unwrap();
+        let ny = h.node_by_name("NY").unwrap();
+        assert_eq!(h.parent(ny), usa);
+        assert_eq!(h.depth(ny), 2);
+        assert_eq!(h.name(ny), "NY");
+        assert!(h.node_by_name("Atlantis").is_none());
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let h = geo();
+        let usa = h.node_by_name("USA").unwrap();
+        let ny = h.node_by_name("NY").unwrap();
+        let li = h.node_by_name("Liberty Island").unwrap();
+        let la = h.node_by_name("LA").unwrap();
+
+        assert!(h.is_strict_ancestor(usa, li));
+        assert!(h.is_strict_ancestor(ny, li));
+        assert!(h.is_strict_ancestor(NodeId::ROOT, li));
+        assert!(!h.is_strict_ancestor(li, li), "not strict on self");
+        assert!(h.is_ancestor_or_self(li, li));
+        assert!(!h.is_strict_ancestor(ny, la));
+        assert!(!h.is_strict_ancestor(li, ny), "child is not ancestor");
+
+        let anc: Vec<_> = h.ancestors(li).collect();
+        assert_eq!(anc, vec![ny, usa, NodeId::ROOT]);
+        assert_eq!(h.ancestors(NodeId::ROOT).count(), 0);
+    }
+
+    #[test]
+    fn lca_and_distance() {
+        let h = geo();
+        let usa = h.node_by_name("USA").unwrap();
+        let ny = h.node_by_name("NY").unwrap();
+        let li = h.node_by_name("Liberty Island").unwrap();
+        let la = h.node_by_name("LA").unwrap();
+        let west = h.node_by_name("Westminster").unwrap();
+
+        assert_eq!(h.lca(li, la), usa);
+        assert_eq!(h.lca(li, ny), ny);
+        assert_eq!(h.lca(li, li), li);
+        assert_eq!(h.lca(li, west), NodeId::ROOT);
+
+        assert_eq!(h.distance(li, li), 0);
+        assert_eq!(h.distance(li, ny), 1);
+        assert_eq!(h.distance(li, la), 4);
+        assert_eq!(h.distance(li, west), 6);
+        // Symmetry.
+        assert_eq!(h.distance(la, li), h.distance(li, la));
+    }
+
+    #[test]
+    fn subtree_preorder() {
+        let h = geo();
+        let usa = h.node_by_name("USA").unwrap();
+        let sub = h.subtree(usa);
+        assert_eq!(sub.len(), 5); // USA, NY, Liberty Island, CA, LA
+        assert_eq!(sub[0], usa);
+        for &v in &sub[1..] {
+            assert!(h.is_strict_ancestor(usa, v));
+        }
+    }
+
+    #[test]
+    fn ancestor_at_depth_and_branch() {
+        let h = geo();
+        let usa = h.node_by_name("USA").unwrap();
+        let li = h.node_by_name("Liberty Island").unwrap();
+        assert_eq!(h.ancestor_at_depth(li, 1), Some(usa));
+        assert_eq!(h.ancestor_at_depth(li, 3), Some(li));
+        assert_eq!(h.ancestor_at_depth(li, 4), None);
+        assert_eq!(h.top_level_branch(li), Some(usa));
+        assert_eq!(h.top_level_branch(NodeId::ROOT), None);
+    }
+
+    #[test]
+    fn most_specific_ancestor_in_candidates() {
+        let h = geo();
+        let usa = h.node_by_name("USA").unwrap();
+        let ny = h.node_by_name("NY").unwrap();
+        let li = h.node_by_name("Liberty Island").unwrap();
+        let la = h.node_by_name("LA").unwrap();
+
+        // Truth = Liberty Island, candidates contain it: pick it.
+        assert_eq!(h.most_specific_ancestor_in(&[usa, ny, li], li), Some(li));
+        // Truth absent: pick the deepest candidate ancestor.
+        assert_eq!(h.most_specific_ancestor_in(&[usa, ny, la], li), Some(ny));
+        assert_eq!(h.most_specific_ancestor_in(&[usa, la], li), Some(usa));
+        // No candidate on the truth's root path.
+        assert_eq!(h.most_specific_ancestor_in(&[la], li), None);
+    }
+
+    #[test]
+    fn single_root_hierarchy() {
+        let h = HierarchyBuilder::new().build();
+        assert!(h.is_empty());
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.height(), 0);
+        assert_eq!(h.lca(NodeId::ROOT, NodeId::ROOT), NodeId::ROOT);
+        assert_eq!(h.distance(NodeId::ROOT, NodeId::ROOT), 0);
+    }
+}

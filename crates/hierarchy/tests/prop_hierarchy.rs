@@ -1,0 +1,171 @@
+//! Property-based tests for the hierarchy substrate.
+
+use proptest::prelude::*;
+use tdh_hierarchy::numeric::{self, NumericHierarchy};
+use tdh_hierarchy::{Hierarchy, HierarchyBuilder, NodeId};
+
+/// Build a random tree of `n` nodes where node `i`'s parent is drawn from
+/// `0..=i` via the provided indices (clamped), guaranteeing acyclicity.
+fn random_tree(parents: &[usize]) -> Hierarchy {
+    let mut b = HierarchyBuilder::new();
+    let mut ids = vec![NodeId::ROOT];
+    for (i, &p) in parents.iter().enumerate() {
+        let parent = ids[p % ids.len()];
+        let id = b.add_child(parent, &format!("node-{i}")).unwrap();
+        ids.push(id);
+    }
+    b.build()
+}
+
+fn arb_tree() -> impl Strategy<Value = Hierarchy> {
+    proptest::collection::vec(0usize..usize::MAX, 1..60).prop_map(|v| random_tree(&v))
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold(h in arb_tree()) {
+        h.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn ancestor_iter_matches_strict_ancestor(h in arb_tree(), a in 0u32..60, b in 0u32..60) {
+        let (a, b) = (NodeId(a % h.len() as u32), NodeId(b % h.len() as u32));
+        let on_path = h.ancestors(b).any(|x| x == a);
+        prop_assert_eq!(on_path, h.is_strict_ancestor(a, b));
+    }
+
+    #[test]
+    fn ancestors_have_strictly_decreasing_depth(h in arb_tree(), v in 0u32..60) {
+        let v = NodeId(v % h.len() as u32);
+        let depths: Vec<u32> = h.ancestors(v).map(|a| h.depth(a)).collect();
+        for w in depths.windows(2) {
+            prop_assert!(w[0] > w[1]);
+        }
+        if let Some(&last) = depths.last() {
+            prop_assert_eq!(last, 0); // terminates at the root
+        }
+    }
+
+    #[test]
+    fn lca_is_common_ancestor_and_deepest(h in arb_tree(), a in 0u32..60, b in 0u32..60) {
+        let (a, b) = (NodeId(a % h.len() as u32), NodeId(b % h.len() as u32));
+        let l = h.lca(a, b);
+        prop_assert!(h.is_ancestor_or_self(l, a));
+        prop_assert!(h.is_ancestor_or_self(l, b));
+        // No strictly deeper common ancestor exists.
+        for c in h.nodes() {
+            if h.is_ancestor_or_self(c, a) && h.is_ancestor_or_self(c, b) {
+                prop_assert!(h.depth(c) <= h.depth(l));
+            }
+        }
+    }
+
+    #[test]
+    fn lca_commutes(h in arb_tree(), a in 0u32..60, b in 0u32..60) {
+        let (a, b) = (NodeId(a % h.len() as u32), NodeId(b % h.len() as u32));
+        prop_assert_eq!(h.lca(a, b), h.lca(b, a));
+    }
+
+    #[test]
+    fn distance_is_a_metric(h in arb_tree(), a in 0u32..60, b in 0u32..60, c in 0u32..60) {
+        let n = h.len() as u32;
+        let (a, b, c) = (NodeId(a % n), NodeId(b % n), NodeId(c % n));
+        // Identity of indiscernibles.
+        prop_assert_eq!(h.distance(a, a), 0);
+        prop_assert_eq!(h.distance(a, b) == 0, a == b);
+        // Symmetry.
+        prop_assert_eq!(h.distance(a, b), h.distance(b, a));
+        // Triangle inequality.
+        prop_assert!(h.distance(a, c) <= h.distance(a, b) + h.distance(b, c));
+    }
+
+    #[test]
+    fn subtree_contains_exactly_descendants(h in arb_tree(), v in 0u32..60) {
+        let v = NodeId(v % h.len() as u32);
+        let sub = h.subtree(v);
+        for x in h.nodes() {
+            let inside = sub.contains(&x);
+            prop_assert_eq!(inside, h.is_ancestor_or_self(v, x));
+        }
+    }
+
+    #[test]
+    fn most_specific_ancestor_is_sound(h in arb_tree(), v in 0u32..60, picks in proptest::collection::vec(0u32..60, 0..10)) {
+        let n = h.len() as u32;
+        let truth = NodeId(v % n);
+        let cands: Vec<NodeId> = picks.iter().map(|&p| NodeId(p % n)).collect();
+        if let Some(best) = h.most_specific_ancestor_in(&cands, truth) {
+            prop_assert!(h.is_ancestor_or_self(best, truth));
+            for &c in &cands {
+                if h.is_ancestor_or_self(c, truth) {
+                    prop_assert!(h.depth(c) <= h.depth(best));
+                }
+            }
+        } else {
+            for &c in &cands {
+                prop_assert!(!h.is_ancestor_or_self(c, truth));
+            }
+        }
+    }
+}
+
+/// Strategy producing plausible claimed values: a base quantity reported at
+/// 1–6 decimal places.
+fn arb_claims() -> impl Strategy<Value = Vec<f64>> {
+    (
+        -1000.0f64..1000.0,
+        proptest::collection::vec(0i32..6, 1..12),
+    )
+        .prop_map(|(base, places)| {
+            places
+                .into_iter()
+                .map(|p| numeric::round_to_place(base, -p))
+                .collect()
+        })
+}
+
+proptest! {
+    #[test]
+    fn numeric_hierarchy_is_a_valid_tree(claims in arb_claims()) {
+        let (nh, map) = NumericHierarchy::build(&claims);
+        nh.hierarchy().check_invariants().unwrap();
+        prop_assert_eq!(map.len(), claims.len());
+        for (&v, &node) in claims.iter().zip(&map) {
+            prop_assert_eq!(nh.node_of(v), Some(node));
+        }
+    }
+
+    #[test]
+    fn numeric_parents_are_coarser(claims in arb_claims()) {
+        let (nh, map) = NumericHierarchy::build(&claims);
+        let h = nh.hierarchy();
+        for &node in &map {
+            let p = h.parent(node);
+            if p != NodeId::ROOT {
+                prop_assert!(
+                    numeric::place_of(nh.value(p)) > numeric::place_of(nh.value(node)),
+                    "parent must have coarser precision"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_parent_is_direct_rounding(claims in arb_claims()) {
+        let (nh, map) = NumericHierarchy::build(&claims);
+        let h = nh.hierarchy();
+        for &node in &map {
+            let p = h.parent(node);
+            if p != NodeId::ROOT {
+                prop_assert!(numeric::is_rounding_ancestor(nh.value(p), nh.value(node)));
+            }
+        }
+    }
+
+    #[test]
+    fn round_to_place_is_idempotent(x in -1.0e6f64..1.0e6, k in -6i32..6) {
+        let once = numeric::round_to_place(x, k);
+        let twice = numeric::round_to_place(once, k);
+        prop_assert!((once - twice).abs() <= 1e-9 * once.abs().max(1.0));
+    }
+}

@@ -1,0 +1,88 @@
+//! End-to-end knowledge fusion on a BirthPlaces-style corpus: generate a
+//! calibrated synthetic crawl, compare TDH against the strongest baselines,
+//! and inspect the per-source reliability estimates that drive the result.
+//!
+//! ```text
+//! cargo run --release --example birthplaces
+//! ```
+
+use tdh::baselines::{Asums, Docs, Lca, Vote};
+use tdh::core::{TdhConfig, TdhModel, TruthDiscovery};
+use tdh::data::{ObservationIndex, SourceId};
+use tdh::datagen::{generate_birthplaces, BirthPlacesConfig};
+use tdh::eval::{single_truth_report_with_index, source_reliability};
+
+fn main() {
+    // A mid-size corpus: 1,500 celebrities, 7 web sources with the paper's
+    // claim-count profile and heterogeneous generalization tendencies.
+    let cfg = BirthPlacesConfig {
+        n_objects: 1_500,
+        hierarchy_nodes: 1_500,
+    };
+    let corpus = generate_birthplaces(&cfg, 7);
+    let ds = &corpus.dataset;
+    let idx = ObservationIndex::build(ds);
+    let stats = ds.stats();
+    println!(
+        "corpus: {} objects, {} sources, {} records, hierarchy of {} nodes (height {})",
+        stats.n_objects,
+        stats.n_sources,
+        stats.n_records,
+        stats.hierarchy_nodes,
+        stats.hierarchy_height
+    );
+    println!();
+
+    // Run TDH and four baselines.
+    let mut algorithms: Vec<Box<dyn TruthDiscovery>> = vec![
+        Box::new(TdhModel::new(TdhConfig::default())),
+        Box::new(Vote),
+        Box::new(Lca::default()),
+        Box::new(Docs::default()),
+        Box::new(Asums::default()),
+    ];
+    println!(
+        "{:<8} {:>9} {:>12} {:>12}",
+        "algo", "Accuracy", "GenAccuracy", "AvgDistance"
+    );
+    for algo in &mut algorithms {
+        let est = algo.infer(ds, &idx);
+        let r = single_truth_report_with_index(ds, &idx, &est.truths);
+        println!(
+            "{:<8} {:>9.4} {:>12.4} {:>12.4}",
+            algo.name(),
+            r.accuracy,
+            r.gen_accuracy,
+            r.avg_distance
+        );
+    }
+    println!();
+
+    // Why TDH wins: it models generalization explicitly. Compare the real
+    // per-source reliabilities with the fitted φ vectors.
+    let mut tdh = TdhModel::new(TdhConfig::default());
+    tdh.infer(ds, &idx);
+    let rel = source_reliability(ds, &idx);
+    println!("source reliability: actual vs TDH estimate");
+    println!(
+        "{:<10} {:>7} {:>9} {:>12} {:>8} {:>8}",
+        "source", "claims", "Accuracy", "GenAccuracy", "φ1", "φ1+φ2"
+    );
+    for (si, r) in rel.iter().enumerate() {
+        let phi = tdh.phi(SourceId::from_index(si));
+        println!(
+            "{:<10} {:>7} {:>9.3} {:>12.3} {:>8.3} {:>8.3}",
+            ds.source_name(r.source),
+            r.n_claims,
+            r.accuracy,
+            r.gen_accuracy,
+            phi[0],
+            phi[0] + phi[1]
+        );
+    }
+    println!();
+    println!(
+        "φ1 tracks exact accuracy and φ1+φ2 tracks generalized accuracy —"
+    );
+    println!("a scalar-trust model (ASUMS above) cannot represent both.");
+}

@@ -1,0 +1,76 @@
+//! The full crowdsourced truth-discovery loop (paper Fig. 2): alternate TDH
+//! inference with EAI task assignment over a pool of simulated workers, and
+//! watch accuracy climb against the QASCA and uncertainty-sampling (ME)
+//! assigners.
+//!
+//! ```text
+//! cargo run --release --example crowdsourcing
+//! ```
+
+use tdh::baselines::{MeAssigner, Qasca};
+use tdh::core::{EaiAssigner, TaskAssigner, TdhConfig, TdhModel};
+use tdh::crowd::{run_simulation, SimulationConfig, WorkerPool};
+use tdh::datagen::{generate_heritages, HeritagesConfig};
+
+fn main() {
+    let cfg = HeritagesConfig {
+        n_objects: 300,
+        n_sources: 600,
+        n_claims: 1_700,
+        hierarchy_nodes: 500,
+    };
+    let sim_cfg = SimulationConfig {
+        rounds: 20,
+        tasks_per_worker: 5,
+    };
+
+    println!(
+        "Heritages-style corpus, 10 simulated workers (π_p = 0.75), {} rounds × {} tasks:",
+        sim_cfg.rounds, sim_cfg.tasks_per_worker
+    );
+    println!();
+
+    let mut results = Vec::new();
+    let assigners: Vec<Box<dyn TaskAssigner>> = vec![
+        Box::new(EaiAssigner::new()),
+        Box::new(Qasca::new(1)),
+        Box::new(MeAssigner),
+    ];
+    for mut assigner in assigners {
+        // Fresh corpus + pool per run so the comparisons are clean.
+        let corpus = generate_heritages(&cfg, 99);
+        let mut ds = corpus.dataset;
+        let mut pool = WorkerPool::uniform(&mut ds, 10, 0.75, 5);
+        let mut model = TdhModel::new(TdhConfig::default());
+        let result = run_simulation(
+            &mut ds,
+            &mut model,
+            assigner.as_mut(),
+            &mut pool,
+            &sim_cfg,
+        );
+        results.push(result);
+    }
+
+    println!("{:<10} {}", "round", "TDH+EAI   TDH+QASCA  TDH+ME");
+    for round in (0..=sim_cfg.rounds).step_by(5) {
+        let row: Vec<String> = results
+            .iter()
+            .map(|r| format!("{:.4}", r.rounds[round].report.accuracy))
+            .collect();
+        println!("{:<10} {}", round, row.join("     "));
+    }
+    println!();
+    for r in &results {
+        let collected: usize = r.rounds.iter().map(|m| m.answers_collected).sum();
+        println!(
+            "TDH+{:<6} final accuracy {:.4} after {collected} answers",
+            r.assigner,
+            r.final_accuracy()
+        );
+    }
+    println!();
+    println!("EAI spends the same budget on the objects where one answer moves");
+    println!("the needle most — few claims, contested confidence — which is why");
+    println!("its curve dominates at every round.");
+}

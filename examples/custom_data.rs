@@ -1,0 +1,92 @@
+//! Running TDH on your own data: load records / answers / gold from the TSV
+//! interchange format, infer, and export the results.
+//!
+//! The format is three tab-separated files (answers and gold optional):
+//!
+//! ```text
+//! records.tsv:  object \t source \t value-path     e.g.  Statue of Liberty  Wikipedia  USA/NY/Liberty Island
+//! answers.tsv:  object \t worker \t value-path
+//! gold.tsv:     object \t value-path
+//! ```
+//!
+//! ```text
+//! cargo run --release --example custom_data
+//! ```
+
+use tdh::core::{TdhConfig, TdhModel};
+use tdh::data::io::{parse_dataset, to_tsv, TextInputs};
+use tdh::data::ObservationIndex;
+use tdh::eval::single_truth_report_with_index;
+
+const RECORDS: &str = "\
+# object\tsource\tvalue-path
+Statue of Liberty\tUNESCO\tUSA/NY
+Statue of Liberty\tWikipedia\tUSA/NY/Liberty Island
+Statue of Liberty\tArrangy\tUSA/CA/LA
+Big Ben\tQuora\tUK/Manchester
+Big Ben\ttripadvisor\tUK/London
+Eiffel Tower\tWikipedia\tFrance/Paris/7th arr.
+Eiffel Tower\ttravelblog\tFrance/Paris
+Eiffel Tower\tmirror-site\tFrance/Paris
+Eiffel Tower\tconfused.net\tUK/London
+";
+
+const ANSWERS: &str = "\
+# object\tworker\tvalue-path
+Big Ben\talice\tUK/London
+Big Ben\tbob\tUK/London
+";
+
+const GOLD: &str = "\
+# object\tvalue-path
+Statue of Liberty\tUSA/NY/Liberty Island
+Big Ben\tUK/London
+Eiffel Tower\tFrance/Paris/7th arr.
+";
+
+fn main() {
+    // In a real deployment these strings come from files:
+    //   tdh::data::io::load_dataset(Path::new("records.tsv"), ...)
+    let ds = parse_dataset(&TextInputs {
+        records: RECORDS,
+        answers: Some(ANSWERS),
+        gold: Some(GOLD),
+    })
+    .expect("inputs are well-formed");
+
+    let stats = ds.stats();
+    println!(
+        "loaded {} objects, {} sources, {} workers, {} records, {} answers",
+        stats.n_objects, stats.n_sources, stats.n_workers, stats.n_records, stats.n_answers
+    );
+    println!(
+        "hierarchy: {} nodes, height {}",
+        stats.hierarchy_nodes, stats.hierarchy_height
+    );
+    println!();
+
+    let idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(TdhConfig::default());
+    let est = tdh::core::TruthDiscovery::infer(&mut model, &ds, &idx);
+
+    println!("inferred truths:");
+    for o in ds.objects() {
+        let name = est.truths[o.index()]
+            .map(|v| ds.hierarchy().name(v).to_string())
+            .unwrap_or_else(|| "<none>".into());
+        println!("  {:<18} → {name}", ds.object_name(o));
+    }
+
+    let report = single_truth_report_with_index(&ds, &idx, &est.truths);
+    println!();
+    println!(
+        "accuracy {:.2}, gen-accuracy {:.2}, avg distance {:.2} over {} gold-labelled objects",
+        report.accuracy, report.gen_accuracy, report.avg_distance, report.n_evaluated
+    );
+
+    // Export back to TSV (e.g. to snapshot the accumulated answers).
+    let (_records, answers, _gold) = to_tsv(&ds);
+    println!();
+    println!("answers.tsv after the session:");
+    print!("{answers}");
+}

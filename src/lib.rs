@@ -1,0 +1,48 @@
+//! # tdh — Crowdsourced Truth Discovery in the Presence of Hierarchies
+//!
+//! A faithful, production-quality Rust implementation of
+//! *"Crowdsourced Truth Discovery in the Presence of Hierarchies for
+//! Knowledge Fusion"* (Woohwan Jung, Younghoon Kim, Kyuseok Shim — EDBT
+//! 2019), together with every substrate its evaluation depends on.
+//!
+//! This crate is a facade: it re-exports the workspace member crates under
+//! stable module names so downstream users depend on a single crate.
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`hierarchy`] | value hierarchies, LCA/distance queries, the numeric rounding lattice |
+//! | [`data`] | records, answers, datasets, candidate-set indexes |
+//! | [`core`] | the TDH model: EM inference, incremental EM, EAI task assignment |
+//! | [`baselines`] | 13 competing inference algorithms + 3 competing assigners |
+//! | [`crowd`] | the crowdsourcing simulation engine and worker models |
+//! | [`datagen`] | synthetic corpora calibrated to the paper's datasets |
+//! | [`eval`] | Accuracy, GenAccuracy, AvgDistance, multi-truth P/R/F1, MAE/RE |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tdh::datagen::{BirthPlacesConfig, generate_birthplaces};
+//! use tdh::core::TdhModel;
+//! use tdh::eval::single_truth_report;
+//!
+//! // A small synthetic corpus in the shape of the paper's BirthPlaces data.
+//! let mut cfg = BirthPlacesConfig::default();
+//! cfg.n_objects = 200;
+//! let corpus = generate_birthplaces(&cfg, 42);
+//!
+//! // Run hierarchical truth inference.
+//! let mut model = TdhModel::new(Default::default());
+//! let estimate = model.fit(&corpus.dataset);
+//!
+//! // Score against the gold standard.
+//! let report = single_truth_report(&corpus.dataset, &estimate.truths);
+//! assert!(report.accuracy > 0.5);
+//! ```
+
+pub use tdh_baselines as baselines;
+pub use tdh_core as core;
+pub use tdh_crowd as crowd;
+pub use tdh_data as data;
+pub use tdh_datagen as datagen;
+pub use tdh_eval as eval;
+pub use tdh_hierarchy as hierarchy;

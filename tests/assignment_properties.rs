@@ -1,0 +1,210 @@
+//! Integration tests for the task-assignment layer: Algorithm 1's contract,
+//! the exhaustive reference implementation, and cross-assigner behaviour.
+
+use tdh::baselines::{MbAssigner, MeAssigner, Qasca};
+use tdh::core::{
+    assign_exhaustive, eai, ueai, EaiAssigner, ProbabilisticCrowdModel, TaskAssigner,
+    TdhConfig, TdhModel, TruthDiscovery,
+};
+use tdh::crowd::WorkerPool;
+use tdh::data::{Dataset, ObservationIndex, WorkerId};
+use tdh::datagen::{generate_birthplaces, BirthPlacesConfig};
+
+fn fitted() -> (Dataset, ObservationIndex, TdhModel, WorkerPool) {
+    let corpus = generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 300,
+            hierarchy_nodes: 500,
+        },
+        99,
+    );
+    let mut ds = corpus.dataset;
+    let pool = WorkerPool::uniform(&mut ds, 8, 0.75, 99);
+    let idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(TdhConfig::default());
+    model.infer(&ds, &idx);
+    (ds, idx, model, pool)
+}
+
+#[test]
+fn all_assigners_obey_the_contract() {
+    let (ds, idx, model, pool) = fitted();
+    let k = 4;
+    let mut assigners: Vec<Box<dyn TaskAssigner>> = vec![
+        Box::new(EaiAssigner::new()),
+        Box::new(Qasca::new(1)),
+        Box::new(MeAssigner),
+        Box::new(MbAssigner),
+    ];
+    for assigner in &mut assigners {
+        let batches = assigner.assign(&model, &ds, &idx, pool.ids(), k);
+        assert_eq!(batches.len(), pool.ids().len(), "{}", assigner.name());
+        let mut seen = std::collections::HashSet::new();
+        for b in &batches {
+            assert!(
+                b.objects.len() <= k,
+                "{}: batch of {}",
+                assigner.name(),
+                b.objects.len()
+            );
+            for &o in &b.objects {
+                assert!(seen.insert(o), "{}: duplicate object", assigner.name());
+                assert!(
+                    idx.view(o).n_candidates() >= 2,
+                    "{}: unfixable object assigned",
+                    assigner.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn heap_algorithm_matches_exhaustive_reference_quality() {
+    let (ds, idx, model, pool) = fitted();
+    let n = idx.n_objects();
+    let mut heap = EaiAssigner::new();
+    let heap_batches = heap.assign(&model, &ds, &idx, pool.ids(), 5);
+    let (full_batches, full_evals) = assign_exhaustive(&model, &ds, &idx, pool.ids(), 5);
+    let total = |batches: &[tdh::core::Assignment]| -> f64 {
+        batches
+            .iter()
+            .flat_map(|b| {
+                let (model, idx) = (&model, &idx);
+                b.objects
+                    .iter()
+                    .map(move |&o| eai(model, idx, o, b.worker, n))
+            })
+            .sum()
+    };
+    let (hq, fq) = (total(&heap_batches), total(&full_batches));
+    assert!(hq >= fq * 0.9, "heap quality {hq} vs exhaustive {fq}");
+    assert!(
+        heap.eai_evaluations <= full_evals,
+        "pruning evaluated more pairs ({} vs {full_evals})",
+        heap.eai_evaluations
+    );
+}
+
+#[test]
+fn ueai_decreases_with_evidence_and_bounds_eai() {
+    let (mut ds, _, _, pool) = fitted();
+    let n = ds.n_objects();
+    // Take a contested object, add answers, and watch the bound shrink.
+    let idx0 = ObservationIndex::build(&ds);
+    let o = ds
+        .objects()
+        .find(|&o| idx0.view(o).n_candidates() >= 2)
+        .expect("contested object exists");
+    let v = idx0.view(o).candidates[0];
+
+    let mut model = TdhModel::new(TdhConfig::default());
+    model.infer(&ds, &idx0);
+    let before = ueai(&model, o, n);
+
+    for (i, &w) in pool.ids().iter().enumerate().take(5) {
+        let _ = i;
+        ds.add_answer(o, w, v);
+    }
+    let idx1 = ObservationIndex::build(&ds);
+    let mut model1 = TdhModel::new(TdhConfig::default());
+    model1.infer(&ds, &idx1);
+    let after = ueai(&model1, o, n);
+    assert!(
+        after < before,
+        "five unanimous answers must shrink UEAI: {before} -> {after}"
+    );
+    // And the bound holds after the update, too.
+    for &w in pool.ids() {
+        assert!(eai(&model1, &idx1, o, w, n) <= after + 1e-9);
+    }
+}
+
+#[test]
+fn k_larger_than_object_count_is_fine() {
+    let (ds, idx, model, pool) = fitted();
+    let mut assigner = EaiAssigner::new();
+    let batches = assigner.assign(&model, &ds, &idx, pool.ids(), 10_000);
+    // Each object still goes to at most one worker.
+    let assigned: usize = batches.iter().map(|b| b.objects.len()).sum();
+    assert!(assigned <= ds.n_objects());
+    assert!(assigned > 0);
+}
+
+#[test]
+fn workers_who_answered_everything_get_nothing_new() {
+    let (mut ds, _, _, pool) = fitted();
+    let w = pool.ids()[0];
+    let idx = ObservationIndex::build(&ds);
+    // Let worker 0 answer every fixable object.
+    for o in ds.objects().collect::<Vec<_>>() {
+        let view = idx.view(o);
+        if view.n_candidates() >= 2 {
+            ds.add_answer(o, w, view.candidates[0]);
+        }
+    }
+    let idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(TdhConfig::default());
+    model.infer(&ds, &idx);
+    let mut assigner = EaiAssigner::new();
+    let batches = assigner.assign(&model, &ds, &idx, &[w], 5);
+    assert!(
+        batches[0].objects.is_empty(),
+        "worker has answered everything already"
+    );
+}
+
+#[test]
+fn eai_prefers_the_better_worker_when_it_matters() {
+    // ψ-ordering: the first batch returned belongs to the highest-ψ1 worker.
+    let (mut ds, _, _, _) = fitted();
+    let good = ds.intern_worker("seeded-good");
+    let bad = ds.intern_worker("seeded-bad");
+    let idx = ObservationIndex::build(&ds);
+    let fixable: Vec<_> = ds
+        .objects()
+        .filter(|&o| idx.view(o).n_candidates() >= 2 && idx.view(o).in_oh)
+        .take(20)
+        .collect();
+    for &o in &fixable {
+        let view = idx.view(o);
+        // good agrees with the plurality, bad dissents.
+        let top = (0..view.n_candidates())
+            .max_by_key(|&v| view.source_count[v])
+            .unwrap();
+        let other = (0..view.n_candidates()).find(|&v| v != top).unwrap();
+        ds.add_answer(o, good, view.candidates[top]);
+        ds.add_answer(o, bad, view.candidates[other]);
+    }
+    let idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(TdhConfig::default());
+    model.infer(&ds, &idx);
+    assert!(model.worker_exact_prob(good) > model.worker_exact_prob(bad));
+    let mut assigner = EaiAssigner::new();
+    let batches = assigner.assign(&model, &ds, &idx, &[bad, good], 3);
+    assert_eq!(batches[0].worker, good, "ψ-ordering puts good first");
+}
+
+#[test]
+fn qasca_and_me_disagree_with_eai_sometimes() {
+    // Sanity: the three measures are genuinely different policies, not
+    // reskins of each other.
+    let (ds, idx, model, pool) = fitted();
+    let k = 5;
+    let set_of = |batches: &[tdh::core::Assignment]| {
+        batches
+            .iter()
+            .flat_map(|b| b.objects.iter().copied())
+            .collect::<std::collections::HashSet<_>>()
+    };
+    let eai_set = set_of(&EaiAssigner::new().assign(&model, &ds, &idx, pool.ids(), k));
+    let me_set = set_of(&MeAssigner.assign(&model, &ds, &idx, pool.ids(), k));
+    assert_ne!(eai_set, me_set, "EAI must not degenerate to pure entropy");
+}
+
+#[test]
+fn unknown_worker_gets_prior_psi() {
+    let (_, _, model, _) = fitted();
+    let p = model.worker_exact_prob(WorkerId(9_999));
+    assert!((p - 1.0 / 3.0).abs() < 1e-9, "prior mean ψ1, got {p}");
+}

@@ -1,0 +1,170 @@
+//! Integration tests for the full crowdsourced truth-discovery loop
+//! (Fig. 2): inference ⇄ assignment ⇄ simulated workers.
+
+use tdh::baselines::{MeAssigner, Qasca};
+use tdh::core::{EaiAssigner, TaskAssigner, TdhConfig, TdhModel};
+use tdh::crowd::{run_simulation, SimulationConfig, UniformAdapter, WorkerPool};
+use tdh::data::Dataset;
+use tdh::datagen::{generate_heritages, HeritagesConfig};
+
+fn corpus(seed: u64) -> Dataset {
+    generate_heritages(
+        &HeritagesConfig {
+            n_objects: 250,
+            n_sources: 500,
+            n_claims: 1_400,
+            hierarchy_nodes: 450,
+        },
+        seed,
+    )
+    .dataset
+}
+
+fn campaign(
+    seed: u64,
+    assigner: &mut dyn TaskAssigner,
+    rounds: usize,
+) -> tdh::crowd::SimulationResult {
+    let mut ds = corpus(seed);
+    let mut pool = WorkerPool::uniform(&mut ds, 10, 0.75, seed);
+    let mut model = TdhModel::new(TdhConfig::default());
+    run_simulation(
+        &mut ds,
+        &mut model,
+        assigner,
+        &mut pool,
+        &SimulationConfig {
+            rounds,
+            tasks_per_worker: 5,
+        },
+    )
+}
+
+#[test]
+fn crowdsourcing_improves_accuracy_for_all_assigners() {
+    for (name, mut assigner) in [
+        ("EAI", Box::new(EaiAssigner::new()) as Box<dyn TaskAssigner>),
+        ("QASCA", Box::new(Qasca::new(3))),
+        ("ME", Box::new(MeAssigner)),
+    ] {
+        let result = campaign(77, assigner.as_mut(), 10);
+        let first = result.rounds[0].report.accuracy;
+        let last = result.final_accuracy();
+        assert!(
+            last > first + 0.01,
+            "{name}: accuracy should climb ({first} -> {last})"
+        );
+    }
+}
+
+#[test]
+fn answer_budget_is_respected() {
+    let mut assigner = EaiAssigner::new();
+    let result = campaign(78, &mut assigner, 6);
+    for r in &result.rounds[..6] {
+        // 10 workers × 5 tasks = at most 50 answers per round.
+        assert!(r.answers_collected <= 50, "round {}: {}", r.round, r.answers_collected);
+        assert!(r.answers_collected > 0, "round {} collected nothing", r.round);
+    }
+    // The final entry is the post-campaign evaluation round.
+    assert_eq!(result.rounds.last().unwrap().answers_collected, 0);
+}
+
+#[test]
+fn no_worker_answers_the_same_object_twice() {
+    let mut ds = corpus(79);
+    let mut pool = WorkerPool::uniform(&mut ds, 5, 0.75, 79);
+    let mut model = TdhModel::new(TdhConfig::default());
+    let mut assigner = EaiAssigner::new();
+    run_simulation(
+        &mut ds,
+        &mut model,
+        &mut assigner,
+        &mut pool,
+        &SimulationConfig {
+            rounds: 8,
+            tasks_per_worker: 5,
+        },
+    );
+    let mut seen = std::collections::HashSet::new();
+    for a in ds.answers() {
+        assert!(
+            seen.insert((a.worker, a.object)),
+            "duplicate answer by {:?} on {:?}",
+            a.worker,
+            a.object
+        );
+    }
+}
+
+#[test]
+fn campaigns_are_deterministic_per_seed() {
+    let mut a1 = EaiAssigner::new();
+    let mut a2 = EaiAssigner::new();
+    let r1 = campaign(80, &mut a1, 5);
+    let r2 = campaign(80, &mut a2, 5);
+    assert_eq!(r1.accuracy_series(), r2.accuracy_series());
+}
+
+#[test]
+fn adapter_lets_plain_algorithms_join_the_loop() {
+    let mut ds = corpus(81);
+    let mut pool = WorkerPool::uniform(&mut ds, 10, 0.8, 81);
+    let mut model = UniformAdapter::new(tdh::baselines::Vote);
+    let mut assigner = MeAssigner;
+    let result = run_simulation(
+        &mut ds,
+        &mut model,
+        &mut assigner,
+        &mut pool,
+        &SimulationConfig {
+            rounds: 8,
+            tasks_per_worker: 5,
+        },
+    );
+    assert_eq!(result.model, "VOTE");
+    assert!(result.final_accuracy() > result.rounds[0].report.accuracy);
+}
+
+#[test]
+fn eai_estimates_track_actual_improvements() {
+    // Fig. 7's property, as a regression test: EAI's per-round estimate is
+    // within one percentage point of the realised improvement on average.
+    let mut assigner = EaiAssigner::new();
+    let result = campaign(82, &mut assigner, 10);
+    let actual = result.actual_improvements();
+    let est: Vec<f64> = result.rounds[..10]
+        .iter()
+        .map(|r| r.estimated_improvement.expect("EAI always estimates"))
+        .collect();
+    let mae: f64 =
+        actual.iter().zip(&est).map(|(a, e)| (a - e).abs()).sum::<f64>() / actual.len() as f64;
+    assert!(mae < 0.01, "mean estimate error {mae} too large");
+}
+
+#[test]
+fn better_workers_converge_faster() {
+    let run_with = |pi_p: f64| {
+        let mut ds = corpus(83);
+        let mut pool = WorkerPool::uniform(&mut ds, 10, pi_p, 83);
+        let mut model = TdhModel::new(TdhConfig::default());
+        let mut assigner = EaiAssigner::new();
+        run_simulation(
+            &mut ds,
+            &mut model,
+            &mut assigner,
+            &mut pool,
+            &SimulationConfig {
+                rounds: 10,
+                tasks_per_worker: 5,
+            },
+        )
+        .final_accuracy()
+    };
+    let low = run_with(0.55);
+    let high = run_with(0.95);
+    assert!(
+        high >= low,
+        "π_p = 0.95 ({high}) should not lose to π_p = 0.55 ({low})"
+    );
+}

@@ -1,0 +1,215 @@
+//! End-to-end integration tests: full pipelines over generated corpora,
+//! exercising the public API exactly as the examples do.
+
+use tdh::baselines::{Accu, Asums, Crh, Docs, Lca, Lfc, Mdc, PopAccu, Vote};
+use tdh::core::{TdhConfig, TdhModel, TruthDiscovery};
+use tdh::data::ObservationIndex;
+use tdh::datagen::{
+    generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig,
+};
+use tdh::eval::{single_truth_report_with_index, SingleTruthReport};
+
+fn birthplaces() -> tdh::datagen::Corpus {
+    generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 800,
+            hierarchy_nodes: 1_000,
+        },
+        2024,
+    )
+}
+
+fn heritages() -> tdh::datagen::Corpus {
+    generate_heritages(
+        &HeritagesConfig {
+            n_objects: 300,
+            n_sources: 600,
+            n_claims: 1_700,
+            hierarchy_nodes: 500,
+        },
+        2025,
+    )
+}
+
+fn run(algo: &mut dyn TruthDiscovery, corpus: &tdh::datagen::Corpus) -> SingleTruthReport {
+    let idx = ObservationIndex::build(&corpus.dataset);
+    let est = algo.infer(&corpus.dataset, &idx);
+    single_truth_report_with_index(&corpus.dataset, &idx, &est.truths)
+}
+
+#[test]
+fn tdh_beats_every_baseline_on_accuracy_birthplaces() {
+    let corpus = birthplaces();
+    let tdh = run(&mut TdhModel::new(TdhConfig::default()), &corpus);
+    assert!(tdh.accuracy > 0.85, "TDH accuracy {}", tdh.accuracy);
+
+    let mut baselines: Vec<Box<dyn TruthDiscovery>> = vec![
+        Box::new(Vote),
+        Box::new(Lca::default()),
+        Box::new(Docs::default()),
+        Box::new(Asums::default()),
+        Box::new(Mdc::default()),
+        Box::new(Accu::default()),
+        Box::new(PopAccu::default()),
+        Box::new(Lfc::default()),
+        Box::new(Crh::default()),
+    ];
+    for algo in &mut baselines {
+        let r = run(algo.as_mut(), &corpus);
+        assert!(
+            tdh.accuracy >= r.accuracy,
+            "{} accuracy {} beat TDH's {}",
+            algo.name(),
+            r.accuracy,
+            tdh.accuracy
+        );
+    }
+}
+
+#[test]
+fn tdh_has_lowest_avg_distance_on_both_corpora() {
+    for corpus in [birthplaces(), heritages()] {
+        let tdh = run(&mut TdhModel::new(TdhConfig::default()), &corpus);
+        for algo in [
+            Box::new(Vote) as Box<dyn TruthDiscovery>,
+            Box::new(Lca::default()),
+            Box::new(Asums::default()),
+        ]
+        .iter_mut()
+        {
+            let r = run(algo.as_mut(), &corpus);
+            assert!(
+                tdh.avg_distance <= r.avg_distance + 1e-9,
+                "[{}] {} distance {} below TDH's {}",
+                corpus.name,
+                algo.name(),
+                r.avg_distance,
+                tdh.avg_distance
+            );
+        }
+    }
+}
+
+#[test]
+fn vote_trades_accuracy_for_gen_accuracy() {
+    // The paper's Table 3 signature: VOTE picks generalized values, so its
+    // GenAccuracy is near the top while its Accuracy is near the bottom.
+    let corpus = birthplaces();
+    let tdh = run(&mut TdhModel::new(TdhConfig::default()), &corpus);
+    let vote = run(&mut Vote, &corpus);
+    assert!(tdh.accuracy > vote.accuracy + 0.05);
+    assert!(
+        vote.gen_accuracy > vote.accuracy + 0.1,
+        "VOTE's generalization gap: {} vs {}",
+        vote.gen_accuracy,
+        vote.accuracy
+    );
+}
+
+#[test]
+fn every_estimate_is_a_candidate_value() {
+    let corpus = heritages();
+    let idx = ObservationIndex::build(&corpus.dataset);
+    let mut algos: Vec<Box<dyn TruthDiscovery>> = vec![
+        Box::new(TdhModel::new(TdhConfig::default())),
+        Box::new(Vote),
+        Box::new(Lca::default()),
+        Box::new(Docs::default()),
+        Box::new(Asums::default()),
+        Box::new(Mdc::default()),
+        Box::new(Accu::default()),
+        Box::new(PopAccu::default()),
+        Box::new(Lfc::default()),
+        Box::new(Crh::default()),
+    ];
+    for algo in &mut algos {
+        let est = algo.infer(&corpus.dataset, &idx);
+        assert_eq!(est.truths.len(), corpus.dataset.n_objects());
+        assert_eq!(est.confidences.len(), corpus.dataset.n_objects());
+        for o in corpus.dataset.objects() {
+            let view = idx.view(o);
+            if let Some(t) = est.truths[o.index()] {
+                assert!(
+                    view.cand_index(t).is_some(),
+                    "{}: estimate for {o:?} is not a candidate",
+                    algo.name()
+                );
+            } else {
+                assert!(view.candidates.is_empty());
+            }
+            // Confidences align with candidates and are normalised.
+            let conf = &est.confidences[o.index()];
+            assert_eq!(conf.len(), view.candidates.len(), "{}", algo.name());
+            if !conf.is_empty() {
+                let s: f64 = conf.iter().sum();
+                assert!(
+                    (s - 1.0).abs() < 1e-6,
+                    "{}: confidence sums to {s}",
+                    algo.name()
+                );
+                assert!(conf.iter().all(|&x| (0.0..=1.0 + 1e-9).contains(&x)));
+            }
+        }
+    }
+}
+
+#[test]
+fn inference_is_deterministic() {
+    let corpus = heritages();
+    let idx = ObservationIndex::build(&corpus.dataset);
+    let a = TdhModel::new(TdhConfig::default()).fit(&corpus.dataset);
+    let b = TdhModel::new(TdhConfig::default()).fit(&corpus.dataset);
+    assert_eq!(a.truths, b.truths);
+    let l1 = Lca::default().infer(&corpus.dataset, &idx);
+    let l2 = Lca::default().infer(&corpus.dataset, &idx);
+    assert_eq!(l1.truths, l2.truths);
+}
+
+#[test]
+fn tsv_roundtrip_preserves_inference_results() {
+    let corpus = heritages();
+    let (records, answers, gold) = tdh::data::io::to_tsv(&corpus.dataset);
+    let reloaded = tdh::data::io::parse_dataset(&tdh::data::io::TextInputs {
+        records: &records,
+        answers: Some(&answers),
+        gold: Some(&gold),
+    })
+    .expect("roundtrip parses");
+    let orig = run(&mut TdhModel::new(TdhConfig::default()), &corpus);
+    let idx = ObservationIndex::build(&reloaded);
+    let est = TdhModel::new(TdhConfig::default()).fit(&reloaded);
+    let re = single_truth_report_with_index(&reloaded, &idx, &est.truths);
+    // Node ids are renumbered by the roundtrip, which permutes candidate
+    // order and hence argmax tie-breaking on near-ties — results must agree
+    // semantically, not bit-exactly.
+    assert_eq!(orig.n_evaluated, re.n_evaluated);
+    assert!(
+        (orig.accuracy - re.accuracy).abs() < 0.01,
+        "{} vs {}",
+        orig.accuracy,
+        re.accuracy
+    );
+    assert!((orig.avg_distance - re.avg_distance).abs() < 0.05);
+}
+
+#[test]
+fn hierarchy_ablation_hurts_accuracy() {
+    let corpus = birthplaces();
+    let full = run(&mut TdhModel::new(TdhConfig::default()), &corpus);
+    let ablated = run(
+        &mut TdhModel::new(TdhConfig {
+            ablation: tdh::core::AblationFlags {
+                hierarchy_aware: false,
+                worker_popularity: true,
+            },
+            ..Default::default()
+        }),
+        &corpus,
+    );
+    assert!(
+        full.accuracy > ablated.accuracy,
+        "hierarchy awareness must help: {} vs {}",
+        full.accuracy,
+        ablated.accuracy
+    );
+}

@@ -1,0 +1,136 @@
+//! Integration tests for the numeric extension (§3.2): the implicit
+//! rounding hierarchy, numeric TDH and the Table 6 baselines.
+
+use tdh::baselines::numeric::{
+    Catd, CrhNumeric, LcaNumeric, MeanNumeric, NumericTruthDiscovery, VoteNumeric,
+};
+use tdh::core::numeric::NumericTdh;
+use tdh::data::{NumericDataset, ObjectId, SourceId};
+use tdh::datagen::{generate_stock, StockAttribute, StockConfig};
+use tdh::eval::numeric_report;
+
+fn stock(attribute: StockAttribute, seed: u64) -> NumericDataset {
+    generate_stock(
+        &StockConfig {
+            attribute,
+            n_objects: 200,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn tdh_dominates_averaging_baselines_on_every_attribute() {
+    for attribute in StockAttribute::ALL {
+        let ds = stock(attribute, 5);
+        let tdh = numeric_report(&ds, &NumericTdh::default().infer(&ds));
+        let mean = numeric_report(&ds, &MeanNumeric.infer_numeric(&ds));
+        let catd = numeric_report(&ds, &Catd::default().infer_numeric(&ds));
+        assert!(
+            tdh.mae < mean.mae,
+            "[{}] TDH MAE {} vs MEAN {}",
+            attribute.name(),
+            tdh.mae,
+            mean.mae
+        );
+        assert!(
+            tdh.mae <= catd.mae,
+            "[{}] TDH MAE {} vs CATD {}",
+            attribute.name(),
+            tdh.mae,
+            catd.mae
+        );
+    }
+}
+
+#[test]
+fn tdh_beats_or_ties_vote_numeric() {
+    // VOTE is resolution-blind: it cannot reconcile 605.2 with 605.196, so
+    // its MAE is at least TDH's on rounding-heavy data.
+    for attribute in StockAttribute::ALL {
+        let ds = stock(attribute, 6);
+        let tdh = numeric_report(&ds, &NumericTdh::default().infer(&ds));
+        let vote = numeric_report(&ds, &VoteNumeric.infer_numeric(&ds));
+        assert!(
+            tdh.mae <= vote.mae * 1.05 + 1e-12,
+            "[{}] TDH MAE {} vs VOTE {}",
+            attribute.name(),
+            tdh.mae,
+            vote.mae
+        );
+    }
+}
+
+#[test]
+fn crh_recovers_partially_via_source_weighting() {
+    // Outliers concentrate in sloppy sources, so CRH must beat plain MEAN.
+    let ds = stock(StockAttribute::OpenPrice, 7);
+    let crh = numeric_report(&ds, &CrhNumeric::default().infer_numeric(&ds));
+    let mean = numeric_report(&ds, &MeanNumeric.infer_numeric(&ds));
+    assert!(
+        crh.mae < mean.mae,
+        "CRH MAE {} should beat MEAN {}",
+        crh.mae,
+        mean.mae
+    );
+}
+
+#[test]
+fn all_numeric_algorithms_report_every_claimed_object() {
+    let ds = stock(StockAttribute::Eps, 8);
+    let by_obj = ds.claims_by_object();
+    let estimates: Vec<(&str, Vec<Option<f64>>)> = vec![
+        ("TDH", NumericTdh::default().infer(&ds)),
+        ("LCA", LcaNumeric.infer_numeric(&ds)),
+        ("CRH", CrhNumeric::default().infer_numeric(&ds)),
+        ("CATD", Catd::default().infer_numeric(&ds)),
+        ("VOTE", VoteNumeric.infer_numeric(&ds)),
+        ("MEAN", MeanNumeric.infer_numeric(&ds)),
+    ];
+    for (name, est) in estimates {
+        assert_eq!(est.len(), ds.n_objects(), "{name}");
+        for o in ds.objects() {
+            let has_claims = !by_obj[o.index()].is_empty();
+            assert_eq!(
+                est[o.index()].is_some(),
+                has_claims,
+                "{name}: object {o:?} (claims: {has_claims})"
+            );
+            if let Some(v) = est[o.index()] {
+                assert!(v.is_finite(), "{name}: non-finite estimate");
+            }
+        }
+    }
+}
+
+#[test]
+fn tdh_estimate_is_always_a_claimed_value() {
+    // Candidate selection (not averaging): the estimate is one of the
+    // claimed values, exactly.
+    let ds = stock(StockAttribute::OpenPrice, 9);
+    let by_obj = ds.claims_by_object();
+    let est = NumericTdh::default().infer(&ds);
+    for o in ds.objects() {
+        let Some(v) = est[o.index()] else { continue };
+        assert!(
+            by_obj[o.index()].iter().any(|&(_, c)| c == v),
+            "estimate {v} for {o:?} is not among its claims"
+        );
+    }
+}
+
+#[test]
+fn single_outlier_cannot_move_tdh() {
+    let mut with = NumericDataset::new(1, 6);
+    let mut without = NumericDataset::new(1, 5);
+    for s in 0..5 {
+        with.add_claim(ObjectId(0), SourceId(s), 123.45);
+        without.add_claim(ObjectId(0), SourceId(s), 123.45);
+    }
+    with.add_claim(ObjectId(0), SourceId(5), 9.9e9);
+    let a = NumericTdh::default().infer(&with)[0].unwrap();
+    let b = NumericTdh::default().infer(&without)[0].unwrap();
+    assert_eq!(a, b, "the outlier flipped TDH's estimate");
+    assert_eq!(a, 123.45);
+}

@@ -1,0 +1,218 @@
+//! Property-based integration tests over random mini-corpora: model
+//! invariants that must hold for *any* input, not just the calibrated
+//! generators.
+
+use proptest::prelude::*;
+use tdh::core::{eai, ueai, TdhConfig, TdhModel, TruthDiscovery};
+use tdh::core::ProbabilisticCrowdModel;
+use tdh::data::{Dataset, ObservationIndex, WorkerId};
+use tdh::hierarchy::{HierarchyBuilder, NodeId};
+
+/// A random mini truth-discovery problem: a small random tree, a handful of
+/// objects/sources/workers, random records and answers.
+#[derive(Debug, Clone)]
+struct MiniCorpus {
+    ds: Dataset,
+}
+
+fn mini_corpus() -> impl Strategy<Value = MiniCorpus> {
+    (
+        // Tree shape: parents for up to 14 nodes.
+        proptest::collection::vec(0usize..1_000, 4..14),
+        // Records: (object, source, node-pick).
+        proptest::collection::vec((0usize..6, 0usize..5, 0usize..1_000), 4..40),
+        // Answers: (object, worker, node-pick).
+        proptest::collection::vec((0usize..6, 0usize..4, 0usize..1_000), 0..20),
+    )
+        .prop_map(|(parents, records, answers)| {
+            let mut b = HierarchyBuilder::new();
+            let mut ids = vec![NodeId::ROOT];
+            for (i, &p) in parents.iter().enumerate() {
+                let parent = ids[p % ids.len()];
+                ids.push(b.add_child(parent, &format!("n{i}")).unwrap());
+            }
+            let nodes: Vec<NodeId> = ids.into_iter().filter(|&v| v != NodeId::ROOT).collect();
+            let mut ds = Dataset::new(b.build());
+            let objects: Vec<_> = (0..6)
+                .map(|i| ds.intern_object(&format!("o{i}")))
+                .collect();
+            let sources: Vec<_> = (0..5)
+                .map(|i| ds.intern_source(&format!("s{i}")))
+                .collect();
+            let workers: Vec<_> = (0..4)
+                .map(|i| ds.intern_worker(&format!("w{i}")))
+                .collect();
+            for (o, s, pick) in &records {
+                let v = nodes[pick % nodes.len()];
+                ds.add_record(objects[*o], sources[*s], v);
+            }
+            // Answers must select candidate values; route each answer pick
+            // through the object's candidate set (skip uncovered objects).
+            let idx = ObservationIndex::build(&ds);
+            for (o, w, pick) in &answers {
+                let view = idx.view(objects[*o]);
+                if view.candidates.is_empty() {
+                    continue;
+                }
+                let v = view.candidates[pick % view.candidates.len()];
+                ds.add_answer(objects[*o], workers[*w], v);
+            }
+            // Gold labels for a subset.
+            for (i, &o) in objects.iter().enumerate() {
+                ds.set_gold(o, nodes[i % nodes.len()]);
+            }
+            MiniCorpus { ds }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn em_produces_valid_distributions(corpus in mini_corpus()) {
+        let idx = ObservationIndex::build(&corpus.ds);
+        let mut model = TdhModel::new(TdhConfig::default());
+        let est = model.infer(&corpus.ds, &idx);
+        for (o, conf) in est.confidences.iter().enumerate() {
+            let view = idx.view(tdh::data::ObjectId::from_index(o));
+            prop_assert_eq!(conf.len(), view.candidates.len());
+            if conf.is_empty() { continue; }
+            let s: f64 = conf.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9, "μ sums to {}", s);
+            prop_assert!(conf.iter().all(|&x| x > 0.0 && x <= 1.0));
+        }
+        for s in corpus.ds.sources() {
+            let phi = model.phi(s);
+            let total: f64 = phi.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "φ sums to {}", total);
+            prop_assert!(phi.iter().all(|&x| x > 0.0));
+        }
+        for w in corpus.ds.workers() {
+            let psi = model.psi(w);
+            let total: f64 = psi.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9, "ψ sums to {}", total);
+        }
+    }
+
+    #[test]
+    fn em_objective_is_monotone(corpus in mini_corpus()) {
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&corpus.ds);
+        let trace = &model.fit_report().unwrap().trace;
+        for w in trace.windows(2) {
+            prop_assert!(
+                w[1] >= w[0] - 1e-6 * w[0].abs().max(1.0),
+                "objective decreased: {} -> {}", w[0], w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_4_1_holds_on_random_corpora(corpus in mini_corpus()) {
+        let idx = ObservationIndex::build(&corpus.ds);
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.infer(&corpus.ds, &idx);
+        let n = idx.n_objects();
+        for o in corpus.ds.objects() {
+            let bound = ueai(&model, o, n);
+            prop_assert!(bound >= -1e-12);
+            for w in corpus.ds.workers() {
+                let score = eai(&model, &idx, o, w, n);
+                prop_assert!(
+                    score <= bound + 1e-9,
+                    "EAI({:?},{:?}) = {} > UEAI = {}", w, o, score, bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_posterior_is_a_distribution(corpus in mini_corpus()) {
+        let idx = ObservationIndex::build(&corpus.ds);
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.infer(&corpus.ds, &idx);
+        for o in corpus.ds.objects() {
+            let k = idx.view(o).n_candidates();
+            for c in 0..k as u32 {
+                let post = model.posterior_given_answer(&idx, o, WorkerId(0), c);
+                let s: f64 = post.iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-9, "posterior sums to {}", s);
+                prop_assert!(post.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_matches_refit_direction(corpus in mini_corpus()) {
+        // Adding an answer for candidate c must not *decrease* the
+        // incremental posterior of c relative to the current confidence.
+        let idx = ObservationIndex::build(&corpus.ds);
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.infer(&corpus.ds, &idx);
+        for o in corpus.ds.objects() {
+            let k = idx.view(o).n_candidates();
+            if k < 2 { continue; }
+            let mu = model.confidence(o).to_vec();
+            for c in 0..k as u32 {
+                let post = model.posterior_given_answer(&idx, o, WorkerId(0), c);
+                // The answered candidate's mass should not fall by more than
+                // the evidence-dilution amount 1/(D+1).
+                let d = model.evidence_weight(o);
+                prop_assert!(
+                    post[c as usize] >= mu[c as usize] - 1.0 / (d + 1.0) - 1e-9,
+                    "answer for {} dropped its confidence {} -> {}",
+                    c, mu[c as usize], post[c as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_tolerate_arbitrary_corpora(corpus in mini_corpus()) {
+        use tdh::baselines::*;
+        let idx = ObservationIndex::build(&corpus.ds);
+        let mut algos: Vec<Box<dyn TruthDiscovery>> = vec![
+            Box::new(Vote),
+            Box::new(Lca::default()),
+            Box::new(Docs::default()),
+            Box::new(Asums::default()),
+            Box::new(Mdc::default()),
+            Box::new(Accu::default()),
+            Box::new(PopAccu::default()),
+            Box::new(Lfc::default()),
+            Box::new(Crh::default()),
+        ];
+        for algo in &mut algos {
+            let est = algo.infer(&corpus.ds, &idx);
+            prop_assert_eq!(est.truths.len(), corpus.ds.n_objects());
+            for (o, t) in est.truths.iter().enumerate() {
+                let view = idx.view(tdh::data::ObjectId::from_index(o));
+                match t {
+                    Some(v) => prop_assert!(view.cand_index(*v).is_some()),
+                    None => prop_assert!(view.candidates.is_empty()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_truth_sets_are_candidate_subsets(corpus in mini_corpus()) {
+        use tdh::baselines::{Dart, LfcMt, Ltm, MultiTruthDiscovery};
+        let idx = ObservationIndex::build(&corpus.ds);
+        let mut algos: Vec<Box<dyn MultiTruthDiscovery>> = vec![
+            Box::new(LfcMt::default()),
+            Box::new(Ltm::default()),
+            Box::new(Dart::default()),
+        ];
+        for algo in &mut algos {
+            let sets = algo.infer_multi(&corpus.ds, &idx);
+            prop_assert_eq!(sets.len(), corpus.ds.n_objects());
+            for (o, set) in sets.iter().enumerate() {
+                let view = idx.view(tdh::data::ObjectId::from_index(o));
+                for v in set {
+                    prop_assert!(view.cand_index(*v).is_some());
+                }
+            }
+        }
+    }
+}
