@@ -275,8 +275,7 @@ impl Engine {
                     } else if popularity_false {
                         // Popularity of `c` among claims that are not `t`.
                         let denom = f64::from(total_claims - view.source_count[t]).max(1.0);
-                        (1.0 - acc) * f64::from(view.source_count[c as usize]).max(0.5)
-                            / denom
+                        (1.0 - acc) * f64::from(view.source_count[c as usize]).max(0.5) / denom
                     } else {
                         (1.0 - acc) / n_false
                     };
@@ -370,7 +369,12 @@ macro_rules! impl_crowd_model {
                 w: WorkerId,
                 c: u32,
             ) -> Vec<f64> {
-                bayes_posterior(&self.engine.confidences[o.index()], &self.engine.workers, w, c)
+                bayes_posterior(
+                    &self.engine.confidences[o.index()],
+                    &self.engine.workers,
+                    w,
+                    c,
+                )
             }
             fn evidence_weight(&self, o: ObjectId) -> f64 {
                 self.engine.confidences[o.index()].len() as f64
@@ -435,11 +439,9 @@ mod tests {
         let idx = ObservationIndex::build(&ds);
         let mut accu = Accu::default();
         let est = accu.infer(&ds, &idx);
-        let dep = accu.engine.detect_dependence(
-            &idx,
-            &AccuConfig::default(),
-            &est.truths,
-        );
+        let dep = accu
+            .engine
+            .detect_dependence(&idx, &AccuConfig::default(), &est.truths);
         // liar (2) & copier (3) always share false values: near-certain dep.
         let copy_pair = dep.get(&(2, 3)).copied().unwrap_or(0.0);
         // good1 (0) & good2 (1) only share true values: lower dep.
@@ -463,9 +465,7 @@ mod tests {
         let t = h.node_by_name("C0T0").unwrap();
         let f1 = h.node_by_name("C1T0").unwrap();
         let f2 = h.node_by_name("C2T0").unwrap();
-        let extra: Vec<_> = (0..6)
-            .map(|i| ds.intern_source(&format!("x{i}")))
-            .collect();
+        let extra: Vec<_> = (0..6).map(|i| ds.intern_source(&format!("x{i}"))).collect();
         ds.add_record(o, extra[0], t);
         ds.add_record(o, extra[1], t);
         ds.add_record(o, extra[2], t);

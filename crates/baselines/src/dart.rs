@@ -99,11 +99,7 @@ impl Dart {
     }
 
     /// Per-(object, candidate) truth probabilities.
-    pub fn truth_probabilities(
-        &mut self,
-        ds: &Dataset,
-        idx: &ObservationIndex,
-    ) -> Vec<Vec<f64>> {
+    pub fn truth_probabilities(&mut self, ds: &Dataset, idx: &ObservationIndex) -> Vec<Vec<f64>> {
         let (domain_of, n_domains) = Dart::domains(ds, idx);
         let pp = self.cfg.precision_prior;
         let prior_precision = pp.0 / (pp.0 + pp.1);
@@ -120,8 +116,7 @@ impl Dart {
                 per_domain[domain_of[o.index()]] += 1;
             }
             for d in 0..n_domains {
-                self.coverage[s.index()][d] =
-                    per_domain[d] as f64 / domain_sizes[d].max(1) as f64;
+                self.coverage[s.index()][d] = per_domain[d] as f64 / domain_sizes[d].max(1) as f64;
             }
         }
 

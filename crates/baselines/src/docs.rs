@@ -11,9 +11,7 @@
 //! Dawid–Skene-style EM with per-(participant, domain) accuracies under a
 //! Beta prior.
 
-use tdh_core::{
-    Assignment, ProbabilisticCrowdModel, TaskAssigner, TruthDiscovery, TruthEstimate,
-};
+use tdh_core::{Assignment, ProbabilisticCrowdModel, TaskAssigner, TruthDiscovery, TruthEstimate};
 use tdh_data::{Dataset, ObjectId, ObservationIndex, WorkerId};
 use tdh_hierarchy::NodeId;
 
@@ -66,7 +64,8 @@ impl Docs {
 
     /// The fitted per-domain accuracy of a worker.
     pub fn worker_domain_quality(&self, w: WorkerId, domain: usize) -> f64 {
-        let prior = self.cfg.quality_prior.0 / (self.cfg.quality_prior.0 + self.cfg.quality_prior.1);
+        let prior =
+            self.cfg.quality_prior.0 / (self.cfg.quality_prior.0 + self.cfg.quality_prior.1);
         self.q_worker
             .get(w.index())
             .and_then(|qs| qs.get(domain).copied())
@@ -147,8 +146,7 @@ impl TruthDiscovery for Docs {
         let prior = self.cfg.quality_prior;
         let prior_q = prior.0 / (prior.0 + prior.1);
         self.q_source = vec![vec![prior_q; n_domains]; ds.n_sources()];
-        self.q_worker =
-            vec![vec![prior_q; n_domains]; ds.n_workers().max(idx.n_workers())];
+        self.q_worker = vec![vec![prior_q; n_domains]; ds.n_workers().max(idx.n_workers())];
 
         self.confidences = idx
             .views()
@@ -203,20 +201,12 @@ impl TruthDiscovery for Docs {
                     w_den[w.index()][d] += 1.0;
                 }
             }
-            for (q, (n, dn)) in self
-                .q_source
-                .iter_mut()
-                .zip(s_num.iter().zip(s_den.iter()))
-            {
+            for (q, (n, dn)) in self.q_source.iter_mut().zip(s_num.iter().zip(s_den.iter())) {
                 for d in 0..n_domains {
                     q[d] = n[d] / dn[d];
                 }
             }
-            for (q, (n, dn)) in self
-                .q_worker
-                .iter_mut()
-                .zip(w_num.iter().zip(w_den.iter()))
-            {
+            for (q, (n, dn)) in self.q_worker.iter_mut().zip(w_num.iter().zip(w_den.iter())) {
                 for d in 0..n_domains {
                     q[d] = n[d] / dn[d];
                 }
@@ -239,20 +229,11 @@ impl ProbabilisticCrowdModel for Docs {
         // Mean over domains — used only to order workers.
         match self.q_worker.get(w.index()) {
             Some(qs) if !qs.is_empty() => qs.iter().sum::<f64>() / qs.len() as f64,
-            _ => {
-                self.cfg.quality_prior.0
-                    / (self.cfg.quality_prior.0 + self.cfg.quality_prior.1)
-            }
+            _ => self.cfg.quality_prior.0 / (self.cfg.quality_prior.0 + self.cfg.quality_prior.1),
         }
     }
 
-    fn answer_likelihood(
-        &self,
-        idx: &ObservationIndex,
-        o: ObjectId,
-        w: WorkerId,
-        c: u32,
-    ) -> f64 {
+    fn answer_likelihood(&self, idx: &ObservationIndex, o: ObjectId, w: WorkerId, c: u32) -> f64 {
         let k = idx.view(o).n_candidates();
         let q = self.worker_domain_quality(w, self.domain_of[o.index()]);
         let mu = &self.confidences[o.index()];

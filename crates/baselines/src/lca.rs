@@ -135,8 +135,7 @@ impl TruthDiscovery for Lca {
                     let theta = self.theta_s[s.index()];
                     // P(honest | claim, truth=c) ... marginalised over truth:
                     // honest only consistent with t = c.
-                    let lik_c =
-                        Lca::claim_likelihood(theta, g[c as usize], c, c);
+                    let lik_c = Lca::claim_likelihood(theta, g[c as usize], c, c);
                     let resp = if lik_c > 0.0 {
                         mu[c as usize] * theta / lik_c
                     } else {
@@ -147,8 +146,7 @@ impl TruthDiscovery for Lca {
                 }
                 for &(w, c) in &view.workers {
                     let theta = self.theta_w[w.index()];
-                    let lik_c =
-                        Lca::claim_likelihood(theta, g[c as usize], c, c);
+                    let lik_c = Lca::claim_likelihood(theta, g[c as usize], c, c);
                     let resp = if lik_c > 0.0 {
                         mu[c as usize] * theta / lik_c
                     } else {
@@ -161,12 +159,10 @@ impl TruthDiscovery for Lca {
             let s0 = self.cfg.smoothing;
             let h0 = self.cfg.initial_honesty;
             for i in 0..self.theta_s.len() {
-                self.theta_s[i] =
-                    ((num_s[i] + s0 * h0) / (den_s[i] + s0)).clamp(0.01, 0.99);
+                self.theta_s[i] = ((num_s[i] + s0 * h0) / (den_s[i] + s0)).clamp(0.01, 0.99);
             }
             for i in 0..self.theta_w.len() {
-                self.theta_w[i] =
-                    ((num_w[i] + s0 * h0) / (den_w[i] + s0)).clamp(0.01, 0.99);
+                self.theta_w[i] = ((num_w[i] + s0 * h0) / (den_w[i] + s0)).clamp(0.01, 0.99);
             }
         }
 
@@ -189,13 +185,7 @@ impl ProbabilisticCrowdModel for Lca {
             .unwrap_or(self.cfg.initial_honesty)
     }
 
-    fn answer_likelihood(
-        &self,
-        idx: &ObservationIndex,
-        o: ObjectId,
-        w: WorkerId,
-        c: u32,
-    ) -> f64 {
+    fn answer_likelihood(&self, idx: &ObservationIndex, o: ObjectId, w: WorkerId, c: u32) -> f64 {
         let view = idx.view(o);
         let g = Lca::guess(view);
         let theta = self.worker_exact_prob(w);

@@ -119,8 +119,7 @@ impl TruthDiscovery for Lfc {
             .iter()
             .flat_map(|v| v.candidates.iter().copied())
             .collect();
-        let mut confusion =
-            Confusion::new(n_participants, vocab.len().max(2), self.cfg.smoothing);
+        let mut confusion = Confusion::new(n_participants, vocab.len().max(2), self.cfg.smoothing);
 
         // Init μ from claim frequencies.
         let mut confidences: Vec<Vec<f64>> = idx
@@ -239,15 +238,11 @@ impl MultiTruthDiscovery for LfcMt {
                 for v in 0..k {
                     // Prior: popularity-shaped, weakly informative.
                     let mut log_odds = 0.0f64;
-                    let participants = view
-                        .sources
-                        .iter()
-                        .map(|&(s, c)| (s.index(), c))
-                        .chain(
-                            view.workers
-                                .iter()
-                                .map(|&(w, c)| (n_sources + w.index(), c)),
-                        );
+                    let participants = view.sources.iter().map(|&(s, c)| (s.index(), c)).chain(
+                        view.workers
+                            .iter()
+                            .map(|&(w, c)| (n_sources + w.index(), c)),
+                    );
                     for (p, c) in participants {
                         let claimed = c as usize == v;
                         let (a, b) = (sens[p].clamp(0.01, 0.99), spec[p].clamp(0.01, 0.99));

@@ -67,11 +67,7 @@ impl Ltm {
 
     /// Per-(object, candidate) truth probabilities (the model's real
     /// output; [`MultiTruthDiscovery::infer_multi`] thresholds them).
-    pub fn truth_probabilities(
-        &mut self,
-        ds: &Dataset,
-        idx: &ObservationIndex,
-    ) -> Vec<Vec<f64>> {
+    pub fn truth_probabilities(&mut self, ds: &Dataset, idx: &ObservationIndex) -> Vec<Vec<f64>> {
         let n_sources = ds.n_sources();
         let n_participants = n_sources + ds.n_workers().max(idx.n_workers());
         let sp = self.cfg.sensitivity_prior;
@@ -91,15 +87,11 @@ impl Ltm {
             for (oi, view) in idx.views().iter().enumerate() {
                 for v in 0..view.n_candidates() {
                     let mut log_odds = prior_logit;
-                    let parts = view
-                        .sources
-                        .iter()
-                        .map(|&(s, c)| (s.index(), c))
-                        .chain(
-                            view.workers
-                                .iter()
-                                .map(|&(w, c)| (n_sources + w.index(), c)),
-                        );
+                    let parts = view.sources.iter().map(|&(s, c)| (s.index(), c)).chain(
+                        view.workers
+                            .iter()
+                            .map(|&(w, c)| (n_sources + w.index(), c)),
+                    );
                     for (p, c) in parts {
                         let claimed = c as usize == v;
                         let sens = self.sensitivity[p].clamp(0.01, 0.99);

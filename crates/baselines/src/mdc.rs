@@ -110,11 +110,11 @@ impl TruthDiscovery for Mdc {
                 }
                 let d = self.difficulty[oi];
                 let mut post = vec![1.0f64; k];
-                let parts = view
-                    .sources
-                    .iter()
-                    .map(|&(s, c)| (s.index(), c))
-                    .chain(view.workers.iter().map(|&(w, c)| (n_sources + w.index(), c)));
+                let parts = view.sources.iter().map(|&(s, c)| (s.index(), c)).chain(
+                    view.workers
+                        .iter()
+                        .map(|&(w, c)| (n_sources + w.index(), c)),
+                );
                 for (p, c) in parts {
                     let r = self.reliability[p];
                     for (t, q) in post.iter_mut().enumerate() {
@@ -132,11 +132,11 @@ impl TruthDiscovery for Mdc {
             let mut den = vec![1.0f64; n_participants];
             for (oi, view) in idx.views().iter().enumerate() {
                 let weight = 1.0 - self.difficulty[oi];
-                let parts = view
-                    .sources
-                    .iter()
-                    .map(|&(s, c)| (s.index(), c))
-                    .chain(view.workers.iter().map(|&(w, c)| (n_sources + w.index(), c)));
+                let parts = view.sources.iter().map(|&(s, c)| (s.index(), c)).chain(
+                    view.workers
+                        .iter()
+                        .map(|&(w, c)| (n_sources + w.index(), c)),
+                );
                 for (p, c) in parts {
                     num[p] += confidences[oi][c as usize] * weight;
                     den[p] += weight;
@@ -160,8 +160,7 @@ impl TruthDiscovery for Mdc {
                     .chain(view.workers.iter().map(|&(_, c)| c))
                     .filter(|&c| view.candidates[c as usize] == t)
                     .count() as f64;
-                self.difficulty[oi] =
-                    ((1.0 - agree / total) * 0.9).min(self.cfg.max_difficulty);
+                self.difficulty[oi] = ((1.0 - agree / total) * 0.9).min(self.cfg.max_difficulty);
             }
         }
 

@@ -125,10 +125,7 @@ impl NumericTruthDiscovery for CrhNumeric {
                 .enumerate()
                 .map(|(oi, claims)| {
                     let Some(t) = truths[oi] else { return 1.0 };
-                    let var: f64 = claims
-                        .iter()
-                        .map(|&(_, v)| (v - t).powi(2))
-                        .sum::<f64>()
+                    let var: f64 = claims.iter().map(|&(_, v)| (v - t).powi(2)).sum::<f64>()
                         / claims.len().max(1) as f64;
                     var.sqrt().max(1e-9)
                 })
@@ -207,10 +204,7 @@ impl NumericTruthDiscovery for Catd {
                 .enumerate()
                 .map(|(oi, claims)| {
                     let Some(t) = truths[oi] else { return 1.0 };
-                    let var: f64 = claims
-                        .iter()
-                        .map(|&(_, v)| (v - t).powi(2))
-                        .sum::<f64>()
+                    let var: f64 = claims.iter().map(|&(_, v)| (v - t).powi(2)).sum::<f64>()
                         / claims.len().max(1) as f64;
                     var.sqrt().max(1e-9)
                 })
@@ -223,8 +217,7 @@ impl NumericTruthDiscovery for Catd {
                 }
             }
             for s in 0..ds.n_sources() {
-                weights[s] =
-                    chi_square_quantile(Z_975, claim_count[s] as f64) / loss[s].max(1e-9);
+                weights[s] = chi_square_quantile(Z_975, claim_count[s] as f64) / loss[s].max(1e-9);
             }
             // Normalise for numerical stability.
             let max_w = weights.iter().copied().fold(1e-12, f64::max);

@@ -37,13 +37,9 @@ fn bench_filter_effect(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("without-filter", scale),
-            &scale,
-            |b, _| {
-                b.iter(|| black_box(assign_exhaustive(&model, &ds, &idx, pool.ids(), 5)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("without-filter", scale), &scale, |b, _| {
+            b.iter(|| black_box(assign_exhaustive(&model, &ds, &idx, pool.ids(), 5)))
+        });
     }
     group.finish();
 }

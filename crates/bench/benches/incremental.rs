@@ -49,15 +49,7 @@ fn bench_eai_single_pair(c: &mut Criterion) {
     model.infer(&ds, &idx);
 
     c.bench_function("incremental/eai-single-pair", |b| {
-        b.iter(|| {
-            black_box(tdh_core::eai(
-                &model,
-                &idx,
-                ObjectId(1),
-                w,
-                idx.n_objects(),
-            ))
-        })
+        b.iter(|| black_box(tdh_core::eai(&model, &idx, ObjectId(1), w, idx.n_objects())))
     });
 }
 

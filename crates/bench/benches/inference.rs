@@ -5,9 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tdh_bench::harness::{make_inference, INFERENCE_ALGORITHMS};
 use tdh_data::ObservationIndex;
-use tdh_datagen::{
-    generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig,
-};
+use tdh_datagen::{generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig};
 
 fn bench_inference(c: &mut Criterion) {
     let birthplaces = generate_birthplaces(

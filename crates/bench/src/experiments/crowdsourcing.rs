@@ -182,8 +182,11 @@ fn run_headline(
             let gen: Vec<f64> = r.rounds.iter().map(|m| m.report.gen_accuracy).collect();
             let dist: Vec<f64> = r.rounds.iter().map(|m| m.report.avg_distance).collect();
             let x: Vec<f64> = (0..acc.len()).map(|i| i as f64).collect();
-            for (metric, ys) in [("accuracy", acc), ("gen_accuracy", gen), ("avg_distance", dist)]
-            {
+            for (metric, ys) in [
+                ("accuracy", acc),
+                ("gen_accuracy", gen),
+                ("avg_distance", dist),
+            ] {
                 series.push(Series {
                     label: format!("{label}:{metric}"),
                     corpus: corpus.name.clone(),
@@ -201,9 +204,13 @@ fn run_headline(
 /// AvgDistance per round (all three emitted into one JSON).
 pub fn fig8_to_10(scale: Scale) {
     let rounds = scale.rounds(50);
-    run_headline("fig8", &both_corpora(scale), &HEADLINE_COMBOS, rounds, |_| {
-        Pool::Uniform(10, 0.75)
-    });
+    run_headline(
+        "fig8",
+        &both_corpora(scale),
+        &HEADLINE_COMBOS,
+        rounds,
+        |_| Pool::Uniform(10, 0.75),
+    );
     // Cost-efficiency headline: rounds needed by TDH+EAI to reach the
     // runner-up's final accuracy.
     for corpus in both_corpora(scale) {

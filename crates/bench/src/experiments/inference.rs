@@ -8,13 +8,9 @@ use tdh_core::numeric::NumericTdh;
 use tdh_core::{TdhConfig, TdhModel, TruthDiscovery};
 use tdh_data::{ObservationIndex, SourceId};
 use tdh_datagen::{generate_stock, StockAttribute, StockConfig};
-use tdh_eval::{
-    multi_truth_report, numeric_report, source_reliability, truth_closure,
-};
+use tdh_eval::{multi_truth_report, numeric_report, source_reliability, truth_closure};
 
-use crate::harness::{
-    both_corpora, print_table, run_inference, INFERENCE_ALGORITHMS, SEED,
-};
+use crate::harness::{both_corpora, print_table, run_inference, INFERENCE_ALGORITHMS, SEED};
 use crate::report::{save, MetricRow, Series};
 use crate::Scale;
 
@@ -48,9 +44,7 @@ pub fn fig1(scale: Scale) {
             .filter(|r| r.n_claims > 0 && r.gen_accuracy > r.accuracy + 1e-9)
             .count();
         let total = rel.iter().filter(|r| r.n_claims > 0).count();
-        println!(
-            "  {above}/{total} sources sit above the diagonal (they generalize)\n"
-        );
+        println!("  {above}/{total} sources sit above the diagonal (they generalize)\n");
         all_series.push(Series {
             label: "accuracy-vs-genaccuracy".into(),
             corpus: corpus.name.clone(),
@@ -138,7 +132,13 @@ pub fn fig5(scale: Scale) {
     }
     print_table(
         &[
-            "source", "claims", "Accuracy", "GenAccuracy", "φ1 (TDH)", "φ2 (TDH)", "t(s) ASUMS",
+            "source",
+            "claims",
+            "Accuracy",
+            "GenAccuracy",
+            "φ1 (TDH)",
+            "φ2 (TDH)",
+            "t(s) ASUMS",
         ],
         &rows,
     );
@@ -170,9 +170,10 @@ pub fn table5(scale: Scale) {
         let h = ds.hierarchy();
         println!("[{}]", corpus.name);
         let mut rows = Vec::new();
-        let push = |label: String, sets: Vec<Vec<tdh_hierarchy::NodeId>>,
-                        rows: &mut Vec<Vec<String>>,
-                        out: &mut Vec<MetricRow>| {
+        let push = |label: String,
+                    sets: Vec<Vec<tdh_hierarchy::NodeId>>,
+                    rows: &mut Vec<Vec<String>>,
+                    out: &mut Vec<MetricRow>| {
             let r = multi_truth_report(ds, &sets);
             rows.push(vec![
                 label.clone(),
@@ -204,19 +205,18 @@ pub fn table5(scale: Scale) {
         // the paper's protocol ("we treat the ancestors of v and v itself
         // as the multi-truths of v") — a claimed value entails its
         // generalizations.
-        let close_sets = |sets: Vec<Vec<tdh_hierarchy::NodeId>>| -> Vec<Vec<tdh_hierarchy::NodeId>> {
-            sets.into_iter()
-                .map(|set| {
-                    let mut closed: Vec<tdh_hierarchy::NodeId> = set
-                        .into_iter()
-                        .flat_map(|v| truth_closure(h, v))
-                        .collect();
-                    closed.sort_unstable();
-                    closed.dedup();
-                    closed
-                })
-                .collect()
-        };
+        let close_sets =
+            |sets: Vec<Vec<tdh_hierarchy::NodeId>>| -> Vec<Vec<tdh_hierarchy::NodeId>> {
+                sets.into_iter()
+                    .map(|set| {
+                        let mut closed: Vec<tdh_hierarchy::NodeId> =
+                            set.into_iter().flat_map(|v| truth_closure(h, v)).collect();
+                        closed.sort_unstable();
+                        closed.dedup();
+                        closed
+                    })
+                    .collect()
+            };
         push(
             "LFC-MT".to_string(),
             close_sets(LfcMt::default().infer_multi(ds, &idx)),

@@ -10,8 +10,8 @@ use crate::Scale;
 
 /// All experiment ids, in paper order.
 pub const ALL: [&str; 15] = [
-    "fig1", "table3", "fig5", "fig6", "fig7", "table4", "fig8", "fig11", "fig12", "fig13",
-    "fig14", "fig17", "table5", "table6", "ablation",
+    "fig1", "table3", "fig5", "fig6", "fig7", "table4", "fig8", "fig11", "fig12", "fig13", "fig14",
+    "fig17", "table5", "table6", "ablation",
 ];
 
 /// Run one experiment by id. Panics on unknown ids (the CLI validates).

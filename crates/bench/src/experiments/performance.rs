@@ -41,7 +41,10 @@ pub fn fig12(scale: Scale) {
     };
     let mut out = Vec::new();
     for corpus in both_corpora(scale) {
-        println!("[{}] mean seconds per round over {rounds} rounds:", corpus.name);
+        println!(
+            "[{}] mean seconds per round over {rounds} rounds:",
+            corpus.name
+        );
         let mut rows = Vec::new();
         for (model_name, assigner_name) in FIG12_COMBOS {
             let mut ds = corpus.dataset.clone();
@@ -66,14 +69,16 @@ pub fn fig12(scale: Scale) {
             out.push(MetricRow {
                 label: format!("{model_name}+{assigner_name}"),
                 corpus: corpus.name.clone(),
-                metrics: vec![
-                    ("inference_s".into(), ti),
-                    ("assignment_s".into(), ta),
-                ],
+                metrics: vec![("inference_s".into(), ti), ("assignment_s".into(), ta)],
             });
         }
         print_table(
-            &["combination", "inference (s)", "assignment (s)", "total (s)"],
+            &[
+                "combination",
+                "inference (s)",
+                "assignment (s)",
+                "total (s)",
+            ],
             &rows,
         );
         println!();
@@ -90,7 +95,10 @@ pub fn fig13(scale: Scale) {
     };
     let mut out = Vec::new();
     for corpus in both_corpora(scale) {
-        println!("[{}] EAI assignment time (10 workers × 5 tasks):", corpus.name);
+        println!(
+            "[{}] EAI assignment time (10 workers × 5 tasks):",
+            corpus.name
+        );
         let mut rows = Vec::new();
         for &factor in factors {
             let mut ds = corpus.dataset.duplicated(factor);
@@ -109,8 +117,8 @@ pub fn fig13(scale: Scale) {
             let (_, full_evals) = assign_exhaustive(&model, &ds, &idx, pool.ids(), 5);
             let without_filter = t1.elapsed();
 
-            let saved = 100.0
-                * (1.0 - with_filter.as_secs_f64() / without_filter.as_secs_f64().max(1e-12));
+            let saved =
+                100.0 * (1.0 - with_filter.as_secs_f64() / without_filter.as_secs_f64().max(1e-12));
             rows.push(vec![
                 format!("{factor}"),
                 format!("{:.4}", with_filter.as_secs_f64()),
@@ -131,7 +139,11 @@ pub fn fig13(scale: Scale) {
         }
         print_table(
             &[
-                "scale", "with filter (s)", "w/o filter (s)", "time saved", "EAI evals",
+                "scale",
+                "with filter (s)",
+                "w/o filter (s)",
+                "time saved",
+                "EAI evals",
             ],
             &rows,
         );

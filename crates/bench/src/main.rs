@@ -30,7 +30,10 @@ fn main() {
         } else if experiments::ALL.contains(&id) {
             experiments::run(id, scale);
         } else {
-            eprintln!("unknown experiment id {id}; known: {}", experiments::ALL.join(", "));
+            eprintln!(
+                "unknown experiment id {id}; known: {}",
+                experiments::ALL.join(", ")
+            );
             std::process::exit(2);
         }
     }

@@ -1,9 +1,90 @@
 //! Machine-readable experiment outputs (`results/<id>.json`).
+//!
+//! Serialisation is a small hand-rolled JSON emitter rather than
+//! serde + serde_json: the build environment is offline (see
+//! `vendor/README.md`) and the two payload shapes below are all the
+//! harness ever writes.
 
 use std::fs;
 use std::path::PathBuf;
 
-use serde::Serialize;
+/// Types the harness can write to `results/` as JSON.
+pub trait ToJson {
+    /// Append this value's JSON encoding to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// This value's JSON encoding.
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.write_json(&mut s);
+        s
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        out.push_str(&format!("{x}"));
+    } else {
+        // JSON has no NaN/Infinity; null keeps the file parseable.
+        out.push_str("null");
+    }
+}
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        push_json_f64(out, *self);
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        push_json_str(out, self);
+    }
+}
+
+impl ToJson for (String, f64) {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        push_json_str(out, &self.0);
+        out.push_str(", ");
+        push_json_f64(out, self.1);
+        out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n  ");
+            } else {
+                out.push_str("\n  ");
+            }
+            item.write_json(out);
+        }
+        if !self.is_empty() {
+            out.push('\n');
+        }
+        out.push(']');
+    }
+}
 
 /// Where experiment outputs land (workspace-relative `results/`).
 pub fn results_dir() -> PathBuf {
@@ -15,27 +96,22 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Serialise `payload` to `results/<id>.json`.
-pub fn save<T: Serialize>(id: &str, payload: &T) {
+pub fn save<T: ToJson + ?Sized>(id: &str, payload: &T) {
     let dir = results_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {dir:?}: {e}");
         return;
     }
     let path = dir.join(format!("{id}.json"));
-    match serde_json::to_string_pretty(payload) {
-        Ok(json) => {
-            if let Err(e) = fs::write(&path, json) {
-                eprintln!("warning: cannot write {path:?}: {e}");
-            } else {
-                println!("  → saved {path:?}");
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialise {id}: {e}"),
+    if let Err(e) = fs::write(&path, payload.to_json()) {
+        eprintln!("warning: cannot write {path:?}: {e}");
+    } else {
+        println!("  → saved {path:?}");
     }
 }
 
 /// A generic metric row for tabular experiments.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MetricRow {
     /// Row label (algorithm or combo).
     pub label: String,
@@ -45,8 +121,20 @@ pub struct MetricRow {
     pub metrics: Vec<(String, f64)>,
 }
 
+impl ToJson for MetricRow {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"label\": ");
+        push_json_str(out, &self.label);
+        out.push_str(", \"corpus\": ");
+        push_json_str(out, &self.corpus);
+        out.push_str(", \"metrics\": ");
+        self.metrics.write_json(out);
+        out.push('}');
+    }
+}
+
 /// A labelled numeric series (round → value), for the figure experiments.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Series label (e.g. "TDH+EAI").
     pub label: String,
@@ -58,6 +146,20 @@ pub struct Series {
     pub y: Vec<f64>,
 }
 
+impl ToJson for Series {
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"label\": ");
+        push_json_str(out, &self.label);
+        out.push_str(", \"corpus\": ");
+        push_json_str(out, &self.corpus);
+        out.push_str(", \"x\": ");
+        self.x.write_json(out);
+        out.push_str(", \"y\": ");
+        self.y.write_json(out);
+        out.push('}');
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +168,15 @@ mod tests {
     fn results_dir_is_workspace_relative() {
         let d = results_dir();
         assert!(d.ends_with("results"));
+    }
+
+    #[test]
+    fn json_escapes_and_non_finite_values() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, r#""a\"b\\c\nd""#);
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!(1.5f64.to_json(), "1.5");
     }
 
     #[test]

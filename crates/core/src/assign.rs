@@ -162,9 +162,9 @@ impl TaskAssigner for EaiAssigner {
             // Line 8: all heaps full and no heap minimum beatable → stop.
             let all_full = heaps.iter().all(|h| h.len() >= k);
             if all_full {
-                let beatable = heaps.iter().any(|h| {
-                    h.peek().map_or(true, |Reverse((Score(m), _))| *m < ub)
-                });
+                let beatable = heaps
+                    .iter()
+                    .any(|h| h.peek().map_or(true, |Reverse((Score(m), _))| *m < ub));
                 if !beatable {
                     break;
                 }
@@ -372,9 +372,7 @@ mod tests {
         let (ds, idx, model) = fitted();
         let workers: Vec<_> = ds.workers().collect();
         // "good" answered truths, so ψ_{good,1} > ψ_{bad,1}.
-        assert!(
-            model.worker_exact_prob(WorkerId(0)) > model.worker_exact_prob(WorkerId(1))
-        );
+        assert!(model.worker_exact_prob(WorkerId(0)) > model.worker_exact_prob(WorkerId(1)));
         let mut assigner = EaiAssigner::new();
         let batches = assigner.assign(&model, &ds, &idx, &workers, 5);
         // Batches come back in ψ order: first batch belongs to "good".
@@ -388,8 +386,7 @@ mod tests {
         let mut assigner = EaiAssigner::new();
         let pruned = assigner.assign(&model, &ds, &idx, &workers, 4);
         let pruned_evals = assigner.eai_evaluations;
-        let (exhaustive, full_evals) =
-            assign_exhaustive(&model, &ds, &idx, &workers, 4);
+        let (exhaustive, full_evals) = assign_exhaustive(&model, &ds, &idx, &workers, 4);
         let quality = |batches: &[Assignment]| -> f64 {
             batches
                 .iter()

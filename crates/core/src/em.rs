@@ -79,9 +79,7 @@ fn initialize(model: &mut TdhModel, ds: &Dataset, idx: &ObservationIndex, cfg: &
                 .map(|v| f64::from(view.source_count[v] + view.worker_count[v]) + 1.0)
                 .sum();
             (0..k)
-                .map(|v| {
-                    (f64::from(view.source_count[v] + view.worker_count[v]) + 1.0) / total
-                })
+                .map(|v| (f64::from(view.source_count[v] + view.worker_count[v]) + 1.0) / total)
                 .collect()
         })
         .collect();
@@ -98,11 +96,7 @@ fn em_iteration(
     cfg: &TdhConfig,
 ) -> f64 {
     let n_obj = idx.n_objects();
-    let mut acc_mu: Vec<Vec<f64>> = model
-        .mu
-        .iter()
-        .map(|mu| vec![0.0; mu.len()])
-        .collect();
+    let mut acc_mu: Vec<Vec<f64>> = model.mu.iter().map(|mu| vec![0.0; mu.len()]).collect();
     let mut acc_phi = vec![[0.0f64; 3]; model.phi.len()];
     let mut acc_psi = vec![[0.0f64; 3]; model.psi.len()];
     let mut log_lik = 0.0f64;
@@ -122,8 +116,8 @@ fn em_iteration(
             posterior.clear();
             let mut z = 0.0;
             for t in 0..k as u32 {
-                let p = TdhModel::source_likelihood_cfg(view, phi, c, t, cfg.ablation)
-                    * mu[t as usize];
+                let p =
+                    TdhModel::source_likelihood_cfg(view, phi, c, t, cfg.ablation) * mu[t as usize];
                 posterior.push(p);
                 z += p;
             }
@@ -141,9 +135,7 @@ fn em_iteration(
             let n2 = if view.in_oh && cfg.ablation.hierarchy_aware {
                 view.descendants[c as usize]
                     .iter()
-                    .map(|&v| {
-                        phi[1] / view.ancestors[v as usize].len() as f64 * mu[v as usize]
-                    })
+                    .map(|&v| phi[1] / view.ancestors[v as usize].len() as f64 * mu[v as usize])
                     .sum::<f64>()
             } else {
                 phi[1] * mu[c as usize]
@@ -233,7 +225,9 @@ fn em_iteration(
     }
     let alpha_excess: f64 = cfg.alpha.iter().map(|a| a - 1.0).sum();
     for (si, phi) in model.phi.iter_mut().enumerate() {
-        let n_os = idx.objects_of_source(tdh_data::SourceId::from_index(si)).len() as f64;
+        let n_os = idx
+            .objects_of_source(tdh_data::SourceId::from_index(si))
+            .len() as f64;
         let denom = n_os + alpha_excess;
         for t in 0..3 {
             phi[t] = (acc_phi[si][t] + cfg.alpha[t] - 1.0) / denom;
@@ -242,7 +236,8 @@ fn em_iteration(
     let beta_excess: f64 = cfg.beta.iter().map(|b| b - 1.0).sum();
     for (wi, psi) in model.psi.iter_mut().enumerate() {
         let n_ow = if wi < idx.n_workers() {
-            idx.objects_of_worker(tdh_data::WorkerId::from_index(wi)).len() as f64
+            idx.objects_of_worker(tdh_data::WorkerId::from_index(wi))
+                .len() as f64
         } else {
             0.0
         };
@@ -287,9 +282,7 @@ mod tests {
             let r = i % 4;
             let city = i % 4;
             let h = ds.hierarchy();
-            let truth = h
-                .node_by_name(&format!("C{c}R{r}T{city}"))
-                .unwrap();
+            let truth = h.node_by_name(&format!("C{c}R{r}T{city}")).unwrap();
             let region = h.node_by_name(&format!("C{c}R{r}")).unwrap();
             let wrong = h
                 .node_by_name(&format!("C{}R{}T{}", (c + 1) % 6, r, city))

@@ -12,9 +12,7 @@
 use tdh_data::{Dataset, ObjectId, ObjectView, ObservationIndex, WorkerId};
 
 use crate::em;
-use crate::traits::{
-    argmax, ProbabilisticCrowdModel, TruthDiscovery, TruthEstimate,
-};
+use crate::traits::{argmax, ProbabilisticCrowdModel, TruthDiscovery, TruthEstimate};
 
 /// Ablation switches for the TDH model, used by the `ablation` experiment
 /// to quantify what each design choice contributes. Both default to the
@@ -307,13 +305,7 @@ impl ProbabilisticCrowdModel for TdhModel {
         self.psi(w)[0]
     }
 
-    fn answer_likelihood(
-        &self,
-        idx: &ObservationIndex,
-        o: ObjectId,
-        w: WorkerId,
-        c: u32,
-    ) -> f64 {
+    fn answer_likelihood(&self, idx: &ObservationIndex, o: ObjectId, w: WorkerId, c: u32) -> f64 {
         let view = idx.view(o);
         let psi = self.psi(w);
         let mu = &self.mu[o.index()];
@@ -455,12 +447,8 @@ mod tests {
         let c_lon = view.cand_index(lon).unwrap();
         let c_man = view.cand_index(man).unwrap();
         // Eq. (2): exact = φ1 + φ2, wrong = φ3 / (|Vo| − 1).
-        assert!(
-            (TdhModel::source_likelihood(view, &phi, c_lon, c_lon) - 0.9).abs() < 1e-12
-        );
-        assert!(
-            (TdhModel::source_likelihood(view, &phi, c_man, c_lon) - 0.1).abs() < 1e-12
-        );
+        assert!((TdhModel::source_likelihood(view, &phi, c_lon, c_lon) - 0.9).abs() < 1e-12);
+        assert!((TdhModel::source_likelihood(view, &phi, c_man, c_lon) - 0.1).abs() < 1e-12);
     }
 
     #[test]

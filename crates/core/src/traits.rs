@@ -23,9 +23,7 @@ impl TruthEstimate {
         let truths = confidences
             .iter()
             .enumerate()
-            .map(|(o, mu)| {
-                argmax(mu).map(|i| idx.view(ObjectId::from_index(o)).candidates[i])
-            })
+            .map(|(o, mu)| argmax(mu).map(|i| idx.view(ObjectId::from_index(o)).candidates[i]))
             .collect();
         TruthEstimate {
             truths,
@@ -77,13 +75,7 @@ pub trait ProbabilisticCrowdModel: TruthDiscovery {
 
     /// `P(v_o^w = c | ψ_w, μ_o)` — the marginal likelihood that worker `w`
     /// would answer candidate `c` for object `o` (Eq. 6).
-    fn answer_likelihood(
-        &self,
-        idx: &ObservationIndex,
-        o: ObjectId,
-        w: WorkerId,
-        c: u32,
-    ) -> f64;
+    fn answer_likelihood(&self, idx: &ObservationIndex, o: ObjectId, w: WorkerId, c: u32) -> f64;
 
     /// The conditional confidence `μ_{o,·|v_o^w = c}` after a hypothetical
     /// answer `c` from worker `w`.

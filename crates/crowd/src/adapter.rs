@@ -56,13 +56,7 @@ impl<T: TruthDiscovery> ProbabilisticCrowdModel for UniformAdapter<T> {
         self.workers.accuracy(w)
     }
 
-    fn answer_likelihood(
-        &self,
-        idx: &ObservationIndex,
-        o: ObjectId,
-        w: WorkerId,
-        c: u32,
-    ) -> f64 {
+    fn answer_likelihood(&self, idx: &ObservationIndex, o: ObjectId, w: WorkerId, c: u32) -> f64 {
         let k = idx.view(o).n_candidates();
         let mu = &self.confidences[o.index()];
         (0..k as u32)

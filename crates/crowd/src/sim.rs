@@ -65,10 +65,7 @@ impl SimulationResult {
 
     /// Accuracy after the final round.
     pub fn final_accuracy(&self) -> f64 {
-        self.rounds
-            .last()
-            .map(|r| r.report.accuracy)
-            .unwrap_or(0.0)
+        self.rounds.last().map(|r| r.report.accuracy).unwrap_or(0.0)
     }
 
     /// Fig. 7's actual improvement series: the per-round delta of accuracy
@@ -97,7 +94,11 @@ fn estimated_gain(
         "EAI" => Some(
             batches
                 .iter()
-                .flat_map(|b| b.objects.iter().map(move |&o| eai(model, idx, o, b.worker, n)))
+                .flat_map(|b| {
+                    b.objects
+                        .iter()
+                        .map(move |&o| eai(model, idx, o, b.worker, n))
+                })
                 .sum(),
         ),
         "QASCA" => {
@@ -240,10 +241,7 @@ mod tests {
         assert_eq!(result.rounds.len(), 9);
         let first = result.rounds.first().unwrap().report.accuracy;
         let last = result.final_accuracy();
-        assert!(
-            last > first,
-            "crowdsourcing should help: {first} -> {last}"
-        );
+        assert!(last > first, "crowdsourcing should help: {first} -> {last}");
         // Estimated improvements exist for EAI and are finite.
         for r in &result.rounds[..8] {
             let e = r.estimated_improvement.expect("EAI estimates");

@@ -107,8 +107,7 @@ impl WorkerPool {
             return None;
         }
         let p = self.profiles[pos].p_correct;
-        let truth = mapped_gold(ds, idx, o)
-            .filter(|t| view.cand_index(*t).is_some());
+        let truth = mapped_gold(ds, idx, o).filter(|t| view.cand_index(*t).is_some());
         if let Some(t) = truth {
             if self.rng.random::<f64>() < p {
                 return Some(t);

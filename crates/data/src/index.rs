@@ -391,10 +391,7 @@ mod tests {
         let (a, b) = (idx.view(sol), rebuilt.view(sol));
         assert_eq!(a.workers, b.workers);
         assert_eq!(a.worker_count, b.worker_count);
-        assert_eq!(
-            idx.objects_of_worker(w),
-            rebuilt.objects_of_worker(w)
-        );
+        assert_eq!(idx.objects_of_worker(w), rebuilt.objects_of_worker(w));
     }
 
     #[test]

@@ -317,10 +317,7 @@ Big Ben\ttripadvisor\tUK/London
         assert_eq!(ds.answers().len(), ds2.answers().len());
         for (x, y) in ds.records().iter().zip(ds2.records()) {
             assert_eq!(ds.object_name(x.object), ds2.object_name(y.object));
-            assert_eq!(
-                ds.hierarchy().name(x.value),
-                ds2.hierarchy().name(y.value)
-            );
+            assert_eq!(ds.hierarchy().name(x.value), ds2.hierarchy().name(y.value));
         }
     }
 

@@ -111,12 +111,7 @@ fn eligible_nodes(h: &Hierarchy, min_depth: u32) -> Vec<NodeId> {
 
 /// Draw a wrong value for `truth`: a node that is neither the truth nor one
 /// of its ancestors. Prefers confusable nodes (same top-level branch).
-fn draw_wrong(
-    rng: &mut StdRng,
-    h: &Hierarchy,
-    pool: &[NodeId],
-    truth: NodeId,
-) -> NodeId {
+fn draw_wrong(rng: &mut StdRng, h: &Hierarchy, pool: &[NodeId], truth: NodeId) -> NodeId {
     let branch = h.top_level_branch(truth);
     for attempt in 0..64 {
         let v = pool[rng.random_range(0..pool.len())];
@@ -189,10 +184,10 @@ pub fn generate_categorical(cfg: &CategoricalConfig, seed: u64) -> Corpus {
 
     let mut covered = vec![false; cfg.n_objects];
     let emit = |ds: &mut Dataset,
-                    rng: &mut StdRng,
-                    covered: &mut Vec<bool>,
-                    src_idx: usize,
-                    obj_idx: usize| {
+                rng: &mut StdRng,
+                covered: &mut Vec<bool>,
+                src_idx: usize,
+                obj_idx: usize| {
         let truth = truths[obj_idx];
         let h = ds.hierarchy();
         let spec = &cfg.sources[src_idx];
@@ -208,10 +203,8 @@ pub fn generate_categorical(cfg: &CategoricalConfig, seed: u64) -> Corpus {
             // Generalized truth: concentrated on the depth-1 ancestor with
             // probability `shallow_general_prob`, else a uniform proper
             // non-root ancestor.
-            let ancestors: Vec<NodeId> = h
-                .ancestors(truth)
-                .filter(|&a| a != NodeId::ROOT)
-                .collect();
+            let ancestors: Vec<NodeId> =
+                h.ancestors(truth).filter(|&a| a != NodeId::ROOT).collect();
             if ancestors.is_empty() {
                 truth // unreachable when min_truth_depth ≥ 2
             } else if rng.random::<f64>() < cfg.shallow_general_prob {
@@ -255,8 +248,7 @@ pub fn generate_categorical(cfg: &CategoricalConfig, seed: u64) -> Corpus {
         let retry_budget = 30 * take + 64;
         while emitted < take {
             let u: f64 = rng.random();
-            let rank =
-                ((cfg.n_objects as f64) * u.powf(1.0 + cfg.popularity_skew)) as usize;
+            let rank = ((cfg.n_objects as f64) * u.powf(1.0 + cfg.popularity_skew)) as usize;
             let oi = popularity[rank.min(cfg.n_objects - 1)];
             if taken[oi] {
                 retries += 1;

@@ -80,7 +80,9 @@ pub fn generate_hierarchy(cfg: &HierarchyConfig, seed: u64) -> Hierarchy {
         let (parent, pd) = nodes[pi];
         let name = format!("L{}-{}", pd + 1, counter);
         counter += 1;
-        let id = b.add_child(parent, &name).expect("generated names are unique");
+        let id = b
+            .add_child(parent, &name)
+            .expect("generated names are unique");
         nodes.push((id, pd + 1));
         // Occasionally extend chains faster to diversify leaf depths.
         let _ = rng.random::<f64>();

@@ -29,8 +29,6 @@ pub mod sampling;
 mod stock;
 
 pub use categorical::{generate_categorical, CategoricalConfig, Corpus, SourceSpec};
-pub use corpora::{
-    generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig,
-};
+pub use corpora::{generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig};
 pub use hierarchy_gen::{generate_hierarchy, HierarchyConfig};
 pub use stock::{generate_stock, StockAttribute, StockConfig};

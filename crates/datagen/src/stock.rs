@@ -125,9 +125,9 @@ pub fn generate_stock(cfg: &StockConfig, seed: u64) -> NumericDataset {
     // Finer than the truth's own resolution just reproduces the truth.
     let resolutions: Vec<i32> = (0..cfg.n_sources)
         .map(|_| match cfg.attribute {
-            StockAttribute::ChangeRate => -rng.random_range(1..=4),
-            StockAttribute::OpenPrice => -rng.random_range(0..=2),
-            StockAttribute::Eps => -rng.random_range(0..=2),
+            StockAttribute::ChangeRate => -rng.random_range(1i32..=4),
+            StockAttribute::OpenPrice => -rng.random_range(0i32..=2),
+            StockAttribute::Eps => -rng.random_range(0i32..=2),
         })
         .collect();
 
@@ -169,11 +169,7 @@ pub fn generate_stock(cfg: &StockConfig, seed: u64) -> NumericDataset {
                 round_to_place(truth, resolutions[si])
             };
             if value.is_finite() {
-                ds.add_claim(
-                    ObjectId::from_index(oi),
-                    SourceId::from_index(si),
-                    value,
-                );
+                ds.add_claim(ObjectId::from_index(oi), SourceId::from_index(si), value);
             }
         }
     }

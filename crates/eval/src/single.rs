@@ -58,11 +58,7 @@ pub fn single_truth_report_with_index(
     idx: &ObservationIndex,
     truths: &[Option<NodeId>],
 ) -> SingleTruthReport {
-    assert_eq!(
-        truths.len(),
-        ds.n_objects(),
-        "one estimate slot per object"
-    );
+    assert_eq!(truths.len(), ds.n_objects(), "one estimate slot per object");
     let h = ds.hierarchy();
     let mut n = 0usize;
     let mut skipped = 0usize;

@@ -176,7 +176,10 @@ impl NumericHierarchy {
             .enumerate()
             .map(|(i, c)| (c.clone(), node_of[&i]))
             .collect();
-        let mapping = values.iter().map(|&v| node_of[&index_of[&canonical(v)]]).collect();
+        let mapping = values
+            .iter()
+            .map(|&v| node_of[&index_of[&canonical(v)]])
+            .collect();
         (
             NumericHierarchy {
                 hierarchy,
@@ -247,7 +250,10 @@ mod tests {
         assert!(is_rounding_ancestor(605.2, 605.196));
         assert!(is_rounding_ancestor(605.0, 605.196));
         assert!(is_rounding_ancestor(605.0, 605.2));
-        assert!(!is_rounding_ancestor(605.196, 605.2), "finer is no ancestor");
+        assert!(
+            !is_rounding_ancestor(605.196, 605.2),
+            "finer is no ancestor"
+        );
         assert!(!is_rounding_ancestor(606.0, 605.196), "wrong rounding");
         assert!(!is_rounding_ancestor(605.2, 605.2), "never self");
     }

@@ -81,8 +81,6 @@ fn main() {
         );
     }
     println!();
-    println!(
-        "φ1 tracks exact accuracy and φ1+φ2 tracks generalized accuracy —"
-    );
+    println!("φ1 tracks exact accuracy and φ1+φ2 tracks generalized accuracy —");
     println!("a scalar-trust model (ASUMS above) cannot represent both.");
 }

@@ -42,13 +42,7 @@ fn main() {
         let mut ds = corpus.dataset;
         let mut pool = WorkerPool::uniform(&mut ds, 10, 0.75, 5);
         let mut model = TdhModel::new(TdhConfig::default());
-        let result = run_simulation(
-            &mut ds,
-            &mut model,
-            assigner.as_mut(),
-            &mut pool,
-            &sim_cfg,
-        );
+        let result = run_simulation(&mut ds, &mut model, assigner.as_mut(), &mut pool, &sim_cfg);
         results.push(result);
     }
 

@@ -7,9 +7,7 @@
 //! cargo run --release --example numeric_fusion
 //! ```
 
-use tdh::baselines::numeric::{
-    Catd, CrhNumeric, MeanNumeric, NumericTruthDiscovery, VoteNumeric,
-};
+use tdh::baselines::numeric::{Catd, CrhNumeric, MeanNumeric, NumericTruthDiscovery, VoteNumeric};
 use tdh::core::numeric::NumericTdh;
 use tdh::data::{NumericDataset, ObjectId, SourceId};
 use tdh::datagen::{generate_stock, StockAttribute, StockConfig};

@@ -3,8 +3,8 @@
 
 use tdh::baselines::{MbAssigner, MeAssigner, Qasca};
 use tdh::core::{
-    assign_exhaustive, eai, ueai, EaiAssigner, ProbabilisticCrowdModel, TaskAssigner,
-    TdhConfig, TdhModel, TruthDiscovery,
+    assign_exhaustive, eai, ueai, EaiAssigner, ProbabilisticCrowdModel, TaskAssigner, TdhConfig,
+    TdhModel, TruthDiscovery,
 };
 use tdh::crowd::WorkerPool;
 use tdh::data::{Dataset, ObservationIndex, WorkerId};

@@ -4,9 +4,7 @@
 use tdh::baselines::{Accu, Asums, Crh, Docs, Lca, Lfc, Mdc, PopAccu, Vote};
 use tdh::core::{TdhConfig, TdhModel, TruthDiscovery};
 use tdh::data::ObservationIndex;
-use tdh::datagen::{
-    generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig,
-};
+use tdh::datagen::{generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig};
 use tdh::eval::{single_truth_report_with_index, SingleTruthReport};
 
 fn birthplaces() -> tdh::datagen::Corpus {

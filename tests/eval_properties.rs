@@ -32,10 +32,7 @@ fn single_truth_metrics_stay_in_range_for_any_estimates() {
         Box::new(move |v| v.candidates.iter().copied().min_by_key(|&x| h.depth(x))),
     ];
     for est in estimators {
-        let truths: Vec<Option<NodeId>> = ds
-            .objects()
-            .map(|o| est(idx.view(o)))
-            .collect();
+        let truths: Vec<Option<NodeId>> = ds.objects().map(|o| est(idx.view(o))).collect();
         let r = single_truth_report_with_index(ds, &idx, &truths);
         assert!((0.0..=1.0).contains(&r.accuracy));
         assert!((0.0..=1.0).contains(&r.gen_accuracy));

@@ -53,10 +53,7 @@ fn go_and_do_are_mutually_inverse() {
         for (vi, ancestors) in view.ancestors.iter().enumerate() {
             for &a in ancestors {
                 // Go(v) really contains ancestors...
-                assert!(h.is_strict_ancestor(
-                    view.candidates[a as usize],
-                    view.candidates[vi]
-                ));
+                assert!(h.is_strict_ancestor(view.candidates[a as usize], view.candidates[vi]));
                 // ...and Do mirrors it.
                 assert!(view.descendants[a as usize].contains(&(vi as u32)));
             }

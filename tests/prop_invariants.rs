@@ -3,8 +3,8 @@
 //! generators.
 
 use proptest::prelude::*;
-use tdh::core::{eai, ueai, TdhConfig, TdhModel, TruthDiscovery};
 use tdh::core::ProbabilisticCrowdModel;
+use tdh::core::{eai, ueai, TdhConfig, TdhModel, TruthDiscovery};
 use tdh::data::{Dataset, ObservationIndex, WorkerId};
 use tdh::hierarchy::{HierarchyBuilder, NodeId};
 
@@ -33,15 +33,9 @@ fn mini_corpus() -> impl Strategy<Value = MiniCorpus> {
             }
             let nodes: Vec<NodeId> = ids.into_iter().filter(|&v| v != NodeId::ROOT).collect();
             let mut ds = Dataset::new(b.build());
-            let objects: Vec<_> = (0..6)
-                .map(|i| ds.intern_object(&format!("o{i}")))
-                .collect();
-            let sources: Vec<_> = (0..5)
-                .map(|i| ds.intern_source(&format!("s{i}")))
-                .collect();
-            let workers: Vec<_> = (0..4)
-                .map(|i| ds.intern_worker(&format!("w{i}")))
-                .collect();
+            let objects: Vec<_> = (0..6).map(|i| ds.intern_object(&format!("o{i}"))).collect();
+            let sources: Vec<_> = (0..5).map(|i| ds.intern_source(&format!("s{i}"))).collect();
+            let workers: Vec<_> = (0..4).map(|i| ds.intern_worker(&format!("w{i}"))).collect();
             for (o, s, pick) in &records {
                 let v = nodes[pick % nodes.len()];
                 ds.add_record(objects[*o], sources[*s], v);

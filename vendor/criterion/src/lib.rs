@@ -1,0 +1,236 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the criterion API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a deliberately
+//! simple measurement loop: a short warm-up, then timed batches until
+//! ~`measurement_millis` of wall clock, reporting the mean time per
+//! iteration. No statistics, plots, or baselines; swap the real criterion
+//! back in for publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box` too.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_millis: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_millis: 300,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run `f` as the benchmark named `id` and print its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        run_one(id, self.measurement_millis, self.sample_size, &mut f);
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    // Group-scoped, as in real criterion: a group's sample_size must not
+    // leak into benchmarks run after the group finishes.
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of iterations per benchmark in this group (the
+    /// criterion knob slow benches use to bound wall clock).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run `f` with `input` as the benchmark `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(
+            &label,
+            self.criterion.measurement_millis,
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+    }
+
+    /// Run `f` as the benchmark `id` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.measurement_millis,
+            self.sample_size,
+            &mut f,
+        );
+    }
+
+    /// Close the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, a parameter, or both.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// measured routine.
+pub struct Bencher {
+    measurement: Duration,
+    max_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measure `routine`, running it repeatedly until the measurement
+    /// window is filled or the iteration cap is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (also primes caches and lazy statics).
+        black_box(routine());
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement || iters >= self.max_iters {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    measurement_millis: u64,
+    sample_size: usize,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        measurement: Duration::from_millis(measurement_millis),
+        max_iters: (sample_size as u64).max(1) * 50,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{label:<50} (routine never called iter)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    println!(
+        "{label:<50} {:>12} / iter ({} iters)",
+        format_time(per_iter),
+        b.iters
+    );
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Bundle benchmark functions into a single runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_millis: 5,
+        };
+        let mut ran = 0u64;
+        c.bench_function("self-test", |b| b.iter(|| ran += 1));
+        assert!(ran > 1);
+        let mut group = c.benchmark_group("group");
+        group.sample_size(5);
+        group.bench_with_input(BenchmarkId::new("with-input", 3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 4).label, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("EAI").label, "EAI");
+    }
+}

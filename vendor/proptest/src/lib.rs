@@ -1,0 +1,124 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple strategies,
+//! [`collection::vec`], the [`proptest!`] macro (with optional
+//! `#![proptest_config(..)]` header), `ProptestConfig::with_cases` and the
+//! `prop_assert*` macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: inputs are
+//! drawn from a deterministic per-test RNG (seeded from the test name)
+//! rather than an adaptive runner, and there is **no shrinking** — a failing
+//! case reports the assertion directly. Both keep runs reproducible without
+//! the upstream dependency tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    /// A strategy for `Vec<E::Value>` with a length drawn from `len`.
+    pub fn vec<E: Strategy>(element: E, len: Range<usize>) -> VecStrategy<E> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<E> {
+        element: E,
+        len: Range<usize>,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.uniform_usize(self.len.clone());
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// The subset of names a proptest test file conventionally glob-imports.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declare property tests: each function runs `ProptestConfig::cases` times
+/// on freshly drawn inputs.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1_000, b in 0u32..1_000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            @cfg($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (@cfg($cfg:expr)
+     $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __strategies = ($($strat,)+);
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__cfg.cases {
+                    let ($($arg,)+) = $crate::strategy::Strategy::new_value(
+                        &__strategies,
+                        &mut __rng,
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

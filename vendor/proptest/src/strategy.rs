@@ -1,0 +1,82 @@
+//! The [`Strategy`] trait and the built-in strategies (ranges, tuples,
+//! `prop_map`).
+
+use crate::test_runner::TestRng;
+use core::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the test RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `fun(v)` for `v` drawn from `self`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, fun: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, fun }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    fun: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.fun)(self.source.new_value(rng))
+    }
+}
+
+macro_rules! range_strategy_impls {
+    ($($t:ty => $method:ident),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.$method(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy_impls! {
+    usize => uniform_usize,
+    u32 => uniform_u32,
+    u64 => uniform_u64,
+    i32 => uniform_i32,
+    i64 => uniform_i64,
+    f64 => uniform_f64,
+}
+
+macro_rules! tuple_strategy_impls {
+    ($(($($s:ident $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy_impls! {
+    (A 0),
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+    (A 0, B 1, C 2, D 3, E 4, F 5),
+}

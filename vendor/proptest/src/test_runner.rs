@@ -1,0 +1,94 @@
+//! Test configuration and the per-test RNG.
+
+use core::ops::Range;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How many cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property (default 64).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic RNG behind a property test, seeded from the test name
+/// so every run (and every CI machine) replays the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a (64-bit) over the test name gives a stable per-test seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Uniform `usize` in `range`.
+    pub fn uniform_usize(&mut self, range: Range<usize>) -> usize {
+        self.inner.random_range(range)
+    }
+
+    /// Uniform `u32` in `range`.
+    pub fn uniform_u32(&mut self, range: Range<u32>) -> u32 {
+        self.inner.random_range(range)
+    }
+
+    /// Uniform `u64` in `range`.
+    pub fn uniform_u64(&mut self, range: Range<u64>) -> u64 {
+        self.inner.random_range(range)
+    }
+
+    /// Uniform `i32` in `range`.
+    pub fn uniform_i32(&mut self, range: Range<i32>) -> i32 {
+        self.inner.random_range(range)
+    }
+
+    /// Uniform `i64` in `range`.
+    pub fn uniform_i64(&mut self, range: Range<i64>) -> i64 {
+        self.inner.random_range(range)
+    }
+
+    /// Uniform `f64` in `range`.
+    pub fn uniform_f64(&mut self, range: Range<f64>) -> f64 {
+        self.inner.random_range(range)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_test_rng_is_deterministic() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        assert_eq!(a.uniform_u64(0..u64::MAX), b.uniform_u64(0..u64::MAX));
+        let mut c = TestRng::for_test("y");
+        assert_ne!(
+            TestRng::for_test("x").uniform_u64(0..u64::MAX),
+            c.uniform_u64(0..u64::MAX)
+        );
+    }
+}
