@@ -8,10 +8,11 @@ mod performance;
 
 use crate::Scale;
 
-/// All experiment ids, in paper order.
-pub const ALL: [&str; 15] = [
+/// All experiment ids: the paper's tables/figures in paper order, then the
+/// repo's own scenarios (`ablation`, `scaling`).
+pub const ALL: [&str; 16] = [
     "fig1", "table3", "fig5", "fig6", "fig7", "table4", "fig8", "fig11", "fig12", "fig13", "fig14",
-    "fig17", "table5", "table6", "ablation",
+    "fig17", "table5", "table6", "ablation", "scaling",
 ];
 
 /// Run one experiment by id. Panics on unknown ids (the CLI validates).
@@ -33,6 +34,7 @@ pub fn run(id: &str, scale: Scale) {
         "fig12" => performance::fig12(scale),
         "fig13" => performance::fig13(scale),
         "ablation" => ablation::ablation(scale),
+        "scaling" => performance::scaling(scale),
         other => panic!("unknown experiment id {other}"),
     }
     println!();

@@ -1,5 +1,6 @@
-//! Performance experiments: Fig. 12 (execution time per round) and Fig. 13
-//! (UEAI-filter effectiveness under data scaling).
+//! Performance experiments: Fig. 12 (execution time per round), Fig. 13
+//! (UEAI-filter effectiveness under data scaling) and the repo's own
+//! `scaling` scenario (E-step sharding speedup vs thread count).
 
 use std::time::{Duration, Instant};
 
@@ -7,7 +8,9 @@ use tdh_core::{assign_exhaustive, EaiAssigner, TaskAssigner, TdhConfig, TdhModel
 use tdh_crowd::{run_simulation, SimulationConfig, WorkerPool};
 use tdh_data::ObservationIndex;
 
-use crate::harness::{both_corpora, make_assigner, make_crowd_model, print_table, SEED};
+use crate::harness::{
+    birthplaces, both_corpora, make_assigner, make_crowd_model, print_table, tdh_with_threads, SEED,
+};
 use crate::report::{save, MetricRow};
 use crate::Scale;
 
@@ -150,4 +153,95 @@ pub fn fig13(scale: Scale) {
         println!();
     }
     save("fig13", &out);
+}
+
+/// Thread counts the `scaling` scenario sweeps.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// `scaling` — not a paper figure: wall-clock time and speedup of one full
+/// TDH fit as the sharded E-step's thread count grows, on the largest
+/// corpus of the requested scale (BirthPlaces, duplicated as in Fig. 13).
+///
+/// Besides the timings (written to `results/scaling.json` so perf
+/// regressions are diffable), the scenario cross-checks the sharding
+/// contract — every thread count should predict the truths the sequential
+/// path predicts — and reports any divergence as a `truth_mismatches`
+/// metric.
+pub fn scaling(scale: Scale) {
+    // Duplication factors are chosen so one E-step iteration is large enough
+    // to amortize the per-iteration scoped-thread spawns even in quick mode.
+    let (factor, reps) = match scale {
+        Scale::Paper => (10, 3),
+        Scale::Quick => (12, 2),
+    };
+    let corpus = birthplaces(scale);
+    let ds = corpus.dataset.duplicated(factor);
+    let idx = ObservationIndex::build(&ds);
+    println!(
+        "[{} ×{factor}] TDH fit seconds vs E-step threads ({} objects, {} records, best of {reps}; {} hardware threads):",
+        corpus.name,
+        ds.n_objects(),
+        ds.records().len(),
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    );
+    let mut out = Vec::new();
+    let mut rows = Vec::new();
+    let mut baseline = f64::NAN;
+    let mut reference_truths = None;
+    for n_threads in SCALING_THREADS {
+        let mut best = f64::INFINITY;
+        let mut truths = None;
+        for _ in 0..reps {
+            let mut model = tdh_with_threads(n_threads);
+            let t0 = Instant::now();
+            let est = model.infer(&ds, &idx);
+            best = best.min(t0.elapsed().as_secs_f64());
+            truths = Some(est.truths);
+        }
+        let truths = truths.expect("reps >= 1");
+        // Predicted-truth agreement with the sequential run is part of the
+        // sharding contract, but near-tie argmax flips under ~1e-12 FP
+        // regrouping are possible in principle — report mismatches as a
+        // metric (and loudly) rather than aborting the whole run.
+        let mismatches = match &reference_truths {
+            None => {
+                baseline = best;
+                reference_truths = Some(truths);
+                0
+            }
+            Some(reference) => reference
+                .iter()
+                .zip(&truths)
+                .filter(|(a, b)| a != b)
+                .count(),
+        };
+        if mismatches > 0 {
+            eprintln!(
+                "warning: {n_threads}-thread fit diverged from sequential truths on \
+                 {mismatches} objects (near-tie argmax flips)"
+            );
+        }
+        let speedup = baseline / best;
+        rows.push(vec![
+            format!("{n_threads}"),
+            format!("{best:.4}"),
+            format!("{speedup:.2}x"),
+            format!("{mismatches}"),
+        ]);
+        out.push(MetricRow {
+            label: format!("threads-{n_threads}"),
+            corpus: corpus.name.clone(),
+            metrics: vec![
+                ("fit_s".into(), best),
+                ("speedup".into(), speedup),
+                ("truth_mismatches".into(), mismatches as f64),
+            ],
+        });
+    }
+    print_table(
+        &["threads", "fit (s)", "speedup", "truth mismatches"],
+        &rows,
+    );
+    println!();
+    save("scaling", &out);
 }

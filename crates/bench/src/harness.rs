@@ -57,6 +57,18 @@ pub const INFERENCE_ALGORITHMS: [&str; 10] = [
     "TDH", "VOTE", "LCA", "DOCS", "ASUMS", "MDC", "ACCU", "POPACCU", "LFC", "CRH",
 ];
 
+/// A TDH model with an explicit E-step thread count (the `scaling` scenario
+/// sweeps this). Every other entry point builds TDH via
+/// [`TdhConfig::default`], whose `n_threads = 0` resolves to the
+/// `TDH_N_THREADS` environment variable (CI pins it to 1 for the sequential
+/// leg) or the machine's available parallelism.
+pub fn tdh_with_threads(n_threads: usize) -> TdhModel {
+    TdhModel::new(TdhConfig {
+        n_threads,
+        ..Default::default()
+    })
+}
+
 /// Instantiate an inference algorithm by its paper name.
 pub fn make_inference(name: &str) -> Box<dyn TruthDiscovery> {
     match name {

@@ -19,6 +19,10 @@
 //!   objects to each worker with pruning.
 //! * [`numeric`] — the §3.2 extension: TDH over the implicit
 //!   significant-figure hierarchy of numeric claims.
+//! * [`par`] — the deterministic scoped-thread executor that shards the
+//!   E-step over contiguous object chunks ([`TdhConfig::n_threads`]);
+//!   per-chunk accumulators are merged in fixed order, so multi-core
+//!   inference is reproducible run-to-run.
 //!
 //! The crate also defines the abstractions the rest of the workspace plugs
 //! into: [`TruthDiscovery`] (any inference algorithm),
@@ -32,6 +36,7 @@ mod assign;
 mod em;
 mod model;
 pub mod numeric;
+pub mod par;
 mod traits;
 
 pub use assign::{assign_exhaustive, eai, ueai, EaiAssigner};

@@ -58,6 +58,14 @@ pub struct TdhConfig {
     pub tol: f64,
     /// Ablation switches (both on = the published model).
     pub ablation: AblationFlags,
+    /// Worker threads for the sharded E-step. `0` (the default) resolves at
+    /// fit time to the `TDH_N_THREADS` environment variable when set, else
+    /// to [`std::thread::available_parallelism`]. `1` runs the exact legacy
+    /// sequential path (bit-identical accumulation order); larger counts
+    /// shard `0..n_objects` into contiguous chunks merged in fixed order, so
+    /// repeated runs are bit-identical to each other and agree with the
+    /// sequential path up to FP-summation regrouping (see [`crate::par`]).
+    pub n_threads: usize,
 }
 
 impl Default for TdhConfig {
@@ -69,6 +77,7 @@ impl Default for TdhConfig {
             max_iters: 100,
             tol: 1e-6,
             ablation: AblationFlags::default(),
+            n_threads: 0,
         }
     }
 }

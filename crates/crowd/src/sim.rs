@@ -271,6 +271,36 @@ mod tests {
     }
 
     #[test]
+    fn sharded_tdh_runs_the_crowdsourcing_loop() {
+        // The E-step thread count rides into the loop on TdhConfig; the
+        // first-round inference (same records, no assignment decisions yet)
+        // must match the sequential path exactly, and the campaign must run
+        // to completion under sharding.
+        let run = |n_threads: usize| {
+            let mut ds = small_corpus(4);
+            let mut pool = WorkerPool::uniform(&mut ds, 6, 0.8, 4);
+            let mut model = TdhModel::new(TdhConfig {
+                n_threads,
+                ..Default::default()
+            });
+            let mut assigner = EaiAssigner::new();
+            let cfg = SimulationConfig {
+                rounds: 3,
+                tasks_per_worker: 4,
+            };
+            run_simulation(&mut ds, &mut model, &mut assigner, &mut pool, &cfg)
+        };
+        let seq = run(1);
+        let par = run(4);
+        assert_eq!(
+            seq.rounds[0].report.accuracy, par.rounds[0].report.accuracy,
+            "round-0 inference must agree exactly across thread counts"
+        );
+        assert_eq!(par.rounds.len(), 4);
+        assert!(par.final_accuracy() >= par.rounds[0].report.accuracy - 0.05);
+    }
+
+    #[test]
     fn improvement_series_aligns() {
         let mut ds = small_corpus(3);
         let mut pool = WorkerPool::uniform(&mut ds, 4, 0.9, 3);

@@ -1,0 +1,164 @@
+//! Sequential-vs-sharded equivalence of TDH inference.
+//!
+//! The contract of `TdhConfig::n_threads` (see `tdh::core::par`): any thread
+//! count predicts exactly the truths the sequential path predicts, with
+//! `φ`/`ψ`/`μ` and the objective equal within FP-summation tolerance, and
+//! repeated sharded runs bit-identical to each other.
+
+use tdh::core::numeric::NumericTdh;
+use tdh::core::{AblationFlags, TdhConfig, TdhModel, TruthDiscovery};
+use tdh::data::{Dataset, NumericDataset, ObjectId, ObservationIndex, SourceId, WorkerId};
+use tdh::datagen::{generate_birthplaces, BirthPlacesConfig};
+
+/// FP-summation tolerance for parameters and objective (the truths must
+/// match exactly).
+const TOL: f64 = 1e-9;
+
+fn config(n_threads: usize, ablation: AblationFlags) -> TdhConfig {
+    TdhConfig {
+        n_threads,
+        ablation,
+        ..Default::default()
+    }
+}
+
+/// A BirthPlaces-shaped corpus with deterministic worker answers layered on
+/// top, so the `ψ` accumulators are exercised too.
+fn crowd_corpus() -> Dataset {
+    let mut ds = generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 300,
+            hierarchy_nodes: 400,
+        },
+        7,
+    )
+    .dataset;
+    let idx = ObservationIndex::build(&ds);
+    let candidates: Vec<Vec<_>> = idx.views().iter().map(|v| v.candidates.clone()).collect();
+    let workers: Vec<WorkerId> = (0..6).map(|i| ds.intern_worker(&format!("w{i}"))).collect();
+    for (oi, cands) in candidates.iter().enumerate() {
+        if cands.is_empty() {
+            continue;
+        }
+        for (wi, &w) in workers.iter().enumerate() {
+            if (oi + wi) % 3 == 0 {
+                ds.add_answer(ObjectId(oi as u32), w, cands[(oi + wi) % cands.len()]);
+            }
+        }
+    }
+    ds
+}
+
+/// Fit with `n_threads = 1` and `n_threads = 4` and assert the equivalence
+/// contract on truths, `μ`, `φ`, `ψ` and the objective.
+fn assert_sharded_equivalence(ds: &Dataset, ablation: AblationFlags) {
+    let idx = ObservationIndex::build(ds);
+    let mut seq = TdhModel::new(config(1, ablation));
+    let mut par = TdhModel::new(config(4, ablation));
+    let est_seq = seq.infer(ds, &idx);
+    let est_par = par.infer(ds, &idx);
+
+    assert_eq!(
+        est_seq.truths, est_par.truths,
+        "predicted truths must be identical under {ablation:?}"
+    );
+    for (oi, (a, b)) in est_seq
+        .confidences
+        .iter()
+        .zip(&est_par.confidences)
+        .enumerate()
+    {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < TOL, "μ[{oi}] diverged: {x} vs {y}");
+        }
+    }
+    for s in 0..ds.n_sources() {
+        let (a, b) = (seq.phi(SourceId(s as u32)), par.phi(SourceId(s as u32)));
+        for t in 0..3 {
+            assert!((a[t] - b[t]).abs() < TOL, "φ[{s}] diverged: {a:?} vs {b:?}");
+        }
+    }
+    for w in 0..ds.n_workers() {
+        let (a, b) = (seq.psi(WorkerId(w as u32)), par.psi(WorkerId(w as u32)));
+        for t in 0..3 {
+            assert!((a[t] - b[t]).abs() < TOL, "ψ[{w}] diverged: {a:?} vs {b:?}");
+        }
+    }
+    let oa = seq.fit_report().unwrap().objective.unwrap();
+    let ob = par.fit_report().unwrap().objective.unwrap();
+    assert!(
+        (oa - ob).abs() / oa.abs().max(1.0) < TOL,
+        "objective diverged: {oa} vs {ob}"
+    );
+}
+
+#[test]
+fn categorical_full_model_equivalence() {
+    assert_sharded_equivalence(&crowd_corpus(), AblationFlags::default());
+}
+
+#[test]
+fn ablation_configs_equivalence() {
+    let ds = crowd_corpus();
+    for (hierarchy_aware, worker_popularity) in [(false, true), (true, false), (false, false)] {
+        assert_sharded_equivalence(
+            &ds,
+            AblationFlags {
+                hierarchy_aware,
+                worker_popularity,
+            },
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_thread_count_equivalence() {
+    // More threads than a sensible machine (and than some candidate sets):
+    // the executor clamps chunk counts, never panics, and still agrees.
+    let ds = crowd_corpus();
+    let idx = ObservationIndex::build(&ds);
+    let mut seq = TdhModel::new(config(1, AblationFlags::default()));
+    let mut wide = TdhModel::new(config(64, AblationFlags::default()));
+    let a = seq.infer(&ds, &idx);
+    let b = wide.infer(&ds, &idx);
+    assert_eq!(a.truths, b.truths);
+}
+
+#[test]
+fn sharded_runs_are_deterministic_across_repeats() {
+    let ds = crowd_corpus();
+    let idx = ObservationIndex::build(&ds);
+    let run = || {
+        let mut model = TdhModel::new(config(4, AblationFlags::default()));
+        let est = model.infer(&ds, &idx);
+        (est, model.fit_report().unwrap().clone())
+    };
+    let (est1, rep1) = run();
+    let (est2, rep2) = run();
+    // Bitwise equality: fixed chunk boundaries + fixed merge order leave no
+    // room for scheduling nondeterminism.
+    assert_eq!(est1, est2);
+    assert_eq!(rep1, rep2);
+}
+
+#[test]
+fn numeric_pipeline_equivalence() {
+    let mut ds = NumericDataset::new(30, 5);
+    for i in 0..30u32 {
+        let truth = 100.0 + f64::from(i) + 0.125;
+        ds.set_gold(ObjectId(i), truth);
+        ds.add_claim(ObjectId(i), SourceId(0), truth);
+        ds.add_claim(ObjectId(i), SourceId(1), truth);
+        // A rounder and two differently-wrong sources.
+        ds.add_claim(ObjectId(i), SourceId(2), 100.0 + f64::from(i));
+        ds.add_claim(ObjectId(i), SourceId(3), f64::from(i * 7 + 3));
+        ds.add_claim(ObjectId(i), SourceId(4), 1.0e6 + f64::from(i));
+    }
+    let mut seq_model = NumericTdh::new(config(1, AblationFlags::default()));
+    let mut par_model = NumericTdh::new(config(4, AblationFlags::default()));
+    let seq = seq_model.infer(&ds);
+    let par = par_model.infer(&ds);
+    assert_eq!(seq, par, "numeric truths must be identical");
+    assert!(seq.iter().all(Option::is_some));
+}
