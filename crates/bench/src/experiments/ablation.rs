@@ -77,6 +77,7 @@ pub fn ablation(scale: Scale) {
                 &SimulationConfig {
                     rounds,
                     tasks_per_worker: 5,
+                    ..Default::default()
                 },
             );
             rows.push(vec![

@@ -47,6 +47,7 @@ fn run_combo(
     let cfg = SimulationConfig {
         rounds,
         tasks_per_worker: 5,
+        ..Default::default()
     };
     run_simulation(&mut ds, model.as_mut(), assigner.as_mut(), &mut pool, &cfg)
 }

@@ -57,6 +57,7 @@ pub fn fig12(scale: Scale) {
             let cfg = SimulationConfig {
                 rounds,
                 tasks_per_worker: 5,
+                ..Default::default()
             };
             let result =
                 run_simulation(&mut ds, model.as_mut(), assigner.as_mut(), &mut pool, &cfg);
@@ -159,26 +160,30 @@ pub fn fig13(scale: Scale) {
 const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// `scaling` — not a paper figure: wall-clock time and speedup of one full
-/// TDH fit as the sharded E-step's thread count grows, on the largest
-/// corpus of the requested scale (BirthPlaces, duplicated as in Fig. 13).
+/// TDH fit as the worker-pool thread count grows, on the largest corpus of
+/// the requested scale (BirthPlaces, duplicated as in Fig. 13), broken down
+/// **per phase**: observation-index build, E-step and M-step (the fit's
+/// pool is spawned once and reused across all EM iterations, so the phase
+/// times are directly comparable across thread counts).
 ///
-/// Besides the timings (written to `results/scaling.json` so perf
-/// regressions are diffable), the scenario cross-checks the sharding
-/// contract — every thread count should predict the truths the sequential
-/// path predicts — and reports any divergence as a `truth_mismatches`
-/// metric.
+/// Besides the timings (written to `results/scaling.json` — with `build_s`,
+/// `e_step_s` and `m_step_s` fields — so perf regressions are diffable per
+/// phase), the scenario cross-checks the sharding contract — every thread
+/// count should predict the truths the sequential path predicts — and
+/// reports any divergence as a `truth_mismatches` metric.
 pub fn scaling(scale: Scale) {
     // Duplication factors are chosen so one E-step iteration is large enough
-    // to amortize the per-iteration scoped-thread spawns even in quick mode.
+    // to be worth sharding even in quick mode.
     let (factor, reps) = match scale {
         Scale::Paper => (10, 3),
         Scale::Quick => (12, 2),
     };
     let corpus = birthplaces(scale);
     let ds = corpus.dataset.duplicated(factor);
+    // Reference index for the fits: identical to every threaded build.
     let idx = ObservationIndex::build(&ds);
     println!(
-        "[{} ×{factor}] TDH fit seconds vs E-step threads ({} objects, {} records, best of {reps}; {} hardware threads):",
+        "[{} ×{factor}] TDH seconds per phase vs pool threads ({} objects, {} records, best of {reps}; {} hardware threads):",
         corpus.name,
         ds.n_objects(),
         ds.records().len(),
@@ -189,16 +194,31 @@ pub fn scaling(scale: Scale) {
     let mut baseline = f64::NAN;
     let mut reference_truths = None;
     for n_threads in SCALING_THREADS {
+        // Index build, timed separately from the fit.
+        let mut build_s = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let built = ObservationIndex::build_threaded(&ds, n_threads);
+            build_s = build_s.min(t0.elapsed().as_secs_f64());
+            // Keep the build observable so it cannot be optimized away.
+            assert_eq!(built.n_objects(), ds.n_objects());
+        }
         let mut best = f64::INFINITY;
+        let mut phase = None;
         let mut truths = None;
         for _ in 0..reps {
             let mut model = tdh_with_threads(n_threads);
             let t0 = Instant::now();
             let est = model.infer(&ds, &idx);
-            best = best.min(t0.elapsed().as_secs_f64());
+            let fit_s = t0.elapsed().as_secs_f64();
+            if fit_s < best {
+                best = fit_s;
+                phase = model.phase_timings();
+            }
             truths = Some(est.truths);
         }
         let truths = truths.expect("reps >= 1");
+        let phase = phase.expect("infer records phase timings");
         // Predicted-truth agreement with the sequential run is part of the
         // sharding contract, but near-tie argmax flips under ~1e-12 FP
         // regrouping are possible in principle — report mismatches as a
@@ -222,8 +242,12 @@ pub fn scaling(scale: Scale) {
             );
         }
         let speedup = baseline / best;
+        let (e_step_s, m_step_s) = (phase.e_step.as_secs_f64(), phase.m_step.as_secs_f64());
         rows.push(vec![
             format!("{n_threads}"),
+            format!("{build_s:.4}"),
+            format!("{e_step_s:.4}"),
+            format!("{m_step_s:.4}"),
             format!("{best:.4}"),
             format!("{speedup:.2}x"),
             format!("{mismatches}"),
@@ -232,6 +256,9 @@ pub fn scaling(scale: Scale) {
             label: format!("threads-{n_threads}"),
             corpus: corpus.name.clone(),
             metrics: vec![
+                ("build_s".into(), build_s),
+                ("e_step_s".into(), e_step_s),
+                ("m_step_s".into(), m_step_s),
                 ("fit_s".into(), best),
                 ("speedup".into(), speedup),
                 ("truth_mismatches".into(), mismatches as f64),
@@ -239,7 +266,15 @@ pub fn scaling(scale: Scale) {
         });
     }
     print_table(
-        &["threads", "fit (s)", "speedup", "truth mismatches"],
+        &[
+            "threads",
+            "build (s)",
+            "E-step (s)",
+            "M-step (s)",
+            "fit (s)",
+            "speedup",
+            "truth mismatches",
+        ],
         &rows,
     );
     println!();

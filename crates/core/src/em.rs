@@ -6,18 +6,42 @@
 //! them straight into the M-step accumulators of Eq. (9)–(11). The MAP
 //! objective `F` (Eq. 8) is tracked for convergence.
 //!
-//! The E-step is independent across objects, so the pass is sharded over
-//! `0..n_objects` by the [`crate::par`] executor: each worker thread scans a
-//! contiguous chunk of objects into private accumulators, which are merged in
-//! fixed chunk order. [`TdhConfig::n_threads`] controls the shard count;
-//! `1` reproduces the sequential accumulation order bit-for-bit, and any
-//! shard count yields parameters equal up to FP-summation regrouping (the
-//! facade's `parallel_equivalence` suite asserts 1e-9 agreement end-to-end,
-//! with identical predicted truths on every tested corpus — an object whose
-//! top two posteriors tie within that regrouping noise could in principle
-//! flip, which the bench `scaling` scenario cross-checks and reports).
+//! # Parallel execution
+//!
+//! One persistent [`crate::par::ThreadPool`] is created per fit and reused
+//! across **all** EM iterations (no per-iteration thread spawns):
+//!
+//! * The **E-step** is independent across objects, so the pass is sharded
+//!   over `0..n_objects`: each pool job scans a contiguous chunk of objects
+//!   into a private [`EStepAcc`], and the driver merges the returned
+//!   accumulators in fixed chunk order. The per-chunk buffers are pooled
+//!   across iterations (zeroed, not reallocated).
+//! * The **M-step** updates of `φ_s` (Eq. 10) and `ψ_w` (Eq. 11) are
+//!   independent across sources and workers respectively, so they run as
+//!   chunked pool jobs too. Each entity's update reads only the merged
+//!   accumulators and its own incidence count, so the M-step is
+//!   bit-identical for *every* thread count; only the E-step merge regroups
+//!   floating-point sums. The `μ_o` update (Eq. 9) stays on the driver
+//!   thread — it is a single cheap pass that also refreshes the cached
+//!   incremental-EM statistics.
+//!
+//! The iteration state lives in a [`FitState`] behind an `RwLock` for the
+//! duration of the fit: workers take read locks inside jobs, the driver
+//! takes write locks strictly between batches, so the lock is never
+//! contended — it exists to let safe code share the state with the
+//! long-lived workers. [`TdhConfig::n_threads`] controls the shard count;
+//! `1` spawns nothing and reproduces the sequential accumulation order
+//! bit-for-bit, and any shard count yields parameters equal up to
+//! FP-summation regrouping (the facade's `parallel_equivalence` and
+//! `pool_equivalence` suites assert 1e-9 agreement end-to-end, with
+//! identical predicted truths on every tested corpus — an object whose top
+//! two posteriors tie within that regrouping noise could in principle flip,
+//! which the bench `scaling` scenario cross-checks and reports).
 
+use std::mem;
 use std::ops::Range;
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
 
 use tdh_data::{Dataset, ObservationIndex};
 
@@ -47,6 +71,24 @@ pub struct FitReport {
     /// Objective value before each parameter update (one entry per
     /// iteration).
     pub trace: Vec<f64>,
+}
+
+/// Wall-clock time spent in each phase of the last fit, for the bench
+/// harness's per-phase scaling reports.
+///
+/// Kept separate from [`FitReport`] on purpose: the report is part of the
+/// deterministic fit contract (pooled repeats compare it bitwise), while
+/// timings differ run to run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Time to build the [`ObservationIndex`]. Zero when the caller supplied
+    /// a prebuilt index (`infer`) instead of going through `fit`.
+    pub index_build: Duration,
+    /// Total E-step time across iterations: chunk scans, the fixed-order
+    /// merge and the objective assembly.
+    pub e_step: Duration,
+    /// Total M-step time across iterations: the `μ`/`φ`/`ψ` updates.
+    pub m_step: Duration,
 }
 
 /// Clamp for logarithms of vanishing probabilities.
@@ -110,11 +152,123 @@ impl ConvergenceMonitor {
     }
 }
 
+/// The per-fit iteration state shared between the driver and the pool
+/// workers. Parameters move out of [`TdhModel`] into this struct for the
+/// duration of a fit and back afterwards; workers read it under the lock
+/// during jobs, the driver writes it strictly between batches.
+struct FitState {
+    /// `φ_s = (exact, generalized, wrong)` per source.
+    phi: Vec<[f64; 3]>,
+    /// `ψ_w = (exact, generalized, wrong)` per worker.
+    psi: Vec<[f64; 3]>,
+    /// `μ_o` per object.
+    mu: Vec<Vec<f64>>,
+    /// Merged E-step `φ` accumulators (summed over chunks in chunk order).
+    acc_phi: Vec<[f64; 3]>,
+    /// Merged E-step `ψ` accumulators.
+    acc_psi: Vec<[f64; 3]>,
+}
+
+/// A job for the per-fit worker pool.
+enum EmJob {
+    /// Scan the E-step conditionals for one chunk of objects into `acc`
+    /// (a pooled buffer the job carries in and returns filled).
+    EStep {
+        /// The chunk's object range.
+        range: Range<usize>,
+        /// The chunk's reusable accumulator buffer.
+        acc: EStepAcc,
+    },
+    /// Compute the Eq. (10) `φ` update for a chunk of sources.
+    MStepPhi(Range<usize>),
+    /// Compute the Eq. (11) `ψ` update for a chunk of workers.
+    MStepPsi(Range<usize>),
+}
+
+/// The result of one [`EmJob`].
+enum EmOut {
+    /// The chunk's filled accumulator, handed back for reuse.
+    EStep(EStepAcc),
+    /// Updated `φ` values for the job's source range.
+    MStepPhi(Vec<[f64; 3]>),
+    /// Updated `ψ` values for the job's worker range.
+    MStepPsi(Vec<[f64; 3]>),
+}
+
+/// The single worker function every pool thread runs: interpret a job
+/// against the shared fit state.
+fn em_worker(
+    shared: &RwLock<FitState>,
+    idx: &ObservationIndex,
+    cfg: &TdhConfig,
+    job: EmJob,
+) -> EmOut {
+    let st = shared.read().expect("EM state lock poisoned");
+    match job {
+        EmJob::EStep { range, mut acc } => {
+            acc.reset(&st, &range);
+            e_step_chunk(&st, idx, cfg, range, &mut acc);
+            EmOut::EStep(acc)
+        }
+        EmJob::MStepPhi(range) => EmOut::MStepPhi(m_step_phi_chunk(&st, idx, cfg, range)),
+        EmJob::MStepPsi(range) => EmOut::MStepPsi(m_step_psi_chunk(&st, idx, cfg, range)),
+    }
+}
+
 pub(crate) fn run_em(model: &mut TdhModel, ds: &Dataset, idx: &ObservationIndex) -> FitReport {
     let cfg = *model.config();
     let n_threads = par::effective_threads(cfg.n_threads);
     initialize(model, ds, idx, &cfg);
 
+    let shared = RwLock::new(FitState {
+        phi: mem::take(&mut model.phi),
+        psi: mem::take(&mut model.psi),
+        mu: mem::take(&mut model.mu),
+        acc_phi: Vec::new(),
+        acc_psi: Vec::new(),
+    });
+    let worker = |job: EmJob| em_worker(&shared, idx, &cfg, job);
+    let (report, timings) = par::with_pool(n_threads, &worker, |pool| {
+        em_loop(model, idx, &cfg, &shared, pool)
+    });
+    let state = shared.into_inner().expect("EM state lock poisoned");
+    model.phi = state.phi;
+    model.psi = state.psi;
+    model.mu = state.mu;
+    model.last_timings = Some(timings);
+    report
+}
+
+/// The EM driver, run inside the fit's pool scope: iterate E+M batches on
+/// the persistent workers until convergence.
+fn em_loop(
+    model: &mut TdhModel,
+    idx: &ObservationIndex,
+    cfg: &TdhConfig,
+    shared: &RwLock<FitState>,
+    pool: &par::ThreadPool<'_, EmJob, EmOut>,
+) -> (FitReport, PhaseTimings) {
+    let n_threads = pool.n_threads();
+    // Chunk boundaries are fixed for the whole fit — they depend only on
+    // (n, n_threads) — so the accumulator pool below can be reused by chunk
+    // position and the FP merge grouping is identical every iteration.
+    let e_ranges = par::chunk_ranges(idx.n_objects(), n_threads);
+    let (n_src, n_wrk) = {
+        let st = shared.read().expect("EM state lock poisoned");
+        (st.phi.len(), st.psi.len())
+    };
+    let phi_ranges = par::chunk_ranges(n_src, n_threads);
+    let psi_ranges = par::chunk_ranges(n_wrk, n_threads);
+    {
+        let mut st = shared.write().expect("EM state lock poisoned");
+        st.acc_phi = vec![[0.0f64; 3]; n_src];
+        st.acc_psi = vec![[0.0f64; 3]; n_wrk];
+    }
+    // One accumulator buffer per E-step chunk, allocated once per fit and
+    // recycled through the jobs every iteration.
+    let mut acc_pool: Vec<EStepAcc> = e_ranges.iter().map(|_| EStepAcc::empty()).collect();
+
+    let mut timings = PhaseTimings::default();
     let mut trace = Vec::new();
     let mut monitor = ConvergenceMonitor::new(cfg.tol);
     let mut converged = false;
@@ -122,7 +276,18 @@ pub(crate) fn run_em(model: &mut TdhModel, ds: &Dataset, idx: &ObservationIndex)
 
     for _ in 0..cfg.max_iters {
         iterations += 1;
-        let obj = em_iteration(model, idx, &cfg, n_threads);
+        let obj = em_iteration(
+            model,
+            idx,
+            cfg,
+            shared,
+            pool,
+            &e_ranges,
+            &phi_ranges,
+            &psi_ranges,
+            &mut acc_pool,
+            &mut timings,
+        );
         trace.push(obj);
         if monitor.observe(obj) {
             converged = true;
@@ -130,13 +295,14 @@ pub(crate) fn run_em(model: &mut TdhModel, ds: &Dataset, idx: &ObservationIndex)
         }
     }
 
-    FitReport {
+    let report = FitReport {
         iterations,
         objective: trace.last().copied().filter(|o| o.is_finite()),
         converged,
         monotone: monitor.monotone(),
         trace,
-    }
+    };
+    (report, timings)
 }
 
 /// Initial parameters: priors' means for `φ`/`ψ`, claim-frequency smoothing
@@ -193,7 +359,9 @@ pub(crate) fn relationship_posterior(n1: f64, n2: f64, z: f64) -> [f64; 3] {
 ///
 /// `acc_mu` is indexed relative to the chunk start (each object belongs to
 /// exactly one chunk); `acc_phi`/`acc_psi`/`log_lik` span all sources and
-/// workers and are summed across chunks in fixed chunk order.
+/// workers and are summed across chunks in fixed chunk order. Buffers are
+/// pooled per chunk across iterations — [`EStepAcc::reset`] zero-fills in
+/// place, reusing capacity, since chunk shapes never change within a fit.
 struct EStepAcc {
     acc_mu: Vec<Vec<f64>>,
     acc_phi: Vec<[f64; 3]>,
@@ -201,25 +369,42 @@ struct EStepAcc {
     log_lik: f64,
 }
 
-/// Scan the E-step conditionals of Fig. 4 for `objects` into fresh
-/// accumulators, reading the previous iteration's parameters from `model`.
+impl EStepAcc {
+    /// A shape-less buffer; the first [`EStepAcc::reset`] sizes it.
+    fn empty() -> Self {
+        EStepAcc {
+            acc_mu: Vec::new(),
+            acc_phi: Vec::new(),
+            acc_psi: Vec::new(),
+            log_lik: 0.0,
+        }
+    }
+
+    /// Zero the buffer for a fresh scan of `range`, reusing allocations.
+    fn reset(&mut self, st: &FitState, range: &Range<usize>) {
+        self.acc_mu.resize(range.len(), Vec::new());
+        for (slot, mu) in self.acc_mu.iter_mut().zip(&st.mu[range.clone()]) {
+            slot.clear();
+            slot.resize(mu.len(), 0.0);
+        }
+        self.acc_phi.clear();
+        self.acc_phi.resize(st.phi.len(), [0.0f64; 3]);
+        self.acc_psi.clear();
+        self.acc_psi.resize(st.psi.len(), [0.0f64; 3]);
+        self.log_lik = 0.0;
+    }
+}
+
+/// Scan the E-step conditionals of Fig. 4 for `objects` into `acc` (already
+/// reset), reading the previous iteration's parameters from `st`.
 fn e_step_chunk(
-    model: &TdhModel,
+    st: &FitState,
     idx: &ObservationIndex,
     cfg: &TdhConfig,
     objects: Range<usize>,
-) -> EStepAcc {
+    acc: &mut EStepAcc,
+) {
     let base = objects.start;
-    let mut acc = EStepAcc {
-        acc_mu: model.mu[objects.clone()]
-            .iter()
-            .map(|mu| vec![0.0; mu.len()])
-            .collect(),
-        acc_phi: vec![[0.0f64; 3]; model.phi.len()],
-        acc_psi: vec![[0.0f64; 3]; model.psi.len()],
-        log_lik: 0.0,
-    };
-
     let mut posterior = Vec::new();
     for oi in objects {
         let view = &idx.views()[oi];
@@ -227,11 +412,11 @@ fn e_step_chunk(
         if k == 0 {
             continue;
         }
-        let mu = &model.mu[oi];
+        let mu = &st.mu[oi];
 
         // --- Records ---
         for &(s, c) in &view.sources {
-            let phi = &model.phi[s.index()];
+            let phi = &st.phi[s.index()];
             posterior.clear();
             let mut z = 0.0;
             for t in 0..k as u32 {
@@ -268,7 +453,7 @@ fn e_step_chunk(
 
         // --- Answers ---
         for &(w, c) in &view.workers {
-            let psi = model.psi[w.index()];
+            let psi = st.psi[w.index()];
             posterior.clear();
             let mut z = 0.0;
             for t in 0..k as u32 {
@@ -303,107 +488,198 @@ fn e_step_chunk(
             }
         }
     }
-    acc
 }
 
-/// One E+M pass, with the E-step sharded over `n_threads` object chunks.
-/// Returns the MAP objective evaluated at the *pre-update* parameters (the
-/// quantity EM is guaranteed not to decrease).
+/// Eq. (10) for a chunk of sources: each `φ_s` depends only on the merged
+/// accumulators and `|O_s|`, so the update is bit-identical regardless of
+/// how sources are chunked.
+fn m_step_phi_chunk(
+    st: &FitState,
+    idx: &ObservationIndex,
+    cfg: &TdhConfig,
+    sources: Range<usize>,
+) -> Vec<[f64; 3]> {
+    let alpha_excess: f64 = cfg.alpha.iter().map(|a| a - 1.0).sum();
+    sources
+        .map(|si| {
+            let n_os = idx
+                .objects_of_source(tdh_data::SourceId::from_index(si))
+                .len() as f64;
+            let denom = n_os + alpha_excess;
+            let mut phi = [0.0f64; 3];
+            for t in 0..3 {
+                phi[t] = (st.acc_phi[si][t] + cfg.alpha[t] - 1.0) / denom;
+            }
+            phi
+        })
+        .collect()
+}
+
+/// Eq. (11) for a chunk of workers; mirrors [`m_step_phi_chunk`].
+fn m_step_psi_chunk(
+    st: &FitState,
+    idx: &ObservationIndex,
+    cfg: &TdhConfig,
+    workers: Range<usize>,
+) -> Vec<[f64; 3]> {
+    let beta_excess: f64 = cfg.beta.iter().map(|b| b - 1.0).sum();
+    workers
+        .map(|wi| {
+            let n_ow = if wi < idx.n_workers() {
+                idx.objects_of_worker(tdh_data::WorkerId::from_index(wi))
+                    .len() as f64
+            } else {
+                0.0
+            };
+            let denom = n_ow + beta_excess;
+            let mut psi = [0.0f64; 3];
+            for t in 0..3 {
+                psi[t] = (st.acc_psi[wi][t] + cfg.beta[t] - 1.0) / denom;
+            }
+            psi
+        })
+        .collect()
+}
+
+/// One E+M pass on the fit's persistent pool. Returns the MAP objective
+/// evaluated at the *pre-update* parameters (the quantity EM is guaranteed
+/// not to decrease).
+#[allow(clippy::too_many_arguments)]
 fn em_iteration(
     model: &mut TdhModel,
     idx: &ObservationIndex,
     cfg: &TdhConfig,
-    n_threads: usize,
+    shared: &RwLock<FitState>,
+    pool: &par::ThreadPool<'_, EmJob, EmOut>,
+    e_ranges: &[Range<usize>],
+    phi_ranges: &[Range<usize>],
+    psi_ranges: &[Range<usize>],
+    acc_pool: &mut Vec<EStepAcc>,
+    timings: &mut PhaseTimings,
 ) -> f64 {
-    let n_obj = idx.n_objects();
-
-    // --- E-step: per-chunk scans, merged in fixed chunk order so the result
-    // is deterministic for a given thread count (and bit-identical to the
-    // sequential pass when there is a single chunk). ---
-    let chunks = {
-        let model = &*model;
-        par::map_chunks(n_obj, n_threads, |range| {
-            e_step_chunk(model, idx, cfg, range)
+    // --- E-step: per-chunk scans on the pool, merged in fixed chunk order
+    // so the result is deterministic for a given thread count (and
+    // bit-identical to the sequential pass when there is a single chunk).
+    let t0 = Instant::now();
+    let jobs: Vec<EmJob> = e_ranges
+        .iter()
+        .zip(acc_pool.drain(..))
+        .map(|(range, acc)| EmJob::EStep {
+            range: range.clone(),
+            acc,
         })
+        .collect();
+    let outs = pool
+        .run_batch(jobs)
+        .unwrap_or_else(|e| panic!("E-step pool failed: {e}"));
+    let e_accs: Vec<EStepAcc> = outs
+        .into_iter()
+        .map(|out| match out {
+            EmOut::EStep(acc) => acc,
+            _ => unreachable!("E-step jobs return accumulators"),
+        })
+        .collect();
+
+    let obj = {
+        let mut st = shared.write().expect("EM state lock poisoned");
+        let st = &mut *st;
+        for a in st.acc_phi.iter_mut() {
+            *a = [0.0f64; 3];
+        }
+        for a in st.acc_psi.iter_mut() {
+            *a = [0.0f64; 3];
+        }
+        let mut log_lik = 0.0f64;
+        for chunk in &e_accs {
+            for (total, part) in st.acc_phi.iter_mut().zip(&chunk.acc_phi) {
+                for t in 0..3 {
+                    total[t] += part[t];
+                }
+            }
+            for (total, part) in st.acc_psi.iter_mut().zip(&chunk.acc_psi) {
+                for t in 0..3 {
+                    total[t] += part[t];
+                }
+            }
+            log_lik += chunk.log_lik;
+        }
+
+        // Log-priors (up to constants) at the pre-update parameters,
+        // completing Eq. (8).
+        let mut log_prior = 0.0;
+        for phi in &st.phi {
+            for t in 0..3 {
+                log_prior += (cfg.alpha[t] - 1.0) * phi[t].max(LOG_FLOOR).ln();
+            }
+        }
+        for psi in &st.psi {
+            for t in 0..3 {
+                log_prior += (cfg.beta[t] - 1.0) * psi[t].max(LOG_FLOOR).ln();
+            }
+        }
+        for mu in &st.mu {
+            for &m in mu {
+                log_prior += (cfg.gamma - 1.0) * m.max(LOG_FLOOR).ln();
+            }
+        }
+        log_lik + log_prior
     };
-    let mut acc_mu: Vec<Vec<f64>> = Vec::with_capacity(n_obj);
-    let mut acc_phi = vec![[0.0f64; 3]; model.phi.len()];
-    let mut acc_psi = vec![[0.0f64; 3]; model.psi.len()];
-    let mut log_lik = 0.0f64;
-    for (_, chunk) in chunks {
-        acc_mu.extend(chunk.acc_mu);
-        for (total, part) in acc_phi.iter_mut().zip(&chunk.acc_phi) {
-            for t in 0..3 {
-                total[t] += part[t];
+    timings.e_step += t0.elapsed();
+
+    // --- M-step: Eq. (9) on the driver, Eq. (10)/(11) on the pool. ---
+    let t1 = Instant::now();
+    {
+        let mut st = shared.write().expect("EM state lock poisoned");
+        for (range, acc) in e_ranges.iter().zip(&e_accs) {
+            for oi in range.clone() {
+                let view = &idx.views()[oi];
+                let k = view.n_candidates();
+                if k == 0 {
+                    continue;
+                }
+                let evidence = (view.sources.len() + view.workers.len()) as f64;
+                let d = evidence + k as f64 * (cfg.gamma - 1.0);
+                let n_ov = &mut model.n_ov[oi];
+                n_ov.clear();
+                n_ov.extend((0..k).map(|v| acc.acc_mu[oi - range.start][v] + cfg.gamma - 1.0));
+                for v in 0..k {
+                    st.mu[oi][v] = n_ov[v] / d;
+                }
+                model.d_o[oi] = d;
             }
         }
-        for (total, part) in acc_psi.iter_mut().zip(&chunk.acc_psi) {
-            for t in 0..3 {
-                total[t] += part[t];
+    }
+    // Hand the chunk buffers back to the pool slots (order preserved:
+    // results arrive in submission order, so slot i stays chunk i's buffer).
+    acc_pool.extend(e_accs);
+
+    let m_jobs: Vec<EmJob> = phi_ranges
+        .iter()
+        .map(|r| EmJob::MStepPhi(r.clone()))
+        .chain(psi_ranges.iter().map(|r| EmJob::MStepPsi(r.clone())))
+        .collect();
+    let m_outs = pool
+        .run_batch(m_jobs)
+        .unwrap_or_else(|e| panic!("M-step pool failed: {e}"));
+    {
+        let mut st = shared.write().expect("EM state lock poisoned");
+        let mut outs = m_outs.into_iter();
+        for range in phi_ranges {
+            match outs.next() {
+                Some(EmOut::MStepPhi(vals)) => st.phi[range.clone()].copy_from_slice(&vals),
+                _ => unreachable!("φ jobs precede ψ jobs in the M-step batch"),
             }
         }
-        log_lik += chunk.log_lik;
+        for range in psi_ranges {
+            match outs.next() {
+                Some(EmOut::MStepPsi(vals)) => st.psi[range.clone()].copy_from_slice(&vals),
+                _ => unreachable!("ψ jobs close the M-step batch"),
+            }
+        }
     }
+    timings.m_step += t1.elapsed();
 
-    // Log-priors (up to constants), completing Eq. (8).
-    let mut log_prior = 0.0;
-    for phi in &model.phi {
-        for t in 0..3 {
-            log_prior += (cfg.alpha[t] - 1.0) * phi[t].max(LOG_FLOOR).ln();
-        }
-    }
-    for psi in &model.psi {
-        for t in 0..3 {
-            log_prior += (cfg.beta[t] - 1.0) * psi[t].max(LOG_FLOOR).ln();
-        }
-    }
-    for mu in &model.mu {
-        for &m in mu {
-            log_prior += (cfg.gamma - 1.0) * m.max(LOG_FLOOR).ln();
-        }
-    }
-
-    // --- M-step: Eq. (9), (10), (11) ---
-    for oi in 0..n_obj {
-        let view = &idx.views()[oi];
-        let k = view.n_candidates();
-        if k == 0 {
-            continue;
-        }
-        let evidence = (view.sources.len() + view.workers.len()) as f64;
-        let d = evidence + k as f64 * (cfg.gamma - 1.0);
-        let n: Vec<f64> = (0..k).map(|v| acc_mu[oi][v] + cfg.gamma - 1.0).collect();
-        for v in 0..k {
-            model.mu[oi][v] = n[v] / d;
-        }
-        model.n_ov[oi] = n;
-        model.d_o[oi] = d;
-    }
-    let alpha_excess: f64 = cfg.alpha.iter().map(|a| a - 1.0).sum();
-    for (si, phi) in model.phi.iter_mut().enumerate() {
-        let n_os = idx
-            .objects_of_source(tdh_data::SourceId::from_index(si))
-            .len() as f64;
-        let denom = n_os + alpha_excess;
-        for t in 0..3 {
-            phi[t] = (acc_phi[si][t] + cfg.alpha[t] - 1.0) / denom;
-        }
-    }
-    let beta_excess: f64 = cfg.beta.iter().map(|b| b - 1.0).sum();
-    for (wi, psi) in model.psi.iter_mut().enumerate() {
-        let n_ow = if wi < idx.n_workers() {
-            idx.objects_of_worker(tdh_data::WorkerId::from_index(wi))
-                .len() as f64
-        } else {
-            0.0
-        };
-        let denom = n_ow + beta_excess;
-        for t in 0..3 {
-            psi[t] = (acc_psi[wi][t] + cfg.beta[t] - 1.0) / denom;
-        }
-    }
-
-    log_lik + log_prior
+    obj
 }
 
 #[cfg(test)]
@@ -616,6 +892,37 @@ mod tests {
         let rep = model.fit_report().unwrap();
         assert_eq!(rep.objective, Some(0.0));
         assert!(rep.monotone);
+    }
+
+    #[test]
+    fn empty_dataset_on_a_multi_thread_pool_is_fine() {
+        // Regression for the n == 0 contract: a degenerate fit must not
+        // panic or deadlock just because a pool was requested — every phase
+        // submits zero chunks.
+        for n_threads in [2, 4, 9] {
+            let ds = Dataset::new(HierarchyBuilder::new().build());
+            let mut model = TdhModel::new(config_with_threads(n_threads));
+            let est = model.fit(&ds);
+            assert!(est.truths.is_empty());
+            let rep = model.fit_report().unwrap();
+            assert_eq!(rep.objective, Some(0.0), "{n_threads} threads");
+        }
+    }
+
+    #[test]
+    fn fit_records_phase_timings() {
+        let ds = corpus();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        let t = model.phase_timings().expect("fit records timings");
+        assert!(t.e_step > Duration::ZERO, "E-step time accumulates");
+        // infer() with a prebuilt index reports no build time.
+        let idx = ObservationIndex::build(&ds);
+        let mut model2 = TdhModel::new(TdhConfig::default());
+        use crate::traits::TruthDiscovery;
+        model2.infer(&ds, &idx);
+        let t2 = model2.phase_timings().unwrap();
+        assert_eq!(t2.index_build, Duration::ZERO);
     }
 
     #[test]

@@ -19,10 +19,12 @@
 //!   objects to each worker with pruning.
 //! * [`numeric`] — the §3.2 extension: TDH over the implicit
 //!   significant-figure hierarchy of numeric claims.
-//! * [`par`] — the deterministic scoped-thread executor that shards the
-//!   E-step over contiguous object chunks ([`TdhConfig::n_threads`]);
-//!   per-chunk accumulators are merged in fixed order, so multi-core
-//!   inference is reproducible run-to-run.
+//! * [`par`] — the deterministic parallel substrate: chunking primitives
+//!   (re-exported from `tdh-data`) plus the persistent [`par::ThreadPool`]
+//!   each fit spawns once and reuses across every EM iteration
+//!   ([`TdhConfig::n_threads`]). The index build, the E-step and the
+//!   M-step `φ`/`ψ` updates all ride on it; per-chunk results are merged
+//!   in fixed order, so multi-core inference is reproducible run-to-run.
 //!
 //! The crate also defines the abstractions the rest of the workspace plugs
 //! into: [`TruthDiscovery`] (any inference algorithm),
@@ -40,7 +42,7 @@ pub mod par;
 mod traits;
 
 pub use assign::{assign_exhaustive, eai, ueai, EaiAssigner};
-pub use em::FitReport;
+pub use em::{FitReport, PhaseTimings};
 pub use model::{AblationFlags, TdhConfig, TdhModel};
 pub use traits::{
     Assignment, ProbabilisticCrowdModel, TaskAssigner, TruthDiscovery, TruthEstimate,

@@ -9,9 +9,12 @@
 //! values shaping the generalized/wrong choices (Eq. 3/4) to capture the
 //! source→worker dependency of widespread misinformation.
 
+use std::time::Instant;
+
 use tdh_data::{Dataset, ObjectId, ObjectView, ObservationIndex, WorkerId};
 
 use crate::em;
+use crate::par;
 use crate::traits::{argmax, ProbabilisticCrowdModel, TruthDiscovery, TruthEstimate};
 
 /// Ablation switches for the TDH model, used by the `ablation` experiment
@@ -58,11 +61,14 @@ pub struct TdhConfig {
     pub tol: f64,
     /// Ablation switches (both on = the published model).
     pub ablation: AblationFlags,
-    /// Worker threads for the sharded E-step. `0` (the default) resolves at
+    /// Worker threads for parallel inference. `0` (the default) resolves at
     /// fit time to the `TDH_N_THREADS` environment variable when set, else
     /// to [`std::thread::available_parallelism`]. `1` runs the exact legacy
-    /// sequential path (bit-identical accumulation order); larger counts
-    /// shard `0..n_objects` into contiguous chunks merged in fixed order, so
+    /// sequential path in the calling thread (bit-identical accumulation
+    /// order, no threads spawned); larger counts spawn one persistent
+    /// [`crate::par::ThreadPool`] per fit — reused across every EM
+    /// iteration — that shards the index build, the E-step and the M-step
+    /// `φ`/`ψ` updates into contiguous chunks merged in fixed order, so
     /// repeated runs are bit-identical to each other and agree with the
     /// sequential path up to FP-summation regrouping (see [`crate::par`]).
     pub n_threads: usize,
@@ -105,6 +111,8 @@ pub struct TdhModel {
     pub(crate) d_o: Vec<f64>,
     /// Fit diagnostics of the last run.
     pub(crate) last_fit: Option<em::FitReport>,
+    /// Per-phase wall-clock timings of the last run.
+    pub(crate) last_timings: Option<em::PhaseTimings>,
 }
 
 impl TdhModel {
@@ -118,6 +126,7 @@ impl TdhModel {
             n_ov: Vec::new(),
             d_o: Vec::new(),
             last_fit: None,
+            last_timings: None,
         }
     }
 
@@ -126,11 +135,17 @@ impl TdhModel {
         &self.cfg
     }
 
-    /// Convenience: build the observation index, fit, and return the
-    /// estimate.
+    /// Convenience: build the observation index (sharded over the
+    /// configured thread count), fit, and return the estimate.
     pub fn fit(&mut self, ds: &Dataset) -> TruthEstimate {
-        let idx = ObservationIndex::build(ds);
-        self.infer(ds, &idx)
+        let t0 = Instant::now();
+        let idx = ObservationIndex::build_threaded(ds, par::effective_threads(self.cfg.n_threads));
+        let index_build = t0.elapsed();
+        let est = self.infer(ds, &idx);
+        if let Some(t) = &mut self.last_timings {
+            t.index_build = index_build;
+        }
+        est
     }
 
     /// `φ_s` for source `s` (after fitting).
@@ -150,6 +165,14 @@ impl TdhModel {
     /// Fit diagnostics of the last [`TdhModel::fit`] run.
     pub fn fit_report(&self) -> Option<&em::FitReport> {
         self.last_fit.as_ref()
+    }
+
+    /// Per-phase wall-clock timings (index build / E-step / M-step) of the
+    /// last [`TdhModel::fit`] or `infer` run; the bench `scaling` scenario
+    /// reports these per thread count. `index_build` is zero when the caller
+    /// supplied a prebuilt index via `infer`.
+    pub fn phase_timings(&self) -> Option<em::PhaseTimings> {
+        self.last_timings
     }
 
     /// `P(v_o^s = c | v*_o = t, φ_s)` — Eq. (1) for objects in `O_H`,

@@ -46,7 +46,10 @@ impl NumericTdh {
     pub fn infer(&mut self, ds: &NumericDataset) -> Vec<Option<f64>> {
         let (cat, value_of) = lift_to_categorical(ds);
         let mut model = TdhModel::new(self.cfg);
-        let idx = ObservationIndex::build(&cat);
+        let idx = ObservationIndex::build_threaded(
+            &cat,
+            crate::par::effective_threads(self.cfg.n_threads),
+        );
         let est = model.infer(&cat, &idx);
         est.truths
             .iter()

@@ -1,112 +1,241 @@
-//! Deterministic parallel reduction over contiguous index chunks.
+//! Deterministic parallel execution for the TDH hot paths.
 //!
-//! The E-step of the TDH EM loop is embarrassingly parallel across objects:
-//! every object's truth/relationship posteriors depend only on the *previous*
-//! iteration's parameters, so `0..n_objects` can be split into chunks that
-//! worker threads scan independently (the conditioning-style per-object
-//! independence probabilistic-DB engines exploit). This module provides the
-//! small executor behind that sharding:
+//! Two layers live here:
 //!
-//! * [`chunk_ranges`] splits `0..n` into at most `n_threads` contiguous,
-//!   near-equal ranges — chunk boundaries depend only on `(n, n_threads)`,
-//!   never on scheduling.
-//! * [`map_chunks`] runs one closure per chunk on scoped threads
-//!   ([`std::thread::scope`], no vendored dependencies) and returns the
-//!   per-chunk results **in chunk order**.
+//! * The **chunking primitives** [`chunk_ranges`], [`map_chunks`] and
+//!   [`effective_threads`], re-exported from [`tdh_data::par`] so the data
+//!   crate's parallel index build and the EM loop agree on chunk boundaries
+//!   (they depend only on `(n, n_threads)`, never on scheduling).
+//! * The **persistent worker pool** [`ThreadPool`], entered through
+//!   [`with_pool`]: long-lived threads fed plain-data jobs over channels,
+//!   spawned **once** and reused across every batch submitted inside the
+//!   scope. The EM driver keeps one pool alive for a whole fit, so the
+//!   per-iteration scoped-spawn overhead of the previous executor (one
+//!   `thread::spawn` per chunk per iteration) is paid exactly once per fit.
 //!
-//! Because each chunk accumulates into its own private state and the caller
-//! merges the returned accumulators in fixed chunk order, results are
-//! bit-identical run-to-run for a given `(n, n_threads)`. With one chunk
-//! (`n_threads <= 1` or tiny `n`) the closure runs on the calling thread over
-//! the full range, reproducing the sequential accumulation order bit-for-bit.
-//! Across *different* thread counts, floating-point sums are regrouped
-//! `(per-chunk partials, merged in order)`, so reductions agree with the
-//! sequential path only up to FP-summation tolerance (empirically ~1e-12
-//! relative per merge; the workspace's equivalence suite asserts 1e-9
-//! end-to-end).
+//! Determinism contract: jobs are dispatched round-robin in submission
+//! order and results are returned **in submission order** regardless of
+//! which worker finishes first. Callers that accumulate floating-point
+//! state merge those results in fixed chunk order, so repeated runs are
+//! bit-identical for a given `(n, n_threads)`. With `n_threads <= 1` no
+//! thread is spawned at all: [`ThreadPool::run_batch`] executes every job
+//! inline on the calling thread, reproducing the sequential accumulation
+//! order bit-for-bit. Across *different* thread counts, floating-point
+//! reductions are regrouped `(per-chunk partials, merged in order)` and
+//! agree with the sequential path only up to FP-summation tolerance
+//! (the facade's `pool_equivalence` suite asserts 1e-9 end-to-end).
+//!
+//! The pool is hand-rolled on `std::sync::mpsc` because the build
+//! environment has no crates.io access (see `vendor/README.md`); when a
+//! registry is reachable, `rayon` can replace it wholesale — the call
+//! sites only rely on the ordered-batch contract above.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+
+pub use tdh_data::par::{chunk_ranges, effective_threads, map_chunks};
 
 use std::ops::Range;
 
-/// Resolve a configured thread count to an effective one.
-///
-/// `0` means "auto": the `TDH_N_THREADS` environment variable when it parses
-/// to a positive integer, otherwise [`std::thread::available_parallelism`]
-/// (falling back to `1` when even that is unavailable). Any non-zero value is
-/// returned unchanged.
-pub fn effective_threads(configured: usize) -> usize {
-    if configured > 0 {
-        return configured;
-    }
-    if let Ok(s) = std::env::var("TDH_N_THREADS") {
-        match s.trim().parse::<usize>() {
-            Ok(n) if n > 0 => return n,
-            // Falling back silently would let a typo'd override (CI pins
-            // the sequential leg through this variable) masquerade as the
-            // requested thread count.
-            _ => eprintln!(
-                "warning: ignoring invalid TDH_N_THREADS={s:?} (want a positive integer); \
-                 using available parallelism"
-            ),
+/// Why a [`ThreadPool::run_batch`] submission failed.
+#[derive(Debug)]
+pub enum PoolError {
+    /// A job panicked. The panic is caught on the worker so the pool (and
+    /// the batches queued behind the failing one) keep working; the caller
+    /// decides whether to resume the panic. The default panic hook has
+    /// already printed the original message and backtrace to stderr.
+    JobPanicked {
+        /// Index of the panicking job within its batch (the smallest index
+        /// when several jobs panic, so the error is deterministic).
+        job: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A worker thread disappeared (its result channel closed mid-batch).
+    /// Surfaced as an error instead of blocking forever on results that can
+    /// no longer arrive.
+    Disconnected,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::JobPanicked { job, message } => {
+                write!(f, "pool job {job} panicked: {message}")
+            }
+            PoolError::Disconnected => write!(f, "pool worker thread disconnected"),
         }
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
 }
 
-/// Split `0..n` into at most `n_threads` contiguous, near-equal, non-empty
-/// ranges covering `0..n` exactly, in ascending order.
-///
-/// The first `n % chunks` ranges carry one extra element, so lengths differ
-/// by at most one. Returns an empty vector when `n == 0`.
-pub fn chunk_ranges(n: usize, n_threads: usize) -> Vec<Range<usize>> {
-    if n == 0 {
-        return Vec::new();
+impl std::error::Error for PoolError {}
+
+/// Render a caught panic payload for [`PoolError::JobPanicked`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
-    let chunks = n_threads.clamp(1, n);
-    let base = n / chunks;
-    let extra = n % chunks;
-    let mut ranges = Vec::with_capacity(chunks);
-    let mut start = 0;
-    for i in 0..chunks {
-        let len = base + usize::from(i < extra);
-        ranges.push(start..start + len);
-        start += len;
-    }
-    debug_assert_eq!(start, n);
-    ranges
 }
 
-/// Run `f` once per chunk of `0..n` and return `(range, result)` pairs in
-/// chunk order.
+type JobResult<T> = std::thread::Result<T>;
+
+/// A persistent, channel-fed worker pool (see the module docs for the
+/// determinism contract).
 ///
-/// With more than one chunk, each invocation runs on its own scoped thread;
-/// with zero or one chunk, `f` runs on the calling thread (no spawn, exact
-/// sequential order). The output order is the chunk order regardless of
-/// which thread finishes first, which is what makes downstream merges
-/// deterministic.
-///
-/// # Panics
-/// Propagates a panic from any worker thread.
-pub fn map_chunks<T, F>(n: usize, n_threads: usize, f: F) -> Vec<(Range<usize>, T)>
+/// Created by [`with_pool`]; the handle is valid for the duration of the
+/// scope closure and every [`ThreadPool::run_batch`] call reuses the same
+/// worker threads. Jobs are plain values of type `J`; every worker runs the
+/// single worker function the pool was created with, so per-fit shared
+/// state is captured once (by the worker function) rather than smuggled
+/// through every job.
+pub struct ThreadPool<'a, J, T> {
+    n_threads: usize,
+    worker: &'a (dyn Fn(J) -> T + Sync),
+    /// One job channel per worker; jobs are dealt round-robin in submission
+    /// order. Empty when the pool runs inline (`n_threads <= 1`).
+    senders: Vec<mpsc::Sender<(usize, J)>>,
+    /// Shared result channel. `None` when the pool runs inline.
+    results: Option<mpsc::Receiver<(usize, JobResult<T>)>>,
+}
+
+impl<J, T> ThreadPool<'_, J, T> {
+    /// The effective thread count: the number of worker threads, or `1`
+    /// when the pool executes inline on the caller. Chunked submissions
+    /// ([`ThreadPool::run_chunks`]) produce exactly this many chunks, so
+    /// FP-merge grouping matches the non-pooled `map_chunks(n, n_threads,
+    /// ..)` executor for the same configuration.
+    #[inline]
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Run a batch of jobs and return their results **in submission
+    /// order**.
+    ///
+    /// An empty batch returns `Ok(vec![])` without touching the workers
+    /// (degenerate `n == 0` phases are valid). On the inline path
+    /// (`n_threads <= 1`) jobs run on the calling thread in order and the
+    /// batch stops at the first panicking job; on the pooled path every job
+    /// of the batch is executed (and buffers it carries are dropped) before
+    /// the error is reported, keeping the workers idle — never deadlocked —
+    /// between batches either way.
+    pub fn run_batch(&self, jobs: Vec<J>) -> Result<Vec<T>, PoolError> {
+        if self.senders.is_empty() {
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| {
+                    catch_unwind(AssertUnwindSafe(|| (self.worker)(job))).map_err(|p| {
+                        PoolError::JobPanicked {
+                            job: i,
+                            message: panic_message(p.as_ref()),
+                        }
+                    })
+                })
+                .collect();
+        }
+        let n = jobs.len();
+        for (i, job) in jobs.into_iter().enumerate() {
+            self.senders[i % self.senders.len()]
+                .send((i, job))
+                .map_err(|_| PoolError::Disconnected)?;
+        }
+        let results = self.results.as_ref().expect("pooled path has a receiver");
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut panicked: Option<(usize, String)> = None;
+        for _ in 0..n {
+            let (i, outcome) = results.recv().map_err(|_| PoolError::Disconnected)?;
+            match outcome {
+                Ok(value) => slots[i] = Some(value),
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    if panicked.as_ref().is_none_or(|(j, _)| i < *j) {
+                        panicked = Some((i, message));
+                    }
+                }
+            }
+        }
+        if let Some((job, message)) = panicked {
+            return Err(PoolError::JobPanicked { job, message });
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every job reported exactly once"))
+            .collect())
+    }
+
+    /// Convenience: build one job per chunk of `0..n` (at most
+    /// [`ThreadPool::n_threads`] chunks, see [`chunk_ranges`]) and run the
+    /// batch. `n == 0` submits nothing and returns `Ok(vec![])`.
+    pub fn run_chunks(
+        &self,
+        n: usize,
+        mut make_job: impl FnMut(Range<usize>) -> J,
+    ) -> Result<Vec<T>, PoolError> {
+        self.run_batch(
+            chunk_ranges(n, self.n_threads)
+                .into_iter()
+                .map(&mut make_job)
+                .collect(),
+        )
+    }
+}
+
+/// Create a [`ThreadPool`] of `n_threads` workers all running `worker`, and
+/// hand it to `body`. Threads are spawned once (scoped — they may borrow
+/// anything `worker` borrows), live for the whole call, and are joined when
+/// `body` returns; with `n_threads <= 1` nothing is spawned and every batch
+/// runs inline on the calling thread.
+pub fn with_pool<J, T, R>(
+    n_threads: usize,
+    worker: &(dyn Fn(J) -> T + Sync),
+    body: impl FnOnce(&ThreadPool<'_, J, T>) -> R,
+) -> R
 where
+    J: Send,
     T: Send,
-    F: Fn(Range<usize>) -> T + Sync,
 {
-    let ranges = chunk_ranges(n, n_threads);
-    if ranges.len() <= 1 {
-        return ranges.into_iter().map(|r| (r.clone(), f(r))).collect();
+    let n_threads = n_threads.max(1);
+    if n_threads == 1 {
+        return body(&ThreadPool {
+            n_threads,
+            worker,
+            senders: Vec::new(),
+            results: None,
+        });
     }
     std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| (r.clone(), scope.spawn(move || f(r))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|(r, h)| (r, h.join().expect("E-step worker thread panicked")))
-            .collect()
+        let (res_tx, res_rx) = mpsc::channel();
+        let mut senders = Vec::with_capacity(n_threads);
+        for _ in 0..n_threads {
+            let (job_tx, job_rx) = mpsc::channel::<(usize, J)>();
+            senders.push(job_tx);
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((seq, job)) = job_rx.recv() {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| worker(job)));
+                    if res_tx.send((seq, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let pool = ThreadPool {
+            n_threads,
+            worker,
+            senders,
+            results: Some(res_rx),
+        };
+        let out = body(&pool);
+        // Dropping the pool closes the job channels; the workers drain and
+        // exit, and the scope joins them before `with_pool` returns.
+        drop(pool);
+        out
     })
 }
 
@@ -116,10 +245,84 @@ mod tests {
     use proptest::prelude::*;
 
     #[test]
+    fn pool_reuses_workers_across_submissions() {
+        // One `with_pool` scope, many batches: the same long-lived workers
+        // serve every submission, and results come back in job order.
+        with_pool(4, &|x: u64| x * 2, |pool| {
+            assert_eq!(pool.n_threads(), 4);
+            for round in 0..5u64 {
+                let jobs: Vec<u64> = (round..round + 10).collect();
+                let out = pool.run_batch(jobs).expect("no panics");
+                let want: Vec<u64> = (round..round + 10).map(|x| x * 2).collect();
+                assert_eq!(out, want);
+            }
+        });
+    }
+
+    #[test]
+    fn pool_panic_is_an_error_not_a_deadlock() {
+        with_pool(
+            3,
+            &|x: u32| {
+                assert!(x != 7, "boom on 7");
+                x + 1
+            },
+            |pool| {
+                let err = pool.run_batch((0..16).collect()).unwrap_err();
+                match err {
+                    PoolError::JobPanicked { job, message } => {
+                        assert_eq!(job, 7);
+                        assert!(message.contains("boom on 7"), "got {message:?}");
+                    }
+                    other => panic!("expected JobPanicked, got {other:?}"),
+                }
+                // The pool survives the panic: the next batch is served by
+                // the same workers instead of hanging on a dead queue.
+                assert_eq!(pool.run_batch(vec![1, 2, 3]).unwrap(), vec![2, 3, 4]);
+            },
+        );
+    }
+
+    #[test]
+    fn inline_pool_reports_panics_too() {
+        with_pool(
+            1,
+            &|x: u32| {
+                assert!(x != 1, "inline boom");
+                x
+            },
+            |pool| {
+                assert!(pool.senders.is_empty(), "n_threads = 1 must not spawn");
+                match pool.run_batch(vec![0, 1, 2]) {
+                    Err(PoolError::JobPanicked { job: 1, .. }) => {}
+                    other => panic!("expected JobPanicked at 1, got {other:?}"),
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn empty_batches_and_zero_item_chunks_are_fine() {
+        for n_threads in [1, 4] {
+            with_pool(n_threads, &|x: usize| x, |pool| {
+                assert!(pool.run_batch(Vec::new()).unwrap().is_empty());
+                assert!(pool.run_chunks(0, |r| r.start).unwrap().is_empty());
+            });
+        }
+    }
+
+    #[test]
+    fn run_chunks_with_fewer_items_than_threads() {
+        with_pool(8, &|r: Range<usize>| r.len(), |pool| {
+            // 3 items over 8 threads: three singleton chunks.
+            assert_eq!(pool.run_chunks(3, |r| r).unwrap(), vec![1, 1, 1]);
+        });
+    }
+
+    #[test]
     fn effective_threads_passthrough() {
         assert_eq!(effective_threads(1), 1);
         assert_eq!(effective_threads(7), 7);
-        // Auto resolves to something positive whatever the environment.
         assert!(effective_threads(0) >= 1);
     }
 
@@ -129,18 +332,7 @@ mod tests {
         assert_eq!(chunk_ranges(1, 4), vec![0..1]);
         assert_eq!(chunk_ranges(5, 1), vec![0..5]);
         assert_eq!(chunk_ranges(5, 2), vec![0..3, 3..5]);
-        // More threads than items: one singleton chunk per item.
         assert_eq!(chunk_ranges(3, 8), vec![0..1, 1..2, 2..3]);
-    }
-
-    #[test]
-    fn map_chunks_preserves_chunk_order() {
-        let out = map_chunks(10, 4, |r| r.start);
-        let starts: Vec<usize> = out.iter().map(|(_, s)| *s).collect();
-        assert_eq!(starts, vec![0, 3, 6, 8]);
-        for (r, s) in &out {
-            assert_eq!(r.start, *s);
-        }
     }
 
     proptest! {
@@ -179,9 +371,24 @@ mod tests {
         }
 
         #[test]
-        fn map_chunks_is_deterministic(n in 0usize..64, t in 1usize..6) {
-            let run = || map_chunks(n, t, |r| r.clone());
-            prop_assert_eq!(run(), run());
+        fn pooled_batches_are_deterministic(n in 0usize..64, t in 1usize..6) {
+            let xs: Vec<u64> = (0..n as u64).map(|i| i * 37 % 101).collect();
+            let run = || {
+                with_pool(t, &|r: Range<usize>| xs[r].iter().sum::<u64>(), |pool| {
+                    (
+                        pool.run_chunks(n, |r| r).unwrap(),
+                        pool.run_chunks(n, |r| r).unwrap(),
+                    )
+                })
+            };
+            let (a1, a2) = run();
+            let (b1, b2) = run();
+            // Reuse within a scope and fresh scopes agree exactly.
+            prop_assert_eq!(&a1, &a2);
+            prop_assert_eq!(&a1, &b1);
+            prop_assert_eq!(&b1, &b2);
+            let total: u64 = a1.iter().sum();
+            prop_assert_eq!(total, xs.iter().sum::<u64>());
         }
     }
 }

@@ -15,6 +15,14 @@ pub struct SimulationConfig {
     pub rounds: usize,
     /// Questions per worker per round (paper: 5).
     pub tasks_per_worker: usize,
+    /// Threads for the campaign's initial [`ObservationIndex`] build,
+    /// resolved like `TdhConfig::n_threads` (`0` = auto via `TDH_N_THREADS`
+    /// or the available parallelism, `1` = sequential). The parallel build
+    /// is field-for-field identical to the sequential one, so this knob
+    /// never changes campaign results. Per-round *inference* threading
+    /// rides on the model's own configuration (each TDH fit spawns one
+    /// persistent pool and reuses it across its EM iterations).
+    pub n_threads: usize,
 }
 
 impl Default for SimulationConfig {
@@ -22,6 +30,7 @@ impl Default for SimulationConfig {
         SimulationConfig {
             rounds: 50,
             tasks_per_worker: 5,
+            n_threads: 0,
         }
     }
 }
@@ -157,7 +166,8 @@ pub fn run_simulation(
     pool: &mut WorkerPool,
     cfg: &SimulationConfig,
 ) -> SimulationResult {
-    let mut idx = ObservationIndex::build(ds);
+    let mut idx =
+        ObservationIndex::build_threaded(ds, tdh_core::par::effective_threads(cfg.n_threads));
     let mut rounds = Vec::with_capacity(cfg.rounds + 1);
 
     for round in 0..=cfg.rounds {
@@ -236,6 +246,7 @@ mod tests {
         let cfg = SimulationConfig {
             rounds: 8,
             tasks_per_worker: 5,
+            ..Default::default()
         };
         let result = run_simulation(&mut ds, &mut model, &mut assigner, &mut pool, &cfg);
         assert_eq!(result.rounds.len(), 9);
@@ -258,6 +269,7 @@ mod tests {
         let cfg = SimulationConfig {
             rounds: 4,
             tasks_per_worker: 3,
+            ..Default::default()
         };
         let before = ds.answers().len();
         let result = run_simulation(&mut ds, &mut model, &mut assigner, &mut pool, &cfg);
@@ -287,6 +299,7 @@ mod tests {
             let cfg = SimulationConfig {
                 rounds: 3,
                 tasks_per_worker: 4,
+                n_threads,
             };
             run_simulation(&mut ds, &mut model, &mut assigner, &mut pool, &cfg)
         };
@@ -309,6 +322,7 @@ mod tests {
         let cfg = SimulationConfig {
             rounds: 3,
             tasks_per_worker: 4,
+            ..Default::default()
         };
         let result = run_simulation(&mut ds, &mut model, &mut assigner, &mut pool, &cfg);
         assert_eq!(result.actual_improvements().len(), 3);

@@ -2,11 +2,12 @@
 
 use std::collections::HashSet;
 
-use tdh_hierarchy::NodeId;
+use tdh_hierarchy::{Hierarchy, NodeId};
 
 use crate::dataset::Dataset;
 use crate::ids::{ObjectId, SourceId, WorkerId};
-use crate::Answer;
+use crate::par;
+use crate::{Answer, Record};
 
 /// Everything an algorithm needs to know about one object `o`.
 ///
@@ -121,6 +122,12 @@ pub struct ObservationIndex {
 impl ObservationIndex {
     /// Build the index from a dataset's records and already-collected answers.
     ///
+    /// This is deliberately an independent implementation rather than a
+    /// delegation to [`ObservationIndex::build_threaded`]`(ds, 1)`: it is
+    /// the sequential *oracle* the `index_parallel` property suite compares
+    /// the chunked build against, field for field, so a semantic change to
+    /// either copy that misses the other fails tests instead of shipping.
+    ///
     /// # Panics
     /// Panics if an answer's value is not among its object's candidates
     /// (workers select from `V_o` by problem definition, §2.1).
@@ -185,6 +192,126 @@ impl ObservationIndex {
             index.push_answer(*a);
         }
         index
+    }
+
+    /// [`ObservationIndex::build`] with the per-object view construction and
+    /// the `O_s`/`O_w` incidence passes sharded over `n_threads` contiguous
+    /// chunks (see [`crate::par`]).
+    ///
+    /// The expensive part of a build is the per-object work — candidate
+    /// dedup, the `O(|V_o|^2)` ancestor/descendant scans behind `G_o`/`D_o`,
+    /// and the popularity counts — which is independent across objects, just
+    /// as the incidence lists are independent across sources and workers.
+    /// Each chunk only writes entities it owns, so the output is
+    /// **field-for-field identical** to the sequential build for every
+    /// thread count (asserted by the `index_parallel` property suite);
+    /// `n_threads <= 1` runs the whole pass on the calling thread.
+    ///
+    /// # Panics
+    /// Panics if an answer's value is not among its object's candidates,
+    /// exactly like the sequential build.
+    pub fn build_threaded(ds: &Dataset, n_threads: usize) -> Self {
+        let records = ds.records();
+        let answers = ds.answers();
+        let n_obj = ds.n_objects();
+
+        // Cheap sequential grouping passes: record/answer ids per entity, in
+        // scan order. These give every parallel chunk an O(1) handle on
+        // exactly the evidence it owns, and scan order is what makes the
+        // chunked incidence lists identical to the sequential ones.
+        let mut recs_by_obj: Vec<Vec<u32>> = vec![Vec::new(); n_obj];
+        for (ri, r) in records.iter().enumerate() {
+            recs_by_obj[r.object.index()].push(ri as u32);
+        }
+        let mut ans_by_obj: Vec<Vec<u32>> = vec![Vec::new(); n_obj];
+        for (ai, a) in answers.iter().enumerate() {
+            ans_by_obj[a.object.index()].push(ai as u32);
+        }
+
+        // Parallel pass 1: one fully-populated view per object.
+        let views: Vec<ObjectView> = par::map_chunks(n_obj, n_threads, |range| {
+            range
+                .map(|oi| {
+                    build_object_view(
+                        ds.hierarchy(),
+                        records,
+                        answers,
+                        &recs_by_obj[oi],
+                        &ans_by_obj[oi],
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flat_map(|(_, chunk)| chunk)
+        .collect();
+
+        // Parallel pass 2: the inverse incidence lists `O_s` / `O_w`.
+        let n_src = ds.n_sources();
+        let mut recs_by_src: Vec<Vec<u32>> = vec![Vec::new(); n_src];
+        for (ri, r) in records.iter().enumerate() {
+            recs_by_src[r.source.index()].push(ri as u32);
+        }
+        let by_source: Vec<Vec<(ObjectId, u32)>> = par::map_chunks(n_src, n_threads, |range| {
+            range
+                .map(|si| {
+                    recs_by_src[si]
+                        .iter()
+                        .map(|&ri| {
+                            let r = &records[ri as usize];
+                            let idx = views[r.object.index()]
+                                .cand_index(r.value)
+                                .expect("record value is a candidate by construction");
+                            (r.object, idx)
+                        })
+                        .collect()
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flat_map(|(_, chunk)| chunk)
+        .collect();
+
+        // The sequential build grows `O_w` on demand, so its final length is
+        // the larger of the dataset's worker universe and the answers' ids.
+        let n_wrk = ds.n_workers().max(
+            answers
+                .iter()
+                .map(|a| a.worker.index() + 1)
+                .max()
+                .unwrap_or(0),
+        );
+        let mut ans_by_wrk: Vec<Vec<u32>> = vec![Vec::new(); n_wrk];
+        for (ai, a) in answers.iter().enumerate() {
+            ans_by_wrk[a.worker.index()].push(ai as u32);
+        }
+        let by_worker: Vec<Vec<(ObjectId, u32)>> = par::map_chunks(n_wrk, n_threads, |range| {
+            range
+                .map(|wi| {
+                    ans_by_wrk[wi]
+                        .iter()
+                        .map(|&ai| {
+                            let a = &answers[ai as usize];
+                            let idx = views[a.object.index()]
+                                .cand_index(a.value)
+                                .expect("answers select among the object's candidate values");
+                            (a.object, idx)
+                        })
+                        .collect()
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flat_map(|(_, chunk)| chunk)
+        .collect();
+
+        let answered = answers.iter().map(|a| (a.worker, a.object)).collect();
+        ObservationIndex {
+            views,
+            by_source,
+            by_worker,
+            answered,
+        }
     }
 
     /// Record a fresh crowdsourcing answer, updating `W_o`, `O_w`, the
@@ -256,6 +383,63 @@ impl ObservationIndex {
     pub fn has_answered(&self, w: WorkerId, o: ObjectId) -> bool {
         self.answered.contains(&(w, o))
     }
+}
+
+/// Build one object's complete view from its record/answer ids (in scan
+/// order, which keeps `sources`/`workers` ordered exactly as the sequential
+/// build leaves them).
+fn build_object_view(
+    h: &Hierarchy,
+    records: &[Record],
+    answers: &[Answer],
+    rec_ids: &[u32],
+    ans_ids: &[u32],
+) -> ObjectView {
+    let mut cands: Vec<NodeId> = rec_ids
+        .iter()
+        .map(|&ri| records[ri as usize].value)
+        .collect();
+    cands.sort_unstable();
+    cands.dedup();
+    let k = cands.len();
+    let mut ancestors = vec![Vec::new(); k];
+    let mut descendants = vec![Vec::new(); k];
+    for i in 0..k {
+        for j in 0..k {
+            if i != j && h.is_strict_ancestor(cands[j], cands[i]) {
+                ancestors[i].push(j as u32);
+                descendants[j].push(i as u32);
+            }
+        }
+    }
+    let in_oh = ancestors.iter().any(|a| !a.is_empty());
+    let mut view = ObjectView {
+        source_count: vec![0; k],
+        worker_count: vec![0; k],
+        sources: Vec::with_capacity(rec_ids.len()),
+        workers: Vec::with_capacity(ans_ids.len()),
+        ancestors,
+        descendants,
+        in_oh,
+        candidates: cands,
+    };
+    for &ri in rec_ids {
+        let r = &records[ri as usize];
+        let idx = view
+            .cand_index(r.value)
+            .expect("record value is a candidate by construction");
+        view.sources.push((r.source, idx));
+        view.source_count[idx as usize] += 1;
+    }
+    for &ai in ans_ids {
+        let a = &answers[ai as usize];
+        let idx = view
+            .cand_index(a.value)
+            .expect("answers select among the object's candidate values");
+        view.workers.push((a.worker, idx));
+        view.worker_count[idx as usize] += 1;
+    }
+    view
 }
 
 #[cfg(test)]

@@ -18,7 +18,12 @@
 //! The index is built once from the records and then kept up to date
 //! incrementally as crowdsourcing answers arrive
 //! ([`ObservationIndex::push_answer`]), matching the paper's loop that
-//! alternates inference and task assignment.
+//! alternates inference and task assignment. On large corpora the build
+//! itself is a hot path: [`ObservationIndex::build_threaded`] shards the
+//! per-object view construction and the incidence/popularity passes over
+//! the deterministic chunk primitives in [`par`], producing output
+//! field-for-field identical to the sequential [`ObservationIndex::build`]
+//! for every thread count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +33,7 @@ mod ids;
 mod index;
 pub mod io;
 mod numeric;
+pub mod par;
 
 pub use dataset::{Dataset, DatasetStats};
 pub use ids::{ObjectId, SourceId, WorkerId};

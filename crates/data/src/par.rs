@@ -1,0 +1,142 @@
+//! Deterministic chunking primitives shared by every parallel phase.
+//!
+//! Both the index build ([`crate::ObservationIndex::build_threaded`]) and the
+//! EM phases in `tdh-core` split `0..n` entity ranges into contiguous chunks
+//! whose boundaries depend only on `(n, n_threads)` — never on scheduling —
+//! and merge per-chunk results in fixed chunk order. That discipline is what
+//! makes every multi-threaded path in this workspace bit-identical
+//! run-to-run. The primitives live here, in the lowest crate that needs
+//! them; `tdh-core::par` re-exports them unchanged and layers its persistent
+//! worker pool on top.
+//!
+//! * [`chunk_ranges`] splits `0..n` into at most `n_threads` contiguous,
+//!   near-equal ranges.
+//! * [`map_chunks`] runs one closure per chunk on scoped threads
+//!   ([`std::thread::scope`], no vendored dependencies) and returns the
+//!   per-chunk results **in chunk order**. It spawns per call, which is fine
+//!   for one-shot phases such as an index build; iterated phases (the EM
+//!   loop) should use the persistent pool in `tdh-core::par` instead.
+//! * [`effective_threads`] resolves a configured thread count (`0` = auto).
+
+use std::ops::Range;
+
+/// Resolve a configured thread count to an effective one.
+///
+/// `0` means "auto": the `TDH_N_THREADS` environment variable when it parses
+/// to a positive integer, otherwise [`std::thread::available_parallelism`]
+/// (falling back to `1` when even that is unavailable). Any non-zero value is
+/// returned unchanged.
+pub fn effective_threads(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(s) = std::env::var("TDH_N_THREADS") {
+        match s.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            // Falling back silently would let a typo'd override (CI pins
+            // the sequential leg through this variable) masquerade as the
+            // requested thread count.
+            _ => eprintln!(
+                "warning: ignoring invalid TDH_N_THREADS={s:?} (want a positive integer); \
+                 using available parallelism"
+            ),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `0..n` into at most `n_threads` contiguous, near-equal, non-empty
+/// ranges covering `0..n` exactly, in ascending order.
+///
+/// The first `n % chunks` ranges carry one extra element, so lengths differ
+/// by at most one. Returns an empty vector when `n == 0`; `n_threads == 0`
+/// is treated as 1, so every call site degrades to the sequential single
+/// chunk rather than panicking.
+pub fn chunk_ranges(n: usize, n_threads: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunks = n_threads.clamp(1, n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+/// Run `f` once per chunk of `0..n` and return `(range, result)` pairs in
+/// chunk order.
+///
+/// With more than one chunk, each invocation runs on its own scoped thread;
+/// with zero or one chunk, `f` runs on the calling thread (no spawn, exact
+/// sequential order). The output order is the chunk order regardless of
+/// which thread finishes first, which is what makes downstream merges
+/// deterministic.
+///
+/// # Panics
+/// Propagates a panic from any worker thread.
+pub fn map_chunks<T, F>(n: usize, n_threads: usize, f: F) -> Vec<(Range<usize>, T)>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(n, n_threads);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(|r| (r.clone(), f(r))).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| (r.clone(), scope.spawn(move || f(r))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(r, h)| (r, h.join().expect("chunk worker thread panicked")))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_passthrough() {
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(7), 7);
+        // Auto resolves to something positive whatever the environment.
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn chunk_ranges_edge_cases() {
+        assert!(chunk_ranges(0, 4).is_empty());
+        assert!(chunk_ranges(0, 0).is_empty());
+        assert_eq!(chunk_ranges(1, 4), vec![0..1]);
+        assert_eq!(chunk_ranges(5, 1), vec![0..5]);
+        // Zero threads degrades to the single sequential chunk.
+        assert_eq!(chunk_ranges(5, 0), vec![0..5]);
+        assert_eq!(chunk_ranges(5, 2), vec![0..3, 3..5]);
+        // More threads than items: one singleton chunk per item.
+        assert_eq!(chunk_ranges(3, 8), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn map_chunks_preserves_chunk_order() {
+        let out = map_chunks(10, 4, |r| r.start);
+        let starts: Vec<usize> = out.iter().map(|(_, s)| *s).collect();
+        assert_eq!(starts, vec![0, 3, 6, 8]);
+        for (r, s) in &out {
+            assert_eq!(r.start, *s);
+        }
+    }
+}

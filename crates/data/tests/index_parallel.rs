@@ -1,0 +1,225 @@
+//! Property suite: `ObservationIndex::build_threaded` is field-for-field
+//! identical to the sequential `ObservationIndex::build` — for every thread
+//! count, over randomly generated datasets that include empty datasets,
+//! claim-less ("empty") objects, single-source and single-worker corpora,
+//! hierarchical and flat candidate sets, and workers with no answers.
+//!
+//! The index has no floating-point state, so the contract is exact
+//! equality, not a tolerance: candidates, ancestor/descendant sets,
+//! incidence lists and popularity counts must come out in exactly the
+//! sequential order regardless of chunking.
+
+use proptest::prelude::*;
+use tdh_data::{Dataset, ObjectId, ObservationIndex, SourceId, WorkerId};
+use tdh_hierarchy::HierarchyBuilder;
+
+/// Thread counts compared against the sequential reference in every case:
+/// in-caller (1), fewer chunks than entities, more chunks than entities.
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+/// Assert complete structural equality between two indexes built from `ds`.
+fn assert_index_eq(ds: &Dataset, a: &ObservationIndex, b: &ObservationIndex, label: &str) {
+    assert_eq!(a.n_objects(), b.n_objects(), "{label}: n_objects");
+    for oi in 0..a.n_objects() {
+        let (va, vb) = (&a.views()[oi], &b.views()[oi]);
+        assert_eq!(va.candidates, vb.candidates, "{label}: candidates[{oi}]");
+        assert_eq!(va.sources, vb.sources, "{label}: sources[{oi}]");
+        assert_eq!(va.workers, vb.workers, "{label}: workers[{oi}]");
+        assert_eq!(va.ancestors, vb.ancestors, "{label}: ancestors[{oi}]");
+        assert_eq!(va.descendants, vb.descendants, "{label}: descendants[{oi}]");
+        assert_eq!(va.in_oh, vb.in_oh, "{label}: in_oh[{oi}]");
+        assert_eq!(
+            va.source_count, vb.source_count,
+            "{label}: source_count[{oi}]"
+        );
+        assert_eq!(
+            va.worker_count, vb.worker_count,
+            "{label}: worker_count[{oi}]"
+        );
+    }
+    assert_eq!(a.n_sources(), b.n_sources(), "{label}: n_sources");
+    for si in 0..a.n_sources() {
+        let s = SourceId(si as u32);
+        assert_eq!(
+            a.objects_of_source(s),
+            b.objects_of_source(s),
+            "{label}: O_s[{si}]"
+        );
+    }
+    assert_eq!(a.n_workers(), b.n_workers(), "{label}: n_workers");
+    for wi in 0..a.n_workers() {
+        let w = WorkerId(wi as u32);
+        assert_eq!(
+            a.objects_of_worker(w),
+            b.objects_of_worker(w),
+            "{label}: O_w[{wi}]"
+        );
+    }
+    // The answered set is compared over the full worker × object grid.
+    for wi in 0..a.n_workers() {
+        for oi in 0..a.n_objects() {
+            let (w, o) = (WorkerId(wi as u32), ObjectId(oi as u32));
+            assert_eq!(
+                a.has_answered(w, o),
+                b.has_answered(w, o),
+                "{label}: answered({wi}, {oi})"
+            );
+        }
+    }
+    // And every recorded answer must be marked on both.
+    for ans in ds.answers() {
+        assert!(
+            a.has_answered(ans.worker, ans.object),
+            "{label}: seq lost an answer"
+        );
+        assert!(
+            b.has_answered(ans.worker, ans.object),
+            "{label}: par lost an answer"
+        );
+    }
+}
+
+/// Build a dataset from raw generator draws. Interns every entity up front
+/// (so claim-less objects, record-less sources and answer-less workers all
+/// exist), then resolves each draw against the hierarchy/candidate sets.
+fn build_dataset(
+    n_top: usize,
+    n_leaf: usize,
+    n_obj: usize,
+    n_src: usize,
+    n_wrk: usize,
+    raw_records: &[(usize, usize, usize)],
+    raw_answers: &[(usize, usize, usize)],
+) -> Dataset {
+    let mut b = HierarchyBuilder::new();
+    let mut names = Vec::new();
+    for t in 0..n_top {
+        let top = format!("T{t}");
+        for l in 0..n_leaf {
+            let leaf = format!("T{t}L{l}");
+            b.add_path(&[&top, &leaf]);
+            names.push(leaf);
+        }
+        names.push(top);
+    }
+    let mut ds = Dataset::new(b.build());
+    for o in 0..n_obj {
+        ds.intern_object(&format!("o{o}"));
+    }
+    for s in 0..n_src {
+        ds.intern_source(&format!("s{s}"));
+    }
+    for w in 0..n_wrk {
+        ds.intern_worker(&format!("w{w}"));
+    }
+    if n_obj > 0 {
+        for &(o, s, v) in raw_records {
+            let value = ds
+                .hierarchy()
+                .node_by_name(&names[v % names.len()])
+                .unwrap();
+            ds.add_record(
+                ObjectId((o % n_obj) as u32),
+                SourceId((s % n_src) as u32),
+                value,
+            );
+        }
+        // Candidate sets are defined by the records; answers select among
+        // them (objects with no candidates take no answers, §2.1).
+        let mut cands: Vec<Vec<_>> = vec![Vec::new(); n_obj];
+        for r in ds.records() {
+            cands[r.object.index()].push(r.value);
+        }
+        for c in &mut cands {
+            c.sort_unstable();
+            c.dedup();
+        }
+        for &(o, w, pick) in raw_answers {
+            let oi = o % n_obj;
+            if cands[oi].is_empty() {
+                continue;
+            }
+            let value = cands[oi][pick % cands[oi].len()];
+            ds.add_answer(ObjectId(oi as u32), WorkerId((w % n_wrk) as u32), value);
+        }
+    }
+    ds
+}
+
+fn check_all_thread_counts(ds: &Dataset) {
+    let seq = ObservationIndex::build(ds);
+    for t in THREADS {
+        let par = ObservationIndex::build_threaded(ds, t);
+        assert_index_eq(ds, &seq, &par, &format!("threads={t}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn threaded_build_matches_sequential(
+        n_top in 1usize..5,
+        n_leaf in 1usize..4,
+        n_obj in 0usize..7,
+        dims in (1usize..5, 1usize..4),
+        raw_records in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 0..40),
+        raw_answers in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 0..25),
+    ) {
+        let (n_src, n_wrk) = dims;
+        let ds = build_dataset(n_top, n_leaf, n_obj, n_src, n_wrk, &raw_records, &raw_answers);
+        check_all_thread_counts(&ds);
+    }
+}
+
+#[test]
+fn empty_dataset_builds_on_every_thread_count() {
+    let ds = Dataset::new(HierarchyBuilder::new().build());
+    check_all_thread_counts(&ds);
+    let idx = ObservationIndex::build_threaded(&ds, 8);
+    assert_eq!(idx.n_objects(), 0);
+    assert_eq!(idx.n_sources(), 0);
+    assert_eq!(idx.n_workers(), 0);
+}
+
+#[test]
+fn single_source_single_worker_corpus() {
+    // The smallest non-trivial corpus: one source claims about two objects
+    // (one hierarchical pair), one worker answers one of them.
+    let ds = build_dataset(
+        2,
+        2,
+        3, // the third object stays claim-less
+        1,
+        1,
+        &[(0, 0, 0), (0, 0, 4), (1, 0, 1)],
+        &[(0, 0, 0), (2, 0, 1)], // second answer lands on a claim-less object and is skipped
+    );
+    assert_eq!(ds.n_sources(), 1);
+    assert_eq!(ds.n_workers(), 1);
+    check_all_thread_counts(&ds);
+}
+
+#[test]
+fn threaded_build_matches_incremental_answers() {
+    // The crowd loop's invariant, now across the pooled build: building
+    // after answers arrive equals building before and pushing them.
+    let records = [
+        (0, 0, 0),
+        (0, 1, 3),
+        (1, 2, 1),
+        (2, 0, 2),
+        (3, 1, 5),
+        (4, 2, 0),
+    ];
+    let answers = [(0, 0, 0), (1, 1, 0), (2, 0, 1), (4, 1, 2)];
+    let ds_full = build_dataset(3, 3, 5, 3, 2, &records, &answers);
+    let ds_records_only = build_dataset(3, 3, 5, 3, 2, &records, &[]);
+    let mut incremental = ObservationIndex::build_threaded(&ds_records_only, 4);
+    for a in ds_full.answers() {
+        incremental.push_answer(*a);
+    }
+    let direct = ObservationIndex::build_threaded(&ds_full, 4);
+    assert_index_eq(&ds_full, &direct, &incremental, "incremental");
+}

@@ -22,6 +22,7 @@ fn main() {
     let sim_cfg = SimulationConfig {
         rounds: 20,
         tasks_per_worker: 5,
+        ..Default::default()
     };
 
     println!(

@@ -36,6 +36,7 @@ fn campaign(
         &SimulationConfig {
             rounds,
             tasks_per_worker: 5,
+            ..Default::default()
         },
     )
 }
@@ -93,6 +94,7 @@ fn no_worker_answers_the_same_object_twice() {
         &SimulationConfig {
             rounds: 8,
             tasks_per_worker: 5,
+            ..Default::default()
         },
     );
     let mut seen = std::collections::HashSet::new();
@@ -129,6 +131,7 @@ fn adapter_lets_plain_algorithms_join_the_loop() {
         &SimulationConfig {
             rounds: 8,
             tasks_per_worker: 5,
+            ..Default::default()
         },
     );
     assert_eq!(result.model, "VOTE");
@@ -173,6 +176,7 @@ fn better_workers_converge_faster() {
             &SimulationConfig {
                 rounds: 10,
                 tasks_per_worker: 5,
+                ..Default::default()
             },
         )
         .final_accuracy()

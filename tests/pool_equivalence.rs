@@ -1,0 +1,220 @@
+//! Equivalence contract of the persistent worker pool (`tdh::core::par`).
+//!
+//! Since the pool landed, a multi-threaded `TdhModel::fit` runs *every* hot
+//! phase — observation-index build, E-step scans, and the M-step `φ`/`ψ`
+//! updates — as chunked jobs on long-lived workers reused across all EM
+//! iterations. This suite pins the contract down end to end, mirroring
+//! `tests/parallel_equivalence.rs` but driving `fit` (so the pooled index
+//! build is on the tested path too):
+//!
+//! * pooled N-thread fits predict exactly the truths the `n_threads = 1`
+//!   in-caller path predicts, with `φ`/`ψ`/`μ` and the objective within
+//!   1e-9;
+//! * pooled runs are **bitwise** deterministic across repeats (estimates
+//!   and `FitReport`s compare equal);
+//! * degenerate inputs (empty datasets, oversubscribed thread counts) never
+//!   panic or deadlock.
+
+use tdh::core::numeric::NumericTdh;
+use tdh::core::{AblationFlags, TdhConfig, TdhModel};
+use tdh::data::{Dataset, NumericDataset, ObjectId, ObservationIndex, SourceId, WorkerId};
+use tdh::datagen::{generate_birthplaces, BirthPlacesConfig};
+use tdh::hierarchy::HierarchyBuilder;
+
+/// FP-summation tolerance for parameters and objective (the truths must
+/// match exactly).
+const TOL: f64 = 1e-9;
+
+fn config(n_threads: usize, ablation: AblationFlags) -> TdhConfig {
+    TdhConfig {
+        n_threads,
+        ablation,
+        ..Default::default()
+    }
+}
+
+/// A BirthPlaces-shaped corpus with deterministic worker answers layered on
+/// top (so the `ψ` accumulators and the pooled `O_w` pass are exercised)
+/// and a few claim-less objects (so `k = 0` views ride through every pooled
+/// phase).
+fn crowd_corpus() -> Dataset {
+    let mut ds = generate_birthplaces(
+        &BirthPlacesConfig {
+            n_objects: 280,
+            hierarchy_nodes: 380,
+        },
+        11,
+    )
+    .dataset;
+    let idx = ObservationIndex::build(&ds);
+    let candidates: Vec<Vec<_>> = idx.views().iter().map(|v| v.candidates.clone()).collect();
+    let workers: Vec<WorkerId> = (0..7).map(|i| ds.intern_worker(&format!("w{i}"))).collect();
+    for (oi, cands) in candidates.iter().enumerate() {
+        if cands.is_empty() {
+            continue;
+        }
+        for (wi, &w) in workers.iter().enumerate() {
+            if (oi + 2 * wi) % 4 == 0 {
+                ds.add_answer(ObjectId(oi as u32), w, cands[(oi + wi) % cands.len()]);
+            }
+        }
+    }
+    // Claim-less objects: interned, never claimed about, never answered.
+    for i in 0..5 {
+        ds.intern_object(&format!("unclaimed-{i}"));
+    }
+    ds
+}
+
+/// Fit with `n_threads = 1` and a pooled thread count and assert the
+/// equivalence contract on truths, `μ`, `φ`, `ψ` and the objective.
+fn assert_pool_equivalence(ds: &Dataset, n_threads: usize, ablation: AblationFlags) {
+    let mut seq = TdhModel::new(config(1, ablation));
+    let mut pooled = TdhModel::new(config(n_threads, ablation));
+    let est_seq = seq.fit(ds);
+    let est_pool = pooled.fit(ds);
+
+    assert_eq!(
+        est_seq.truths, est_pool.truths,
+        "predicted truths must be identical at {n_threads} threads under {ablation:?}"
+    );
+    for (oi, (a, b)) in est_seq
+        .confidences
+        .iter()
+        .zip(&est_pool.confidences)
+        .enumerate()
+    {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < TOL, "μ[{oi}] diverged: {x} vs {y}");
+        }
+    }
+    for s in 0..ds.n_sources() {
+        let (a, b) = (seq.phi(SourceId(s as u32)), pooled.phi(SourceId(s as u32)));
+        for t in 0..3 {
+            assert!((a[t] - b[t]).abs() < TOL, "φ[{s}] diverged: {a:?} vs {b:?}");
+        }
+    }
+    for w in 0..ds.n_workers() {
+        let (a, b) = (seq.psi(WorkerId(w as u32)), pooled.psi(WorkerId(w as u32)));
+        for t in 0..3 {
+            assert!((a[t] - b[t]).abs() < TOL, "ψ[{w}] diverged: {a:?} vs {b:?}");
+        }
+    }
+    let ra = seq.fit_report().unwrap();
+    let rb = pooled.fit_report().unwrap();
+    assert_eq!(ra.iterations, rb.iterations, "iteration counts must agree");
+    let (oa, ob) = (ra.objective.unwrap(), rb.objective.unwrap());
+    assert!(
+        (oa - ob).abs() / oa.abs().max(1.0) < TOL,
+        "objective diverged: {oa} vs {ob}"
+    );
+}
+
+#[test]
+fn categorical_full_model_pool_equivalence() {
+    let ds = crowd_corpus();
+    for n_threads in [2, 4, 8] {
+        assert_pool_equivalence(&ds, n_threads, AblationFlags::default());
+    }
+}
+
+#[test]
+fn ablation_configs_pool_equivalence() {
+    let ds = crowd_corpus();
+    for (hierarchy_aware, worker_popularity) in [(false, true), (true, false), (false, false)] {
+        assert_pool_equivalence(
+            &ds,
+            4,
+            AblationFlags {
+                hierarchy_aware,
+                worker_popularity,
+            },
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_pool_equivalence() {
+    // Far more workers than chunks of useful work: the pool clamps chunk
+    // counts, idles the excess threads, never panics, and still agrees.
+    assert_pool_equivalence(&crowd_corpus(), 64, AblationFlags::default());
+}
+
+#[test]
+fn pooled_fits_are_bitwise_deterministic_across_repeats() {
+    let ds = crowd_corpus();
+    for n_threads in [3, 4] {
+        let run = || {
+            let mut model = TdhModel::new(config(n_threads, AblationFlags::default()));
+            let est = model.fit(&ds);
+            (est, model.fit_report().unwrap().clone())
+        };
+        let (est1, rep1) = run();
+        let (est2, rep2) = run();
+        // Bitwise equality, not tolerance: fixed chunk boundaries, fixed
+        // round-robin dispatch and a fixed merge order leave the pool no
+        // room for scheduling nondeterminism.
+        assert_eq!(
+            est1, est2,
+            "{n_threads}-thread estimates must be bitwise equal"
+        );
+        assert_eq!(
+            rep1, rep2,
+            "{n_threads}-thread reports must be bitwise equal"
+        );
+    }
+}
+
+#[test]
+fn numeric_pipeline_pool_equivalence() {
+    let mut ds = NumericDataset::new(40, 5);
+    for i in 0..40u32 {
+        let truth = 200.0 + f64::from(i) + 0.25;
+        ds.set_gold(ObjectId(i), truth);
+        ds.add_claim(ObjectId(i), SourceId(0), truth);
+        ds.add_claim(ObjectId(i), SourceId(1), truth);
+        // A rounder and two differently-wrong sources.
+        ds.add_claim(ObjectId(i), SourceId(2), 200.0 + f64::from(i));
+        ds.add_claim(ObjectId(i), SourceId(3), f64::from(i * 11 + 5));
+        ds.add_claim(ObjectId(i), SourceId(4), 2.0e7 + f64::from(i));
+    }
+    let mut seq_model = NumericTdh::new(config(1, AblationFlags::default()));
+    let mut pool_model = NumericTdh::new(config(4, AblationFlags::default()));
+    let seq = seq_model.infer(&ds);
+    let pooled = pool_model.infer(&ds);
+    assert_eq!(seq, pooled, "numeric truths must be identical");
+    assert!(seq.iter().all(Option::is_some));
+}
+
+#[test]
+fn empty_dataset_never_panics_on_a_pool() {
+    // Regression: chunk_ranges(0, t) is empty, so every pooled phase must
+    // submit zero jobs and return cleanly — no panic, no deadlock — for the
+    // in-caller path and real pools alike.
+    for n_threads in [1, 2, 4, 16] {
+        let ds = Dataset::new(HierarchyBuilder::new().build());
+        let mut model = TdhModel::new(config(n_threads, AblationFlags::default()));
+        let est = model.fit(&ds);
+        assert!(est.truths.is_empty(), "{n_threads} threads");
+        let rep = model.fit_report().unwrap();
+        assert_eq!(rep.objective, Some(0.0));
+        assert!(rep.monotone);
+    }
+}
+
+#[test]
+fn pooled_fit_reports_per_phase_timings() {
+    let ds = crowd_corpus();
+    let mut model = TdhModel::new(config(4, AblationFlags::default()));
+    model.fit(&ds);
+    let t = model.phase_timings().expect("fit records phase timings");
+    assert!(
+        t.e_step > std::time::Duration::ZERO,
+        "E-step time must accumulate across iterations"
+    );
+    assert!(
+        t.index_build > std::time::Duration::ZERO,
+        "fit() times the index build"
+    );
+}
