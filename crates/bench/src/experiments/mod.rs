@@ -5,14 +5,15 @@ mod ablation;
 mod crowdsourcing;
 mod inference;
 mod performance;
+mod serving;
 
 use crate::Scale;
 
 /// All experiment ids: the paper's tables/figures in paper order, then the
-/// repo's own scenarios (`ablation`, `scaling`).
-pub const ALL: [&str; 16] = [
+/// repo's own scenarios (`ablation`, `scaling`, `serving`).
+pub const ALL: [&str; 17] = [
     "fig1", "table3", "fig5", "fig6", "fig7", "table4", "fig8", "fig11", "fig12", "fig13", "fig14",
-    "fig17", "table5", "table6", "ablation", "scaling",
+    "fig17", "table5", "table6", "ablation", "scaling", "serving",
 ];
 
 /// Run one experiment by id. Panics on unknown ids (the CLI validates).
@@ -35,6 +36,7 @@ pub fn run(id: &str, scale: Scale) {
         "fig13" => performance::fig13(scale),
         "ablation" => ablation::ablation(scale),
         "scaling" => performance::scaling(scale),
+        "serving" => serving::serving(scale),
         other => panic!("unknown experiment id {other}"),
     }
     println!();

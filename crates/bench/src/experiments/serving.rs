@@ -1,0 +1,204 @@
+//! `serving` — not a paper figure: the `tdh-serve` subsystem end to end.
+//!
+//! Bootstraps a server on 85% of a corpus's records, snapshots it to disk,
+//! reloads it into a fresh server, streams the remaining 15% through the
+//! incremental engine (index append + warm-start refit), and compares the
+//! warm refit against a cold fit of the same grown dataset. Also measures
+//! in-process query throughput (truth lookups, per-source reliability,
+//! top-k most-uncertain).
+//!
+//! `results/serving.json` fields (asserted by CI): `bootstrap_iters`,
+//! `warm_iters`, `cold_iters`, `warm_refit_s`, `cold_refit_s`,
+//! `iters_saved_ratio`, `queries_per_s`, `snapshot_save_s`,
+//! `snapshot_load_s`, `snapshot_bytes`, `batch_claims`.
+
+use std::time::Instant;
+
+use tdh_core::{TdhConfig, TdhModel};
+use tdh_data::{Dataset, ObjectId};
+use tdh_serve::{Claim, RefitPolicy, Snapshot, TruthServer};
+
+use crate::harness::{birthplaces, print_table};
+use crate::report::{save, MetricRow};
+use crate::Scale;
+
+/// Rebuild `ds` with only its first `n_records` records (same hierarchy,
+/// same entity interning order, gold labels intact) — the "what the server
+/// had before the batch arrived" corpus.
+fn record_prefix(ds: &Dataset, n_records: usize) -> Dataset {
+    let mut out = Dataset::new(ds.hierarchy().clone());
+    for o in ds.objects() {
+        let no = out.intern_object(ds.object_name(o));
+        if let Some(g) = ds.gold(o) {
+            out.set_gold(no, g);
+        }
+    }
+    for s in ds.sources() {
+        out.intern_source(ds.source_name(s));
+    }
+    for w in ds.workers() {
+        out.intern_worker(ds.worker_name(w));
+    }
+    for r in &ds.records()[..n_records] {
+        out.add_record(r.object, r.source, r.value);
+    }
+    out
+}
+
+/// The serving scenario at the requested scale.
+pub fn serving(scale: Scale) {
+    let (queries, batch_share) = match scale {
+        Scale::Paper => (200_000usize, 15usize),
+        Scale::Quick => (40_000usize, 15usize),
+    };
+    let corpus = birthplaces(scale);
+    let ds_full = corpus.dataset;
+    let n_total = ds_full.records().len();
+    let n_batch = n_total * batch_share / 100;
+    let n_keep = n_total - n_batch;
+    let ds0 = record_prefix(&ds_full, n_keep);
+    println!(
+        "[{}] {} records: bootstrap on {n_keep}, stream {n_batch} as one batch",
+        corpus.name, n_total
+    );
+
+    // --- Bootstrap: cold fit. ---
+    let t0 = Instant::now();
+    let server = TruthServer::new(ds0, TdhConfig::default(), RefitPolicy::EveryBatch);
+    let bootstrap_s = t0.elapsed().as_secs_f64();
+    let bootstrap = server.last_refit().expect("bootstrap fits");
+
+    // --- Snapshot persistence. ---
+    let dir = crate::report::results_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("serving.tdhsnap");
+    let t1 = Instant::now();
+    server.snapshot().save(&path).expect("save snapshot");
+    let snapshot_save_s = t1.elapsed().as_secs_f64();
+    let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let t2 = Instant::now();
+    let snap = Snapshot::load(&path).expect("load snapshot");
+    let snapshot_load_s = t2.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+
+    // --- Incremental ingestion + warm refit on the restored server. ---
+    let mut restored =
+        TruthServer::from_snapshot(snap, RefitPolicy::EveryBatch).expect("restore snapshot");
+    let h = ds_full.hierarchy();
+    let batch: Vec<Claim> = ds_full.records()[n_keep..]
+        .iter()
+        .map(|r| Claim::Record {
+            object: ds_full.object_name(r.object).to_string(),
+            source: ds_full.source_name(r.source).to_string(),
+            value: h.name(r.value).to_string(),
+        })
+        .collect();
+    let t3 = Instant::now();
+    let report = restored.ingest(&batch).expect("ingest batch");
+    let ingest_s = t3.elapsed().as_secs_f64();
+    let refit = report.refit.expect("EveryBatch refits");
+    assert!(refit.warm, "the post-batch refit must warm-start");
+
+    // --- Cold reference: fresh fit of the same grown dataset. ---
+    let mut cold = TdhModel::new(TdhConfig {
+        warm_start: false,
+        ..Default::default()
+    });
+    let t4 = Instant::now();
+    cold.fit(restored.dataset());
+    let cold_refit_s = t4.elapsed().as_secs_f64();
+    let cold_iters = cold.fit_report().unwrap().iterations;
+    if refit.iterations >= cold_iters {
+        eprintln!(
+            "warning: warm refit took {} iterations, cold fit {cold_iters} — \
+             warm start bought nothing on this corpus",
+            refit.iterations
+        );
+    }
+
+    // --- Query throughput (in-process). ---
+    let ds = restored.dataset();
+    let object_names: Vec<String> = (0..ds.n_objects())
+        .map(|i| ds.object_name(ObjectId::from_index(i)).to_string())
+        .collect();
+    let source_names: Vec<String> = ds
+        .sources()
+        .map(|s| ds.source_name(s).to_string())
+        .collect();
+    let t5 = Instant::now();
+    let mut answered = 0u64;
+    for q in 0..queries {
+        match q % 10 {
+            // 80% truth lookups, 10% reliability, 10% top-k.
+            0..=7 => {
+                if restored
+                    .truth(&object_names[q % object_names.len()])
+                    .is_some()
+                {
+                    answered += 1;
+                }
+            }
+            8 => {
+                if restored
+                    .source_reliability(&source_names[q % source_names.len()])
+                    .is_some()
+                {
+                    answered += 1;
+                }
+            }
+            _ => {
+                answered += restored.top_uncertain(10).len() as u64;
+            }
+        }
+    }
+    let query_s = t5.elapsed().as_secs_f64();
+    let queries_per_s = queries as f64 / query_s.max(1e-12);
+    assert!(answered > 0, "queries must be answerable");
+
+    let warm_iters = refit.iterations;
+    let iters_saved_ratio = if cold_iters > 0 {
+        warm_iters as f64 / cold_iters as f64
+    } else {
+        f64::NAN
+    };
+    print_table(
+        &["metric", "value"],
+        &[
+            vec![
+                "bootstrap iters (cold)".into(),
+                bootstrap.iterations.to_string(),
+            ],
+            vec!["bootstrap fit (s)".into(), format!("{bootstrap_s:.4}")],
+            vec!["snapshot save (s)".into(), format!("{snapshot_save_s:.4}")],
+            vec!["snapshot load (s)".into(), format!("{snapshot_load_s:.4}")],
+            vec!["snapshot size (bytes)".into(), snapshot_bytes.to_string()],
+            vec!["batch claims".into(), n_batch.to_string()],
+            vec!["ingest + warm refit (s)".into(), format!("{ingest_s:.4}")],
+            vec!["warm refit iters".into(), warm_iters.to_string()],
+            vec!["cold refit iters".into(), cold_iters.to_string()],
+            vec!["cold refit (s)".into(), format!("{cold_refit_s:.4}")],
+            vec!["queries/s".into(), format!("{queries_per_s:.0}")],
+        ],
+    );
+
+    let out = vec![MetricRow {
+        label: "serving".into(),
+        corpus: corpus.name.clone(),
+        metrics: vec![
+            ("bootstrap_iters".into(), bootstrap.iterations as f64),
+            ("bootstrap_fit_s".into(), bootstrap_s),
+            ("snapshot_save_s".into(), snapshot_save_s),
+            ("snapshot_load_s".into(), snapshot_load_s),
+            ("snapshot_bytes".into(), snapshot_bytes as f64),
+            ("batch_claims".into(), n_batch as f64),
+            ("ingest_s".into(), ingest_s),
+            ("warm_iters".into(), warm_iters as f64),
+            ("warm_refit_s".into(), refit.duration.as_secs_f64()),
+            ("cold_iters".into(), cold_iters as f64),
+            ("cold_refit_s".into(), cold_refit_s),
+            ("iters_saved_ratio".into(), iters_saved_ratio),
+            ("queries_per_s".into(), queries_per_s),
+        ],
+    }];
+    save("serving", &out);
+}

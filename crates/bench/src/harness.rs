@@ -65,6 +65,10 @@ pub const INFERENCE_ALGORITHMS: [&str; 10] = [
 pub fn tdh_with_threads(n_threads: usize) -> TdhModel {
     TdhModel::new(TdhConfig {
         n_threads,
+        // Every scaling rep fits a fresh model exactly once, so retaining
+        // warm-start parameters would only add an exported parameter copy
+        // inside the timed region.
+        warm_start: false,
         ..Default::default()
     })
 }

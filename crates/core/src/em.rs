@@ -15,21 +15,26 @@
 //!   over `0..n_objects`: each pool job scans a contiguous chunk of objects
 //!   into a private [`EStepAcc`], and the driver merges the returned
 //!   accumulators in fixed chunk order. The per-chunk buffers are pooled
-//!   across iterations (zeroed, not reallocated).
-//! * The **M-step** updates of `φ_s` (Eq. 10) and `ψ_w` (Eq. 11) are
-//!   independent across sources and workers respectively, so they run as
-//!   chunked pool jobs too. Each entity's update reads only the merged
-//!   accumulators and its own incidence count, so the M-step is
-//!   bit-identical for *every* thread count; only the E-step merge regroups
-//!   floating-point sums. The `μ_o` update (Eq. 9) stays on the driver
-//!   thread — it is a single cheap pass that also refreshes the cached
-//!   incremental-EM statistics.
+//!   across iterations (zeroed, not reallocated). The Eq. (8) **log-prior**
+//!   terms at the pre-update parameters ride in the same read-only batch as
+//!   per-array partial sums (φ chunks, ψ chunks, μ chunks) merged in
+//!   submission order.
+//! * The **M-step** updates of `μ_o` (Eq. 9), `φ_s` (Eq. 10) and `ψ_w`
+//!   (Eq. 11) are independent across objects, sources and workers
+//!   respectively, so all three run as chunked pool jobs. Each entity's
+//!   update reads only its own chunk accumulator (`μ`) or the merged
+//!   accumulators and its incidence count (`φ`/`ψ`), so the M-step is
+//!   bit-identical for *every* thread count; only the E-step merge and the
+//!   log-prior partials regroup floating-point sums. The `μ` jobs write
+//!   their disjoint object ranges into the shared state directly (a short
+//!   write lock per chunk) and refresh the cached incremental-EM
+//!   statistics through their results.
 //!
 //! The iteration state lives in a [`FitState`] behind an `RwLock` for the
-//! duration of the fit: workers take read locks inside jobs, the driver
-//! takes write locks strictly between batches, so the lock is never
-//! contended — it exists to let safe code share the state with the
-//! long-lived workers. [`TdhConfig::n_threads`] controls the shard count;
+//! duration of the fit: jobs take read locks (the `μ` update takes a write
+//! lock for its disjoint range), the driver takes write locks strictly
+//! between batches — the lock exists to let safe code share the state with
+//! the long-lived workers. [`TdhConfig::n_threads`] controls the shard count;
 //! `1` spawns nothing and reproduces the sequential accumulation order
 //! bit-for-bit, and any shard count yields parameters equal up to
 //! FP-summation regrouping (the facade's `parallel_equivalence` and
@@ -45,7 +50,7 @@ use std::time::{Duration, Instant};
 
 use tdh_data::{Dataset, ObservationIndex};
 
-use crate::model::{prior_mean, TdhConfig, TdhModel};
+use crate::model::{prior_mean, TdhConfig, TdhModel, WarmStart};
 use crate::par;
 
 /// Diagnostics from one EM run.
@@ -155,7 +160,8 @@ impl ConvergenceMonitor {
 /// The per-fit iteration state shared between the driver and the pool
 /// workers. Parameters move out of [`TdhModel`] into this struct for the
 /// duration of a fit and back afterwards; workers read it under the lock
-/// during jobs, the driver writes it strictly between batches.
+/// during jobs (the Eq. 9 `μ` jobs write their disjoint object ranges), the
+/// driver writes it strictly between batches.
 struct FitState {
     /// `φ_s = (exact, generalized, wrong)` per source.
     phi: Vec<[f64; 3]>,
@@ -179,6 +185,27 @@ enum EmJob {
         /// The chunk's reusable accumulator buffer.
         acc: EStepAcc,
     },
+    /// Sum the `φ` log-prior terms of Eq. (8) for a chunk of sources at the
+    /// pre-update parameters (runs in the same read-only batch as the
+    /// E-step scans).
+    LogPriorPhi(Range<usize>),
+    /// The `ψ` log-prior terms for a chunk of workers.
+    LogPriorPsi(Range<usize>),
+    /// The `μ` log-prior terms for a chunk of objects.
+    LogPriorMu(Range<usize>),
+    /// The Eq. (9) `μ` update for one chunk of objects: transform the
+    /// chunk's accumulator into the `N_{o,v}` numerators and write the new
+    /// `μ` into the shared state (chunks own disjoint object ranges, so the
+    /// writes never overlap and the result is bit-identical for every
+    /// thread count).
+    MStepMu {
+        /// The chunk's object range (same chunking as its E-step job).
+        range: Range<usize>,
+        /// The chunk's accumulator from this iteration's E-step, returned
+        /// through [`EmOut::MStepMu`] with `acc_mu` transformed into the
+        /// Eq. (9) numerators.
+        acc: EStepAcc,
+    },
     /// Compute the Eq. (10) `φ` update for a chunk of sources.
     MStepPhi(Range<usize>),
     /// Compute the Eq. (11) `ψ` update for a chunk of workers.
@@ -189,6 +216,18 @@ enum EmJob {
 enum EmOut {
     /// The chunk's filled accumulator, handed back for reuse.
     EStep(EStepAcc),
+    /// A partial log-prior sum (merged by the driver in submission order).
+    LogPrior(f64),
+    /// The `μ` update's outputs: the accumulator (its `acc_mu` now holding
+    /// the Eq. (9) numerators `N_{o,v}`, which the driver copies into the
+    /// model's incremental-EM cache before pooling the buffer) and the
+    /// per-object denominators `D_o` for the chunk.
+    MStepMu {
+        /// The chunk's buffer, `acc_mu` transformed into `N_{o,v}`.
+        acc: EStepAcc,
+        /// `D_o` per object of the chunk.
+        d_o: Vec<f64>,
+    },
     /// Updated `φ` values for the job's source range.
     MStepPhi(Vec<[f64; 3]>),
     /// Updated `ψ` values for the job's worker range.
@@ -196,29 +235,105 @@ enum EmOut {
 }
 
 /// The single worker function every pool thread runs: interpret a job
-/// against the shared fit state.
+/// against the shared fit state. Every job takes a read lock except
+/// [`EmJob::MStepMu`], which computes its chunk outside the lock and takes
+/// the write lock only to store its disjoint `μ` range.
 fn em_worker(
     shared: &RwLock<FitState>,
     idx: &ObservationIndex,
     cfg: &TdhConfig,
     job: EmJob,
 ) -> EmOut {
-    let st = shared.read().expect("EM state lock poisoned");
     match job {
         EmJob::EStep { range, mut acc } => {
+            let st = shared.read().expect("EM state lock poisoned");
             acc.reset(&st, &range);
             e_step_chunk(&st, idx, cfg, range, &mut acc);
             EmOut::EStep(acc)
         }
-        EmJob::MStepPhi(range) => EmOut::MStepPhi(m_step_phi_chunk(&st, idx, cfg, range)),
-        EmJob::MStepPsi(range) => EmOut::MStepPsi(m_step_psi_chunk(&st, idx, cfg, range)),
+        EmJob::LogPriorPhi(range) => {
+            let st = shared.read().expect("EM state lock poisoned");
+            let mut sum = 0.0;
+            for phi in &st.phi[range] {
+                for t in 0..3 {
+                    sum += (cfg.alpha[t] - 1.0) * phi[t].max(LOG_FLOOR).ln();
+                }
+            }
+            EmOut::LogPrior(sum)
+        }
+        EmJob::LogPriorPsi(range) => {
+            let st = shared.read().expect("EM state lock poisoned");
+            let mut sum = 0.0;
+            for psi in &st.psi[range] {
+                for t in 0..3 {
+                    sum += (cfg.beta[t] - 1.0) * psi[t].max(LOG_FLOOR).ln();
+                }
+            }
+            EmOut::LogPrior(sum)
+        }
+        EmJob::LogPriorMu(range) => {
+            let st = shared.read().expect("EM state lock poisoned");
+            let mut sum = 0.0;
+            for mu in &st.mu[range] {
+                for &m in mu {
+                    sum += (cfg.gamma - 1.0) * m.max(LOG_FLOOR).ln();
+                }
+            }
+            EmOut::LogPrior(sum)
+        }
+        EmJob::MStepMu { range, mut acc } => {
+            // Eq. (9): per-object, independent of chunking. The numerators
+            // are computed in place (no lock needed — the accumulator is
+            // job-private), then the chunk's μ range is written back under
+            // a short write lock.
+            let mut d_o = Vec::with_capacity(range.len());
+            for (rel, oi) in range.clone().enumerate() {
+                let view = &idx.views()[oi];
+                let k = view.n_candidates();
+                if k == 0 {
+                    d_o.push(0.0);
+                    continue;
+                }
+                let evidence = (view.sources.len() + view.workers.len()) as f64;
+                d_o.push(evidence + k as f64 * (cfg.gamma - 1.0));
+                for n in &mut acc.acc_mu[rel] {
+                    *n += cfg.gamma - 1.0;
+                }
+            }
+            {
+                let mut st = shared.write().expect("EM state lock poisoned");
+                for (rel, oi) in range.clone().enumerate() {
+                    let d = d_o[rel];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    for (slot, n) in st.mu[oi].iter_mut().zip(&acc.acc_mu[rel]) {
+                        *slot = n / d;
+                    }
+                }
+            }
+            EmOut::MStepMu { acc, d_o }
+        }
+        EmJob::MStepPhi(range) => {
+            let st = shared.read().expect("EM state lock poisoned");
+            EmOut::MStepPhi(m_step_phi_chunk(&st, idx, cfg, range))
+        }
+        EmJob::MStepPsi(range) => {
+            let st = shared.read().expect("EM state lock poisoned");
+            EmOut::MStepPsi(m_step_psi_chunk(&st, idx, cfg, range))
+        }
     }
 }
 
-pub(crate) fn run_em(model: &mut TdhModel, ds: &Dataset, idx: &ObservationIndex) -> FitReport {
+pub(crate) fn run_em(
+    model: &mut TdhModel,
+    ds: &Dataset,
+    idx: &ObservationIndex,
+    warm: Option<&WarmStart>,
+) -> FitReport {
     let cfg = *model.config();
     let n_threads = par::effective_threads(cfg.n_threads);
-    initialize(model, ds, idx, &cfg);
+    initialize(model, ds, idx, &cfg, warm);
 
     let shared = RwLock::new(FitState {
         phi: mem::take(&mut model.phi),
@@ -278,8 +393,6 @@ fn em_loop(
         iterations += 1;
         let obj = em_iteration(
             model,
-            idx,
-            cfg,
             shared,
             pool,
             &e_ranges,
@@ -307,8 +420,21 @@ fn em_loop(
 
 /// Initial parameters: priors' means for `φ`/`ψ`, claim-frequency smoothing
 /// for `μ` (a vote-shaped start converges in a handful of iterations and is
-/// deterministic).
-fn initialize(model: &mut TdhModel, ds: &Dataset, idx: &ObservationIndex, cfg: &TdhConfig) {
+/// deterministic). When `warm` is given, the cold values are overwritten
+/// with the previous fit's parameters wherever they apply: `φ`/`ψ` by dense
+/// id prefix (ids are append-only), `μ` by candidate *value* — an object
+/// whose candidate set grew keeps its learned mass on the old candidates,
+/// the inserted ones keep their vote-prior weight, and the row is
+/// renormalized. Objects whose candidate sets are unchanged take the warm
+/// distribution bit-for-bit (no renormalization), so a warm start on
+/// unchanged data resumes exactly at the previous fixed point.
+fn initialize(
+    model: &mut TdhModel,
+    ds: &Dataset,
+    idx: &ObservationIndex,
+    cfg: &TdhConfig,
+    warm: Option<&WarmStart>,
+) {
     model.phi = vec![prior_mean(&cfg.alpha); ds.n_sources()];
     let n_workers = ds.n_workers().max(idx.n_workers());
     model.psi = vec![prior_mean(&cfg.beta); n_workers];
@@ -330,6 +456,37 @@ fn initialize(model: &mut TdhModel, ds: &Dataset, idx: &ObservationIndex, cfg: &
         .collect();
     model.n_ov = vec![Vec::new(); idx.n_objects()];
     model.d_o = vec![0.0; idx.n_objects()];
+
+    let Some(warm) = warm else { return };
+    for (slot, prev) in model.phi.iter_mut().zip(&warm.phi) {
+        *slot = *prev;
+    }
+    for (slot, prev) in model.psi.iter_mut().zip(&warm.psi) {
+        *slot = *prev;
+    }
+    for (oi, prev) in warm.mu.iter().enumerate().take(model.mu.len()) {
+        let view = &idx.views()[oi];
+        let mu = &mut model.mu[oi];
+        let mut missing = 0usize;
+        for (v, slot) in view.candidates.iter().zip(mu.iter_mut()) {
+            match prev.binary_search_by(|&(c, _)| c.cmp(v)) {
+                Ok(p) => *slot = prev[p].1,
+                Err(_) => missing += 1,
+            }
+        }
+        // A grown candidate set mixes warm mass with vote-prior weight for
+        // the new entries; renormalize to keep μ a distribution. When every
+        // candidate was found the row *is* the previous distribution —
+        // leave its bits alone.
+        if missing > 0 && missing < mu.len() {
+            let z: f64 = mu.iter().sum();
+            if z > 0.0 {
+                for x in mu.iter_mut() {
+                    *x /= z;
+                }
+            }
+        }
+    }
 }
 
 /// The relationship-type posterior `(g^1, g^2, g^3)` of Fig. 4 from the
@@ -547,8 +704,6 @@ fn m_step_psi_chunk(
 #[allow(clippy::too_many_arguments)]
 fn em_iteration(
     model: &mut TdhModel,
-    idx: &ObservationIndex,
-    cfg: &TdhConfig,
     shared: &RwLock<FitState>,
     pool: &par::ThreadPool<'_, EmJob, EmOut>,
     e_ranges: &[Range<usize>],
@@ -557,9 +712,12 @@ fn em_iteration(
     acc_pool: &mut Vec<EStepAcc>,
     timings: &mut PhaseTimings,
 ) -> f64 {
-    // --- E-step: per-chunk scans on the pool, merged in fixed chunk order
-    // so the result is deterministic for a given thread count (and
-    // bit-identical to the sequential pass when there is a single chunk).
+    // --- E-step + objective: one read-only batch. The per-chunk E-step
+    // scans are merged in fixed chunk order so the result is deterministic
+    // for a given thread count (and bit-identical to the sequential pass
+    // when there is a single chunk); the Eq. (8) log-prior terms at the
+    // pre-update parameters ride in the same batch as per-array partial
+    // sums, merged in submission order (φ chunks, ψ chunks, μ chunks).
     let t0 = Instant::now();
     let jobs: Vec<EmJob> = e_ranges
         .iter()
@@ -568,17 +726,22 @@ fn em_iteration(
             range: range.clone(),
             acc,
         })
+        .chain(phi_ranges.iter().map(|r| EmJob::LogPriorPhi(r.clone())))
+        .chain(psi_ranges.iter().map(|r| EmJob::LogPriorPsi(r.clone())))
+        .chain(e_ranges.iter().map(|r| EmJob::LogPriorMu(r.clone())))
         .collect();
     let outs = pool
         .run_batch(jobs)
         .unwrap_or_else(|e| panic!("E-step pool failed: {e}"));
-    let e_accs: Vec<EStepAcc> = outs
-        .into_iter()
-        .map(|out| match out {
-            EmOut::EStep(acc) => acc,
-            _ => unreachable!("E-step jobs return accumulators"),
-        })
-        .collect();
+    let mut log_prior = 0.0f64;
+    let mut e_accs: Vec<EStepAcc> = Vec::with_capacity(e_ranges.len());
+    for out in outs {
+        match out {
+            EmOut::EStep(acc) => e_accs.push(acc),
+            EmOut::LogPrior(partial) => log_prior += partial,
+            _ => unreachable!("the E-step batch holds only scans and log-priors"),
+        }
+    }
 
     let obj = {
         let mut st = shared.write().expect("EM state lock poisoned");
@@ -603,59 +766,24 @@ fn em_iteration(
             }
             log_lik += chunk.log_lik;
         }
-
-        // Log-priors (up to constants) at the pre-update parameters,
-        // completing Eq. (8).
-        let mut log_prior = 0.0;
-        for phi in &st.phi {
-            for t in 0..3 {
-                log_prior += (cfg.alpha[t] - 1.0) * phi[t].max(LOG_FLOOR).ln();
-            }
-        }
-        for psi in &st.psi {
-            for t in 0..3 {
-                log_prior += (cfg.beta[t] - 1.0) * psi[t].max(LOG_FLOOR).ln();
-            }
-        }
-        for mu in &st.mu {
-            for &m in mu {
-                log_prior += (cfg.gamma - 1.0) * m.max(LOG_FLOOR).ln();
-            }
-        }
         log_lik + log_prior
     };
     timings.e_step += t0.elapsed();
 
-    // --- M-step: Eq. (9) on the driver, Eq. (10)/(11) on the pool. ---
+    // --- M-step: Eq. (9)/(10)/(11) all as pool jobs. The μ jobs reuse the
+    // chunk accumulators (transforming them into the Eq. 9 numerators) and
+    // write their disjoint μ ranges directly; the φ/ψ jobs read only the
+    // merged accumulators, so every update is bit-identical regardless of
+    // how entities are chunked. ---
     let t1 = Instant::now();
-    {
-        let mut st = shared.write().expect("EM state lock poisoned");
-        for (range, acc) in e_ranges.iter().zip(&e_accs) {
-            for oi in range.clone() {
-                let view = &idx.views()[oi];
-                let k = view.n_candidates();
-                if k == 0 {
-                    continue;
-                }
-                let evidence = (view.sources.len() + view.workers.len()) as f64;
-                let d = evidence + k as f64 * (cfg.gamma - 1.0);
-                let n_ov = &mut model.n_ov[oi];
-                n_ov.clear();
-                n_ov.extend((0..k).map(|v| acc.acc_mu[oi - range.start][v] + cfg.gamma - 1.0));
-                for v in 0..k {
-                    st.mu[oi][v] = n_ov[v] / d;
-                }
-                model.d_o[oi] = d;
-            }
-        }
-    }
-    // Hand the chunk buffers back to the pool slots (order preserved:
-    // results arrive in submission order, so slot i stays chunk i's buffer).
-    acc_pool.extend(e_accs);
-
-    let m_jobs: Vec<EmJob> = phi_ranges
+    let m_jobs: Vec<EmJob> = e_ranges
         .iter()
-        .map(|r| EmJob::MStepPhi(r.clone()))
+        .zip(e_accs)
+        .map(|(range, acc)| EmJob::MStepMu {
+            range: range.clone(),
+            acc,
+        })
+        .chain(phi_ranges.iter().map(|r| EmJob::MStepPhi(r.clone())))
         .chain(psi_ranges.iter().map(|r| EmJob::MStepPsi(r.clone())))
         .collect();
     let m_outs = pool
@@ -664,10 +792,31 @@ fn em_iteration(
     {
         let mut st = shared.write().expect("EM state lock poisoned");
         let mut outs = m_outs.into_iter();
+        for range in e_ranges {
+            match outs.next() {
+                Some(EmOut::MStepMu { acc, d_o }) => {
+                    // Refresh the incremental-EM cache from the chunk's
+                    // outputs, then pool the buffer for the next iteration
+                    // (order preserved: results arrive in submission order,
+                    // so slot i stays chunk i's buffer).
+                    for (rel, oi) in range.clone().enumerate() {
+                        if d_o[rel] == 0.0 {
+                            continue;
+                        }
+                        let n_ov = &mut model.n_ov[oi];
+                        n_ov.clear();
+                        n_ov.extend_from_slice(&acc.acc_mu[rel]);
+                        model.d_o[oi] = d_o[rel];
+                    }
+                    acc_pool.push(acc);
+                }
+                _ => unreachable!("μ jobs open the M-step batch"),
+            }
+        }
         for range in phi_ranges {
             match outs.next() {
                 Some(EmOut::MStepPhi(vals)) => st.phi[range.clone()].copy_from_slice(&vals),
-                _ => unreachable!("φ jobs precede ψ jobs in the M-step batch"),
+                _ => unreachable!("φ jobs follow the μ jobs"),
             }
         }
         for range in psi_ranges {
@@ -1064,6 +1213,106 @@ mod tests {
         // fixed merge order leave no room for scheduling nondeterminism.
         assert_eq!(est1, est2);
         assert_eq!(rep1, rep2);
+    }
+
+    #[test]
+    fn warm_refit_converges_in_fewer_iterations() {
+        let ds = corpus();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        let cold_iters = model.fit_report().unwrap().iterations;
+        assert!(cold_iters > 2, "corpus should take a few cold iterations");
+        // Same model, same data: the refit resumes at the fixed point and
+        // the plateau detector fires almost immediately.
+        let warm_est = model.fit(&ds);
+        let warm_iters = model.fit_report().unwrap().iterations;
+        assert!(
+            warm_iters < cold_iters,
+            "warm refit took {warm_iters} iterations vs {cold_iters} cold"
+        );
+        for o in ds.objects() {
+            assert_eq!(warm_est.truths[o.index()], ds.gold(o), "object {o:?}");
+        }
+    }
+
+    #[test]
+    fn warm_start_disabled_repeats_the_cold_fit_bitwise() {
+        let ds = corpus();
+        let mut model = TdhModel::new(TdhConfig {
+            warm_start: false,
+            ..Default::default()
+        });
+        let est1 = model.fit(&ds);
+        let rep1 = model.fit_report().unwrap().clone();
+        let est2 = model.fit(&ds);
+        let rep2 = model.fit_report().unwrap().clone();
+        assert_eq!(est1, est2, "cold refits must be history-free");
+        assert_eq!(rep1, rep2);
+    }
+
+    #[test]
+    fn warm_start_maps_grown_candidate_sets_by_value() {
+        // Fit, then let a new source claim a brand-new candidate for every
+        // object: the warm μ must survive the candidate-index shift.
+        let mut ds = corpus();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        let idx = ObservationIndex::build(&ds);
+        let warm = model.warm_start_params(&idx).expect("fitted");
+        let newcomer = ds.intern_source("newcomer");
+        let objects: Vec<_> = ds.objects().collect();
+        for (i, o) in objects.iter().enumerate() {
+            let v = ds
+                .hierarchy()
+                .node_by_name(&format!("C{}R{}T{}", (i + 2) % 6, i % 4, (i + 1) % 4))
+                .unwrap();
+            ds.add_record(*o, newcomer, v);
+        }
+        let est = model.fit_from(&ds, &warm);
+        let rep = model.fit_report().unwrap();
+        assert!(rep.converged, "warm refit over grown candidates converges");
+        // Two good sources + hierarchy support still beat one new claim.
+        let mut correct = 0;
+        for o in ds.objects() {
+            if est.truths[o.index()] == ds.gold(o) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 38, "truths survive the batch: {correct}/40");
+    }
+
+    #[test]
+    fn unfitted_model_exports_no_warm_start() {
+        let ds = corpus();
+        let idx = ObservationIndex::build(&ds);
+        let model = TdhModel::new(TdhConfig::default());
+        assert!(model.warm_start_params(&idx).is_none());
+    }
+
+    #[test]
+    fn restored_model_reproduces_cached_statistics() {
+        let ds = corpus();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        let idx = ObservationIndex::build(&ds);
+        let restored = TdhModel::restore(
+            *model.config(),
+            &idx,
+            model.phi_table().to_vec(),
+            model.psi_table().to_vec(),
+            model.mu_table().to_vec(),
+        );
+        assert_eq!(restored.phi_table(), model.phi_table());
+        assert_eq!(restored.mu_table(), model.mu_table());
+        // The rebuilt N_{o,v}/D_o agree with the fit's cache (μ = N/D holds
+        // exactly on both sides).
+        for (oi, mu) in restored.mu.iter().enumerate() {
+            assert_eq!(restored.d_o[oi], model.d_o[oi], "D_o[{oi}]");
+            for (v, &m) in mu.iter().enumerate() {
+                let recon = restored.n_ov[oi][v] / restored.d_o[oi];
+                assert!((m - recon).abs() < 1e-12);
+            }
+        }
     }
 
     proptest! {

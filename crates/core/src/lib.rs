@@ -43,7 +43,7 @@ mod traits;
 
 pub use assign::{assign_exhaustive, eai, ueai, EaiAssigner};
 pub use em::{FitReport, PhaseTimings};
-pub use model::{AblationFlags, TdhConfig, TdhModel};
+pub use model::{AblationFlags, TdhConfig, TdhModel, WarmStart};
 pub use traits::{
     Assignment, ProbabilisticCrowdModel, TaskAssigner, TruthDiscovery, TruthEstimate,
 };

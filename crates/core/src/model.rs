@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use tdh_data::{Dataset, ObjectId, ObjectView, ObservationIndex, WorkerId};
+use tdh_hierarchy::NodeId;
 
 use crate::em;
 use crate::par;
@@ -72,6 +73,19 @@ pub struct TdhConfig {
     /// repeated runs are bit-identical to each other and agree with the
     /// sequential path up to FP-summation regrouping (see [`crate::par`]).
     pub n_threads: usize,
+    /// When `true` (the default), a refit of an already-fitted model seeds
+    /// `φ`/`ψ`/`μ` from the previous fit instead of the cold prior/vote
+    /// initialization, so growing workloads (crowdsourcing rounds, the
+    /// `tdh-serve` ingestion loop) converge in a handful of EM iterations
+    /// instead of re-deriving the posterior from scratch. Previous `μ`
+    /// values are carried over **by candidate value**, so objects whose
+    /// candidate sets grew between fits keep their learned mass and only
+    /// the new candidates start from the vote prior. The *first* fit of a
+    /// model is always cold, and both starts converge to the same EM fixed
+    /// point on unchanged data (pinned by `tests/warm_start_equivalence.rs`).
+    /// Set to `false` to force every fit cold (bit-reproducible independent
+    /// of fit history).
+    pub warm_start: bool,
 }
 
 impl Default for TdhConfig {
@@ -84,8 +98,30 @@ impl Default for TdhConfig {
             tol: 1e-6,
             ablation: AblationFlags::default(),
             n_threads: 0,
+            warm_start: true,
         }
     }
+}
+
+/// Fitted parameters exported in a *portable* form: `μ` entries are keyed by
+/// candidate **value** (not candidate index), so they survive dataset growth
+/// — a refit after new claims arrive can map each object's learned mass onto
+/// the new candidate ordering even when fresh candidates were inserted in
+/// the middle of the sorted candidate set.
+///
+/// Produced by [`TdhModel::warm_start_params`], consumed by
+/// [`TdhModel::fit_from`] / [`TdhModel::infer_from`] and serialized by the
+/// `tdh-serve` snapshot store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// `φ_s` per source, indexed by [`tdh_data::SourceId`] (dense ids are
+    /// append-only, so old indices stay valid as the universe grows).
+    pub phi: Vec<[f64; 3]>,
+    /// `ψ_w` per worker.
+    pub psi: Vec<[f64; 3]>,
+    /// Per object: `(candidate value, μ)` pairs in the fitted candidate
+    /// order (sorted by node id).
+    pub mu: Vec<Vec<(NodeId, f64)>>,
 }
 
 /// The fitted TDH model.
@@ -113,6 +149,10 @@ pub struct TdhModel {
     pub(crate) last_fit: Option<em::FitReport>,
     /// Per-phase wall-clock timings of the last run.
     pub(crate) last_timings: Option<em::PhaseTimings>,
+    /// Parameters of the previous fit, retained when
+    /// [`TdhConfig::warm_start`] is on so the next [`TruthDiscovery::infer`]
+    /// resumes from them instead of starting cold.
+    pub(crate) prev: Option<WarmStart>,
 }
 
 impl TdhModel {
@@ -127,6 +167,7 @@ impl TdhModel {
             d_o: Vec::new(),
             last_fit: None,
             last_timings: None,
+            prev: None,
         }
     }
 
@@ -146,6 +187,179 @@ impl TdhModel {
             t.index_build = index_build;
         }
         est
+    }
+
+    /// [`TdhModel::fit`], but **warm-started**: EM is seeded from `warm`
+    /// (typically the previous fit's [`TdhModel::warm_start_params`], or a
+    /// snapshot's persisted parameters) instead of the cold prior/vote
+    /// initialization. Sources, workers, objects and candidates absent from
+    /// `warm` fall back to their cold initialization; `μ` mass is mapped by
+    /// candidate value and renormalized only where the candidate set grew.
+    ///
+    /// On unchanged data this converges to the same truths and (within
+    /// FP-tolerance) the same parameters as a cold fit — in far fewer
+    /// iterations; see `FitReport::iterations` for the count.
+    pub fn fit_from(&mut self, ds: &Dataset, warm: &WarmStart) -> TruthEstimate {
+        let t0 = Instant::now();
+        let idx = ObservationIndex::build_threaded(ds, par::effective_threads(self.cfg.n_threads));
+        let index_build = t0.elapsed();
+        let est = self.infer_from(ds, &idx, warm);
+        if let Some(t) = &mut self.last_timings {
+            t.index_build = index_build;
+        }
+        est
+    }
+
+    /// [`TdhModel::fit_from`] with a caller-supplied (already current)
+    /// observation index.
+    pub fn infer_from(
+        &mut self,
+        ds: &Dataset,
+        idx: &ObservationIndex,
+        warm: &WarmStart,
+    ) -> TruthEstimate {
+        let report = em::run_em(self, ds, idx, Some(warm));
+        self.finish_estimate(idx, report)
+    }
+
+    /// Export the fitted parameters in the portable, candidate-value-keyed
+    /// form [`TdhModel::fit_from`] and the `tdh-serve` snapshot store
+    /// consume. `idx` must be the index the model was fitted against (it
+    /// supplies the candidate values `μ` is aligned with). Returns `None`
+    /// when the model's parameter shapes do not match `idx` — i.e. the
+    /// model was never fitted, or was fitted against a different corpus.
+    pub fn warm_start_params(&self, idx: &ObservationIndex) -> Option<WarmStart> {
+        if self.mu.len() != idx.n_objects() || self.phi.len() != idx.n_sources() {
+            return None;
+        }
+        let mu = self
+            .mu
+            .iter()
+            .zip(idx.views())
+            .map(|(mu, view)| {
+                if mu.len() != view.n_candidates() {
+                    return None;
+                }
+                Some(
+                    view.candidates
+                        .iter()
+                        .zip(mu)
+                        .map(|(&c, &m)| (c, m))
+                        .collect(),
+                )
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(WarmStart {
+            phi: self.phi.clone(),
+            psi: self.psi.clone(),
+            mu,
+        })
+    }
+
+    /// Reconstruct a fitted model from persisted parameters without running
+    /// EM: `phi`/`psi`/`mu` as exported by a previous fit, aligned with
+    /// `idx` (the index built from the same dataset the parameters were
+    /// fitted on). The cached incremental-EM statistics (`N_{o,v}`, `D_o`)
+    /// are rebuilt from the Eq. (9) identities `D_o = |S_o| + |W_o| +
+    /// |V_o|(γ−1)` and `N_{o,v} = μ_{o,v} · D_o`, so
+    /// [`TdhModel::posterior_given_answer`] works immediately. The restored
+    /// model carries no [`TdhModel::fit_report`] (no EM ran), and its next
+    /// [`TruthDiscovery::infer`] warm-starts from the restored parameters
+    /// when [`TdhConfig::warm_start`] is on.
+    ///
+    /// # Panics
+    /// Panics if the parameter shapes do not match `idx` (callers such as
+    /// the `tdh-serve` snapshot loader validate shapes while parsing).
+    pub fn restore(
+        cfg: TdhConfig,
+        idx: &ObservationIndex,
+        phi: Vec<[f64; 3]>,
+        psi: Vec<[f64; 3]>,
+        mu: Vec<Vec<f64>>,
+    ) -> TdhModel {
+        assert_eq!(
+            phi.len(),
+            idx.n_sources(),
+            "φ table must cover every source"
+        );
+        assert_eq!(
+            psi.len(),
+            idx.n_workers(),
+            "ψ table must cover every worker"
+        );
+        assert_eq!(mu.len(), idx.n_objects(), "μ table must cover every object");
+        let mut n_ov = Vec::with_capacity(idx.n_objects());
+        let mut d_o = Vec::with_capacity(idx.n_objects());
+        for (m, view) in mu.iter().zip(idx.views()) {
+            let k = view.n_candidates();
+            assert_eq!(m.len(), k, "μ row must match the candidate set");
+            if k == 0 {
+                n_ov.push(Vec::new());
+                d_o.push(0.0);
+                continue;
+            }
+            let evidence = (view.sources.len() + view.workers.len()) as f64;
+            let d = evidence + k as f64 * (cfg.gamma - 1.0);
+            n_ov.push(m.iter().map(|x| x * d).collect());
+            d_o.push(d);
+        }
+        let mut model = TdhModel {
+            cfg,
+            phi,
+            psi,
+            mu,
+            n_ov,
+            d_o,
+            last_fit: None,
+            last_timings: None,
+            prev: None,
+        };
+        model.prev = model.warm_start_params(idx);
+        model
+    }
+
+    /// Finalize one EM run: record the report, retain the parameters for
+    /// the next warm start, and assemble the estimate.
+    fn finish_estimate(&mut self, idx: &ObservationIndex, report: em::FitReport) -> TruthEstimate {
+        self.last_fit = Some(report);
+        self.prev = if self.cfg.warm_start {
+            self.warm_start_params(idx)
+        } else {
+            None
+        };
+        let truths = self
+            .mu
+            .iter()
+            .enumerate()
+            .map(|(o, mu)| argmax(mu).map(|i| idx.view(ObjectId::from_index(o)).candidates[i]))
+            .collect();
+        TruthEstimate {
+            truths,
+            confidences: self.mu.clone(),
+        }
+    }
+
+    /// `true` when the next [`TruthDiscovery::infer`] will seed EM from
+    /// previous parameters (warm starts are enabled and a previous fit or
+    /// [`TdhModel::restore`] left parameters behind).
+    pub fn has_warm_start(&self) -> bool {
+        self.cfg.warm_start && self.prev.is_some()
+    }
+
+    /// The fitted `φ` table, one row per source.
+    pub fn phi_table(&self) -> &[[f64; 3]] {
+        &self.phi
+    }
+
+    /// The fitted `ψ` table, one row per worker.
+    pub fn psi_table(&self) -> &[[f64; 3]] {
+        &self.psi
+    }
+
+    /// The fitted `μ` table, one row per object (aligned with the fitted
+    /// index's candidate order).
+    pub fn mu_table(&self) -> &[Vec<f64>] {
+        &self.mu
     }
 
     /// `φ_s` for source `s` (after fitting).
@@ -313,18 +527,15 @@ impl TruthDiscovery for TdhModel {
     }
 
     fn infer(&mut self, ds: &Dataset, idx: &ObservationIndex) -> TruthEstimate {
-        let report = em::run_em(self, ds, idx);
-        self.last_fit = Some(report);
-        let truths = self
-            .mu
-            .iter()
-            .enumerate()
-            .map(|(o, mu)| argmax(mu).map(|i| idx.view(ObjectId::from_index(o)).candidates[i]))
-            .collect();
-        TruthEstimate {
-            truths,
-            confidences: self.mu.clone(),
-        }
+        // A refit resumes from the previous fit's parameters when warm
+        // starts are on; the first fit of a model is always cold.
+        let warm = if self.cfg.warm_start {
+            self.prev.take()
+        } else {
+            None
+        };
+        let report = em::run_em(self, ds, idx, warm.as_ref());
+        self.finish_estimate(idx, report)
     }
 }
 

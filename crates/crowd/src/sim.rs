@@ -21,7 +21,11 @@ pub struct SimulationConfig {
     /// is field-for-field identical to the sequential one, so this knob
     /// never changes campaign results. Per-round *inference* threading
     /// rides on the model's own configuration (each TDH fit spawns one
-    /// persistent pool and reuses it across its EM iterations).
+    /// persistent pool and reuses it across its EM iterations), as does
+    /// round-to-round **warm starting**: with `TdhConfig::warm_start` on
+    /// (the default), every round after the first seeds EM from the
+    /// previous round's posterior, so per-round fits converge in a
+    /// handful of iterations instead of refitting cold.
     pub n_threads: usize,
 }
 
@@ -311,6 +315,37 @@ mod tests {
         );
         assert_eq!(par.rounds.len(), 4);
         assert!(par.final_accuracy() >= par.rounds[0].report.accuracy - 0.05);
+    }
+
+    #[test]
+    fn rounds_warm_start_instead_of_refitting_cold() {
+        // ROADMAP PR-3 follow-up: the per-round `model.infer` used to refit
+        // cold every round. With warm starts on (the default TdhConfig),
+        // the last round's fit must resume from the previous posterior and
+        // converge in fewer iterations than a cold fit of the same data.
+        let mut ds = small_corpus(5);
+        let mut pool = WorkerPool::uniform(&mut ds, 8, 0.8, 5);
+        let mut model = TdhModel::new(TdhConfig::default());
+        let mut assigner = EaiAssigner::new();
+        let cfg = SimulationConfig {
+            rounds: 4,
+            tasks_per_worker: 5,
+            ..Default::default()
+        };
+        run_simulation(&mut ds, &mut model, &mut assigner, &mut pool, &cfg);
+        let warm_iters = model.fit_report().expect("rounds ran").iterations;
+
+        // Cold reference on the final dataset (same records + answers).
+        let mut cold = TdhModel::new(TdhConfig {
+            warm_start: false,
+            ..Default::default()
+        });
+        cold.fit(&ds);
+        let cold_iters = cold.fit_report().unwrap().iterations;
+        assert!(
+            warm_iters < cold_iters,
+            "last round ran {warm_iters} EM iterations, cold fit {cold_iters}"
+        );
     }
 
     #[test]

@@ -123,6 +123,16 @@ impl Dataset {
         self.object_by_name.get(name).copied()
     }
 
+    /// Look a source up by name.
+    pub fn source_by_name(&self, name: &str) -> Option<SourceId> {
+        self.source_by_name.get(name).copied()
+    }
+
+    /// Look a worker up by name.
+    pub fn worker_by_name(&self, name: &str) -> Option<WorkerId> {
+        self.worker_by_name.get(name).copied()
+    }
+
     /// Append a record `(o, s, v)`.
     ///
     /// # Panics

@@ -314,6 +314,134 @@ impl ObservationIndex {
         }
     }
 
+    /// Append every record and answer `ds` gained since this index was last
+    /// in sync with it: `ds.records()[n_prev_records..]` and
+    /// `ds.answers()[n_prev_answers..]`, in dataset order.
+    ///
+    /// This is the online-ingestion path used by `tdh-serve`: instead of a
+    /// full [`ObservationIndex::build`] over the grown dataset, the index is
+    /// updated **in place** — new objects/sources enter with empty views and
+    /// incidence lists, and a record claiming a value the object has never
+    /// seen inserts the new candidate into the sorted candidate set,
+    /// remapping every stored candidate index (`S_o`/`W_o` pairs, the
+    /// `O_s`/`O_w` incidence lists and the popularity counts) and recomputing
+    /// the object's ancestor/descendant sets and `O_H` membership. The result
+    /// is **field-for-field identical** to rebuilding from scratch (pinned
+    /// by the `index_append` property suite).
+    ///
+    /// Candidate insertion costs `O(|V_o|^2)` for the ancestor rescan plus
+    /// `O(Σ_{s ∈ S_o} |O_s|)` for the incidence remap — proportional to the
+    /// evidence touching the one affected object, never to the corpus.
+    ///
+    /// # Panics
+    /// Panics if an appended answer's value is not among its object's
+    /// candidates after the batch's records were applied (workers select
+    /// from `V_o` by problem definition, §2.1), or if `n_prev_records` /
+    /// `n_prev_answers` exceed the dataset's current counts.
+    pub fn append_from(&mut self, ds: &Dataset, n_prev_records: usize, n_prev_answers: usize) {
+        // New entities enter empty; ids are dense and append-only, so
+        // resizing to the dataset's universe is all that is needed.
+        if self.views.len() < ds.n_objects() {
+            self.views.resize_with(ds.n_objects(), || ObjectView {
+                candidates: Vec::new(),
+                sources: Vec::new(),
+                workers: Vec::new(),
+                ancestors: Vec::new(),
+                descendants: Vec::new(),
+                in_oh: false,
+                source_count: Vec::new(),
+                worker_count: Vec::new(),
+            });
+        }
+        if self.by_source.len() < ds.n_sources() {
+            self.by_source.resize(ds.n_sources(), Vec::new());
+        }
+        if self.by_worker.len() < ds.n_workers() {
+            self.by_worker.resize(ds.n_workers(), Vec::new());
+        }
+        for r in &ds.records()[n_prev_records..] {
+            self.push_record(ds.hierarchy(), *r);
+        }
+        for a in &ds.answers()[n_prev_answers..] {
+            self.push_answer(*a);
+        }
+    }
+
+    /// Append one record, extending the object's candidate set when the
+    /// claimed value is new.
+    fn push_record(&mut self, h: &Hierarchy, r: Record) {
+        let idx = match self.views[r.object.index()].cand_index(r.value) {
+            Some(i) => i,
+            None => self.insert_candidate(h, r.object, r.value),
+        };
+        let view = &mut self.views[r.object.index()];
+        view.sources.push((r.source, idx));
+        view.source_count[idx as usize] += 1;
+        self.by_source[r.source.index()].push((r.object, idx));
+    }
+
+    /// Insert a never-claimed value into `o`'s sorted candidate set and
+    /// remap every candidate index that referred to the old ordering.
+    /// Returns the new value's candidate index.
+    fn insert_candidate(&mut self, h: &Hierarchy, o: ObjectId, v: NodeId) -> u32 {
+        let view = &mut self.views[o.index()];
+        let pos = view
+            .candidates
+            .binary_search(&v)
+            .expect_err("caller checked the value is new");
+        let pos32 = pos as u32;
+        view.candidates.insert(pos, v);
+        view.source_count.insert(pos, 0);
+        view.worker_count.insert(pos, 0);
+        for (_, i) in &mut view.sources {
+            if *i >= pos32 {
+                *i += 1;
+            }
+        }
+        for (_, i) in &mut view.workers {
+            if *i >= pos32 {
+                *i += 1;
+            }
+        }
+        // The ancestor/descendant sets are functions of the candidate set;
+        // recompute them exactly as the full build does.
+        let k = view.candidates.len();
+        view.ancestors = vec![Vec::new(); k];
+        view.descendants = vec![Vec::new(); k];
+        for i in 0..k {
+            for j in 0..k {
+                if i != j && h.is_strict_ancestor(view.candidates[j], view.candidates[i]) {
+                    view.ancestors[i].push(j as u32);
+                    view.descendants[j].push(i as u32);
+                }
+            }
+        }
+        view.in_oh = view.ancestors.iter().any(|a| !a.is_empty());
+        // Remap the inverse incidence entries pointing at this object. Only
+        // sources/workers that touched `o` can hold stale indices.
+        let mut sources: Vec<SourceId> = view.sources.iter().map(|&(s, _)| s).collect();
+        sources.sort_unstable_by_key(|s| s.index());
+        sources.dedup();
+        let mut workers: Vec<WorkerId> = view.workers.iter().map(|&(w, _)| w).collect();
+        workers.sort_unstable_by_key(|w| w.index());
+        workers.dedup();
+        for s in sources {
+            for (obj, i) in &mut self.by_source[s.index()] {
+                if *obj == o && *i >= pos32 {
+                    *i += 1;
+                }
+            }
+        }
+        for w in workers {
+            for (obj, i) in &mut self.by_worker[w.index()] {
+                if *obj == o && *i >= pos32 {
+                    *i += 1;
+                }
+            }
+        }
+        pos32
+    }
+
     /// Record a fresh crowdsourcing answer, updating `W_o`, `O_w`, the
     /// per-candidate worker counts and the assignment bookkeeping.
     ///

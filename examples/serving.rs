@@ -1,0 +1,108 @@
+//! Online truth serving: fit a corpus once, snapshot it to disk, bring a
+//! fresh server up from the snapshot, then stream two claim batches through
+//! the incremental engine and watch answers and reliabilities move.
+//!
+//! Run with: `cargo run --example serving`
+
+use tdh::core::TdhConfig;
+use tdh::data::{ObjectId, SourceId};
+use tdh::datagen::{generate_birthplaces, BirthPlacesConfig};
+use tdh::serve::{Claim, RefitPolicy, Snapshot, TruthServer};
+
+fn record(object: &str, source: &str, value: &str) -> Claim {
+    Claim::Record {
+        object: object.into(),
+        source: source.into(),
+        value: value.into(),
+    }
+}
+
+fn main() {
+    // --- Build and fit a corpus, then persist it. -----------------------
+    let cfg = BirthPlacesConfig {
+        n_objects: 300,
+        hierarchy_nodes: 500,
+    };
+    let corpus = generate_birthplaces(&cfg, 2019);
+    let ds = corpus.dataset;
+    let watched = ds.object_name(ObjectId(0)).to_string();
+    let known_source = ds.source_name(SourceId(0)).to_string();
+
+    let server = TruthServer::new(ds, TdhConfig::default(), RefitPolicy::EveryBatch);
+    let bootstrap = server.last_refit().unwrap();
+    println!(
+        "bootstrap fit: {} EM iterations (cold) over {} records",
+        bootstrap.iterations,
+        server.stats().n_records
+    );
+
+    let dir = std::env::temp_dir().join("tdh-serving-example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("birthplaces.tdhsnap");
+    server.snapshot().save(&path).expect("save snapshot");
+    println!(
+        "snapshot saved to {path:?} ({} bytes)",
+        std::fs::metadata(&path).unwrap().len()
+    );
+
+    // --- A fresh process: reload and serve without refitting. -----------
+    let snap = Snapshot::load(&path).expect("load snapshot");
+    let mut server = TruthServer::from_snapshot(snap, RefitPolicy::EveryBatch).expect("restore");
+    let before = server.truth(&watched).expect("restored answer");
+    println!(
+        "\nrestored server answers immediately (0 refits): \
+         truth({watched}) = {} (confidence {:.3})",
+        before.value, before.confidence
+    );
+
+    // --- Batch 1: corroborate the current truth of the watched object. --
+    let batch1 = vec![
+        record(&watched, "corroborator", &before.value),
+        record(&watched, &known_source, &before.value),
+    ];
+    let report = server.ingest(&batch1).expect("batch 1");
+    let refit = report.refit.expect("EveryBatch refits");
+    println!(
+        "\nbatch 1: +{} records → warm refit in {} EM iterations \
+         (vs {} cold at bootstrap)",
+        report.appended_records, refit.iterations, bootstrap.iterations
+    );
+    let after1 = server.truth(&watched).unwrap();
+    println!(
+        "truth({watched}) = {} (confidence {:.3} → {:.3})",
+        after1.value, before.confidence, after1.confidence
+    );
+
+    // --- Batch 2: a brand-new object enters the corpus online. ----------
+    let batch2 = vec![
+        record("louvre", "corroborator", &before.value),
+        record("louvre", &known_source, &before.value),
+    ];
+    let report = server.ingest(&batch2).expect("batch 2");
+    println!(
+        "\nbatch 2: new object 'louvre' → warm refit in {} iterations",
+        report.refit.unwrap().iterations
+    );
+    let louvre = server.truth("louvre").unwrap();
+    println!(
+        "truth(louvre) = {} (confidence {:.3})",
+        louvre.value, louvre.confidence
+    );
+    let phi = server.source_reliability("corroborator").unwrap();
+    println!(
+        "reliability(corroborator): φ = [{:.3}, {:.3}, {:.3}]",
+        phi[0], phi[1], phi[2]
+    );
+
+    println!("\nmost uncertain objects now:");
+    for (object, uncertainty) in server.top_uncertain(3) {
+        println!("  {object}: {uncertainty:.4}");
+    }
+
+    let stats = server.stats();
+    println!(
+        "\nserver stats: {} objects, {} records, {} batches, {} refits",
+        stats.n_objects, stats.n_records, stats.batches, stats.refits
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

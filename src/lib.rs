@@ -17,6 +17,7 @@
 //! | [`crowd`] | the crowdsourcing simulation engine and worker models |
 //! | [`datagen`] | synthetic corpora calibrated to the paper's datasets |
 //! | [`eval`] | Accuracy, GenAccuracy, AvgDistance, multi-truth P/R/F1, MAE/RE |
+//! | [`serve`] | online truth serving: snapshots, incremental ingestion, warm-start refits, query endpoints |
 //!
 //! ## Quickstart
 //!
@@ -46,3 +47,4 @@ pub use tdh_data as data;
 pub use tdh_datagen as datagen;
 pub use tdh_eval as eval;
 pub use tdh_hierarchy as hierarchy;
+pub use tdh_serve as serve;

@@ -1,0 +1,110 @@
+//! End-to-end serve smoke test, mirroring the CI leg: fit → snapshot to
+//! disk → load into a fresh server → stream claim batches through the
+//! incremental engine → warm refit → query (in-process and over TCP).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use tdh::core::TdhConfig;
+use tdh::datagen::{generate_birthplaces, BirthPlacesConfig};
+use tdh::serve::{serve_tcp, Claim, RefitPolicy, Snapshot, TruthServer};
+
+fn record(object: &str, source: &str, value: &str) -> Claim {
+    Claim::Record {
+        object: object.into(),
+        source: source.into(),
+        value: value.into(),
+    }
+}
+
+#[test]
+fn save_load_append_refit_query() {
+    let cfg = BirthPlacesConfig {
+        n_objects: 150,
+        hierarchy_nodes: 300,
+    };
+    let ds = generate_birthplaces(&cfg, 21).dataset;
+    let first_obj = ds.object_name(tdh::data::ObjectId(0)).to_string();
+    let a_source = ds.source_name(tdh::data::SourceId(0)).to_string();
+
+    // Fit, snapshot to disk.
+    let server = TruthServer::new(ds, TdhConfig::default(), RefitPolicy::EveryBatch);
+    let bootstrap_iters = server.last_refit().unwrap().iterations;
+    let before = server.truth(&first_obj).expect("fitted");
+    let dir = std::env::temp_dir().join("tdh-serving-loop-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fitted.tdhsnap");
+    server.snapshot().save(&path).unwrap();
+
+    // Load into a fresh server: answers identical, no refit needed.
+    let snap = Snapshot::load(&path).unwrap();
+    let mut restored = TruthServer::from_snapshot(snap, RefitPolicy::EveryBatch).unwrap();
+    assert_eq!(restored.truth(&first_obj), Some(before.clone()));
+    assert_eq!(restored.stats().refits, 0);
+
+    // Stream a claim batch: a brand-new object backed by a known source,
+    // plus extra support for an existing object.
+    let value_path_tail = before.value.clone();
+    let report = restored
+        .ingest(&[
+            record("fresh-object", &a_source, &value_path_tail),
+            record("fresh-object", "fresh-source", &value_path_tail),
+            record(&first_obj, "fresh-source", &value_path_tail),
+        ])
+        .unwrap();
+    assert_eq!(report.appended_records, 3);
+    let refit = report.refit.expect("EveryBatch refits");
+    assert!(refit.warm, "refit must warm-start from the snapshot params");
+    assert!(
+        refit.iterations < bootstrap_iters,
+        "warm refit ({} iters) must beat the bootstrap fit ({bootstrap_iters})",
+        refit.iterations
+    );
+
+    // Queries reflect the batch.
+    let fresh = restored.truth("fresh-object").expect("ingested object");
+    assert_eq!(fresh.value, value_path_tail);
+    assert!(restored.source_reliability("fresh-source").is_some());
+    assert!(!restored.top_uncertain(5).is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_round_trip_against_a_generated_corpus() {
+    let cfg = BirthPlacesConfig {
+        n_objects: 60,
+        hierarchy_nodes: 150,
+    };
+    let ds = generate_birthplaces(&cfg, 22).dataset;
+    let object = ds.object_name(tdh::data::ObjectId(3)).to_string();
+    let server = TruthServer::new(ds, TdhConfig::default(), RefitPolicy::EveryBatch);
+    let expected = server.truth(&object).unwrap();
+
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("bind ephemeral port");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut ask = |line: &str| -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim().to_string()
+    };
+
+    let reply = ask(&format!("TRUTH\t{object}"));
+    assert!(
+        reply.contains(&format!("\"confidence\":{}", expected.confidence)),
+        "served confidence must match in-process answer: {reply}"
+    );
+    let stats = ask("STATS");
+    assert!(stats.contains("\"objects\":60"), "{stats}");
+    let topk = ask("TOPK\t3");
+    assert!(topk.contains("\"uncertainty\":"), "{topk}");
+
+    drop(writer);
+    drop(reader);
+    let shared = handle.shutdown();
+    assert!(shared.lock().unwrap().truth(&object).is_some());
+}

@@ -1,0 +1,176 @@
+//! Warm-start contract: on **unchanged data**, a warm-started fit converges
+//! to the same truths as a cold fit — in fewer EM iterations — and to the
+//! same parameters within 1e-9. The parameter comparison drives both fits
+//! to the numerical fixed point (`tol = 0`, exhausting `max_iters`): the
+//! default objective-plateau rule stops with parameters still ~1e-8 from
+//! the attractor, which would measure the stopping rule, not the seeding.
+
+use tdh::core::{TdhConfig, TdhModel, TruthDiscovery};
+use tdh::data::ObservationIndex;
+use tdh::datagen::{generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig};
+
+fn tight(n_threads: usize) -> TdhConfig {
+    TdhConfig {
+        tol: 1e-12,
+        max_iters: 600,
+        n_threads,
+        ..Default::default()
+    }
+}
+
+fn assert_warm_equivalence(ds: &tdh::data::Dataset, label: &str) {
+    let idx = ObservationIndex::build(ds);
+
+    // --- Truths + iteration count, at the production stopping rule. ---
+    let mut cold = TdhModel::new(TdhConfig {
+        warm_start: false,
+        ..Default::default()
+    });
+    let est_cold = cold.infer(ds, &idx);
+    let cold_iters = cold.fit_report().unwrap().iterations;
+    let warm = cold.warm_start_params(&idx).expect("fitted model exports");
+    let mut warm_model = TdhModel::new(TdhConfig::default());
+    let est_warm = warm_model.infer_from(ds, &idx, &warm);
+    let warm_iters = warm_model.fit_report().unwrap().iterations;
+
+    assert_eq!(
+        est_cold.truths, est_warm.truths,
+        "{label}: warm start must predict the cold fit's truths"
+    );
+    assert!(
+        warm_iters < cold_iters,
+        "{label}: warm start took {warm_iters} iterations vs {cold_iters} cold"
+    );
+
+    // --- Parameters, at the numerical fixed point. ---
+    let exhaust = TdhConfig {
+        tol: 0.0,
+        max_iters: 2000,
+        warm_start: false,
+        ..Default::default()
+    };
+    let mut deep_cold = TdhModel::new(exhaust);
+    deep_cold.infer(ds, &idx);
+    let deep_warm_seed = deep_cold.warm_start_params(&idx).unwrap();
+    let mut deep_warm = TdhModel::new(TdhConfig {
+        max_iters: 200,
+        ..exhaust
+    });
+    deep_warm.infer_from(ds, &idx, &deep_warm_seed);
+
+    for (s, (a, b)) in deep_cold
+        .phi_table()
+        .iter()
+        .zip(deep_warm.phi_table())
+        .enumerate()
+    {
+        for t in 0..3 {
+            assert!(
+                (a[t] - b[t]).abs() < 1e-9,
+                "{label}: φ[{s}] diverged: {a:?} vs {b:?}"
+            );
+        }
+    }
+    for (w, (a, b)) in deep_cold
+        .psi_table()
+        .iter()
+        .zip(deep_warm.psi_table())
+        .enumerate()
+    {
+        for t in 0..3 {
+            assert!(
+                (a[t] - b[t]).abs() < 1e-9,
+                "{label}: ψ[{w}] diverged: {a:?} vs {b:?}"
+            );
+        }
+    }
+    for (o, (a, b)) in deep_cold
+        .mu_table()
+        .iter()
+        .zip(deep_warm.mu_table())
+        .enumerate()
+    {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{label}: μ[{o}] diverged: {x} vs {y}");
+        }
+    }
+}
+
+#[test]
+fn warm_start_matches_cold_fit_on_birthplaces() {
+    let cfg = BirthPlacesConfig {
+        n_objects: 250,
+        hierarchy_nodes: 400,
+    };
+    let corpus = generate_birthplaces(&cfg, 11);
+    assert_warm_equivalence(&corpus.dataset, "birthplaces");
+}
+
+#[test]
+fn warm_start_matches_cold_fit_on_heritages() {
+    let cfg = HeritagesConfig {
+        n_objects: 120,
+        n_sources: 200,
+        n_claims: 700,
+        hierarchy_nodes: 250,
+    };
+    let corpus = generate_heritages(&cfg, 12);
+    assert_warm_equivalence(&corpus.dataset, "heritages");
+}
+
+#[test]
+fn warm_start_is_deterministic_and_thread_count_invariant() {
+    let cfg = BirthPlacesConfig {
+        n_objects: 150,
+        hierarchy_nodes: 300,
+    };
+    let ds = generate_birthplaces(&cfg, 13).dataset;
+    let idx = ObservationIndex::build(&ds);
+    let mut base = TdhModel::new(tight(1));
+    base.infer(&ds, &idx);
+    let warm = base.warm_start_params(&idx).unwrap();
+
+    let run = |n_threads: usize| {
+        let mut m = TdhModel::new(tight(n_threads));
+        let est = m.infer_from(&ds, &idx, &warm);
+        (est, m.fit_report().unwrap().clone())
+    };
+    let (est_a, rep_a) = run(1);
+    let (est_b, rep_b) = run(1);
+    assert_eq!(est_a, est_b, "repeats are bitwise identical");
+    assert_eq!(rep_a, rep_b);
+    let (est_p, rep_p) = run(4);
+    assert_eq!(
+        est_a.truths, est_p.truths,
+        "pooled warm start predicts the same truths"
+    );
+    assert_eq!(rep_a.iterations, rep_p.iterations);
+}
+
+#[test]
+fn warm_start_resumes_exactly_at_the_previous_posterior() {
+    // One more EM iteration from a converged state must not move the
+    // objective downward — the warm seed is byte-compatible with the
+    // previous fixed point, not an approximation of it.
+    let cfg = BirthPlacesConfig {
+        n_objects: 100,
+        hierarchy_nodes: 200,
+    };
+    let ds = generate_birthplaces(&cfg, 14).dataset;
+    let idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(tight(1));
+    model.infer(&ds, &idx);
+    let obj_cold = model.fit_report().unwrap().objective.unwrap();
+    let warm = model.warm_start_params(&idx).unwrap();
+    let mut resumed = TdhModel::new(TdhConfig {
+        max_iters: 1,
+        ..tight(1)
+    });
+    resumed.infer_from(&ds, &idx, &warm);
+    let obj_resume = resumed.fit_report().unwrap().objective.unwrap();
+    let scale = obj_cold.abs().max(1.0);
+    assert!(
+        obj_resume >= obj_cold - 1e-9 * scale,
+        "resumed objective {obj_resume} fell below converged {obj_cold}"
+    );
+}
