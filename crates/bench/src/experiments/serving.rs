@@ -5,13 +5,20 @@
 //! incremental engine (index append + warm-start refit), and compares the
 //! warm refit against a cold fit of the same grown dataset. Also measures
 //! in-process query throughput (truth lookups, per-source reliability,
-//! top-k most-uncertain).
+//! top-k most-uncertain) and — the read-mostly serving case — concurrent
+//! reader throughput while a writer ingests and refits, once over the
+//! lock-free published `ServingState` path and once through a single
+//! `Mutex<TruthServer>` (the pre-publish architecture every query used to
+//! serialize on).
 //!
 //! `results/serving.json` fields (asserted by CI): `bootstrap_iters`,
 //! `warm_iters`, `cold_iters`, `warm_refit_s`, `cold_refit_s`,
 //! `iters_saved_ratio`, `queries_per_s`, `snapshot_save_s`,
-//! `snapshot_load_s`, `snapshot_bytes`, `batch_claims`.
+//! `snapshot_load_s`, `snapshot_bytes`, `batch_claims`, `reader_threads`,
+//! `concurrent_queries_per_s`, `mutex_queries_per_s`,
+//! `concurrent_read_speedup`.
 
+use std::sync::Mutex;
 use std::time::Instant;
 
 use tdh_core::{TdhConfig, TdhModel};
@@ -155,6 +162,119 @@ pub fn serving(scale: Scale) {
     let queries_per_s = queries as f64 / query_s.max(1e-12);
     assert!(answered > 0, "queries must be answerable");
 
+    // --- Concurrent readers under ingestion: published vs mutex path. ---
+    // The same read workload (90% truth lookups, 10% top-k) hammered by N
+    // reader threads while a writer streams claim batches (each triggering
+    // a warm refit). First over the lock-free published-state path, then
+    // with every query taking the single writer mutex — the PR-4
+    // architecture the publish-on-refit split replaces.
+    let reader_threads = 4usize;
+    let per_thread = (queries / reader_threads).max(1);
+    let writer_batches: Vec<Vec<Claim>> = ds_full.records()[..64.min(n_total)]
+        .chunks(16)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|r| Claim::Record {
+                    object: ds_full.object_name(r.object).to_string(),
+                    source: ds_full.source_name(r.source).to_string(),
+                    value: h.name(r.value).to_string(),
+                })
+                .collect()
+        })
+        .collect();
+    let names = &object_names;
+
+    let state_reader = restored.reader();
+    let t6 = Instant::now();
+    let concurrent_s = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..reader_threads)
+            .map(|t| {
+                let reader = state_reader.clone();
+                scope.spawn(move || {
+                    let mut answered = 0u64;
+                    for q in 0..per_thread {
+                        let state = reader.load();
+                        if q % 10 == 9 {
+                            answered += state.top_uncertain(10).len() as u64;
+                        } else if state
+                            .truth(&names[(q * reader_threads + t) % names.len()])
+                            .is_some()
+                        {
+                            answered += 1;
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        let writer = scope.spawn(|| {
+            for batch in &writer_batches {
+                restored.ingest(batch).expect("writer batch");
+            }
+        });
+        let total: u64 = readers
+            .into_iter()
+            .map(|handle| handle.join().expect("reader"))
+            .sum();
+        let elapsed = t6.elapsed().as_secs_f64();
+        assert!(total > 0, "concurrent readers must be answered");
+        writer.join().expect("writer");
+        elapsed
+    });
+    let concurrent_queries_per_s = (reader_threads * per_thread) as f64 / concurrent_s.max(1e-12);
+
+    let shared = Mutex::new(restored);
+    let t7 = Instant::now();
+    let mutex_s = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..reader_threads)
+            .map(|t| {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut answered = 0u64;
+                    for q in 0..per_thread {
+                        let locked = shared.lock().expect("server mutex");
+                        if q % 10 == 9 {
+                            answered += locked.top_uncertain(10).len() as u64;
+                        } else if locked
+                            .truth(&names[(q * reader_threads + t) % names.len()])
+                            .is_some()
+                        {
+                            answered += 1;
+                        }
+                    }
+                    answered
+                })
+            })
+            .collect();
+        let writer = scope.spawn(|| {
+            for batch in &writer_batches {
+                shared
+                    .lock()
+                    .expect("server mutex")
+                    .ingest(batch)
+                    .expect("writer batch");
+            }
+        });
+        let total: u64 = readers
+            .into_iter()
+            .map(|handle| handle.join().expect("reader"))
+            .sum();
+        let elapsed = t7.elapsed().as_secs_f64();
+        assert!(total > 0, "mutex-path readers must be answered");
+        writer.join().expect("writer");
+        elapsed
+    });
+    let mutex_queries_per_s = (reader_threads * per_thread) as f64 / mutex_s.max(1e-12);
+    let concurrent_read_speedup = concurrent_queries_per_s / mutex_queries_per_s.max(1e-12);
+    if concurrent_queries_per_s <= mutex_queries_per_s {
+        eprintln!(
+            "warning: published-state readers ({concurrent_queries_per_s:.0}/s) did not beat \
+             the mutex path ({mutex_queries_per_s:.0}/s)"
+        );
+    }
+    drop(shared);
+
     let warm_iters = refit.iterations;
     let iters_saved_ratio = if cold_iters > 0 {
         warm_iters as f64 / cold_iters as f64
@@ -178,6 +298,19 @@ pub fn serving(scale: Scale) {
             vec!["cold refit iters".into(), cold_iters.to_string()],
             vec!["cold refit (s)".into(), format!("{cold_refit_s:.4}")],
             vec!["queries/s".into(), format!("{queries_per_s:.0}")],
+            vec!["reader threads".into(), reader_threads.to_string()],
+            vec![
+                "concurrent queries/s (published)".into(),
+                format!("{concurrent_queries_per_s:.0}"),
+            ],
+            vec![
+                "concurrent queries/s (mutex)".into(),
+                format!("{mutex_queries_per_s:.0}"),
+            ],
+            vec![
+                "concurrent read speedup".into(),
+                format!("{concurrent_read_speedup:.2}x"),
+            ],
         ],
     );
 
@@ -198,6 +331,10 @@ pub fn serving(scale: Scale) {
             ("cold_refit_s".into(), cold_refit_s),
             ("iters_saved_ratio".into(), iters_saved_ratio),
             ("queries_per_s".into(), queries_per_s),
+            ("reader_threads".into(), reader_threads as f64),
+            ("concurrent_queries_per_s".into(), concurrent_queries_per_s),
+            ("mutex_queries_per_s".into(), mutex_queries_per_s),
+            ("concurrent_read_speedup".into(), concurrent_read_speedup),
         ],
     }];
     save("serving", &out);

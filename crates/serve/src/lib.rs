@@ -24,11 +24,19 @@
 //!   ([`tdh_core::TdhModel::fit_from`]) seeded from the previous posterior
 //!   — on realistic batches this converges in a fraction of a cold fit's
 //!   iterations (the `tdh-bench` `serving` scenario measures both).
-//! * [`serve_tcp`] — a minimal `std::net::TcpListener` endpoint speaking a
-//!   tab-separated line protocol with JSON responses, for driving a server
-//!   from outside the process (examples, smoke tests, `nc`). It is an
-//!   in-process demo surface, not a production gateway: one `TruthServer`
-//!   behind a mutex, thread-per-connection.
+//! * [`ServingState`] / [`StateReader`] — the **publish-on-refit** read
+//!   path: every fit publishes an immutable snapshot of the queryable
+//!   surface (truths + paths + confidences, `φ`/`ψ` keyed by name, the
+//!   pre-ranked uncertainty list) behind an atomically swapped `Arc`, so
+//!   any number of reader threads answer `truth`/`top_uncertain`-class
+//!   queries without ever contending on the writer's lock.
+//! * [`serve_tcp`] — a `std::net::TcpListener` endpoint speaking a
+//!   tab-separated line protocol with JSON responses. Connections are
+//!   handled by a fixed-size worker pool, buffered command lines are
+//!   pipelined (drained and replied to in order), read commands are served
+//!   from the published state without locking, and ingestion is batched:
+//!   consecutive `RECORD`/`ANSWER` lines coalesce into one ingest call and
+//!   the `INGEST\t<n>` command ships `n` claims as a single batch.
 //!
 //! # Example
 //!
@@ -58,10 +66,12 @@
 mod net;
 mod server;
 mod snapshot;
+pub mod state;
 
-pub use net::{serve_tcp, ServeHandle};
+pub use net::{serve_tcp, serve_tcp_with, ServeHandle, DEFAULT_NET_WORKERS};
 pub use server::{
     Claim, IngestReport, RefitPolicy, RefitSummary, ServeError, ServerStats, TruthAnswer,
     TruthServer,
 };
 pub use snapshot::{FittedParams, Snapshot, SnapshotError, FORMAT_VERSION};
+pub use state::{ServingState, StateReader};

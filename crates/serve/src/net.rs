@@ -1,4 +1,5 @@
-//! A minimal `std::net::TcpListener` front-end for a [`TruthServer`].
+//! A `std::net::TcpListener` front-end for a [`TruthServer`], built for the
+//! read-dominated shape of serving traffic.
 //!
 //! Line protocol: one tab-separated command per line in, one JSON object
 //! per line out. Commands:
@@ -11,32 +12,66 @@
 //! | `TOPK\t<k>` | `{"top":[{"object":…,"uncertainty":…},…]}` |
 //! | `RECORD\t<obj>\t<src>\t<value>` | ingest one record claim |
 //! | `ANSWER\t<obj>\t<wrk>\t<value>` | ingest one answer claim |
+//! | `INGEST\t<n>` | ingest the next `n` `RECORD`/`ANSWER` lines as **one** batch, one reply |
 //! | `REFIT` | force a refit, reporting iterations/warmness |
 //! | `STATS` | serving counters |
 //! | `QUIT` | closes the connection |
 //! | `SHUTDOWN` | stops the listener (after replying) |
 //!
-//! Tab separation (not spaces) lets entity names contain spaces. Errors
-//! reply `{"error":…}` and keep the connection open.
+//! Tab separation (not spaces) lets entity names contain spaces. Errors —
+//! including lines that are not valid UTF-8 — reply `{"error":…}` and keep
+//! the connection open.
 //!
-//! This is an in-process demo surface for examples, smoke tests and `nc` —
-//! one `TruthServer` behind a mutex with thread-per-connection, not a
-//! production gateway (that belongs behind real connection middleware).
+//! # Architecture
+//!
+//! Connections are accepted by one acceptor thread and handed over a
+//! channel to a **fixed-size pool of connection workers** (the same
+//! channel-fed long-lived-worker idiom as `tdh_core::par::ThreadPool`), so
+//! a connection flood queues instead of spawning unbounded threads.
+//!
+//! Per connection, command lines are **pipelined**: every complete line the
+//! client has already sent is drained from the read buffer and answered in
+//! order with a single write, instead of one read/reply round trip per
+//! line. Read commands (`TRUTH`/`SOURCE`/`WORKER`/`TOPK`) are answered from
+//! the server's published [`ServingState`] — they never take the writer
+//! lock, so queries keep flowing at full speed while another connection
+//! ingests or refits. Writes take the lock **once per batch**, not once per
+//! claim: consecutive pipelined claim lines **of the same kind** (a run of
+//! `RECORD`s, or a run of `ANSWER`s — same-kind only, so packet boundaries
+//! can never change a claim's validity) are coalesced into one
+//! [`TruthServer::ingest`] call with per-line replies (applied lines `ok`,
+//! the offending line its error, dropped lines say so), and the
+//! `INGEST\t<n>` command ships `n` claims as one batch with one reply. An
+//! `INGEST` count over the batch cap is a framing violation that closes the
+//! connection after the error reply — the batch's lines cannot be consumed
+//! without reading arbitrarily many.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
 use crate::server::{Claim, RefitSummary, TruthServer};
+use crate::state::{ServingState, StateReader};
+
+/// Connection workers spawned by [`serve_tcp`] (the [`serve_tcp_with`]
+/// default).
+pub const DEFAULT_NET_WORKERS: usize = 4;
+
+/// Upper bound on `INGEST\t<n>` batch sizes, so one malformed count cannot
+/// make a worker buffer claims without limit.
+const MAX_INGEST: usize = 100_000;
 
 /// Handle to a running [`serve_tcp`] listener.
 pub struct ServeHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
     server: Arc<Mutex<TruthServer>>,
+    state: StateReader,
 }
 
 impl ServeHandle {
@@ -45,28 +80,69 @@ impl ServeHandle {
         self.addr
     }
 
+    /// A lock-free read handle onto the served state — the same publication
+    /// stream the TCP read commands answer from.
+    pub fn reader(&self) -> StateReader {
+        self.state.clone()
+    }
+
     /// Stop accepting connections and return the shared server state.
-    /// In-flight connection threads finish their current command and exit
-    /// on their next read.
+    /// Queued-but-unserved connections are dropped unanswered; workers
+    /// serving a connection finish their current sweep and exit on their
+    /// next read (they are detached, not joined, since a worker may be
+    /// blocked reading from an idle client).
     pub fn shutdown(self) -> Arc<Mutex<TruthServer>> {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the acceptor if it is blocked in `accept`.
         let _ = TcpStream::connect(self.addr);
         let _ = self.accept_thread.join();
+        drop(self.workers);
         self.server
     }
 }
 
-/// Serve `server` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
-/// Returns immediately; the accept loop runs on a background thread with
-/// one thread per connection.
-pub fn serve_tcp(server: TruthServer, addr: &str) -> std::io::Result<ServeHandle> {
+/// Serve `server` on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port)
+/// with [`DEFAULT_NET_WORKERS`] connection workers. Returns immediately;
+/// accepting and serving run on background threads.
+pub fn serve_tcp(server: TruthServer, addr: &str) -> io::Result<ServeHandle> {
+    serve_tcp_with(server, addr, DEFAULT_NET_WORKERS)
+}
+
+/// [`serve_tcp`] with an explicit connection-worker count (at least one
+/// worker is always spawned). At most `n_workers` connections are served
+/// concurrently; further accepted connections wait in the hand-off queue
+/// until a worker frees up.
+pub fn serve_tcp_with(
+    server: TruthServer,
+    addr: &str,
+    n_workers: usize,
+) -> io::Result<ServeHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let state = server.reader();
     let server = Arc::new(Mutex::new(server));
+    let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+    let workers = (0..n_workers.max(1))
+        .map(|_| {
+            let conn_rx = Arc::clone(&conn_rx);
+            let server = Arc::clone(&server);
+            let state = state.clone();
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || loop {
+                let next = conn_rx.lock().expect("connection queue poisoned").recv();
+                let Ok(stream) = next else { break };
+                if shutdown.load(Ordering::SeqCst) {
+                    // Drain the queue unserved during teardown: the client
+                    // sees EOF instead of a worker adopting a dying server.
+                    continue;
+                }
+                let _ = handle_client(stream, &server, &state, &shutdown);
+            })
+        })
+        .collect();
     let accept_thread = {
-        let server = Arc::clone(&server);
         let shutdown = Arc::clone(&shutdown);
         std::thread::spawn(move || {
             for conn in listener.incoming() {
@@ -74,11 +150,9 @@ pub fn serve_tcp(server: TruthServer, addr: &str) -> std::io::Result<ServeHandle
                     break;
                 }
                 let Ok(stream) = conn else { continue };
-                let server = Arc::clone(&server);
-                let shutdown = Arc::clone(&shutdown);
-                std::thread::spawn(move || {
-                    let _ = handle_client(stream, &server, &shutdown);
-                });
+                if conn_tx.send(stream).is_err() {
+                    break;
+                }
             }
         })
     };
@@ -86,48 +160,229 @@ pub fn serve_tcp(server: TruthServer, addr: &str) -> std::io::Result<ServeHandle
         addr,
         shutdown,
         accept_thread,
+        workers,
         server,
+        state,
     })
+}
+
+/// One protocol line: the decoded text, or the error message to reply with
+/// when the bytes were not valid UTF-8.
+type Line = Result<String, String>;
+
+/// Buffered line reading with a pipeline queue: lines the client already
+/// sent are drained off the socket buffer in one go and replayed in order.
+struct LineReader<R: Read> {
+    reader: BufReader<R>,
+    queued: VecDeque<Line>,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(reader: BufReader<R>) -> Self {
+        LineReader {
+            reader,
+            queued: VecDeque::new(),
+        }
+    }
+
+    /// Read one line off the stream (blocking). `None` at EOF. A line that
+    /// is not valid UTF-8 is reported as data (`Some(Err(_))`), not as a
+    /// stream failure — the connection stays usable.
+    fn read_one(&mut self) -> io::Result<Option<Line>> {
+        let mut buf = Vec::new();
+        if self.reader.read_until(b'\n', &mut buf)? == 0 {
+            return Ok(None);
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        }
+        Ok(Some(
+            String::from_utf8(buf).map_err(|_| "line is not valid UTF-8".to_string()),
+        ))
+    }
+
+    /// The next line: previously drained if any, else a blocking read.
+    fn next_line(&mut self) -> io::Result<Option<Line>> {
+        if let Some(line) = self.queued.pop_front() {
+            return Ok(Some(line));
+        }
+        self.read_one()
+    }
+
+    /// Pull every *complete* line already sitting in the read buffer into
+    /// the pipeline queue without blocking for more bytes.
+    fn drain_buffered(&mut self) -> io::Result<()> {
+        while self.reader.buffer().contains(&b'\n') {
+            match self.read_one()? {
+                Some(line) => self.queued.push_back(line),
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    fn pop_queued(&mut self) -> Option<Line> {
+        self.queued.pop_front()
+    }
+
+    fn peek_queued(&self) -> Option<&Line> {
+        self.queued.front()
+    }
+}
+
+/// How a sweep over pipelined lines ended.
+enum SweepEnd {
+    /// Keep the connection open and block for the next command.
+    Continue,
+    /// `QUIT`: close this connection.
+    Quit,
+    /// `SHUTDOWN`: close this connection and stop the listener.
+    Shutdown,
 }
 
 fn handle_client(
     stream: TcpStream,
     server: &Mutex<TruthServer>,
+    state: &StateReader,
     shutdown: &AtomicBool,
-) -> std::io::Result<()> {
-    let peer_addr = stream.local_addr()?;
+) -> io::Result<()> {
+    // The *local* end of an accepted socket is the listener's address —
+    // kept to wake the acceptor out of `accept` on SHUTDOWN.
+    let local_addr = stream.local_addr()?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
+    let mut lines = LineReader::new(BufReader::new(stream));
+    loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let line = line?;
-        let fields: Vec<&str> = line.split('\t').collect();
-        let reply = match fields.as_slice() {
-            ["QUIT"] => break,
-            ["SHUTDOWN"] => {
-                writer.write_all(b"{\"ok\":true,\"shutdown\":true}\n")?;
+        let Some(first) = lines.next_line()? else {
+            break;
+        };
+        lines.drain_buffered()?;
+        let mut out = Vec::new();
+        let end = process_sweep(first, &mut lines, server, state, &mut out, &mut |buf| {
+            writer.write_all(buf)?;
+            buf.clear();
+            Ok(())
+        })?;
+        writer.write_all(&out)?;
+        match end {
+            SweepEnd::Continue => {}
+            SweepEnd::Quit => break,
+            SweepEnd::Shutdown => {
                 shutdown.store(true, Ordering::SeqCst);
                 // Wake the acceptor blocked in `accept`.
-                let _ = TcpStream::connect(peer_addr);
+                let _ = TcpStream::connect(local_addr);
                 break;
             }
-            command => {
-                let mut locked = server.lock().expect("server mutex poisoned");
-                dispatch(&mut locked, command)
-            }
-        };
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
+        }
     }
     Ok(())
 }
 
-/// Execute one command against the locked server.
-fn dispatch(server: &mut TruthServer, fields: &[&str]) -> String {
+/// Process `first` plus every line already drained into the pipeline queue,
+/// appending one reply per line to `out` in command order. `flush` writes
+/// and clears `out`; it is invoked before any blocking mid-sweep read
+/// (`INGEST` claim lines) so owed replies can never deadlock against a
+/// client that waits for them before sending more.
+fn process_sweep<R: Read>(
+    first: Line,
+    lines: &mut LineReader<R>,
+    server: &Mutex<TruthServer>,
+    state: &StateReader,
+    out: &mut Vec<u8>,
+    flush: &mut dyn FnMut(&mut Vec<u8>) -> io::Result<()>,
+) -> io::Result<SweepEnd> {
+    let mut next = Some(first);
+    while let Some(line) = next.take().or_else(|| lines.pop_queued()) {
+        let line = match line {
+            Ok(line) => line,
+            Err(message) => {
+                push_reply(out, &json_error(&message));
+                continue;
+            }
+        };
+        let fields: Vec<&str> = line.split('\t').collect();
+        match fields.as_slice() {
+            ["QUIT"] => return Ok(SweepEnd::Quit),
+            ["SHUTDOWN"] => {
+                out.extend_from_slice(b"{\"ok\":true,\"shutdown\":true}\n");
+                return Ok(SweepEnd::Shutdown);
+            }
+            ["INGEST", n] => {
+                flush(out)?;
+                match n.parse::<usize>() {
+                    Err(_) => push_reply(out, &json_error("INGEST takes an integer")),
+                    Ok(n) if n > MAX_INGEST => {
+                        // A framing violation we cannot resync from without
+                        // reading `n` lines (arbitrarily many): reply the
+                        // error and drop the connection instead of
+                        // misreading the batch's claims as commands.
+                        push_reply(
+                            out,
+                            &json_error(&format!(
+                                "INGEST batches are capped at {MAX_INGEST} claims"
+                            )),
+                        );
+                        return Ok(SweepEnd::Quit);
+                    }
+                    Ok(n) => match ingest_command(server, lines, n)? {
+                        Some(reply) => push_reply(out, &reply),
+                        // EOF mid-batch: the client is gone.
+                        None => return Ok(SweepEnd::Quit),
+                    },
+                }
+            }
+            ["TRUTH", _] | ["SOURCE", _] | ["WORKER", _] | ["TOPK", _] => {
+                push_reply(out, &dispatch_read(&state.load(), &fields));
+            }
+            _ => match parse_claim(&fields) {
+                Some(claim) => {
+                    // Coalesce the run of *same-kind* claim lines the
+                    // client pipelined behind this one: one ingest call,
+                    // one lock take. Only same-kind runs coalesce so a
+                    // claim's validity never depends on how the bytes were
+                    // packeted — ingest's records-before-answers reorder is
+                    // a no-op within a single kind.
+                    let kind_is_record = matches!(claim, Claim::Record { .. });
+                    let mut claims = vec![claim];
+                    loop {
+                        let peeked = match lines.peek_queued() {
+                            Some(Ok(l)) => parse_claim(&l.split('\t').collect::<Vec<_>>()),
+                            _ => None,
+                        };
+                        let Some(claim) = peeked else { break };
+                        if matches!(claim, Claim::Record { .. }) != kind_is_record {
+                            break;
+                        }
+                        claims.push(claim);
+                        lines.pop_queued();
+                    }
+                    let replies = {
+                        let mut locked = server.lock().expect("server mutex poisoned");
+                        claim_group_replies(&mut locked, &claims)
+                    };
+                    for reply in replies {
+                        push_reply(out, &reply);
+                    }
+                }
+                None => {
+                    let mut locked = server.lock().expect("server mutex poisoned");
+                    push_reply(out, &dispatch_write(&mut locked, &fields));
+                }
+            },
+        }
+    }
+    Ok(SweepEnd::Continue)
+}
+
+/// Execute one read command against a published state — no writer lock.
+fn dispatch_read(state: &ServingState, fields: &[&str]) -> String {
     match fields {
-        ["TRUTH", object] => match server.truth(object) {
+        ["TRUTH", object] => match state.truth(object) {
             Some(t) => format!(
                 "{{\"object\":{},\"truth\":{},\"path\":{},\"confidence\":{}}}",
                 json_str(object),
@@ -140,23 +395,23 @@ fn dispatch(server: &mut TruthServer, fields: &[&str]) -> String {
         ["SOURCE", name] => format!(
             "{{\"source\":{},\"phi\":{}}}",
             json_str(name),
-            json_triple(server.source_reliability(name))
+            json_triple(state.source_reliability(name))
         ),
         ["WORKER", name] => format!(
             "{{\"worker\":{},\"psi\":{}}}",
             json_str(name),
-            json_triple(server.worker_reliability(name))
+            json_triple(state.worker_reliability(name))
         ),
         ["TOPK", k] => match k.parse::<usize>() {
             Ok(k) => {
-                let items: Vec<String> = server
+                let items: Vec<String> = state
                     .top_uncertain(k)
-                    .into_iter()
+                    .iter()
                     .map(|(o, u)| {
                         format!(
                             "{{\"object\":{},\"uncertainty\":{}}}",
-                            json_str(&o),
-                            json_f64(u)
+                            json_str(o),
+                            json_f64(*u)
                         )
                     })
                     .collect();
@@ -164,28 +419,19 @@ fn dispatch(server: &mut TruthServer, fields: &[&str]) -> String {
             }
             Err(_) => json_error("TOPK takes an integer"),
         },
-        ["RECORD", object, source, value] => ingest_reply(
-            server,
-            Claim::Record {
-                object: (*object).to_string(),
-                source: (*source).to_string(),
-                value: (*value).to_string(),
-            },
-        ),
-        ["ANSWER", object, worker, value] => ingest_reply(
-            server,
-            Claim::Answer {
-                object: (*object).to_string(),
-                worker: (*worker).to_string(),
-                value: (*value).to_string(),
-            },
-        ),
+        _ => json_error("unknown command"),
+    }
+}
+
+/// Execute one writer command against the locked server.
+fn dispatch_write(server: &mut TruthServer, fields: &[&str]) -> String {
+    match fields {
         ["REFIT"] => refit_json(server.refit_now()),
         ["STATS"] => {
             let s = server.stats();
             format!(
                 "{{\"objects\":{},\"sources\":{},\"workers\":{},\"records\":{},\"answers\":{},\
-                 \"pending\":{},\"batches\":{},\"refits\":{}}}",
+                 \"pending\":{},\"batches\":{},\"refits\":{},\"publications\":{}}}",
                 s.n_objects,
                 s.n_sources,
                 s.n_workers,
@@ -193,26 +439,136 @@ fn dispatch(server: &mut TruthServer, fields: &[&str]) -> String {
                 s.n_answers,
                 s.pending_claims,
                 s.batches,
-                s.refits
+                s.refits,
+                s.publications
             )
         }
         _ => json_error("unknown command"),
     }
 }
 
-fn ingest_reply(server: &mut TruthServer, claim: Claim) -> String {
-    match server.ingest(std::slice::from_ref(&claim)) {
+/// Parse a `RECORD`/`ANSWER` line into a [`Claim`].
+fn parse_claim(fields: &[&str]) -> Option<Claim> {
+    match fields {
+        ["RECORD", object, source, value] => Some(Claim::Record {
+            object: (*object).to_string(),
+            source: (*source).to_string(),
+            value: (*value).to_string(),
+        }),
+        ["ANSWER", object, worker, value] => Some(Claim::Answer {
+            object: (*object).to_string(),
+            worker: (*worker).to_string(),
+            value: (*value).to_string(),
+        }),
+        _ => None,
+    }
+}
+
+/// Ingest a coalesced same-kind group of claim lines and render one reply
+/// per line. On success every line shares the batch outcome. On failure
+/// the replies are per-line accurate: a same-kind batch is applied in line
+/// order and stops at the offender (the [`TruthServer::ingest`] contract),
+/// so the lines before it report `ok`, the offender reports the error, and
+/// the dropped remainder says so — a client may safely retry exactly the
+/// lines whose reply was an error.
+fn claim_group_replies(server: &mut TruthServer, claims: &[Claim]) -> Vec<String> {
+    let before = server.stats();
+    match server.ingest(claims) {
         Ok(report) => {
-            let refit = match report.refit {
-                Some(r) => refit_json(r),
-                None => "null".to_string(),
+            let refit = refit_field(report.refit);
+            let reply = if claims.len() > 1 {
+                format!(
+                    "{{\"ok\":true,\"coalesced\":{},\"pending\":{},\"refit\":{}}}",
+                    claims.len(),
+                    report.pending,
+                    refit
+                )
+            } else {
+                format!(
+                    "{{\"ok\":true,\"pending\":{},\"refit\":{}}}",
+                    report.pending, refit
+                )
             };
-            format!(
-                "{{\"ok\":true,\"pending\":{},\"refit\":{}}}",
-                report.pending, refit
-            )
+            vec![reply; claims.len()]
         }
+        Err(e) => {
+            let after = server.stats();
+            let applied =
+                (after.n_records + after.n_answers) - (before.n_records + before.n_answers);
+            let pending = after.pending_claims;
+            let error = json_error(&e.to_string());
+            (0..claims.len())
+                .map(|i| {
+                    if i < applied {
+                        format!("{{\"ok\":true,\"pending\":{pending},\"refit\":null}}")
+                    } else if i == applied {
+                        error.clone()
+                    } else {
+                        json_error("dropped: an earlier claim in the batch failed")
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+/// `INGEST\t<n>` (count already validated): read the next `n` claim lines
+/// and ingest them as one batch with a single reply. Returns `Ok(None)`
+/// when the client disconnected mid-batch. All `n` lines are consumed even
+/// when one is malformed, keeping the connection in protocol sync.
+fn ingest_command<R: Read>(
+    server: &Mutex<TruthServer>,
+    lines: &mut LineReader<R>,
+    n: usize,
+) -> io::Result<Option<String>> {
+    let mut claims = Vec::with_capacity(n);
+    let mut bad: Option<String> = None;
+    for i in 0..n {
+        let Some(line) = lines.next_line()? else {
+            return Ok(None);
+        };
+        let parsed = match &line {
+            Ok(l) => parse_claim(&l.split('\t').collect::<Vec<_>>()),
+            Err(_) => None,
+        };
+        match parsed {
+            Some(claim) => claims.push(claim),
+            None => {
+                if bad.is_none() {
+                    bad = Some(format!(
+                        "INGEST line {} of {n} is not a RECORD or ANSWER claim",
+                        i + 1
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(message) = bad {
+        return Ok(Some(json_error(&message)));
+    }
+    let mut locked = server.lock().expect("server mutex poisoned");
+    Ok(Some(match locked.ingest(&claims) {
+        Ok(report) => format!(
+            "{{\"ok\":true,\"appended_records\":{},\"appended_answers\":{},\
+             \"pending\":{},\"refit\":{}}}",
+            report.appended_records,
+            report.appended_answers,
+            report.pending,
+            refit_field(report.refit)
+        ),
         Err(e) => json_error(&e.to_string()),
+    }))
+}
+
+fn push_reply(out: &mut Vec<u8>, reply: &str) {
+    out.extend_from_slice(reply.as_bytes());
+    out.push(b'\n');
+}
+
+fn refit_field(refit: Option<RefitSummary>) -> String {
+    match refit {
+        Some(r) => refit_json(r),
+        None => "null".to_string(),
     }
 }
 
@@ -267,6 +623,7 @@ fn json_triple(t: Option<[f64; 3]>) -> String {
 mod tests {
     use super::*;
     use crate::server::RefitPolicy;
+    use std::time::Duration;
     use tdh_core::TdhConfig;
     use tdh_data::Dataset;
     use tdh_hierarchy::HierarchyBuilder;
@@ -304,6 +661,37 @@ mod tests {
         replies
     }
 
+    /// Run one in-memory sweep over `input` (no sockets): the deterministic
+    /// harness for pipelining, coalescing and `INGEST` framing.
+    fn sweep_replies(server: TruthServer, input: &str) -> Vec<String> {
+        let state = server.reader();
+        let server = Mutex::new(server);
+        let mut lines = LineReader::new(BufReader::new(io::Cursor::new(input.as_bytes().to_vec())));
+        let mut all = Vec::new();
+        loop {
+            let Some(first) = lines.next_line().unwrap() else {
+                break;
+            };
+            lines.drain_buffered().unwrap();
+            let mut out = Vec::new();
+            let end = process_sweep(first, &mut lines, &server, &state, &mut out, &mut |buf| {
+                all.extend_from_slice(buf);
+                buf.clear();
+                Ok(())
+            })
+            .unwrap();
+            all.extend_from_slice(&out);
+            if !matches!(end, SweepEnd::Continue) {
+                break;
+            }
+        }
+        String::from_utf8(all)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
     #[test]
     fn truth_and_stats_over_the_wire() {
         let replies = roundtrip(&[
@@ -323,6 +711,7 @@ mod tests {
         assert!(replies[1].starts_with("{\"source\":\"Wikipedia\",\"phi\":["));
         assert!(replies[2].contains("\"top\":[{\"object\":"));
         assert!(replies[3].contains("\"records\":2"));
+        assert!(replies[3].contains("\"publications\":1"));
         assert!(replies[4].contains("\"error\""));
     }
 
@@ -347,20 +736,214 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_commands_reply_in_order() {
+        let handle = serve_tcp(small_server(), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // One write, four commands: four replies, in command order.
+        writer
+            .write_all(b"TRUTH\tStatue of Liberty\nSTATS\nTOPK\t1\nNONSENSE\n")
+            .unwrap();
+        let mut replies = Vec::new();
+        for _ in 0..4 {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            replies.push(reply.trim().to_string());
+        }
+        assert!(
+            replies[0].contains("\"object\":\"Statue of Liberty\""),
+            "{}",
+            replies[0]
+        );
+        assert!(replies[1].contains("\"records\":2"), "{}", replies[1]);
+        assert!(replies[2].contains("\"top\":["), "{}", replies[2]);
+        assert!(replies[3].contains("\"error\""), "{}", replies[3]);
+        drop(writer);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn invalid_utf8_replies_an_error_and_keeps_the_connection() {
+        // Regression: a non-UTF-8 line used to kill the connection thread
+        // silently — no reply, no further commands served.
+        let handle = serve_tcp(small_server(), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"TRUTH\t\xff\xfe\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"error\""), "{reply}");
+        assert!(reply.contains("UTF-8"), "{reply}");
+        // The connection survives: the next command is served normally.
+        writer.write_all(b"STATS\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"records\":2"), "{reply}");
+        drop(writer);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn coalesced_claims_take_the_lock_once_and_reply_per_line() {
+        // Both claim lines are buffered before the sweep starts, so they
+        // coalesce into one ingest batch deterministically.
+        let replies = sweep_replies(
+            small_server(),
+            "RECORD\tBig Ben\tQuora\tLA\nRECORD\tBig Ben\tUNESCO\tLA\nSTATS\n",
+        );
+        assert_eq!(replies.len(), 3, "{replies:?}");
+        assert!(replies[0].contains("\"coalesced\":2"), "{}", replies[0]);
+        assert_eq!(replies[0], replies[1], "group lines share one reply");
+        // One ingest batch, one refit — not one per claim line.
+        assert!(replies[2].contains("\"batches\":1"), "{}", replies[2]);
+        assert!(replies[2].contains("\"refits\":2"), "{}", replies[2]);
+    }
+
+    #[test]
+    fn mixed_kind_claims_do_not_coalesce() {
+        // An ANSWER never joins a RECORD's batch (and vice versa): its
+        // validation environment is then independent of packet timing.
+        // Here the ANSWER selects a value its own RECORD just introduced —
+        // legal in either arrival order because the record's batch runs
+        // first either way.
+        let replies = sweep_replies(
+            small_server(),
+            "RECORD\tBig Ben\tQuora\tLA\nANSWER\tBig Ben\tEmma Stone\tLA\nSTATS\n",
+        );
+        assert_eq!(replies.len(), 3, "{replies:?}");
+        assert!(replies[0].contains("\"ok\":true"), "{}", replies[0]);
+        assert!(!replies[0].contains("coalesced"), "{}", replies[0]);
+        assert!(replies[1].contains("\"ok\":true"), "{}", replies[1]);
+        assert!(replies[2].contains("\"batches\":2"), "{}", replies[2]);
+    }
+
+    #[test]
+    fn coalesced_group_failure_reports_per_line() {
+        let replies = sweep_replies(
+            small_server(),
+            "RECORD\tBig Ben\tQuora\tLA\nRECORD\tx\ty\tAtlantis\n\
+             RECORD\tBig Ben\tUNESCO\tLA\nSTATS\n",
+        );
+        assert_eq!(replies.len(), 4, "{replies:?}");
+        // Applied / offender / dropped each get an accurate reply, so a
+        // client may retry exactly the lines that errored.
+        assert!(replies[0].contains("\"ok\":true"), "{}", replies[0]);
+        assert!(
+            replies[1].contains("not a hierarchy node"),
+            "{}",
+            replies[1]
+        );
+        assert!(replies[2].contains("dropped"), "{}", replies[2]);
+        // Only the claim preceding the offender was applied.
+        assert!(replies[3].contains("\"records\":3"), "{}", replies[3]);
+    }
+
+    #[test]
+    fn ingest_command_ships_a_batch_with_one_reply() {
+        let replies = sweep_replies(
+            small_server(),
+            "INGEST\t3\nRECORD\tBig Ben\tQuora\tLA\nRECORD\tBig Ben\tUNESCO\tLA\n\
+             ANSWER\tBig Ben\tEmma Stone\tLA\nTRUTH\tBig Ben\nSTATS\n",
+        );
+        assert_eq!(replies.len(), 3, "{replies:?}");
+        assert!(
+            replies[0].contains("\"appended_records\":2"),
+            "{}",
+            replies[0]
+        );
+        assert!(
+            replies[0].contains("\"appended_answers\":1"),
+            "{}",
+            replies[0]
+        );
+        assert!(replies[0].contains("\"warm\":true"), "{}", replies[0]);
+        assert!(replies[1].contains("\"truth\":\"LA\""), "{}", replies[1]);
+        assert!(replies[2].contains("\"batches\":1"), "{}", replies[2]);
+    }
+
+    #[test]
+    fn ingest_command_rejects_bad_framing_but_stays_in_sync() {
+        let replies = sweep_replies(small_server(), "INGEST\tmany\nINGEST\t1\nSTATS\nSTATS\n");
+        assert_eq!(replies.len(), 3, "{replies:?}");
+        assert!(replies[0].contains("takes an integer"), "{}", replies[0]);
+        // The first STATS line is consumed as the batch's (malformed)
+        // claim; the second is served normally afterwards.
+        assert!(
+            replies[1].contains("not a RECORD or ANSWER claim"),
+            "{}",
+            replies[1]
+        );
+        assert!(replies[2].contains("\"records\":2"), "{}", replies[2]);
+    }
+
+    #[test]
+    fn over_cap_ingest_closes_the_connection() {
+        // The batch's lines cannot be consumed without reading arbitrarily
+        // many, so the only safe recovery is an error plus a close — the
+        // claims must never be re-parsed as individual commands.
+        let replies = sweep_replies(
+            small_server(),
+            "INGEST\t999999999\nRECORD\tBig Ben\tQuora\tLA\nSTATS\n",
+        );
+        assert_eq!(replies.len(), 1, "{replies:?}");
+        assert!(replies[0].contains("capped at"), "{}", replies[0]);
+    }
+
+    #[test]
+    fn ingest_command_over_the_wire() {
+        let replies = roundtrip(&[
+            "INGEST\t2\nRECORD\tBig Ben\tQuora\tLA\nRECORD\tBig Ben\tUNESCO\tLA",
+            "TRUTH\tBig Ben",
+        ]);
+        assert!(
+            replies[0].contains("\"appended_records\":2"),
+            "{}",
+            replies[0]
+        );
+        assert!(replies[1].contains("\"truth\":\"LA\""), "{}", replies[1]);
+    }
+
+    #[test]
     fn shutdown_returns_the_server() {
         let handle = serve_tcp(small_server(), "127.0.0.1:0").expect("bind");
         let addr = handle.addr();
         let server = handle.shutdown();
         assert!(server.lock().unwrap().truth("Statue of Liberty").is_some());
-        // The port is released: nothing is listening any more.
-        std::thread::sleep(std::time::Duration::from_millis(20));
-        assert!(
-            TcpStream::connect(addr).is_err() || {
-                // A lingering TIME_WAIT accept can succeed; the connection must
-                // then be closed immediately without a listener thread serving
-                // it. Either way the handle is gone.
-                true
+        // The listener is gone: a fresh connection is either refused
+        // outright or — if the OS raced the teardown — accepted and then
+        // dropped without any worker serving it. Either way no command
+        // written after shutdown may ever be answered.
+        match TcpStream::connect(addr) {
+            Err(_) => {} // refused: nothing is listening any more
+            Ok(stream) => {
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(5)))
+                    .unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                // The write itself may fail (connection reset) — that too
+                // proves nobody is serving the socket.
+                let _ = writer.write_all(b"STATS\n");
+                let mut reply = String::new();
+                let read = BufReader::new(stream).read_line(&mut reply);
+                assert!(
+                    matches!(read, Ok(0) | Err(_)),
+                    "a post-shutdown command must never be answered, got {reply:?}"
+                );
             }
-        );
+        }
+    }
+
+    #[test]
+    fn reader_handle_answers_without_the_server_lock() {
+        let handle = serve_tcp(small_server(), "127.0.0.1:0").expect("bind");
+        let reader = handle.reader();
+        // Hold the writer lock hostage; the published state still answers.
+        let server = handle.shutdown();
+        let _guard = server.lock().unwrap();
+        let state = reader.load();
+        assert!(state.truth("Statue of Liberty").is_some());
+        assert_eq!(state.version(), 1);
     }
 }

@@ -1,7 +1,22 @@
 //! The incremental serving engine: claim ingestion, warm-start refits and
 //! the in-process query API.
+//!
+//! The server is split along its read/write asymmetry. The **writer side**
+//! — [`TruthServer::ingest`] and [`TruthServer::refit_now`] — owns the
+//! dataset, the in-place observation index and the model, and needs `&mut
+//! self` (callers that share a server across threads put it behind their
+//! own lock). The **read side** — [`TruthServer::truth`],
+//! [`TruthServer::source_reliability`], [`TruthServer::worker_reliability`]
+//! and [`TruthServer::top_uncertain`] — never touches any of that: after
+//! every fit the server *publishes* an immutable
+//! [`ServingState`](crate::ServingState) (see [`crate::state`] for the
+//! discipline), and reads answer from the newest publication via one `Arc`
+//! clone. [`TruthServer::reader`] hands out a [`StateReader`] that keeps
+//! answering — lock-free, from whatever publication is current — even
+//! while the writer sits behind a contended mutex ingesting and refitting.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tdh_core::{TdhConfig, TdhModel, TruthDiscovery, TruthEstimate};
@@ -9,6 +24,7 @@ use tdh_data::{Dataset, ObjectId, ObservationIndex};
 use tdh_hierarchy::NodeId;
 
 use crate::snapshot::{FittedParams, Snapshot};
+use crate::state::{ServingState, StateReader, StateSlot};
 
 /// When the server refits after ingesting claims.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +126,8 @@ pub struct ServerStats {
     pub batches: u64,
     /// Refits run (cold + warm).
     pub refits: u64,
+    /// [`ServingState`] publications (1 at bootstrap/restore, +1 per refit).
+    pub publications: u64,
 }
 
 /// Errors raised by ingestion and snapshot loading.
@@ -163,6 +181,10 @@ impl std::error::Error for ServeError {}
 /// (the [`RefitPolicy`] decides when). Refits are warm-started from the
 /// previous parameters whenever the model allows it, so serving-time
 /// refits cost a fraction of the bootstrap fit.
+///
+/// Every fit ends by publishing an immutable [`ServingState`]; the read
+/// methods (and any [`StateReader`] from [`TruthServer::reader`]) answer
+/// from the newest publication without touching the writer's state.
 #[derive(Debug)]
 pub struct TruthServer {
     ds: Dataset,
@@ -174,6 +196,8 @@ pub struct TruthServer {
     batches: u64,
     refits: u64,
     last_refit: Option<RefitSummary>,
+    published: StateSlot,
+    publications: u64,
 }
 
 impl TruthServer {
@@ -191,6 +215,7 @@ impl TruthServer {
             warm: false,
             duration: t0.elapsed(),
         };
+        let published = StateSlot::new(ServingState::compute(&ds, &model, &est, 1));
         TruthServer {
             ds,
             idx,
@@ -201,6 +226,8 @@ impl TruthServer {
             batches: 0,
             refits: 1,
             last_refit: Some(summary),
+            published,
+            publications: 1,
         }
     }
 
@@ -252,6 +279,7 @@ impl TruthServer {
         }
         let model = TdhModel::restore(config, &idx, phi, psi, mu);
         let est = TruthEstimate::from_confidences(&idx, model.mu_table().to_vec());
+        let published = StateSlot::new(ServingState::compute(&ds, &model, &est, 1));
         Ok(TruthServer {
             ds,
             idx,
@@ -262,6 +290,8 @@ impl TruthServer {
             batches: 0,
             refits: 0,
             last_refit: None,
+            published,
+            publications: 1,
         })
     }
 
@@ -350,7 +380,13 @@ impl TruthServer {
 
         let refit = match self.policy {
             RefitPolicy::EveryBatch if self.pending > 0 => Some(self.refit_now()),
-            RefitPolicy::ClaimThreshold(t) if self.pending >= t => Some(self.refit_now()),
+            // `pending > 0` matters when `t == 0`: a batch that appended
+            // nothing (empty, or all claims rejected with what preceded
+            // them already applied) must not trigger a refit of an
+            // unchanged posterior.
+            RefitPolicy::ClaimThreshold(t) if self.pending > 0 && self.pending >= t => {
+                Some(self.refit_now())
+            }
             _ => None,
         };
         Ok(IngestReport {
@@ -380,7 +416,8 @@ impl TruthServer {
 
     /// Refit immediately (warm-started whenever previous parameters are
     /// available and [`TdhConfig::warm_start`] is on), folding every
-    /// pending claim into the posterior.
+    /// pending claim into the posterior and publishing the refreshed
+    /// [`ServingState`] to all readers.
     pub fn refit_now(&mut self) -> RefitSummary {
         let warm = self.model.has_warm_start();
         let t0 = Instant::now();
@@ -395,37 +432,33 @@ impl TruthServer {
         self.pending = 0;
         self.refits += 1;
         self.last_refit = Some(summary);
+        self.publications += 1;
+        self.published.publish(ServingState::compute(
+            &self.ds,
+            &self.model,
+            &self.est,
+            self.publications,
+        ));
         summary
     }
 
-    /// The estimated truth for `object`, from the last fitted posterior.
-    /// `None` for unknown objects and objects without candidates.
+    /// The estimated truth for `object`, from the last published posterior.
+    /// `None` for objects unknown (or candidate-less) at publication time.
     pub fn truth(&self, object: &str) -> Option<TruthAnswer> {
-        let o = self.ds.object_by_name(object)?;
-        let v = self.est.truths.get(o.index()).copied().flatten()?;
-        let confidence = self.est.confidences[o.index()]
-            .iter()
-            .copied()
-            .fold(0.0f64, f64::max);
-        Some(TruthAnswer {
-            value: self.ds.hierarchy().name(v).to_string(),
-            path: self.value_path(v),
-            confidence,
-        })
+        self.state().truth(object).cloned()
     }
 
     /// `φ_s` for a source, by name. `None` for unknown sources and sources
     /// that joined after the last refit.
     pub fn source_reliability(&self, source: &str) -> Option<[f64; 3]> {
-        let s = self.ds.source_by_name(source)?;
-        self.model.phi_table().get(s.index()).copied()
+        self.state().source_reliability(source)
     }
 
-    /// `ψ_w` for a worker, by name (the prior mean for workers the model
-    /// has not seen answers from). `None` for unknown workers.
+    /// `ψ_w` for a worker, by name (the prior mean for workers the last
+    /// fit saw no answers from). `None` for unknown workers and workers
+    /// that joined after the last refit.
     pub fn worker_reliability(&self, worker: &str) -> Option<[f64; 3]> {
-        let w = self.ds.worker_by_name(worker)?;
-        Some(self.model.psi(w))
+        self.state().worker_reliability(worker)
     }
 
     /// The `k` objects the model is least certain about: smallest top
@@ -434,22 +467,22 @@ impl TruthServer {
     /// object id). Candidate-less objects are skipped — there is nothing
     /// to be uncertain about. This is the serving-time view the EAI
     /// assigner's "where would crowd answers help most" question reduces
-    /// to between rounds.
+    /// to between rounds. Served pre-ranked from the published state.
     pub fn top_uncertain(&self, k: usize) -> Vec<(String, f64)> {
-        let mut scored: Vec<(usize, f64)> = self
-            .est
-            .confidences
-            .iter()
-            .enumerate()
-            .filter(|(_, mu)| !mu.is_empty())
-            .map(|(oi, mu)| (oi, 1.0 - mu.iter().copied().fold(0.0f64, f64::max)))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        scored
-            .into_iter()
-            .take(k)
-            .map(|(oi, u)| (self.ds.object_name(ObjectId::from_index(oi)).to_string(), u))
-            .collect()
+        self.state().top_uncertain(k).to_vec()
+    }
+
+    /// The current [`ServingState`] publication.
+    pub fn state(&self) -> Arc<ServingState> {
+        self.published.load()
+    }
+
+    /// A lock-free read handle onto this server's published state. Clones
+    /// are cheap; hand one to every reader thread — they keep answering
+    /// from the newest publication while the writer ingests and refits,
+    /// without ever contending on whatever lock the writer lives behind.
+    pub fn reader(&self) -> StateReader {
+        self.published.reader()
     }
 
     /// Serving counters.
@@ -463,6 +496,7 @@ impl TruthServer {
             pending_claims: self.pending,
             batches: self.batches,
             refits: self.refits,
+            publications: self.publications,
         }
     }
 
@@ -492,19 +526,6 @@ impl TruthServer {
             return Err(ServeError::RootValue);
         }
         Ok(v)
-    }
-
-    /// Slash-separated root path of a node (root excluded).
-    fn value_path(&self, v: NodeId) -> String {
-        let h = self.ds.hierarchy();
-        let mut parts: Vec<&str> = h
-            .ancestors(v)
-            .filter(|&a| a != NodeId::ROOT)
-            .map(|a| h.name(a))
-            .collect();
-        parts.reverse();
-        parts.push(h.name(v));
-        parts.join("/")
     }
 }
 
@@ -614,6 +635,58 @@ mod tests {
             .unwrap();
         assert!(r2.refit.is_some(), "threshold reached");
         assert_eq!(server.stats().pending_claims, 0);
+    }
+
+    #[test]
+    fn claim_threshold_zero_ignores_no_op_batches() {
+        // Regression: `ClaimThreshold(0)` used to refit on *every* ingest
+        // call because `pending >= 0` is vacuously true — including batches
+        // that appended nothing, refitting an unchanged posterior.
+        let mut server = TruthServer::new(
+            corpus(),
+            TdhConfig::default(),
+            RefitPolicy::ClaimThreshold(0),
+        );
+        let refits_before = server.stats().refits;
+        let report = server.ingest(&[]).unwrap();
+        assert!(report.refit.is_none(), "empty batch must not refit");
+        assert_eq!(report.appended_records + report.appended_answers, 0);
+        assert_eq!(server.stats().refits, refits_before);
+
+        // A batch whose only claim is rejected appends nothing either.
+        let err = server
+            .ingest(&[record("o0", "good1", "Atlantis")])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownValue(_)), "{err}");
+        assert_eq!(server.stats().refits, refits_before);
+        assert_eq!(server.stats().pending_claims, 0);
+
+        // The threshold still fires as soon as a batch actually appends.
+        let report = server.ingest(&[record("o0", "good1", "C0T0")]).unwrap();
+        assert!(report.refit.is_some(), "appended claim must refit at t=0");
+        assert_eq!(server.stats().refits, refits_before + 1);
+    }
+
+    #[test]
+    fn refits_publish_fresh_states_with_increasing_versions() {
+        let mut server = TruthServer::new(corpus(), TdhConfig::default(), RefitPolicy::EveryBatch);
+        let reader = server.reader();
+        let first = reader.load();
+        assert_eq!(first.version(), 1);
+        assert_eq!(server.stats().publications, 1);
+        server
+            .ingest(&[
+                record("o21", "good1", "C3T3"),
+                record("o21", "good2", "C3T3"),
+            ])
+            .unwrap();
+        let second = reader.load();
+        assert_eq!(second.version(), 2, "refit publishes a new state");
+        assert!(first.truth("o21").is_none(), "old publication is immutable");
+        let t = second.truth("o21").expect("new object published");
+        assert_eq!(t.value, "C3T3");
+        // The pre-publication Arc keeps serving its own publication.
+        assert_eq!(first.version(), 1);
     }
 
     #[test]

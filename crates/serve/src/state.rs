@@ -1,0 +1,214 @@
+//! The immutable published read state behind lock-free serving queries.
+//!
+//! A [`TruthServer`](crate::TruthServer) is read-dominated in deployment:
+//! truth lookups vastly outnumber claim batches. Instead of funnelling every
+//! query through the writer's lock, the server follows a
+//! **publish-on-refit** discipline — after every (re)fit it precomputes an
+//! immutable [`ServingState`] (resolved truths with their paths and
+//! confidences, `φ`/`ψ` reliability tables keyed by entity name, and the
+//! full uncertainty ranking) and swaps it into a shared slot as one atomic
+//! `Arc` replacement. Readers clone the `Arc` out of the slot (a
+//! [`StateReader`] handle is cloneable and `Send`, so any number of threads
+//! can hold one) and answer queries against a state that can never change
+//! underneath them: every answer a reader derives from one `load()` comes
+//! from the same publication.
+//!
+//! The slot is a `RwLock<Arc<ServingState>>` rather than an `AtomicPtr`
+//! because the workspace builds offline against `std` only (see
+//! `vendor/README.md`) and `Arc` cannot be swapped atomically without
+//! either external crates (`arc-swap`) or `unsafe`; the read critical
+//! section is a single refcount increment, and writers hold the write lock
+//! only for the pointer assignment — the replacement state is fully
+//! constructed before the lock is taken.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use tdh_core::{TdhModel, TruthEstimate};
+use tdh_data::{Dataset, ObjectId};
+use tdh_hierarchy::{Hierarchy, NodeId};
+
+use crate::server::TruthAnswer;
+
+/// One immutable publication of a fitted server's queryable surface.
+///
+/// Built by the writer after every fit and never mutated afterwards; all
+/// lookups are by entity *name*, so readers need no access to the dataset's
+/// interning tables (which the writer keeps mutating between publications).
+#[derive(Debug)]
+pub struct ServingState {
+    version: u64,
+    truths: HashMap<String, TruthAnswer>,
+    phi: HashMap<String, [f64; 3]>,
+    psi: HashMap<String, [f64; 3]>,
+    /// `(object name, 1 − max μ)` over all objects with candidates, most
+    /// uncertain first (ties by interning order).
+    uncertain: Vec<(String, f64)>,
+}
+
+impl ServingState {
+    /// Precompute the queryable surface from the fitted posterior.
+    pub(crate) fn compute(
+        ds: &Dataset,
+        model: &TdhModel,
+        est: &TruthEstimate,
+        version: u64,
+    ) -> Self {
+        let h = ds.hierarchy();
+        let mut truths = HashMap::with_capacity(est.truths.len());
+        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(est.truths.len());
+        for (oi, truth) in est.truths.iter().enumerate() {
+            let mu = &est.confidences[oi];
+            let top = mu.iter().copied().fold(0.0f64, f64::max);
+            if let Some(v) = truth {
+                truths.insert(
+                    ds.object_name(ObjectId::from_index(oi)).to_string(),
+                    TruthAnswer {
+                        value: h.name(*v).to_string(),
+                        path: value_path(h, *v),
+                        confidence: top,
+                    },
+                );
+            }
+            if !mu.is_empty() {
+                scored.push((oi, 1.0 - top));
+            }
+        }
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        let uncertain = scored
+            .into_iter()
+            .map(|(oi, u)| (ds.object_name(ObjectId::from_index(oi)).to_string(), u))
+            .collect();
+        let phi = ds
+            .sources()
+            .filter_map(|s| {
+                model
+                    .phi_table()
+                    .get(s.index())
+                    .map(|&p| (ds.source_name(s).to_string(), p))
+            })
+            .collect();
+        let psi = ds
+            .workers()
+            .map(|w| (ds.worker_name(w).to_string(), model.psi(w)))
+            .collect();
+        ServingState {
+            version,
+            truths,
+            phi,
+            psi,
+            uncertain,
+        }
+    }
+
+    /// The publication counter: `1` for the bootstrap/restore publication,
+    /// incremented by every refit. Strictly increasing within one server,
+    /// so readers can detect (and tests can assert) publication order.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The estimated truth for `object` as of this publication. `None` for
+    /// objects unknown (or candidate-less) at publication time.
+    pub fn truth(&self, object: &str) -> Option<&TruthAnswer> {
+        self.truths.get(object)
+    }
+
+    /// `φ_s` for a source, by name. `None` for sources unknown to the
+    /// published fit.
+    pub fn source_reliability(&self, source: &str) -> Option<[f64; 3]> {
+        self.phi.get(source).copied()
+    }
+
+    /// `ψ_w` for a worker, by name (the prior mean for workers the fit saw
+    /// no answers from). `None` for workers that joined after publication.
+    pub fn worker_reliability(&self, worker: &str) -> Option<[f64; 3]> {
+        self.psi.get(worker).copied()
+    }
+
+    /// The `k` objects the published fit is least certain about, as
+    /// `(object name, 1 − max μ)`, most uncertain first (pre-ranked at
+    /// publication; this is a slice of the full ranking).
+    pub fn top_uncertain(&self, k: usize) -> &[(String, f64)] {
+        &self.uncertain[..k.min(self.uncertain.len())]
+    }
+
+    /// Objects with a resolved truth in this publication.
+    pub fn n_resolved(&self) -> usize {
+        self.truths.len()
+    }
+}
+
+/// A cloneable, lock-free read handle onto a server's published state.
+///
+/// Obtained from [`TruthServer::reader`](crate::TruthServer::reader);
+/// independent of the server's lifetime and of whatever lock the writer
+/// lives behind. Each [`StateReader::load`] returns the newest publication
+/// as an `Arc` the reader owns outright.
+#[derive(Debug, Clone)]
+pub struct StateReader {
+    slot: Arc<RwLock<Arc<ServingState>>>,
+}
+
+impl StateReader {
+    /// The current publication. Internally consistent by construction: all
+    /// answers derived from the returned state come from one publication,
+    /// no matter how many refits the writer publishes meanwhile.
+    pub fn load(&self) -> Arc<ServingState> {
+        // A poisoned slot still holds a complete publication (the Arc swap
+        // is assignment of a fully built state), so recover instead of
+        // propagating the writer's panic to every reader.
+        Arc::clone(&self.slot.read().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// The writer side of the publication slot.
+pub(crate) struct StateSlot {
+    slot: Arc<RwLock<Arc<ServingState>>>,
+}
+
+impl StateSlot {
+    /// A slot holding `initial` as its first publication.
+    pub(crate) fn new(initial: ServingState) -> Self {
+        StateSlot {
+            slot: Arc::new(RwLock::new(Arc::new(initial))),
+        }
+    }
+
+    /// Atomically replace the published state.
+    pub(crate) fn publish(&self, state: ServingState) {
+        *self.slot.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(state);
+    }
+
+    /// The current publication.
+    pub(crate) fn load(&self) -> Arc<ServingState> {
+        Arc::clone(&self.slot.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// A read handle sharing this slot.
+    pub(crate) fn reader(&self) -> StateReader {
+        StateReader {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+}
+
+impl std::fmt::Debug for StateSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateSlot")
+            .field("version", &self.load().version())
+            .finish()
+    }
+}
+
+/// Slash-separated root path of a node (root excluded).
+pub(crate) fn value_path(h: &Hierarchy, v: NodeId) -> String {
+    let mut parts: Vec<&str> = h
+        .ancestors(v)
+        .filter(|&a| a != NodeId::ROOT)
+        .map(|a| h.name(a))
+        .collect();
+    parts.reverse();
+    parts.push(h.name(v));
+    parts.join("/")
+}

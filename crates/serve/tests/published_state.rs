@@ -1,0 +1,216 @@
+//! Concurrent-correctness suite for the publish-on-refit read path.
+//!
+//! Readers holding a `StateReader` must always observe a *complete,
+//! internally consistent* publication — truth, path and confidence from
+//! the same fit — no matter how many ingest batches and refits the writer
+//! runs concurrently; and the published answers must equal both the
+//! server's direct query methods and values recomputed independently from
+//! the fitted model tables.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use tdh_core::{TdhConfig, TruthEstimate};
+use tdh_data::ObservationIndex;
+use tdh_datagen::{generate_birthplaces, BirthPlacesConfig};
+use tdh_serve::{Claim, RefitPolicy, TruthServer};
+
+fn corpus(n_objects: usize, seed: u64) -> tdh_data::Dataset {
+    let cfg = BirthPlacesConfig {
+        n_objects,
+        hierarchy_nodes: 150,
+    };
+    generate_birthplaces(&cfg, seed).dataset
+}
+
+#[test]
+fn published_answers_match_direct_calls_and_recomputed_tables() {
+    let server = TruthServer::new(corpus(80, 31), TdhConfig::default(), RefitPolicy::Manual);
+    let state = server.state();
+    let ds = server.dataset();
+    let model = server.model();
+    // Recompute the queryable surface independently of the publication
+    // path: fresh index, truths re-derived from the fitted μ table.
+    let idx = ObservationIndex::build(ds);
+    let est = TruthEstimate::from_confidences(&idx, model.mu_table().to_vec());
+    for o in ds.objects() {
+        let name = ds.object_name(o);
+        let published = state.truth(name).cloned();
+        assert_eq!(server.truth(name), published, "direct call vs publication");
+        match est.truths.get(o.index()).copied().flatten() {
+            Some(v) => {
+                let t = published.expect("resolved object must be published");
+                assert_eq!(t.value, ds.hierarchy().name(v), "object {name}");
+                let top = est.confidences[o.index()]
+                    .iter()
+                    .copied()
+                    .fold(0.0f64, f64::max);
+                assert_eq!(t.confidence, top, "bitwise μ max for {name}");
+                assert!(
+                    t.path.ends_with(&t.value),
+                    "path {} must end in value {}",
+                    t.path,
+                    t.value
+                );
+            }
+            None => assert!(published.is_none(), "candidate-less object {name}"),
+        }
+    }
+    for s in ds.sources() {
+        assert_eq!(
+            state.source_reliability(ds.source_name(s)),
+            model.phi_table().get(s.index()).copied()
+        );
+    }
+    for w in ds.workers() {
+        assert_eq!(
+            state.worker_reliability(ds.worker_name(w)),
+            Some(model.psi(w))
+        );
+    }
+    // The uncertainty ranking is the same argsort the direct call does.
+    assert_eq!(server.top_uncertain(10), state.top_uncertain(10).to_vec());
+}
+
+#[test]
+fn concurrent_readers_always_observe_complete_publications() {
+    let ds = corpus(60, 33);
+    let names: Vec<String> = ds
+        .objects()
+        .map(|o| ds.object_name(o).to_string())
+        .collect();
+    // Values already claimed in the corpus — guaranteed valid, non-root
+    // hierarchy nodes for the writer's hot batches.
+    let values: Vec<String> = ds
+        .records()
+        .iter()
+        .take(8)
+        .map(|r| ds.hierarchy().name(r.value).to_string())
+        .collect();
+    let mut server = TruthServer::new(ds, TdhConfig::default(), RefitPolicy::EveryBatch);
+    let reader = server.reader();
+    let stop = AtomicBool::new(false);
+    let n_rounds = 6u64;
+
+    std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for t in 0..4usize {
+            let reader = reader.clone();
+            let names = &names;
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut last_version = 0u64;
+                let mut loads = 0u64;
+                let mut i = t;
+                loop {
+                    let st = reader.load();
+                    assert!(
+                        st.version() >= last_version,
+                        "publications observed out of order: {} after {}",
+                        st.version(),
+                        last_version
+                    );
+                    last_version = st.version();
+                    // Every answer comes whole from one publication:
+                    // value, path and confidence can never mix fits.
+                    if let Some(t) = st.truth(&names[i % names.len()]) {
+                        assert!(t.path.ends_with(&t.value), "{} / {}", t.path, t.value);
+                        assert!(
+                            t.confidence > 0.0 && t.confidence <= 1.0 + 1e-9,
+                            "confidence {} out of range",
+                            t.confidence
+                        );
+                    }
+                    let top = st.top_uncertain(5);
+                    for w in top.windows(2) {
+                        assert!(w[0].1 >= w[1].1 - 1e-12, "ranking must stay sorted");
+                    }
+                    i += 1;
+                    loads += 1;
+                    // Checked after the load so even a reader scheduled
+                    // late observes at least one publication.
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                loads
+            }));
+        }
+
+        // The writer ingests and refits while the readers hammer away.
+        for round in 0..n_rounds {
+            let value = values[round as usize % values.len()].clone();
+            let batch = vec![
+                Claim::Record {
+                    object: format!("hot-{round}"),
+                    source: "streaming-source".into(),
+                    value: value.clone(),
+                },
+                Claim::Record {
+                    object: format!("hot-{round}"),
+                    source: format!("src-{round}"),
+                    value,
+                },
+            ];
+            let report = server.ingest(&batch).expect("hot batch");
+            assert!(report.refit.is_some(), "EveryBatch refits");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for handle in readers {
+            let loads = handle.join().expect("reader must not panic");
+            assert!(loads > 0, "reader must have observed at least one state");
+        }
+    });
+
+    // Post-quiescence: the final publication equals the direct calls and
+    // covers every hot object the writer streamed in.
+    let final_state = server.state();
+    assert_eq!(final_state.version(), 1 + n_rounds);
+    for name in &names {
+        assert_eq!(server.truth(name), final_state.truth(name).cloned());
+    }
+    for round in 0..n_rounds {
+        assert!(
+            final_state.truth(&format!("hot-{round}")).is_some(),
+            "hot-{round} must be published after its refit"
+        );
+    }
+}
+
+#[test]
+fn unrefitted_claims_stay_unpublished_until_the_next_fit() {
+    let ds = corpus(40, 35);
+    let value = ds.hierarchy().name(ds.records()[0].value).to_string();
+    let mut server = TruthServer::new(ds, TdhConfig::default(), RefitPolicy::Manual);
+    let before = server.state();
+    server
+        .ingest(&[Claim::Record {
+            object: "late-object".into(),
+            source: "late-source".into(),
+            value,
+        }])
+        .unwrap();
+    // No refit ran: queries still answer from the bootstrap publication.
+    assert_eq!(server.state().version(), before.version());
+    assert!(server.truth("late-object").is_none());
+    assert!(server.source_reliability("late-source").is_none());
+    server.refit_now();
+    assert_eq!(server.state().version(), before.version() + 1);
+    assert!(server.truth("late-object").is_some());
+    assert!(server.source_reliability("late-source").is_some());
+    // The pre-refit Arc still serves its own (old) publication.
+    assert!(before.truth("late-object").is_none());
+}
+
+#[test]
+fn reader_outlives_the_server() {
+    let server = TruthServer::new(corpus(30, 37), TdhConfig::default(), RefitPolicy::Manual);
+    let name = server
+        .dataset()
+        .object_name(tdh_data::ObjectId(0))
+        .to_string();
+    let expected = server.truth(&name);
+    let reader = server.reader();
+    drop(server);
+    let state = reader.load();
+    assert_eq!(state.truth(&name).cloned(), expected);
+}

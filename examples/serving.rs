@@ -99,10 +99,50 @@ fn main() {
         println!("  {object}: {uncertainty:.4}");
     }
 
+    // --- Lock-free readers: queries keep flowing while batch 3 refits. --
+    // `reader()` hands out a handle onto the published state: any number
+    // of threads answer from the newest publication without touching the
+    // writer — the ingest below swaps in a new state mid-flight and the
+    // readers pick it up on their next load.
+    let reader = server.reader();
+    let batch3 = vec![
+        record("orsay", "corroborator", &before.value),
+        record("orsay", &known_source, &before.value),
+    ];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|t| {
+                let reader = reader.clone();
+                let watched = &watched;
+                scope.spawn(move || {
+                    let mut lookups = 0u64;
+                    let mut last_version = 0;
+                    for _ in 0..50_000 {
+                        let state = reader.load();
+                        last_version = state.version();
+                        if state.truth(watched).is_some() {
+                            lookups += 1;
+                        }
+                    }
+                    (t, lookups, last_version)
+                })
+            })
+            .collect();
+        server.ingest(&batch3).expect("batch 3");
+        for handle in handles {
+            let (t, lookups, version) = handle.join().unwrap();
+            println!(
+                "reader {t}: {lookups} lock-free lookups, \
+                 last saw publication v{version}"
+            );
+        }
+    });
+
     let stats = server.stats();
     println!(
-        "\nserver stats: {} objects, {} records, {} batches, {} refits",
-        stats.n_objects, stats.n_records, stats.batches, stats.refits
+        "\nserver stats: {} objects, {} records, {} batches, {} refits, \
+         {} publications",
+        stats.n_objects, stats.n_records, stats.batches, stats.refits, stats.publications
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

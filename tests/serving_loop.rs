@@ -1,6 +1,7 @@
 //! End-to-end serve smoke test, mirroring the CI leg: fit → snapshot to
 //! disk → load into a fresh server → stream claim batches through the
-//! incremental engine → warm refit → query (in-process and over TCP).
+//! incremental engine → warm refit → query (in-process and over TCP,
+//! including the pipelined and `INGEST`-batched write paths).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -102,6 +103,32 @@ fn tcp_round_trip_against_a_generated_corpus() {
     assert!(stats.contains("\"objects\":60"), "{stats}");
     let topk = ask("TOPK\t3");
     assert!(topk.contains("\"uncertainty\":"), "{topk}");
+
+    // Batched ingestion: INGEST ships its claim lines as one batch with a
+    // single reply (one writer-lock take, one refit).
+    let value = expected.value.clone();
+    writer
+        .write_all(
+            format!(
+                "INGEST\t2\nRECORD\tbatched-object\tbatched-source\t{value}\n\
+                 RECORD\tbatched-object\tother-source\t{value}\n"
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"appended_records\":2"), "{reply}");
+    assert!(reply.contains("\"warm\":true"), "{reply}");
+
+    // Pipelining: both queries in one write, two replies in order.
+    writer.write_all(b"TRUTH\tbatched-object\nSTATS\n").unwrap();
+    let mut truth = String::new();
+    reader.read_line(&mut truth).unwrap();
+    assert!(truth.contains(&format!("\"truth\":\"{value}\"")), "{truth}");
+    let mut stats = String::new();
+    reader.read_line(&mut stats).unwrap();
+    assert!(stats.contains("\"objects\":61"), "{stats}");
 
     drop(writer);
     drop(reader);
