@@ -14,7 +14,8 @@
 //! `results/serving.json` fields (asserted by CI): `bootstrap_iters`,
 //! `warm_iters`, `cold_iters`, `warm_refit_s`, `cold_refit_s`,
 //! `iters_saved_ratio`, `queries_per_s`, `snapshot_save_s`,
-//! `snapshot_load_s`, `snapshot_bytes`, `batch_claims`, `reader_threads`,
+//! `snapshot_load_s`, `snapshot_bytes`, `batch_claims`, `wal_append_s`,
+//! `recovery_replay_s`, `snapshot_v2_bytes`, `reader_threads`,
 //! `concurrent_queries_per_s`, `mutex_queries_per_s`,
 //! `concurrent_read_speedup`.
 
@@ -122,6 +123,46 @@ pub fn serving(scale: Scale) {
             refit.iterations
         );
     }
+
+    // --- Durability: WAL-before-ack ingest, crash, replay, checkpoint. ---
+    // The same 15% batch streamed in chunks through a durable server, so
+    // `wal_append_s` is the total ack-path WAL cost; then a simulated crash
+    // (drop without checkpoint), a recovery that replays every chunk, and a
+    // checkpoint that measures the binary v2 snapshot.
+    let dur_dir = dir.join("serving-durable");
+    let _ = std::fs::remove_dir_all(&dur_dir);
+    let mut durable = TruthServer::create_durable(
+        &dur_dir,
+        record_prefix(&ds_full, n_keep),
+        TdhConfig::default(),
+        RefitPolicy::Manual,
+    )
+    .expect("create durable server");
+    let mut wal_append_s = 0f64;
+    let mut wal_batches = 0usize;
+    for chunk in batch.chunks(1024) {
+        let report = durable.ingest(chunk).expect("durable ingest");
+        wal_append_s += report
+            .wal
+            .expect("durable ingest reports WAL time")
+            .as_secs_f64();
+        wal_batches += 1;
+    }
+    drop(durable); // crash: acked batches live only in the WAL
+    let mut recovered =
+        TruthServer::open(&dur_dir, RefitPolicy::Manual).expect("recover durable server");
+    let recovery = recovered.recovery().expect("recovery report");
+    assert_eq!(recovery.replayed_batches as usize, wal_batches);
+    assert_eq!(
+        recovered.dataset().records().len(),
+        n_total,
+        "recovery must restore every acked record"
+    );
+    let recovery_replay_s = recovery.replay.as_secs_f64();
+    let checkpoint = recovered.checkpoint().expect("checkpoint");
+    let snapshot_v2_bytes = checkpoint.snapshot_bytes;
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dur_dir);
 
     // --- Query throughput (in-process). ---
     let ds = restored.dataset();
@@ -297,6 +338,15 @@ pub fn serving(scale: Scale) {
             vec!["warm refit iters".into(), warm_iters.to_string()],
             vec!["cold refit iters".into(), cold_iters.to_string()],
             vec!["cold refit (s)".into(), format!("{cold_refit_s:.4}")],
+            vec!["WAL append total (s)".into(), format!("{wal_append_s:.4}")],
+            vec![
+                "recovery replay (s)".into(),
+                format!("{recovery_replay_s:.4}"),
+            ],
+            vec![
+                "snapshot v2 size (bytes)".into(),
+                snapshot_v2_bytes.to_string(),
+            ],
             vec!["queries/s".into(), format!("{queries_per_s:.0}")],
             vec!["reader threads".into(), reader_threads.to_string()],
             vec![
@@ -330,6 +380,9 @@ pub fn serving(scale: Scale) {
             ("cold_iters".into(), cold_iters as f64),
             ("cold_refit_s".into(), cold_refit_s),
             ("iters_saved_ratio".into(), iters_saved_ratio),
+            ("wal_append_s".into(), wal_append_s),
+            ("recovery_replay_s".into(), recovery_replay_s),
+            ("snapshot_v2_bytes".into(), snapshot_v2_bytes as f64),
             ("queries_per_s".into(), queries_per_s),
             ("reader_threads".into(), reader_threads as f64),
             ("concurrent_queries_per_s".into(), concurrent_queries_per_s),

@@ -333,12 +333,47 @@ impl ObservationIndex {
     /// `O(Σ_{s ∈ S_o} |O_s|)` for the incidence remap — proportional to the
     /// evidence touching the one affected object, never to the corpus.
     ///
+    /// The append is **batch-atomic**: the whole batch is validated before
+    /// the index is touched, so a panicking call leaves the index exactly
+    /// as it was — the WAL-replay path in `tdh-serve` relies on a batch
+    /// applying fully or not at all.
+    ///
     /// # Panics
     /// Panics if an appended answer's value is not among its object's
-    /// candidates after the batch's records were applied (workers select
+    /// candidates after the batch's records are applied (workers select
     /// from `V_o` by problem definition, §2.1), or if `n_prev_records` /
-    /// `n_prev_answers` exceed the dataset's current counts.
+    /// `n_prev_answers` exceed the dataset's current counts. Either way
+    /// the index is left unmodified.
     pub fn append_from(&mut self, ds: &Dataset, n_prev_records: usize, n_prev_answers: usize) {
+        // Validate the whole batch up front, before any mutation.
+        assert!(
+            n_prev_records <= ds.records().len() && n_prev_answers <= ds.answers().len(),
+            "append_from cursor past the dataset's counts \
+             ({n_prev_records}/{} records, {n_prev_answers}/{} answers)",
+            ds.records().len(),
+            ds.answers().len(),
+        );
+        let new_answers = &ds.answers()[n_prev_answers..];
+        if !new_answers.is_empty() {
+            // An answer may select a candidate the index already knows or
+            // one introduced by this batch's records.
+            let new_values: std::collections::HashSet<(ObjectId, NodeId)> = ds.records()
+                [n_prev_records..]
+                .iter()
+                .map(|r| (r.object, r.value))
+                .collect();
+            for a in new_answers {
+                let known = self
+                    .views
+                    .get(a.object.index())
+                    .is_some_and(|v| v.cand_index(a.value).is_some());
+                assert!(
+                    known || new_values.contains(&(a.object, a.value)),
+                    "answers select among the object's candidate values"
+                );
+            }
+        }
+
         // New entities enter empty; ids are dense and append-only, so
         // resizing to the dataset's universe is all that is needed.
         if self.views.len() < ds.n_objects() {

@@ -220,6 +220,87 @@ fn candidate_insertion_remaps_existing_answers() {
 }
 
 #[test]
+fn rejected_batch_leaves_the_index_untouched() {
+    // Batch atomicity: a batch whose *last* claim is invalid (an answer
+    // selecting a never-claimed value) must not leave its earlier records
+    // half-applied — the WAL-replay path in tdh-serve re-applies logged
+    // batches through `append_from` and relies on all-or-nothing. Before
+    // the up-front validation this panicked only *after* pushing the
+    // batch's records, leaving `idx` diverged from a clean rebuild.
+    let (h, nodes) = build_hierarchy(2, 2);
+    let mut ds = Dataset::new(h);
+    apply_phase(
+        &mut ds,
+        &nodes,
+        2,
+        2,
+        1,
+        &[(0, 0, 0), (1, 1, 3)],
+        &[(0, 0, 0)],
+    );
+    let mut idx = ObservationIndex::build(&ds);
+    let pristine = ObservationIndex::build(&ds);
+
+    // Grow the dataset with a bad batch: two valid records, then an answer
+    // whose value (nodes[1]) no record ever claimed for object 1.
+    let (nr, na) = (ds.records().len(), ds.answers().len());
+    ds.add_record(ObjectId(0), SourceId(1), nodes[1]);
+    ds.add_record(ObjectId(1), SourceId(0), nodes[2]);
+    ds.add_answer(ObjectId(1), WorkerId(0), nodes[1]);
+
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        idx.append_from(&ds, nr, na);
+    }));
+    std::panic::set_hook(hook);
+    let err = outcome.expect_err("an invalid answer must still panic");
+    let message = err
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| err.downcast_ref::<&str>().copied())
+        .unwrap_or("");
+    assert!(message.contains("candidate"), "unexpected panic: {message}");
+
+    // The failed batch must not have touched the index at all.
+    assert_index_eq(&ds, &pristine, &idx, "after rejected batch");
+
+    // A cursor past the dataset's counts is also rejected pre-mutation.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        idx.append_from(&ds, ds.records().len() + 1, na);
+    }));
+    std::panic::set_hook(hook);
+    assert!(outcome.is_err(), "out-of-range cursor must panic");
+    assert_index_eq(&ds, &pristine, &idx, "after out-of-range cursor");
+
+    // And the same batch minus the bad answer still applies cleanly.
+    let mut ds_ok = Dataset::new(build_hierarchy(2, 2).0);
+    apply_phase(
+        &mut ds_ok,
+        &nodes,
+        2,
+        2,
+        1,
+        &[(0, 0, 0), (1, 1, 3)],
+        &[(0, 0, 0)],
+    );
+    let mut idx_ok = ObservationIndex::build(&ds_ok);
+    let (nr, na) = (ds_ok.records().len(), ds_ok.answers().len());
+    ds_ok.add_record(ObjectId(0), SourceId(1), nodes[1]);
+    ds_ok.add_record(ObjectId(1), SourceId(0), nodes[2]);
+    ds_ok.add_answer(ObjectId(1), WorkerId(0), nodes[2]);
+    idx_ok.append_from(&ds_ok, nr, na);
+    assert_index_eq(
+        &ds_ok,
+        &ObservationIndex::build(&ds_ok),
+        &idx_ok,
+        "good batch",
+    );
+}
+
+#[test]
 fn append_from_empty_start() {
     // The serve path where a snapshot of an empty corpus is grown online.
     let (h, nodes) = build_hierarchy(2, 2);

@@ -1,0 +1,95 @@
+//! CRC-32 (IEEE 802.3) for the durability formats.
+//!
+//! Both the write-ahead log ([`crate::wal`]) and the binary v2 snapshot
+//! ([`crate::Snapshot`]) frame their payloads with this checksum so that a
+//! torn write or a flipped byte is *detected* instead of silently misparsed.
+//! Hand-rolled because the workspace builds offline (`vendor/README.md`);
+//! the table is computed at compile time.
+
+/// The standard reflected CRC-32 lookup table (polynomial `0xEDB88320`).
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 digest.
+#[derive(Debug, Clone)]
+pub(crate) struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh digest.
+    pub(crate) fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `bytes` into the digest.
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything folded in so far (the digest stays usable).
+    pub(crate) fn value(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut c = Crc32::new();
+        c.update(b"1234");
+        c.update(b"");
+        c.update(b"56789");
+        assert_eq!(c.value(), crc32(b"123456789"));
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = crc32(b"tdh-wal record payload");
+        let mut tampered = b"tdh-wal record payload".to_vec();
+        tampered[7] ^= 0x10;
+        assert_ne!(crc32(&tampered), base);
+    }
+}

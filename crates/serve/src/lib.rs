@@ -7,15 +7,23 @@
 //! and *condition* it on newly arriving evidence instead of recomputing
 //! from scratch. Three layers:
 //!
-//! * [`Snapshot`] — a versioned, hand-rolled text serialization (the
-//!   workspace builds offline, so no serde; see `vendor/README.md`) of a
-//!   complete problem instance: hierarchy, entity universes, records,
-//!   answers, gold labels and — optionally — the fitted model parameters
-//!   `φ`/`ψ`/`μ` with their [`tdh_core::TdhConfig`]. Round-trips are
-//!   lossless (floats are written in shortest-round-trip form and compared
-//!   bit-for-bit by the `snapshot_roundtrip` property suite); the format
-//!   opens with a `tdh-snapshot v1` version header so future formats can
-//!   coexist with old files.
+//! * [`Snapshot`] — a versioned, hand-rolled serialization (the workspace
+//!   builds offline, so no serde; see `vendor/README.md`) of a complete
+//!   problem instance: hierarchy, entity universes, records, answers, gold
+//!   labels and — optionally — the fitted model parameters `φ`/`ψ`/`μ`
+//!   with their [`tdh_core::TdhConfig`]. Round-trips are lossless (floats
+//!   are written in shortest-round-trip form or raw little-endian bits and
+//!   compared bit-for-bit by the `snapshot_roundtrip` / `snapshot_v2`
+//!   property suites); every file opens with a `tdh-snapshot v<n>` header
+//!   so formats coexist. v2 (the write format) stores the dominant μ
+//!   tables in checksummed binary and decodes them streaming; v1 files
+//!   remain readable.
+//! * [`wal`] + [`TruthServer::open`] — the durability layer: a segmented,
+//!   checksummed write-ahead claim log appended (and fsynced) before
+//!   ingest acks, crash recovery that loads the newest snapshot and
+//!   replays the uncovered log suffix with a single warm refit, and
+//!   [`TruthServer::checkpoint`] compaction that drops log segments a
+//!   snapshot now covers.
 //! * [`TruthServer`] — the incremental engine and in-process query
 //!   front-end: ingest batches of new [`Claim`]s (records and answers),
 //!   keep the [`tdh_data::ObservationIndex`] current **in place** via
@@ -63,15 +71,18 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod crc;
 mod net;
 mod server;
 mod snapshot;
 pub mod state;
+pub mod wal;
 
 pub use net::{serve_tcp, serve_tcp_with, ServeHandle, DEFAULT_NET_WORKERS};
 pub use server::{
-    Claim, IngestReport, RefitPolicy, RefitSummary, ServeError, ServerStats, TruthAnswer,
-    TruthServer,
+    CheckpointReport, Claim, DurableError, IngestReport, RecoveryReport, RefitPolicy, RefitSummary,
+    ServeError, ServerStats, TruthAnswer, TruthServer,
 };
 pub use snapshot::{FittedParams, Snapshot, SnapshotError, FORMAT_VERSION};
 pub use state::{ServingState, StateReader};
+pub use wal::{Wal, WalBatch, WalError, WalOptions};

@@ -14,6 +14,7 @@
 //! | `ANSWER\t<obj>\t<wrk>\t<value>` | ingest one answer claim |
 //! | `INGEST\t<n>` | ingest the next `n` `RECORD`/`ANSWER` lines as **one** batch, one reply |
 //! | `REFIT` | force a refit, reporting iterations/warmness |
+//! | `CHECKPOINT` | snapshot a durable server and compact its WAL |
 //! | `STATS` | serving counters |
 //! | `QUIT` | closes the connection |
 //! | `SHUTDOWN` | stops the listener (after replying) |
@@ -427,6 +428,13 @@ fn dispatch_read(state: &ServingState, fields: &[&str]) -> String {
 fn dispatch_write(server: &mut TruthServer, fields: &[&str]) -> String {
     match fields {
         ["REFIT"] => refit_json(server.refit_now()),
+        ["CHECKPOINT"] => match server.checkpoint() {
+            Ok(report) => format!(
+                "{{\"ok\":true,\"wal_seq\":{},\"snapshot_bytes\":{},\"segments_dropped\":{}}}",
+                report.wal_seq, report.snapshot_bytes, report.segments_dropped
+            ),
+            Err(e) => json_error(&e.to_string()),
+        },
         ["STATS"] => {
             let s = server.stats();
             format!(
@@ -690,6 +698,31 @@ mod tests {
             .lines()
             .map(str::to_string)
             .collect()
+    }
+
+    #[test]
+    fn checkpoint_command_reports_durability() {
+        // Without durability the command errors but keeps the sweep alive.
+        let replies = sweep_replies(small_server(), "CHECKPOINT\nSTATS\n");
+        assert!(replies[0].contains("no durability"), "{}", replies[0]);
+        assert!(replies[1].contains("\"objects\""), "{}", replies[1]);
+
+        // With durability it snapshots and reports the WAL coverage point.
+        let dir = std::env::temp_dir().join(format!("tdh-net-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut server = small_server();
+        server.attach_durability(&dir).unwrap();
+        let replies = sweep_replies(
+            server,
+            "RECORD\tStatue of Liberty\tBritannica\tLiberty Island\nCHECKPOINT\n",
+        );
+        assert!(replies[0].contains("\"ok\":true"), "{}", replies[0]);
+        assert!(
+            replies[1].contains("\"ok\":true") && replies[1].contains("\"wal_seq\":1"),
+            "{}",
+            replies[1]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! while the writer sits behind a contended mutex ingesting and refitting.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -23,8 +24,15 @@ use tdh_core::{TdhConfig, TdhModel, TruthDiscovery, TruthEstimate};
 use tdh_data::{Dataset, ObjectId, ObservationIndex};
 use tdh_hierarchy::NodeId;
 
-use crate::snapshot::{FittedParams, Snapshot};
+use crate::snapshot::{FittedParams, Snapshot, SnapshotError};
 use crate::state::{ServingState, StateReader, StateSlot};
+use crate::wal::{Wal, WalError, WalOptions};
+
+/// The snapshot file a durable server keeps inside its data directory.
+const SNAPSHOT_FILE: &str = "snapshot.tdhsnap";
+
+/// The write-ahead-log subdirectory of a durable data directory.
+const WAL_DIR: &str = "wal";
 
 /// When the server refits after ingesting claims.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,6 +102,40 @@ pub struct IngestReport {
     /// Claims ingested but not yet folded into the posterior (0 right after
     /// a refit).
     pub pending: usize,
+    /// Wall-clock time spent making the batch durable (WAL append + sync).
+    /// `None` when the server has no durability attached or the batch
+    /// appended nothing.
+    pub wal: Option<Duration>,
+}
+
+/// What [`TruthServer::open`] recovered from a durable data directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The WAL sequence number the loaded snapshot covered.
+    pub snapshot_wal_seq: u64,
+    /// WAL batches replayed on top of the snapshot.
+    pub replayed_batches: usize,
+    /// Claims those batches re-applied.
+    pub replayed_claims: usize,
+    /// Wall-clock time of the replay (applying claims; excludes snapshot
+    /// load and the final refit).
+    pub replay: Duration,
+    /// The single post-replay refit, if anything was replayed.
+    pub refit: Option<RefitSummary>,
+}
+
+/// What one [`TruthServer::checkpoint`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointReport {
+    /// The WAL sequence number the new snapshot covers.
+    pub wal_seq: u64,
+    /// Size of the snapshot file written, in bytes.
+    pub snapshot_bytes: u64,
+    /// WAL segments dropped by compaction (their batches are now covered).
+    pub segments_dropped: usize,
+    /// Wall-clock time of the whole checkpoint (snapshot + compaction, and
+    /// the refit that folds pending claims first, if one was needed).
+    pub duration: Duration,
 }
 
 /// A truth lookup result.
@@ -150,6 +192,10 @@ pub enum ServeError {
     /// A snapshot's fitted parameters do not match its dataset (e.g. a μ
     /// row disagreeing with the object's candidate count).
     CorruptSnapshot(String),
+    /// The batch was applied in memory but could not be made durable (WAL
+    /// append or sync failed) — the server no longer guarantees the batch
+    /// survives a crash, so the ingest is not acknowledged.
+    Durability(String),
 }
 
 impl fmt::Display for ServeError {
@@ -167,11 +213,95 @@ impl fmt::Display for ServeError {
                 )
             }
             ServeError::CorruptSnapshot(m) => write!(f, "corrupt snapshot: {m}"),
+            ServeError::Durability(m) => write!(f, "batch not made durable: {m}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Errors raised by the durability layer ([`TruthServer::open`],
+/// [`TruthServer::attach_durability`], [`TruthServer::checkpoint`]).
+#[derive(Debug)]
+pub enum DurableError {
+    /// Underlying file I/O failure.
+    Io(std::io::Error),
+    /// The data directory's snapshot failed to load or save.
+    Snapshot(SnapshotError),
+    /// The write-ahead log failed to open, append or compact.
+    Wal(WalError),
+    /// A logged batch that was once accepted no longer applies cleanly —
+    /// the snapshot and the log disagree (a tampered or mixed-up data
+    /// directory).
+    Replay {
+        /// The WAL sequence number of the failing batch.
+        seq: u64,
+        /// Why it failed to re-apply.
+        error: ServeError,
+    },
+    /// The snapshot loaded but could not be served (shape mismatches).
+    Serve(ServeError),
+    /// The operation needs durability but none is attached.
+    NotDurable,
+    /// [`TruthServer::open`] found no snapshot in the data directory — it
+    /// was never initialized with [`TruthServer::create_durable`] /
+    /// [`TruthServer::attach_durability`].
+    NoSnapshot,
+    /// [`TruthServer::attach_durability`] refused a data directory that
+    /// already holds a snapshot or logged batches: attaching would
+    /// silently shadow the prior server's durable state. Recover it with
+    /// [`TruthServer::open`] instead.
+    AlreadyInitialized,
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Io(e) => write!(f, "durable store i/o error: {e}"),
+            DurableError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            DurableError::Wal(e) => write!(f, "{e}"),
+            DurableError::Replay { seq, error } => {
+                write!(f, "wal batch {seq} no longer applies: {error}")
+            }
+            DurableError::Serve(e) => write!(f, "{e}"),
+            DurableError::NotDurable => write!(f, "server has no durability attached"),
+            DurableError::NoSnapshot => {
+                write!(f, "data directory holds no snapshot to recover from")
+            }
+            DurableError::AlreadyInitialized => write!(
+                f,
+                "data directory already holds durable state; open it instead of attaching"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for DurableError {
+    fn from(e: SnapshotError) -> Self {
+        DurableError::Snapshot(e)
+    }
+}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> Self {
+        DurableError::Wal(e)
+    }
+}
+
+/// A durable server's attachment: its data directory and open log.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+}
 
 /// An online truth-serving instance: a dataset, its (incrementally
 /// maintained) observation index, a fitted model and the current estimate.
@@ -198,6 +328,8 @@ pub struct TruthServer {
     last_refit: Option<RefitSummary>,
     published: StateSlot,
     publications: u64,
+    durability: Option<Durability>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl TruthServer {
@@ -228,6 +360,8 @@ impl TruthServer {
             last_refit: Some(summary),
             published,
             publications: 1,
+            durability: None,
+            recovery: None,
         }
     }
 
@@ -240,6 +374,7 @@ impl TruthServer {
         let Snapshot {
             dataset: ds,
             params,
+            wal_seq: _,
         } = snap;
         let Some(FittedParams {
             config,
@@ -292,13 +427,186 @@ impl TruthServer {
             last_refit: None,
             published,
             publications: 1,
+            durability: None,
+            recovery: None,
         })
     }
 
     /// Snapshot the current state (dataset + fitted parameters) for
-    /// persistence.
+    /// persistence. On a durable server the snapshot records the WAL
+    /// coverage point, so a recovery from it replays only later batches.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot::fitted(self.ds.clone(), &self.model)
+        let mut snap = Snapshot::fitted(self.ds.clone(), &self.model);
+        if let Some(d) = &self.durability {
+            snap.wal_seq = d.wal.next_seq() - 1;
+        }
+        snap
+    }
+
+    /// Bootstrap a durable server: cold-fit `cfg` on `ds` like
+    /// [`TruthServer::new`], then attach durability to the fresh data
+    /// directory `dir` (see [`TruthServer::attach_durability`]).
+    pub fn create_durable(
+        dir: &Path,
+        ds: Dataset,
+        cfg: TdhConfig,
+        policy: RefitPolicy,
+    ) -> Result<Self, DurableError> {
+        let mut server = TruthServer::new(ds, cfg, policy);
+        server.attach_durability(dir)?;
+        Ok(server)
+    }
+
+    /// Attach durability to a running server with default [`WalOptions`].
+    pub fn attach_durability(&mut self, dir: &Path) -> Result<(), DurableError> {
+        self.attach_durability_with(dir, WalOptions::default())
+    }
+
+    /// Attach durability to a running server: every subsequent
+    /// [`TruthServer::ingest`] appends its accepted claims to a write-ahead
+    /// log under `dir` **before acknowledging**, and an initial
+    /// [`TruthServer::checkpoint`] snapshot of the current state is written
+    /// immediately — so from this call on, the directory always recovers
+    /// via [`TruthServer::open`] to a state containing every acked claim.
+    ///
+    /// `dir` must be fresh: a directory that already holds a snapshot or
+    /// logged batches belongs to a previous server and must be recovered
+    /// with [`TruthServer::open`], not shadowed
+    /// ([`DurableError::AlreadyInitialized`]).
+    pub fn attach_durability_with(
+        &mut self,
+        dir: &Path,
+        options: WalOptions,
+    ) -> Result<(), DurableError> {
+        if self.durability.is_some() {
+            return Err(DurableError::AlreadyInitialized);
+        }
+        std::fs::create_dir_all(dir)?;
+        if dir.join(SNAPSHOT_FILE).exists() {
+            return Err(DurableError::AlreadyInitialized);
+        }
+        let (wal, tail) = Wal::open(&dir.join(WAL_DIR), options)?;
+        if !tail.is_empty() {
+            return Err(DurableError::AlreadyInitialized);
+        }
+        self.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal,
+        });
+        // The initial checkpoint: without it a crash before the first
+        // explicit checkpoint would leave WAL batches with no base state
+        // to replay onto.
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// Recover a durable server from `dir` with default [`WalOptions`].
+    pub fn open(dir: &Path, policy: RefitPolicy) -> Result<Self, DurableError> {
+        TruthServer::open_with(dir, policy, WalOptions::default())
+    }
+
+    /// Recover a durable server from a data directory written by
+    /// [`TruthServer::create_durable`] / [`TruthServer::attach_durability`]:
+    /// load the snapshot as the checkpoint state, replay the WAL batches it
+    /// does not cover (each applied atomically, **without** triggering the
+    /// [`RefitPolicy`] or publishing intermediate states), then fold the
+    /// replayed claims in with a single warm refit and publication. The
+    /// result contains every claim that was ever acknowledged; a torn
+    /// final WAL record — an append the crash interrupted before its ack —
+    /// is discarded with a warning, never half-applied.
+    /// [`TruthServer::recovery`] reports what happened.
+    pub fn open_with(
+        dir: &Path,
+        policy: RefitPolicy,
+        options: WalOptions,
+    ) -> Result<Self, DurableError> {
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        if !snap_path.exists() {
+            return Err(DurableError::NoSnapshot);
+        }
+        let snap = Snapshot::load(&snap_path)?;
+        let covered = snap.wal_seq;
+        let mut server = TruthServer::from_snapshot(snap, policy).map_err(DurableError::Serve)?;
+        let (wal, batches) = Wal::open(&dir.join(WAL_DIR), options)?;
+        let t0 = Instant::now();
+        let mut replayed_batches = 0;
+        let mut replayed_claims = 0;
+        for batch in &batches {
+            if batch.seq <= covered {
+                // A compacted log can still hold a partially covered
+                // segment; its older batches are already in the snapshot.
+                continue;
+            }
+            let (records, answers, failure) = server.apply_batch(&batch.claims);
+            server.batches += 1;
+            if let Some(error) = failure {
+                return Err(DurableError::Replay {
+                    seq: batch.seq,
+                    error,
+                });
+            }
+            replayed_batches += 1;
+            replayed_claims += records + answers;
+        }
+        let replay = t0.elapsed();
+        server.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            wal,
+        });
+        // One refit at the end — not one per replayed batch: replay is
+        // catch-up, not re-serving, so intermediate posteriors are never
+        // computed or published.
+        let refit = (replayed_batches > 0).then(|| server.refit_now());
+        server.recovery = Some(RecoveryReport {
+            snapshot_wal_seq: covered,
+            replayed_batches,
+            replayed_claims,
+            replay,
+            refit,
+        });
+        Ok(server)
+    }
+
+    /// Checkpoint a durable server: write a snapshot of the current state
+    /// (recording how much of the WAL it covers), then compact the log by
+    /// dropping fully covered segments. Pending claims are folded in with
+    /// a refit first when needed, so the snapshot's parameters always
+    /// match its dataset. The snapshot write is atomic (temp file +
+    /// rename); a crash mid-checkpoint recovers from whichever snapshot —
+    /// old or new — is in place.
+    pub fn checkpoint(&mut self) -> Result<CheckpointReport, DurableError> {
+        if self.durability.is_none() {
+            return Err(DurableError::NotDurable);
+        }
+        let t0 = Instant::now();
+        if self.pending > 0 {
+            self.refit_now();
+        }
+        let snap = self.snapshot();
+        let covered = snap.wal_seq;
+        let d = self.durability.as_mut().expect("checked above");
+        let path = d.dir.join(SNAPSHOT_FILE);
+        snap.save(&path)?;
+        let snapshot_bytes = std::fs::metadata(&path)?.len();
+        let segments_dropped = d.wal.truncate_covered(covered)?;
+        Ok(CheckpointReport {
+            wal_seq: covered,
+            snapshot_bytes,
+            segments_dropped,
+            duration: t0.elapsed(),
+        })
+    }
+
+    /// What [`TruthServer::open`] recovered, if this server came from a
+    /// durable data directory.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Whether a durability layer is attached (claims are WAL-logged
+    /// before acks and [`TruthServer::checkpoint`] is available).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
     }
 
     /// Ingest one batch of claims in **two passes**: all of the batch's
@@ -316,8 +624,79 @@ impl TruthServer {
     /// answer retains all of the batch's records and the answers
     /// preceding it. Everything already applied stays ingested, counts
     /// toward `pending`, and the index is left in sync either way.
+    ///
+    /// On a durable server the accepted claims are appended to the
+    /// write-ahead log — and synced — **before** this method returns, so an
+    /// acknowledged batch survives a crash (the claims a partially failed
+    /// batch kept are logged too: they are server state). A WAL failure
+    /// surfaces as [`ServeError::Durability`] and the batch must be
+    /// considered unacknowledged.
     pub fn ingest(&mut self, batch: &[Claim]) -> Result<IngestReport, ServeError> {
         self.batches += 1;
+        let (appended_records, appended_answers, failure) = self.apply_batch(batch);
+
+        // Durability barrier: log what was actually appended before any
+        // ack (the Err path included — those claims stayed applied).
+        let mut wal_time = None;
+        if let Some(d) = &mut self.durability {
+            if appended_records + appended_answers > 0 {
+                let records = self.ds.records();
+                let answers = self.ds.answers();
+                let mut logged = Vec::with_capacity(appended_records + appended_answers);
+                for r in &records[records.len() - appended_records..] {
+                    logged.push(Claim::Record {
+                        object: self.ds.object_name(r.object).to_string(),
+                        source: self.ds.source_name(r.source).to_string(),
+                        value: self.ds.hierarchy().name(r.value).to_string(),
+                    });
+                }
+                for a in &answers[answers.len() - appended_answers..] {
+                    logged.push(Claim::Answer {
+                        object: self.ds.object_name(a.object).to_string(),
+                        worker: self.ds.worker_name(a.worker).to_string(),
+                        value: self.ds.hierarchy().name(a.value).to_string(),
+                    });
+                }
+                let t0 = Instant::now();
+                d.wal
+                    .append(&logged)
+                    .map_err(|e| ServeError::Durability(e.to_string()))?;
+                wal_time = Some(t0.elapsed());
+            }
+        }
+
+        if let Some(e) = failure {
+            return Err(e);
+        }
+
+        let refit = match self.policy {
+            RefitPolicy::EveryBatch if self.pending > 0 => Some(self.refit_now()),
+            // `pending > 0` matters when `t == 0`: a batch that appended
+            // nothing (empty, or all claims rejected with what preceded
+            // them already applied) must not trigger a refit of an
+            // unchanged posterior.
+            RefitPolicy::ClaimThreshold(t) if self.pending > 0 && self.pending >= t => {
+                Some(self.refit_now())
+            }
+            _ => None,
+        };
+        Ok(IngestReport {
+            appended_records,
+            appended_answers,
+            refit,
+            pending: self.pending,
+            wal: wal_time,
+        })
+    }
+
+    /// The two ingest passes, applied to the in-memory state only: no
+    /// refit-policy check, no WAL append, no publication. This is both the
+    /// core of [`TruthServer::ingest`] and the unit of WAL **replay** —
+    /// recovery re-applies logged batches through here so it restores
+    /// counts without recomputing or republishing intermediate posteriors.
+    /// Returns what was appended and the failure that stopped the batch
+    /// early, if any.
+    fn apply_batch(&mut self, batch: &[Claim]) -> (usize, usize, Option<ServeError>) {
         let (n_rec, n_ans) = (self.ds.records().len(), self.ds.answers().len());
         let mut failure = None;
 
@@ -374,27 +753,7 @@ impl TruthServer {
         let appended_records = self.ds.records().len() - n_rec;
         let appended_answers = self.ds.answers().len() - n_ans;
         self.pending += appended_records + appended_answers;
-        if let Some(e) = failure {
-            return Err(e);
-        }
-
-        let refit = match self.policy {
-            RefitPolicy::EveryBatch if self.pending > 0 => Some(self.refit_now()),
-            // `pending > 0` matters when `t == 0`: a batch that appended
-            // nothing (empty, or all claims rejected with what preceded
-            // them already applied) must not trigger a refit of an
-            // unchanged posterior.
-            RefitPolicy::ClaimThreshold(t) if self.pending > 0 && self.pending >= t => {
-                Some(self.refit_now())
-            }
-            _ => None,
-        };
-        Ok(IngestReport {
-            appended_records,
-            appended_answers,
-            refit,
-            pending: self.pending,
-        })
+        (appended_records, appended_answers, failure)
     }
 
     /// Resolve and validate one answer against the current candidate sets.

@@ -1,9 +1,11 @@
 //! Versioned persistence for datasets, hierarchies and fitted parameters.
 //!
-//! The format is a sectioned, line-oriented text file, hand-rolled in the
-//! same no-crates.io idiom as the bench harness's JSON emitter (the build
-//! environment is offline — `vendor/README.md`). It opens with a version
-//! header so future revisions can be detected instead of misparsed:
+//! Two formats coexist, hand-rolled in the same no-crates.io idiom as the
+//! bench harness's JSON emitter (the build environment is offline —
+//! `vendor/README.md`). Every file opens with a version header so an
+//! unknown revision is detected instead of misparsed.
+//!
+//! **v1** is a sectioned, line-oriented text file:
 //!
 //! ```text
 //! tdh-snapshot v1
@@ -20,24 +22,55 @@
 //! end
 //! ```
 //!
-//! Floats are written with Rust's shortest-round-trip `Display` and parse
-//! back **bit-for-bit**, so a save → load cycle is lossless (pinned by the
-//! `snapshot_roundtrip` property suite, including empty datasets and
-//! claim-less objects). Names are escaped (`\t`, `\n`, `\r`, `\\`) so
-//! arbitrary entity names survive the line orientation.
+//! **v2** — the format [`Snapshot::save`] writes — keeps the text sections
+//! but adds durability metadata and swaps the dominant μ table (one float
+//! per candidate per object) to raw little-endian binary:
+//!
+//! ```text
+//! tdh-snapshot v2
+//! wal <covered_seq>                    // WAL batches ≤ this are checkpointed
+//! … hierarchy/objects/…/phi/psi exactly as in v1 …
+//! mubin <n>
+//! [row_len: u32 LE] [row_len × f64 LE]   // one binary row per object
+//! end
+//! crc <8 hex digits>                   // CRC-32 of every byte through "end\n"
+//! ```
+//!
+//! Floats are written with Rust's shortest-round-trip `Display` (v1, and
+//! v2's φ/ψ) or as raw IEEE-754 bits (v2's μ) and load back
+//! **bit-for-bit**, so a save → load cycle is lossless (pinned by the
+//! `snapshot_roundtrip` and `snapshot_v2` property suites). Names are
+//! escaped (`\t`, `\n`, `\r`, `\\`) so arbitrary entity names survive the
+//! line orientation. Decoding is **streaming** for both versions — v2's μ
+//! rows go straight from the reader into their final `Vec<f64>`s, so a
+//! restore never holds a second full copy of the table — and v2's trailing
+//! checksum turns a flipped byte into a [`SnapshotError::Parse`] instead
+//! of a silently different model.
 
 use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
 use std::path::Path;
 
 use tdh_core::{TdhConfig, TdhModel};
 use tdh_data::{Dataset, ObjectId, ObservationIndex, SourceId, WorkerId};
 use tdh_hierarchy::{HierarchyBuilder, NodeId};
 
-/// The format version this build writes (and the only one it reads).
-pub const FORMAT_VERSION: u32 = 1;
+use crate::crc::Crc32;
 
-/// The header line opening every snapshot file.
-const HEADER: &str = "tdh-snapshot v1";
+/// The newest format version: what [`Snapshot::save`] writes. Older
+/// versions (v1) remain readable forever.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The header line opening a v1 snapshot file.
+const HEADER_V1: &str = "tdh-snapshot v1";
+
+/// The header line opening a v2 snapshot file.
+const HEADER_V2: &str = "tdh-snapshot v2";
+
+/// Cap on one binary μ row's length (candidate count per object), so a
+/// corrupt length prefix cannot ask the loader for an absurd allocation.
+const MAX_MU_ROW: u32 = 1 << 24;
 
 /// Fitted model parameters as persisted in a [`Snapshot`]: everything
 /// needed to answer queries and warm-start a refit without rerunning EM.
@@ -67,6 +100,11 @@ pub struct Snapshot {
     pub dataset: Dataset,
     /// Fitted parameters, when the snapshot was taken from a fitted model.
     pub params: Option<FittedParams>,
+    /// The highest write-ahead-log sequence number this snapshot covers
+    /// (`0` = none): recovery replays only WAL batches *after* it, and
+    /// compaction may drop segments at or below it. Persisted by v2;
+    /// a v1 file loads as `0` (replay everything still in the log).
+    pub wal_seq: u64,
 }
 
 /// Errors raised while loading or decoding a snapshot.
@@ -79,9 +117,9 @@ pub enum SnapshotError {
         /// The first line actually found.
         found: String,
     },
-    /// A structurally invalid line.
+    /// A structurally invalid line (or, in v2, a checksum mismatch).
     Parse {
-        /// 1-based line number.
+        /// 1-based line number (binary sections report their header line).
         line: usize,
         /// What was wrong.
         message: String,
@@ -94,7 +132,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Io(e) => write!(f, "i/o error: {e}"),
             SnapshotError::Version { found } => write!(
                 f,
-                "unsupported snapshot header {found:?} (this build reads {HEADER:?})"
+                "unsupported snapshot header {found:?} \
+                 (this build reads {HEADER_V1:?} and {HEADER_V2:?})"
             ),
             SnapshotError::Parse { line, message } => write!(f, "line {line}: {message}"),
         }
@@ -156,6 +195,7 @@ impl Snapshot {
         Snapshot {
             dataset,
             params: None,
+            wal_seq: 0,
         }
     }
 
@@ -174,16 +214,15 @@ impl Snapshot {
         Snapshot {
             dataset,
             params: Some(params),
+            wal_seq: 0,
         }
     }
 
-    /// Encode to the versioned text format.
-    pub fn encode(&self) -> String {
+    /// The common text sections (hierarchy through φ/ψ), shared verbatim by
+    /// both format versions.
+    fn encode_body(&self, out: &mut String) {
         let ds = &self.dataset;
         let h = ds.hierarchy();
-        let mut out = String::new();
-        out.push_str(HEADER);
-        out.push('\n');
 
         out.push_str(&format!("hierarchy {}\n", h.len()));
         for v in h.nodes().skip(1) {
@@ -255,26 +294,90 @@ impl Snapshot {
                 for row in &p.psi {
                     out.push_str(&format!("{}\t{}\t{}\n", row[0], row[1], row[2]));
                 }
-                out.push_str(&format!("mu {}\n", p.mu.len()));
-                for row in &p.mu {
-                    let fields: Vec<String> = row.iter().map(f64::to_string).collect();
-                    out.push_str(&fields.join("\t"));
-                    out.push('\n');
-                }
+            }
+        }
+    }
+
+    /// Encode to the v1 text format. `wal_seq` is not representable in v1
+    /// and is dropped (it loads back as `0`); use [`Snapshot::encode_v2`]
+    /// or [`Snapshot::save`] to persist it.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER_V1);
+        out.push('\n');
+        self.encode_body(&mut out);
+        if let Some(p) = &self.params {
+            out.push_str(&format!("mu {}\n", p.mu.len()));
+            for row in &p.mu {
+                let fields: Vec<String> = row.iter().map(f64::to_string).collect();
+                out.push_str(&fields.join("\t"));
+                out.push('\n');
             }
         }
         out.push_str("end\n");
         out
     }
 
-    /// Decode the text format, validating structure and id ranges.
+    /// Encode to the v2 format: text sections, binary μ table, trailing
+    /// CRC-32. This is what [`Snapshot::save`] writes.
+    pub fn encode_v2(&self) -> Vec<u8> {
+        let mut text = String::new();
+        self.encode_body(&mut text);
+        let mut out: Vec<u8> = Vec::with_capacity(text.len() + 64);
+        out.extend_from_slice(HEADER_V2.as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(format!("wal {}\n", self.wal_seq).as_bytes());
+        out.extend_from_slice(text.as_bytes());
+        if let Some(p) = &self.params {
+            out.extend_from_slice(format!("mubin {}\n", p.mu.len()).as_bytes());
+            for row in &p.mu {
+                out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                for &x in row {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(b"end\n");
+        let mut digest = Crc32::new();
+        digest.update(&out);
+        out.extend_from_slice(format!("crc {:08x}\n", digest.value()).as_bytes());
+        out
+    }
+
+    /// Decode either format from a string (handy for v1, which is pure
+    /// text). A v2 file with binary μ content is generally not valid UTF-8;
+    /// decode those with [`Snapshot::decode_bytes`] or [`Snapshot::load`].
     pub fn decode(text: &str) -> Result<Snapshot, SnapshotError> {
-        let mut lines = Lines::new(text);
+        Snapshot::decode_from(text.as_bytes())
+    }
+
+    /// Decode either format from raw bytes.
+    pub fn decode_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        Snapshot::decode_from(bytes)
+    }
+
+    /// Decode either format from a buffered reader, streaming: v2's binary
+    /// μ rows go straight into their final vectors, so loading never holds
+    /// a second full copy of the dominant table.
+    pub fn decode_from<R: BufRead>(reader: R) -> Result<Snapshot, SnapshotError> {
+        let mut lines = ByteLines::new(reader);
         let header = lines.next_line()?;
-        if header != HEADER {
-            return Err(SnapshotError::Version {
-                found: header.to_string(),
-            });
+        let v2 = match header.as_str() {
+            HEADER_V1 => false,
+            HEADER_V2 => true,
+            _ => return Err(SnapshotError::Version { found: header }),
+        };
+
+        // --- Durability metadata (v2 only) ---
+        let mut wal_seq = 0u64;
+        if v2 {
+            let line = lines.next_line()?;
+            let seq = line
+                .strip_prefix("wal ")
+                .ok_or_else(|| lines.err("expected `wal <seq>`"))?;
+            wal_seq = seq
+                .parse()
+                .map_err(|_| lines.err("unparsable wal sequence number"))?;
         }
 
         // --- Hierarchy ---
@@ -327,14 +430,14 @@ impl Snapshot {
         }
         let n_sources = lines.section("sources")?;
         for i in 0..n_sources {
-            let name = unescape(lines.next_line()?);
+            let name = unescape(&lines.next_line()?);
             if ds.intern_source(&name).index() != i {
                 return Err(lines.err("duplicate source name"));
             }
         }
         let n_workers = lines.section("workers")?;
         for i in 0..n_workers {
-            let name = unescape(lines.next_line()?);
+            let name = unescape(&lines.next_line()?);
             if ds.intern_worker(&name).index() != i {
                 return Err(lines.err("duplicate worker name"));
             }
@@ -394,10 +497,10 @@ impl Snapshot {
                 if f.len() != 13 || f[0] != "config" {
                     return Err(lines.err("expected a 12-field config line"));
                 }
-                let num = |lines: &Lines<'_>, s: &str| -> Result<f64, SnapshotError> {
+                let num = |lines: &ByteLines<R>, s: &str| -> Result<f64, SnapshotError> {
                     s.parse().map_err(|_| lines.err("unparsable config float"))
                 };
-                let flag = |lines: &Lines<'_>, s: &str| -> Result<bool, SnapshotError> {
+                let flag = |lines: &ByteLines<R>, s: &str| -> Result<bool, SnapshotError> {
                     match s {
                         "0" => Ok(false),
                         "1" => Ok(true),
@@ -423,21 +526,11 @@ impl Snapshot {
                 };
                 let phi = lines.float_table("phi", n_sources)?;
                 let psi = lines.float_table("psi", n_workers)?;
-                let n_mu = lines.section("mu")?;
-                if n_mu != n_objects {
-                    return Err(lines.err("μ table must cover every object"));
-                }
-                let mut mu = Vec::with_capacity(n_mu);
-                for _ in 0..n_mu {
-                    let line = lines.next_line()?;
-                    if line.is_empty() {
-                        mu.push(Vec::new());
-                        continue;
-                    }
-                    let row: Result<Vec<f64>, _> =
-                        line.split('\t').map(str::parse::<f64>).collect();
-                    mu.push(row.map_err(|_| lines.err("unparsable μ value"))?);
-                }
+                let mu = if v2 {
+                    lines.mu_binary(n_objects)?
+                } else {
+                    lines.mu_text(n_objects)?
+                };
                 Some(FittedParams {
                     config,
                     phi,
@@ -452,21 +545,53 @@ impl Snapshot {
         if end != "end" {
             return Err(lines.err("missing end marker"));
         }
+        if v2 {
+            // Everything through "end\n" is covered by the trailing CRC;
+            // capture the digest before consuming the crc line itself.
+            let computed = lines.digest_value();
+            let line = lines.next_line()?;
+            let stored = line
+                .strip_prefix("crc ")
+                .ok_or_else(|| lines.err("expected trailing `crc <hex>` line"))?;
+            let stored =
+                u32::from_str_radix(stored, 16).map_err(|_| lines.err("unparsable crc value"))?;
+            if stored != computed {
+                return Err(lines.err(&format!(
+                    "snapshot checksum mismatch (stored {stored:08x}, computed {computed:08x})"
+                )));
+            }
+        }
         Ok(Snapshot {
             dataset: ds,
             params,
+            wal_seq,
         })
     }
 
-    /// Write the snapshot to `path` (the encoding of [`Snapshot::encode`]).
+    /// Atomically write the snapshot to `path` in the v2 format: encode to
+    /// a sibling temp file, fsync it, rename over `path`, fsync the
+    /// directory — a crash mid-save leaves either the old snapshot or the
+    /// new one, never a torn file.
     pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
-        std::fs::write(path, self.encode())?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&self.encode_v2())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            File::open(dir)?.sync_all()?;
+        }
         Ok(())
     }
 
-    /// Load a snapshot previously written by [`Snapshot::save`].
+    /// Load a snapshot (either format version) previously written by
+    /// [`Snapshot::save`]. Streams from disk — see [`Snapshot::decode_from`].
     pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
-        Snapshot::decode(&std::fs::read_to_string(path)?)
+        Snapshot::decode_from(BufReader::new(File::open(path)?))
     }
 
     /// The observation index of the snapshot's dataset (deterministic, so
@@ -476,17 +601,20 @@ impl Snapshot {
     }
 }
 
-/// Line cursor with 1-based positions for error reporting.
-struct Lines<'a> {
-    iter: std::str::Lines<'a>,
+/// Streaming line/byte cursor with 1-based positions for error reporting
+/// and a running CRC-32 over every byte consumed (v2's trailing checksum).
+struct ByteLines<R: BufRead> {
+    reader: R,
     lineno: usize,
+    digest: Crc32,
 }
 
-impl<'a> Lines<'a> {
-    fn new(text: &'a str) -> Self {
-        Lines {
-            iter: text.lines(),
+impl<R: BufRead> ByteLines<R> {
+    fn new(reader: R) -> Self {
+        ByteLines {
+            reader,
             lineno: 0,
+            digest: Crc32::new(),
         }
     }
 
@@ -497,12 +625,38 @@ impl<'a> Lines<'a> {
         }
     }
 
-    fn next_line(&mut self) -> Result<&'a str, SnapshotError> {
+    /// The checksum of every byte consumed so far.
+    fn digest_value(&self) -> u32 {
+        self.digest.value()
+    }
+
+    fn next_line(&mut self) -> Result<String, SnapshotError> {
         self.lineno += 1;
-        self.iter.next().ok_or(SnapshotError::Parse {
-            line: self.lineno,
-            message: "unexpected end of file".into(),
-        })
+        let mut buf = Vec::new();
+        let n = self.reader.read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Err(SnapshotError::Parse {
+                line: self.lineno,
+                message: "unexpected end of file".into(),
+            });
+        }
+        self.digest.update(&buf);
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+        }
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        String::from_utf8(buf).map_err(|_| self.err("non-UTF-8 text line"))
+    }
+
+    /// Read exactly `buf.len()` raw bytes (v2's binary μ section).
+    fn read_binary(&mut self, buf: &mut [u8]) -> Result<(), SnapshotError> {
+        self.reader
+            .read_exact(buf)
+            .map_err(|_| self.err("unexpected end of file in binary μ section"))?;
+        self.digest.update(buf);
+        Ok(())
     }
 
     /// Read a `<tag> <count>` section header.
@@ -527,22 +681,23 @@ impl<'a> Lines<'a> {
         max_v: usize,
     ) -> Result<(usize, usize, usize), SnapshotError> {
         let line = self.next_line()?;
+        let lineno = self.lineno;
         let mut parts = line.split('\t');
         let mut field = |max: usize, what: &str| -> Result<usize, SnapshotError> {
             let id: usize = parts
                 .next()
                 .ok_or(SnapshotError::Parse {
-                    line: self.lineno,
+                    line: lineno,
                     message: format!("missing {what} id"),
                 })?
                 .parse()
                 .map_err(|_| SnapshotError::Parse {
-                    line: self.lineno,
+                    line: lineno,
                     message: format!("unparsable {what} id"),
                 })?;
             if id >= max {
                 return Err(SnapshotError::Parse {
-                    line: self.lineno,
+                    line: lineno,
                     message: format!("{what} id {id} out of range (< {max})"),
                 });
             }
@@ -563,23 +718,69 @@ impl<'a> Lines<'a> {
         let mut rows = Vec::with_capacity(n);
         for _ in 0..n {
             let line = self.next_line()?;
+            let lineno = self.lineno;
             let mut parts = line.split('\t');
             let mut field = || -> Result<f64, SnapshotError> {
                 parts
                     .next()
                     .ok_or(SnapshotError::Parse {
-                        line: self.lineno,
+                        line: lineno,
                         message: format!("{tag} row needs 3 fields"),
                     })?
                     .parse()
                     .map_err(|_| SnapshotError::Parse {
-                        line: self.lineno,
+                        line: lineno,
                         message: format!("unparsable {tag} value"),
                     })
             };
             rows.push([field()?, field()?, field()?]);
         }
         Ok(rows)
+    }
+
+    /// Read v1's text `mu <n>` section.
+    fn mu_text(&mut self, n_objects: usize) -> Result<Vec<Vec<f64>>, SnapshotError> {
+        let n_mu = self.section("mu")?;
+        if n_mu != n_objects {
+            return Err(self.err("μ table must cover every object"));
+        }
+        let mut mu = Vec::with_capacity(n_mu);
+        for _ in 0..n_mu {
+            let line = self.next_line()?;
+            if line.is_empty() {
+                mu.push(Vec::new());
+                continue;
+            }
+            let row: Result<Vec<f64>, _> = line.split('\t').map(str::parse::<f64>).collect();
+            mu.push(row.map_err(|_| self.err("unparsable μ value"))?);
+        }
+        Ok(mu)
+    }
+
+    /// Read v2's binary `mubin <n>` section, one length-prefixed row of
+    /// little-endian `f64`s per object, streamed into place.
+    fn mu_binary(&mut self, n_objects: usize) -> Result<Vec<Vec<f64>>, SnapshotError> {
+        let n_mu = self.section("mubin")?;
+        if n_mu != n_objects {
+            return Err(self.err("μ table must cover every object"));
+        }
+        let mut mu = Vec::with_capacity(n_mu);
+        let mut word = [0u8; 8];
+        for _ in 0..n_mu {
+            let mut len4 = [0u8; 4];
+            self.read_binary(&mut len4)?;
+            let len = u32::from_le_bytes(len4);
+            if len > MAX_MU_ROW {
+                return Err(self.err(&format!("μ row of {len} values exceeds the cap")));
+            }
+            let mut row = Vec::with_capacity(len as usize);
+            for _ in 0..len {
+                self.read_binary(&mut word)?;
+                row.push(f64::from_le_bytes(word));
+            }
+            mu.push(row);
+        }
+        Ok(mu)
     }
 }
 
@@ -636,6 +837,46 @@ mod tests {
     }
 
     #[test]
+    fn v2_fitted_roundtrip_is_bitwise() {
+        let ds = table1();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        let mut snap = Snapshot::fitted(ds, &model);
+        snap.wal_seq = 42;
+        let decoded = Snapshot::decode_bytes(&snap.encode_v2()).unwrap();
+        assert_eq!(decoded.wal_seq, 42, "wal coverage must survive v2");
+        let (a, b) = (snap.params.unwrap(), decoded.params.unwrap());
+        assert_eq!(a.phi, b.phi);
+        assert_eq!(a.psi, b.psi);
+        assert_eq!(a.mu, b.mu, "binary μ must round-trip bit-for-bit");
+        assert_eq!(a.config.tol, b.config.tol);
+    }
+
+    #[test]
+    fn v2_checksum_catches_flipped_bytes() {
+        let ds = table1();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        let bytes = Snapshot::fitted(ds, &model).encode_v2();
+        for at in [20, bytes.len() / 2, bytes.len() - 8] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x01;
+            assert!(
+                Snapshot::decode_bytes(&bad).is_err(),
+                "flip at byte {at} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_files_load_with_zero_wal_seq() {
+        let snap = Snapshot::new(table1());
+        let decoded = Snapshot::decode_bytes(snap.encode().as_bytes()).unwrap();
+        assert_eq!(decoded.wal_seq, 0);
+        assert_eq!(decoded.dataset.records(), snap.dataset.records());
+    }
+
+    #[test]
     fn version_header_is_checked() {
         let err = Snapshot::decode("tdh-snapshot v99\n").unwrap_err();
         assert!(matches!(err, SnapshotError::Version { .. }), "{err}");
@@ -675,6 +916,27 @@ mod tests {
         let decoded = Snapshot::decode(&snap.encode()).unwrap();
         assert_eq!(decoded.dataset.n_objects(), 0);
         assert_eq!(decoded.dataset.hierarchy().len(), 1);
+        let decoded = Snapshot::decode_bytes(&snap.encode_v2()).unwrap();
+        assert_eq!(decoded.dataset.n_objects(), 0);
+    }
+
+    #[test]
+    fn save_is_v2_and_load_reads_both() {
+        let ds = table1();
+        let mut model = TdhModel::new(TdhConfig::default());
+        model.fit(&ds);
+        let snap = Snapshot::fitted(ds, &model);
+        let dir = std::env::temp_dir().join(format!("tdh-snapv2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p2 = dir.join("two.tdhsnap");
+        snap.save(&p2).unwrap();
+        let head = std::fs::read(&p2).unwrap();
+        assert!(head.starts_with(HEADER_V2.as_bytes()), "save writes v2");
+        assert_eq!(Snapshot::load(&p2).unwrap().params, snap.params);
+        let p1 = dir.join("one.tdhsnap");
+        std::fs::write(&p1, snap.encode()).unwrap();
+        assert_eq!(Snapshot::load(&p1).unwrap().params, snap.params);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,673 @@
+//! The segmented write-ahead claim log behind durable ingestion.
+//!
+//! A [`TruthServer`](crate::TruthServer) with durability attached appends
+//! every **accepted** claim batch here — and syncs it to disk — *before*
+//! [`ingest`](crate::TruthServer::ingest) returns, so an acknowledged claim
+//! survives a crash: on restart, recovery loads the latest snapshot as a
+//! checkpoint and replays the log suffix the snapshot does not cover (the
+//! transactional-update discipline of DB-nets — an accepted batch is an
+//! atomic, durable transition, never a partially applied one).
+//!
+//! # On-disk format
+//!
+//! The log lives in a directory of **segment files** named by the sequence
+//! number of the first batch they hold (`<seq:020>.wal`). Appends go to the
+//! newest segment; once it exceeds [`WalOptions::segment_bytes`] a fresh
+//! segment is started, so [compaction](Wal::truncate_covered) can drop
+//! whole files once a snapshot covers their batches — the log never needs
+//! to be rewritten in place.
+//!
+//! Each batch is one length-prefixed, checksummed, binary record:
+//!
+//! ```text
+//! [payload_len: u32 LE] [crc32(payload): u32 LE] [payload]
+//! payload = [seq: u64 LE] [n_claims: u32 LE] claim*
+//! claim   = [kind: u8 (0 = record, 1 = answer)] str str str   // object, source/worker, value
+//! str     = [len: u32 LE] [UTF-8 bytes]
+//! ```
+//!
+//! Sequence numbers start at 1 and are contiguous across segments, so a
+//! missing or reordered segment is detected on open. Because the payload is
+//! checksummed and the batch is framed as one record, recovery applies a
+//! batch **fully or not at all**: a torn or corrupt *final* record — the
+//! signature of a crash mid-append — is skipped with a warning and the
+//! segment is truncated back to its last good record; corruption anywhere
+//! *before* the tail is not a crash artifact and surfaces as
+//! [`WalError::Corrupt`] instead of being silently dropped.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::server::Claim;
+
+/// Hard cap on one record's payload, so a corrupt length prefix cannot ask
+/// recovery to allocate arbitrarily much.
+const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Hard cap on one encoded string field (entity names are short in
+/// practice; this only bounds hostile decodes).
+const MAX_STR: u32 = 16 * 1024 * 1024;
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Start a new segment once the current one reaches this many bytes
+    /// (checked before each append; a single batch may exceed it).
+    pub segment_bytes: u64,
+    /// Sync every append to disk before acknowledging (`fsync`). Turning
+    /// this off trades the durability guarantee for append speed — only do
+    /// so in tests and benchmarks.
+    pub fsync: bool,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            segment_bytes: 4 * 1024 * 1024,
+            fsync: true,
+        }
+    }
+}
+
+/// One replayed log entry: the batch's sequence number and its claims in
+/// application order (records before answers, each in batch order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalBatch {
+    /// The batch's log sequence number (1-based, contiguous).
+    pub seq: u64,
+    /// The accepted claims, exactly as appended.
+    pub claims: Vec<Claim>,
+}
+
+/// Errors raised while opening, appending to, or compacting a log.
+#[derive(Debug)]
+pub enum WalError {
+    /// Underlying file I/O failure.
+    Io(io::Error),
+    /// A structurally invalid log: corruption before the final record, a
+    /// sequence gap, or a segment file that contradicts its name.
+    Corrupt {
+        /// The offending segment file name.
+        segment: String,
+        /// Byte offset of the bad record within the segment.
+        offset: u64,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt {
+                segment,
+                offset,
+                message,
+            } => write!(
+                f,
+                "corrupt wal segment {segment} at byte {offset}: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// One segment file and the sequence number of its first batch.
+#[derive(Debug)]
+struct Segment {
+    first_seq: u64,
+    path: PathBuf,
+}
+
+/// An open, appendable write-ahead claim log. See the [module
+/// docs](crate::wal) for the format and the recovery contract.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    options: WalOptions,
+    /// All live segments, oldest first; the last one is the append target.
+    segments: Vec<Segment>,
+    /// Append handle on the last segment.
+    file: File,
+    /// Byte length of the last segment.
+    len: u64,
+    /// The sequence number the next appended batch will get.
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Open (or create) the log in `dir`, replaying every intact batch.
+    ///
+    /// Returns the appendable log positioned after its last good record,
+    /// plus all recovered batches in sequence order. A torn or corrupt
+    /// final record is skipped with a warning on stderr and truncated away;
+    /// corruption before the tail is a [`WalError::Corrupt`].
+    pub fn open(dir: &Path, options: WalOptions) -> Result<(Wal, Vec<WalBatch>), WalError> {
+        fs::create_dir_all(dir)?;
+        let mut found: Vec<Segment> = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(".wal") else {
+                continue;
+            };
+            let Ok(first_seq) = stem.parse::<u64>() else {
+                continue;
+            };
+            found.push(Segment { first_seq, path });
+        }
+        found.sort_by_key(|s| s.first_seq);
+
+        let mut batches: Vec<WalBatch> = Vec::new();
+        let mut last_len = 0u64;
+        if found.is_empty() {
+            let seg = Segment {
+                first_seq: 1,
+                path: dir.join(segment_name(1)),
+            };
+            let file = create_segment(&seg.path, dir, options.fsync)?;
+            return Ok((
+                Wal {
+                    dir: dir.to_path_buf(),
+                    options,
+                    segments: vec![seg],
+                    file,
+                    len: 0,
+                    next_seq: 1,
+                },
+                batches,
+            ));
+        }
+        // Compaction drops the oldest segments, so the log may legitimately
+        // start past seq 1: the first surviving segment sets the origin and
+        // everything after it must be contiguous.
+        let mut next_seq = found[0].first_seq;
+        for (si, seg) in found.iter().enumerate() {
+            let is_last = si + 1 == found.len();
+            if seg.first_seq != next_seq {
+                return Err(WalError::Corrupt {
+                    segment: display_name(&seg.path),
+                    offset: 0,
+                    message: format!(
+                        "segment starts at seq {} but the log's next seq is {next_seq} \
+                         (missing or reordered segment)",
+                        seg.first_seq
+                    ),
+                });
+            }
+            let (seg_batches, good_len, torn) = read_segment(seg, next_seq, is_last)?;
+            next_seq += seg_batches.len() as u64;
+            batches.extend(seg_batches);
+            if is_last {
+                last_len = good_len;
+                if torn {
+                    // Repair the tail so future appends extend a clean log.
+                    let f = OpenOptions::new().write(true).open(&seg.path)?;
+                    f.set_len(good_len)?;
+                    if options.fsync {
+                        f.sync_all()?;
+                    }
+                }
+            }
+        }
+        let last = found.last().expect("non-empty");
+        let mut file = OpenOptions::new().append(true).open(&last.path)?;
+        // `append` positions at EOF; after a tail repair that IS good_len.
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            Wal {
+                dir: dir.to_path_buf(),
+                options,
+                segments: found,
+                file,
+                len: last_len,
+                next_seq,
+            },
+            batches,
+        ))
+    }
+
+    /// Append one accepted claim batch as a single atomic record and (per
+    /// [`WalOptions::fsync`]) sync it to disk. Returns the batch's sequence
+    /// number. Empty batches are legal but callers normally skip them.
+    pub fn append(&mut self, claims: &[Claim]) -> Result<u64, WalError> {
+        if self.len >= self.options.segment_bytes && self.len > 0 {
+            self.rotate()?;
+        }
+        let seq = self.next_seq;
+        let payload = encode_payload(seq, claims);
+        debug_assert!(payload.len() as u64 <= u64::from(MAX_PAYLOAD));
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record)?;
+        if self.options.fsync {
+            self.file.sync_data()?;
+        }
+        self.len += record.len() as u64;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Drop every segment whose batches are all `<= covered` (a snapshot
+    /// now checkpoints them). Whole files only — the live tail segment is
+    /// first rotated away when it too is fully covered, so a checkpoint of
+    /// the complete log empties it. Returns the number of segments removed.
+    pub fn truncate_covered(&mut self, covered: u64) -> Result<usize, WalError> {
+        let live = self.segments.last().expect("a wal always has a segment");
+        if live.first_seq < self.next_seq && covered + 1 >= self.next_seq {
+            // The live segment holds records and all of them are covered:
+            // rotate so it becomes droppable like any sealed segment.
+            self.rotate()?;
+        }
+        let mut dropped = 0;
+        while self.segments.len() > 1 && self.segments[1].first_seq <= covered + 1 {
+            let seg = self.segments.remove(0);
+            fs::remove_file(&seg.path)?;
+            dropped += 1;
+        }
+        if dropped > 0 && self.options.fsync {
+            sync_dir(&self.dir)?;
+        }
+        Ok(dropped)
+    }
+
+    /// The sequence number the next appended batch will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Number of live segment files.
+    pub fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total bytes across live segments.
+    pub fn total_bytes(&self) -> u64 {
+        let sealed: u64 = self.segments[..self.segments.len() - 1]
+            .iter()
+            .map(|s| fs::metadata(&s.path).map(|m| m.len()).unwrap_or(0))
+            .sum();
+        sealed + self.len
+    }
+
+    /// Seal the current segment and start a fresh one at `next_seq`.
+    fn rotate(&mut self) -> Result<(), WalError> {
+        if self.options.fsync {
+            self.file.sync_data()?;
+        }
+        let path = self.dir.join(segment_name(self.next_seq));
+        self.file = create_segment(&path, &self.dir, self.options.fsync)?;
+        self.len = 0;
+        self.segments.push(Segment {
+            first_seq: self.next_seq,
+            path,
+        });
+        Ok(())
+    }
+}
+
+/// `<seq:020>.wal` — zero-padded so lexicographic order is numeric order.
+fn segment_name(first_seq: u64) -> String {
+    format!("{first_seq:020}.wal")
+}
+
+fn display_name(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+/// Create a fresh segment file and make its directory entry durable.
+fn create_segment(path: &Path, dir: &Path, fsync: bool) -> Result<File, WalError> {
+    let file = OpenOptions::new()
+        .create(true)
+        .truncate(false)
+        .append(true)
+        .open(path)?;
+    if fsync {
+        file.sync_all()?;
+        sync_dir(dir)?;
+    }
+    Ok(file)
+}
+
+/// Flush a directory's entry table (segment creations and deletions must
+/// survive a crash, not just the file contents).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Read one segment's batches. Returns the batches, the byte offset just
+/// past the last good record, and whether a torn/corrupt tail was skipped.
+/// In a non-final segment any imperfection is an error — only the log's
+/// very tail can legitimately be torn by a crash.
+fn read_segment(
+    seg: &Segment,
+    mut expect_seq: u64,
+    is_last: bool,
+) -> Result<(Vec<WalBatch>, u64, bool), WalError> {
+    let data = fs::read(&seg.path)?;
+    let mut batches = Vec::new();
+    let mut off = 0usize;
+    let corrupt = |off: usize, message: String| WalError::Corrupt {
+        segment: display_name(&seg.path),
+        offset: off as u64,
+        message,
+    };
+    while off < data.len() {
+        let record_start = off;
+        let tail = &data[off..];
+        let header_ok = tail.len() >= 8;
+        let (len, stored_crc) = if header_ok {
+            (
+                u32::from_le_bytes(tail[0..4].try_into().expect("4 bytes")),
+                u32::from_le_bytes(tail[4..8].try_into().expect("4 bytes")),
+            )
+        } else {
+            (0, 0)
+        };
+        let frame_ok = header_ok && len <= MAX_PAYLOAD && tail.len() >= 8 + len as usize;
+        let payload = if frame_ok {
+            &tail[8..8 + len as usize]
+        } else {
+            &[][..]
+        };
+        if !frame_ok || crc32(payload) != stored_crc {
+            if is_last {
+                eprintln!(
+                    "tdh-serve wal: dropping torn/corrupt tail of {} at byte {record_start} \
+                     ({} unreplayable byte(s)); the unacknowledged batch is discarded",
+                    display_name(&seg.path),
+                    data.len() - record_start,
+                );
+                return Ok((batches, record_start as u64, true));
+            }
+            return Err(corrupt(
+                record_start,
+                if frame_ok {
+                    "record checksum mismatch before the log tail".into()
+                } else {
+                    "truncated record before the log tail".into()
+                },
+            ));
+        }
+        let batch = decode_payload(payload).map_err(|m| {
+            corrupt(
+                record_start,
+                format!("checksummed payload undecodable: {m}"),
+            )
+        })?;
+        if batch.seq != expect_seq {
+            return Err(corrupt(
+                record_start,
+                format!("batch seq {} where {expect_seq} was expected", batch.seq),
+            ));
+        }
+        expect_seq += 1;
+        off += 8 + len as usize;
+        batches.push(batch);
+    }
+    Ok((batches, off as u64, false))
+}
+
+/// Encode one batch payload (`seq`, claim count, claims).
+fn encode_payload(seq: u64, claims: &[Claim]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + claims.len() * 32);
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(claims.len() as u32).to_le_bytes());
+    for claim in claims {
+        let (kind, object, who, value) = match claim {
+            Claim::Record {
+                object,
+                source,
+                value,
+            } => (0u8, object, source, value),
+            Claim::Answer {
+                object,
+                worker,
+                value,
+            } => (1u8, object, worker, value),
+        };
+        out.push(kind);
+        for s in [object, who, value] {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_payload`]. Errors describe why a checksummed payload
+/// still failed to decode (a writer-version skew, never random corruption —
+/// that is caught by the CRC).
+fn decode_payload(payload: &[u8]) -> Result<WalBatch, String> {
+    let mut off = 0usize;
+    let take = |off: &mut usize, n: usize| -> Result<&[u8], String> {
+        let end = off
+            .checked_add(n)
+            .filter(|&e| e <= payload.len())
+            .ok_or_else(|| "payload shorter than its fields".to_string())?;
+        let slice = &payload[*off..end];
+        *off = end;
+        Ok(slice)
+    };
+    let seq = u64::from_le_bytes(take(&mut off, 8)?.try_into().expect("8 bytes"));
+    let n_claims = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4 bytes"));
+    let mut claims = Vec::with_capacity(n_claims.min(1024) as usize);
+    for _ in 0..n_claims {
+        let kind = take(&mut off, 1)?[0];
+        if kind > 1 {
+            return Err(format!("unknown claim kind {kind}"));
+        }
+        let mut strs = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let len = u32::from_le_bytes(take(&mut off, 4)?.try_into().expect("4 bytes"));
+            if len > MAX_STR {
+                return Err(format!("string field of {len} bytes exceeds the cap"));
+            }
+            let bytes = take(&mut off, len as usize)?;
+            strs.push(
+                String::from_utf8(bytes.to_vec())
+                    .map_err(|_| "non-UTF-8 string field".to_string())?,
+            );
+        }
+        let value = strs.pop().expect("3 fields");
+        let who = strs.pop().expect("2 fields");
+        let object = strs.pop().expect("1 field");
+        claims.push(if kind == 0 {
+            Claim::Record {
+                object,
+                source: who,
+                value,
+            }
+        } else {
+            Claim::Answer {
+                object,
+                worker: who,
+                value,
+            }
+        });
+    }
+    if off != payload.len() {
+        return Err(format!(
+            "{} trailing byte(s) after the last claim",
+            payload.len() - off
+        ));
+    }
+    Ok(WalBatch { seq, claims })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "tdh-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(o: &str, s: &str, v: &str) -> Claim {
+        Claim::Record {
+            object: o.into(),
+            source: s.into(),
+            value: v.into(),
+        }
+    }
+
+    fn opts() -> WalOptions {
+        WalOptions {
+            segment_bytes: 128,
+            fsync: false,
+        }
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let (mut wal, replayed) = Wal::open(&dir, opts()).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(wal.append(&[rec("o1", "s\tweird", "v\nname")]).unwrap(), 1);
+        assert_eq!(wal.append(&[]).unwrap(), 2);
+        assert_eq!(
+            wal.append(&[rec("o2", "s", "v"), rec("o3", "s", "v")])
+                .unwrap(),
+            3
+        );
+        drop(wal);
+        let (wal, replayed) = Wal::open(&dir, opts()).unwrap();
+        assert_eq!(wal.next_seq(), 4);
+        assert_eq!(replayed.len(), 3);
+        assert_eq!(replayed[0].seq, 1);
+        assert_eq!(replayed[0].claims, vec![rec("o1", "s\tweird", "v\nname")]);
+        assert!(replayed[1].claims.is_empty());
+        assert_eq!(replayed[2].claims.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_and_compaction() {
+        let dir = tmp_dir("rotate");
+        let (mut wal, _) = Wal::open(&dir, opts()).unwrap();
+        for i in 0..20 {
+            wal.append(&[rec(&format!("obj-{i}"), "a source name", "some value")])
+                .unwrap();
+        }
+        assert!(wal.n_segments() > 1, "128-byte segments must rotate");
+        let n_before = wal.n_segments();
+        // Covering seq 10 drops only segments fully at-or-below it.
+        let dropped = wal.truncate_covered(10).unwrap();
+        assert!(dropped > 0 && dropped < n_before);
+        drop(wal);
+        let (mut wal, replayed) = Wal::open(&dir, opts()).unwrap();
+        assert_eq!(wal.next_seq(), 21);
+        assert!(replayed.iter().all(|b| b.seq <= 20));
+        assert!(replayed.iter().any(|b| b.seq == 20), "tail survives");
+        assert!(
+            replayed
+                .iter()
+                .all(|b| b.seq > 10 || b.seq == replayed[0].seq || b.seq >= replayed[0].seq),
+            "only whole covered segments dropped"
+        );
+        // Covering everything empties the log (the live segment rotates away).
+        wal.truncate_covered(20).unwrap();
+        drop(wal);
+        let (wal, replayed) = Wal::open(&dir, opts()).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(wal.next_seq(), 21, "sequence numbers survive compaction");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_with_truncation() {
+        let dir = tmp_dir("torn");
+        let (mut wal, _) = Wal::open(
+            &dir,
+            WalOptions {
+                segment_bytes: 1 << 20,
+                fsync: false,
+            },
+        )
+        .unwrap();
+        wal.append(&[rec("acked", "s", "v")]).unwrap();
+        wal.append(&[rec("torn", "s", "v")]).unwrap();
+        drop(wal);
+        let seg = dir.join(segment_name(1));
+        let len = fs::metadata(&seg).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&seg).unwrap();
+        f.set_len(len - 3).unwrap(); // tear the last record
+        drop(f);
+        let (mut wal, replayed) = Wal::open(&dir, opts()).unwrap();
+        assert_eq!(replayed.len(), 1, "only the intact batch survives");
+        assert_eq!(replayed[0].claims, vec![rec("acked", "s", "v")]);
+        assert_eq!(wal.next_seq(), 2, "the torn batch's seq is reusable");
+        // The tail was repaired: appending and reopening is clean.
+        wal.append(&[rec("after", "s", "v")]).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&dir, opts()).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[1].claims, vec![rec("after", "s", "v")]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_before_the_tail_is_an_error() {
+        let dir = tmp_dir("midcorrupt");
+        let (mut wal, _) = Wal::open(
+            &dir,
+            WalOptions {
+                segment_bytes: 1 << 20,
+                fsync: false,
+            },
+        )
+        .unwrap();
+        wal.append(&[rec("first", "s", "v")]).unwrap();
+        wal.append(&[rec("second", "s", "v")]).unwrap();
+        drop(wal);
+        let seg = dir.join(segment_name(1));
+        let mut data = fs::read(&seg).unwrap();
+        data[10] ^= 0xFF; // inside the first record's payload
+        fs::write(&seg, &data).unwrap();
+        // A second segment makes the corrupt one non-final.
+        fs::write(dir.join(segment_name(3)), []).unwrap();
+        let err = Wal::open(&dir, opts()).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt { .. }), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequence_gaps_are_detected() {
+        let dir = tmp_dir("gap");
+        let (mut wal, _) = Wal::open(&dir, opts()).unwrap();
+        for i in 0..20 {
+            wal.append(&[rec(&format!("obj-{i}"), "a source name", "some value")])
+                .unwrap();
+        }
+        assert!(wal.n_segments() >= 3);
+        let victim = wal.segments[1].path.clone();
+        drop(wal);
+        fs::remove_file(victim).unwrap();
+        let err = Wal::open(&dir, opts()).unwrap_err();
+        assert!(err.to_string().contains("missing or reordered"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,225 @@
+//! Crash-injection suite: a real child process serving over TCP is killed
+//! with SIGKILL mid-stream, restarted, and must recover **every
+//! acknowledged batch** and **no partial batch** — the WAL-before-ack
+//! contract, pinned end-to-end through the network front.
+//!
+//! The child is this same test binary re-invoked with `--exact
+//! child_server` and `TDH_CRASH_CHILD_DIR` set; in normal runs that test is
+//! an immediate no-op.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tdh_core::TdhConfig;
+use tdh_data::Dataset;
+use tdh_hierarchy::HierarchyBuilder;
+use tdh_serve::{serve_tcp, RefitPolicy, TruthServer};
+
+/// The corpus both child generations agree on: 4×4 hierarchy, 20 objects,
+/// three sources, 60 records.
+const BASE_RECORDS: usize = 60;
+
+fn corpus() -> Dataset {
+    let mut b = HierarchyBuilder::new();
+    for c in 0..4 {
+        for t in 0..4 {
+            b.add_path(&[&format!("C{c}"), &format!("C{c}T{t}")]);
+        }
+    }
+    let mut ds = Dataset::new(b.build());
+    let good1 = ds.intern_source("good1");
+    let good2 = ds.intern_source("good2");
+    let liar = ds.intern_source("liar");
+    for i in 0..20 {
+        let o = ds.intern_object(&format!("o{i}"));
+        let h = ds.hierarchy();
+        let truth = h.node_by_name(&format!("C{}T{}", i % 4, i % 4)).unwrap();
+        let wrong = h
+            .node_by_name(&format!("C{}T{}", (i + 1) % 4, i % 4))
+            .unwrap();
+        ds.set_gold(o, truth);
+        ds.add_record(o, good1, truth);
+        ds.add_record(o, good2, truth);
+        ds.add_record(o, liar, wrong);
+    }
+    ds
+}
+
+/// The child half: create or recover a durable server under
+/// `$TDH_CRASH_CHILD_DIR`, serve TCP on an ephemeral port, publish the
+/// address atomically, and park until the parent kills us.
+#[test]
+fn child_server() {
+    let Ok(dir) = std::env::var("TDH_CRASH_CHILD_DIR") else {
+        return; // normal test run: nothing to do
+    };
+    let dir = PathBuf::from(dir);
+    let server = if dir.join("snapshot.tdhsnap").exists() {
+        TruthServer::open(&dir, RefitPolicy::EveryBatch).expect("child recovers")
+    } else {
+        TruthServer::create_durable(
+            &dir,
+            corpus(),
+            TdhConfig::default(),
+            RefitPolicy::EveryBatch,
+        )
+        .expect("child bootstraps")
+    };
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("child listens");
+    // tmp + rename so the parent can never read a half-written address.
+    let tmp = dir.join("addr.tmp");
+    std::fs::write(&tmp, handle.addr().to_string()).unwrap();
+    std::fs::rename(&tmp, dir.join("addr")).unwrap();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// A spawned child generation; SIGKILLed on drop so a failing assert never
+/// leaks a process.
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_child(dir: &Path) -> ChildGuard {
+    let _ = std::fs::remove_file(dir.join("addr"));
+    let child = Command::new(std::env::current_exe().unwrap())
+        .args(["child_server", "--exact", "--nocapture"])
+        .env("TDH_CRASH_CHILD_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child server");
+    ChildGuard(child)
+}
+
+fn wait_for_addr(dir: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(dir.join("addr")) {
+            return addr;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect to child");
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    line
+}
+
+/// One `INGEST` batch: three records establishing object `name`'s truth.
+fn ingest_lines(name: &str, i: usize) -> String {
+    let truth = format!("C{}T{}", i % 4, (i + 1) % 4);
+    let wrong = format!("C{}T{}", (i + 2) % 4, (i + 1) % 4);
+    format!(
+        "INGEST\t3\nRECORD\t{name}\tgood1\t{truth}\nRECORD\t{name}\tgood2\t{truth}\n\
+         RECORD\t{name}\tliar\t{wrong}\n"
+    )
+}
+
+fn stats_field(json: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let rest = &json[json.find(&key).expect("stats field") + key.len()..];
+    rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+}
+
+#[test]
+fn sigkill_loses_no_acked_batch_and_applies_no_partial_batch() {
+    let dir = std::env::temp_dir().join(format!("tdh-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Generation 1: bootstrap, ingest acked batches, checkpoint midway.
+    let child = spawn_child(&dir);
+    let addr = wait_for_addr(&dir);
+    let (mut stream, mut reader) = connect(&addr);
+    let mut acked = Vec::new();
+    for i in 0..8 {
+        let name = format!("acked{i}");
+        stream.write_all(ingest_lines(&name, i).as_bytes()).unwrap();
+        let reply = read_line(&mut reader);
+        assert!(
+            reply.contains("\"appended_records\":3"),
+            "ack, got: {reply}"
+        );
+        acked.push(name);
+        if i == 3 {
+            stream.write_all(b"CHECKPOINT\n").unwrap();
+            let reply = read_line(&mut reader);
+            assert!(reply.contains("\"ok\":true"), "checkpoint, got: {reply}");
+        }
+    }
+
+    // Now the crash window: one complete batch whose ack we never read —
+    // it may or may not land, but must land whole — then a half-shipped
+    // batch that can never be acknowledged, then SIGKILL.
+    stream
+        .write_all(ingest_lines("unacked", 8).as_bytes())
+        .unwrap();
+    stream
+        .write_all(b"INGEST\t3\nRECORD\tvictim\tgood1\tC0T1\nRECORD\tvictim\tgood2\tC0T1\n")
+        .unwrap();
+    stream.flush().unwrap();
+    drop(child); // SIGKILL, mid-stream
+    drop(stream);
+
+    // Generation 2: recover from the same directory.
+    let child = spawn_child(&dir);
+    let addr = wait_for_addr(&dir);
+    let (mut stream, mut reader) = connect(&addr);
+    stream.write_all(b"STATS\n").unwrap();
+    let stats = read_line(&mut reader);
+    let records = stats_field(&stats, "records");
+
+    // Every acked batch survived; whatever else survived is whole batches.
+    assert!(
+        records >= (BASE_RECORDS + 3 * acked.len()) as u64,
+        "acked claims lost: {records} records after recovery ({stats})"
+    );
+    assert_eq!(
+        (records - BASE_RECORDS as u64) % 3,
+        0,
+        "a batch half-applied: {records} records is not the base plus whole \
+         batches of 3 ({stats})"
+    );
+    for name in &acked {
+        stream
+            .write_all(format!("TRUTH\t{name}\n").as_bytes())
+            .unwrap();
+        let reply = read_line(&mut reader);
+        assert!(
+            !reply.contains("\"truth\":null"),
+            "acked object {name} lost its truth: {reply}"
+        );
+    }
+    // The half-shipped batch must have vanished entirely.
+    stream.write_all(b"TRUTH\tvictim\n").unwrap();
+    let reply = read_line(&mut reader);
+    assert!(
+        reply.contains("\"truth\":null"),
+        "partial batch leaked into the recovered state: {reply}"
+    );
+
+    drop(child);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,332 @@
+//! Recovery contract suite: a durable server reopened from its data
+//! directory reproduces the uninterrupted server **bit-for-bit** (Manual
+//! policy twins), replay is *quiet* — it never re-triggers the refit policy
+//! or publishes intermediate states — checkpoints compact the WAL without
+//! losing uncovered batches, a torn WAL tail is repaired rather than fatal,
+//! and v1 snapshots still serve as recovery bases.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use tdh_core::TdhConfig;
+use tdh_data::Dataset;
+use tdh_hierarchy::HierarchyBuilder;
+use tdh_serve::{Claim, DurableError, RefitPolicy, TruthServer, WalOptions};
+
+static DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tdh-recovery-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The standard serving corpus: 4×4 hierarchy, 20 gold-labelled objects,
+/// two honest sources and one liar (60 records).
+fn corpus() -> Dataset {
+    let mut b = HierarchyBuilder::new();
+    for c in 0..4 {
+        for t in 0..4 {
+            b.add_path(&[&format!("C{c}"), &format!("C{c}T{t}")]);
+        }
+    }
+    let mut ds = Dataset::new(b.build());
+    let good1 = ds.intern_source("good1");
+    let good2 = ds.intern_source("good2");
+    let liar = ds.intern_source("liar");
+    for i in 0..20 {
+        let o = ds.intern_object(&format!("o{i}"));
+        let h = ds.hierarchy();
+        let truth = h.node_by_name(&format!("C{}T{}", i % 4, i % 4)).unwrap();
+        let wrong = h
+            .node_by_name(&format!("C{}T{}", (i + 1) % 4, i % 4))
+            .unwrap();
+        ds.set_gold(o, truth);
+        ds.add_record(o, good1, truth);
+        ds.add_record(o, good2, truth);
+        ds.add_record(o, liar, wrong);
+    }
+    ds
+}
+
+fn record(object: &str, source: &str, value: &str) -> Claim {
+    Claim::Record {
+        object: object.into(),
+        source: source.into(),
+        value: value.into(),
+    }
+}
+
+fn answer(object: &str, worker: &str, value: &str) -> Claim {
+    Claim::Answer {
+        object: object.into(),
+        worker: worker.into(),
+        value: value.into(),
+    }
+}
+
+/// `i`-th follow-up batch: three records and an answer for a fresh object.
+fn batch(i: usize) -> Vec<Claim> {
+    let name = format!("new{i}");
+    let truth = format!("C{}T{}", i % 4, (i + 1) % 4);
+    let wrong = format!("C{}T{}", (i + 2) % 4, (i + 1) % 4);
+    vec![
+        record(&name, "good1", &truth),
+        record(&name, "good2", &truth),
+        record(&name, "liar", &wrong),
+        answer(&name, "w0", &truth),
+    ]
+}
+
+#[test]
+fn replay_is_quiet_one_refit_one_publication() {
+    let dir = fresh_dir();
+    let mut server = TruthServer::create_durable(
+        &dir,
+        corpus(),
+        TdhConfig::default(),
+        RefitPolicy::EveryBatch,
+    )
+    .unwrap();
+    let mut claims = 0;
+    for i in 0..3 {
+        let b = batch(i);
+        claims += b.len();
+        let report = server.ingest(&b).unwrap();
+        assert!(report.refit.is_some(), "EveryBatch refits live");
+        assert!(report.wal.is_some(), "durable ingest reports WAL time");
+    }
+    drop(server);
+
+    let server = TruthServer::open(&dir, RefitPolicy::EveryBatch).unwrap();
+    let rec = server.recovery().expect("opened servers report recovery");
+    assert_eq!(rec.snapshot_wal_seq, 0, "initial checkpoint covers nothing");
+    assert_eq!(rec.replayed_batches, 3);
+    assert_eq!(rec.replayed_claims, claims);
+    assert!(rec.refit.is_some(), "replay folds in with one warm refit");
+
+    // Replay must NOT re-run the EveryBatch policy per batch: exactly one
+    // refit and one post-restore publication, regardless of batch count.
+    let stats = server.stats();
+    assert_eq!(stats.batches, 3, "replayed batches are counted");
+    assert_eq!(stats.refits, 1, "one refit total, not one per batch");
+    assert_eq!(stats.publications, 2, "restore + final fold only");
+    assert_eq!(server.state().version(), 2);
+    assert_eq!(stats.pending_claims, 0);
+    for i in 0..3 {
+        assert!(
+            server.truth(&format!("new{i}")).is_some(),
+            "acked object new{i} must survive recovery"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovered_state_is_bitwise_identical_to_uninterrupted() {
+    // Manual-policy twins: the uninterrupted server cold-fits, ingests two
+    // batches, then refits once. The recovered server replays the same two
+    // batches onto the same checkpoint and refits once. Fits are
+    // deterministic, so every table must match to the last bit.
+    let dir = fresh_dir();
+    let cfg = TdhConfig::default();
+
+    let mut live = TruthServer::new(corpus(), cfg.clone(), RefitPolicy::Manual);
+    let mut durable =
+        TruthServer::create_durable(&dir, corpus(), cfg, RefitPolicy::Manual).unwrap();
+    for i in 0..2 {
+        live.ingest(&batch(i)).unwrap();
+        durable.ingest(&batch(i)).unwrap();
+    }
+    live.refit_now();
+    drop(durable); // crash before any manual refit or checkpoint
+
+    let recovered = TruthServer::open(&dir, RefitPolicy::Manual).unwrap();
+    assert_eq!(recovered.recovery().unwrap().replayed_batches, 2);
+
+    assert_eq!(
+        live.model().phi_table(),
+        recovered.model().phi_table(),
+        "φ must be bit-identical"
+    );
+    assert_eq!(
+        live.model().psi_table(),
+        recovered.model().psi_table(),
+        "ψ must be bit-identical"
+    );
+    assert_eq!(
+        live.model().mu_table(),
+        recovered.model().mu_table(),
+        "μ must be bit-identical"
+    );
+    for i in 0..20 {
+        let name = format!("o{i}");
+        let (a, b) = (live.truth(&name).unwrap(), recovered.truth(&name).unwrap());
+        assert_eq!(a.value, b.value, "truth of {name}");
+        assert_eq!(a.confidence, b.confidence, "confidence of {name}");
+    }
+    assert_eq!(live.top_uncertain(5), recovered.top_uncertain(5));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_compacts_and_later_batches_replay() {
+    let dir = fresh_dir();
+    let mut server = TruthServer::new(
+        corpus(),
+        TdhConfig::default(),
+        RefitPolicy::ClaimThreshold(1000),
+    );
+    // Tiny segments force one rotation roughly per batch, so a checkpoint
+    // has whole segments to drop.
+    server
+        .attach_durability_with(
+            &dir,
+            WalOptions {
+                segment_bytes: 256,
+                fsync: false,
+            },
+        )
+        .unwrap();
+    for i in 0..6 {
+        server.ingest(&batch(i)).unwrap();
+    }
+    let report = server.checkpoint().unwrap();
+    assert_eq!(report.wal_seq, 6, "checkpoint covers every acked batch");
+    assert!(report.segments_dropped >= 1, "covered segments are dropped");
+    assert!(report.snapshot_bytes > 0);
+
+    // Everything is in the snapshot now: a reopen replays nothing...
+    drop(server);
+    let mut server = TruthServer::open_with(
+        &dir,
+        RefitPolicy::ClaimThreshold(1000),
+        WalOptions {
+            segment_bytes: 256,
+            fsync: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(server.recovery().unwrap().replayed_batches, 0);
+    assert!(
+        server.recovery().unwrap().refit.is_none(),
+        "nothing to fold"
+    );
+    assert_eq!(server.recovery().unwrap().snapshot_wal_seq, 6);
+
+    // ...and batches acked after the checkpoint replay from the tail.
+    server.ingest(&batch(6)).unwrap();
+    server.ingest(&batch(7)).unwrap();
+    drop(server);
+    let server = TruthServer::open(&dir, RefitPolicy::ClaimThreshold(1000)).unwrap();
+    assert_eq!(server.recovery().unwrap().replayed_batches, 2);
+    assert!(server.truth("new7").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_tail_recovers_the_acked_prefix() {
+    let dir = fresh_dir();
+    let mut server =
+        TruthServer::create_durable(&dir, corpus(), TdhConfig::default(), RefitPolicy::Manual)
+            .unwrap();
+    for i in 0..3 {
+        server.ingest(&batch(i)).unwrap();
+    }
+    drop(server);
+
+    // Simulate a crash mid-append: chop bytes off the last WAL segment and
+    // smear garbage after it. The torn record must be discarded, the acked
+    // prefix must survive, and recovery must not error.
+    let wal_dir = dir.join("wal");
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(&wal_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    segments.sort();
+    let last = segments.last().unwrap();
+    let data = std::fs::read(last).unwrap();
+    std::fs::write(last, &data[..data.len() - 5]).unwrap();
+
+    let server = TruthServer::open(&dir, RefitPolicy::Manual).unwrap();
+    let rec = server.recovery().unwrap();
+    assert_eq!(rec.replayed_batches, 2, "the torn third batch is dropped");
+    assert!(server.truth("new0").is_some());
+    assert!(server.truth("new1").is_some());
+    assert!(
+        server.truth("new2").is_none(),
+        "the torn batch must not half-apply"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn v1_snapshot_is_a_valid_recovery_base() {
+    let dir = fresh_dir();
+    let mut server =
+        TruthServer::create_durable(&dir, corpus(), TdhConfig::default(), RefitPolicy::Manual)
+            .unwrap();
+    server.ingest(&batch(0)).unwrap();
+    server.checkpoint().unwrap(); // folds the batch in and empties the WAL
+    let snap = server.snapshot();
+    drop(server);
+
+    // An operator restoring from an old text snapshot: same state, but the
+    // v1 format has no WAL watermark, so it reads back as zero.
+    std::fs::write(dir.join("snapshot.tdhsnap"), snap.encode()).unwrap();
+    let server = TruthServer::open(&dir, RefitPolicy::Manual).unwrap();
+    assert_eq!(server.recovery().unwrap().snapshot_wal_seq, 0);
+    assert_eq!(server.recovery().unwrap().replayed_batches, 0);
+    assert!(
+        server.truth("new0").is_some(),
+        "state came from the snapshot"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ingest_reports_wal_time_only_when_durable() {
+    let dir = fresh_dir();
+    let mut plain = TruthServer::new(corpus(), TdhConfig::default(), RefitPolicy::Manual);
+    assert!(!plain.is_durable());
+    assert!(plain.ingest(&batch(0)).unwrap().wal.is_none());
+
+    plain.attach_durability(&dir).unwrap();
+    assert!(plain.is_durable());
+    assert!(plain.ingest(&batch(1)).unwrap().wal.is_some());
+    // An empty batch appends nothing and therefore logs nothing.
+    assert!(plain.ingest(&[]).unwrap().wal.is_none());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durability_error_cases() {
+    let dir = fresh_dir();
+    match TruthServer::open(&dir, RefitPolicy::Manual) {
+        Err(DurableError::NoSnapshot) => {}
+        other => panic!("open on an empty dir must be NoSnapshot, got {other:?}"),
+    }
+
+    let mut server =
+        TruthServer::create_durable(&dir, corpus(), TdhConfig::default(), RefitPolicy::Manual)
+            .unwrap();
+    match server.attach_durability(&fresh_dir()) {
+        Err(DurableError::AlreadyInitialized) => {}
+        other => panic!("double attach must fail, got {other:?}"),
+    }
+    drop(server);
+
+    // A directory holding a previous server's state must be opened, not
+    // shadowed by a new attach.
+    let mut other = TruthServer::new(corpus(), TdhConfig::default(), RefitPolicy::Manual);
+    match other.attach_durability(&dir) {
+        Err(DurableError::AlreadyInitialized) => {}
+        other => panic!("attach over an initialized dir must fail, got {other:?}"),
+    }
+    assert!(!other.is_durable(), "failed attach leaves the server plain");
+    let _ = std::fs::remove_dir_all(&dir);
+}

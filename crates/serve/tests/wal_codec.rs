@@ -1,0 +1,239 @@
+//! Property suite: the segmented WAL codec — append → reopen replays every
+//! batch **exactly** (hostile entity names, empty batches, forced segment
+//! rotation), and damage behaves by contract: a torn tail yields a clean
+//! prefix of the acknowledged batches (with the file repaired for further
+//! appends), a flipped byte yields an error or a prefix — **never** a
+//! panic, and never a silently different batch.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+use tdh_serve::{Claim, Wal, WalOptions};
+
+static DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch directory per test case (proptest cases run many times
+/// per process, and the 1/4-thread CI legs run cases concurrently).
+fn fresh_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "tdh-walcodec-{}-{}",
+        std::process::id(),
+        DIR_ID.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Hostile name pool: empty strings, tabs/newlines, backslashes, unicode,
+/// and a long name — everything the length-prefixed codec must not choke on.
+fn name(i: usize) -> String {
+    const POOL: &[&str] = &[
+        "",
+        "plain",
+        "with\ttab",
+        "with\nnewline",
+        "back\\slash",
+        "ναός\u{1F3DB}",
+        "crc crc crc",
+        "0123456789",
+    ];
+    if i % (POOL.len() + 1) == POOL.len() {
+        "x".repeat(300) + &i.to_string()
+    } else {
+        POOL[i % (POOL.len() + 1)].to_string()
+    }
+}
+
+fn claim((kind, o, s, v): (usize, usize, usize, usize)) -> Claim {
+    if kind % 2 == 0 {
+        Claim::Record {
+            object: name(o),
+            source: name(s),
+            value: name(v),
+        }
+    } else {
+        Claim::Answer {
+            object: name(o),
+            worker: name(s),
+            value: name(v),
+        }
+    }
+}
+
+fn write_batches(dir: &PathBuf, batches: &[Vec<Claim>], segment_bytes: u64) {
+    let opts = WalOptions {
+        segment_bytes,
+        fsync: false,
+    };
+    let (mut wal, replayed) = Wal::open(dir, opts).expect("open fresh");
+    assert!(replayed.is_empty());
+    for (i, b) in batches.iter().enumerate() {
+        assert_eq!(wal.append(b).expect("append"), i as u64 + 1);
+    }
+}
+
+fn reopen(dir: &PathBuf) -> Result<(Wal, Vec<tdh_serve::WalBatch>), tdh_serve::WalError> {
+    Wal::open(
+        dir,
+        WalOptions {
+            segment_bytes: 1 << 20,
+            fsync: false,
+        },
+    )
+}
+
+/// The WAL's segment files, oldest first.
+fn segment_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("wal dir")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "wal"))
+        .collect();
+    files.sort();
+    files
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn roundtrip_replays_every_batch(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(
+                (0usize..2, 0usize..100, 0usize..100, 0usize..100), 0..6),
+            0..10),
+        tiny_segments in 0usize..2,
+    ) {
+        let dir = fresh_dir();
+        let batches: Vec<Vec<Claim>> =
+            raw.iter().map(|b| b.iter().map(|&c| claim(c)).collect()).collect();
+        // 96-byte segments force rotation mid-stream; large ones keep one file.
+        write_batches(&dir, &batches, if tiny_segments == 1 { 96 } else { 1 << 20 });
+
+        let (wal, replayed) = reopen(&dir).expect("clean log reopens");
+        prop_assert_eq!(wal.next_seq(), batches.len() as u64 + 1);
+        prop_assert_eq!(replayed.len(), batches.len());
+        for (i, (got, want)) in replayed.iter().zip(&batches).enumerate() {
+            prop_assert_eq!(got.seq, i as u64 + 1);
+            prop_assert_eq!(&got.claims, want, "batch {}", i);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_yields_a_clean_prefix(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(
+                (0usize..2, 0usize..50, 0usize..50, 0usize..50), 0..4),
+            1..8),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let dir = fresh_dir();
+        let batches: Vec<Vec<Claim>> =
+            raw.iter().map(|b| b.iter().map(|&c| claim(c)).collect()).collect();
+        write_batches(&dir, &batches, 1 << 20); // single segment
+
+        // Tear the file at an arbitrary byte — every cut simulates a crash
+        // at a different point of the final append.
+        let seg = segment_files(&dir).pop().expect("one segment");
+        let data = std::fs::read(&seg).unwrap();
+        let cut = (data.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+        std::fs::write(&seg, &data[..cut]).unwrap();
+
+        let (mut wal, replayed) = reopen(&dir).expect("a torn tail is not an error");
+        prop_assert!(replayed.len() <= batches.len());
+        for (i, (got, want)) in replayed.iter().zip(&batches).enumerate() {
+            prop_assert_eq!(got.seq, i as u64 + 1);
+            prop_assert_eq!(&got.claims, want, "prefix batch {}", i);
+        }
+
+        // The repaired log accepts appends and stays consistent.
+        let n = replayed.len();
+        wal.append(&[claim((0, 1, 2, 3))]).expect("append after repair");
+        drop(wal);
+        let (_, replayed2) = reopen(&dir).expect("reopen after repair");
+        prop_assert_eq!(replayed2.len(), n + 1);
+        prop_assert_eq!(
+            &replayed2[n].claims[..],
+            &[claim((0, 1, 2, 3))][..]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_byte_is_an_error_or_a_prefix_never_a_misparse(
+        raw in proptest::collection::vec(
+            proptest::collection::vec(
+                (0usize..2, 0usize..50, 0usize..50, 0usize..50), 1..4),
+            1..8),
+        tiny_segments in 0usize..2,
+        file_pick in 0usize..64,
+        byte_pick in 0usize..10_000,
+        mask in 1usize..256,
+    ) {
+        let dir = fresh_dir();
+        let batches: Vec<Vec<Claim>> =
+            raw.iter().map(|b| b.iter().map(|&c| claim(c)).collect()).collect();
+        write_batches(&dir, &batches, if tiny_segments == 1 { 96 } else { 1 << 20 });
+
+        let files = segment_files(&dir);
+        let victim = &files[file_pick % files.len()];
+        let mut data = std::fs::read(victim).unwrap();
+        if data.is_empty() {
+            let _ = std::fs::remove_dir_all(&dir);
+            continue;
+        }
+        let at = byte_pick % data.len();
+        data[at] ^= mask as u8;
+        std::fs::write(victim, &data).unwrap();
+
+        // Contract: corruption before the tail errors; tail corruption
+        // truncates to a prefix. Under no draw may a batch decode to
+        // something other than what was appended.
+        if let Ok((_, replayed)) = reopen(&dir) {
+            prop_assert!(replayed.len() <= batches.len());
+            for (i, (got, want)) in replayed.iter().zip(&batches).enumerate() {
+                prop_assert_eq!(got.seq, i as u64 + 1);
+                prop_assert_eq!(&got.claims, want, "surviving batch {}", i);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn compaction_respects_partially_covered_segments() {
+    let dir = fresh_dir();
+    let opts = WalOptions {
+        segment_bytes: 128,
+        fsync: false,
+    };
+    let (mut wal, _) = Wal::open(&dir, opts).unwrap();
+    for i in 0..12 {
+        wal.append(&[claim((0, i, i + 1, i + 2))]).unwrap();
+    }
+    let n_files = wal.n_segments();
+    assert!(n_files > 2, "tiny segments must rotate ({n_files} files)");
+
+    // Covering seq 5 drops only segments whose batches are ALL ≤ 5.
+    wal.truncate_covered(5).unwrap();
+    drop(wal);
+    let (mut wal, replayed) = Wal::open(&dir, opts).unwrap();
+    assert!(replayed.iter().any(|b| b.seq == 12), "tail intact");
+    assert!(
+        replayed.first().unwrap().seq <= 6,
+        "the first uncovered batch (6) must survive compaction"
+    );
+    for w in replayed.windows(2) {
+        assert_eq!(w[1].seq, w[0].seq + 1, "replay is contiguous");
+    }
+
+    // Covering everything empties the log but preserves the sequence.
+    wal.truncate_covered(12).unwrap();
+    assert_eq!(wal.n_segments(), 1);
+    drop(wal);
+    let (wal, replayed) = Wal::open(&dir, opts).unwrap();
+    assert!(replayed.is_empty());
+    assert_eq!(wal.next_seq(), 13);
+    let _ = std::fs::remove_dir_all(&dir);
+}
