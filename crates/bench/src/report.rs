@@ -68,7 +68,7 @@ impl ToJson for (String, f64) {
     }
 }
 
-impl<T: ToJson> ToJson for Vec<T> {
+impl<T: ToJson> ToJson for [T] {
     fn write_json(&self, out: &mut String) {
         out.push('[');
         for (i, item) in self.iter().enumerate() {
@@ -83,6 +83,12 @@ impl<T: ToJson> ToJson for Vec<T> {
             out.push('\n');
         }
         out.push(']');
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
     }
 }
 
@@ -108,6 +114,31 @@ pub fn save<T: ToJson + ?Sized>(id: &str, payload: &T) {
     } else {
         println!("  → saved {path:?}");
     }
+}
+
+/// Serialise metric rows to `results/<id>.json`, **failing loudly** when the
+/// payload is missing a field a downstream consumer asserts on.
+///
+/// [`save`] warns and keeps going on trouble, which is right for the figure
+/// scenarios — a missing plot is annoying, not wrong. Scenarios whose JSON
+/// is load-bearing (CI greps `scaling.json` for per-phase fields and
+/// regression-diffs it) must not be able to land a file that silently lost a
+/// field to a refactor: every name in `required` must appear as a metric in
+/// at least one row, and the write itself must succeed, or the bench panics.
+pub fn save_checked(id: &str, rows: &[MetricRow], required: &[&str]) {
+    for field in required {
+        assert!(
+            rows.iter()
+                .any(|r| r.metrics.iter().any(|(k, _)| k == field)),
+            "results/{id}.json would land without its asserted field {field:?} — \
+             a consumer greps for it, refusing to write"
+        );
+    }
+    let dir = results_dir();
+    fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("cannot create {dir:?}: {e}"));
+    let path = dir.join(format!("{id}.json"));
+    fs::write(&path, rows.to_json()).unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+    println!("  → saved {path:?} ({} asserted fields)", required.len());
 }
 
 /// A generic metric row for tabular experiments.
@@ -177,6 +208,30 @@ mod tests {
         assert_eq!(s, r#""a\"b\\c\nd""#);
         assert_eq!(f64::NAN.to_json(), "null");
         assert_eq!(1.5f64.to_json(), "1.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "asserted field \"e_step_s\"")]
+    fn save_checked_refuses_missing_fields() {
+        let row = MetricRow {
+            label: "threads-1".into(),
+            corpus: "test".into(),
+            metrics: vec![("fit_s".into(), 1.0)],
+        };
+        save_checked("self-test-checked", &[row], &["fit_s", "e_step_s"]);
+    }
+
+    #[test]
+    fn save_checked_writes_when_fields_present() {
+        let row = MetricRow {
+            label: "threads-1".into(),
+            corpus: "test".into(),
+            metrics: vec![("fit_s".into(), 1.0), ("e_step_s".into(), 0.5)],
+        };
+        save_checked("self-test-checked-ok", &[row], &["fit_s", "e_step_s"]);
+        let path = results_dir().join("self-test-checked-ok.json");
+        assert!(std::fs::read_to_string(&path).unwrap().contains("e_step_s"));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

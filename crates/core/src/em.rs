@@ -6,51 +6,63 @@
 //! them straight into the M-step accumulators of Eq. (9)–(11). The MAP
 //! objective `F` (Eq. 8) is tracked for convergence.
 //!
-//! # Parallel execution
+//! # Data layout
+//!
+//! The kernels do not scan the per-object [`tdh_data::ObjectView`]s: the
+//! index is flattened once per fit ([`ObservationIndex::flatten`], timed as
+//! [`PhaseTimings::flatten`]) into the dense-id struct-of-arrays tables of
+//! [`FlatObservations`], and every E/M inner loop streams those contiguous
+//! buffers. The likelihood kernels ([`flat_source_likelihood`],
+//! [`flat_worker_likelihood`]) mirror the view-based ones in `model.rs`
+//! operation for operation — a unit test pins them equal over every
+//! `(claim, truth)` pair and ablation combination — with the ancestor test
+//! served by the flat view's precomputed bitmask instead of a list scan.
+//!
+//! # Parallel execution: one barrier per phase
 //!
 //! One persistent [`crate::par::ThreadPool`] is created per fit and reused
-//! across **all** EM iterations (no per-iteration thread spawns):
+//! across **all** EM iterations (no per-iteration thread spawns). Each
+//! iteration is exactly two pool batches — the E batch and the M batch; the
+//! in-order completion of `run_batch` *is* the barrier, and there is no
+//! other synchronization: no locks, no atomics, no shared mutable state.
 //!
-//! * The **E-step** is independent across objects, so the pass is sharded
-//!   over `0..n_objects`: each pool job scans a contiguous chunk of objects
-//!   into a private [`EStepAcc`], and the driver merges the returned
-//!   accumulators in fixed chunk order. The per-chunk buffers are pooled
-//!   across iterations (zeroed, not reallocated). The Eq. (8) **log-prior**
-//!   terms at the pre-update parameters ride in the same read-only batch as
-//!   per-array partial sums (φ chunks, ψ chunks, μ chunks) merged in
-//!   submission order.
-//! * The **M-step** updates of `μ_o` (Eq. 9), `φ_s` (Eq. 10) and `ψ_w`
-//!   (Eq. 11) are independent across objects, sources and workers
-//!   respectively, so all three run as chunked pool jobs. Each entity's
-//!   update reads only its own chunk accumulator (`μ`) or the merged
-//!   accumulators and its incidence count (`φ`/`ψ`), so the M-step is
-//!   bit-identical for *every* thread count; only the E-step merge and the
-//!   log-prior partials regroup floating-point sums. The `μ` jobs write
-//!   their disjoint object ranges into the shared state directly (a short
-//!   write lock per chunk) and refresh the cached incremental-EM
-//!   statistics through their results.
+//! * Objects are partitioned once per fit into claim-weighted contiguous
+//!   chunks ([`par::chunk_ranges_weighted`] — boundaries depend only on the
+//!   corpus and thread count, never on scheduling). Each chunk **owns** its
+//!   state for the whole fit ([`ChunkState`]: its `μ` rows flattened over
+//!   its slot range, its accumulators, its scratch); the state moves into
+//!   each job by value and comes back with the result, so workers only ever
+//!   touch memory they own.
+//! * The **E batch** sends every chunk its state plus an `Arc` of the
+//!   read-only iteration snapshot ([`Params`]: `φ`/`ψ`). Each job scans its
+//!   objects' records and answers into its own accumulators and also sums
+//!   its chunk's Eq. (8) `μ` log-prior terms; the driver computes the tiny
+//!   `φ`/`ψ` log-prior sums itself, merges the returned accumulators in
+//!   fixed chunk order, and reclaims the snapshot via `Arc::try_unwrap`
+//!   (all clones die at the barrier).
+//! * The **M batch** runs the Eq. (9) `μ` updates (each chunk writes its
+//!   own `μ` range — disjoint by construction), and the Eq. (10)/(11)
+//!   `φ`/`ψ` updates (reading an `Arc` of the merged accumulators plus the
+//!   flat per-entity incidence counts, so every update is bit-identical
+//!   regardless of how entities are chunked).
 //!
-//! The iteration state lives in a [`FitState`] behind an `RwLock` for the
-//! duration of the fit: jobs take read locks (the `μ` update takes a write
-//! lock for its disjoint range), the driver takes write locks strictly
-//! between batches — the lock exists to let safe code share the state with
-//! the long-lived workers. [`TdhConfig::n_threads`] controls the shard count;
-//! `1` spawns nothing and reproduces the sequential accumulation order
-//! bit-for-bit, and any shard count yields parameters equal up to
-//! FP-summation regrouping (the facade's `parallel_equivalence` and
-//! `pool_equivalence` suites assert 1e-9 agreement end-to-end, with
+//! [`TdhConfig::n_threads`] controls the chunk count; `1` submits a single
+//! chunk inline (no threads spawned) and reproduces the sequential
+//! accumulation order bit-for-bit, and any chunk count yields parameters
+//! equal up to FP-summation regrouping (the facade's `parallel_equivalence`
+//! and `pool_equivalence` suites assert 1e-9 agreement end-to-end, with
 //! identical predicted truths on every tested corpus — an object whose top
 //! two posteriors tie within that regrouping noise could in principle flip,
 //! which the bench `scaling` scenario cross-checks and reports).
 
 use std::mem;
 use std::ops::Range;
-use std::sync::RwLock;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tdh_data::{Dataset, ObservationIndex};
+use tdh_data::{Dataset, FlatObject, FlatObservations, ObservationIndex};
 
-use crate::model::{prior_mean, TdhConfig, TdhModel, WarmStart};
+use crate::model::{prior_mean, AblationFlags, TdhConfig, TdhModel, WarmStart};
 use crate::par;
 
 /// Diagnostics from one EM run.
@@ -89,10 +101,15 @@ pub struct PhaseTimings {
     /// Time to build the [`ObservationIndex`]. Zero when the caller supplied
     /// a prebuilt index (`infer`) instead of going through `fit`.
     pub index_build: Duration,
-    /// Total E-step time across iterations: chunk scans, the fixed-order
-    /// merge and the objective assembly.
+    /// Time to flatten the index into the dense-id struct-of-arrays tables
+    /// the EM kernels scan (once per fit, before the first iteration).
+    pub flatten: Duration,
+    /// Total E-step time across iterations: the E batch (chunk scans of the
+    /// flat tables, one barrier), the fixed-order merge and the objective
+    /// assembly.
     pub e_step: Duration,
-    /// Total M-step time across iterations: the `μ`/`φ`/`ψ` updates.
+    /// Total M-step time across iterations: the M batch (`μ`/`φ`/`ψ`
+    /// updates, one barrier) and the parameter installation.
     pub m_step: Duration,
 }
 
@@ -157,171 +174,204 @@ impl ConvergenceMonitor {
     }
 }
 
-/// The per-fit iteration state shared between the driver and the pool
-/// workers. Parameters move out of [`TdhModel`] into this struct for the
-/// duration of a fit and back afterwards; workers read it under the lock
-/// during jobs (the Eq. 9 `μ` jobs write their disjoint object ranges), the
-/// driver writes it strictly between batches.
-struct FitState {
+/// The read-only iteration snapshot shared with every E-step job via `Arc`.
+///
+/// Only `φ`/`ψ` need to be globally visible during a scan: `μ`, its
+/// accumulators and the Eq. (9) update are entirely within-object, so they
+/// live in the chunk that owns the object ([`ChunkState`]) and never cross
+/// a thread boundary except by moving with their job. The driver reclaims
+/// the snapshot with `Arc::try_unwrap` after the E barrier (every job clone
+/// has been dropped by then) and mutates it in place during the M phase —
+/// parameters are never copied per iteration.
+struct Params {
     /// `φ_s = (exact, generalized, wrong)` per source.
     phi: Vec<[f64; 3]>,
     /// `ψ_w = (exact, generalized, wrong)` per worker.
     psi: Vec<[f64; 3]>,
-    /// `μ_o` per object.
-    mu: Vec<Vec<f64>>,
-    /// Merged E-step `φ` accumulators (summed over chunks in chunk order).
+}
+
+/// The merged E-step `φ`/`ψ` accumulators (summed over chunks in fixed
+/// chunk order by the driver), shared read-only with the M-batch `φ`/`ψ`
+/// jobs via `Arc` and reclaimed after the barrier so the buffers are reused
+/// across iterations.
+struct MergedAcc {
+    phi: Vec<[f64; 3]>,
+    psi: Vec<[f64; 3]>,
+}
+
+/// Everything one object-chunk owns for the duration of a fit. Moves into
+/// each E/M job by value (through the pool's channels) and comes back with
+/// the result — ownership transfer is the whole synchronization story.
+struct ChunkState {
+    /// The chunk's object range (fixed for the whole fit).
+    objects: Range<usize>,
+    /// First candidate slot of `objects.start` in the flat tables; the
+    /// chunk's `mu`/`acc_mu` buffers are indexed by `slot - slot_base`.
+    slot_base: usize,
+    /// `μ` for this chunk's slots, flattened in slot order.
+    mu: Vec<f64>,
+    /// E-step `μ` accumulators (same shape as `mu`); after an M step they
+    /// hold the Eq. (9) numerators `N_{o,v}` for the incremental-EM cache.
+    acc_mu: Vec<f64>,
+    /// Eq. (9) denominators `D_o` per object of the chunk (filled by the M
+    /// step; empty until the first iteration).
+    d_o: Vec<f64>,
+    /// E-step `φ` accumulators spanning **all** sources.
     acc_phi: Vec<[f64; 3]>,
-    /// Merged E-step `ψ` accumulators.
+    /// E-step `ψ` accumulators spanning all workers.
     acc_psi: Vec<[f64; 3]>,
+    /// Posterior scratch, reused across claims.
+    posterior: Vec<f64>,
+    /// Chunk partial of the log-likelihood.
+    log_lik: f64,
+    /// Chunk partial of the Eq. (8) `μ` log-prior.
+    log_prior_mu: f64,
 }
 
 /// A job for the per-fit worker pool.
 enum EmJob {
-    /// Scan the E-step conditionals for one chunk of objects into `acc`
-    /// (a pooled buffer the job carries in and returns filled).
+    /// Scan the E-step conditionals for one chunk of objects into the
+    /// chunk's own accumulators, reading `φ`/`ψ` from the shared snapshot.
     EStep {
-        /// The chunk's object range.
-        range: Range<usize>,
-        /// The chunk's reusable accumulator buffer.
-        acc: EStepAcc,
+        /// The chunk's state, carried in and returned filled.
+        chunk: ChunkState,
+        /// The pre-update parameters (read-only; reclaimed at the barrier).
+        params: Arc<Params>,
     },
-    /// Sum the `φ` log-prior terms of Eq. (8) for a chunk of sources at the
-    /// pre-update parameters (runs in the same read-only batch as the
-    /// E-step scans).
-    LogPriorPhi(Range<usize>),
-    /// The `ψ` log-prior terms for a chunk of workers.
-    LogPriorPsi(Range<usize>),
-    /// The `μ` log-prior terms for a chunk of objects.
-    LogPriorMu(Range<usize>),
-    /// The Eq. (9) `μ` update for one chunk of objects: transform the
-    /// chunk's accumulator into the `N_{o,v}` numerators and write the new
-    /// `μ` into the shared state (chunks own disjoint object ranges, so the
-    /// writes never overlap and the result is bit-identical for every
-    /// thread count).
-    MStepMu {
-        /// The chunk's object range (same chunking as its E-step job).
+    /// The Eq. (9) `μ` update for one chunk: transform the chunk's
+    /// accumulator into the `N_{o,v}` numerators and write the chunk's own
+    /// `μ` buffer (disjoint by construction — no other job can touch it).
+    MStepMu(ChunkState),
+    /// Compute the Eq. (10) `φ` update for a chunk of sources from the
+    /// merged accumulators.
+    MStepPhi {
+        /// The job's source range.
         range: Range<usize>,
-        /// The chunk's accumulator from this iteration's E-step, returned
-        /// through [`EmOut::MStepMu`] with `acc_mu` transformed into the
-        /// Eq. (9) numerators.
-        acc: EStepAcc,
+        /// The merged accumulators (read-only; reclaimed at the barrier).
+        merged: Arc<MergedAcc>,
     },
-    /// Compute the Eq. (10) `φ` update for a chunk of sources.
-    MStepPhi(Range<usize>),
     /// Compute the Eq. (11) `ψ` update for a chunk of workers.
-    MStepPsi(Range<usize>),
+    MStepPsi {
+        /// The job's worker range.
+        range: Range<usize>,
+        /// The merged accumulators.
+        merged: Arc<MergedAcc>,
+    },
 }
 
 /// The result of one [`EmJob`].
 enum EmOut {
-    /// The chunk's filled accumulator, handed back for reuse.
-    EStep(EStepAcc),
-    /// A partial log-prior sum (merged by the driver in submission order).
-    LogPrior(f64),
-    /// The `μ` update's outputs: the accumulator (its `acc_mu` now holding
-    /// the Eq. (9) numerators `N_{o,v}`, which the driver copies into the
-    /// model's incremental-EM cache before pooling the buffer) and the
-    /// per-object denominators `D_o` for the chunk.
-    MStepMu {
-        /// The chunk's buffer, `acc_mu` transformed into `N_{o,v}`.
-        acc: EStepAcc,
-        /// `D_o` per object of the chunk.
-        d_o: Vec<f64>,
-    },
+    /// The chunk's state, accumulators filled.
+    EStep(ChunkState),
+    /// The chunk's state, `mu` updated and `acc_mu` transformed into the
+    /// Eq. (9) numerators.
+    MStepMu(ChunkState),
     /// Updated `φ` values for the job's source range.
     MStepPhi(Vec<[f64; 3]>),
     /// Updated `ψ` values for the job's worker range.
     MStepPsi(Vec<[f64; 3]>),
 }
 
-/// The single worker function every pool thread runs: interpret a job
-/// against the shared fit state. Every job takes a read lock except
-/// [`EmJob::MStepMu`], which computes its chunk outside the lock and takes
-/// the write lock only to store its disjoint `μ` range.
-fn em_worker(
-    shared: &RwLock<FitState>,
-    idx: &ObservationIndex,
-    cfg: &TdhConfig,
-    job: EmJob,
-) -> EmOut {
+/// The single worker function every pool thread runs. It borrows only the
+/// immutable flat tables and the config — all mutable state arrives owned
+/// by the job and leaves with the result.
+fn em_worker(flat: &FlatObservations, cfg: &TdhConfig, job: EmJob) -> EmOut {
     match job {
-        EmJob::EStep { range, mut acc } => {
-            let st = shared.read().expect("EM state lock poisoned");
-            acc.reset(&st, &range);
-            e_step_chunk(&st, idx, cfg, range, &mut acc);
-            EmOut::EStep(acc)
+        EmJob::EStep { mut chunk, params } => {
+            e_step_chunk(flat, cfg, &params, &mut chunk);
+            EmOut::EStep(chunk)
         }
-        EmJob::LogPriorPhi(range) => {
-            let st = shared.read().expect("EM state lock poisoned");
-            let mut sum = 0.0;
-            for phi in &st.phi[range] {
-                for t in 0..3 {
-                    sum += (cfg.alpha[t] - 1.0) * phi[t].max(LOG_FLOOR).ln();
-                }
+        EmJob::MStepMu(mut chunk) => {
+            m_step_mu_chunk(flat, cfg, &mut chunk);
+            EmOut::MStepMu(chunk)
+        }
+        EmJob::MStepPhi { range, merged } => {
+            EmOut::MStepPhi(m_step_phi_chunk(flat, cfg, &merged, range))
+        }
+        EmJob::MStepPsi { range, merged } => {
+            EmOut::MStepPsi(m_step_psi_chunk(flat, cfg, &merged, range))
+        }
+    }
+}
+
+/// `P(v_o^s = c | v*_o = t, φ_s)` — Eq. (1) for objects in `O_H`, Eq. (2)
+/// otherwise, over the flat view. Mirrors
+/// `TdhModel::source_likelihood_cfg` operation for operation (pinned equal
+/// by `flat_likelihoods_match_view_likelihoods`), with the ancestor test
+/// served by the precomputed bitmask.
+pub(crate) fn flat_source_likelihood(
+    fo: &FlatObject<'_>,
+    phi: &[f64; 3],
+    c: u32,
+    t: u32,
+    flags: AblationFlags,
+) -> f64 {
+    let k = fo.n_candidates();
+    if fo.in_oh && flags.hierarchy_aware {
+        if c == t {
+            phi[0]
+        } else if fo.is_ancestor(t, c) {
+            phi[1] / fo.anc_len(t) as f64
+        } else {
+            // `c` is wrong for truth `t`; the wrong set is non-empty
+            // because `c` belongs to it.
+            phi[2] / fo.n_wrong(t) as f64
+        }
+    } else if c == t {
+        phi[0] + phi[1]
+    } else {
+        phi[2] / (k - 1) as f64
+    }
+}
+
+/// `P(v_o^w = c | v*_o = t, ψ_w)` — Eq. (3) for objects in `O_H`, Eq. (4)
+/// otherwise, over the flat view; mirrors
+/// `TdhModel::worker_likelihood_cfg`.
+pub(crate) fn flat_worker_likelihood(
+    fo: &FlatObject<'_>,
+    psi: &[f64; 3],
+    c: u32,
+    t: u32,
+    flags: AblationFlags,
+) -> f64 {
+    if fo.in_oh && flags.hierarchy_aware {
+        if c == t {
+            psi[0]
+        } else if fo.is_ancestor(t, c) {
+            let pop = if flags.worker_popularity {
+                fo.pop2(t, c)
+            } else {
+                1.0 / fo.anc_len(t) as f64
+            };
+            psi[1] * pop
+        } else {
+            let pop = if flags.worker_popularity {
+                fo.pop3(t, c)
+            } else {
+                1.0 / fo.n_wrong(t).max(1) as f64
+            };
+            psi[2] * pop
+        }
+    } else if c == t {
+        psi[0] + psi[1]
+    } else {
+        let pop = if !flags.worker_popularity {
+            1.0 / (fo.n_candidates() - 1).max(1) as f64
+        } else if fo.in_oh {
+            // Hierarchy-unaware ablation on a hierarchical object:
+            // popularity among all non-truth claims (no Go carve-out).
+            let counts = fo.source_count();
+            let total: u32 = counts.iter().sum();
+            let denom = total - counts[t as usize];
+            if denom == 0 {
+                1.0 / (fo.n_candidates() - 1).max(1) as f64
+            } else {
+                f64::from(counts[c as usize]) / f64::from(denom)
             }
-            EmOut::LogPrior(sum)
-        }
-        EmJob::LogPriorPsi(range) => {
-            let st = shared.read().expect("EM state lock poisoned");
-            let mut sum = 0.0;
-            for psi in &st.psi[range] {
-                for t in 0..3 {
-                    sum += (cfg.beta[t] - 1.0) * psi[t].max(LOG_FLOOR).ln();
-                }
-            }
-            EmOut::LogPrior(sum)
-        }
-        EmJob::LogPriorMu(range) => {
-            let st = shared.read().expect("EM state lock poisoned");
-            let mut sum = 0.0;
-            for mu in &st.mu[range] {
-                for &m in mu {
-                    sum += (cfg.gamma - 1.0) * m.max(LOG_FLOOR).ln();
-                }
-            }
-            EmOut::LogPrior(sum)
-        }
-        EmJob::MStepMu { range, mut acc } => {
-            // Eq. (9): per-object, independent of chunking. The numerators
-            // are computed in place (no lock needed — the accumulator is
-            // job-private), then the chunk's μ range is written back under
-            // a short write lock.
-            let mut d_o = Vec::with_capacity(range.len());
-            for (rel, oi) in range.clone().enumerate() {
-                let view = &idx.views()[oi];
-                let k = view.n_candidates();
-                if k == 0 {
-                    d_o.push(0.0);
-                    continue;
-                }
-                let evidence = (view.sources.len() + view.workers.len()) as f64;
-                d_o.push(evidence + k as f64 * (cfg.gamma - 1.0));
-                for n in &mut acc.acc_mu[rel] {
-                    *n += cfg.gamma - 1.0;
-                }
-            }
-            {
-                let mut st = shared.write().expect("EM state lock poisoned");
-                for (rel, oi) in range.clone().enumerate() {
-                    let d = d_o[rel];
-                    if d == 0.0 {
-                        continue;
-                    }
-                    for (slot, n) in st.mu[oi].iter_mut().zip(&acc.acc_mu[rel]) {
-                        *slot = n / d;
-                    }
-                }
-            }
-            EmOut::MStepMu { acc, d_o }
-        }
-        EmJob::MStepPhi(range) => {
-            let st = shared.read().expect("EM state lock poisoned");
-            EmOut::MStepPhi(m_step_phi_chunk(&st, idx, cfg, range))
-        }
-        EmJob::MStepPsi(range) => {
-            let st = shared.read().expect("EM state lock poisoned");
-            EmOut::MStepPsi(m_step_psi_chunk(&st, idx, cfg, range))
-        }
+        } else {
+            fo.pop3(t, c)
+        };
+        psi[2] * pop
     }
 }
 
@@ -335,53 +385,110 @@ pub(crate) fn run_em(
     let n_threads = par::effective_threads(cfg.n_threads);
     initialize(model, ds, idx, &cfg, warm);
 
-    let shared = RwLock::new(FitState {
+    // Flatten once; every iteration's kernels amortize this single pass.
+    let t_flat = Instant::now();
+    let flat = idx.flatten();
+    let flatten_time = t_flat.elapsed();
+
+    let params = Params {
         phi: mem::take(&mut model.phi),
         psi: mem::take(&mut model.psi),
-        mu: mem::take(&mut model.mu),
-        acc_phi: Vec::new(),
-        acc_psi: Vec::new(),
+    };
+    let mu_rows = mem::take(&mut model.mu);
+    let worker = |job: EmJob| em_worker(&flat, &cfg, job);
+    let (report, params, chunks, mut timings) = par::with_pool(n_threads, &worker, |pool| {
+        em_loop(&flat, &cfg, params, mu_rows, pool)
     });
-    let worker = |job: EmJob| em_worker(&shared, idx, &cfg, job);
-    let (report, timings) = par::with_pool(n_threads, &worker, |pool| {
-        em_loop(model, idx, &cfg, &shared, pool)
-    });
-    let state = shared.into_inner().expect("EM state lock poisoned");
-    model.phi = state.phi;
-    model.psi = state.psi;
-    model.mu = state.mu;
+    timings.flatten = flatten_time;
+    model.phi = params.phi;
+    model.psi = params.psi;
+    // Rebuild the row-shaped μ from the chunk-owned buffers and refresh the
+    // incremental-EM cache: after the final M step, `acc_mu` holds the last
+    // Eq. (9) numerators `N_{o,v}` and `d_o` the matching denominators
+    // (`d_o` is empty when no iteration ran, leaving initialize's cache).
+    model.mu = vec![Vec::new(); flat.n_objects()];
+    for chunk in &chunks {
+        for (rel_o, oi) in chunk.objects.clone().enumerate() {
+            let fo = flat.object(oi);
+            let rel = fo.cand_base() - chunk.slot_base;
+            let k = fo.n_candidates();
+            model.mu[oi] = chunk.mu[rel..rel + k].to_vec();
+            let d = chunk.d_o.get(rel_o).copied().unwrap_or(0.0);
+            if d == 0.0 {
+                continue;
+            }
+            let n_ov = &mut model.n_ov[oi];
+            n_ov.clear();
+            n_ov.extend_from_slice(&chunk.acc_mu[rel..rel + k]);
+            model.d_o[oi] = d;
+        }
+    }
     model.last_timings = Some(timings);
     report
 }
 
 /// The EM driver, run inside the fit's pool scope: iterate E+M batches on
-/// the persistent workers until convergence.
+/// the persistent workers until convergence. Returns the final parameters
+/// and chunk states along with the report so `run_em` can move them back
+/// into the model.
 fn em_loop(
-    model: &mut TdhModel,
-    idx: &ObservationIndex,
+    flat: &FlatObservations,
     cfg: &TdhConfig,
-    shared: &RwLock<FitState>,
+    mut params: Params,
+    mu_rows: Vec<Vec<f64>>,
     pool: &par::ThreadPool<'_, EmJob, EmOut>,
-) -> (FitReport, PhaseTimings) {
+) -> (FitReport, Params, Vec<ChunkState>, PhaseTimings) {
     let n_threads = pool.n_threads();
+    let n_obj = flat.n_objects();
     // Chunk boundaries are fixed for the whole fit — they depend only on
-    // (n, n_threads) — so the accumulator pool below can be reused by chunk
-    // position and the FP merge grouping is identical every iteration.
-    let e_ranges = par::chunk_ranges(idx.n_objects(), n_threads);
-    let (n_src, n_wrk) = {
-        let st = shared.read().expect("EM state lock poisoned");
-        (st.phi.len(), st.psi.len())
-    };
-    let phi_ranges = par::chunk_ranges(n_src, n_threads);
-    let psi_ranges = par::chunk_ranges(n_wrk, n_threads);
-    {
-        let mut st = shared.write().expect("EM state lock poisoned");
-        st.acc_phi = vec![[0.0f64; 3]; n_src];
-        st.acc_psi = vec![[0.0f64; 3]; n_wrk];
+    // the corpus and the thread count — so the FP merge grouping is
+    // identical every iteration and every run. Chunks are balanced by
+    // *claim* count, not object count: Zipf-ish corpora concentrate most
+    // claims on few objects, and equal object counts would starve most
+    // workers.
+    let mut prefix = Vec::with_capacity(n_obj + 1);
+    prefix.push(0u64);
+    for oi in 0..n_obj {
+        let w = u64::from(flat.rec_off[oi + 1] - flat.rec_off[oi])
+            + u64::from(flat.ans_off[oi + 1] - flat.ans_off[oi])
+            + 1;
+        prefix.push(prefix[oi] + w);
     }
-    // One accumulator buffer per E-step chunk, allocated once per fit and
-    // recycled through the jobs every iteration.
-    let mut acc_pool: Vec<EStepAcc> = e_ranges.iter().map(|_| EStepAcc::empty()).collect();
+    let e_ranges = par::chunk_ranges_weighted(n_threads, &prefix);
+    let phi_ranges = par::chunk_ranges(params.phi.len(), n_threads);
+    let psi_ranges = par::chunk_ranges(params.psi.len(), n_threads);
+
+    // Each chunk takes ownership of its slice of the initialized μ rows.
+    let mut chunks: Vec<ChunkState> = e_ranges
+        .iter()
+        .map(|r| {
+            let slot_base = flat.cand_off[r.start] as usize;
+            let slot_end = flat.cand_off[r.end] as usize;
+            let mut mu = Vec::with_capacity(slot_end - slot_base);
+            for row in &mu_rows[r.clone()] {
+                mu.extend_from_slice(row);
+            }
+            ChunkState {
+                objects: r.clone(),
+                slot_base,
+                acc_mu: vec![0.0; mu.len()],
+                mu,
+                d_o: Vec::new(),
+                acc_phi: Vec::new(),
+                acc_psi: Vec::new(),
+                posterior: Vec::new(),
+                log_lik: 0.0,
+                log_prior_mu: 0.0,
+            }
+        })
+        .collect();
+    drop(mu_rows);
+    // Driver-owned merge buffers, lent to the M batch through an `Arc` and
+    // reclaimed after its barrier.
+    let mut merged = MergedAcc {
+        phi: vec![[0.0f64; 3]; params.phi.len()],
+        psi: vec![[0.0f64; 3]; params.psi.len()],
+    };
 
     let mut timings = PhaseTimings::default();
     let mut trace = Vec::new();
@@ -391,14 +498,15 @@ fn em_loop(
 
     for _ in 0..cfg.max_iters {
         iterations += 1;
-        let obj = em_iteration(
-            model,
-            shared,
+        let obj;
+        (obj, params, chunks, merged) = em_iteration(
+            cfg,
+            params,
+            chunks,
+            merged,
             pool,
-            &e_ranges,
             &phi_ranges,
             &psi_ranges,
-            &mut acc_pool,
             &mut timings,
         );
         trace.push(obj);
@@ -415,7 +523,7 @@ fn em_loop(
         monotone: monitor.monotone(),
         trace,
     };
-    (report, timings)
+    (report, params, chunks, timings)
 }
 
 /// Initial parameters: priors' means for `φ`/`ψ`, claim-frequency smoothing
@@ -512,323 +620,342 @@ pub(crate) fn relationship_posterior(n1: f64, n2: f64, z: f64) -> [f64; 3] {
     }
 }
 
-/// Private E-step accumulators for one contiguous chunk of objects.
-///
-/// `acc_mu` is indexed relative to the chunk start (each object belongs to
-/// exactly one chunk); `acc_phi`/`acc_psi`/`log_lik` span all sources and
-/// workers and are summed across chunks in fixed chunk order. Buffers are
-/// pooled per chunk across iterations — [`EStepAcc::reset`] zero-fills in
-/// place, reusing capacity, since chunk shapes never change within a fit.
-struct EStepAcc {
-    acc_mu: Vec<Vec<f64>>,
-    acc_phi: Vec<[f64; 3]>,
-    acc_psi: Vec<[f64; 3]>,
-    log_lik: f64,
-}
-
-impl EStepAcc {
-    /// A shape-less buffer; the first [`EStepAcc::reset`] sizes it.
-    fn empty() -> Self {
-        EStepAcc {
-            acc_mu: Vec::new(),
-            acc_phi: Vec::new(),
-            acc_psi: Vec::new(),
-            log_lik: 0.0,
-        }
+/// Scan the E-step conditionals of Fig. 4 for the chunk's objects into the
+/// chunk's own accumulators, reading the previous iteration's parameters
+/// from the shared snapshot and `μ` from the chunk's own buffer. Also sums
+/// the chunk's Eq. (8) `μ` log-prior terms at the pre-update values.
+fn e_step_chunk(flat: &FlatObservations, cfg: &TdhConfig, params: &Params, chunk: &mut ChunkState) {
+    let ChunkState {
+        objects,
+        slot_base,
+        mu,
+        acc_mu,
+        acc_phi,
+        acc_psi,
+        posterior,
+        log_lik,
+        log_prior_mu,
+        ..
+    } = chunk;
+    for x in acc_mu.iter_mut() {
+        *x = 0.0;
     }
+    acc_phi.clear();
+    acc_phi.resize(params.phi.len(), [0.0f64; 3]);
+    acc_psi.clear();
+    acc_psi.resize(params.psi.len(), [0.0f64; 3]);
+    *log_lik = 0.0;
+    *log_prior_mu = 0.0;
 
-    /// Zero the buffer for a fresh scan of `range`, reusing allocations.
-    fn reset(&mut self, st: &FitState, range: &Range<usize>) {
-        self.acc_mu.resize(range.len(), Vec::new());
-        for (slot, mu) in self.acc_mu.iter_mut().zip(&st.mu[range.clone()]) {
-            slot.clear();
-            slot.resize(mu.len(), 0.0);
-        }
-        self.acc_phi.clear();
-        self.acc_phi.resize(st.phi.len(), [0.0f64; 3]);
-        self.acc_psi.clear();
-        self.acc_psi.resize(st.psi.len(), [0.0f64; 3]);
-        self.log_lik = 0.0;
-    }
-}
-
-/// Scan the E-step conditionals of Fig. 4 for `objects` into `acc` (already
-/// reset), reading the previous iteration's parameters from `st`.
-fn e_step_chunk(
-    st: &FitState,
-    idx: &ObservationIndex,
-    cfg: &TdhConfig,
-    objects: Range<usize>,
-    acc: &mut EStepAcc,
-) {
-    let base = objects.start;
-    let mut posterior = Vec::new();
-    for oi in objects {
-        let view = &idx.views()[oi];
-        let k = view.n_candidates();
+    for oi in objects.clone() {
+        let fo = flat.object(oi);
+        let k = fo.n_candidates();
         if k == 0 {
             continue;
         }
-        let mu = &st.mu[oi];
+        let rel = fo.cand_base() - *slot_base;
 
         // --- Records ---
-        for &(s, c) in &view.sources {
-            let phi = &st.phi[s.index()];
+        for (&s, &c) in fo.rec_src().iter().zip(fo.rec_cand()) {
+            let phi = &params.phi[s as usize];
             posterior.clear();
             let mut z = 0.0;
             for t in 0..k as u32 {
-                let p =
-                    TdhModel::source_likelihood_cfg(view, phi, c, t, cfg.ablation) * mu[t as usize];
+                let p = flat_source_likelihood(&fo, phi, c, t, cfg.ablation) * mu[rel + t as usize];
                 posterior.push(p);
                 z += p;
             }
             if z <= 0.0 {
                 continue;
             }
-            acc.log_lik += z.max(LOG_FLOOR).ln();
+            *log_lik += z.max(LOG_FLOOR).ln();
             for (t, p) in posterior.iter().enumerate() {
-                acc.acc_mu[oi - base][t] += p / z;
+                acc_mu[rel + t] += p / z;
             }
             // g^1: the claim was the exact truth.
-            let n1 = phi[0] * mu[c as usize];
+            let n1 = phi[0] * mu[rel + c as usize];
             // g^2: the claim was a generalization of the truth — the truth
             // is then one of the claim's candidate descendants (Fig. 4).
-            let n2 = if view.in_oh && cfg.ablation.hierarchy_aware {
-                view.descendants[c as usize]
+            let n2 = if fo.in_oh && cfg.ablation.hierarchy_aware {
+                fo.descendants(c)
                     .iter()
-                    .map(|&v| phi[1] / view.ancestors[v as usize].len() as f64 * mu[v as usize])
+                    .map(|&v| phi[1] / fo.anc_len(v) as f64 * mu[rel + v as usize])
                     .sum::<f64>()
             } else {
-                phi[1] * mu[c as usize]
+                phi[1] * mu[rel + c as usize]
             };
             let g = relationship_posterior(n1, n2, z);
-            let a = &mut acc.acc_phi[s.index()];
+            let a = &mut acc_phi[s as usize];
             for t in 0..3 {
                 a[t] += g[t];
             }
         }
 
         // --- Answers ---
-        for &(w, c) in &view.workers {
-            let psi = st.psi[w.index()];
+        for (&w, &c) in fo.ans_wrk().iter().zip(fo.ans_cand()) {
+            let psi = params.psi[w as usize];
             posterior.clear();
             let mut z = 0.0;
             for t in 0..k as u32 {
-                let p = TdhModel::worker_likelihood_cfg(view, &psi, c, t, cfg.ablation)
-                    * mu[t as usize];
+                let p =
+                    flat_worker_likelihood(&fo, &psi, c, t, cfg.ablation) * mu[rel + t as usize];
                 posterior.push(p);
                 z += p;
             }
             if z <= 0.0 {
                 continue;
             }
-            acc.log_lik += z.max(LOG_FLOOR).ln();
+            *log_lik += z.max(LOG_FLOOR).ln();
             for (t, p) in posterior.iter().enumerate() {
-                acc.acc_mu[oi - base][t] += p / z;
+                acc_mu[rel + t] += p / z;
             }
-            let n1 = psi[0] * mu[c as usize];
-            let n2 = if view.in_oh && cfg.ablation.hierarchy_aware {
-                view.descendants[c as usize]
+            let n1 = psi[0] * mu[rel + c as usize];
+            let n2 = if fo.in_oh && cfg.ablation.hierarchy_aware {
+                fo.descendants(c)
                     .iter()
                     .map(|&v| {
-                        TdhModel::worker_likelihood_cfg(view, &psi, c, v, cfg.ablation)
-                            * mu[v as usize]
+                        flat_worker_likelihood(&fo, &psi, c, v, cfg.ablation) * mu[rel + v as usize]
                     })
                     .sum::<f64>()
             } else {
-                psi[1] * mu[c as usize]
+                psi[1] * mu[rel + c as usize]
             };
             let g = relationship_posterior(n1, n2, z);
-            let a = &mut acc.acc_psi[w.index()];
+            let a = &mut acc_psi[w as usize];
             for t in 0..3 {
                 a[t] += g[t];
             }
         }
     }
+
+    // The chunk's μ log-prior terms at the pre-update values, in flat
+    // (object, slot) order — the same order the per-object rows produce.
+    for &m in mu.iter() {
+        *log_prior_mu += (cfg.gamma - 1.0) * m.max(LOG_FLOOR).ln();
+    }
+}
+
+/// Eq. (9) for the chunk's objects: transform the chunk's accumulator into
+/// the `N_{o,v}` numerators (kept for the incremental-EM cache) and write
+/// the chunk's own `μ` buffer. Per-object and chunk-owned, so the result is
+/// bit-identical for every thread count.
+fn m_step_mu_chunk(flat: &FlatObservations, cfg: &TdhConfig, chunk: &mut ChunkState) {
+    let ChunkState {
+        objects,
+        slot_base,
+        mu,
+        acc_mu,
+        d_o,
+        ..
+    } = chunk;
+    d_o.clear();
+    for oi in objects.clone() {
+        let fo = flat.object(oi);
+        let k = fo.n_candidates();
+        if k == 0 {
+            d_o.push(0.0);
+            continue;
+        }
+        let evidence = fo.n_evidence() as f64;
+        d_o.push(evidence + k as f64 * (cfg.gamma - 1.0));
+        let rel = fo.cand_base() - *slot_base;
+        for n in &mut acc_mu[rel..rel + k] {
+            *n += cfg.gamma - 1.0;
+        }
+    }
+    for (rel_o, oi) in objects.clone().enumerate() {
+        let d = d_o[rel_o];
+        if d == 0.0 {
+            continue;
+        }
+        let fo = flat.object(oi);
+        let rel = fo.cand_base() - *slot_base;
+        let k = fo.n_candidates();
+        for (slot, n) in mu[rel..rel + k].iter_mut().zip(&acc_mu[rel..rel + k]) {
+            *slot = n / d;
+        }
+    }
 }
 
 /// Eq. (10) for a chunk of sources: each `φ_s` depends only on the merged
-/// accumulators and `|O_s|`, so the update is bit-identical regardless of
-/// how sources are chunked.
+/// accumulators and `|O_s|` (the flat per-source record count), so the
+/// update is bit-identical regardless of how sources are chunked.
 fn m_step_phi_chunk(
-    st: &FitState,
-    idx: &ObservationIndex,
+    flat: &FlatObservations,
     cfg: &TdhConfig,
+    merged: &MergedAcc,
     sources: Range<usize>,
 ) -> Vec<[f64; 3]> {
     let alpha_excess: f64 = cfg.alpha.iter().map(|a| a - 1.0).sum();
     sources
         .map(|si| {
-            let n_os = idx
-                .objects_of_source(tdh_data::SourceId::from_index(si))
-                .len() as f64;
+            let n_os = f64::from(flat.recs_per_source[si]);
             let denom = n_os + alpha_excess;
             let mut phi = [0.0f64; 3];
-            for t in 0..3 {
-                phi[t] = (st.acc_phi[si][t] + cfg.alpha[t] - 1.0) / denom;
+            for ((slot, &acc), &a) in phi.iter_mut().zip(&merged.phi[si]).zip(&cfg.alpha) {
+                *slot = (acc + a - 1.0) / denom;
             }
             phi
         })
         .collect()
 }
 
-/// Eq. (11) for a chunk of workers; mirrors [`m_step_phi_chunk`].
+/// Eq. (11) for a chunk of workers; mirrors [`m_step_phi_chunk`]. Workers
+/// beyond the index's answered set (interned but silent) have `|O_w| = 0`.
 fn m_step_psi_chunk(
-    st: &FitState,
-    idx: &ObservationIndex,
+    flat: &FlatObservations,
     cfg: &TdhConfig,
+    merged: &MergedAcc,
     workers: Range<usize>,
 ) -> Vec<[f64; 3]> {
     let beta_excess: f64 = cfg.beta.iter().map(|b| b - 1.0).sum();
     workers
         .map(|wi| {
-            let n_ow = if wi < idx.n_workers() {
-                idx.objects_of_worker(tdh_data::WorkerId::from_index(wi))
-                    .len() as f64
-            } else {
-                0.0
+            let n_ow = match flat.ans_per_worker.get(wi) {
+                Some(&n) => f64::from(n),
+                None => 0.0,
             };
             let denom = n_ow + beta_excess;
             let mut psi = [0.0f64; 3];
-            for t in 0..3 {
-                psi[t] = (st.acc_psi[wi][t] + cfg.beta[t] - 1.0) / denom;
+            for ((slot, &acc), &b) in psi.iter_mut().zip(&merged.psi[wi]).zip(&cfg.beta) {
+                *slot = (acc + b - 1.0) / denom;
             }
             psi
         })
         .collect()
 }
 
-/// One E+M pass on the fit's persistent pool. Returns the MAP objective
-/// evaluated at the *pre-update* parameters (the quantity EM is guaranteed
-/// not to decrease).
+/// One E+M pass: exactly two pool batches, one barrier each. Returns the
+/// MAP objective evaluated at the *pre-update* parameters (the quantity EM
+/// is guaranteed not to decrease) and hands the moved state back to the
+/// caller.
 #[allow(clippy::too_many_arguments)]
 fn em_iteration(
-    model: &mut TdhModel,
-    shared: &RwLock<FitState>,
+    cfg: &TdhConfig,
+    params: Params,
+    chunks: Vec<ChunkState>,
+    mut merged: MergedAcc,
     pool: &par::ThreadPool<'_, EmJob, EmOut>,
-    e_ranges: &[Range<usize>],
     phi_ranges: &[Range<usize>],
     psi_ranges: &[Range<usize>],
-    acc_pool: &mut Vec<EStepAcc>,
     timings: &mut PhaseTimings,
-) -> f64 {
-    // --- E-step + objective: one read-only batch. The per-chunk E-step
-    // scans are merged in fixed chunk order so the result is deterministic
-    // for a given thread count (and bit-identical to the sequential pass
-    // when there is a single chunk); the Eq. (8) log-prior terms at the
-    // pre-update parameters ride in the same batch as per-array partial
-    // sums, merged in submission order (φ chunks, ψ chunks, μ chunks).
+) -> (f64, Params, Vec<ChunkState>, MergedAcc) {
+    let n_chunks = chunks.len();
+
+    // --- E phase: one batch, one barrier. The driver sums the (tiny) φ/ψ
+    // log-prior terms of Eq. (8) itself — the parameters don't change
+    // during the batch — while each chunk job scans its objects and sums
+    // its own μ log-prior partial. ---
     let t0 = Instant::now();
-    let jobs: Vec<EmJob> = e_ranges
-        .iter()
-        .zip(acc_pool.drain(..))
-        .map(|(range, acc)| EmJob::EStep {
-            range: range.clone(),
-            acc,
+    let mut prior_phi = 0.0f64;
+    for phi in &params.phi {
+        for (&p, &a) in phi.iter().zip(&cfg.alpha) {
+            prior_phi += (a - 1.0) * p.max(LOG_FLOOR).ln();
+        }
+    }
+    let mut prior_psi = 0.0f64;
+    for psi in &params.psi {
+        for (&p, &b) in psi.iter().zip(&cfg.beta) {
+            prior_psi += (b - 1.0) * p.max(LOG_FLOOR).ln();
+        }
+    }
+    let mut log_prior = prior_phi + prior_psi;
+
+    let params = Arc::new(params);
+    let jobs: Vec<EmJob> = chunks
+        .into_iter()
+        .map(|chunk| EmJob::EStep {
+            chunk,
+            params: Arc::clone(&params),
         })
-        .chain(phi_ranges.iter().map(|r| EmJob::LogPriorPhi(r.clone())))
-        .chain(psi_ranges.iter().map(|r| EmJob::LogPriorPsi(r.clone())))
-        .chain(e_ranges.iter().map(|r| EmJob::LogPriorMu(r.clone())))
         .collect();
     let outs = pool
         .run_batch(jobs)
         .unwrap_or_else(|e| panic!("E-step pool failed: {e}"));
-    let mut log_prior = 0.0f64;
-    let mut e_accs: Vec<EStepAcc> = Vec::with_capacity(e_ranges.len());
+    // Every job's snapshot clone died at the barrier; reclaim ours.
+    let params = Arc::try_unwrap(params)
+        .unwrap_or_else(|_| unreachable!("params are unique after the E barrier"));
+    let mut chunks: Vec<ChunkState> = Vec::with_capacity(n_chunks);
     for out in outs {
         match out {
-            EmOut::EStep(acc) => e_accs.push(acc),
-            EmOut::LogPrior(partial) => log_prior += partial,
-            _ => unreachable!("the E-step batch holds only scans and log-priors"),
+            EmOut::EStep(chunk) => chunks.push(chunk),
+            _ => unreachable!("the E batch holds only chunk scans"),
         }
     }
-
-    let obj = {
-        let mut st = shared.write().expect("EM state lock poisoned");
-        let st = &mut *st;
-        for a in st.acc_phi.iter_mut() {
-            *a = [0.0f64; 3];
-        }
-        for a in st.acc_psi.iter_mut() {
-            *a = [0.0f64; 3];
-        }
-        let mut log_lik = 0.0f64;
-        for chunk in &e_accs {
-            for (total, part) in st.acc_phi.iter_mut().zip(&chunk.acc_phi) {
-                for t in 0..3 {
-                    total[t] += part[t];
-                }
+    // Fixed-order merge (chunk order) of the likelihood, the μ log-prior
+    // partials and the φ/ψ accumulators.
+    for a in merged.phi.iter_mut() {
+        *a = [0.0f64; 3];
+    }
+    for a in merged.psi.iter_mut() {
+        *a = [0.0f64; 3];
+    }
+    let mut log_lik = 0.0f64;
+    for chunk in &chunks {
+        for (total, part) in merged.phi.iter_mut().zip(&chunk.acc_phi) {
+            for t in 0..3 {
+                total[t] += part[t];
             }
-            for (total, part) in st.acc_psi.iter_mut().zip(&chunk.acc_psi) {
-                for t in 0..3 {
-                    total[t] += part[t];
-                }
-            }
-            log_lik += chunk.log_lik;
         }
-        log_lik + log_prior
-    };
+        for (total, part) in merged.psi.iter_mut().zip(&chunk.acc_psi) {
+            for t in 0..3 {
+                total[t] += part[t];
+            }
+        }
+        log_lik += chunk.log_lik;
+    }
+    for chunk in &chunks {
+        log_prior += chunk.log_prior_mu;
+    }
+    let obj = log_lik + log_prior;
     timings.e_step += t0.elapsed();
 
-    // --- M-step: Eq. (9)/(10)/(11) all as pool jobs. The μ jobs reuse the
-    // chunk accumulators (transforming them into the Eq. 9 numerators) and
-    // write their disjoint μ ranges directly; the φ/ψ jobs read only the
-    // merged accumulators, so every update is bit-identical regardless of
-    // how entities are chunked. ---
+    // --- M phase: one batch, one barrier. The μ jobs carry their chunks
+    // (writing their own disjoint μ buffers); the φ/ψ jobs read the merged
+    // accumulators through an Arc the driver reclaims afterwards. ---
     let t1 = Instant::now();
-    let m_jobs: Vec<EmJob> = e_ranges
-        .iter()
-        .zip(e_accs)
-        .map(|(range, acc)| EmJob::MStepMu {
-            range: range.clone(),
-            acc,
-        })
-        .chain(phi_ranges.iter().map(|r| EmJob::MStepPhi(r.clone())))
-        .chain(psi_ranges.iter().map(|r| EmJob::MStepPsi(r.clone())))
+    let merged = Arc::new(merged);
+    let m_jobs: Vec<EmJob> = chunks
+        .into_iter()
+        .map(EmJob::MStepMu)
+        .chain(phi_ranges.iter().map(|r| EmJob::MStepPhi {
+            range: r.clone(),
+            merged: Arc::clone(&merged),
+        }))
+        .chain(psi_ranges.iter().map(|r| EmJob::MStepPsi {
+            range: r.clone(),
+            merged: Arc::clone(&merged),
+        }))
         .collect();
     let m_outs = pool
         .run_batch(m_jobs)
         .unwrap_or_else(|e| panic!("M-step pool failed: {e}"));
-    {
-        let mut st = shared.write().expect("EM state lock poisoned");
-        let mut outs = m_outs.into_iter();
-        for range in e_ranges {
-            match outs.next() {
-                Some(EmOut::MStepMu { acc, d_o }) => {
-                    // Refresh the incremental-EM cache from the chunk's
-                    // outputs, then pool the buffer for the next iteration
-                    // (order preserved: results arrive in submission order,
-                    // so slot i stays chunk i's buffer).
-                    for (rel, oi) in range.clone().enumerate() {
-                        if d_o[rel] == 0.0 {
-                            continue;
-                        }
-                        let n_ov = &mut model.n_ov[oi];
-                        n_ov.clear();
-                        n_ov.extend_from_slice(&acc.acc_mu[rel]);
-                        model.d_o[oi] = d_o[rel];
-                    }
-                    acc_pool.push(acc);
-                }
-                _ => unreachable!("μ jobs open the M-step batch"),
-            }
+    let merged = Arc::try_unwrap(merged)
+        .unwrap_or_else(|_| unreachable!("merged accumulators are unique after the M barrier"));
+    let mut params = params;
+    let mut chunks: Vec<ChunkState> = Vec::with_capacity(n_chunks);
+    let mut outs = m_outs.into_iter();
+    for _ in 0..n_chunks {
+        match outs.next() {
+            Some(EmOut::MStepMu(chunk)) => chunks.push(chunk),
+            _ => unreachable!("μ jobs open the M-step batch"),
         }
-        for range in phi_ranges {
-            match outs.next() {
-                Some(EmOut::MStepPhi(vals)) => st.phi[range.clone()].copy_from_slice(&vals),
-                _ => unreachable!("φ jobs follow the μ jobs"),
-            }
+    }
+    for range in phi_ranges {
+        match outs.next() {
+            Some(EmOut::MStepPhi(vals)) => params.phi[range.clone()].copy_from_slice(&vals),
+            _ => unreachable!("φ jobs follow the μ jobs"),
         }
-        for range in psi_ranges {
-            match outs.next() {
-                Some(EmOut::MStepPsi(vals)) => st.psi[range.clone()].copy_from_slice(&vals),
-                _ => unreachable!("ψ jobs close the M-step batch"),
-            }
+    }
+    for range in psi_ranges {
+        match outs.next() {
+            Some(EmOut::MStepPsi(vals)) => params.psi[range.clone()].copy_from_slice(&vals),
+            _ => unreachable!("ψ jobs close the M-step batch"),
         }
     }
     timings.m_step += t1.elapsed();
 
-    obj
+    (obj, params, chunks, merged)
 }
 
 #[cfg(test)]
@@ -905,6 +1032,62 @@ mod tests {
             "generalizer should carry its mass on φ2: {phi_gen:?}"
         );
         assert!(phi_liar[2] > 0.6, "liar wrong mass {phi_liar:?}");
+    }
+
+    #[test]
+    fn flat_likelihoods_match_view_likelihoods() {
+        // The flat kernels must reproduce the view-based likelihoods of
+        // model.rs exactly — same branches, same arithmetic — over every
+        // (claim, truth) pair, every ablation combination, and both O_H and
+        // non-hierarchical objects (including one with worker answers).
+        let mut ds = corpus();
+        let w = ds.intern_worker("w0");
+        let objects: Vec<_> = ds.objects().collect();
+        for (i, o) in objects.iter().enumerate() {
+            if i % 3 == 0 {
+                let t = ds.gold(*o).expect("corpus sets gold");
+                ds.add_answer(*o, w, t);
+            }
+        }
+        // A non-hierarchical object: two unrelated leaves, plus an answer.
+        let flatob = ds.intern_object("flatland");
+        let s = ds.intern_source("good1");
+        let a = ds.hierarchy().node_by_name("C0R0T0").unwrap();
+        let b = ds.hierarchy().node_by_name("C1R1T1").unwrap();
+        ds.add_record(flatob, s, a);
+        ds.add_record(flatob, s, b);
+        ds.add_answer(flatob, w, b);
+
+        let idx = ObservationIndex::build(&ds);
+        let flat = idx.flatten();
+        let phi = [0.55, 0.3, 0.15];
+        let psi = [0.5, 0.2, 0.3];
+        for hierarchy_aware in [true, false] {
+            for worker_popularity in [true, false] {
+                let flags = AblationFlags {
+                    hierarchy_aware,
+                    worker_popularity,
+                };
+                for oi in 0..idx.n_objects() {
+                    let view = &idx.views()[oi];
+                    let fo = flat.object(oi);
+                    for t in 0..view.n_candidates() as u32 {
+                        for c in 0..view.n_candidates() as u32 {
+                            assert_eq!(
+                                flat_source_likelihood(&fo, &phi, c, t, flags),
+                                TdhModel::source_likelihood_cfg(view, &phi, c, t, flags),
+                                "source lik, object {oi}, c={c}, t={t}, {flags:?}"
+                            );
+                            assert_eq!(
+                                flat_worker_likelihood(&fo, &psi, c, t, flags),
+                                TdhModel::worker_likelihood_cfg(view, &psi, c, t, flags),
+                                "worker lik, object {oi}, c={c}, t={t}, {flags:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -1065,6 +1248,7 @@ mod tests {
         model.fit(&ds);
         let t = model.phase_timings().expect("fit records timings");
         assert!(t.e_step > Duration::ZERO, "E-step time accumulates");
+        assert!(t.flatten > Duration::ZERO, "the flatten pass is timed");
         // infer() with a prebuilt index reports no build time.
         let idx = ObservationIndex::build(&ds);
         let mut model2 = TdhModel::new(TdhConfig::default());

@@ -391,6 +391,11 @@ impl TdhModel {
 
     /// `P(v_o^s = c | v*_o = t, φ_s)` — Eq. (1) for objects in `O_H`,
     /// Eq. (2) otherwise. `c` and `t` are candidate indices into `view`.
+    ///
+    /// The EM hot path uses the flat-view mirror `em::flat_source_likelihood`;
+    /// this view-based form is the reference it is pinned against (the
+    /// `flat_likelihoods_match_view_likelihoods` test asserts exact equality).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn source_likelihood_cfg(
         view: &ObjectView,
         phi: &[f64; 3],

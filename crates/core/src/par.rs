@@ -33,7 +33,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
-pub use tdh_data::par::{chunk_ranges, effective_threads, map_chunks};
+pub use tdh_data::par::{chunk_ranges, chunk_ranges_weighted, effective_threads, map_chunks};
 
 use std::ops::Range;
 

@@ -1,0 +1,480 @@
+//! Dense-id, struct-of-arrays view of an [`ObservationIndex`].
+//!
+//! The per-object [`crate::ObjectView`]s are convenient but pointer-heavy:
+//! every object owns half a dozen small `Vec`s, so an EM inner loop over a
+//! million claims chases allocations instead of streaming memory. This
+//! module flattens the whole index into contiguous CSR-style tables indexed
+//! by dense `u32` ids — one arena per field, offsets per object — plus a
+//! per-object candidate-ancestor **bitmask** so the hot "is `c` an ancestor
+//! candidate of `t`?" test is one word load instead of a list scan.
+//!
+//! The flat view is *derived*: [`ObservationIndex::flatten`] produces it on
+//! demand (typically once per refit, amortized over every EM iteration), so
+//! incremental index updates ([`ObservationIndex::append_from`],
+//! [`ObservationIndex::push_answer`]) never pay an O(corpus) rebuild — and
+//! the view can never drift out of sync with the index it came from. The
+//! `flat_view` property suite pins that flattening an appended index equals
+//! flattening a rebuilt one, field for field.
+//!
+//! All entry orders mirror the per-object views exactly (records in `S_o`
+//! order, answers in `W_o` order, ancestors/descendants in candidate-index
+//! order), so a kernel that scans the flat tables reproduces the view-based
+//! accumulation order bit-for-bit.
+
+use tdh_hierarchy::NodeId;
+
+use crate::index::ObservationIndex;
+
+/// The flattened observation tables. See the `flat` module docs for the
+/// layout discipline; all offset arrays have one trailing entry so
+/// `off[i]..off[i + 1]` is always a valid range.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlatObservations {
+    /// Candidate-slot offsets per object: object `o`'s candidates occupy
+    /// `cand_off[o]..cand_off[o + 1]` in the slot arenas. Length
+    /// `n_objects + 1`.
+    pub cand_off: Vec<u32>,
+    /// Candidate values per slot (each object's slice sorted by node id,
+    /// exactly like [`crate::ObjectView::candidates`]).
+    pub cand_value: Vec<NodeId>,
+    /// Per slot: number of source records claiming exactly that value.
+    pub source_count: Vec<u32>,
+    /// Per slot: number of worker answers selecting that value.
+    pub worker_count: Vec<u32>,
+    /// Per object: `o ∈ O_H` (some candidate pair is ancestor/descendant).
+    pub in_oh: Vec<bool>,
+    /// Record offsets per object (length `n_objects + 1`).
+    pub rec_off: Vec<u32>,
+    /// Per record: the claiming source's dense id, in `S_o` order.
+    pub rec_src: Vec<u32>,
+    /// Per record: the claimed candidate's **object-local** index.
+    pub rec_cand: Vec<u32>,
+    /// Answer offsets per object (length `n_objects + 1`).
+    pub ans_off: Vec<u32>,
+    /// Per answer: the answering worker's dense id, in `W_o` order.
+    pub ans_wrk: Vec<u32>,
+    /// Per answer: the selected candidate's object-local index.
+    pub ans_cand: Vec<u32>,
+    /// Ancestor-list offsets per candidate slot (length `n_slots + 1`).
+    pub anc_off: Vec<u32>,
+    /// `G_o(v)` arena: object-local indices of proper ancestor candidates.
+    pub anc: Vec<u32>,
+    /// Descendant-list offsets per candidate slot (length `n_slots + 1`).
+    pub desc_off: Vec<u32>,
+    /// `D_o(v)` arena: object-local indices of proper descendant candidates.
+    pub desc: Vec<u32>,
+    /// Bitmask word offsets per object (length `n_objects + 1`). Objects
+    /// outside `O_H` (and claim-less objects) own zero words — the mask is
+    /// only consulted on the hierarchy-aware path.
+    pub mask_off: Vec<u32>,
+    /// Ancestor bitmask arena: for an object with `k` candidates, bit
+    /// `t * k + c` of its word block is set iff candidate `c` is a proper
+    /// ancestor of candidate `t`.
+    pub anc_mask: Vec<u64>,
+    /// Per source: total number of records it contributed (`|O_s|`,
+    /// replacing `objects_of_source(s).len()` in the M-step).
+    pub recs_per_source: Vec<u32>,
+    /// Per worker: total number of answers it contributed (`|O_w|`).
+    pub ans_per_worker: Vec<u32>,
+}
+
+impl FlatObservations {
+    /// Number of objects covered.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.cand_off.len().saturating_sub(1)
+    }
+
+    /// Total number of candidate slots across all objects.
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.cand_value.len()
+    }
+
+    /// Total number of source records.
+    #[inline]
+    pub fn n_records(&self) -> usize {
+        self.rec_src.len()
+    }
+
+    /// Total number of worker answers.
+    #[inline]
+    pub fn n_answers(&self) -> usize {
+        self.ans_wrk.len()
+    }
+
+    /// Borrow object `oi`'s slice of every table.
+    #[inline]
+    pub fn object(&self, oi: usize) -> FlatObject<'_> {
+        let cand = self.cand_off[oi] as usize..self.cand_off[oi + 1] as usize;
+        FlatObject {
+            flat: self,
+            cand_base: cand.start,
+            k: cand.len(),
+            rec: self.rec_off[oi] as usize..self.rec_off[oi + 1] as usize,
+            ans: self.ans_off[oi] as usize..self.ans_off[oi + 1] as usize,
+            mask_base: self.mask_off[oi] as usize,
+            in_oh: self.in_oh[oi],
+        }
+    }
+}
+
+/// One object's window into the flat tables — the SoA counterpart of
+/// [`crate::ObjectView`], borrowing arena slices instead of owning `Vec`s.
+#[derive(Debug, Clone)]
+pub struct FlatObject<'a> {
+    flat: &'a FlatObservations,
+    /// First candidate-slot index of this object.
+    cand_base: usize,
+    k: usize,
+    rec: std::ops::Range<usize>,
+    ans: std::ops::Range<usize>,
+    mask_base: usize,
+    /// `o ∈ O_H`.
+    pub in_oh: bool,
+}
+
+impl<'a> FlatObject<'a> {
+    /// Number of candidate values `|V_o|`.
+    #[inline]
+    pub fn n_candidates(&self) -> usize {
+        self.k
+    }
+
+    /// First slot index of this object in the per-slot arenas (useful for
+    /// kernels addressing flat `μ` buffers).
+    #[inline]
+    pub fn cand_base(&self) -> usize {
+        self.cand_base
+    }
+
+    /// The candidate values, sorted by node id.
+    #[inline]
+    pub fn candidates(&self) -> &'a [NodeId] {
+        &self.flat.cand_value[self.cand_base..self.cand_base + self.k]
+    }
+
+    /// Per candidate: records claiming exactly that value.
+    #[inline]
+    pub fn source_count(&self) -> &'a [u32] {
+        &self.flat.source_count[self.cand_base..self.cand_base + self.k]
+    }
+
+    /// Per candidate: answers selecting that value.
+    #[inline]
+    pub fn worker_count(&self) -> &'a [u32] {
+        &self.flat.worker_count[self.cand_base..self.cand_base + self.k]
+    }
+
+    /// The records' source ids, in `S_o` order.
+    #[inline]
+    pub fn rec_src(&self) -> &'a [u32] {
+        &self.flat.rec_src[self.rec.clone()]
+    }
+
+    /// The records' claimed candidate indices, aligned with
+    /// [`FlatObject::rec_src`].
+    #[inline]
+    pub fn rec_cand(&self) -> &'a [u32] {
+        &self.flat.rec_cand[self.rec.clone()]
+    }
+
+    /// The answers' worker ids, in `W_o` order.
+    #[inline]
+    pub fn ans_wrk(&self) -> &'a [u32] {
+        &self.flat.ans_wrk[self.ans.clone()]
+    }
+
+    /// The answers' selected candidate indices, aligned with
+    /// [`FlatObject::ans_wrk`].
+    #[inline]
+    pub fn ans_cand(&self) -> &'a [u32] {
+        &self.flat.ans_cand[self.ans.clone()]
+    }
+
+    /// `|S_o| + |W_o|`: the evidence count in the Eq. (9) denominator.
+    #[inline]
+    pub fn n_evidence(&self) -> usize {
+        self.rec.len() + self.ans.len()
+    }
+
+    /// `G_o(v)` for local candidate `t`: proper ancestor candidates, in
+    /// candidate-index order.
+    #[inline]
+    pub fn ancestors(&self, t: u32) -> &'a [u32] {
+        let s = self.cand_base + t as usize;
+        &self.flat.anc[self.flat.anc_off[s] as usize..self.flat.anc_off[s + 1] as usize]
+    }
+
+    /// `D_o(v)` for local candidate `t`: proper descendant candidates.
+    #[inline]
+    pub fn descendants(&self, t: u32) -> &'a [u32] {
+        let s = self.cand_base + t as usize;
+        &self.flat.desc[self.flat.desc_off[s] as usize..self.flat.desc_off[s + 1] as usize]
+    }
+
+    /// `|G_o(v_t)|` without touching the arena.
+    #[inline]
+    pub fn anc_len(&self, t: u32) -> usize {
+        let s = self.cand_base + t as usize;
+        (self.flat.anc_off[s + 1] - self.flat.anc_off[s]) as usize
+    }
+
+    /// Number of wrong candidates for truth `t`: `|V_o| − |G_o(v_t)| − 1`.
+    #[inline]
+    pub fn n_wrong(&self, t: u32) -> usize {
+        self.k - self.anc_len(t) - 1
+    }
+
+    /// One-word test for `c ∈ G_o(v_t)` via the precomputed bitmask. Only
+    /// meaningful for objects in `O_H` (others own no mask words and always
+    /// answer `false`, which matches their empty ancestor sets).
+    #[inline]
+    pub fn is_ancestor(&self, t: u32, c: u32) -> bool {
+        if !self.in_oh {
+            return false;
+        }
+        let bit = t as usize * self.k + c as usize;
+        (self.flat.anc_mask[self.mask_base + bit / 64] >> (bit % 64)) & 1 == 1
+    }
+
+    /// `Pop2(v' | v* = v)` — same arithmetic as [`crate::ObjectView::pop2`].
+    pub fn pop2(&self, truth: u32, claim: u32) -> f64 {
+        let anc = self.ancestors(truth);
+        let counts = self.source_count();
+        let denom: u32 = anc.iter().map(|&a| counts[a as usize]).sum();
+        if denom == 0 {
+            1.0 / anc.len() as f64
+        } else {
+            f64::from(counts[claim as usize]) / f64::from(denom)
+        }
+    }
+
+    /// `Pop3(v' | v* = v)` — same arithmetic as [`crate::ObjectView::pop3`].
+    pub fn pop3(&self, truth: u32, claim: u32) -> f64 {
+        let counts = self.source_count();
+        let n_sources: u32 = counts.iter().sum();
+        let correctish: u32 = counts[truth as usize]
+            + self
+                .ancestors(truth)
+                .iter()
+                .map(|&a| counts[a as usize])
+                .sum::<u32>();
+        let denom = n_sources - correctish;
+        if denom == 0 {
+            let n_wrong = self.n_wrong(truth);
+            if n_wrong == 0 {
+                0.0
+            } else {
+                1.0 / n_wrong as f64
+            }
+        } else {
+            f64::from(counts[claim as usize]) / f64::from(denom)
+        }
+    }
+}
+
+impl ObservationIndex {
+    /// Flatten the per-object views into dense-id struct-of-arrays tables.
+    ///
+    /// Derived on demand — call once per refit and amortize over every EM
+    /// iteration. Because it reads only this index's current state, the
+    /// result after [`ObservationIndex::append_from`] is identical to
+    /// flattening a from-scratch rebuild (pinned by the `flat_view` suite).
+    pub fn flatten(&self) -> FlatObservations {
+        let views = self.views();
+        let n_obj = views.len();
+        let n_records: usize = views.iter().map(|v| v.sources.len()).sum();
+        let n_answers: usize = views.iter().map(|v| v.workers.len()).sum();
+        let n_slots: usize = views.iter().map(|v| v.n_candidates()).sum();
+
+        let mut f = FlatObservations {
+            cand_off: Vec::with_capacity(n_obj + 1),
+            cand_value: Vec::with_capacity(n_slots),
+            source_count: Vec::with_capacity(n_slots),
+            worker_count: Vec::with_capacity(n_slots),
+            in_oh: Vec::with_capacity(n_obj),
+            rec_off: Vec::with_capacity(n_obj + 1),
+            rec_src: Vec::with_capacity(n_records),
+            rec_cand: Vec::with_capacity(n_records),
+            ans_off: Vec::with_capacity(n_obj + 1),
+            ans_wrk: Vec::with_capacity(n_answers),
+            ans_cand: Vec::with_capacity(n_answers),
+            anc_off: Vec::with_capacity(n_slots + 1),
+            anc: Vec::new(),
+            desc_off: Vec::with_capacity(n_slots + 1),
+            desc: Vec::new(),
+            mask_off: Vec::with_capacity(n_obj + 1),
+            anc_mask: Vec::new(),
+            recs_per_source: (0..self.n_sources())
+                .map(|s| self.objects_of_source(crate::SourceId::from_index(s)).len() as u32)
+                .collect(),
+            ans_per_worker: (0..self.n_workers())
+                .map(|w| self.objects_of_worker(crate::WorkerId::from_index(w)).len() as u32)
+                .collect(),
+        };
+        f.cand_off.push(0);
+        f.rec_off.push(0);
+        f.ans_off.push(0);
+        f.anc_off.push(0);
+        f.desc_off.push(0);
+        f.mask_off.push(0);
+
+        for view in views {
+            let k = view.n_candidates();
+            f.cand_value.extend_from_slice(&view.candidates);
+            f.source_count.extend_from_slice(&view.source_count);
+            f.worker_count.extend_from_slice(&view.worker_count);
+            f.in_oh.push(view.in_oh);
+            for t in 0..k {
+                f.anc.extend_from_slice(&view.ancestors[t]);
+                f.anc_off.push(f.anc.len() as u32);
+                f.desc.extend_from_slice(&view.descendants[t]);
+                f.desc_off.push(f.desc.len() as u32);
+            }
+            for &(s, c) in &view.sources {
+                f.rec_src.push(s.0);
+                f.rec_cand.push(c);
+            }
+            for &(w, c) in &view.workers {
+                f.ans_wrk.push(w.0);
+                f.ans_cand.push(c);
+            }
+            if view.in_oh {
+                let words = (k * k).div_ceil(64);
+                let base = f.anc_mask.len();
+                f.anc_mask.resize(base + words, 0);
+                for (t, anc) in view.ancestors.iter().enumerate() {
+                    for &c in anc {
+                        let bit = t * k + c as usize;
+                        f.anc_mask[base + bit / 64] |= 1u64 << (bit % 64);
+                    }
+                }
+            }
+            f.cand_off.push(f.cand_value.len() as u32);
+            f.rec_off.push(f.rec_src.len() as u32);
+            f.ans_off.push(f.ans_wrk.len() as u32);
+            f.mask_off.push(f.anc_mask.len() as u32);
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    /// The paper's Table 1 fixture plus one worker answer.
+    fn fixture() -> (Dataset, ObservationIndex) {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        b.add_path(&["UK", "London"]);
+        b.add_path(&["UK", "Manchester"]);
+        let mut ds = Dataset::new(b.build());
+        let sol = ds.intern_object("Statue of Liberty");
+        let bb = ds.intern_object("Big Ben");
+        let s: Vec<_> = (0..5).map(|i| ds.intern_source(&format!("s{i}"))).collect();
+        let node = |ds: &Dataset, n: &str| ds.hierarchy().node_by_name(n).unwrap();
+        let (ny, li, la) = (
+            node(&ds, "NY"),
+            node(&ds, "Liberty Island"),
+            node(&ds, "LA"),
+        );
+        let (man, lon) = (node(&ds, "Manchester"), node(&ds, "London"));
+        ds.add_record(sol, s[0], ny);
+        ds.add_record(sol, s[1], li);
+        ds.add_record(sol, s[2], la);
+        ds.add_record(bb, s[3], man);
+        ds.add_record(bb, s[4], lon);
+        let w = ds.intern_worker("w0");
+        ds.add_answer(sol, w, ny);
+        let idx = ObservationIndex::build(&ds);
+        (ds, idx)
+    }
+
+    /// Field-for-field agreement of one object's flat window with its view.
+    fn assert_object_matches(flat: &FlatObservations, idx: &ObservationIndex, oi: usize) {
+        let view = &idx.views()[oi];
+        let fo = flat.object(oi);
+        assert_eq!(fo.candidates(), &view.candidates[..], "candidates[{oi}]");
+        assert_eq!(fo.source_count(), &view.source_count[..]);
+        assert_eq!(fo.worker_count(), &view.worker_count[..]);
+        assert_eq!(fo.in_oh, view.in_oh);
+        assert_eq!(fo.n_evidence(), view.sources.len() + view.workers.len());
+        let src: Vec<u32> = view.sources.iter().map(|&(s, _)| s.0).collect();
+        let src_cand: Vec<u32> = view.sources.iter().map(|&(_, c)| c).collect();
+        assert_eq!(fo.rec_src(), &src[..]);
+        assert_eq!(fo.rec_cand(), &src_cand[..]);
+        let wrk: Vec<u32> = view.workers.iter().map(|&(w, _)| w.0).collect();
+        let wrk_cand: Vec<u32> = view.workers.iter().map(|&(_, c)| c).collect();
+        assert_eq!(fo.ans_wrk(), &wrk[..]);
+        assert_eq!(fo.ans_cand(), &wrk_cand[..]);
+        for t in 0..view.n_candidates() as u32 {
+            assert_eq!(fo.ancestors(t), &view.ancestors[t as usize][..]);
+            assert_eq!(fo.descendants(t), &view.descendants[t as usize][..]);
+            assert_eq!(fo.anc_len(t), view.ancestors[t as usize].len());
+            assert_eq!(fo.n_wrong(t), view.n_wrong(t));
+            for c in 0..view.n_candidates() as u32 {
+                assert_eq!(
+                    fo.is_ancestor(t, c),
+                    view.ancestors[t as usize].contains(&c),
+                    "mask({t},{c}) of object {oi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_matches_views_on_table1() {
+        let (_, idx) = fixture();
+        let flat = idx.flatten();
+        assert_eq!(flat.n_objects(), idx.n_objects());
+        assert_eq!(flat.n_records(), 5);
+        assert_eq!(flat.n_answers(), 1);
+        for oi in 0..idx.n_objects() {
+            assert_object_matches(&flat, &idx, oi);
+        }
+        assert_eq!(flat.recs_per_source, vec![1, 1, 1, 1, 1]);
+        assert_eq!(flat.ans_per_worker, vec![1]);
+    }
+
+    #[test]
+    fn popularity_terms_match_views() {
+        let (_, idx) = fixture();
+        let flat = idx.flatten();
+        let view = &idx.views()[0];
+        let fo = flat.object(0);
+        for t in 0..view.n_candidates() as u32 {
+            for c in 0..view.n_candidates() as u32 {
+                if view.ancestors[t as usize].contains(&c) {
+                    assert_eq!(fo.pop2(t, c), view.pop2(t, c), "pop2({t},{c})");
+                } else if c != t {
+                    assert_eq!(fo.pop3(t, c), view.pop3(t, c), "pop3({t},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_oh_objects_own_no_mask_words() {
+        let (_, idx) = fixture();
+        let flat = idx.flatten();
+        // Object 1 (Big Ben) is outside O_H: its mask block is empty and
+        // is_ancestor is uniformly false.
+        assert_eq!(flat.mask_off[1], flat.mask_off[2]);
+        let fo = flat.object(1);
+        assert!(!fo.is_ancestor(0, 1) && !fo.is_ancestor(1, 0));
+    }
+
+    #[test]
+    fn empty_index_flattens_empty() {
+        let ds = Dataset::new(HierarchyBuilder::new().build());
+        let flat = ObservationIndex::build(&ds).flatten();
+        assert_eq!(flat.n_objects(), 0);
+        assert_eq!(flat.n_slots(), 0);
+        assert_eq!(flat.cand_off, vec![0]);
+    }
+}

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 mod dataset;
+mod flat;
 mod ids;
 mod index;
 pub mod io;
@@ -36,6 +37,7 @@ mod numeric;
 pub mod par;
 
 pub use dataset::{Dataset, DatasetStats};
+pub use flat::{FlatObject, FlatObservations};
 pub use ids::{ObjectId, SourceId, WorkerId};
 pub use index::{ObjectView, ObservationIndex};
 pub use numeric::{NumericClaim, NumericDataset};

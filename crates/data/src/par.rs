@@ -72,6 +72,57 @@ pub fn chunk_ranges(n: usize, n_threads: usize) -> Vec<Range<usize>> {
     ranges
 }
 
+/// Split `0..n` into at most `n_threads` contiguous, non-empty ranges whose
+/// item-**weight** totals are near-equal, in ascending order.
+///
+/// `prefix` is the weight prefix-sum array (`prefix.len() == n + 1`,
+/// `prefix[0] == 0`, non-decreasing): item `i` weighs
+/// `prefix[i + 1] - prefix[i]`. Boundary `j` of chunk `i` is the first index
+/// whose cumulative weight reaches `total * i / n_chunks`, so boundaries
+/// depend only on `(prefix, n_threads)` — never on scheduling — exactly like
+/// [`chunk_ranges`]. Used by the EM kernels to balance E-step chunks by
+/// *claim* count instead of object count (Zipf corpora put most claims on
+/// few objects, so equal object counts starve most threads). Degenerate
+/// all-zero weights fall back to [`chunk_ranges`].
+///
+/// # Panics
+/// Panics when `prefix` is empty (it must at least hold the leading 0).
+pub fn chunk_ranges_weighted(n_threads: usize, prefix: &[u64]) -> Vec<Range<usize>> {
+    let n = prefix
+        .len()
+        .checked_sub(1)
+        .expect("prefix holds a leading 0");
+    let total = prefix[n];
+    if n == 0 {
+        return Vec::new();
+    }
+    if total == 0 {
+        return chunk_ranges(n, n_threads);
+    }
+    let chunks = n_threads.clamp(1, n);
+    let mut ranges = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    for i in 1..=chunks {
+        // First boundary whose cumulative weight reaches the i-th quantile;
+        // the final chunk always closes at n.
+        let target = total as u128 * i as u128 / chunks as u128;
+        let end = if i == chunks {
+            n
+        } else {
+            // Smallest boundary whose cumulative weight reaches the target,
+            // clamped so every chunk (including the remaining ones) keeps at
+            // least one item.
+            prefix
+                .partition_point(|&w| (w as u128) < target)
+                .clamp(start + 1, n - (chunks - i))
+        };
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
 /// Run `f` once per chunk of `0..n` and return `(range, result)` pairs in
 /// chunk order.
 ///
@@ -128,6 +179,46 @@ mod tests {
         assert_eq!(chunk_ranges(5, 2), vec![0..3, 3..5]);
         // More threads than items: one singleton chunk per item.
         assert_eq!(chunk_ranges(3, 8), vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn weighted_chunks_balance_by_weight() {
+        // Item weights 100, 1, 1, 1, 1, 1: object-count chunking would put
+        // the heavy item plus half the rest in chunk 0; weighted chunking
+        // isolates the heavy item.
+        let weights = [100u64, 1, 1, 1, 1, 1];
+        let mut prefix = vec![0u64];
+        for w in weights {
+            prefix.push(prefix.last().unwrap() + w);
+        }
+        let ranges = chunk_ranges_weighted(2, &prefix);
+        assert_eq!(ranges, vec![0..1, 1..6]);
+        // Covering + ordered + non-empty for a spread of chunk counts.
+        for t in 1..=8 {
+            let ranges = chunk_ranges_weighted(t, &prefix);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, 6);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn weighted_chunks_edge_cases() {
+        // One thread: a single covering chunk.
+        assert_eq!(chunk_ranges_weighted(1, &[0, 5, 9]), vec![0..2]);
+        // No items: only the leading zero.
+        assert!(chunk_ranges_weighted(4, &[0]).is_empty());
+        // All-zero weights degrade to plain count chunking.
+        assert_eq!(
+            chunk_ranges_weighted(2, &[0, 0, 0, 0, 0]),
+            chunk_ranges(4, 2)
+        );
+        // More threads than items: singleton chunks, never empty ones.
+        let ranges = chunk_ranges_weighted(8, &[0, 1, 2, 3]);
+        assert_eq!(ranges, vec![0..1, 1..2, 2..3]);
     }
 
     #[test]

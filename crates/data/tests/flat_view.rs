@@ -1,0 +1,270 @@
+//! Property suite: the dense-id struct-of-arrays view
+//! (`ObservationIndex::flatten`) agrees **field for field** with the
+//! per-object `ObjectView`s it was derived from — on arbitrary datasets,
+//! including empty datasets, claim-less objects, non-hierarchical candidate
+//! sets, and candidate growth through `append_from`.
+//!
+//! Two contracts:
+//!
+//! 1. *Projection*: every window of the flat tables (candidates, record and
+//!    answer columns, ancestor/descendant arenas, the ancestor bitmask, the
+//!    popularity counts and the per-entity incidence totals) reproduces the
+//!    corresponding view field exactly — the flat view holds no state of its
+//!    own.
+//! 2. *Append == rebuild*: flattening an index grown in place by
+//!    `append_from` is bit-identical to flattening a from-scratch rebuild of
+//!    the grown dataset, so a refit after ingestion sees exactly the tables
+//!    a cold build would produce (candidate insertion remaps every dense id;
+//!    the flat view must follow).
+
+use proptest::prelude::*;
+use tdh_data::{Dataset, FlatObservations, ObjectId, ObservationIndex, SourceId, WorkerId};
+use tdh_hierarchy::HierarchyBuilder;
+
+/// Field-for-field agreement of the flat tables with the index's views.
+fn assert_flat_matches_views(idx: &ObservationIndex, flat: &FlatObservations, label: &str) {
+    assert_eq!(flat.n_objects(), idx.n_objects(), "{label}: n_objects");
+    let mut slots = 0usize;
+    let mut recs = 0usize;
+    let mut answers = 0usize;
+    for oi in 0..idx.n_objects() {
+        let view = &idx.views()[oi];
+        let fo = flat.object(oi);
+        let k = view.n_candidates();
+        assert_eq!(fo.n_candidates(), k, "{label}: k[{oi}]");
+        assert_eq!(fo.cand_base(), slots, "{label}: cand_base[{oi}]");
+        assert_eq!(fo.candidates(), &view.candidates[..], "{label}: V[{oi}]");
+        assert_eq!(
+            fo.source_count(),
+            &view.source_count[..],
+            "{label}: sc[{oi}]"
+        );
+        assert_eq!(
+            fo.worker_count(),
+            &view.worker_count[..],
+            "{label}: wc[{oi}]"
+        );
+        assert_eq!(fo.in_oh, view.in_oh, "{label}: in_oh[{oi}]");
+        assert_eq!(
+            fo.n_evidence(),
+            view.sources.len() + view.workers.len(),
+            "{label}: evidence[{oi}]"
+        );
+        let (src, src_cand): (Vec<u32>, Vec<u32>) =
+            view.sources.iter().map(|&(s, c)| (s.0, c)).unzip();
+        assert_eq!(fo.rec_src(), &src[..], "{label}: rec_src[{oi}]");
+        assert_eq!(fo.rec_cand(), &src_cand[..], "{label}: rec_cand[{oi}]");
+        let (wrk, ans_cand): (Vec<u32>, Vec<u32>) =
+            view.workers.iter().map(|&(w, c)| (w.0, c)).unzip();
+        assert_eq!(fo.ans_wrk(), &wrk[..], "{label}: ans_wrk[{oi}]");
+        assert_eq!(fo.ans_cand(), &ans_cand[..], "{label}: ans_cand[{oi}]");
+        for t in 0..k as u32 {
+            assert_eq!(
+                fo.ancestors(t),
+                &view.ancestors[t as usize][..],
+                "{label}: G[{oi}][{t}]"
+            );
+            assert_eq!(
+                fo.descendants(t),
+                &view.descendants[t as usize][..],
+                "{label}: D[{oi}][{t}]"
+            );
+            assert_eq!(fo.anc_len(t), view.ancestors[t as usize].len());
+            assert_eq!(
+                fo.n_wrong(t),
+                view.n_wrong(t),
+                "{label}: n_wrong[{oi}][{t}]"
+            );
+            for c in 0..k as u32 {
+                assert_eq!(
+                    fo.is_ancestor(t, c),
+                    view.ancestors[t as usize].contains(&c),
+                    "{label}: mask[{oi}]({t},{c})"
+                );
+                if view.ancestors[t as usize].contains(&c) {
+                    assert_eq!(
+                        fo.pop2(t, c),
+                        view.pop2(t, c),
+                        "{label}: pop2[{oi}]({t},{c})"
+                    );
+                } else if c != t {
+                    assert_eq!(
+                        fo.pop3(t, c),
+                        view.pop3(t, c),
+                        "{label}: pop3[{oi}]({t},{c})"
+                    );
+                }
+            }
+        }
+        slots += k;
+        recs += view.sources.len();
+        answers += view.workers.len();
+    }
+    assert_eq!(flat.n_slots(), slots, "{label}: slot total");
+    assert_eq!(flat.n_records(), recs, "{label}: record total");
+    assert_eq!(flat.n_answers(), answers, "{label}: answer total");
+    // Per-entity incidence totals match the O_s / O_w list lengths.
+    assert_eq!(flat.recs_per_source.len(), idx.n_sources(), "{label}");
+    for si in 0..idx.n_sources() {
+        assert_eq!(
+            flat.recs_per_source[si] as usize,
+            idx.objects_of_source(SourceId(si as u32)).len(),
+            "{label}: |O_s|[{si}]"
+        );
+    }
+    assert_eq!(flat.ans_per_worker.len(), idx.n_workers(), "{label}");
+    for wi in 0..idx.n_workers() {
+        assert_eq!(
+            flat.ans_per_worker[wi] as usize,
+            idx.objects_of_worker(WorkerId(wi as u32)).len(),
+            "{label}: |O_w|[{wi}]"
+        );
+    }
+}
+
+/// Build a dataset from raw generator draws (same scheme as the
+/// `index_parallel` suite): every entity interned up front so claim-less
+/// objects and answer-less workers exist, answers selecting among the
+/// candidate set the records defined.
+fn build_dataset(
+    n_top: usize,
+    n_leaf: usize,
+    n_obj: usize,
+    n_src: usize,
+    n_wrk: usize,
+    raw_records: &[(usize, usize, usize)],
+    raw_answers: &[(usize, usize, usize)],
+) -> Dataset {
+    let mut b = HierarchyBuilder::new();
+    let mut names = Vec::new();
+    for t in 0..n_top {
+        let top = format!("T{t}");
+        for l in 0..n_leaf {
+            let leaf = format!("T{t}L{l}");
+            b.add_path(&[&top, &leaf]);
+            names.push(leaf);
+        }
+        names.push(top);
+    }
+    let mut ds = Dataset::new(b.build());
+    for o in 0..n_obj {
+        ds.intern_object(&format!("o{o}"));
+    }
+    for s in 0..n_src {
+        ds.intern_source(&format!("s{s}"));
+    }
+    for w in 0..n_wrk {
+        ds.intern_worker(&format!("w{w}"));
+    }
+    if n_obj > 0 {
+        for &(o, s, v) in raw_records {
+            let value = ds
+                .hierarchy()
+                .node_by_name(&names[v % names.len()])
+                .unwrap();
+            ds.add_record(
+                ObjectId((o % n_obj) as u32),
+                SourceId((s % n_src) as u32),
+                value,
+            );
+        }
+        let mut cands: Vec<Vec<_>> = vec![Vec::new(); n_obj];
+        for r in ds.records() {
+            cands[r.object.index()].push(r.value);
+        }
+        for c in &mut cands {
+            c.sort_unstable();
+            c.dedup();
+        }
+        for &(o, w, pick) in raw_answers {
+            let oi = o % n_obj;
+            if cands[oi].is_empty() {
+                continue;
+            }
+            let value = cands[oi][pick % cands[oi].len()];
+            ds.add_answer(ObjectId(oi as u32), WorkerId((w % n_wrk) as u32), value);
+        }
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_view_matches_object_views(
+        n_top in 1usize..5,
+        n_leaf in 1usize..4,
+        n_obj in 0usize..7,
+        dims in (1usize..5, 1usize..4),
+        raw_records in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 0..40),
+        raw_answers in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 0..25),
+    ) {
+        let (n_src, n_wrk) = dims;
+        let ds = build_dataset(n_top, n_leaf, n_obj, n_src, n_wrk, &raw_records, &raw_answers);
+        let idx = ObservationIndex::build(&ds);
+        assert_flat_matches_views(&idx, &idx.flatten(), "build");
+        // The threaded build flattens identically (its views are pinned
+        // field-for-field equal by the index_parallel suite).
+        let par = ObservationIndex::build_threaded(&ds, 3);
+        prop_assert_eq!(par.flatten(), idx.flatten());
+    }
+
+    #[test]
+    fn append_then_flatten_equals_rebuild_then_flatten(
+        n_obj in 1usize..6,
+        dims in (1usize..4, 1usize..3),
+        base_records in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 0..20),
+        grow_records in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 1..20),
+        grow_answers in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 0..12),
+    ) {
+        let (n_src, n_wrk) = dims;
+        // Base corpus, indexed; then the dataset grows (new values insert
+        // candidates mid-row, remapping dense ids) and the index follows
+        // in place via append_from.
+        let base = build_dataset(4, 3, n_obj, n_src, n_wrk, &base_records, &[]);
+        let mut idx = ObservationIndex::build(&base);
+        let (n_recs, n_ans) = (base.records().len(), base.answers().len());
+
+        let mut raw = base_records.clone();
+        raw.extend_from_slice(&grow_records);
+        let grown = build_dataset(4, 3, n_obj, n_src, n_wrk, &raw, &grow_answers);
+        idx.append_from(&grown, n_recs, n_ans);
+
+        let rebuilt = ObservationIndex::build(&grown);
+        let (inc, reb) = (idx.flatten(), rebuilt.flatten());
+        prop_assert_eq!(&inc, &reb, "append_from and rebuild must flatten identically");
+        assert_flat_matches_views(&idx, &inc, "appended");
+    }
+}
+
+#[test]
+fn empty_dataset_flattens_empty() {
+    let ds = Dataset::new(HierarchyBuilder::new().build());
+    let flat = ObservationIndex::build(&ds).flatten();
+    assert_eq!(flat.n_objects(), 0);
+    assert_eq!(flat.n_slots(), 0);
+    assert_eq!(flat.n_records(), 0);
+    assert_eq!(flat.n_answers(), 0);
+}
+
+#[test]
+fn claim_less_objects_own_empty_windows() {
+    // Three objects, only the middle one claimed about: its neighbours'
+    // windows are empty but addressable.
+    let ds = build_dataset(2, 2, 3, 1, 1, &[(1, 0, 0), (1, 0, 4)], &[(1, 0, 0)]);
+    let idx = ObservationIndex::build(&ds);
+    let flat = idx.flatten();
+    assert_flat_matches_views(&idx, &flat, "claim-less");
+    for oi in [0, 2] {
+        let fo = flat.object(oi);
+        assert_eq!(fo.n_candidates(), 0);
+        assert_eq!(fo.n_evidence(), 0);
+    }
+    assert_eq!(flat.object(1).n_evidence(), 3);
+}

@@ -1,0 +1,358 @@
+//! Paper-scale streamed corpus generation.
+//!
+//! The evaluation corpora ([`crate::generate_birthplaces`] /
+//! [`crate::generate_heritages`]) are calibrated for *accuracy* experiments —
+//! a few thousand claims, rich per-source structure. Demonstrating that the
+//! parallel fit path actually wins needs corpora two to three orders of
+//! magnitude bigger, where per-iteration E-step work dwarfs coordination
+//! overhead. [`generate_webscale`] produces them: millions of records over
+//! hundreds of thousands of objects, **streamed** one object at a time —
+//! per-object working memory is constant (a handful of claimed values), so
+//! generation cost is linear in the claim count and never materializes
+//! intermediate per-source claim lists the way the without-replacement
+//! categorical generator does.
+//!
+//! The statistical shape keeps what the TDH model exercises at scale:
+//! per-source three-way trustworthiness `φ_s` drawn from a Dirichlet, Zipf
+//! claim volume across sources (head sources contribute most records),
+//! shallow generalizations that put objects in `O_H`, shared per-object
+//! decoy values (widespread misinformation), and worker answers selecting
+//! among the object's claimed values with a popularity bias.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tdh_data::Dataset;
+use tdh_hierarchy::{Hierarchy, NodeId};
+
+use crate::categorical::Corpus;
+use crate::hierarchy_gen::{generate_hierarchy, HierarchyConfig};
+use crate::sampling::{dirichlet, Zipf};
+
+/// Configuration for [`generate_webscale`].
+#[derive(Debug, Clone)]
+pub struct WebScaleConfig {
+    /// Corpus name (used in reports).
+    pub name: String,
+    /// Number of objects `|O|`.
+    pub n_objects: usize,
+    /// Number of sources `|S|`.
+    pub n_sources: usize,
+    /// Number of crowd workers available to answer.
+    pub n_workers: usize,
+    /// Total number of source records to emit (spread near-uniformly over
+    /// objects: every object gets `n_claims / n_objects` claims, the first
+    /// `n_claims % n_objects` one extra).
+    pub n_claims: usize,
+    /// Expected worker answers per object (answers select among the
+    /// object's claimed values, so they never extend candidate sets).
+    pub answer_rate: f64,
+    /// Shape of the value hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Zipf exponent of claim volume across sources (rank 1 = the head
+    /// crawler contributing the most records).
+    pub source_zipf: f64,
+    /// Dirichlet concentration the per-source `φ_s = (exact, generalized,
+    /// wrong)` vectors are drawn from.
+    pub phi_alpha: [f64; 3],
+    /// Probability that a generalized claim uses the truth's depth-1
+    /// ancestor rather than a uniformly chosen proper ancestor.
+    pub shallow_general_prob: f64,
+    /// Probability that a wrong claim picks the object's shared decoy value
+    /// instead of an independent wrong value.
+    pub decoy_prob: f64,
+}
+
+impl WebScaleConfig {
+    /// The paper-scale corpus: one million records. Generation stays in the
+    /// low seconds; fitting it is the point of the `scaling` benchmark.
+    pub fn paper() -> Self {
+        WebScaleConfig {
+            name: "webscale-1m".into(),
+            n_objects: 200_000,
+            n_sources: 2_000,
+            n_workers: 400,
+            n_claims: 1_000_000,
+            answer_rate: 0.3,
+            hierarchy: HierarchyConfig {
+                n_nodes: 3_000,
+                height: 4,
+                top_level: 8,
+            },
+            source_zipf: 1.1,
+            phi_alpha: [12.0, 4.0, 4.0],
+            shallow_general_prob: 0.6,
+            decoy_prob: 0.5,
+        }
+    }
+
+    /// A scaled-down variant (~100k claims) for CI and `--quick` bench runs:
+    /// same shape, one tenth the volume.
+    pub fn quick() -> Self {
+        WebScaleConfig {
+            name: "webscale-100k".into(),
+            n_objects: 20_000,
+            n_sources: 600,
+            n_workers: 120,
+            n_claims: 100_000,
+            hierarchy: HierarchyConfig {
+                n_nodes: 1_500,
+                height: 4,
+                top_level: 8,
+            },
+            ..WebScaleConfig::paper()
+        }
+    }
+}
+
+/// Proper non-root ancestors of `v`, nearest first (depth order follows
+/// [`Hierarchy::ancestors`]).
+fn non_root_ancestors(h: &Hierarchy, v: NodeId) -> Vec<NodeId> {
+    h.ancestors(v).filter(|&a| a != NodeId::ROOT).collect()
+}
+
+/// Generate a web-scale corpus. Deterministic given `(cfg, seed)`; the total
+/// record count is exactly `cfg.n_claims`.
+///
+/// # Panics
+/// Panics when the hierarchy budget yields no nodes of depth ≥ 2 (truths
+/// need a non-root proper ancestor to generalize to) or when
+/// `n_objects == 0` with `n_claims > 0`.
+pub fn generate_webscale(cfg: &WebScaleConfig, seed: u64) -> Corpus {
+    assert!(
+        cfg.n_objects > 0 || cfg.n_claims == 0,
+        "claims need objects to land on"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = generate_hierarchy(&cfg.hierarchy, seed ^ 0x5eed_cafe);
+
+    // Truth pool: depth ≥ 2, so every truth has a non-root generalization.
+    let eligible: Vec<NodeId> = h.nodes().filter(|&v| h.depth(v) >= 2).collect();
+    assert!(
+        !eligible.is_empty(),
+        "hierarchy has no nodes of depth >= 2 to serve as truths"
+    );
+    // Ancestor chains cached once per node — the generalization draw in the
+    // claim loop must not walk the tree per record.
+    let max_node = h.nodes().map(|v| v.index()).max().unwrap_or(0);
+    let mut anc_cache: Vec<Vec<NodeId>> = vec![Vec::new(); max_node + 1];
+    for &v in &eligible {
+        anc_cache[v.index()] = non_root_ancestors(&h, v);
+    }
+
+    let mut ds = Dataset::new(h);
+    let objects: Vec<_> = (0..cfg.n_objects)
+        .map(|i| ds.intern_object(&format!("e{i}")))
+        .collect();
+    let sources: Vec<_> = (0..cfg.n_sources)
+        .map(|i| ds.intern_source(&format!("crawl{i}")))
+        .collect();
+    let workers: Vec<_> = (0..cfg.n_workers)
+        .map(|i| ds.intern_worker(&format!("w{i}")))
+        .collect();
+    let phis: Vec<[f64; 3]> = (0..cfg.n_sources)
+        .map(|_| dirichlet(&mut rng, &cfg.phi_alpha))
+        .collect();
+    let source_ranks = Zipf::new(cfg.n_sources.max(1), cfg.source_zipf);
+
+    let base = if cfg.n_objects == 0 {
+        0
+    } else {
+        cfg.n_claims / cfg.n_objects
+    };
+    let extra = if cfg.n_objects == 0 {
+        0
+    } else {
+        cfg.n_claims % cfg.n_objects
+    };
+
+    let mut truths = Vec::with_capacity(cfg.n_objects);
+    // Per-object scratch, reused: the distinct claimed values so far.
+    let mut claimed: Vec<NodeId> = Vec::new();
+    let mut claim_counts: Vec<u32> = Vec::new();
+
+    for (oi, &o) in objects.iter().enumerate() {
+        let truth = eligible[rng.random_range(0..eligible.len())];
+        ds.set_gold(o, truth);
+        truths.push(truth);
+        let anc = &anc_cache[truth.index()];
+
+        // The object's shared decoy: one wrong value many sources repeat.
+        let decoy = loop {
+            let v = eligible[rng.random_range(0..eligible.len())];
+            if v != truth && !anc.contains(&v) {
+                break v;
+            }
+        };
+
+        claimed.clear();
+        claim_counts.clear();
+        let n_claims_o = base + usize::from(oi < extra);
+        for _ in 0..n_claims_o {
+            let si = source_ranks.sample(&mut rng) - 1;
+            let phi = &phis[si];
+            let u: f64 = rng.random();
+            let value = if u < phi[0] {
+                truth
+            } else if u < phi[0] + phi[1] {
+                if rng.random::<f64>() < cfg.shallow_general_prob {
+                    // The canonical coarse level: the depth-1 ancestor is
+                    // the last entry (chains run nearest-first).
+                    *anc.last().expect("eligible truths have depth >= 2")
+                } else {
+                    anc[rng.random_range(0..anc.len())]
+                }
+            } else if rng.random::<f64>() < cfg.decoy_prob {
+                decoy
+            } else {
+                loop {
+                    let v = eligible[rng.random_range(0..eligible.len())];
+                    if v != truth && !anc.contains(&v) {
+                        break v;
+                    }
+                }
+            };
+            ds.add_record(o, sources[si], value);
+            match claimed.iter().position(|&v| v == value) {
+                Some(i) => claim_counts[i] += 1,
+                None => {
+                    claimed.push(value);
+                    claim_counts.push(1);
+                }
+            }
+        }
+
+        // Worker answers: popularity-biased selection among the claimed
+        // values (workers echo what the web says), with a boost for the
+        // truth when it was claimed at all.
+        if claimed.is_empty() || workers.is_empty() {
+            continue;
+        }
+        let mut expected = cfg.answer_rate;
+        while expected > 0.0 {
+            let emit = expected >= 1.0 || rng.random::<f64>() < expected;
+            expected -= 1.0;
+            if !emit {
+                continue;
+            }
+            let w = workers[rng.random_range(0..workers.len())];
+            let value = if claimed.contains(&truth) && rng.random::<f64>() < 0.7 {
+                truth
+            } else {
+                // Proportional to claim count: widespread misinformation
+                // attracts worker answers too.
+                let total: u32 = claim_counts.iter().sum();
+                let mut target = rng.random_range(0..total);
+                let mut pick = claimed[0];
+                for (v, &c) in claimed.iter().zip(&claim_counts) {
+                    if target < c {
+                        pick = *v;
+                        break;
+                    }
+                    target -= c;
+                }
+                pick
+            };
+            ds.add_answer(o, w, value);
+        }
+    }
+
+    Corpus {
+        name: cfg.name.clone(),
+        dataset: ds,
+        truths,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_data::ObservationIndex;
+
+    fn small() -> WebScaleConfig {
+        WebScaleConfig {
+            name: "webscale-test".into(),
+            n_objects: 300,
+            n_sources: 40,
+            n_workers: 12,
+            n_claims: 2_000,
+            hierarchy: HierarchyConfig {
+                n_nodes: 200,
+                height: 4,
+                top_level: 5,
+            },
+            ..WebScaleConfig::paper()
+        }
+    }
+
+    #[test]
+    fn claim_count_is_exact_and_objects_covered() {
+        let c = generate_webscale(&small(), 7);
+        assert_eq!(c.dataset.records().len(), 2_000);
+        assert_eq!(c.dataset.n_objects(), 300);
+        assert_eq!(c.truths.len(), 300);
+        // Every object gets at least base = 6 claims.
+        let idx = ObservationIndex::build(&c.dataset);
+        for oi in 0..idx.n_objects() {
+            assert!(!idx.views()[oi].candidates.is_empty());
+        }
+    }
+
+    #[test]
+    fn answers_select_among_candidates() {
+        let c = generate_webscale(&small(), 11);
+        assert!(
+            !c.dataset.answers().is_empty(),
+            "answer_rate 0.3 over 300 objects"
+        );
+        // build() panics on any answer outside the candidate set.
+        let idx = ObservationIndex::build(&c.dataset);
+        assert!(idx.n_workers() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_webscale(&small(), 3);
+        let b = generate_webscale(&small(), 3);
+        assert_eq!(a.dataset.records(), b.dataset.records());
+        assert_eq!(a.dataset.answers(), b.dataset.answers());
+        assert_eq!(a.truths, b.truths);
+        let c = generate_webscale(&small(), 4);
+        assert_ne!(a.dataset.records(), c.dataset.records());
+    }
+
+    #[test]
+    fn corpus_is_hierarchical_and_misinformed() {
+        // The statistical properties the scaling fit relies on: a healthy
+        // share of objects in O_H (generalized claims land ancestors in the
+        // candidate sets) and multi-candidate objects (decoys contested).
+        let c = generate_webscale(&small(), 5);
+        let idx = ObservationIndex::build(&c.dataset);
+        let in_oh = idx.views().iter().filter(|v| v.in_oh).count();
+        let multi = idx
+            .views()
+            .iter()
+            .filter(|v| v.candidates.len() > 1)
+            .count();
+        assert!(in_oh > 50, "O_H objects: {in_oh}/300");
+        assert!(multi > 150, "contested objects: {multi}/300");
+    }
+
+    #[test]
+    fn truth_is_the_plurality_claim_for_most_objects() {
+        // φ ~ Dir(12, 4, 4) sources claim the exact truth ~60% of the time,
+        // so a simple per-object plurality should already land most truths —
+        // the corpus is learnable, not noise.
+        let c = generate_webscale(&small(), 9);
+        let idx = ObservationIndex::build(&c.dataset);
+        let mut correct = 0;
+        for (oi, view) in idx.views().iter().enumerate() {
+            let best = (0..view.candidates.len())
+                .max_by_key(|&v| view.source_count[v])
+                .unwrap();
+            if view.candidates[best] == c.truths[oi] {
+                correct += 1;
+            }
+        }
+        assert!(correct > 240, "plurality recovers {correct}/300");
+    }
+}

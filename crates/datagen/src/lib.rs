@@ -14,6 +14,9 @@
 //!   and heavy-tailed outliers (the Stock dataset of Table 6).
 //! * [`generate_categorical`] — the general-purpose generator behind the two
 //!   categorical corpora, usable directly for custom experiments.
+//! * [`generate_webscale`] — paper-scale streamed corpora (10⁵–10⁶ claims)
+//!   for the parallel-fit scaling benchmarks, where the accuracy-calibrated
+//!   generators above are orders of magnitude too small.
 //!
 //! Sources are sampled with individual three-way trustworthiness vectors
 //! `φ_s = (exact, generalized, wrong)`, reproducing Figure 1's observation
@@ -25,10 +28,12 @@
 mod categorical;
 mod corpora;
 mod hierarchy_gen;
+mod largescale;
 pub mod sampling;
 mod stock;
 
 pub use categorical::{generate_categorical, CategoricalConfig, Corpus, SourceSpec};
 pub use corpora::{generate_birthplaces, generate_heritages, BirthPlacesConfig, HeritagesConfig};
 pub use hierarchy_gen::{generate_hierarchy, HierarchyConfig};
+pub use largescale::{generate_webscale, WebScaleConfig};
 pub use stock::{generate_stock, StockAttribute, StockConfig};
