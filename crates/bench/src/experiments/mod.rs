@@ -6,14 +6,15 @@ mod crowdsourcing;
 mod inference;
 mod performance;
 mod serving;
+mod sharding;
 
 use crate::Scale;
 
 /// All experiment ids: the paper's tables/figures in paper order, then the
-/// repo's own scenarios (`ablation`, `scaling`, `serving`).
-pub const ALL: [&str; 17] = [
+/// repo's own scenarios (`ablation`, `scaling`, `serving`, `sharding`).
+pub const ALL: [&str; 18] = [
     "fig1", "table3", "fig5", "fig6", "fig7", "table4", "fig8", "fig11", "fig12", "fig13", "fig14",
-    "fig17", "table5", "table6", "ablation", "scaling", "serving",
+    "fig17", "table5", "table6", "ablation", "scaling", "serving", "sharding",
 ];
 
 /// Run one experiment by id. Panics on unknown ids (the CLI validates).
@@ -37,6 +38,7 @@ pub fn run(id: &str, scale: Scale) {
         "ablation" => ablation::ablation(scale),
         "scaling" => performance::scaling(scale),
         "serving" => serving::serving(scale),
+        "sharding" => sharding::sharding(scale),
         other => panic!("unknown experiment id {other}"),
     }
     println!();

@@ -1,0 +1,204 @@
+//! `sharding` — not a paper figure: the `tdh-serve` sharded serving layer
+//! under mixed load.
+//!
+//! For each shard count N ∈ {1, 2, 4}: bootstrap a [`ShardedServer`] on
+//! 85% of the corpus's records, then run a **mixed** phase — reader
+//! threads hammer `truth`/`source_reliability`/`top_uncertain` against the
+//! per-shard published states (lock-free) while the main thread streams
+//! the remaining 15% through `ingest` in chunks, routed to shards by
+//! object-name hash. Reports ingest and query throughput per shard count,
+//! plus the post-stream refit cost (all shards refit, warm).
+//!
+//! `results/sharding.json` fields (asserted by CI via
+//! [`save_checked`](crate::report::save_checked)): `shards`,
+//! `ingest_claims_per_s`, `query_per_s` — one row per shard count.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use tdh_core::TdhConfig;
+use tdh_data::{Dataset, ObjectId};
+use tdh_serve::{Claim, RefitPolicy, ShardedServer};
+
+use crate::harness::{birthplaces, print_table};
+use crate::report::{save_checked, MetricRow};
+use crate::Scale;
+
+/// Rebuild `ds` with only its first `n_records` records (same hierarchy,
+/// gold labels and interning order) — the pre-stream corpus.
+fn record_prefix(ds: &Dataset, n_records: usize) -> Dataset {
+    let mut out = Dataset::new(ds.hierarchy().clone());
+    for o in ds.objects() {
+        let no = out.intern_object(ds.object_name(o));
+        if let Some(g) = ds.gold(o) {
+            out.set_gold(no, g);
+        }
+    }
+    for s in ds.sources() {
+        out.intern_source(ds.source_name(s));
+    }
+    for w in ds.workers() {
+        out.intern_worker(ds.worker_name(w));
+    }
+    for r in &ds.records()[..n_records] {
+        out.add_record(r.object, r.source, r.value);
+    }
+    out
+}
+
+/// The sharding scenario at the requested scale.
+pub fn sharding(scale: Scale) {
+    let (reader_threads, chunk) = match scale {
+        Scale::Paper => (4usize, 1024usize),
+        Scale::Quick => (2usize, 512usize),
+    };
+    let corpus = birthplaces(scale);
+    let ds_full = corpus.dataset;
+    let h = ds_full.hierarchy().clone();
+    let n_total = ds_full.records().len();
+    let n_batch = n_total * 15 / 100;
+    let n_keep = n_total - n_batch;
+    let ds0 = record_prefix(&ds_full, n_keep);
+    let stream: Vec<Claim> = ds_full.records()[n_keep..]
+        .iter()
+        .map(|r| Claim::Record {
+            object: ds_full.object_name(r.object).to_string(),
+            source: ds_full.source_name(r.source).to_string(),
+            value: h.name(r.value).to_string(),
+        })
+        .collect();
+    let object_names: Vec<String> = (0..ds_full.n_objects())
+        .map(|i| ds_full.object_name(ObjectId::from_index(i)).to_string())
+        .collect();
+    let source_names: Vec<String> = ds_full
+        .sources()
+        .map(|s| ds_full.source_name(s).to_string())
+        .collect();
+    println!(
+        "[{}] {} records: bootstrap on {n_keep}, stream {n_batch} under \
+         {reader_threads} reader threads, shard counts 1/2/4",
+        corpus.name, n_total
+    );
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    for n_shards in [1usize, 2, 4] {
+        // Manual policy: the mixed phase measures routing + index append +
+        // per-shard WAL-free ingest; the refit cost is reported separately
+        // (one warm refit per shard after the stream).
+        let t0 = Instant::now();
+        let sharded = ShardedServer::new(
+            ds0.clone(),
+            TdhConfig::default(),
+            RefitPolicy::Manual,
+            n_shards,
+        );
+        let bootstrap_s = t0.elapsed().as_secs_f64();
+
+        // --- Mixed phase: lock-free readers race the ingest stream. ---
+        let stop = AtomicBool::new(false);
+        let readers_handle = sharded.readers();
+        let (ingest_s, queries_done, mixed_s) = std::thread::scope(|scope| {
+            let reader_handles: Vec<_> = (0..reader_threads)
+                .map(|t| {
+                    let readers = readers_handle.clone();
+                    let stop = &stop;
+                    let object_names = &object_names;
+                    let source_names = &source_names;
+                    scope.spawn(move || {
+                        let mut done = 0u64;
+                        let mut q = t;
+                        while !stop.load(Ordering::Relaxed) {
+                            let name = &object_names[q % object_names.len()];
+                            let shard = tdh_serve::shard_of(name, readers.len());
+                            let state = readers[shard].load();
+                            match q % 10 {
+                                0..=7 => {
+                                    let _ = state.truth(name);
+                                }
+                                8 => {
+                                    let _ = state
+                                        .source_reliability(&source_names[q % source_names.len()]);
+                                }
+                                _ => {
+                                    let _ = state.top_uncertain(10);
+                                }
+                            }
+                            done += 1;
+                            q += reader_threads;
+                        }
+                        done
+                    })
+                })
+                .collect();
+            let t1 = Instant::now();
+            for chunk_claims in stream.chunks(chunk) {
+                sharded.ingest(chunk_claims).expect("sharded ingest");
+            }
+            let ingest_s = t1.elapsed().as_secs_f64();
+            // At quick scale the stream can drain in well under a
+            // millisecond; keep the readers sampling until the mixed
+            // window is long enough for the query rate to mean something.
+            while t1.elapsed() < std::time::Duration::from_millis(50) {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            stop.store(true, Ordering::Relaxed);
+            let queries_done: u64 = reader_handles
+                .into_iter()
+                .map(|h| h.join().expect("reader thread"))
+                .sum();
+            (ingest_s, queries_done, t1.elapsed().as_secs_f64())
+        });
+        let ingest_claims_per_s = n_batch as f64 / ingest_s.max(1e-12);
+        let query_per_s = queries_done as f64 / mixed_s.max(1e-12);
+
+        // --- Fold the stream in: one warm refit per shard. ---
+        let t2 = Instant::now();
+        let summaries = sharded.refit_now();
+        let refit_s = t2.elapsed().as_secs_f64();
+        assert!(
+            summaries.iter().all(|s| s.warm),
+            "post-stream refits must warm-start"
+        );
+        let stats = sharded.stats();
+        assert_eq!(stats.n_records, n_total, "every streamed claim landed");
+        assert_eq!(stats.pending_claims, 0, "refit folded the stream in");
+
+        table.push(vec![
+            n_shards.to_string(),
+            format!("{bootstrap_s:.3}"),
+            format!("{ingest_claims_per_s:.0}"),
+            format!("{query_per_s:.0}"),
+            format!("{refit_s:.3}"),
+        ]);
+        rows.push(MetricRow {
+            label: format!("shards-{n_shards}"),
+            corpus: corpus.name.clone(),
+            metrics: vec![
+                ("shards".into(), n_shards as f64),
+                ("bootstrap_s".into(), bootstrap_s),
+                ("batch_claims".into(), n_batch as f64),
+                ("ingest_claims_per_s".into(), ingest_claims_per_s),
+                ("query_per_s".into(), query_per_s),
+                ("reader_threads".into(), reader_threads as f64),
+                ("refit_s".into(), refit_s),
+            ],
+        });
+    }
+
+    print_table(
+        &[
+            "shards",
+            "bootstrap (s)",
+            "ingest claims/s",
+            "queries/s (mixed)",
+            "refit all shards (s)",
+        ],
+        &table,
+    );
+    save_checked(
+        "sharding",
+        &rows,
+        &["shards", "ingest_claims_per_s", "query_per_s"],
+    );
+}

@@ -1,7 +1,8 @@
 //! CLI entry point: `experiments <id>... [--quick]`.
 //!
 //! Ids: fig1, table3, fig5, fig6, fig7, table4, fig8, fig11, fig12, fig13,
-//! fig14, fig17, table5, table6, ablation, scaling, serving, or `all`.
+//! fig14, fig17, table5, table6, ablation, scaling, serving, sharding, or
+//! `all`.
 
 use tdh_bench::{experiments, Scale};
 

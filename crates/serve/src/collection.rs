@@ -1,0 +1,286 @@
+//! Named collections: many independent sharded datasets behind one
+//! endpoint.
+//!
+//! The multi-tenant model (after KSdb's collections): a [`Collections`]
+//! registry maps names to [`ShardedServer`]s, each a fully independent
+//! tenant — its own hierarchy, shards, fits and (when durable) data
+//! directories. Connections select a tenant with `USE <collection>` and
+//! every data command then routes inside it; tenants never see each
+//! other's objects, sources or workers. A registry built with a
+//! **template** (a hierarchy plus fit configuration) additionally allows
+//! `CREATE <collection>` over the wire: the new tenant starts from an
+//! empty dataset on the template hierarchy and grows entirely by
+//! ingestion.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use tdh_core::TdhConfig;
+use tdh_data::Dataset;
+use tdh_hierarchy::Hierarchy;
+
+use crate::server::RefitPolicy;
+use crate::shard::ShardedServer;
+
+/// Errors from the [`Collections`] registry.
+#[derive(Debug)]
+pub enum CollectionError {
+    /// The name is already registered.
+    AlreadyExists(String),
+    /// No collection of this name is registered.
+    Unknown(String),
+    /// `CREATE` on a registry built without a template.
+    NoTemplate,
+    /// Collection names are restricted to `[A-Za-z0-9._-]+` so they stay
+    /// protocol-safe and usable as directory names.
+    InvalidName(String),
+}
+
+impl fmt::Display for CollectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectionError::AlreadyExists(n) => write!(f, "collection {n:?} already exists"),
+            CollectionError::Unknown(n) => write!(f, "unknown collection {n:?}"),
+            CollectionError::NoTemplate => write!(
+                f,
+                "this endpoint has no collection template; collections must be registered \
+                 server-side"
+            ),
+            CollectionError::InvalidName(n) => write!(
+                f,
+                "invalid collection name {n:?} (allowed: letters, digits, '.', '_', '-')"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollectionError {}
+
+/// How a registry creates tenants on `CREATE`: every new collection is an
+/// empty dataset on this hierarchy, sharded and fitted with these knobs.
+#[derive(Debug, Clone)]
+struct Template {
+    hierarchy: Hierarchy,
+    cfg: TdhConfig,
+    policy: RefitPolicy,
+    n_shards: usize,
+}
+
+/// A registry of named tenants, shared between the router endpoint and
+/// the embedding process (both sides hold `Arc<Collections>`; the registry
+/// is internally locked, so collections can be added or dropped while the
+/// endpoint serves).
+pub struct Collections {
+    inner: RwLock<BTreeMap<String, Arc<ShardedServer>>>,
+    template: Option<Template>,
+}
+
+impl Collections {
+    /// An empty registry without a template: tenants can only be
+    /// registered server-side via [`Collections::insert`] and wire
+    /// `CREATE` is refused.
+    pub fn new() -> Self {
+        Collections {
+            inner: RwLock::new(BTreeMap::new()),
+            template: None,
+        }
+    }
+
+    /// An empty registry whose `CREATE` (wire or [`Collections::create`])
+    /// starts tenants as empty datasets on `hierarchy`, partitioned over
+    /// `n_shards` shards and fitted with `cfg`/`policy`.
+    pub fn with_template(
+        hierarchy: Hierarchy,
+        cfg: TdhConfig,
+        policy: RefitPolicy,
+        n_shards: usize,
+    ) -> Self {
+        Collections {
+            inner: RwLock::new(BTreeMap::new()),
+            template: Some(Template {
+                hierarchy,
+                cfg,
+                policy,
+                n_shards,
+            }),
+        }
+    }
+
+    fn validate(name: &str) -> Result<(), CollectionError> {
+        let ok = !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+        if ok {
+            Ok(())
+        } else {
+            Err(CollectionError::InvalidName(name.to_string()))
+        }
+    }
+
+    /// Register a pre-built tenant under `name`.
+    pub fn insert(
+        &self,
+        name: &str,
+        server: ShardedServer,
+    ) -> Result<Arc<ShardedServer>, CollectionError> {
+        Self::validate(name)?;
+        let mut map = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if map.contains_key(name) {
+            return Err(CollectionError::AlreadyExists(name.to_string()));
+        }
+        let server = Arc::new(server);
+        map.insert(name.to_string(), Arc::clone(&server));
+        Ok(server)
+    }
+
+    /// Create an empty tenant from the template (see
+    /// [`Collections::with_template`]).
+    pub fn create(&self, name: &str) -> Result<Arc<ShardedServer>, CollectionError> {
+        Self::validate(name)?;
+        let t = self.template.as_ref().ok_or(CollectionError::NoTemplate)?;
+        // Build outside the lock (the cold fit of an empty dataset is
+        // cheap but not free), then double-check the name on insert.
+        let server = ShardedServer::new(
+            Dataset::new(t.hierarchy.clone()),
+            t.cfg.clone(),
+            t.policy,
+            t.n_shards,
+        );
+        self.insert(name, server)
+    }
+
+    /// Look up a tenant.
+    pub fn get(&self, name: &str) -> Option<Arc<ShardedServer>> {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+    }
+
+    /// Unregister a tenant. Existing `Arc` handles (including connections
+    /// that `USE`d it) keep the shards alive until dropped, but the name
+    /// is immediately free and new lookups miss.
+    pub fn drop_collection(&self, name: &str) -> Result<(), CollectionError> {
+        self.inner
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| CollectionError::Unknown(name.to_string()))
+    }
+
+    /// Registered names, sorted.
+    pub fn list(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Whether no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Collections {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Collections {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collections")
+            .field("names", &self.list())
+            .field("has_template", &self.template.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdh_hierarchy::HierarchyBuilder;
+
+    fn small_hierarchy() -> Hierarchy {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        b.build()
+    }
+
+    #[test]
+    fn registry_crud_and_name_validation() {
+        let c = Collections::with_template(
+            small_hierarchy(),
+            TdhConfig::default(),
+            RefitPolicy::EveryBatch,
+            2,
+        );
+        assert!(c.is_empty());
+        let t = c.create("tenant-a").expect("create");
+        assert_eq!(t.n_shards(), 2);
+        assert!(matches!(
+            c.create("tenant-a"),
+            Err(CollectionError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            c.create("has space"),
+            Err(CollectionError::InvalidName(_))
+        ));
+        assert!(matches!(c.create(""), Err(CollectionError::InvalidName(_))));
+        c.create("tenant-b").expect("create b");
+        assert_eq!(
+            c.list(),
+            vec!["tenant-a".to_string(), "tenant-b".to_string()]
+        );
+        c.drop_collection("tenant-a").expect("drop");
+        assert!(c.get("tenant-a").is_none());
+        assert!(matches!(
+            c.drop_collection("tenant-a"),
+            Err(CollectionError::Unknown(_))
+        ));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn create_without_template_is_refused() {
+        let c = Collections::new();
+        assert!(matches!(c.create("x"), Err(CollectionError::NoTemplate)));
+        // But server-side registration still works.
+        let server = ShardedServer::new(
+            Dataset::new(small_hierarchy()),
+            TdhConfig::default(),
+            RefitPolicy::EveryBatch,
+            1,
+        );
+        c.insert("x", server).expect("insert");
+        assert!(c.get("x").is_some());
+    }
+
+    #[test]
+    fn dropped_collection_stays_alive_for_holders() {
+        let c = Collections::with_template(
+            small_hierarchy(),
+            TdhConfig::default(),
+            RefitPolicy::EveryBatch,
+            1,
+        );
+        let held = c.create("t").expect("create");
+        c.drop_collection("t").expect("drop");
+        // The handle still answers; the name is free for reuse.
+        assert_eq!(held.n_shards(), 1);
+        c.create("t").expect("recreate");
+    }
+}

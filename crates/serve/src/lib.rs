@@ -40,11 +40,33 @@
 //!   queries without ever contending on the writer's lock.
 //! * [`serve_tcp`] — a `std::net::TcpListener` endpoint speaking a
 //!   tab-separated line protocol with JSON responses. Connections are
-//!   handled by a fixed-size worker pool, buffered command lines are
-//!   pipelined (drained and replied to in order), read commands are served
-//!   from the published state without locking, and ingestion is batched:
+//!   handled by a fixed-size worker pool in which **each worker multiplexes
+//!   many connections** via short read timeouts — idle clients never pin a
+//!   worker, connection count may exceed the pool, and shutdown is prompt
+//!   even with idle connections open. Buffered command lines are pipelined
+//!   (drained and replied to in order), read commands are served from the
+//!   published state without locking, and ingestion is batched:
 //!   consecutive `RECORD`/`ANSWER` lines coalesce into one ingest call and
-//!   the `INGEST\t<n>` command ships `n` claims as a single batch.
+//!   the `INGEST\t<n>` command ships `n` claims as a single batch that is
+//!   applied only once all `n` lines have arrived — a client that
+//!   disconnects mid-batch applies nothing. A request that panics closes
+//!   that one connection with a JSON error; the worker survives.
+//! * [`shard`] / [`ShardedServer`] — horizontal scale: objects are
+//!   partitioned across N single-writer [`TruthServer`] shards by a
+//!   seedless FNV-1a hash of the object name ([`shard_of`] — stable across
+//!   processes and restarts), each shard owning its own worker pool,
+//!   `shard-<i>` WAL directory, and published [`ServingState`]. Key-routed
+//!   calls touch one shard; `top_uncertain` runs a k-way merge over the
+//!   pre-ranked per-shard lists under a total order (uncertainty, then
+//!   object name) so merged rankings are deterministic. Ingest is atomic
+//!   **per shard** (each sub-batch hits one single-writer WAL), not across
+//!   shards — see [`ShardedIngestError`].
+//! * [`Router`] / [`serve_router`] + [`Collections`] — the multi-tenant
+//!   front: named collections (independent sharded datasets behind one
+//!   endpoint) with `USE` / `CREATE` / `DROP` / `COLLECTIONS` wire
+//!   commands and per-connection collection state, plus the same data
+//!   plane as `serve_tcp` with every command routed by key to the right
+//!   shard of the selected collection.
 //!
 //! # Example
 //!
@@ -71,17 +93,25 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod collection;
 mod crc;
 mod net;
+mod router;
 mod server;
+pub mod shard;
 mod snapshot;
 pub mod state;
 pub mod wal;
 
+pub use collection::{CollectionError, Collections};
 pub use net::{serve_tcp, serve_tcp_with, ServeHandle, DEFAULT_NET_WORKERS};
+pub use router::{serve_router, serve_router_with, Router, RouterHandle};
 pub use server::{
     CheckpointReport, Claim, DurableError, IngestReport, RecoveryReport, RefitPolicy, RefitSummary,
     ServeError, ServerStats, TruthAnswer, TruthServer,
+};
+pub use shard::{
+    partition_dataset, shard_of, ShardedIngestError, ShardedIngestReport, ShardedServer,
 };
 pub use snapshot::{FittedParams, Snapshot, SnapshotError, FORMAT_VERSION};
 pub use state::{ServingState, StateReader};

@@ -19,6 +19,11 @@
 //! | `QUIT` | closes the connection |
 //! | `SHUTDOWN` | stops the listener (after replying) |
 //!
+//! A [`Router`](crate::Router) endpoint (see [`crate::serve_router`])
+//! additionally speaks the **collection** commands `USE`/`CREATE`/`DROP`/
+//! `COLLECTIONS` and routes every data command to the selected collection's
+//! shards; a single-server endpoint replies an error to those.
+//!
 //! Tab separation (not spaces) lets entity names contain spaces. Errors —
 //! including lines that are not valid UTF-8 — reply `{"error":…}` and keep
 //! the connection open.
@@ -26,35 +31,53 @@
 //! # Architecture
 //!
 //! Connections are accepted by one acceptor thread and handed over a
-//! channel to a **fixed-size pool of connection workers** (the same
-//! channel-fed long-lived-worker idiom as `tdh_core::par::ThreadPool`), so
-//! a connection flood queues instead of spawning unbounded threads.
+//! channel to a **fixed-size pool of connection workers**. A worker owns
+//! *many* connections at once: every socket is switched to a short read
+//! timeout ([`POLL_INTERVAL`]) and the worker sweeps its connections in a
+//! round-robin loop — poll for a line, serve whatever is ready, move on —
+//! picking up newly accepted connections between sweeps. Three properties
+//! fall out of the timeout loop that the old blocking read loop could not
+//! provide:
+//!
+//! * **connection count may exceed the pool** — an idle client costs one
+//!   poll per sweep, never a parked worker, so `n_workers` bounds CPU-level
+//!   concurrency, not how many clients can stay connected;
+//! * **shutdown is prompt** — every worker observes the shutdown flag
+//!   within one poll interval even when all of its clients are idle (the
+//!   regression suite bounds [`ServeHandle::shutdown`] under two seconds
+//!   with idle connections open, and `shutdown` now *joins* its workers
+//!   instead of detaching them);
+//! * **a stalled client cannot wedge framing** — a partial line that
+//!   arrives across timeouts is buffered and finished when the rest shows
+//!   up, and a client that dies mid-`INGEST` batch applies **nothing** (the
+//!   batch's claims are only handed to the engine once all `n` lines
+//!   arrived).
 //!
 //! Per connection, command lines are **pipelined**: every complete line the
 //! client has already sent is drained from the read buffer and answered in
-//! order with a single write, instead of one read/reply round trip per
-//! line. Read commands (`TRUTH`/`SOURCE`/`WORKER`/`TOPK`) are answered from
-//! the server's published [`ServingState`] — they never take the writer
-//! lock, so queries keep flowing at full speed while another connection
-//! ingests or refits. Writes take the lock **once per batch**, not once per
-//! claim: consecutive pipelined claim lines **of the same kind** (a run of
-//! `RECORD`s, or a run of `ANSWER`s — same-kind only, so packet boundaries
-//! can never change a claim's validity) are coalesced into one
-//! [`TruthServer::ingest`] call with per-line replies (applied lines `ok`,
-//! the offending line its error, dropped lines say so), and the
-//! `INGEST\t<n>` command ships `n` claims as one batch with one reply. An
-//! `INGEST` count over the batch cap is a framing violation that closes the
-//! connection after the error reply — the batch's lines cannot be consumed
-//! without reading arbitrarily many.
+//! order with a single write. Read commands (`TRUTH`/`SOURCE`/`WORKER`/
+//! `TOPK`) are answered from published [`ServingState`]s — they never take
+//! a writer lock. Writes take the lock **once per batch**: consecutive
+//! pipelined claim lines **of the same kind** coalesce into one ingest call
+//! with per-line replies, and `INGEST\t<n>` ships `n` claims as one batch
+//! with one reply. An `INGEST` count over the batch cap is a framing
+//! violation that closes the connection after the error reply.
+//!
+//! A panic while serving a connection (a bug, not a protocol error) is
+//! caught at the sweep boundary: the connection gets a best-effort
+//! `{"error":…}` reply and is dropped, and the **worker survives** — the
+//! pool can no longer shrink silently until shutdown.
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crate::server::{Claim, RefitSummary, TruthServer};
+use crate::server::{Claim, RefitSummary, TruthAnswer, TruthServer};
 use crate::state::{ServingState, StateReader};
 
 /// Connection workers spawned by [`serve_tcp`] (the [`serve_tcp_with`]
@@ -65,12 +88,115 @@ pub const DEFAULT_NET_WORKERS: usize = 4;
 /// make a worker buffer claims without limit.
 const MAX_INGEST: usize = 100_000;
 
-/// Handle to a running [`serve_tcp`] listener.
-pub struct ServeHandle {
+/// Per-connection socket read timeout: the beat of the sweep loop. Small
+/// enough that shutdown and newly arrived lines are observed promptly,
+/// large enough that an all-idle worker wakes only ~100×/s per connection.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// How long a worker with no connections waits on the hand-off queue
+/// before rechecking the shutdown flag.
+const ACCEPT_WAIT: Duration = Duration::from_millis(50);
+
+/// How long an `INGEST` batch may sit waiting for its **next** claim line
+/// before the connection is declared dead (nothing is applied). Resets on
+/// every line, so a slow-but-alive bulk loader is never cut off.
+const INGEST_STALL: Duration = Duration::from_secs(30);
+
+/// Per-connection protocol state, owned by the sweep and threaded through
+/// the [`Engine`]: which named collection (if any) the connection `USE`d.
+#[derive(Debug, Default)]
+pub(crate) struct Session {
+    /// The collection selected by `USE` (router endpoints only).
+    pub(crate) collection: Option<String>,
+}
+
+/// What executes parsed commands — one implementation per endpoint flavor
+/// (a single [`TruthServer`], or a [`Router`](crate::Router) over named
+/// collections of shards). The sweep owns framing (line splitting,
+/// pipelining, `INGEST` gathering, `QUIT`/`SHUTDOWN`); the engine owns
+/// semantics.
+pub(crate) trait Engine: Send + Sync + 'static {
+    /// Reply to one non-claim command line.
+    fn command(&self, session: &mut Session, fields: &[&str]) -> String;
+
+    /// Ingest a coalesced same-kind run of pipelined claim lines; one
+    /// reply per line.
+    fn claim_group(&self, session: &mut Session, claims: &[Claim]) -> Vec<String>;
+
+    /// Ingest one complete `INGEST` batch; one reply.
+    fn ingest_batch(&self, session: &mut Session, claims: &[Claim]) -> String;
+}
+
+/// The engine behind [`serve_tcp`]: one dataset, one writer lock, reads
+/// from the published state.
+struct SingleEngine {
+    server: Arc<Mutex<TruthServer>>,
+    state: StateReader,
+}
+
+impl SingleEngine {
+    /// The writer lock, recovering from poison: a panic in a previous
+    /// request must not turn every later write into a panic too (the
+    /// server's batch application keeps dataset and index in sync at claim
+    /// granularity, so the state behind a poisoned lock is servable).
+    fn locked(&self) -> std::sync::MutexGuard<'_, TruthServer> {
+        self.server.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Engine for SingleEngine {
+    fn command(&self, _session: &mut Session, fields: &[&str]) -> String {
+        match fields {
+            ["TRUTH", _] | ["SOURCE", _] | ["WORKER", _] | ["TOPK", _] => {
+                dispatch_read(&self.state.load(), fields)
+            }
+            ["REFIT"] | ["CHECKPOINT"] | ["STATS"] => dispatch_write(&mut self.locked(), fields),
+            ["USE", ..] | ["CREATE", ..] | ["DROP", ..] | ["COLLECTIONS"] => {
+                json_error("collections are not served on this endpoint (single-server mode)")
+            }
+            _ => json_error("unknown command"),
+        }
+    }
+
+    fn claim_group(&self, _session: &mut Session, claims: &[Claim]) -> Vec<String> {
+        claim_group_replies(&mut self.locked(), claims)
+    }
+
+    fn ingest_batch(&self, _session: &mut Session, claims: &[Claim]) -> String {
+        ingest_reply(self.locked().ingest(claims))
+    }
+}
+
+/// The accept/worker thread bundle every endpoint flavor shares.
+pub(crate) struct ListenerCore {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
+}
+
+impl ListenerCore {
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake every worker out of its poll loop, and join
+    /// them all. Bounded: workers observe the flag within one poll
+    /// interval, even mid-`INGEST` or with only idle clients connected.
+    pub(crate) fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor if it is blocked in `accept`.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_thread.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Handle to a running [`serve_tcp`] listener.
+pub struct ServeHandle {
+    core: ListenerCore,
     server: Arc<Mutex<TruthServer>>,
     state: StateReader,
 }
@@ -78,7 +204,7 @@ pub struct ServeHandle {
 impl ServeHandle {
     /// The bound address (useful with `addr = "127.0.0.1:0"`).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.core.addr()
     }
 
     /// A lock-free read handle onto the served state — the same publication
@@ -87,17 +213,13 @@ impl ServeHandle {
         self.state.clone()
     }
 
-    /// Stop accepting connections and return the shared server state.
-    /// Queued-but-unserved connections are dropped unanswered; workers
-    /// serving a connection finish their current sweep and exit on their
-    /// next read (they are detached, not joined, since a worker may be
-    /// blocked reading from an idle client).
+    /// Stop accepting connections, join every connection worker, and
+    /// return the shared server state. Returns promptly — within a poll
+    /// interval per live connection — because workers read with a timeout
+    /// instead of blocking on idle clients. Queued-but-unserved
+    /// connections are dropped unanswered.
     pub fn shutdown(self) -> Arc<Mutex<TruthServer>> {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the acceptor if it is blocked in `accept`.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.accept_thread.join();
-        drop(self.workers);
+        self.core.stop();
         self.server
     }
 }
@@ -110,37 +232,47 @@ pub fn serve_tcp(server: TruthServer, addr: &str) -> io::Result<ServeHandle> {
 }
 
 /// [`serve_tcp`] with an explicit connection-worker count (at least one
-/// worker is always spawned). At most `n_workers` connections are served
-/// concurrently; further accepted connections wait in the hand-off queue
-/// until a worker frees up.
+/// worker is always spawned). `n_workers` bounds how many connections make
+/// *progress* concurrently, not how many may be connected: each worker
+/// sweeps all of the connections it has adopted with a read-timeout poll,
+/// so connections beyond the pool size are still served, interleaved.
 pub fn serve_tcp_with(
     server: TruthServer,
     addr: &str,
     n_workers: usize,
 ) -> io::Result<ServeHandle> {
+    let state = server.reader();
+    let server = Arc::new(Mutex::new(server));
+    let engine = Arc::new(SingleEngine {
+        server: Arc::clone(&server),
+        state: state.clone(),
+    });
+    let core = serve_engine(engine, addr, n_workers)?;
+    Ok(ServeHandle {
+        core,
+        server,
+        state,
+    })
+}
+
+/// Bind `addr` and spawn the acceptor plus `n_workers` sweep workers over
+/// `engine`. Shared by [`serve_tcp`] and [`crate::serve_router`].
+pub(crate) fn serve_engine(
+    engine: Arc<dyn Engine>,
+    addr: &str,
+    n_workers: usize,
+) -> io::Result<ListenerCore> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let state = server.reader();
-    let server = Arc::new(Mutex::new(server));
     let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
     let conn_rx = Arc::new(Mutex::new(conn_rx));
     let workers = (0..n_workers.max(1))
         .map(|_| {
             let conn_rx = Arc::clone(&conn_rx);
-            let server = Arc::clone(&server);
-            let state = state.clone();
+            let engine = Arc::clone(&engine);
             let shutdown = Arc::clone(&shutdown);
-            std::thread::spawn(move || loop {
-                let next = conn_rx.lock().expect("connection queue poisoned").recv();
-                let Ok(stream) = next else { break };
-                if shutdown.load(Ordering::SeqCst) {
-                    // Drain the queue unserved during teardown: the client
-                    // sees EOF instead of a worker adopting a dying server.
-                    continue;
-                }
-                let _ = handle_client(stream, &server, &state, &shutdown);
-            })
+            std::thread::spawn(move || connection_worker(conn_rx, engine, shutdown, addr))
         })
         .collect();
     let accept_thread = {
@@ -157,13 +289,157 @@ pub fn serve_tcp_with(
             }
         })
     };
-    Ok(ServeHandle {
+    Ok(ListenerCore {
         addr,
         shutdown,
         accept_thread,
         workers,
-        server,
-        state,
+    })
+}
+
+/// One adopted connection: its write half, its line reader (read half) and
+/// its protocol session.
+struct Conn {
+    writer: TcpStream,
+    lines: LineReader<TcpStream>,
+    session: Session,
+}
+
+impl Conn {
+    fn adopt(stream: TcpStream) -> io::Result<Conn> {
+        // The poll beat: every read on this socket returns within the
+        // interval, so the owning worker can sweep its other connections
+        // and observe shutdown no matter how idle this client is.
+        stream.set_read_timeout(Some(POLL_INTERVAL))?;
+        let writer = stream.try_clone()?;
+        Ok(Conn {
+            writer,
+            lines: LineReader::new(BufReader::new(stream)),
+            session: Session::default(),
+        })
+    }
+}
+
+/// What one sweep of one connection decided.
+enum ConnStatus {
+    /// Nothing to do or served normally: keep the connection.
+    Keep,
+    /// EOF, `QUIT`, unrecoverable framing, or an I/O error: drop it.
+    Close,
+    /// `SHUTDOWN`: drop it and stop the whole listener.
+    ShutdownAll,
+}
+
+/// The worker body: adopt connections from the hand-off queue and sweep
+/// them round-robin. Never blocks longer than a poll interval on any one
+/// socket, so `shutdown` and newly accepted connections are both observed
+/// promptly regardless of client behavior.
+fn connection_worker(
+    conn_rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    engine: Arc<dyn Engine>,
+    shutdown: Arc<AtomicBool>,
+    listener_addr: SocketAddr,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            // Dropping the connections sends EOF to the clients.
+            return;
+        }
+        // Adopt new connections. Block briefly only when there is nothing
+        // else to do; with live connections, just top up without waiting.
+        let next = {
+            let rx = conn_rx.lock().unwrap_or_else(|e| e.into_inner());
+            if conns.is_empty() {
+                match rx.recv_timeout(ACCEPT_WAIT) {
+                    Ok(stream) => Some(stream),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            } else {
+                rx.try_recv().ok()
+            }
+        };
+        if let Some(stream) = next {
+            if !shutdown.load(Ordering::SeqCst) {
+                if let Ok(conn) = Conn::adopt(stream) {
+                    conns.push(conn);
+                }
+            }
+        }
+        // Sweep every connection once.
+        let mut i = 0;
+        while i < conns.len() {
+            let swept = catch_unwind(AssertUnwindSafe(|| {
+                serve_conn_once(&mut conns[i], engine.as_ref(), &shutdown)
+            }));
+            let keep = match swept {
+                Ok(Ok(ConnStatus::Keep)) => true,
+                Ok(Ok(ConnStatus::Close)) | Ok(Err(_)) => false,
+                Ok(Ok(ConnStatus::ShutdownAll)) => {
+                    shutdown.store(true, Ordering::SeqCst);
+                    // Wake the acceptor blocked in `accept`.
+                    let _ = TcpStream::connect(listener_addr);
+                    false
+                }
+                Err(_) => {
+                    // A panic while serving this connection is a bug — but
+                    // one that must cost the offending connection, not the
+                    // worker: a dead worker would shrink the pool until
+                    // restart. Reply best-effort and drop the connection;
+                    // its session may be mid-frame, so it cannot be kept.
+                    let _ = conns[i].writer.write_all(
+                        b"{\"error\":\"internal error while serving this connection\"}\n",
+                    );
+                    false
+                }
+            };
+            if keep {
+                i += 1;
+            } else {
+                conns.swap_remove(i);
+            }
+        }
+    }
+}
+
+/// Poll one connection and serve everything it has ready. Returns quickly
+/// (within the poll interval) when the client sent nothing.
+fn serve_conn_once(
+    conn: &mut Conn,
+    engine: &dyn Engine,
+    shutdown: &AtomicBool,
+) -> io::Result<ConnStatus> {
+    let Conn {
+        writer,
+        lines,
+        session,
+    } = conn;
+    let first = match lines.poll_line()? {
+        LinePoll::Timeout => return Ok(ConnStatus::Keep),
+        LinePoll::Eof => return Ok(ConnStatus::Close),
+        LinePoll::Line(line) => line,
+    };
+    lines.drain_buffered()?;
+    let mut out = Vec::new();
+    let end = process_sweep(
+        first,
+        lines,
+        engine,
+        session,
+        shutdown,
+        &mut out,
+        &mut |buf| {
+            writer.write_all(buf)?;
+            buf.clear();
+            Ok(())
+        },
+    )?;
+    writer.write_all(&out)?;
+    Ok(match end {
+        SweepEnd::Continue => ConnStatus::Keep,
+        SweepEnd::Quit => ConnStatus::Close,
+        SweepEnd::Shutdown => ConnStatus::ShutdownAll,
     })
 }
 
@@ -171,11 +447,27 @@ pub fn serve_tcp_with(
 /// when the bytes were not valid UTF-8.
 type Line = Result<String, String>;
 
-/// Buffered line reading with a pipeline queue: lines the client already
-/// sent are drained off the socket buffer in one go and replayed in order.
+/// What a non-blocking poll for one line produced.
+enum LinePoll {
+    /// A complete line (or the unterminated final line at EOF).
+    Line(Line),
+    /// Clean end of stream with no buffered partial line.
+    Eof,
+    /// The read timed out before a full line arrived; any partial bytes
+    /// stay buffered and the next poll resumes exactly where this left off.
+    Timeout,
+}
+
+/// Buffered line reading with a pipeline queue and a partial-line
+/// accumulator: lines the client already sent are drained off the socket
+/// buffer in one go and replayed in order, and a line split across read
+/// timeouts is reassembled instead of dropped.
 struct LineReader<R: Read> {
     reader: BufReader<R>,
     queued: VecDeque<Line>,
+    /// Bytes of a line whose terminator has not arrived yet. Survives
+    /// timeout returns so no byte is ever lost between polls.
+    partial: Vec<u8>,
 }
 
 impl<R: Read> LineReader<R> {
@@ -183,43 +475,100 @@ impl<R: Read> LineReader<R> {
         LineReader {
             reader,
             queued: VecDeque::new(),
+            partial: Vec::new(),
         }
     }
 
-    /// Read one line off the stream (blocking). `None` at EOF. A line that
-    /// is not valid UTF-8 is reported as data (`Some(Err(_))`), not as a
-    /// stream failure — the connection stays usable.
-    fn read_one(&mut self) -> io::Result<Option<Line>> {
-        let mut buf = Vec::new();
-        if self.reader.read_until(b'\n', &mut buf)? == 0 {
-            return Ok(None);
-        }
+    /// Take the accumulated partial buffer as one finished [`Line`].
+    fn finish_partial(&mut self) -> Line {
+        let mut buf = std::mem::take(&mut self.partial);
         if buf.last() == Some(&b'\n') {
             buf.pop();
             if buf.last() == Some(&b'\r') {
                 buf.pop();
             }
         }
-        Ok(Some(
-            String::from_utf8(buf).map_err(|_| "line is not valid UTF-8".to_string()),
-        ))
+        String::from_utf8(buf).map_err(|_| "line is not valid UTF-8".to_string())
     }
 
-    /// The next line: previously drained if any, else a blocking read.
-    fn next_line(&mut self) -> io::Result<Option<Line>> {
+    /// Poll the stream for one line without consulting the pipeline queue.
+    fn poll_raw(&mut self) -> io::Result<LinePoll> {
+        loop {
+            match self.reader.read_until(b'\n', &mut self.partial) {
+                Ok(0) => {
+                    // True end of stream. A non-empty partial is the
+                    // client's unterminated final line — serve it.
+                    return if self.partial.is_empty() {
+                        Ok(LinePoll::Eof)
+                    } else {
+                        Ok(LinePoll::Line(self.finish_partial()))
+                    };
+                }
+                Ok(_) => {
+                    if self.partial.last() == Some(&b'\n') {
+                        return Ok(LinePoll::Line(self.finish_partial()));
+                    }
+                    // `read_until` returned data without a terminator:
+                    // EOF is next — loop to observe it.
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Read timeout: whatever bytes arrived are already in
+                    // `partial`; resume on the next poll.
+                    return Ok(LinePoll::Timeout);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The next line if one is immediately available: previously drained,
+    /// or readable within one poll interval.
+    fn poll_line(&mut self) -> io::Result<LinePoll> {
+        if let Some(line) = self.queued.pop_front() {
+            return Ok(LinePoll::Line(line));
+        }
+        self.poll_raw()
+    }
+
+    /// Block until the next line, EOF, shutdown, or `stall` of client
+    /// silence — used mid-`INGEST`, where the frame *must* complete before
+    /// anything is applied. Returns `None` for all of EOF / shutdown /
+    /// stall: the caller treats every one as "this batch never happened".
+    fn next_line_blocking(
+        &mut self,
+        shutdown: &AtomicBool,
+        stall: Duration,
+    ) -> io::Result<Option<Line>> {
         if let Some(line) = self.queued.pop_front() {
             return Ok(Some(line));
         }
-        self.read_one()
+        let deadline = Instant::now() + stall;
+        loop {
+            match self.poll_raw()? {
+                LinePoll::Line(line) => return Ok(Some(line)),
+                LinePoll::Eof => return Ok(None),
+                LinePoll::Timeout => {
+                    if shutdown.load(Ordering::SeqCst) || Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+            }
+        }
     }
 
     /// Pull every *complete* line already sitting in the read buffer into
     /// the pipeline queue without blocking for more bytes.
     fn drain_buffered(&mut self) -> io::Result<()> {
         while self.reader.buffer().contains(&b'\n') {
-            match self.read_one()? {
-                Some(line) => self.queued.push_back(line),
-                None => break,
+            match self.poll_raw()? {
+                LinePoll::Line(line) => self.queued.push_back(line),
+                _ => break,
             }
         }
         Ok(())
@@ -238,50 +587,10 @@ impl<R: Read> LineReader<R> {
 enum SweepEnd {
     /// Keep the connection open and block for the next command.
     Continue,
-    /// `QUIT`: close this connection.
+    /// `QUIT` (or unrecoverable framing): close this connection.
     Quit,
     /// `SHUTDOWN`: close this connection and stop the listener.
     Shutdown,
-}
-
-fn handle_client(
-    stream: TcpStream,
-    server: &Mutex<TruthServer>,
-    state: &StateReader,
-    shutdown: &AtomicBool,
-) -> io::Result<()> {
-    // The *local* end of an accepted socket is the listener's address —
-    // kept to wake the acceptor out of `accept` on SHUTDOWN.
-    let local_addr = stream.local_addr()?;
-    let mut writer = stream.try_clone()?;
-    let mut lines = LineReader::new(BufReader::new(stream));
-    loop {
-        if shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        let Some(first) = lines.next_line()? else {
-            break;
-        };
-        lines.drain_buffered()?;
-        let mut out = Vec::new();
-        let end = process_sweep(first, &mut lines, server, state, &mut out, &mut |buf| {
-            writer.write_all(buf)?;
-            buf.clear();
-            Ok(())
-        })?;
-        writer.write_all(&out)?;
-        match end {
-            SweepEnd::Continue => {}
-            SweepEnd::Quit => break,
-            SweepEnd::Shutdown => {
-                shutdown.store(true, Ordering::SeqCst);
-                // Wake the acceptor blocked in `accept`.
-                let _ = TcpStream::connect(local_addr);
-                break;
-            }
-        }
-    }
-    Ok(())
 }
 
 /// Process `first` plus every line already drained into the pipeline queue,
@@ -292,8 +601,9 @@ fn handle_client(
 fn process_sweep<R: Read>(
     first: Line,
     lines: &mut LineReader<R>,
-    server: &Mutex<TruthServer>,
-    state: &StateReader,
+    engine: &dyn Engine,
+    session: &mut Session,
+    shutdown: &AtomicBool,
     out: &mut Vec<u8>,
     flush: &mut dyn FnMut(&mut Vec<u8>) -> io::Result<()>,
 ) -> io::Result<SweepEnd> {
@@ -330,15 +640,13 @@ fn process_sweep<R: Read>(
                         );
                         return Ok(SweepEnd::Quit);
                     }
-                    Ok(n) => match ingest_command(server, lines, n)? {
+                    Ok(n) => match ingest_command(engine, session, lines, n, shutdown)? {
                         Some(reply) => push_reply(out, &reply),
-                        // EOF mid-batch: the client is gone.
+                        // EOF/stall/shutdown mid-batch: nothing applied,
+                        // the connection is over.
                         None => return Ok(SweepEnd::Quit),
                     },
                 }
-            }
-            ["TRUTH", _] | ["SOURCE", _] | ["WORKER", _] | ["TOPK", _] => {
-                push_reply(out, &dispatch_read(&state.load(), &fields));
             }
             _ => match parse_claim(&fields) {
                 Some(claim) => {
@@ -362,18 +670,11 @@ fn process_sweep<R: Read>(
                         claims.push(claim);
                         lines.pop_queued();
                     }
-                    let replies = {
-                        let mut locked = server.lock().expect("server mutex poisoned");
-                        claim_group_replies(&mut locked, &claims)
-                    };
-                    for reply in replies {
+                    for reply in engine.claim_group(session, &claims) {
                         push_reply(out, &reply);
                     }
                 }
-                None => {
-                    let mut locked = server.lock().expect("server mutex poisoned");
-                    push_reply(out, &dispatch_write(&mut locked, &fields));
-                }
+                None => push_reply(out, &engine.command(session, &fields)),
             },
         }
     }
@@ -381,47 +682,65 @@ fn process_sweep<R: Read>(
 }
 
 /// Execute one read command against a published state — no writer lock.
-fn dispatch_read(state: &ServingState, fields: &[&str]) -> String {
+/// Shared by the single-server engine and (per shard) the router.
+pub(crate) fn dispatch_read(state: &ServingState, fields: &[&str]) -> String {
     match fields {
-        ["TRUTH", object] => match state.truth(object) {
-            Some(t) => format!(
-                "{{\"object\":{},\"truth\":{},\"path\":{},\"confidence\":{}}}",
-                json_str(object),
-                json_str(&t.value),
-                json_str(&t.path),
-                json_f64(t.confidence)
-            ),
-            None => format!("{{\"object\":{},\"truth\":null}}", json_str(object)),
-        },
-        ["SOURCE", name] => format!(
-            "{{\"source\":{},\"phi\":{}}}",
-            json_str(name),
-            json_triple(state.source_reliability(name))
-        ),
-        ["WORKER", name] => format!(
-            "{{\"worker\":{},\"psi\":{}}}",
-            json_str(name),
-            json_triple(state.worker_reliability(name))
-        ),
+        ["TRUTH", object] => truth_reply(object, state.truth(object)),
+        ["SOURCE", name] => {
+            reliability_reply("source", name, "phi", state.source_reliability(name))
+        }
+        ["WORKER", name] => {
+            reliability_reply("worker", name, "psi", state.worker_reliability(name))
+        }
         ["TOPK", k] => match k.parse::<usize>() {
-            Ok(k) => {
-                let items: Vec<String> = state
-                    .top_uncertain(k)
-                    .iter()
-                    .map(|(o, u)| {
-                        format!(
-                            "{{\"object\":{},\"uncertainty\":{}}}",
-                            json_str(o),
-                            json_f64(*u)
-                        )
-                    })
-                    .collect();
-                format!("{{\"top\":[{}]}}", items.join(","))
-            }
+            Ok(k) => topk_reply(state.top_uncertain(k)),
             Err(_) => json_error("TOPK takes an integer"),
         },
         _ => json_error("unknown command"),
     }
+}
+
+/// Render a `TRUTH` reply.
+pub(crate) fn truth_reply(object: &str, t: Option<&TruthAnswer>) -> String {
+    match t {
+        Some(t) => format!(
+            "{{\"object\":{},\"truth\":{},\"path\":{},\"confidence\":{}}}",
+            json_str(object),
+            json_str(&t.value),
+            json_str(&t.path),
+            json_f64(t.confidence)
+        ),
+        None => format!("{{\"object\":{},\"truth\":null}}", json_str(object)),
+    }
+}
+
+/// Render a `SOURCE`/`WORKER` reliability reply.
+pub(crate) fn reliability_reply(
+    kind: &str,
+    name: &str,
+    table: &str,
+    t: Option<[f64; 3]>,
+) -> String {
+    format!(
+        "{{\"{kind}\":{},\"{table}\":{}}}",
+        json_str(name),
+        json_triple(t)
+    )
+}
+
+/// Render a `TOPK` reply.
+pub(crate) fn topk_reply(items: &[(String, f64)]) -> String {
+    let items: Vec<String> = items
+        .iter()
+        .map(|(o, u)| {
+            format!(
+                "{{\"object\":{},\"uncertainty\":{}}}",
+                json_str(o),
+                json_f64(*u)
+            )
+        })
+        .collect();
+    format!("{{\"top\":[{}]}}", items.join(","))
 }
 
 /// Execute one writer command against the locked server.
@@ -456,7 +775,7 @@ fn dispatch_write(server: &mut TruthServer, fields: &[&str]) -> String {
 }
 
 /// Parse a `RECORD`/`ANSWER` line into a [`Claim`].
-fn parse_claim(fields: &[&str]) -> Option<Claim> {
+pub(crate) fn parse_claim(fields: &[&str]) -> Option<Claim> {
     match fields {
         ["RECORD", object, source, value] => Some(Claim::Record {
             object: (*object).to_string(),
@@ -479,7 +798,7 @@ fn parse_claim(fields: &[&str]) -> Option<Claim> {
 /// so the lines before it report `ok`, the offender reports the error, and
 /// the dropped remainder says so — a client may safely retry exactly the
 /// lines whose reply was an error.
-fn claim_group_replies(server: &mut TruthServer, claims: &[Claim]) -> Vec<String> {
+pub(crate) fn claim_group_replies(server: &mut TruthServer, claims: &[Claim]) -> Vec<String> {
     let before = server.stats();
     match server.ingest(claims) {
         Ok(report) => {
@@ -520,19 +839,42 @@ fn claim_group_replies(server: &mut TruthServer, claims: &[Claim]) -> Vec<String
     }
 }
 
-/// `INGEST\t<n>` (count already validated): read the next `n` claim lines
-/// and ingest them as one batch with a single reply. Returns `Ok(None)`
-/// when the client disconnected mid-batch. All `n` lines are consumed even
-/// when one is malformed, keeping the connection in protocol sync.
+/// Render one `INGEST` batch outcome.
+pub(crate) fn ingest_reply(
+    outcome: Result<crate::server::IngestReport, crate::server::ServeError>,
+) -> String {
+    match outcome {
+        Ok(report) => format!(
+            "{{\"ok\":true,\"appended_records\":{},\"appended_answers\":{},\
+             \"pending\":{},\"refit\":{}}}",
+            report.appended_records,
+            report.appended_answers,
+            report.pending,
+            refit_field(report.refit)
+        ),
+        Err(e) => json_error(&e.to_string()),
+    }
+}
+
+/// `INGEST\t<n>` (count already validated): gather the next `n` claim
+/// lines, then ingest them as one batch with a single reply. Returns
+/// `Ok(None)` — with **nothing applied** — when the client disconnected,
+/// stalled past [`INGEST_STALL`], or shutdown arrived mid-batch: the
+/// engine only ever sees complete batches, so a truncated prefix can never
+/// land (batch atomicity holds end to end, not just in the server). All
+/// `n` lines are consumed even when one is malformed, keeping the
+/// connection in protocol sync.
 fn ingest_command<R: Read>(
-    server: &Mutex<TruthServer>,
+    engine: &dyn Engine,
+    session: &mut Session,
     lines: &mut LineReader<R>,
     n: usize,
+    shutdown: &AtomicBool,
 ) -> io::Result<Option<String>> {
     let mut claims = Vec::with_capacity(n);
     let mut bad: Option<String> = None;
     for i in 0..n {
-        let Some(line) = lines.next_line()? else {
+        let Some(line) = lines.next_line_blocking(shutdown, INGEST_STALL)? else {
             return Ok(None);
         };
         let parsed = match &line {
@@ -554,18 +896,7 @@ fn ingest_command<R: Read>(
     if let Some(message) = bad {
         return Ok(Some(json_error(&message)));
     }
-    let mut locked = server.lock().expect("server mutex poisoned");
-    Ok(Some(match locked.ingest(&claims) {
-        Ok(report) => format!(
-            "{{\"ok\":true,\"appended_records\":{},\"appended_answers\":{},\
-             \"pending\":{},\"refit\":{}}}",
-            report.appended_records,
-            report.appended_answers,
-            report.pending,
-            refit_field(report.refit)
-        ),
-        Err(e) => json_error(&e.to_string()),
-    }))
+    Ok(Some(engine.ingest_batch(session, &claims)))
 }
 
 fn push_reply(out: &mut Vec<u8>, reply: &str) {
@@ -573,14 +904,14 @@ fn push_reply(out: &mut Vec<u8>, reply: &str) {
     out.push(b'\n');
 }
 
-fn refit_field(refit: Option<RefitSummary>) -> String {
+pub(crate) fn refit_field(refit: Option<RefitSummary>) -> String {
     match refit {
         Some(r) => refit_json(r),
         None => "null".to_string(),
     }
 }
 
-fn refit_json(r: RefitSummary) -> String {
+pub(crate) fn refit_json(r: RefitSummary) -> String {
     format!(
         "{{\"iterations\":{},\"converged\":{},\"warm\":{},\"seconds\":{}}}",
         r.iterations,
@@ -590,11 +921,11 @@ fn refit_json(r: RefitSummary) -> String {
     )
 }
 
-fn json_error(message: &str) -> String {
+pub(crate) fn json_error(message: &str) -> String {
     format!("{{\"error\":{}}}", json_str(message))
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -612,7 +943,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn json_f64(x: f64) -> String {
+pub(crate) fn json_f64(x: f64) -> String {
     if x.is_finite() {
         format!("{x}")
     } else {
@@ -620,7 +951,7 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-fn json_triple(t: Option<[f64; 3]>) -> String {
+pub(crate) fn json_triple(t: Option<[f64; 3]>) -> String {
     match t {
         Some([a, b, c]) => format!("[{},{},{}]", json_f64(a), json_f64(b), json_f64(c)),
         None => "null".into(),
@@ -631,6 +962,7 @@ fn json_triple(t: Option<[f64; 3]>) -> String {
 mod tests {
     use super::*;
     use crate::server::RefitPolicy;
+    use std::net::Shutdown as SockShutdown;
     use std::time::Duration;
     use tdh_core::TdhConfig;
     use tdh_data::Dataset;
@@ -669,24 +1001,41 @@ mod tests {
         replies
     }
 
-    /// Run one in-memory sweep over `input` (no sockets): the deterministic
-    /// harness for pipelining, coalescing and `INGEST` framing.
-    fn sweep_replies(server: TruthServer, input: &str) -> Vec<String> {
-        let state = server.reader();
-        let server = Mutex::new(server);
+    fn single_engine(server: TruthServer) -> SingleEngine {
+        SingleEngine {
+            state: server.reader(),
+            server: Arc::new(Mutex::new(server)),
+        }
+    }
+
+    /// Run in-memory sweeps over `input` against `engine` (no sockets):
+    /// the deterministic harness for pipelining, coalescing and `INGEST`
+    /// framing.
+    fn engine_replies(engine: &dyn Engine, input: &str) -> Vec<String> {
+        let shutdown = AtomicBool::new(false);
+        let mut session = Session::default();
         let mut lines = LineReader::new(BufReader::new(io::Cursor::new(input.as_bytes().to_vec())));
         let mut all = Vec::new();
         loop {
-            let Some(first) = lines.next_line().unwrap() else {
-                break;
+            let first = match lines.poll_line().unwrap() {
+                LinePoll::Line(line) => line,
+                _ => break,
             };
             lines.drain_buffered().unwrap();
             let mut out = Vec::new();
-            let end = process_sweep(first, &mut lines, &server, &state, &mut out, &mut |buf| {
-                all.extend_from_slice(buf);
-                buf.clear();
-                Ok(())
-            })
+            let end = process_sweep(
+                first,
+                &mut lines,
+                engine,
+                &mut session,
+                &shutdown,
+                &mut out,
+                &mut |buf| {
+                    all.extend_from_slice(buf);
+                    buf.clear();
+                    Ok(())
+                },
+            )
             .unwrap();
             all.extend_from_slice(&out);
             if !matches!(end, SweepEnd::Continue) {
@@ -698,6 +1047,10 @@ mod tests {
             .lines()
             .map(str::to_string)
             .collect()
+    }
+
+    fn sweep_replies(server: TruthServer, input: &str) -> Vec<String> {
+        engine_replies(&single_engine(server), input)
     }
 
     #[test]
@@ -922,6 +1275,230 @@ mod tests {
         );
         assert_eq!(replies.len(), 1, "{replies:?}");
         assert!(replies[0].contains("capped at"), "{}", replies[0]);
+    }
+
+    #[test]
+    fn ingest_eof_mid_batch_applies_nothing_in_memory() {
+        // `INGEST 5` followed by only 3 claim lines and EOF: the truncated
+        // prefix must never reach the server — batches are atomic at the
+        // protocol level, not just inside `TruthServer::ingest`.
+        let engine = single_engine(small_server());
+        let replies = engine_replies(
+            &engine,
+            "INGEST\t5\nRECORD\tBig Ben\tQuora\tLA\nRECORD\tBig Ben\tUNESCO\tLA\n\
+             RECORD\tStatue of Liberty\tQuora\tNY\n",
+        );
+        assert!(
+            replies.is_empty(),
+            "no reply owed for a dead batch: {replies:?}"
+        );
+        let server = engine.locked();
+        let stats = server.stats();
+        assert_eq!(
+            stats.n_records, 2,
+            "zero claims of the truncated batch landed"
+        );
+        assert_eq!(stats.batches, 0, "the engine never saw a batch");
+        assert!(server.truth("Big Ben").is_none());
+    }
+
+    #[test]
+    fn ingest_eof_mid_batch_applies_nothing_over_the_wire() {
+        // The same contract end to end: kill the client socket after
+        // `INGEST 5` + 3 lines, then verify through a second connection
+        // that zero claims landed.
+        let handle = serve_tcp(small_server(), "127.0.0.1:0").expect("bind");
+        {
+            let stream = TcpStream::connect(handle.addr()).expect("connect");
+            let mut writer = stream.try_clone().unwrap();
+            writer
+                .write_all(
+                    b"INGEST\t5\nRECORD\tBig Ben\tQuora\tLA\nRECORD\tBig Ben\tUNESCO\tLA\n\
+                      RECORD\tStatue of Liberty\tQuora\tNY\n",
+                )
+                .unwrap();
+            let _ = stream.shutdown(SockShutdown::Both);
+        }
+        // The worker observes the EOF within a poll interval or two; the
+        // contract is that *whenever* it does, nothing was applied.
+        std::thread::sleep(Duration::from_millis(200));
+        let stream = TcpStream::connect(handle.addr()).expect("connect 2");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"STATS\nTRUTH\tBig Ben\n").unwrap();
+        let mut stats = String::new();
+        reader.read_line(&mut stats).unwrap();
+        assert!(stats.contains("\"records\":2"), "{stats}");
+        assert!(stats.contains("\"batches\":0"), "{stats}");
+        let mut truth = String::new();
+        reader.read_line(&mut truth).unwrap();
+        assert!(truth.contains("\"truth\":null"), "{truth}");
+        drop(writer);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn ingest_batch_survives_a_client_pause() {
+        // A slow client is not a dead client: a batch split across read
+        // timeouts (several poll intervals of silence mid-batch) must
+        // still apply in full once the remaining lines arrive.
+        let handle = serve_tcp(small_server(), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer
+            .write_all(b"INGEST\t2\nRECORD\tBig Ben\tQuora\tLA\n")
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        writer.write_all(b"RECORD\tBig Ben\tUNESCO\tLA\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"appended_records\":2"), "{reply}");
+        drop(writer);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn partial_line_across_timeouts_is_preserved() {
+        // A command line split across poll intervals must be reassembled:
+        // the timeout path may not drop the bytes that already arrived.
+        let handle = serve_tcp(small_server(), "127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"TRUTH\tStatue of").unwrap();
+        writer.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(80));
+        writer.write_all(b" Liberty\nSTATS\n").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.contains("\"object\":\"Statue of Liberty\""),
+            "{reply}"
+        );
+        let mut stats = String::new();
+        reader.read_line(&mut stats).unwrap();
+        assert!(stats.contains("\"records\":2"), "{stats}");
+        drop(writer);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn connections_can_exceed_the_worker_pool() {
+        // One worker, three concurrent connections: the sweep loop serves
+        // all of them interleaved. Under the old blocking architecture the
+        // worker parked on the first (idle) connection and the others
+        // starved until it disconnected.
+        let handle = serve_tcp_with(small_server(), "127.0.0.1:0", 1).expect("bind");
+        let conns: Vec<TcpStream> = (0..3)
+            .map(|_| {
+                let s = TcpStream::connect(handle.addr()).expect("connect");
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                s
+            })
+            .collect();
+        // Serve them out of connection order to prove none is starved.
+        for idx in [2usize, 0, 1] {
+            let mut writer = conns[idx].try_clone().unwrap();
+            writer.write_all(b"STATS\n").unwrap();
+            let mut reply = String::new();
+            BufReader::new(conns[idx].try_clone().unwrap())
+                .read_line(&mut reply)
+                .unwrap();
+            assert!(reply.contains("\"records\":2"), "conn {idx}: {reply}");
+        }
+        drop(conns);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_idle_connections_returns_promptly() {
+        // Regression (ISSUE 8): `shutdown()` used to be able to hang
+        // forever because a worker blocked in a timeout-less read on an
+        // idle client never observed the flag. The read-timeout sweep
+        // bounds it: well under two seconds, idle connections and all.
+        let handle = serve_tcp_with(small_server(), "127.0.0.1:0", 2).expect("bind");
+        let idle1 = TcpStream::connect(handle.addr()).expect("connect");
+        let idle2 = TcpStream::connect(handle.addr()).expect("connect");
+        // Make sure the workers actually adopted them (half a command
+        // line each: the worst case — mid-line, nothing to reply to).
+        let mut w1 = idle1.try_clone().unwrap();
+        w1.write_all(b"TRU").unwrap();
+        let mut w2 = idle2.try_clone().unwrap();
+        w2.write_all(b"STA").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let t0 = Instant::now();
+        let server = handle.shutdown();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "shutdown with idle connections took {elapsed:?}"
+        );
+        assert!(server.lock().unwrap().truth("Statue of Liberty").is_some());
+        drop((idle1, idle2));
+    }
+
+    /// An engine whose `BOOM` command panics: the harness for the
+    /// worker-survives-a-panic guarantee.
+    struct PanickyEngine;
+
+    impl Engine for PanickyEngine {
+        fn command(&self, _session: &mut Session, fields: &[&str]) -> String {
+            match fields {
+                ["BOOM"] => panic!("injected request-path panic"),
+                ["PING"] => "{\"ok\":true}".to_string(),
+                _ => json_error("unknown command"),
+            }
+        }
+        fn claim_group(&self, _session: &mut Session, claims: &[Claim]) -> Vec<String> {
+            vec!["{\"ok\":true}".to_string(); claims.len()]
+        }
+        fn ingest_batch(&self, _session: &mut Session, _claims: &[Claim]) -> String {
+            "{\"ok\":true}".to_string()
+        }
+    }
+
+    #[test]
+    fn a_panicking_request_does_not_kill_the_worker() {
+        // Regression (ISSUE 8): a panic in a connection worker used to
+        // kill that worker silently, shrinking the pool forever. With one
+        // worker and a panic-inducing request, the offending connection
+        // gets an error and is dropped — and the *same* worker must keep
+        // serving fresh connections.
+        let core = serve_engine(Arc::new(PanickyEngine), "127.0.0.1:0", 1).expect("bind");
+        let addr = core.addr();
+        let boom = TcpStream::connect(addr).expect("connect");
+        boom.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = boom.try_clone().unwrap();
+        writer.write_all(b"BOOM\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(boom.try_clone().unwrap())
+            .read_line(&mut reply)
+            .unwrap();
+        assert!(reply.contains("internal error"), "{reply}");
+        // The connection was dropped (EOF), not wedged.
+        let mut rest = String::new();
+        let n = BufReader::new(boom).read_line(&mut rest).unwrap();
+        assert_eq!(n, 0, "panicked connection must be closed, got {rest:?}");
+        // The lone worker survived and serves a new connection.
+        let ping = TcpStream::connect(addr).expect("connect 2");
+        ping.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut writer = ping.try_clone().unwrap();
+        writer.write_all(b"PING\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(ping).read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        core.stop();
+    }
+
+    #[test]
+    fn collection_commands_error_on_a_single_server_endpoint() {
+        let replies = sweep_replies(small_server(), "USE\ttenant\nCOLLECTIONS\nSTATS\n");
+        assert!(replies[0].contains("single-server mode"), "{}", replies[0]);
+        assert!(replies[1].contains("single-server mode"), "{}", replies[1]);
+        assert!(replies[2].contains("\"records\":2"), "{}", replies[2]);
     }
 
     #[test]

@@ -1,0 +1,508 @@
+//! The router front: one TCP endpoint serving many named, sharded
+//! tenants.
+//!
+//! A [`Router`] plugs a [`Collections`] registry into the same
+//! connection-sweep machinery [`crate::serve_tcp`] uses (`net.rs` — the
+//! read-timeout multiplexing, pipelining, `INGEST` framing and panic
+//! containment are shared). On top of the single-server protocol it
+//! speaks the **collection** commands:
+//!
+//! | command | reply |
+//! |---------|-------|
+//! | `USE\t<collection>` | select the tenant for this connection |
+//! | `CREATE\t<collection>[\t<shards>]` | create an empty tenant from the registry template |
+//! | `DROP\t<collection>` | unregister a tenant |
+//! | `COLLECTIONS` | `{"collections":[…]}` |
+//!
+//! Data commands resolve the connection's `USE`d collection (or the
+//! router's default) and then route **by key**: `TRUTH`/`RECORD`/`ANSWER`
+//! go to the one shard the object's name hashes to, `SOURCE`/`WORKER`
+//! average over the shards that know the entity, `TOPK` fans out to every
+//! shard and k-way-merges the pre-ranked lists, and `INGEST` splits its
+//! batch into per-shard sub-batches (atomic per shard). Reads are
+//! lock-free per shard; claim writes lock only the shards they touch, so
+//! tenants — and shards within a tenant — never contend with each other.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use crate::collection::Collections;
+use crate::net::{
+    claim_group_replies, dispatch_read, json_error, json_f64, json_str, reliability_reply,
+    serve_engine, topk_reply, Engine, ListenerCore, Session,
+};
+use crate::server::{Claim, RefitSummary};
+use crate::shard::ShardedServer;
+
+/// Configuration for a router endpoint: the tenant registry plus an
+/// optional default collection for connections that never send `USE`.
+pub struct Router {
+    collections: Arc<Collections>,
+    default: Option<String>,
+}
+
+impl Router {
+    /// A router over `collections` with no default: every connection must
+    /// `USE` a collection before data commands.
+    pub fn new(collections: Collections) -> Self {
+        Router {
+            collections: Arc::new(collections),
+            default: None,
+        }
+    }
+
+    /// Serve connections that sent no `USE` from `name` (which should be
+    /// registered before traffic arrives; resolution is by name at
+    /// command time, so a later `CREATE`/`insert` of the name also
+    /// works).
+    pub fn with_default(mut self, name: &str) -> Self {
+        self.default = Some(name.to_string());
+        self
+    }
+
+    /// The shared registry (register tenants server-side through this
+    /// before or after serving starts).
+    pub fn collections(&self) -> Arc<Collections> {
+        Arc::clone(&self.collections)
+    }
+}
+
+/// Handle to a running [`serve_router`] listener.
+pub struct RouterHandle {
+    core: ListenerCore,
+    collections: Arc<Collections>,
+}
+
+impl RouterHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.core.addr()
+    }
+
+    /// The live registry behind the endpoint.
+    pub fn collections(&self) -> Arc<Collections> {
+        Arc::clone(&self.collections)
+    }
+
+    /// Stop accepting, join every connection worker (prompt — the same
+    /// read-timeout sweep as [`crate::ServeHandle::shutdown`]), and return
+    /// the registry.
+    pub fn shutdown(self) -> Arc<Collections> {
+        self.core.stop();
+        self.collections
+    }
+}
+
+/// Serve `router` on `addr` with [`crate::DEFAULT_NET_WORKERS`] connection
+/// workers.
+pub fn serve_router(router: Router, addr: &str) -> io::Result<RouterHandle> {
+    serve_router_with(router, addr, crate::DEFAULT_NET_WORKERS)
+}
+
+/// [`serve_router`] with an explicit worker count (see
+/// [`crate::serve_tcp_with`] for what the pool bounds).
+pub fn serve_router_with(router: Router, addr: &str, n_workers: usize) -> io::Result<RouterHandle> {
+    let collections = Arc::clone(&router.collections);
+    let engine = Arc::new(RouterEngine {
+        collections: Arc::clone(&router.collections),
+        default: router.default,
+    });
+    let core = serve_engine(engine, addr, n_workers)?;
+    Ok(RouterHandle { core, collections })
+}
+
+/// The [`Engine`] behind a router endpoint.
+struct RouterEngine {
+    collections: Arc<Collections>,
+    default: Option<String>,
+}
+
+impl RouterEngine {
+    /// The tenant this connection's data commands address: its `USE`d
+    /// collection, else the router default. Errors (as a ready-to-send
+    /// reply) when neither names a live collection.
+    fn resolve(&self, session: &Session) -> Result<Arc<ShardedServer>, String> {
+        let name = session
+            .collection
+            .as_deref()
+            .or(self.default.as_deref())
+            .ok_or_else(|| json_error("no collection selected; USE <collection> first"))?;
+        self.collections
+            .get(name)
+            .ok_or_else(|| json_error(&format!("collection {name:?} does not exist")))
+    }
+}
+
+impl Engine for RouterEngine {
+    fn command(&self, session: &mut Session, fields: &[&str]) -> String {
+        match fields {
+            ["USE", name] => match self.collections.get(name) {
+                Some(server) => {
+                    session.collection = Some((*name).to_string());
+                    format!(
+                        "{{\"ok\":true,\"collection\":{},\"shards\":{}}}",
+                        json_str(name),
+                        server.n_shards()
+                    )
+                }
+                None => json_error(&format!("collection {name:?} does not exist")),
+            },
+            ["CREATE", name] => match self.collections.create(name) {
+                Ok(server) => format!(
+                    "{{\"ok\":true,\"created\":{},\"shards\":{}}}",
+                    json_str(name),
+                    server.n_shards()
+                ),
+                Err(e) => json_error(&e.to_string()),
+            },
+            ["DROP", name] => match self.collections.drop_collection(name) {
+                Ok(()) => {
+                    if session.collection.as_deref() == Some(*name) {
+                        session.collection = None;
+                    }
+                    format!("{{\"ok\":true,\"dropped\":{}}}", json_str(name))
+                }
+                Err(e) => json_error(&e.to_string()),
+            },
+            ["COLLECTIONS"] => {
+                let names: Vec<String> = self
+                    .collections
+                    .list()
+                    .iter()
+                    .map(|n| json_str(n))
+                    .collect();
+                format!("{{\"collections\":[{}]}}", names.join(","))
+            }
+            _ => {
+                let server = match self.resolve(session) {
+                    Ok(server) => server,
+                    Err(reply) => return reply,
+                };
+                route_command(&server, session, fields)
+            }
+        }
+    }
+
+    fn claim_group(&self, session: &mut Session, claims: &[Claim]) -> Vec<String> {
+        let server = match self.resolve(session) {
+            Ok(server) => server,
+            Err(reply) => return vec![reply; claims.len()],
+        };
+        // Scatter the (same-kind) run to its shards, reuse the per-line
+        // accurate single-server reply logic per shard, and gather the
+        // replies back into original line order.
+        let mut replies: Vec<Option<String>> = vec![None; claims.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); server.n_shards()];
+        for (i, claim) in claims.iter().enumerate() {
+            let object = match claim {
+                Claim::Record { object, .. } | Claim::Answer { object, .. } => object,
+            };
+            by_shard[server.shard_for(object)].push(i);
+        }
+        for (shard, indices) in by_shard.into_iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let sub: Vec<Claim> = indices.iter().map(|&i| claims[i].clone()).collect();
+            let sub_replies = claim_group_replies(&mut server.locked(shard), &sub);
+            for (&i, reply) in indices.iter().zip(sub_replies) {
+                replies[i] = Some(reply);
+            }
+        }
+        replies
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| json_error("claim was not routed")))
+            .collect()
+    }
+
+    fn ingest_batch(&self, session: &mut Session, claims: &[Claim]) -> String {
+        let server = match self.resolve(session) {
+            Ok(server) => server,
+            Err(reply) => return reply,
+        };
+        match server.ingest(claims) {
+            Ok(report) => format!(
+                "{{\"ok\":true,\"appended_records\":{},\"appended_answers\":{},\
+                 \"pending\":{},\"shards\":{},\"refits\":{}}}",
+                report.appended_records,
+                report.appended_answers,
+                report.pending,
+                report.shards_touched,
+                report.refits
+            ),
+            Err(e) => json_error(&e.to_string()),
+        }
+    }
+}
+
+/// Route one resolved non-claim data command inside a tenant.
+fn route_command(server: &ShardedServer, session: &Session, fields: &[&str]) -> String {
+    match fields {
+        // Key-routed: one shard's publication answers.
+        ["TRUTH", object] => {
+            let state = server.readers()[server.shard_for(object)].load();
+            dispatch_read(&state, fields)
+        }
+        // Cross-shard means (documented per-shard fit independence).
+        ["SOURCE", name] => {
+            reliability_reply("source", name, "phi", server.source_reliability(name))
+        }
+        ["WORKER", name] => {
+            reliability_reply("worker", name, "psi", server.worker_reliability(name))
+        }
+        // Fan-out + deterministic k-way merge.
+        ["TOPK", k] => match k.parse::<usize>() {
+            Ok(k) => topk_reply(&server.top_uncertain(k)),
+            Err(_) => json_error("TOPK takes an integer"),
+        },
+        ["REFIT"] => refits_reply(&server.refit_now()),
+        ["CHECKPOINT"] => match server.checkpoint() {
+            Ok(reports) => {
+                let bytes: u64 = reports.iter().map(|r| r.snapshot_bytes).sum();
+                let dropped: usize = reports.iter().map(|r| r.segments_dropped).sum();
+                format!(
+                    "{{\"ok\":true,\"shards\":{},\"snapshot_bytes\":{bytes},\
+                     \"segments_dropped\":{dropped}}}",
+                    reports.len()
+                )
+            }
+            Err(e) => json_error(&e.to_string()),
+        },
+        ["STATS"] => {
+            let s = server.stats();
+            format!(
+                "{{\"collection\":{},\"shards\":{},\"objects\":{},\"sources\":{},\
+                 \"workers\":{},\"records\":{},\"answers\":{},\"pending\":{},\"batches\":{},\
+                 \"refits\":{},\"publications\":{}}}",
+                match &session.collection {
+                    Some(name) => json_str(name),
+                    None => "null".to_string(),
+                },
+                server.n_shards(),
+                s.n_objects,
+                s.n_sources,
+                s.n_workers,
+                s.n_records,
+                s.n_answers,
+                s.pending_claims,
+                s.batches,
+                s.refits,
+                s.publications
+            )
+        }
+        _ => json_error("unknown command"),
+    }
+}
+
+/// Render an all-shard refit as one aggregate reply (iterations summed,
+/// `warm`/`converged` true only if every shard's was).
+fn refits_reply(summaries: &[RefitSummary]) -> String {
+    let iterations: usize = summaries.iter().map(|r| r.iterations).sum();
+    let seconds: f64 = summaries.iter().map(|r| r.duration.as_secs_f64()).sum();
+    format!(
+        "{{\"ok\":true,\"shards\":{},\"iterations\":{iterations},\"converged\":{},\
+         \"warm\":{},\"seconds\":{}}}",
+        summaries.len(),
+        summaries.iter().all(|r| r.converged),
+        summaries.iter().all(|r| r.warm),
+        json_f64(seconds)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::RefitPolicy;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use tdh_core::TdhConfig;
+    use tdh_hierarchy::{Hierarchy, HierarchyBuilder};
+
+    fn places() -> Hierarchy {
+        let mut b = HierarchyBuilder::new();
+        b.add_path(&["USA", "NY", "Liberty Island"]);
+        b.add_path(&["USA", "CA", "LA"]);
+        b.add_path(&["UK", "London", "Westminster"]);
+        b.build()
+    }
+
+    fn templated_router() -> Router {
+        Router::new(Collections::with_template(
+            places(),
+            TdhConfig::default(),
+            RefitPolicy::EveryBatch,
+            2,
+        ))
+    }
+
+    struct Client {
+        writer: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+                .unwrap();
+            Client {
+                writer: stream.try_clone().unwrap(),
+                reader: BufReader::new(stream),
+            }
+        }
+
+        fn send(&mut self, line: &str) -> String {
+            self.writer.write_all(line.as_bytes()).unwrap();
+            self.writer.write_all(b"\n").unwrap();
+            let mut reply = String::new();
+            self.reader.read_line(&mut reply).unwrap();
+            reply.trim().to_string()
+        }
+    }
+
+    #[test]
+    fn collections_lifecycle_over_the_wire() {
+        let handle = serve_router_with(templated_router(), "127.0.0.1:0", 2).expect("bind");
+        let mut c = Client::connect(handle.addr());
+
+        // No collection yet: data commands are refused, management works.
+        assert!(c.send("TRUTH\tanything").contains("no collection selected"));
+        assert_eq!(c.send("COLLECTIONS"), "{\"collections\":[]}");
+        assert!(c
+            .send("CREATE\tlandmarks")
+            .contains("\"created\":\"landmarks\""));
+        assert!(c.send("CREATE\tlandmarks").contains("already exists"));
+        assert!(c
+            .send("CREATE\tbad name")
+            .contains("invalid collection name"));
+        assert!(c.send("USE\tlandmarks").contains("\"shards\":2"));
+
+        // Ingest into the empty tenant and read the published truth back.
+        let r = c.send("RECORD\tStatue of Liberty\tUNESCO\tLiberty Island");
+        assert!(r.contains("\"ok\":true"), "{r}");
+        let t = c.send("TRUTH\tStatue of Liberty");
+        assert!(t.contains("\"truth\":\"Liberty Island\""), "{t}");
+        assert!(t.contains("\"path\":\"USA/NY/Liberty Island\""), "{t}");
+        let s = c.send("STATS");
+        assert!(s.contains("\"collection\":\"landmarks\""), "{s}");
+        assert!(s.contains("\"shards\":2"), "{s}");
+        assert!(s.contains("\"records\":1"), "{s}");
+
+        // DROP frees the name and deselects it on this connection.
+        assert!(c.send("DROP\tlandmarks").contains("\"dropped\""));
+        assert!(c
+            .send("TRUTH\tStatue of Liberty")
+            .contains("no collection selected"));
+        assert!(c.send("DROP\tlandmarks").contains("unknown collection"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let handle = serve_router_with(templated_router(), "127.0.0.1:0", 2).expect("bind");
+        let mut a = Client::connect(handle.addr());
+        let mut b = Client::connect(handle.addr());
+        a.send("CREATE\ttenant-a");
+        b.send("CREATE\ttenant-b");
+        a.send("USE\ttenant-a");
+        b.send("USE\ttenant-b");
+        // The same object name carries different truths per tenant.
+        a.send("RECORD\tBig Ben\tSourceA\tLA");
+        b.send("RECORD\tBig Ben\tSourceB\tWestminster");
+        let ta = a.send("TRUTH\tBig Ben");
+        let tb = b.send("TRUTH\tBig Ben");
+        assert!(ta.contains("\"truth\":\"LA\""), "{ta}");
+        assert!(tb.contains("\"truth\":\"Westminster\""), "{tb}");
+        // And neither tenant's stats see the other's claims.
+        assert!(a.send("STATS").contains("\"records\":1"));
+        assert!(b.send("STATS").contains("\"records\":1"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn default_collection_serves_use_less_connections() {
+        let router = templated_router().with_default("main");
+        router.collections().create("main").expect("create main");
+        let handle = serve_router_with(router, "127.0.0.1:0", 1).expect("bind");
+        let mut c = Client::connect(handle.addr());
+        let r = c.send("RECORD\tStatue of Liberty\tUNESCO\tLiberty Island");
+        assert!(r.contains("\"ok\":true"), "{r}");
+        let t = c.send("TRUTH\tStatue of Liberty");
+        assert!(t.contains("\"truth\":\"Liberty Island\""), "{t}");
+        // The registry handle sees the same tenant the wire wrote to.
+        let tenant = handle.collections().get("main").unwrap();
+        assert_eq!(tenant.stats().n_records, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn ingest_batch_routes_across_shards() {
+        let router = templated_router().with_default("main");
+        router.collections().create("main").expect("create main");
+        let handle = serve_router_with(router, "127.0.0.1:0", 2).expect("bind");
+        let mut c = Client::connect(handle.addr());
+        // Objects chosen to span both shards of two (seedless hash):
+        // "Statue of Liberty" → shard 1, "Big Ben" → shard 0.
+        self::assert_spans_shards();
+        c.writer
+            .write_all(
+                b"INGEST\t3\nRECORD\tStatue of Liberty\tUNESCO\tLiberty Island\n\
+                  RECORD\tBig Ben\tUNESCO\tWestminster\n\
+                  ANSWER\tBig Ben\tEmma\tWestminster\n",
+            )
+            .unwrap();
+        let mut reply = String::new();
+        c.reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"appended_records\":2"), "{reply}");
+        assert!(reply.contains("\"appended_answers\":1"), "{reply}");
+        assert!(reply.contains("\"shards\":2"), "{reply}");
+        let t = c.send("TRUTH\tBig Ben");
+        assert!(t.contains("\"truth\":\"Westminster\""), "{t}");
+        // TOPK fans out and merges both shards' rankings.
+        let top = c.send("TOPK\t5");
+        assert!(top.contains("Statue of Liberty"), "{top}");
+        assert!(top.contains("Big Ben"), "{top}");
+        handle.shutdown();
+    }
+
+    fn assert_spans_shards() {
+        use crate::shard::shard_of;
+        assert_ne!(shard_of("Statue of Liberty", 2), shard_of("Big Ben", 2));
+    }
+
+    #[test]
+    fn coalesced_claims_route_with_per_line_replies() {
+        let router = templated_router().with_default("main");
+        router.collections().create("main").expect("create main");
+        let handle = serve_router_with(router, "127.0.0.1:0", 1).expect("bind");
+        let mut c = Client::connect(handle.addr());
+        // One write, three pipelined RECORDs across both shards; the bad
+        // middle one errors without sinking its shard-mates.
+        c.writer
+            .write_all(
+                b"RECORD\tStatue of Liberty\tUNESCO\tLiberty Island\n\
+                  RECORD\tBig Ben\tUNESCO\tAtlantis\n\
+                  RECORD\tBig Ben\tWikipedia\tWestminster\n",
+            )
+            .unwrap();
+        let mut replies = Vec::new();
+        for _ in 0..3 {
+            let mut reply = String::new();
+            c.reader.read_line(&mut reply).unwrap();
+            replies.push(reply.trim().to_string());
+        }
+        assert!(replies[0].contains("\"ok\":true"), "{}", replies[0]);
+        assert!(
+            replies[1].contains("not a hierarchy node"),
+            "{}",
+            replies[1]
+        );
+        // Same shard as the offender, behind it in the sub-batch: dropped.
+        assert!(replies[2].contains("dropped"), "{}", replies[2]);
+        let t = c.send("TRUTH\tStatue of Liberty");
+        assert!(t.contains("\"truth\":\"Liberty Island\""), "{t}");
+        handle.shutdown();
+    }
+}

@@ -823,7 +823,8 @@ impl TruthServer {
     /// The `k` objects the model is least certain about: smallest top
     /// confidence `max_v μ_{o,v}`, as `(object name, uncertainty)` with
     /// `uncertainty = 1 − max_v μ_{o,v}`, most uncertain first (ties by
-    /// object id). Candidate-less objects are skipped — there is nothing
+    /// object name — a total order, identical on every shard of a
+    /// [`crate::ShardedServer`]). Candidate-less objects are skipped — there is nothing
     /// to be uncertain about. This is the serving-time view the EAI
     /// assigner's "where would crowd answers help most" question reduces
     /// to between rounds. Served pre-ranked from the published state.

@@ -42,7 +42,10 @@ pub struct ServingState {
     phi: HashMap<String, [f64; 3]>,
     psi: HashMap<String, [f64; 3]>,
     /// `(object name, 1 − max μ)` over all objects with candidates, most
-    /// uncertain first (ties by interning order).
+    /// uncertain first. Ties break by object **name** — a total order that
+    /// does not depend on interning order, so identically ranked lists from
+    /// different shards k-way-merge into the same sequence a single server
+    /// would have produced.
     uncertain: Vec<(String, f64)>,
 }
 
@@ -56,13 +59,14 @@ impl ServingState {
     ) -> Self {
         let h = ds.hierarchy();
         let mut truths = HashMap::with_capacity(est.truths.len());
-        let mut scored: Vec<(usize, f64)> = Vec::with_capacity(est.truths.len());
+        let mut scored: Vec<(String, f64)> = Vec::with_capacity(est.truths.len());
         for (oi, truth) in est.truths.iter().enumerate() {
             let mu = &est.confidences[oi];
             let top = mu.iter().copied().fold(0.0f64, f64::max);
+            let name = ds.object_name(ObjectId::from_index(oi));
             if let Some(v) = truth {
                 truths.insert(
-                    ds.object_name(ObjectId::from_index(oi)).to_string(),
+                    name.to_string(),
                     TruthAnswer {
                         value: h.name(*v).to_string(),
                         path: value_path(h, *v),
@@ -71,14 +75,15 @@ impl ServingState {
                 );
             }
             if !mu.is_empty() {
-                scored.push((oi, 1.0 - top));
+                scored.push((name.to_string(), 1.0 - top));
             }
         }
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        let uncertain = scored
-            .into_iter()
-            .map(|(oi, u)| (ds.object_name(ObjectId::from_index(oi)).to_string(), u))
-            .collect();
+        // Total order: uncertainty (total_cmp, so a degenerate NaN
+        // confidence can never panic a publication), then object name. The
+        // name tie-break — not interning order, which differs per shard —
+        // makes the ranking merge-stable across shards.
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let uncertain = scored;
         let phi = ds
             .sources()
             .filter_map(|s| {

@@ -1,0 +1,112 @@
+//! Property suite for the shard partitioner: every object name routes to
+//! exactly one shard, routing is a pure function (deterministic in-process
+//! and — being seedless — across process restarts), and partitioning a
+//! dataset covers every object/record/answer exactly once with each
+//! object's claims on the shard its name hashes to.
+
+use proptest::prelude::*;
+use tdh_data::Dataset;
+use tdh_hierarchy::HierarchyBuilder;
+use tdh_serve::{partition_dataset, shard_of};
+
+/// Name pool mixing hostile and realistic shapes (empty, unicode, spaces,
+/// long) so the byte-wise hash is exercised beyond ASCII identifiers.
+fn name(i: usize) -> String {
+    const POOL: &[&str] = &[
+        "",
+        "o",
+        "object 42",
+        "Statue of Liberty",
+        "ümlaut-öbject",
+        "ναός\u{1F3DB}",
+        "tab\tin name",
+        "trailing space ",
+    ];
+    if i % (POOL.len() + 1) == POOL.len() {
+        format!("long-{}-{}", "x".repeat(120), i)
+    } else {
+        format!("{}-{i}", POOL[i % (POOL.len() + 1)])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn every_name_routes_to_exactly_one_shard(
+        picks in proptest::collection::vec(0usize..5_000, 1..40),
+        n_shards in 1usize..9,
+    ) {
+        for &pick in &picks {
+            let object = name(pick);
+            let shard = shard_of(&object, n_shards);
+            prop_assert!(shard < n_shards, "{object:?} routed to {shard} of {n_shards}");
+            // Pure function: the same name re-routes identically — the
+            // in-process half of restart stability (the cross-process half
+            // is the pinned constants below: no per-process hash seed).
+            prop_assert_eq!(shard, shard_of(&object, n_shards));
+        }
+    }
+
+    #[test]
+    fn partition_covers_the_dataset_exactly_once(
+        claims in proptest::collection::vec(
+            (0usize..30, 0usize..6, 0usize..4, 0usize..2), 0..60),
+        n_shards in 1usize..5,
+    ) {
+        let mut b = HierarchyBuilder::new();
+        for t in 0..4 {
+            b.add_path(&["top", &format!("leaf-{t}")]);
+        }
+        let mut ds = Dataset::new(b.build());
+        for &(o, s, v, is_answer) in &claims {
+            let o = ds.intern_object(&name(o));
+            let v = ds.hierarchy().node_by_name(&format!("leaf-{v}")).unwrap();
+            if is_answer == 0 {
+                let s = ds.intern_source(&format!("src-{s}"));
+                ds.add_record(o, s, v);
+            } else {
+                let w = ds.intern_worker(&format!("wrk-{s}"));
+                ds.add_answer(o, w, v);
+            }
+        }
+        let shards = partition_dataset(&ds, n_shards);
+        prop_assert_eq!(shards.len(), n_shards);
+        let records: usize = shards.iter().map(|s| s.records().len()).sum();
+        let answers: usize = shards.iter().map(|s| s.answers().len()).sum();
+        let objects: usize = shards.iter().map(Dataset::n_objects).sum();
+        prop_assert_eq!(records, ds.records().len());
+        prop_assert_eq!(answers, ds.answers().len());
+        prop_assert_eq!(objects, ds.n_objects(), "objects must partition disjointly");
+        for (i, shard) in shards.iter().enumerate() {
+            for o in shard.objects() {
+                prop_assert_eq!(
+                    shard_of(shard.object_name(o), n_shards), i,
+                    "object {:?} on shard {} but hashes elsewhere",
+                    shard.object_name(o), i
+                );
+            }
+            // Claims reference objects interned on their own shard.
+            for r in shard.records() {
+                prop_assert!(r.object.index() < shard.n_objects());
+            }
+            for a in shard.answers() {
+                prop_assert!(a.object.index() < shard.n_objects());
+            }
+        }
+    }
+}
+
+/// Routing constants frozen forever: [`shard_of`] is seedless FNV-1a, so a
+/// durable shard layout written by one process must be found intact by the
+/// next. Any change to the hash fails here loudly instead of silently
+/// stranding every `shard-<i>` directory in existence.
+#[test]
+fn routing_is_stable_across_process_restarts() {
+    assert_eq!(shard_of("Statue of Liberty", 4), 1);
+    assert_eq!(shard_of("Big Ben", 4), 0);
+    assert_eq!(shard_of("obj-0", 2), 1);
+    assert_eq!(shard_of("", 3), shard_of("", 3));
+    for n in 1..8 {
+        assert!(shard_of("", n) < n, "empty name must still route");
+    }
+}

@@ -1,0 +1,262 @@
+//! Sharded crash-injection suite: a child process serving a durable
+//! [`ShardedServer`] through the router front is SIGKILLed mid-stream and
+//! restarted from the same directory. Every acked batch must survive on
+//! whichever shard it was routed to (each shard recovers from its own
+//! `shard-<i>` WAL + snapshot, independently), no torn batch may apply,
+//! and the recovered router must answer `TRUTH` exactly as the pre-crash
+//! process did. Each `INGEST` batch here targets a single object, so a
+//! batch lives entirely on one shard and the crash window tears exactly
+//! one shard's stream — the others must recover untouched.
+//!
+//! The child is this same test binary re-invoked with `--exact
+//! child_sharded_server` and `TDH_SHARD_CRASH_DIR` set; in normal runs
+//! that test is an immediate no-op.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use tdh_core::TdhConfig;
+use tdh_data::Dataset;
+use tdh_hierarchy::HierarchyBuilder;
+use tdh_serve::{serve_router, Collections, RefitPolicy, Router, ShardedServer};
+
+const N_SHARDS: usize = 3;
+const BASE_RECORDS: usize = 60;
+
+/// 20 objects × 3 records, spread over the shards by name hash.
+fn corpus() -> Dataset {
+    let mut b = HierarchyBuilder::new();
+    for c in 0..4 {
+        for t in 0..4 {
+            b.add_path(&[&format!("C{c}"), &format!("C{c}T{t}")]);
+        }
+    }
+    let mut ds = Dataset::new(b.build());
+    let good1 = ds.intern_source("good1");
+    let good2 = ds.intern_source("good2");
+    let liar = ds.intern_source("liar");
+    for i in 0..20 {
+        let o = ds.intern_object(&format!("o{i}"));
+        let h = ds.hierarchy();
+        let truth = h.node_by_name(&format!("C{}T{}", i % 4, i % 4)).unwrap();
+        let wrong = h
+            .node_by_name(&format!("C{}T{}", (i + 1) % 4, i % 4))
+            .unwrap();
+        ds.add_record(o, good1, truth);
+        ds.add_record(o, good2, truth);
+        ds.add_record(o, liar, wrong);
+    }
+    ds
+}
+
+/// The child half: create or recover the durable sharded server under
+/// `$TDH_SHARD_CRASH_DIR`, serve it through the router on an ephemeral
+/// port (default collection `main`), publish the address atomically, park.
+#[test]
+fn child_sharded_server() {
+    let Ok(dir) = std::env::var("TDH_SHARD_CRASH_DIR") else {
+        return; // normal test run: nothing to do
+    };
+    let dir = PathBuf::from(dir);
+    let sharded = if dir.join("shard-0").exists() {
+        ShardedServer::open(&dir, RefitPolicy::EveryBatch).expect("child recovers")
+    } else {
+        ShardedServer::create_durable(
+            &dir,
+            corpus(),
+            TdhConfig::default(),
+            RefitPolicy::EveryBatch,
+            N_SHARDS,
+        )
+        .expect("child bootstraps")
+    };
+    let collections = Collections::new();
+    collections.insert("main", sharded).expect("register");
+    let handle = serve_router(Router::new(collections).with_default("main"), "127.0.0.1:0")
+        .expect("child listens");
+    let tmp = dir.join("addr.tmp");
+    std::fs::write(&tmp, handle.addr().to_string()).unwrap();
+    std::fs::rename(&tmp, dir.join("addr")).unwrap();
+    loop {
+        std::thread::park();
+    }
+}
+
+struct ChildGuard(Child);
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_child(dir: &Path) -> ChildGuard {
+    let _ = std::fs::remove_file(dir.join("addr"));
+    let child = Command::new(std::env::current_exe().unwrap())
+        .args(["child_sharded_server", "--exact", "--nocapture"])
+        .env("TDH_SHARD_CRASH_DIR", dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sharded child");
+    ChildGuard(child)
+}
+
+fn wait_for_addr(dir: &Path) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(dir.join("addr")) {
+            return addr;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child never published its address"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect to child");
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply");
+    line
+}
+
+/// One single-object `INGEST` batch (3 records): lives on exactly one
+/// shard, so per-shard and per-batch atomicity coincide for it.
+fn ingest_lines(name: &str, i: usize) -> String {
+    let truth = format!("C{}T{}", i % 4, (i + 1) % 4);
+    let wrong = format!("C{}T{}", (i + 2) % 4, (i + 1) % 4);
+    format!(
+        "INGEST\t3\nRECORD\t{name}\tgood1\t{truth}\nRECORD\t{name}\tgood2\t{truth}\n\
+         RECORD\t{name}\tliar\t{wrong}\n"
+    )
+}
+
+fn stats_field(json: &str, field: &str) -> u64 {
+    let key = format!("\"{field}\":");
+    let rest = &json[json.find(&key).expect("stats field") + key.len()..];
+    rest[..rest.find([',', '}']).unwrap()].parse().unwrap()
+}
+
+/// `"truth":"<v>"` of a TRUTH reply, or None for null.
+fn truth_value(reply: &str) -> Option<String> {
+    let key = "\"truth\":\"";
+    let start = reply.find(key)? + key.len();
+    Some(reply[start..start + reply[start..].find('"')?].to_string())
+}
+
+#[test]
+fn sigkill_one_process_recovers_every_shard_and_answers_match() {
+    let dir = std::env::temp_dir().join(format!("tdh-shardcrash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Generation 1: bootstrap, ingest acked single-object batches (routed
+    // across shards by name hash), checkpoint midway.
+    let child = spawn_child(&dir);
+    let addr = wait_for_addr(&dir);
+    let (mut stream, mut reader) = connect(&addr);
+    let mut acked = Vec::new();
+    for i in 0..6 {
+        let name = format!("acked{i}");
+        stream.write_all(ingest_lines(&name, i).as_bytes()).unwrap();
+        let reply = read_line(&mut reader);
+        assert!(
+            reply.contains("\"appended_records\":3"),
+            "ack, got: {reply}"
+        );
+        acked.push(name);
+        if i == 2 {
+            stream.write_all(b"CHECKPOINT\n").unwrap();
+            let reply = read_line(&mut reader);
+            assert!(reply.contains("\"ok\":true"), "checkpoint, got: {reply}");
+            assert!(
+                reply.contains(&format!("\"shards\":{N_SHARDS}")),
+                "checkpoint must cover all shards: {reply}"
+            );
+        }
+    }
+
+    // Record the pre-crash answers the recovered router must reproduce.
+    let mut pre_crash: BTreeMap<String, Option<String>> = BTreeMap::new();
+    for name in acked.iter().map(String::as_str).chain(["o0", "o7", "o13"]) {
+        stream
+            .write_all(format!("TRUTH\t{name}\n").as_bytes())
+            .unwrap();
+        pre_crash.insert(name.to_string(), truth_value(&read_line(&mut reader)));
+        assert!(
+            pre_crash[name].is_some(),
+            "pre-crash {name} must have a truth"
+        );
+    }
+
+    // Crash window: one complete batch whose ack we never read, one torn
+    // batch that can never complete, then SIGKILL mid-stream.
+    stream
+        .write_all(ingest_lines("unacked", 6).as_bytes())
+        .unwrap();
+    stream
+        .write_all(b"INGEST\t3\nRECORD\tvictim\tgood1\tC0T1\nRECORD\tvictim\tgood2\tC0T1\n")
+        .unwrap();
+    stream.flush().unwrap();
+    drop(child); // SIGKILL
+    drop(stream);
+
+    // Generation 2: every shard recovers from its own shard-<i> directory.
+    let child = spawn_child(&dir);
+    let addr = wait_for_addr(&dir);
+    let (mut stream, mut reader) = connect(&addr);
+    stream.write_all(b"STATS\n").unwrap();
+    let stats = read_line(&mut reader);
+    assert_eq!(
+        stats_field(&stats, "shards"),
+        N_SHARDS as u64,
+        "recovered shard count: {stats}"
+    );
+    let records = stats_field(&stats, "records");
+    assert!(
+        records >= (BASE_RECORDS + 3 * acked.len()) as u64,
+        "acked claims lost: {records} records after recovery ({stats})"
+    );
+    // Single-object batches live on one shard, so per-shard atomicity
+    // means whole batches of 3 — nothing torn may surface.
+    assert_eq!(
+        (records - BASE_RECORDS as u64) % 3,
+        0,
+        "a batch half-applied: {records} records ({stats})"
+    );
+
+    // Router answers match the pre-crash state, object by object.
+    for (name, want) in &pre_crash {
+        stream
+            .write_all(format!("TRUTH\t{name}\n").as_bytes())
+            .unwrap();
+        let got = truth_value(&read_line(&mut reader));
+        assert_eq!(
+            &got, want,
+            "recovered TRUTH {name:?} diverged from pre-crash"
+        );
+    }
+    // The torn batch vanished entirely.
+    stream.write_all(b"TRUTH\tvictim\n").unwrap();
+    let reply = read_line(&mut reader);
+    assert!(
+        reply.contains("\"truth\":null"),
+        "torn batch leaked into the recovered state: {reply}"
+    );
+
+    drop(child);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,208 @@
+//! Sharded-equivalence suite (ISSUE 8 acceptance): for a fixed corpus,
+//! router-mediated `TRUTH`/`TOPK` answers over N ∈ {1, 2, 4} shards match
+//! a single unsharded [`TruthServer`] — exactly at N = 1 (partitioning
+//! into one shard is the identity), and modulo the documented per-shard
+//! fit independence above that: truth *values* agree everywhere, and the
+//! uncertainty ranking agrees at the tier level (the contested objects
+//! outrank the unanimous ones on every shard count, under the shared
+//! total order that makes the k-way merge deterministic).
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use tdh_core::TdhConfig;
+use tdh_data::Dataset;
+use tdh_hierarchy::HierarchyBuilder;
+use tdh_serve::{serve_router_with, Collections, RefitPolicy, Router, ShardedServer, TruthServer};
+
+const N_OBJECTS: usize = 24;
+
+/// Two uncertainty tiers by construction: objects with index divisible by
+/// 3 get a dissenting claim (2 good sources vs 1 liar — resolvable but
+/// uncertain), the rest are unanimous (3 good sources). Truth decisions
+/// are majority-robust, so they must survive any partitioning; the
+/// contested tier must outrank the unanimous tier in every `TOPK`.
+fn corpus() -> Dataset {
+    let mut b = HierarchyBuilder::new();
+    for c in 0..4 {
+        for t in 0..4 {
+            b.add_path(&[&format!("C{c}"), &format!("C{c}T{t}")]);
+        }
+    }
+    let mut ds = Dataset::new(b.build());
+    let good1 = ds.intern_source("good1");
+    let good2 = ds.intern_source("good2");
+    let third = ds.intern_source("third");
+    for i in 0..N_OBJECTS {
+        let o = ds.intern_object(&format!("eq-obj-{i}"));
+        let h = ds.hierarchy();
+        let truth = h
+            .node_by_name(&format!("C{}T{}", i % 4, (i / 4) % 4))
+            .unwrap();
+        let decoy = h
+            .node_by_name(&format!("C{}T{}", (i + 1) % 4, (i / 4) % 4))
+            .unwrap();
+        ds.add_record(o, good1, truth);
+        ds.add_record(o, good2, truth);
+        if i % 3 == 0 {
+            ds.add_record(o, third, decoy); // contested tier
+        } else {
+            ds.add_record(o, third, truth); // unanimous tier
+        }
+    }
+    ds
+}
+
+fn contested() -> BTreeSet<String> {
+    (0..N_OBJECTS)
+        .filter(|i| i % 3 == 0)
+        .map(|i| format!("eq-obj-{i}"))
+        .collect()
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        reply.trim().to_string()
+    }
+}
+
+/// `"truth":"<value>"` out of a TRUTH reply (or None for `"truth":null`).
+fn truth_value(reply: &str) -> Option<String> {
+    let key = "\"truth\":\"";
+    let start = reply.find(key)? + key.len();
+    Some(reply[start..start + reply[start..].find('"')?].to_string())
+}
+
+/// The object names of a TOPK reply, in rank order.
+fn topk_objects(reply: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = reply;
+    while let Some(p) = rest.find("\"object\":\"") {
+        rest = &rest[p + "\"object\":\"".len()..];
+        let end = rest.find('"').unwrap();
+        out.push(rest[..end].to_string());
+        rest = &rest[end..];
+    }
+    out
+}
+
+#[test]
+fn router_answers_match_the_unsharded_server() {
+    let ds = corpus();
+    let single = TruthServer::new(ds.clone(), TdhConfig::default(), RefitPolicy::Manual);
+    let single_topk = single.top_uncertain(N_OBJECTS);
+    let n_contested = contested().len();
+
+    // The construction must actually produce two tiers on the reference.
+    let single_top_set: BTreeSet<String> = single_topk[..n_contested]
+        .iter()
+        .map(|(o, _)| o.clone())
+        .collect();
+    assert_eq!(
+        single_top_set,
+        contested(),
+        "reference server must rank the contested tier first"
+    );
+
+    for n in [1usize, 2, 4] {
+        let sharded = ShardedServer::new(ds.clone(), TdhConfig::default(), RefitPolicy::Manual, n);
+        let collections = Collections::new();
+        collections.insert("main", sharded).expect("register");
+        let handle = serve_router_with(
+            Router::new(collections).with_default("main"),
+            "127.0.0.1:0",
+            2,
+        )
+        .expect("bind");
+        let mut c = Client::connect(handle.addr());
+
+        // TRUTH: every object answers with the same value as the single
+        // server, at every shard count.
+        for o in ds.objects() {
+            let name = ds.object_name(o);
+            let reply = c.send(&format!("TRUTH\t{name}"));
+            let got = truth_value(&reply);
+            let want = single.truth(name).map(|t| t.value);
+            assert_eq!(got, want, "TRUTH {name:?} diverged at {n} shards: {reply}");
+        }
+
+        // TOPK: the contested tier fills the top ranks on every shard
+        // count (tier-level agreement — per-shard fits are independent,
+        // so *within*-tier float order is only pinned at N = 1).
+        let top = c.send(&format!("TOPK\t{n_contested}"));
+        let got: BTreeSet<String> = topk_objects(&top).into_iter().collect();
+        assert_eq!(
+            got,
+            contested(),
+            "TOPK tier membership diverged at {n} shards: {top}"
+        );
+
+        if n == 1 {
+            // One shard is the identity partition: the full ranking —
+            // names, order and scores — must be byte-identical to the
+            // unsharded server's.
+            let full = c.send(&format!("TOPK\t{N_OBJECTS}"));
+            let got_order = topk_objects(&full);
+            let want_order: Vec<String> = single_topk.iter().map(|(o, _)| o.clone()).collect();
+            assert_eq!(got_order, want_order, "N=1 full ranking must be exact");
+        }
+
+        // STATS totals match the unsharded dataset (objects partition).
+        let stats = c.send("STATS");
+        assert!(stats.contains(&format!("\"shards\":{n}")), "{stats}");
+        assert!(
+            stats.contains(&format!("\"objects\":{N_OBJECTS}")),
+            "{stats}"
+        );
+        assert!(
+            stats.contains(&format!("\"records\":{}", ds.records().len())),
+            "{stats}"
+        );
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn merged_ranking_is_deterministic_across_repeats() {
+    // The k-way merge must be a pure function of the published states:
+    // repeated fits of the same corpus produce the same merged ranking
+    // (this is what the total tie-break — uncertainty, then object name —
+    // buys; interning order differs per shard and must not leak in).
+    let ds = corpus();
+    let rank = |n: usize| -> Vec<String> {
+        let sharded = ShardedServer::new(ds.clone(), TdhConfig::default(), RefitPolicy::Manual, n);
+        sharded
+            .top_uncertain(N_OBJECTS)
+            .into_iter()
+            .map(|(o, _)| o)
+            .collect()
+    };
+    for n in [2usize, 4] {
+        assert_eq!(
+            rank(n),
+            rank(n),
+            "ranking must repeat exactly at {n} shards"
+        );
+    }
+}

@@ -17,7 +17,7 @@
 //! | [`crowd`] | the crowdsourcing simulation engine and worker models |
 //! | [`datagen`] | synthetic corpora calibrated to the paper's datasets |
 //! | [`eval`] | Accuracy, GenAccuracy, AvgDistance, multi-truth P/R/F1, MAE/RE |
-//! | [`serve`] | online truth serving: snapshots, incremental ingestion, warm-start refits, query endpoints |
+//! | [`serve`] | online truth serving: snapshots, incremental ingestion, warm-start refits, sharded multi-tenant TCP endpoints |
 //!
 //! ## Quickstart
 //!
