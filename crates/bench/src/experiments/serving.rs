@@ -11,13 +11,15 @@
 //! `Mutex<TruthServer>` (the pre-publish architecture every query used to
 //! serialize on).
 //!
-//! `results/serving.json` fields (asserted by CI): `bootstrap_iters`,
-//! `warm_iters`, `cold_iters`, `warm_refit_s`, `cold_refit_s`,
-//! `iters_saved_ratio`, `queries_per_s`, `snapshot_save_s`,
+//! `results/serving.json` fields (asserted by CI, enforced at write time by
+//! `save_checked`): `bootstrap_iters`, `warm_iters`, `cold_iters`,
+//! `warm_refit_s`, `cold_refit_s`, `iters_saved_ratio`, `queries_per_s`,
+//! `latency_p50_us`, `latency_p95_us`, `latency_p99_us`, `snapshot_save_s`,
 //! `snapshot_load_s`, `snapshot_bytes`, `batch_claims`, `wal_append_s`,
 //! `recovery_replay_s`, `snapshot_v2_bytes`, `reader_threads`,
 //! `concurrent_queries_per_s`, `mutex_queries_per_s`,
-//! `concurrent_read_speedup`.
+//! `concurrent_read_speedup`. The latency percentiles come from a
+//! `tdh_obs::Histogram` fed one observation per in-process query.
 
 use std::sync::Mutex;
 use std::time::Instant;
@@ -27,7 +29,7 @@ use tdh_data::{Dataset, ObjectId};
 use tdh_serve::{Claim, RefitPolicy, Snapshot, TruthServer};
 
 use crate::harness::{birthplaces, print_table};
-use crate::report::{save, MetricRow};
+use crate::report::{save_checked, MetricRow};
 use crate::Scale;
 
 /// Rebuild `ds` with only its first `n_records` records (same hierarchy,
@@ -173,9 +175,11 @@ pub fn serving(scale: Scale) {
         .sources()
         .map(|s| ds.source_name(s).to_string())
         .collect();
+    let latency = tdh_obs::Histogram::new();
     let t5 = Instant::now();
     let mut answered = 0u64;
     for q in 0..queries {
+        let tq = Instant::now();
         match q % 10 {
             // 80% truth lookups, 10% reliability, 10% top-k.
             0..=7 => {
@@ -198,10 +202,17 @@ pub fn serving(scale: Scale) {
                 answered += restored.top_uncertain(10).len() as u64;
             }
         }
+        // Nanosecond granularity: in-process lookups are sub-microsecond,
+        // so µs buckets would collapse the whole distribution into zero.
+        latency.record(u64::try_from(tq.elapsed().as_nanos()).unwrap_or(u64::MAX));
     }
     let query_s = t5.elapsed().as_secs_f64();
     let queries_per_s = queries as f64 / query_s.max(1e-12);
     assert!(answered > 0, "queries must be answerable");
+    let quantile_us = |q: f64| latency.quantile(q).unwrap_or(0) as f64 / 1e3;
+    let latency_p50_us = quantile_us(0.50);
+    let latency_p95_us = quantile_us(0.95);
+    let latency_p99_us = quantile_us(0.99);
 
     // --- Concurrent readers under ingestion: published vs mutex path. ---
     // The same read workload (90% truth lookups, 10% top-k) hammered by N
@@ -348,6 +359,10 @@ pub fn serving(scale: Scale) {
                 snapshot_v2_bytes.to_string(),
             ],
             vec!["queries/s".into(), format!("{queries_per_s:.0}")],
+            vec![
+                "query latency p50/p95/p99 (µs)".into(),
+                format!("{latency_p50_us:.2}/{latency_p95_us:.2}/{latency_p99_us:.2}"),
+            ],
             vec!["reader threads".into(), reader_threads.to_string()],
             vec![
                 "concurrent queries/s (published)".into(),
@@ -384,11 +399,40 @@ pub fn serving(scale: Scale) {
             ("recovery_replay_s".into(), recovery_replay_s),
             ("snapshot_v2_bytes".into(), snapshot_v2_bytes as f64),
             ("queries_per_s".into(), queries_per_s),
+            ("latency_p50_us".into(), latency_p50_us),
+            ("latency_p95_us".into(), latency_p95_us),
+            ("latency_p99_us".into(), latency_p99_us),
             ("reader_threads".into(), reader_threads as f64),
             ("concurrent_queries_per_s".into(), concurrent_queries_per_s),
             ("mutex_queries_per_s".into(), mutex_queries_per_s),
             ("concurrent_read_speedup".into(), concurrent_read_speedup),
         ],
     }];
-    save("serving", &out);
+    save_checked(
+        "serving",
+        &out,
+        &[
+            "bootstrap_iters",
+            "warm_iters",
+            "cold_iters",
+            "warm_refit_s",
+            "cold_refit_s",
+            "iters_saved_ratio",
+            "queries_per_s",
+            "latency_p50_us",
+            "latency_p95_us",
+            "latency_p99_us",
+            "snapshot_save_s",
+            "snapshot_load_s",
+            "snapshot_bytes",
+            "batch_claims",
+            "wal_append_s",
+            "recovery_replay_s",
+            "snapshot_v2_bytes",
+            "reader_threads",
+            "concurrent_queries_per_s",
+            "mutex_queries_per_s",
+            "concurrent_read_speedup",
+        ],
+    );
 }

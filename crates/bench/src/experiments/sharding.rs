@@ -11,7 +11,9 @@
 //!
 //! `results/sharding.json` fields (asserted by CI via
 //! [`save_checked`](crate::report::save_checked)): `shards`,
-//! `ingest_claims_per_s`, `query_per_s` — one row per shard count.
+//! `ingest_claims_per_s`, `query_per_s`, `query_p50_us`, `query_p95_us`,
+//! `query_p99_us` — one row per shard count, the percentiles estimated
+//! from a shared `tdh_obs::Histogram` every reader thread records into.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -96,19 +98,25 @@ pub fn sharding(scale: Scale) {
         let bootstrap_s = t0.elapsed().as_secs_f64();
 
         // --- Mixed phase: lock-free readers race the ingest stream. ---
+        // Every reader records each query's latency into one shared
+        // histogram (lock-free atomics), so the percentiles below cover
+        // the full mixed-phase distribution across threads.
         let stop = AtomicBool::new(false);
+        let latency = tdh_obs::Histogram::new();
         let readers_handle = sharded.readers();
         let (ingest_s, queries_done, mixed_s) = std::thread::scope(|scope| {
             let reader_handles: Vec<_> = (0..reader_threads)
                 .map(|t| {
                     let readers = readers_handle.clone();
                     let stop = &stop;
+                    let latency = &latency;
                     let object_names = &object_names;
                     let source_names = &source_names;
                     scope.spawn(move || {
                         let mut done = 0u64;
                         let mut q = t;
                         while !stop.load(Ordering::Relaxed) {
+                            let tq = Instant::now();
                             let name = &object_names[q % object_names.len()];
                             let shard = tdh_serve::shard_of(name, readers.len());
                             let state = readers[shard].load();
@@ -124,6 +132,10 @@ pub fn sharding(scale: Scale) {
                                     let _ = state.top_uncertain(10);
                                 }
                             }
+                            // Nanosecond granularity: lock-free reads are
+                            // sub-µs, µs buckets would flatten them to 0.
+                            latency
+                                .record(u64::try_from(tq.elapsed().as_nanos()).unwrap_or(u64::MAX));
                             done += 1;
                             q += reader_threads;
                         }
@@ -151,6 +163,10 @@ pub fn sharding(scale: Scale) {
         });
         let ingest_claims_per_s = n_batch as f64 / ingest_s.max(1e-12);
         let query_per_s = queries_done as f64 / mixed_s.max(1e-12);
+        let quantile_us = |q: f64| latency.quantile(q).unwrap_or(0) as f64 / 1e3;
+        let query_p50_us = quantile_us(0.50);
+        let query_p95_us = quantile_us(0.95);
+        let query_p99_us = quantile_us(0.99);
 
         // --- Fold the stream in: one warm refit per shard. ---
         let t2 = Instant::now();
@@ -169,6 +185,7 @@ pub fn sharding(scale: Scale) {
             format!("{bootstrap_s:.3}"),
             format!("{ingest_claims_per_s:.0}"),
             format!("{query_per_s:.0}"),
+            format!("{query_p50_us:.2}/{query_p95_us:.2}/{query_p99_us:.2}"),
             format!("{refit_s:.3}"),
         ]);
         rows.push(MetricRow {
@@ -180,6 +197,9 @@ pub fn sharding(scale: Scale) {
                 ("batch_claims".into(), n_batch as f64),
                 ("ingest_claims_per_s".into(), ingest_claims_per_s),
                 ("query_per_s".into(), query_per_s),
+                ("query_p50_us".into(), query_p50_us),
+                ("query_p95_us".into(), query_p95_us),
+                ("query_p99_us".into(), query_p99_us),
                 ("reader_threads".into(), reader_threads as f64),
                 ("refit_s".into(), refit_s),
             ],
@@ -192,6 +212,7 @@ pub fn sharding(scale: Scale) {
             "bootstrap (s)",
             "ingest claims/s",
             "queries/s (mixed)",
+            "query p50/p95/p99 (µs)",
             "refit all shards (s)",
         ],
         &table,
@@ -199,6 +220,13 @@ pub fn sharding(scale: Scale) {
     save_checked(
         "sharding",
         &rows,
-        &["shards", "ingest_claims_per_s", "query_per_s"],
+        &[
+            "shards",
+            "ingest_claims_per_s",
+            "query_per_s",
+            "query_p50_us",
+            "query_p95_us",
+            "query_p99_us",
+        ],
     );
 }

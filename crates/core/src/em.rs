@@ -396,9 +396,10 @@ pub(crate) fn run_em(
     };
     let mu_rows = mem::take(&mut model.mu);
     let worker = |job: EmJob| em_worker(&flat, &cfg, job);
-    let (report, params, chunks, mut timings) = par::with_pool(n_threads, &worker, |pool| {
-        em_loop(&flat, &cfg, params, mu_rows, pool)
-    });
+    let (report, params, chunks, mut timings, iter_timings) =
+        par::with_pool(n_threads, &worker, |pool| {
+            em_loop(&flat, &cfg, params, mu_rows, pool)
+        });
     timings.flatten = flatten_time;
     model.phi = params.phi;
     model.psi = params.psi;
@@ -424,20 +425,54 @@ pub(crate) fn run_em(
         }
     }
     model.last_timings = Some(timings);
+    // Observability: recorded strictly after the pool scope, on the driver
+    // thread, so it can never perturb the deterministic EM arithmetic.
+    if let Some(reg) = model.obs.as_deref() {
+        let warm_label = if warm.is_some() { "true" } else { "false" };
+        reg.counter("tdh_em_fits_total", &[("warm", warm_label)])
+            .inc();
+        if report.converged {
+            reg.counter("tdh_em_converged_total", &[]).inc();
+        }
+        reg.histogram("tdh_em_iterations", &[])
+            .record(report.iterations as u64);
+        reg.histogram("tdh_em_flatten_us", &[])
+            .record_duration(flatten_time);
+        let e_hist = reg.histogram("tdh_em_e_step_us", &[]);
+        let m_hist = reg.histogram("tdh_em_m_step_us", &[]);
+        for (e, m) in &iter_timings {
+            e_hist.record_duration(*e);
+            m_hist.record_duration(*m);
+        }
+        let delta = match report.trace.as_slice() {
+            [.., a, b] => (b - a).abs(),
+            _ => 0.0,
+        };
+        reg.gauge("tdh_em_objective_delta", &[]).set(delta);
+    }
     report
 }
 
 /// The EM driver, run inside the fit's pool scope: iterate E+M batches on
 /// the persistent workers until convergence. Returns the final parameters
 /// and chunk states along with the report so `run_em` can move them back
-/// into the model.
+/// into the model, plus the per-iteration `(E, M)` wall-clock deltas for
+/// the observability registry (kept out of the bitwise-compared
+/// [`FitReport`] and the `Copy` [`PhaseTimings`]).
+#[allow(clippy::type_complexity)]
 fn em_loop(
     flat: &FlatObservations,
     cfg: &TdhConfig,
     mut params: Params,
     mu_rows: Vec<Vec<f64>>,
     pool: &par::ThreadPool<'_, EmJob, EmOut>,
-) -> (FitReport, Params, Vec<ChunkState>, PhaseTimings) {
+) -> (
+    FitReport,
+    Params,
+    Vec<ChunkState>,
+    PhaseTimings,
+    Vec<(Duration, Duration)>,
+) {
     let n_threads = pool.n_threads();
     let n_obj = flat.n_objects();
     // Chunk boundaries are fixed for the whole fit — they depend only on
@@ -491,6 +526,7 @@ fn em_loop(
     };
 
     let mut timings = PhaseTimings::default();
+    let mut iter_timings = Vec::new();
     let mut trace = Vec::new();
     let mut monitor = ConvergenceMonitor::new(cfg.tol);
     let mut converged = false;
@@ -498,6 +534,7 @@ fn em_loop(
 
     for _ in 0..cfg.max_iters {
         iterations += 1;
+        let (e_before, m_before) = (timings.e_step, timings.m_step);
         let obj;
         (obj, params, chunks, merged) = em_iteration(
             cfg,
@@ -509,6 +546,7 @@ fn em_loop(
             &psi_ranges,
             &mut timings,
         );
+        iter_timings.push((timings.e_step - e_before, timings.m_step - m_before));
         trace.push(obj);
         if monitor.observe(obj) {
             converged = true;
@@ -523,7 +561,7 @@ fn em_loop(
         monotone: monitor.monotone(),
         trace,
     };
-    (report, params, chunks, timings)
+    (report, params, chunks, timings, iter_timings)
 }
 
 /// Initial parameters: priors' means for `φ`/`ψ`, claim-frequency smoothing

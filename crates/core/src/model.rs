@@ -9,6 +9,7 @@
 //! values shaping the generalized/wrong choices (Eq. 3/4) to capture the
 //! source→worker dependency of widespread misinformation.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use tdh_data::{Dataset, ObjectId, ObjectView, ObservationIndex, WorkerId};
@@ -153,6 +154,12 @@ pub struct TdhModel {
     /// [`TdhConfig::warm_start`] is on so the next [`TruthDiscovery::infer`]
     /// resumes from them instead of starting cold.
     pub(crate) prev: Option<WarmStart>,
+    /// Optional metrics registry. When set (see [`TdhModel::set_metrics`]),
+    /// every fit records per-iteration E/M-step timings, flatten time,
+    /// iteration counts and convergence facts into it — strictly after the
+    /// EM pool scope, so instrumentation never perturbs the deterministic
+    /// FP arithmetic.
+    pub(crate) obs: Option<Arc<tdh_obs::Registry>>,
 }
 
 impl TdhModel {
@@ -168,12 +175,27 @@ impl TdhModel {
             last_fit: None,
             last_timings: None,
             prev: None,
+            obs: None,
         }
     }
 
     /// The configuration this model runs with.
     pub fn config(&self) -> &TdhConfig {
         &self.cfg
+    }
+
+    /// Attach a metrics registry: subsequent fits record EM observability
+    /// (`tdh_em_*` instrument families — per-iteration E/M-step and flatten
+    /// timings, iteration histograms, warm/cold fit counters, objective
+    /// delta) into it. Recording happens outside the EM kernels and never
+    /// affects the fitted parameters or their determinism.
+    pub fn set_metrics(&mut self, registry: Arc<tdh_obs::Registry>) {
+        self.obs = Some(registry);
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<tdh_obs::Registry>> {
+        self.obs.as_ref()
     }
 
     /// Convenience: build the observation index (sharded over the
@@ -313,6 +335,7 @@ impl TdhModel {
             last_fit: None,
             last_timings: None,
             prev: None,
+            obs: None,
         };
         model.prev = model.warm_start_params(idx);
         model

@@ -1,0 +1,253 @@
+//! Prometheus-style text exposition and cross-registry sample merging.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+
+/// The value of one sampled series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A monotonic counter value.
+    Counter(u64),
+    /// A point-in-time gauge value.
+    Gauge(f64),
+    /// A full histogram snapshot.
+    Histogram(HistogramSnapshot),
+}
+
+impl SampleValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One sampled series: a metric name, its sorted label set, and a value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric family name, e.g. `tdh_requests_total`.
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: SampleValue,
+}
+
+/// Merges sample sets from several registries into one.
+///
+/// Series with identical `(name, labels)` combine: counters add, gauges add
+/// (correct for population-style gauges split across shards; endpoint-only
+/// gauges such as uptime must live in exactly one registry), histograms
+/// bucket-merge. A kind mismatch between same-keyed series keeps the first
+/// and drops the rest rather than producing a malformed family.
+pub fn merge_samples(groups: Vec<Vec<Sample>>) -> Vec<Sample> {
+    let mut merged: HashMap<(String, Vec<(String, String)>), Sample> = HashMap::new();
+    for group in groups {
+        for sample in group {
+            let key = (sample.name.clone(), sample.labels.clone());
+            match merged.get_mut(&key) {
+                None => {
+                    merged.insert(key, sample);
+                }
+                Some(existing) => match (&mut existing.value, sample.value) {
+                    (SampleValue::Counter(a), SampleValue::Counter(b)) => *a += b,
+                    (SampleValue::Gauge(a), SampleValue::Gauge(b)) => *a += b,
+                    (SampleValue::Histogram(a), SampleValue::Histogram(b)) => a.merge(&b),
+                    _ => {} // kind mismatch: keep the first occurrence
+                },
+            }
+        }
+    }
+    let mut out: Vec<Sample> = merged.into_values().collect();
+    out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    out
+}
+
+/// Renders samples as Prometheus-style text exposition.
+///
+/// Families are sorted by name, each preceded by one `# TYPE name kind`
+/// comment. Histograms expand into cumulative `name_bucket{le="..."}` series
+/// (only non-empty buckets plus `+Inf`), `name_sum`, and `name_count`. The
+/// output is terminated by a `# EOF` line so a line-oriented protocol can
+/// frame it.
+pub fn render_text(samples: &[Sample]) -> String {
+    let mut sorted: Vec<&Sample> = samples.iter().collect();
+    sorted.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for sample in sorted {
+        if last_family != Some(sample.name.as_str()) {
+            let _ = writeln!(out, "# TYPE {} {}", sample.name, sample.value.kind());
+            last_family = Some(sample.name.as_str());
+        }
+        match &sample.value {
+            SampleValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {}", sample.name, labels(&sample.labels, None), v);
+            }
+            SampleValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{} {}", sample.name, labels(&sample.labels, None), v);
+            }
+            SampleValue::Histogram(snap) => {
+                let mut cum = 0u64;
+                for (i, &n) in snap.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cum += n;
+                    let le = crate::Histogram::bucket_bounds(i).1.to_string();
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        sample.name,
+                        labels(&sample.labels, Some(&le)),
+                        cum
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    sample.name,
+                    labels(&sample.labels, Some("+Inf")),
+                    snap.count
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    sample.name,
+                    labels(&sample.labels, None),
+                    snap.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    sample.name,
+                    labels(&sample.labels, None),
+                    snap.count
+                );
+            }
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Renders a `{k="v",...}` label block, optionally with a trailing `le`.
+fn labels(pairs: &[(String, String)], le: Option<&str>) -> String {
+    if pairs.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in pairs {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{}=\"{}\"", k, escape(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{}\"", le);
+    }
+    out.push('}');
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    fn counter(name: &str, labels: &[(&str, &str)], v: u64) -> Sample {
+        Sample {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value: SampleValue::Counter(v),
+        }
+    }
+
+    #[test]
+    fn renders_counters_with_type_header() {
+        let text = render_text(&[
+            counter("tdh_requests_total", &[("command", "TRUTH")], 3),
+            counter("tdh_requests_total", &[("command", "STATS")], 1),
+        ]);
+        assert!(text.contains("# TYPE tdh_requests_total counter\n"));
+        assert!(text.contains("tdh_requests_total{command=\"STATS\"} 1\n"));
+        assert!(text.contains("tdh_requests_total{command=\"TRUTH\"} 3\n"));
+        assert!(text.ends_with("# EOF\n"));
+        // One TYPE line per family even with several series.
+        assert_eq!(text.matches("# TYPE").count(), 1);
+    }
+
+    #[test]
+    fn renders_histogram_cumulatively() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(2);
+        h.record(2);
+        let text = render_text(&[Sample {
+            name: "lat".into(),
+            labels: vec![],
+            value: SampleValue::Histogram(h.snapshot()),
+        }]);
+        assert!(text.contains("# TYPE lat histogram\n"));
+        assert!(text.contains("lat_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("lat_sum 5\n"));
+        assert!(text.contains("lat_count 3\n"));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let h1 = Histogram::new();
+        h1.record(10);
+        let h2 = Histogram::new();
+        h2.record(20);
+        let mk = |h: &Histogram| Sample {
+            name: "lat".into(),
+            labels: vec![],
+            value: SampleValue::Histogram(h.snapshot()),
+        };
+        let merged = merge_samples(vec![
+            vec![counter("c", &[], 1), mk(&h1)],
+            vec![counter("c", &[], 2), mk(&h2)],
+        ]);
+        assert_eq!(merged.len(), 2);
+        match &merged.iter().find(|s| s.name == "c").unwrap().value {
+            SampleValue::Counter(v) => assert_eq!(*v, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &merged.iter().find(|s| s.name == "lat").unwrap().value {
+            SampleValue::Histogram(snap) => {
+                assert_eq!(snap.count, 2);
+                assert_eq!(snap.sum, 30);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let text = render_text(&[counter("c", &[("k", "a\"b\\c")], 1)]);
+        assert!(text.contains("c{k=\"a\\\"b\\\\c\"} 1\n"));
+    }
+}

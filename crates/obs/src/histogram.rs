@@ -1,0 +1,271 @@
+//! Fixed log-scale-bucket histogram with lock-free recording and exact merge.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of buckets in every [`Histogram`].
+///
+/// Bucket 0 holds the value `0`; bucket `i` (for `1 <= i <= 64`) holds the
+/// half-open power-of-two range `[2^(i-1), 2^i)` — i.e. all values whose
+/// highest set bit is bit `i-1`. Together the buckets cover the full `u64`
+/// range, so no recorded value is ever dropped or clamped.
+pub const N_BUCKETS: usize = 65;
+
+/// A log-scale histogram of `u64` observations.
+///
+/// * **Recording** is lock-free: one relaxed `fetch_add` into the bucket plus
+///   two more for the running sum and count. There is no per-histogram lock
+///   and no allocation after construction.
+/// * **Merging** is exact: every histogram shares the same fixed bucket
+///   layout, so [`merge`](Histogram::merge) (element-wise bucket addition)
+///   yields bit-identical bucket counts to recording all observations into a
+///   single histogram. This is what lets the sharded router aggregate
+///   per-shard latency histograms into one scrape.
+/// * **Quantiles** are estimated by walking the cumulative bucket counts and
+///   interpolating linearly inside the target bucket; the estimate is always
+///   within the bucket that contains the true quantile (error bounded by one
+///   power-of-two bucket width).
+///
+/// Reads ([`snapshot`](Histogram::snapshot), [`count`](Histogram::count))
+/// are monitoring-grade: concurrent recorders may produce a snapshot where
+/// `sum`/`count` and the buckets are torn relative to each other by in-flight
+/// operations. Totals are still conserved — nothing is lost, an observation
+/// is just attributed to the snapshot before or after it.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the bucket index that `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Returns the inclusive `(lower, upper)` value range of bucket `index`.
+    ///
+    /// # Panics
+    /// Panics if `index >= N_BUCKETS`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < N_BUCKETS, "bucket index {index} out of range");
+        if index == 0 {
+            (0, 0)
+        } else {
+            let lo = 1u64 << (index - 1);
+            let hi = if index == 64 {
+                u64::MAX
+            } else {
+                (1u64 << index) - 1
+            };
+            (lo, hi)
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a duration as whole microseconds (saturating).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Returns the total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Returns the sum of all observations (wrapping on overflow).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Adds every observation recorded in `other` into `self`.
+    ///
+    /// Element-wise bucket addition — exact because all histograms share the
+    /// same bucket layout.
+    pub fn merge(&self, other: &Histogram) {
+        self.merge_snapshot(&other.snapshot());
+    }
+
+    /// Adds a previously captured snapshot into `self`.
+    pub fn merge_snapshot(&self, snap: &HistogramSnapshot) {
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            if n != 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+    }
+
+    /// Captures a point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) of the recorded values.
+    ///
+    /// Returns `None` when the histogram is empty. See
+    /// [`HistogramSnapshot::quantile`] for the estimation contract.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+}
+
+/// An owned, plain-`u64` copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`N_BUCKETS`] for the layout).
+    pub buckets: [u64; N_BUCKETS],
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self {
+            buckets: [0; N_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Adds `other`'s counts into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
+    /// Estimates the `q`-quantile (`q` clamped to `0.0..=1.0`).
+    ///
+    /// The rank `round(q * (count - 1))` is located by cumulative bucket
+    /// count and the estimate interpolated linearly inside that bucket, so
+    /// the returned value always lies within the inclusive bounds of the
+    /// bucket containing the true quantile. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n > rank {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                let within = (rank - seen) as f64 + 0.5;
+                let frac = within / n as f64;
+                let width = (hi - lo) as f64;
+                return Some(lo.saturating_add((width * frac) as u64).min(hi));
+            }
+            seen += n;
+        }
+        // Unreachable when `count` matches the bucket totals; under a torn
+        // concurrent snapshot fall back to the highest non-empty bucket.
+        self.buckets
+            .iter()
+            .rposition(|&n| n != 0)
+            .map(|i| Histogram::bucket_bounds(i).1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_covers_u64() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        assert_eq!(Histogram::bucket_bounds(1), (1, 1));
+        assert_eq!(Histogram::bucket_bounds(2), (2, 3));
+        assert_eq!(Histogram::bucket_bounds(64).1, u64::MAX);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let h = Histogram::new();
+        for v in [0, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1011);
+    }
+
+    #[test]
+    fn quantile_of_uniform_values() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // p50 of 1..=1000 is ~500; the estimate must land in 500's bucket.
+        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(500));
+        assert!(p50 >= lo && p50 <= hi, "p50={p50} outside [{lo},{hi}]");
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in [0u64, 1, 7, 12, 100] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [3u64, 7, 4096, u64::MAX] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), all.snapshot());
+    }
+}

@@ -1,0 +1,72 @@
+//! Observability primitives for the TDH workspace.
+//!
+//! This crate is a deliberately small, `std`-only metrics core — no external
+//! dependencies, no background threads, no `unsafe`. It exists so the serving
+//! stack (`tdh-serve`) and the EM kernels (`tdh-core`) can answer
+//! operational questions ("what is p99 TRUTH latency?", "how long do WAL
+//! fsyncs take?", "is warm-start cutting iterations?") without re-running a
+//! bench.
+//!
+//! # Instruments
+//!
+//! Three instrument kinds, all lock-free on the record path:
+//!
+//! * [`Counter`] — a monotonically increasing `u64` (relaxed `fetch_add`).
+//! * [`Gauge`] — a settable `f64` stored as atomic bits (relaxed store).
+//! * [`Histogram`] — a fixed-layout log-scale histogram: 65 power-of-two
+//!   buckets covering the full `u64` range. Recording is one relaxed
+//!   `fetch_add` per bucket plus two for the running sum/count; histograms
+//!   from different shards [`merge`](Histogram::merge) exactly because every
+//!   histogram shares the same bucket boundaries.
+//!
+//! Instruments live behind a [`Registry`] keyed by `(name, labels)`.
+//! Registration (`registry.counter("tdh_requests_total", &[("command",
+//! "TRUTH")])`) takes a mutex and returns an `Arc` handle; hot paths cache
+//! the handle so steady-state cost is a few relaxed atomics per operation.
+//!
+//! # Exposition
+//!
+//! [`Registry::render`] produces Prometheus-style text exposition
+//! (`# TYPE` comments, `name{label="v"} value` series, cumulative
+//! `_bucket{le="..."}` / `_sum` / `_count` for histograms) terminated by a
+//! `# EOF` line so it can be framed on a line-oriented wire protocol.
+//! [`render_merged`] combines several registries into one exposition —
+//! counters add, gauges add, histograms bucket-merge — which is how the
+//! sharded router aggregates per-shard metrics into a single scrape.
+//!
+//! # Spans
+//!
+//! [`Span`] is a drop-guard that records its elapsed time (in microseconds)
+//! into a histogram; the [`span!`] macro is sugar over a registry lookup:
+//!
+//! ```
+//! use tdh_obs::Registry;
+//! let reg = Registry::new();
+//! {
+//!     let _guard = tdh_obs::span!(reg, "e_step");
+//!     // ... timed work ...
+//! }
+//! assert_eq!(reg.histogram("tdh_span_us", &[("name", "e_step")]).count(), 1);
+//! ```
+//!
+//! # Event log
+//!
+//! [`log`] is a leveled, structured, line-oriented event log written to
+//! stderr and gated by the `TDH_LOG` environment variable
+//! (`TDH_LOG=info` or `TDH_LOG=wal=debug,refit=info`). When the filter is
+//! unset the cost of a disabled [`log_event!`] call site is a single cached
+//! load and compare.
+
+mod counter;
+mod expose;
+mod histogram;
+pub mod log;
+mod registry;
+mod span;
+
+pub use counter::{Counter, Gauge};
+pub use expose::{merge_samples, render_text, Sample, SampleValue};
+pub use histogram::{Histogram, HistogramSnapshot, N_BUCKETS};
+pub use log::Level;
+pub use registry::{render_merged, Registry};
+pub use span::Span;

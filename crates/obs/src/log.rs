@@ -1,0 +1,180 @@
+//! A leveled, structured event log gated by the `TDH_LOG` env filter.
+//!
+//! Events are single lines on stderr of the form:
+//!
+//! ```text
+//! [INFO refit] published new state version=3 pending=0
+//! ```
+//!
+//! Filtering follows a small subset of `env_logger` syntax: `TDH_LOG` is a
+//! comma-separated list of either a bare level (`info`) setting the default,
+//! or `target=level` pairs (`wal=debug,refit=trace`) overriding it for one
+//! target. Unset or empty means everything is off. The filter is parsed once
+//! per process; a disabled [`crate::log_event!`] call site costs one cached
+//! load and a comparison.
+
+use std::sync::OnceLock;
+
+/// Event severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error = 1,
+    /// Suspicious conditions the server survived.
+    Warn = 2,
+    /// High-level lifecycle events (publications, recoveries).
+    Info = 3,
+    /// Per-operation detail (batches, appends).
+    Debug = 4,
+    /// Everything, including per-item noise.
+    Trace = 5,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed `TDH_LOG` specification.
+#[derive(Debug, Default)]
+struct Filter {
+    default: Option<Level>,
+    targets: Vec<(String, Level)>,
+}
+
+impl Filter {
+    fn parse(spec: &str) -> Filter {
+        let mut filter = Filter::default();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match part.split_once('=') {
+                None => {
+                    if let Some(level) = Level::parse(part) {
+                        filter.default = Some(level);
+                    }
+                }
+                Some((target, level)) => {
+                    if let Some(level) = Level::parse(level) {
+                        filter.targets.push((target.trim().to_string(), level));
+                    }
+                }
+            }
+        }
+        filter
+    }
+
+    fn allows(&self, level: Level, target: &str) -> bool {
+        let max = self
+            .targets
+            .iter()
+            .find(|(t, _)| t == target)
+            .map(|(_, l)| *l)
+            .or(self.default);
+        match max {
+            Some(max) => level <= max,
+            None => false,
+        }
+    }
+}
+
+fn global() -> &'static Filter {
+    static FILTER: OnceLock<Filter> = OnceLock::new();
+    FILTER.get_or_init(|| Filter::parse(&std::env::var("TDH_LOG").unwrap_or_default()))
+}
+
+/// Returns whether an event at `level` for `target` would be emitted.
+///
+/// This is the fast path of a disabled call site: one `OnceLock` load plus a
+/// (usually empty) target scan.
+pub fn enabled(level: Level, target: &str) -> bool {
+    global().allows(level, target)
+}
+
+/// Writes one event line to stderr. Prefer [`crate::log_event!`], which
+/// checks [`enabled`] before formatting anything.
+pub fn write_event(level: Level, target: &str, message: &str, fields: &[(&str, String)]) {
+    use std::fmt::Write as _;
+    let mut line = format!("[{} {}] {}", level.as_str(), target, message);
+    for (k, v) in fields {
+        let _ = write!(line, " {k}={v}");
+    }
+    eprintln!("{line}");
+}
+
+/// Emits a structured event if `TDH_LOG` enables it.
+///
+/// ```
+/// use tdh_obs::Level;
+/// tdh_obs::log_event!(Level::Info, "refit", "published", version = 3, pending = 0);
+/// ```
+///
+/// Field values are formatted with `ToString` only when the event is
+/// enabled; a disabled call site does no formatting or allocation.
+#[macro_export]
+macro_rules! log_event {
+    ($level:expr, $target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::log::enabled($level, $target) {
+            $crate::log::write_event(
+                $level,
+                $target,
+                &::std::string::ToString::to_string(&$msg),
+                &[$((stringify!($key), ::std::string::ToString::to_string(&$value))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_sets_default() {
+        let f = Filter::parse("info");
+        assert!(f.allows(Level::Error, "wal"));
+        assert!(f.allows(Level::Info, "wal"));
+        assert!(!f.allows(Level::Debug, "wal"));
+    }
+
+    #[test]
+    fn target_overrides_default() {
+        let f = Filter::parse("warn,wal=trace");
+        assert!(f.allows(Level::Trace, "wal"));
+        assert!(!f.allows(Level::Info, "refit"));
+        assert!(f.allows(Level::Warn, "refit"));
+    }
+
+    #[test]
+    fn empty_spec_disables_everything() {
+        let f = Filter::parse("");
+        assert!(!f.allows(Level::Error, "wal"));
+    }
+
+    #[test]
+    fn junk_tokens_are_ignored() {
+        let f = Filter::parse("bogus,wal=nope,info");
+        assert!(f.allows(Level::Info, "anything"));
+        assert!(!f.allows(Level::Debug, "wal"));
+    }
+}

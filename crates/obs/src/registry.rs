@@ -1,0 +1,166 @@
+//! A registry of named + labeled instruments.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::counter::{Counter, Gauge};
+use crate::expose::{merge_samples, render_text, Sample, SampleValue};
+use crate::histogram::Histogram;
+
+type Key = (String, Vec<(String, String)>);
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A threadsafe registry of instruments keyed by `(name, labels)`.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes an internal mutex
+/// and returns an `Arc` handle to the (possibly pre-existing) instrument;
+/// hot paths cache the handle so steady-state recording never touches the
+/// registry lock. Label order does not matter — labels are sorted by key at
+/// registration.
+///
+/// Re-registering an existing key with a *different* instrument kind is a
+/// programming error and panics.
+#[derive(Default)]
+pub struct Registry {
+    instruments: Mutex<HashMap<Key, Instrument>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.instruments.lock().map(|m| m.len()).unwrap_or(0);
+        write!(f, "Registry({n} instruments)")
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry behind an `Arc`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        (name.to_string(), labels)
+    }
+
+    /// Returns the counter registered under `(name, labels)`, creating it on
+    /// first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let mut map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::new())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            _ => panic!("instrument {name} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge registered under `(name, labels)`, creating it on
+    /// first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::new())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            _ => panic!("instrument {name} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram registered under `(name, labels)`, creating it
+    /// on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let mut map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        match map
+            .entry(Self::key(name, labels))
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::new())))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            _ => panic!("instrument {name} already registered with a different kind"),
+        }
+    }
+
+    /// Samples every registered instrument.
+    pub fn snapshot(&self) -> Vec<Sample> {
+        let map = self.instruments.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<Sample> = map
+            .iter()
+            .map(|((name, labels), inst)| Sample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match inst {
+                    Instrument::Counter(c) => SampleValue::Counter(c.get()),
+                    Instrument::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        out
+    }
+
+    /// Renders this registry as Prometheus-style text exposition.
+    pub fn render(&self) -> String {
+        render_text(&self.snapshot())
+    }
+}
+
+/// Renders several registries as one merged exposition.
+///
+/// Same-keyed series combine across registries: counters add, gauges add,
+/// histograms bucket-merge (see [`merge_samples`]). This is how the router
+/// aggregates per-shard registries plus its own endpoint registry into a
+/// single `METRICS` reply.
+pub fn render_merged(registries: &[&Registry]) -> String {
+    let merged = merge_samples(registries.iter().map(|r| r.snapshot()).collect());
+    render_text(&merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_same_instrument() {
+        let reg = Registry::new();
+        let a = reg.counter("c", &[("x", "1"), ("y", "2")]);
+        // Label order must not matter.
+        let b = reg.counter("c", &[("y", "2"), ("x", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(reg.snapshot().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("c", &[]);
+        let _ = reg.gauge("c", &[]);
+    }
+
+    #[test]
+    fn merged_render_combines_registries() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("hits", &[]).add(2);
+        b.counter("hits", &[]).add(3);
+        a.histogram("lat", &[]).record(4);
+        b.histogram("lat", &[]).record(4);
+        let text = render_merged(&[&a, &b]);
+        assert!(text.contains("hits 5\n"));
+        assert!(text.contains("lat_count 2\n"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Drop-guard span timers feeding histograms.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+
+/// A scope timer: records its elapsed time in microseconds into a histogram
+/// when dropped.
+///
+/// Hot paths should cache the `Arc<Histogram>` once and call
+/// [`Span::enter`] directly; the [`crate::span!`] macro is convenience sugar
+/// that routes through a registry lookup.
+#[derive(Debug)]
+pub struct Span {
+    hist: Arc<Histogram>,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts timing; the elapsed microseconds are recorded into `hist` on
+    /// drop.
+    pub fn enter(hist: Arc<Histogram>) -> Self {
+        Self {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record_duration(self.start.elapsed());
+    }
+}
+
+/// Times the enclosing scope into the `tdh_span_us{name="..."}` histogram of
+/// the given registry.
+///
+/// ```
+/// # let reg = tdh_obs::Registry::new();
+/// let _guard = tdh_obs::span!(reg, "e_step");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($registry:expr, $name:expr) => {
+        $crate::Span::enter($registry.histogram("tdh_span_us", &[("name", $name)]))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Arc::new(Histogram::new());
+        {
+            let _s = Span::enter(Arc::clone(&h));
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn span_macro_uses_named_histogram() {
+        let reg = Registry::new();
+        {
+            let _s = crate::span!(reg, "unit");
+        }
+        assert_eq!(reg.histogram("tdh_span_us", &[("name", "unit")]).count(), 1);
+    }
+}

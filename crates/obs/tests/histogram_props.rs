@@ -1,0 +1,105 @@
+//! Property tests for the log-scale histogram (vendored proptest subset).
+
+use std::sync::Arc;
+
+use proptest::collection;
+use proptest::prelude::*;
+use tdh_obs::{Histogram, N_BUCKETS};
+
+proptest! {
+    // Bucket boundaries are monotone and partition the u64 range: each
+    // bucket's lower bound is its predecessor's upper bound plus one, and
+    // every value falls inside the bounds of the bucket it indexes to.
+    #[test]
+    fn bucket_boundaries_are_monotone(value in 0u64..u64::MAX) {
+        for i in 1..N_BUCKETS {
+            let (prev_lo, prev_hi) = Histogram::bucket_bounds(i - 1);
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            prop_assert!(prev_lo <= prev_hi);
+            prop_assert_eq!(lo, prev_hi + 1);
+            prop_assert!(lo <= hi);
+        }
+        let idx = Histogram::bucket_index(value);
+        let (lo, hi) = Histogram::bucket_bounds(idx);
+        prop_assert!(value >= lo && value <= hi);
+    }
+
+    // merge(a, b) is exactly equivalent to recording every observation into
+    // a single histogram: identical buckets, sum, and count.
+    #[test]
+    fn merge_equals_recording_all_in_one(
+        xs in collection::vec(0u64..1_000_000, 0..200),
+        ys in collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for &v in &xs { a.record(v); all.record(v); }
+        for &v in &ys { b.record(v); all.record(v); }
+        a.merge(&b);
+        prop_assert_eq!(a.snapshot(), all.snapshot());
+    }
+
+    // A quantile estimate always lies within the inclusive bounds of the
+    // bucket holding the true rank-selected value.
+    #[test]
+    fn quantile_estimate_stays_in_its_bucket(
+        xs in collection::vec(0u64..1_000_000, 1..300),
+        q_millis in 0u64..1001,
+    ) {
+        let q = q_millis as f64 / 1000.0;
+        let h = Histogram::new();
+        for &v in &xs { h.record(v); }
+        let est = h.quantile(q).expect("non-empty histogram");
+
+        // The true value at the same rank the estimator targets.
+        let mut xs = xs;
+        xs.sort_unstable();
+        let rank = (q * (xs.len() - 1) as f64).round() as usize;
+        let truth = xs[rank];
+        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(truth));
+        prop_assert!(est >= lo && est <= hi,
+            "estimate {} outside bucket [{}, {}] of true value {}", est, lo, hi, truth);
+    }
+
+    // Quantiles are monotone in q.
+    #[test]
+    fn quantiles_are_monotone(xs in collection::vec(0u64..1_000_000, 1..300)) {
+        let h = Histogram::new();
+        for &v in &xs { h.record(v); }
+        let mut prev = 0u64;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = h.quantile(q).expect("non-empty histogram");
+            prop_assert!(est >= prev, "quantile({}) = {} < previous {}", q, est, prev);
+            prev = est;
+        }
+    }
+}
+
+/// Concurrent recorders conserve the total count and sum: nothing is lost
+/// or double-counted under contention.
+#[test]
+fn concurrent_records_conserve_totals() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 5_000;
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+    // Sum of 0..N-1 over all threads.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(snap.sum, n * (n - 1) / 2);
+}

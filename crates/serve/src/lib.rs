@@ -95,6 +95,7 @@
 
 mod collection;
 mod crc;
+mod metrics;
 mod net;
 mod router;
 mod server;
@@ -104,6 +105,7 @@ pub mod state;
 pub mod wal;
 
 pub use collection::{CollectionError, Collections};
+pub use metrics::ServerMetrics;
 pub use net::{serve_tcp, serve_tcp_with, ServeHandle, DEFAULT_NET_WORKERS};
 pub use router::{serve_router, serve_router_with, Router, RouterHandle};
 pub use server::{

@@ -1,0 +1,321 @@
+//! Serving-side instrumentation: per-server and per-endpoint registries.
+//!
+//! Two levels, split so cross-shard merging stays meaningful:
+//!
+//! * [`ServerMetrics`] — one per [`crate::TruthServer`], mirroring every
+//!   serving counter into lock-free atomics (so `STATS` never needs the
+//!   writer lock) and feeding the ingest/WAL/refit histograms. A sharded
+//!   server has one per shard; merging their registries sums counters and
+//!   bucket-merges histograms, which is exactly right for every instrument
+//!   kept here.
+//! * `EndpointMetrics` — one per wire endpoint (a `serve_tcp` listener or a
+//!   router), holding per-command request counters/latency histograms and
+//!   the gauges whose cross-shard sum would be meaningless (uptime,
+//!   publication age). These exist exactly once per scrape, never per
+//!   shard.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tdh_obs::{Counter, Gauge, Histogram, Registry};
+
+use crate::server::ServerStats;
+
+/// Lock-free mirrors of one [`crate::TruthServer`]'s serving counters, plus
+/// its ingest/WAL/refit histograms, all living in a [`Registry`] the
+/// `METRICS` command exposes.
+///
+/// The server updates these at the same points it updates its own fields;
+/// readers (the `STATS`/`METRICS` commands, [`ServerMetrics::stats`]) never
+/// take the writer lock. Counts are monitoring-grade: a reader racing a
+/// writer may see a batch's records before its pending-claim update.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    registry: Arc<Registry>,
+    start: Instant,
+    objects: Arc<Gauge>,
+    sources: Arc<Gauge>,
+    workers: Arc<Gauge>,
+    pending: Arc<Gauge>,
+    records: Arc<Counter>,
+    answers: Arc<Counter>,
+    batches: Arc<Counter>,
+    refits_warm: Arc<Counter>,
+    refits_cold: Arc<Counter>,
+    publications: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    batch_claims: Arc<Histogram>,
+    refit_us: Arc<Histogram>,
+    /// Milliseconds since `start` of the newest publication; `u64::MAX`
+    /// until the first one.
+    last_publication_ms: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// A fresh registry with every server-level instrument pre-registered.
+    pub(crate) fn new() -> Arc<Self> {
+        let registry = Registry::new();
+        let m = ServerMetrics {
+            objects: registry.gauge("tdh_objects", &[]),
+            sources: registry.gauge("tdh_sources", &[]),
+            workers: registry.gauge("tdh_workers", &[]),
+            pending: registry.gauge("tdh_pending_claims", &[]),
+            records: registry.counter("tdh_records_total", &[]),
+            answers: registry.counter("tdh_answers_total", &[]),
+            batches: registry.counter("tdh_ingest_batches_total", &[]),
+            refits_warm: registry.counter("tdh_refits_total", &[("warm", "true")]),
+            refits_cold: registry.counter("tdh_refits_total", &[("warm", "false")]),
+            publications: registry.counter("tdh_publications_total", &[]),
+            checkpoints: registry.counter("tdh_checkpoints_total", &[]),
+            batch_claims: registry.histogram("tdh_ingest_batch_claims", &[]),
+            refit_us: registry.histogram("tdh_refit_duration_us", &[]),
+            last_publication_ms: AtomicU64::new(u64::MAX),
+            start: Instant::now(),
+            registry,
+        };
+        Arc::new(m)
+    }
+
+    /// The registry holding this server's instruments (shared with the
+    /// model's EM instrumentation).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Histogram/counter handles for the server's write-ahead log.
+    pub(crate) fn wal_metrics(&self) -> crate::wal::WalMetrics {
+        crate::wal::WalMetrics {
+            append_us: self.registry.histogram("tdh_wal_append_us", &[]),
+            fsync_us: self.registry.histogram("tdh_wal_fsync_us", &[]),
+            appended_bytes: self.registry.counter("tdh_wal_appended_bytes_total", &[]),
+            rotations: self.registry.counter("tdh_wal_rotations_total", &[]),
+        }
+    }
+
+    /// Refresh the population gauges after the dataset changed.
+    pub(crate) fn set_population(&self, objects: usize, sources: usize, workers: usize) {
+        self.objects.set(objects as f64);
+        self.sources.set(sources as f64);
+        self.workers.set(workers as f64);
+    }
+
+    /// Record an applied claim batch (or replayed WAL batch).
+    pub(crate) fn on_applied(&self, records: usize, answers: usize, pending: usize) {
+        self.records.add(records as u64);
+        self.answers.add(answers as u64);
+        self.pending.set(pending as f64);
+    }
+
+    /// Record one ingest (or replay) batch of `claims` claims.
+    pub(crate) fn on_batch(&self, claims: usize) {
+        self.batches.inc();
+        self.batch_claims.record(claims as u64);
+    }
+
+    /// Record one refit.
+    pub(crate) fn on_refit(&self, warm: bool, duration: Duration) {
+        if warm {
+            self.refits_warm.inc();
+        } else {
+            self.refits_cold.inc();
+        }
+        self.refit_us.record_duration(duration);
+        self.pending.set(0.0);
+    }
+
+    /// Record one [`crate::ServingState`] publication.
+    pub(crate) fn on_publish(&self) {
+        self.publications.inc();
+        let ms = u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX - 1);
+        self.last_publication_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Record one checkpoint.
+    pub(crate) fn on_checkpoint(&self) {
+        self.checkpoints.inc();
+    }
+
+    /// Time since this server was constructed.
+    pub fn uptime(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Age of the newest publication, `None` before the first one.
+    pub fn publication_age(&self) -> Option<Duration> {
+        let ms = self.last_publication_ms.load(Ordering::Relaxed);
+        if ms == u64::MAX {
+            return None;
+        }
+        Some(
+            self.start
+                .elapsed()
+                .saturating_sub(Duration::from_millis(ms)),
+        )
+    }
+
+    /// The serving counters, read entirely from atomics — no writer lock.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            n_objects: self.objects.get() as usize,
+            n_sources: self.sources.get() as usize,
+            n_workers: self.workers.get() as usize,
+            n_records: self.records.get() as usize,
+            n_answers: self.answers.get() as usize,
+            pending_claims: self.pending.get() as usize,
+            batches: self.batches.get(),
+            refits: self.refits_warm.get() + self.refits_cold.get(),
+            publications: self.publications.get(),
+        }
+    }
+}
+
+/// The per-command labels requests are accounted under.
+const COMMANDS: &[&str] = &[
+    "TRUTH",
+    "SOURCE",
+    "WORKER",
+    "TOPK",
+    "CLAIM",
+    "INGEST",
+    "REFIT",
+    "CHECKPOINT",
+    "STATS",
+    "METRICS",
+    "COLLECTION",
+    "OTHER",
+];
+
+/// Maps a wire command line to its accounting label.
+pub(crate) fn command_label(fields: &[&str]) -> &'static str {
+    match fields.first().copied() {
+        Some("TRUTH") => "TRUTH",
+        Some("SOURCE") => "SOURCE",
+        Some("WORKER") => "WORKER",
+        Some("TOPK") => "TOPK",
+        Some("REFIT") => "REFIT",
+        Some("CHECKPOINT") => "CHECKPOINT",
+        Some("STATS") => "STATS",
+        Some("METRICS") => "METRICS",
+        Some("USE") | Some("CREATE") | Some("DROP") | Some("COLLECTIONS") => "COLLECTION",
+        _ => "OTHER",
+    }
+}
+
+/// Per-endpoint instrumentation: request counters and latency histograms by
+/// command, plus the scrape-time gauges (uptime, publication age) that must
+/// exist exactly once per endpoint rather than once per shard.
+#[derive(Debug)]
+pub(crate) struct EndpointMetrics {
+    registry: Arc<Registry>,
+    start: Instant,
+    uptime: Arc<Gauge>,
+    publication_age: Arc<Gauge>,
+    commands: Vec<(&'static str, Arc<Counter>, Arc<Histogram>)>,
+}
+
+impl EndpointMetrics {
+    /// A fresh endpoint registry with every per-command series
+    /// pre-registered (so the hot path is a slice scan plus atomics).
+    pub(crate) fn new() -> Arc<Self> {
+        let registry = Registry::new();
+        let commands = COMMANDS
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    registry.counter("tdh_requests_total", &[("command", c)]),
+                    registry.histogram("tdh_request_latency_us", &[("command", c)]),
+                )
+            })
+            .collect();
+        Arc::new(EndpointMetrics {
+            uptime: registry.gauge("tdh_uptime_s", &[]),
+            publication_age: registry.gauge("tdh_publication_age_s", &[]),
+            commands,
+            start: Instant::now(),
+            registry,
+        })
+    }
+
+    /// The endpoint's own registry.
+    pub(crate) fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Account `n` requests under `label`, with one latency observation.
+    pub(crate) fn observe(&self, label: &'static str, n: u64, elapsed: Duration) {
+        let (_, counter, hist) = self
+            .commands
+            .iter()
+            .find(|(c, _, _)| *c == label)
+            .unwrap_or_else(|| &self.commands[COMMANDS.len() - 1]);
+        counter.add(n);
+        hist.record_duration(elapsed);
+    }
+
+    /// The per-shard request counter `tdh_shard_requests_total{shard,kind}`.
+    pub(crate) fn shard_counter(&self, shard: usize, kind: &'static str) -> Arc<Counter> {
+        self.registry.counter(
+            "tdh_shard_requests_total",
+            &[("shard", &shard.to_string()), ("kind", kind)],
+        )
+    }
+
+    /// Endpoint uptime in seconds.
+    pub(crate) fn uptime_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Refresh the scrape-time gauges just before rendering.
+    pub(crate) fn refresh(&self, publication_age: Option<Duration>) {
+        self.uptime.set(self.uptime_s());
+        if let Some(age) = publication_age {
+            self.publication_age.set(age.as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_mirror_roundtrips() {
+        let m = ServerMetrics::new();
+        m.set_population(10, 3, 2);
+        m.on_batch(5);
+        m.on_applied(4, 1, 5);
+        m.on_refit(true, Duration::from_micros(250));
+        m.on_publish();
+        let s = m.stats();
+        assert_eq!(s.n_objects, 10);
+        assert_eq!(s.n_records, 4);
+        assert_eq!(s.n_answers, 1);
+        assert_eq!(s.pending_claims, 0);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.refits, 1);
+        assert_eq!(s.publications, 1);
+        assert!(m.publication_age().is_some());
+    }
+
+    #[test]
+    fn endpoint_accounts_by_command() {
+        let e = EndpointMetrics::new();
+        e.observe("TRUTH", 1, Duration::from_micros(10));
+        e.observe("TRUTH", 1, Duration::from_micros(20));
+        e.observe("NOPE", 1, Duration::from_micros(5)); // falls into OTHER
+        let text = e.registry().render();
+        assert!(text.contains("tdh_requests_total{command=\"TRUTH\"} 2"));
+        assert!(text.contains("tdh_requests_total{command=\"OTHER\"} 1"));
+        assert!(text.contains("tdh_request_latency_us_count{command=\"TRUTH\"} 2"));
+    }
+
+    #[test]
+    fn command_labels_cover_the_protocol() {
+        assert_eq!(command_label(&["TRUTH", "x"]), "TRUTH");
+        assert_eq!(command_label(&["USE", "c"]), "COLLECTION");
+        assert_eq!(command_label(&["GIBBERISH"]), "OTHER");
+        assert_eq!(command_label(&[]), "OTHER");
+    }
+}

@@ -15,7 +15,8 @@
 //! | `INGEST\t<n>` | ingest the next `n` `RECORD`/`ANSWER` lines as **one** batch, one reply |
 //! | `REFIT` | force a refit, reporting iterations/warmness |
 //! | `CHECKPOINT` | snapshot a durable server and compact its WAL |
-//! | `STATS` | serving counters |
+//! | `STATS` | serving counters (answered from lock-free atomics — see below) |
+//! | `METRICS` | Prometheus-style text exposition, terminated by a `# EOF` line |
 //! | `QUIT` | closes the connection |
 //! | `SHUTDOWN` | stops the listener (after replying) |
 //!
@@ -77,6 +78,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crate::metrics::{command_label, EndpointMetrics, ServerMetrics};
 use crate::server::{Claim, RefitSummary, TruthAnswer, TruthServer};
 use crate::state::{ServingState, StateReader};
 
@@ -132,6 +134,12 @@ pub(crate) trait Engine: Send + Sync + 'static {
 struct SingleEngine {
     server: Arc<Mutex<TruthServer>>,
     state: StateReader,
+    /// The server's lock-free metrics handle: `STATS` and `METRICS` answer
+    /// from these atomics so a slow refit holding the writer lock can never
+    /// block them.
+    metrics: Arc<ServerMetrics>,
+    /// Per-command request accounting for this endpoint.
+    net: Arc<EndpointMetrics>,
 }
 
 impl SingleEngine {
@@ -146,25 +154,79 @@ impl SingleEngine {
 
 impl Engine for SingleEngine {
     fn command(&self, _session: &mut Session, fields: &[&str]) -> String {
-        match fields {
+        let t0 = Instant::now();
+        let reply = match fields {
             ["TRUTH", _] | ["SOURCE", _] | ["WORKER", _] | ["TOPK", _] => {
                 dispatch_read(&self.state.load(), fields)
             }
-            ["REFIT"] | ["CHECKPOINT"] | ["STATS"] => dispatch_write(&mut self.locked(), fields),
+            ["REFIT"] | ["CHECKPOINT"] => dispatch_write(&mut self.locked(), fields),
+            // Served from the atomic mirrors, not the writer lock: `STATS`
+            // stays responsive while a refit holds the lock.
+            ["STATS"] => stats_json(&self.metrics),
+            ["METRICS"] => {
+                self.net.refresh(self.metrics.publication_age());
+                exposition_reply(tdh_obs::render_merged(&[
+                    self.net.registry(),
+                    self.metrics.registry(),
+                ]))
+            }
             ["USE", ..] | ["CREATE", ..] | ["DROP", ..] | ["COLLECTIONS"] => {
                 json_error("collections are not served on this endpoint (single-server mode)")
             }
             _ => json_error("unknown command"),
-        }
+        };
+        self.net.observe(command_label(fields), 1, t0.elapsed());
+        reply
     }
 
     fn claim_group(&self, _session: &mut Session, claims: &[Claim]) -> Vec<String> {
-        claim_group_replies(&mut self.locked(), claims)
+        let t0 = Instant::now();
+        let replies = claim_group_replies(&mut self.locked(), claims);
+        self.net.observe("CLAIM", claims.len() as u64, t0.elapsed());
+        replies
     }
 
     fn ingest_batch(&self, _session: &mut Session, claims: &[Claim]) -> String {
-        ingest_reply(self.locked().ingest(claims))
+        let t0 = Instant::now();
+        let reply = ingest_reply(self.locked().ingest(claims));
+        self.net.observe("INGEST", 1, t0.elapsed());
+        reply
     }
+}
+
+/// Render the `STATS` reply from a server's atomic mirrors — no writer
+/// lock. Keeps the original nine counter keys and extends them with
+/// `uptime_s`, the crate `version`, and `last_publication_age_s` (`null`
+/// until the first publication).
+pub(crate) fn stats_json(metrics: &ServerMetrics) -> String {
+    let s = metrics.stats();
+    format!(
+        "{{\"objects\":{},\"sources\":{},\"workers\":{},\"records\":{},\"answers\":{},\
+         \"pending\":{},\"batches\":{},\"refits\":{},\"publications\":{},\
+         \"uptime_s\":{},\"version\":{},\"last_publication_age_s\":{}}}",
+        s.n_objects,
+        s.n_sources,
+        s.n_workers,
+        s.n_records,
+        s.n_answers,
+        s.pending_claims,
+        s.batches,
+        s.refits,
+        s.publications,
+        json_f64(metrics.uptime().as_secs_f64()),
+        json_str(env!("CARGO_PKG_VERSION")),
+        match metrics.publication_age() {
+            Some(age) => json_f64(age.as_secs_f64()),
+            None => "null".to_string(),
+        }
+    )
+}
+
+/// Frame a rendered exposition as one wire reply: the renderer terminates
+/// with a `# EOF` line (the client's read-until marker), and the sweep's
+/// reply writer appends the final newline.
+pub(crate) fn exposition_reply(text: String) -> String {
+    text.trim_end_matches('\n').to_string()
 }
 
 /// The accept/worker thread bundle every endpoint flavor shares.
@@ -242,10 +304,13 @@ pub fn serve_tcp_with(
     n_workers: usize,
 ) -> io::Result<ServeHandle> {
     let state = server.reader();
+    let metrics = server.metrics();
     let server = Arc::new(Mutex::new(server));
     let engine = Arc::new(SingleEngine {
         server: Arc::clone(&server),
         state: state.clone(),
+        metrics,
+        net: EndpointMetrics::new(),
     });
     let core = serve_engine(engine, addr, n_workers)?;
     Ok(ServeHandle {
@@ -754,22 +819,6 @@ fn dispatch_write(server: &mut TruthServer, fields: &[&str]) -> String {
             ),
             Err(e) => json_error(&e.to_string()),
         },
-        ["STATS"] => {
-            let s = server.stats();
-            format!(
-                "{{\"objects\":{},\"sources\":{},\"workers\":{},\"records\":{},\"answers\":{},\
-                 \"pending\":{},\"batches\":{},\"refits\":{},\"publications\":{}}}",
-                s.n_objects,
-                s.n_sources,
-                s.n_workers,
-                s.n_records,
-                s.n_answers,
-                s.pending_claims,
-                s.batches,
-                s.refits,
-                s.publications
-            )
-        }
         _ => json_error("unknown command"),
     }
 }
@@ -1002,8 +1051,11 @@ mod tests {
     }
 
     fn single_engine(server: TruthServer) -> SingleEngine {
+        let metrics = server.metrics();
         SingleEngine {
             state: server.reader(),
+            metrics,
+            net: EndpointMetrics::new(),
             server: Arc::new(Mutex::new(server)),
         }
     }
@@ -1051,6 +1103,70 @@ mod tests {
 
     fn sweep_replies(server: TruthServer, input: &str) -> Vec<String> {
         engine_replies(&single_engine(server), input)
+    }
+
+    #[test]
+    fn stats_answers_while_a_writer_holds_the_lock() {
+        // The satellite fix: STATS used to dispatch through the writer
+        // lock, so a slow refit stalled it. Now it reads atomic mirrors.
+        let engine = Arc::new(single_engine(small_server()));
+        let server = Arc::clone(&engine.server);
+        let hold = std::thread::spawn(move || {
+            let _guard = server.lock().unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        std::thread::sleep(Duration::from_millis(50)); // let the holder win the lock
+        let t0 = Instant::now();
+        let reply = engine.command(&mut Session::default(), &["STATS"]);
+        let elapsed = t0.elapsed();
+        assert!(reply.contains("\"records\":2"), "{reply}");
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "STATS blocked on the writer lock for {elapsed:?}"
+        );
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn stats_reports_uptime_version_and_publication_age() {
+        let replies = sweep_replies(small_server(), "STATS\n");
+        let stats = &replies[0];
+        assert!(stats.contains("\"uptime_s\":"), "{stats}");
+        assert!(
+            stats.contains(&format!("\"version\":\"{}\"", env!("CARGO_PKG_VERSION"))),
+            "{stats}"
+        );
+        // The bootstrap fit published, so the age is a number, not null.
+        assert!(stats.contains("\"last_publication_age_s\":"), "{stats}");
+        assert!(
+            !stats.contains("\"last_publication_age_s\":null"),
+            "{stats}"
+        );
+    }
+
+    #[test]
+    fn metrics_reply_is_a_framed_exposition() {
+        let engine = single_engine(small_server());
+        let mut session = Session::default();
+        engine.command(&mut session, &["TRUTH", "Statue of Liberty"]);
+        let reply = engine.command(&mut session, &["METRICS"]);
+        assert!(
+            reply.ends_with("# EOF"),
+            "missing EOF marker: …{}",
+            &reply[reply.len().saturating_sub(40)..]
+        );
+        assert!(
+            reply.contains("# TYPE tdh_requests_total counter"),
+            "{reply}"
+        );
+        assert!(
+            reply.contains("tdh_request_latency_us_count{command=\"TRUTH\"} 1"),
+            "{reply}"
+        );
+        assert!(
+            reply.contains("# TYPE tdh_refit_duration_us histogram"),
+            "{reply}"
+        );
     }
 
     #[test]

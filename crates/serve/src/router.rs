@@ -26,11 +26,13 @@
 use std::io;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::collection::Collections;
+use crate::metrics::{command_label, EndpointMetrics};
 use crate::net::{
-    claim_group_replies, dispatch_read, json_error, json_f64, json_str, reliability_reply,
-    serve_engine, topk_reply, Engine, ListenerCore, Session,
+    claim_group_replies, dispatch_read, exposition_reply, json_error, json_f64, json_str,
+    reliability_reply, serve_engine, topk_reply, Engine, ListenerCore, Session,
 };
 use crate::server::{Claim, RefitSummary};
 use crate::shard::ShardedServer;
@@ -107,6 +109,7 @@ pub fn serve_router_with(router: Router, addr: &str, n_workers: usize) -> io::Re
     let engine = Arc::new(RouterEngine {
         collections: Arc::clone(&router.collections),
         default: router.default,
+        net: EndpointMetrics::new(),
     });
     let core = serve_engine(engine, addr, n_workers)?;
     Ok(RouterHandle { core, collections })
@@ -116,6 +119,10 @@ pub fn serve_router_with(router: Router, addr: &str, n_workers: usize) -> io::Re
 struct RouterEngine {
     collections: Arc<Collections>,
     default: Option<String>,
+    /// Per-command request accounting plus the
+    /// `tdh_shard_requests_total{shard,kind}` routing counters for this
+    /// endpoint.
+    net: Arc<EndpointMetrics>,
 }
 
 impl RouterEngine {
@@ -136,6 +143,31 @@ impl RouterEngine {
 
 impl Engine for RouterEngine {
     fn command(&self, session: &mut Session, fields: &[&str]) -> String {
+        let t0 = Instant::now();
+        let reply = self.dispatch(session, fields);
+        self.net.observe(command_label(fields), 1, t0.elapsed());
+        reply
+    }
+
+    fn claim_group(&self, session: &mut Session, claims: &[Claim]) -> Vec<String> {
+        let t0 = Instant::now();
+        let replies = self.claim_group_inner(session, claims);
+        self.net.observe("CLAIM", claims.len() as u64, t0.elapsed());
+        replies
+    }
+
+    fn ingest_batch(&self, session: &mut Session, claims: &[Claim]) -> String {
+        let t0 = Instant::now();
+        let reply = self.ingest_batch_inner(session, claims);
+        self.net.observe("INGEST", 1, t0.elapsed());
+        reply
+    }
+}
+
+impl RouterEngine {
+    /// [`Engine::command`] semantics, separated from its request
+    /// accounting.
+    fn dispatch(&self, session: &mut Session, fields: &[&str]) -> String {
         match fields {
             ["USE", name] => match self.collections.get(name) {
                 Some(server) => {
@@ -174,17 +206,40 @@ impl Engine for RouterEngine {
                     .collect();
                 format!("{{\"collections\":[{}]}}", names.join(","))
             }
+            ["METRICS"] => match self.resolve(session) {
+                // Router exposition = this endpoint's request metrics
+                // merged with every shard's registry: counters sum,
+                // histograms bucket-merge, so latency/refit/WAL
+                // distributions aggregate exactly across shards.
+                Ok(server) => {
+                    self.net.refresh(server.publication_age());
+                    let mut registries: Vec<&tdh_obs::Registry> =
+                        Vec::with_capacity(server.n_shards() + 1);
+                    registries.push(self.net.registry());
+                    for m in server.shard_metrics() {
+                        registries.push(m.registry());
+                    }
+                    exposition_reply(tdh_obs::render_merged(&registries))
+                }
+                Err(reply) => reply,
+            },
+            ["STATS"] => match self.resolve(session) {
+                Ok(server) => router_stats_json(&server, session, &self.net),
+                Err(reply) => reply,
+            },
             _ => {
                 let server = match self.resolve(session) {
                     Ok(server) => server,
                     Err(reply) => return reply,
                 };
-                route_command(&server, session, fields)
+                route_command(&server, &self.net, fields)
             }
         }
     }
 
-    fn claim_group(&self, session: &mut Session, claims: &[Claim]) -> Vec<String> {
+    /// [`Engine::claim_group`] semantics, separated from its request
+    /// accounting.
+    fn claim_group_inner(&self, session: &mut Session, claims: &[Claim]) -> Vec<String> {
         let server = match self.resolve(session) {
             Ok(server) => server,
             Err(reply) => return vec![reply; claims.len()],
@@ -205,6 +260,9 @@ impl Engine for RouterEngine {
                 continue;
             }
             let sub: Vec<Claim> = indices.iter().map(|&i| claims[i].clone()).collect();
+            self.net
+                .shard_counter(shard, "ingest")
+                .add(sub.len() as u64);
             let sub_replies = claim_group_replies(&mut server.locked(shard), &sub);
             for (&i, reply) in indices.iter().zip(sub_replies) {
                 replies[i] = Some(reply);
@@ -216,11 +274,18 @@ impl Engine for RouterEngine {
             .collect()
     }
 
-    fn ingest_batch(&self, session: &mut Session, claims: &[Claim]) -> String {
+    /// [`Engine::ingest_batch`] semantics, separated from its request
+    /// accounting.
+    fn ingest_batch_inner(&self, session: &mut Session, claims: &[Claim]) -> String {
         let server = match self.resolve(session) {
             Ok(server) => server,
             Err(reply) => return reply,
         };
+        for (shard, group) in server.group_by_shard(claims) {
+            self.net
+                .shard_counter(shard, "ingest")
+                .add(group.len() as u64);
+        }
         match server.ingest(claims) {
             Ok(report) => format!(
                 "{{\"ok\":true,\"appended_records\":{},\"appended_answers\":{},\
@@ -237,11 +302,13 @@ impl Engine for RouterEngine {
 }
 
 /// Route one resolved non-claim data command inside a tenant.
-fn route_command(server: &ShardedServer, session: &Session, fields: &[&str]) -> String {
+fn route_command(server: &ShardedServer, net: &EndpointMetrics, fields: &[&str]) -> String {
     match fields {
         // Key-routed: one shard's publication answers.
         ["TRUTH", object] => {
-            let state = server.readers()[server.shard_for(object)].load();
+            let shard = server.shard_for(object);
+            net.shard_counter(shard, "query").inc();
+            let state = server.readers()[shard].load();
             dispatch_read(&state, fields)
         }
         // Cross-shard means (documented per-shard fit independence).
@@ -251,9 +318,14 @@ fn route_command(server: &ShardedServer, session: &Session, fields: &[&str]) -> 
         ["WORKER", name] => {
             reliability_reply("worker", name, "psi", server.worker_reliability(name))
         }
-        // Fan-out + deterministic k-way merge.
+        // Fan-out + deterministic k-way merge (touches every shard).
         ["TOPK", k] => match k.parse::<usize>() {
-            Ok(k) => topk_reply(&server.top_uncertain(k)),
+            Ok(k) => {
+                for shard in 0..server.n_shards() {
+                    net.shard_counter(shard, "query").inc();
+                }
+                topk_reply(&server.top_uncertain(k))
+            }
             Err(_) => json_error("TOPK takes an integer"),
         },
         ["REFIT"] => refits_reply(&server.refit_now()),
@@ -269,30 +341,43 @@ fn route_command(server: &ShardedServer, session: &Session, fields: &[&str]) -> 
             }
             Err(e) => json_error(&e.to_string()),
         },
-        ["STATS"] => {
-            let s = server.stats();
-            format!(
-                "{{\"collection\":{},\"shards\":{},\"objects\":{},\"sources\":{},\
-                 \"workers\":{},\"records\":{},\"answers\":{},\"pending\":{},\"batches\":{},\
-                 \"refits\":{},\"publications\":{}}}",
-                match &session.collection {
-                    Some(name) => json_str(name),
-                    None => "null".to_string(),
-                },
-                server.n_shards(),
-                s.n_objects,
-                s.n_sources,
-                s.n_workers,
-                s.n_records,
-                s.n_answers,
-                s.pending_claims,
-                s.batches,
-                s.refits,
-                s.publications
-            )
-        }
         _ => json_error("unknown command"),
     }
+}
+
+/// Render the router `STATS` reply from the shard metrics' atomic mirrors
+/// — no shard lock. Keeps the original `collection`/`shards` + nine
+/// counter keys and extends them with `uptime_s` (this endpoint's), the
+/// crate `version`, and `last_publication_age_s` (the freshest shard's;
+/// `null` before any publication).
+fn router_stats_json(server: &ShardedServer, session: &Session, net: &EndpointMetrics) -> String {
+    let s = server.stats();
+    format!(
+        "{{\"collection\":{},\"shards\":{},\"objects\":{},\"sources\":{},\
+         \"workers\":{},\"records\":{},\"answers\":{},\"pending\":{},\"batches\":{},\
+         \"refits\":{},\"publications\":{},\
+         \"uptime_s\":{},\"version\":{},\"last_publication_age_s\":{}}}",
+        match &session.collection {
+            Some(name) => json_str(name),
+            None => "null".to_string(),
+        },
+        server.n_shards(),
+        s.n_objects,
+        s.n_sources,
+        s.n_workers,
+        s.n_records,
+        s.n_answers,
+        s.pending_claims,
+        s.batches,
+        s.refits,
+        s.publications,
+        json_f64(net.uptime_s()),
+        json_str(env!("CARGO_PKG_VERSION")),
+        match server.publication_age() {
+            Some(age) => json_f64(age.as_secs_f64()),
+            None => "null".to_string(),
+        }
+    )
 }
 
 /// Render an all-shard refit as one aggregate reply (iterations summed,

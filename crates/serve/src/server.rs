@@ -23,7 +23,9 @@ use std::time::{Duration, Instant};
 use tdh_core::{TdhConfig, TdhModel, TruthDiscovery, TruthEstimate};
 use tdh_data::{Dataset, ObjectId, ObservationIndex};
 use tdh_hierarchy::NodeId;
+use tdh_obs::Level;
 
+use crate::metrics::ServerMetrics;
 use crate::snapshot::{FittedParams, Snapshot, SnapshotError};
 use crate::state::{ServingState, StateReader, StateSlot};
 use crate::wal::{Wal, WalError, WalOptions};
@@ -330,14 +332,17 @@ pub struct TruthServer {
     publications: u64,
     durability: Option<Durability>,
     recovery: Option<RecoveryReport>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl TruthServer {
     /// Bootstrap a server by cold-fitting `cfg` on `ds`.
     pub fn new(ds: Dataset, cfg: TdhConfig, policy: RefitPolicy) -> Self {
+        let metrics = ServerMetrics::new();
         let idx =
             ObservationIndex::build_threaded(&ds, tdh_core::par::effective_threads(cfg.n_threads));
         let mut model = TdhModel::new(cfg);
+        model.set_metrics(Arc::clone(metrics.registry()));
         let t0 = Instant::now();
         let est = model.infer(&ds, &idx);
         let report = model.fit_report().expect("infer records a report");
@@ -348,6 +353,10 @@ impl TruthServer {
             duration: t0.elapsed(),
         };
         let published = StateSlot::new(ServingState::compute(&ds, &model, &est, 1));
+        metrics.set_population(ds.n_objects(), ds.n_sources(), ds.n_workers());
+        metrics.on_applied(ds.records().len(), ds.answers().len(), 0);
+        metrics.on_refit(false, summary.duration);
+        metrics.on_publish();
         TruthServer {
             ds,
             idx,
@@ -362,6 +371,7 @@ impl TruthServer {
             publications: 1,
             durability: None,
             recovery: None,
+            metrics,
         }
     }
 
@@ -412,9 +422,14 @@ impl TruthServer {
                 )));
             }
         }
-        let model = TdhModel::restore(config, &idx, phi, psi, mu);
+        let metrics = ServerMetrics::new();
+        let mut model = TdhModel::restore(config, &idx, phi, psi, mu);
+        model.set_metrics(Arc::clone(metrics.registry()));
         let est = TruthEstimate::from_confidences(&idx, model.mu_table().to_vec());
         let published = StateSlot::new(ServingState::compute(&ds, &model, &est, 1));
+        metrics.set_population(ds.n_objects(), ds.n_sources(), ds.n_workers());
+        metrics.on_applied(ds.records().len(), ds.answers().len(), 0);
+        metrics.on_publish();
         Ok(TruthServer {
             ds,
             idx,
@@ -429,6 +444,7 @@ impl TruthServer {
             publications: 1,
             durability: None,
             recovery: None,
+            metrics,
         })
     }
 
@@ -485,10 +501,11 @@ impl TruthServer {
         if dir.join(SNAPSHOT_FILE).exists() {
             return Err(DurableError::AlreadyInitialized);
         }
-        let (wal, tail) = Wal::open(&dir.join(WAL_DIR), options)?;
+        let (mut wal, tail) = Wal::open(&dir.join(WAL_DIR), options)?;
         if !tail.is_empty() {
             return Err(DurableError::AlreadyInitialized);
         }
+        wal.set_metrics(self.metrics.wal_metrics());
         self.durability = Some(Durability {
             dir: dir.to_path_buf(),
             wal,
@@ -527,7 +544,8 @@ impl TruthServer {
         let snap = Snapshot::load(&snap_path)?;
         let covered = snap.wal_seq;
         let mut server = TruthServer::from_snapshot(snap, policy).map_err(DurableError::Serve)?;
-        let (wal, batches) = Wal::open(&dir.join(WAL_DIR), options)?;
+        let (mut wal, batches) = Wal::open(&dir.join(WAL_DIR), options)?;
+        wal.set_metrics(server.metrics.wal_metrics());
         let t0 = Instant::now();
         let mut replayed_batches = 0;
         let mut replayed_claims = 0;
@@ -539,6 +557,7 @@ impl TruthServer {
             }
             let (records, answers, failure) = server.apply_batch(&batch.claims);
             server.batches += 1;
+            server.metrics.on_batch(batch.claims.len());
             if let Some(error) = failure {
                 return Err(DurableError::Replay {
                     seq: batch.seq,
@@ -589,6 +608,7 @@ impl TruthServer {
         snap.save(&path)?;
         let snapshot_bytes = std::fs::metadata(&path)?.len();
         let segments_dropped = d.wal.truncate_covered(covered)?;
+        self.metrics.on_checkpoint();
         Ok(CheckpointReport {
             wal_seq: covered,
             snapshot_bytes,
@@ -633,6 +653,7 @@ impl TruthServer {
     /// considered unacknowledged.
     pub fn ingest(&mut self, batch: &[Claim]) -> Result<IngestReport, ServeError> {
         self.batches += 1;
+        self.metrics.on_batch(batch.len());
         let (appended_records, appended_answers, failure) = self.apply_batch(batch);
 
         // Durability barrier: log what was actually appended before any
@@ -753,6 +774,13 @@ impl TruthServer {
         let appended_records = self.ds.records().len() - n_rec;
         let appended_answers = self.ds.answers().len() - n_ans;
         self.pending += appended_records + appended_answers;
+        self.metrics.set_population(
+            self.ds.n_objects(),
+            self.ds.n_sources(),
+            self.ds.n_workers(),
+        );
+        self.metrics
+            .on_applied(appended_records, appended_answers, self.pending);
         (appended_records, appended_answers, failure)
     }
 
@@ -798,6 +826,16 @@ impl TruthServer {
             &self.est,
             self.publications,
         ));
+        self.metrics.on_refit(warm, summary.duration);
+        self.metrics.on_publish();
+        tdh_obs::log_event!(
+            Level::Info,
+            "refit",
+            "published",
+            version = self.publications,
+            iterations = summary.iterations,
+            warm = warm,
+        );
         summary
     }
 
@@ -863,6 +901,15 @@ impl TruthServer {
     /// The summary of the most recent (re)fit, if any ran in this process.
     pub fn last_refit(&self) -> Option<RefitSummary> {
         self.last_refit
+    }
+
+    /// This server's lock-free metrics handle: atomic mirrors of the
+    /// [`TruthServer::stats`] counters plus the ingest/WAL/refit/EM
+    /// instrument registry the `METRICS` wire command exposes. The handle
+    /// stays valid (and keeps updating) while the server itself sits behind
+    /// a writer lock.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// The served dataset (read-only; mutate through

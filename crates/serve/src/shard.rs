@@ -43,6 +43,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use tdh_core::TdhConfig;
 use tdh_data::Dataset;
 
+use crate::metrics::ServerMetrics;
 use crate::server::{
     CheckpointReport, Claim, DurableError, RefitPolicy, RefitSummary, ServeError, ServerStats,
     TruthAnswer, TruthServer,
@@ -155,6 +156,7 @@ impl std::error::Error for ShardedIngestError {}
 pub struct ShardedServer {
     shards: Vec<Mutex<TruthServer>>,
     readers: Vec<StateReader>,
+    metrics: Vec<Arc<ServerMetrics>>,
 }
 
 impl ShardedServer {
@@ -214,9 +216,11 @@ impl ShardedServer {
 
     fn from_servers(servers: Vec<TruthServer>) -> Self {
         let readers = servers.iter().map(TruthServer::reader).collect();
+        let metrics = servers.iter().map(TruthServer::metrics).collect();
         ShardedServer {
             shards: servers.into_iter().map(Mutex::new).collect(),
             readers,
+            metrics,
         }
     }
 
@@ -349,7 +353,25 @@ impl ShardedServer {
         merge_topk(states.iter().map(|s| s.top_uncertain(k)), k)
     }
 
-    /// Serving counters summed over shards. Objects/records/answers
+    /// Each shard's [`ServerMetrics`], in shard order — lock-free mirrors
+    /// of the shard counters plus the per-shard WAL/refit/EM instruments
+    /// (the router merges these registries for its `METRICS` reply).
+    pub fn shard_metrics(&self) -> &[Arc<ServerMetrics>] {
+        &self.metrics
+    }
+
+    /// Age of the newest publication across all shards (the freshest
+    /// shard wins), `None` before any shard has published.
+    pub fn publication_age(&self) -> Option<std::time::Duration> {
+        self.metrics
+            .iter()
+            .filter_map(|m| m.publication_age())
+            .min()
+    }
+
+    /// Serving counters summed over shards, read lock-free from each
+    /// shard's atomic mirrors ([`ServerMetrics::stats`]) — a held writer
+    /// lock on any shard never delays this. Objects/records/answers
     /// partition cleanly (each lives on one shard); a source or worker
     /// with claims on several shards is counted once **per shard**.
     pub fn stats(&self) -> ServerStats {
@@ -364,8 +386,8 @@ impl ShardedServer {
             refits: 0,
             publications: 0,
         };
-        for i in 0..self.shards.len() {
-            let s = self.locked(i).stats();
+        for m in &self.metrics {
+            let s = m.stats();
             total.n_objects += s.n_objects;
             total.n_sources += s.n_sources;
             total.n_workers += s.n_workers;

@@ -39,9 +39,25 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tdh_obs::{Counter, Histogram, Level};
 
 use crate::crc::crc32;
 use crate::server::Claim;
+
+/// Instrument handles a server attaches to its log (see
+/// [`crate::ServerMetrics`]): append/fsync latency histograms plus byte and
+/// rotation counters, all recorded inside [`Wal::append`] where the write
+/// and sync actually happen.
+#[derive(Debug)]
+pub(crate) struct WalMetrics {
+    pub(crate) append_us: Arc<Histogram>,
+    pub(crate) fsync_us: Arc<Histogram>,
+    pub(crate) appended_bytes: Arc<Counter>,
+    pub(crate) rotations: Arc<Counter>,
+}
 
 /// Hard cap on one record's payload, so a corrupt length prefix cannot ask
 /// recovery to allocate arbitrarily much.
@@ -144,6 +160,8 @@ pub struct Wal {
     len: u64,
     /// The sequence number the next appended batch will get.
     next_seq: u64,
+    /// Optional instrument handles (attached by a durable server).
+    metrics: Option<WalMetrics>,
 }
 
 impl Wal {
@@ -187,6 +205,7 @@ impl Wal {
                     file,
                     len: 0,
                     next_seq: 1,
+                    metrics: None,
                 },
                 batches,
             ));
@@ -235,6 +254,7 @@ impl Wal {
                 file,
                 len: last_len,
                 next_seq,
+                metrics: None,
             },
             batches,
         ))
@@ -254,13 +274,33 @@ impl Wal {
         record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         record.extend_from_slice(&crc32(&payload).to_le_bytes());
         record.extend_from_slice(&payload);
+        let t_append = Instant::now();
         self.file.write_all(&record)?;
+        let t_fsync = Instant::now();
         if self.options.fsync {
             self.file.sync_data()?;
         }
+        if let Some(m) = &self.metrics {
+            m.fsync_us.record_duration(t_fsync.elapsed());
+            m.append_us.record_duration(t_append.elapsed());
+            m.appended_bytes.add(record.len() as u64);
+        }
+        tdh_obs::log_event!(
+            Level::Debug,
+            "wal",
+            "append",
+            seq = seq,
+            bytes = record.len()
+        );
         self.len += record.len() as u64;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Attach instrument handles; subsequent appends and rotations record
+    /// into them.
+    pub(crate) fn set_metrics(&mut self, metrics: WalMetrics) {
+        self.metrics = Some(metrics);
     }
 
     /// Drop every segment whose batches are all `<= covered` (a snapshot
@@ -307,6 +347,10 @@ impl Wal {
 
     /// Seal the current segment and start a fresh one at `next_seq`.
     fn rotate(&mut self) -> Result<(), WalError> {
+        if let Some(m) = &self.metrics {
+            m.rotations.inc();
+        }
+        tdh_obs::log_event!(Level::Info, "wal", "rotate", next_seq = self.next_seq);
         if self.options.fsync {
             self.file.sync_data()?;
         }

@@ -1,0 +1,275 @@
+//! `METRICS` acceptance (ISSUE 9): the exposition served over TCP is
+//! well-formed Prometheus-style text covering the required instrument
+//! families, on both a single durable server and a 2-shard router (whose
+//! output is the merge of the shard registries with the endpoint's own).
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use tdh_core::TdhConfig;
+use tdh_data::Dataset;
+use tdh_hierarchy::HierarchyBuilder;
+use tdh_serve::{
+    serve_router_with, serve_tcp_with, shard_of, Collections, RefitPolicy, Router, TruthServer,
+};
+
+/// A small two-source corpus over a two-level hierarchy.
+fn corpus() -> Dataset {
+    let mut b = HierarchyBuilder::new();
+    b.add_path(&["USA", "NY", "Liberty Island"]);
+    b.add_path(&["UK", "London", "Westminster"]);
+    let mut ds = Dataset::new(b.build());
+    let s1 = ds.intern_source("good1");
+    let s2 = ds.intern_source("good2");
+    for i in 0..6 {
+        let o = ds.intern_object(&format!("m-obj-{i}"));
+        let truth = ds.hierarchy().node_by_name("Liberty Island").unwrap();
+        ds.add_record(o, s1, truth);
+        ds.add_record(o, s2, truth);
+    }
+    ds
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+            .unwrap();
+        Client {
+            writer: stream.try_clone().unwrap(),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        reply.trim().to_string()
+    }
+
+    /// Send `METRICS` and read exposition lines until the `# EOF` marker.
+    fn scrape(&mut self) -> Vec<String> {
+        self.writer.write_all(b"METRICS\n").unwrap();
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).unwrap();
+            let line = line.trim_end().to_string();
+            let done = line == "# EOF";
+            lines.push(line);
+            if done {
+                return lines;
+            }
+        }
+    }
+}
+
+/// Every line must be a `# TYPE name kind` comment, the `# EOF` marker, or
+/// `name[{labels}] value` with a parseable numeric value. Returns the set
+/// of declared families.
+fn check_exposition(lines: &[String]) -> BTreeSet<String> {
+    assert_eq!(lines.last().map(String::as_str), Some("# EOF"));
+    let mut families = BTreeSet::new();
+    for line in &lines[..lines.len() - 1] {
+        if let Some(decl) = line.strip_prefix("# TYPE ") {
+            let mut parts = decl.split(' ');
+            let name = parts.next().expect("family name");
+            let kind = parts.next().expect("family kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad kind in {line:?}"
+            );
+            assert!(parts.next().is_none(), "trailing junk in {line:?}");
+            families.insert(name.to_string());
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("metric line has a value");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert!(
+            !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad series name in {line:?}"
+        );
+        if series.contains('{') {
+            assert!(series.ends_with('}'), "unclosed label set in {line:?}");
+        }
+        // Every series belongs to a family whose base name was declared
+        // (histogram series carry a _bucket/_sum/_count suffix).
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .unwrap_or(name);
+        assert!(
+            families.contains(base) || families.contains(name),
+            "series {name} precedes its # TYPE declaration"
+        );
+    }
+    families
+}
+
+/// The value of the series whose rendered line starts with `prefix`
+/// (summed over matching lines).
+fn series_total(lines: &[String], prefix: &str) -> f64 {
+    lines
+        .iter()
+        .filter(|l| l.starts_with(prefix) && !l.starts_with("# "))
+        .map(|l| l.rsplit_once(' ').unwrap().1.parse::<f64>().unwrap())
+        .sum()
+}
+
+#[test]
+fn single_server_exposition_covers_required_families() {
+    let dir = std::env::temp_dir().join(format!("tdh-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = TruthServer::create_durable(
+        &dir,
+        corpus(),
+        TdhConfig::default(),
+        RefitPolicy::EveryBatch,
+    )
+    .expect("durable server");
+    let handle = serve_tcp_with(server, "127.0.0.1:0", 2).expect("bind");
+    let mut c = Client::connect(handle.addr());
+
+    // Exercise every instrumented path: claim ingest (WAL append + fsync +
+    // refit), reads, a forced refit, a checkpoint, stats.
+    let r = c.send("RECORD\tm-obj-0\textra\tLiberty Island");
+    assert!(r.contains("\"ok\":true"), "{r}");
+    assert!(c.send("TRUTH\tm-obj-0").contains("Liberty Island"));
+    c.send("TOPK\t3");
+    assert!(c.send("REFIT").contains("\"iterations\""));
+    assert!(c.send("CHECKPOINT").contains("\"ok\":true"));
+
+    // STATS is extended with the derived keys and stays JSON.
+    let stats = c.send("STATS");
+    for key in [
+        "\"uptime_s\":",
+        "\"version\":\"",
+        "\"last_publication_age_s\":",
+    ] {
+        assert!(stats.contains(key), "missing {key} in {stats}");
+    }
+
+    let lines = c.scrape();
+    let families = check_exposition(&lines);
+    for family in [
+        "tdh_requests_total",
+        "tdh_request_latency_us",
+        "tdh_uptime_s",
+        "tdh_publication_age_s",
+        "tdh_records_total",
+        "tdh_ingest_batches_total",
+        "tdh_ingest_batch_claims",
+        "tdh_refits_total",
+        "tdh_refit_duration_us",
+        "tdh_publications_total",
+        "tdh_checkpoints_total",
+        "tdh_wal_append_us",
+        "tdh_wal_fsync_us",
+        "tdh_wal_appended_bytes_total",
+        "tdh_em_fits_total",
+        "tdh_em_iterations",
+        "tdh_em_e_step_us",
+        "tdh_em_m_step_us",
+    ] {
+        assert!(families.contains(family), "missing family {family}");
+    }
+    assert!(families.len() >= 10, "only {} families", families.len());
+    // The latency histogram saw the TRUTH request we sent.
+    assert!(
+        series_total(&lines, "tdh_request_latency_us_count{command=\"TRUTH\"}") >= 1.0,
+        "no TRUTH latency observation"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn router_exposition_merges_shard_registries() {
+    // Two objects chosen to span both shards of two (seedless hash).
+    assert_ne!(shard_of("Statue of Liberty", 2), shard_of("Big Ben", 2));
+
+    let mut b = HierarchyBuilder::new();
+    b.add_path(&["USA", "NY", "Liberty Island"]);
+    b.add_path(&["UK", "London", "Westminster"]);
+    let router = Router::new(Collections::with_template(
+        b.build(),
+        TdhConfig::default(),
+        RefitPolicy::EveryBatch,
+        2,
+    ));
+    let handle = serve_router_with(router, "127.0.0.1:0", 2).expect("bind");
+    let mut c = Client::connect(handle.addr());
+
+    assert!(c.send("CREATE\tlandmarks").contains("\"created\""));
+    assert!(c.send("USE\tlandmarks").contains("\"shards\":2"));
+    let r = c.send("RECORD\tStatue of Liberty\tUNESCO\tLiberty Island");
+    assert!(r.contains("\"ok\":true"), "{r}");
+    let r = c.send("RECORD\tBig Ben\tUNESCO\tWestminster");
+    assert!(r.contains("\"ok\":true"), "{r}");
+    assert!(c
+        .send("TRUTH\tStatue of Liberty")
+        .contains("Liberty Island"));
+    assert!(c.send("TRUTH\tBig Ben").contains("Westminster"));
+    c.send("TOPK\t4");
+
+    // Router STATS carries the derived keys and the pinned prefix.
+    let stats = c.send("STATS");
+    assert!(stats.contains("\"collection\":\"landmarks\""), "{stats}");
+    assert!(stats.contains("\"shards\":2"), "{stats}");
+    for key in [
+        "\"uptime_s\":",
+        "\"version\":\"",
+        "\"last_publication_age_s\":",
+    ] {
+        assert!(stats.contains(key), "missing {key} in {stats}");
+    }
+
+    let lines = c.scrape();
+    let families = check_exposition(&lines);
+    assert!(families.len() >= 10, "only {} families", families.len());
+    assert!(families.contains("tdh_shard_requests_total"));
+
+    // Per-shard routing counters: one ingested record per shard, queries
+    // on both shards (key-routed TRUTH plus the TOPK fan-out).
+    for shard in 0..2 {
+        let ingest = format!("tdh_shard_requests_total{{kind=\"ingest\",shard=\"{shard}\"}}");
+        assert!(
+            series_total(&lines, &ingest) >= 1.0,
+            "no ingest routed to shard {shard}"
+        );
+        let query = format!("tdh_shard_requests_total{{kind=\"query\",shard=\"{shard}\"}}");
+        assert!(
+            series_total(&lines, &query) >= 2.0,
+            "too few queries routed to shard {shard}"
+        );
+    }
+
+    // Merged evidence: both shards cold-fit at CREATE and refit on their
+    // record, so the summed counters exceed what any one shard saw.
+    assert!(
+        series_total(&lines, "tdh_publications_total") >= 4.0,
+        "publications not merged across shards"
+    );
+    assert!(
+        series_total(&lines, "tdh_refit_duration_us_count") >= 2.0,
+        "refit histograms not merged across shards"
+    );
+
+    handle.shutdown();
+}

@@ -1,13 +1,17 @@
 //! Online truth serving: fit a corpus once, snapshot it to disk, bring a
 //! fresh server up from the snapshot, then stream two claim batches through
-//! the incremental engine and watch answers and reliabilities move.
+//! the incremental engine and watch answers and reliabilities move —
+//! finishing with a `METRICS` scrape of the instrumented server over TCP.
 //!
 //! Run with: `cargo run --example serving`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 
 use tdh::core::TdhConfig;
 use tdh::data::{ObjectId, SourceId};
 use tdh::datagen::{generate_birthplaces, BirthPlacesConfig};
-use tdh::serve::{Claim, RefitPolicy, Snapshot, TruthServer};
+use tdh::serve::{serve_tcp, Claim, RefitPolicy, Snapshot, TruthServer};
 
 fn record(object: &str, source: &str, value: &str) -> Claim {
     Claim::Record {
@@ -144,5 +148,42 @@ fn main() {
          {} publications",
         stats.n_objects, stats.n_records, stats.batches, stats.refits, stats.publications
     );
+
+    // --- Observability: attach a WAL, serve over TCP, scrape METRICS. ---
+    // Every hot path above already fed the server's registry (refit
+    // durations, ingest batch sizes, EM phase timings); durability adds the
+    // WAL append/fsync histograms, and the endpoint adds per-command
+    // request latency. `METRICS` renders it all as Prometheus-style text.
+    server
+        .attach_durability(&dir.join("wal"))
+        .expect("attach WAL");
+    server
+        .ingest(&[record("orangerie", "corroborator", &before.value)])
+        .expect("durable batch");
+    let handle = serve_tcp(server, "127.0.0.1:0").expect("bind");
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut net_reader = BufReader::new(stream);
+    for line in ["TRUTH\tlouvre", "TOPK\t3", "STATS"] {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        let mut reply = String::new();
+        net_reader.read_line(&mut reply).unwrap();
+        if line == "STATS" {
+            println!("\nSTATS over TCP → {}", reply.trim());
+        }
+    }
+    writer.write_all(b"METRICS\n").unwrap();
+    println!("\nMETRICS exposition:");
+    loop {
+        let mut line = String::new();
+        net_reader.read_line(&mut line).unwrap();
+        print!("{line}");
+        if line.trim_end() == "# EOF" {
+            break;
+        }
+    }
+    drop(writer);
+    handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -119,6 +119,21 @@ fn main() {
         send(&mut writer, &mut reader, "STATS")
     );
 
+    // --- Observability: the router's METRICS merges every shard. --------
+    // Counters sum and histograms bucket-merge across the tenant's shard
+    // registries, and the router adds its own per-command latency plus the
+    // `tdh_shard_requests_total{shard,kind}` routing counters.
+    writer.write_all(b"METRICS\n").expect("send");
+    println!("\nMETRICS exposition (merged across shards):");
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("exposition line");
+        print!("{line}");
+        if line.trim_end() == "# EOF" {
+            break;
+        }
+    }
+
     // --- Prompt shutdown while the idle connection stays open. ----------
     // Workers multiplex connections with short read timeouts, so an idle
     // client never pins a worker and shutdown doesn't wait on it.

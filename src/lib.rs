@@ -17,6 +17,7 @@
 //! | [`crowd`] | the crowdsourcing simulation engine and worker models |
 //! | [`datagen`] | synthetic corpora calibrated to the paper's datasets |
 //! | [`eval`] | Accuracy, GenAccuracy, AvgDistance, multi-truth P/R/F1, MAE/RE |
+//! | [`obs`] | observability: atomic counters/gauges, log-scale histograms, Prometheus-style exposition, span timers, `TDH_LOG` event log |
 //! | [`serve`] | online truth serving: snapshots, incremental ingestion, warm-start refits, sharded multi-tenant TCP endpoints |
 //!
 //! ## Quickstart
@@ -47,4 +48,5 @@ pub use tdh_data as data;
 pub use tdh_datagen as datagen;
 pub use tdh_eval as eval;
 pub use tdh_hierarchy as hierarchy;
+pub use tdh_obs as obs;
 pub use tdh_serve as serve;
