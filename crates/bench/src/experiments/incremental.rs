@@ -1,0 +1,258 @@
+//! `incremental` — not a paper figure: the delta-refit serving path.
+//!
+//! The claim behind `RefitPolicy::StalenessBound` is that per-batch work is
+//! proportional to the *delta*, not the corpus: `TdhModel::fit_delta`
+//! re-estimates only the touched objects and `ServingState::patch` publishes
+//! by structural sharing instead of rebuilding the queryable surface. This
+//! scenario measures that directly. For each corpus size it bootstraps a
+//! server on all but the last 400 records, streams those 400 back in as 8
+//! batches of 50 record claims under `StalenessBound { max_touched_frac:
+//! 0.1 }` (every batch touches a sliver of the corpus, so every batch takes
+//! the delta path), and records the per-batch EM time, patch-publication
+//! time and touched-object count. It then runs one forced full refit of the
+//! same grown corpus as the baseline the delta path is supposed to beat.
+//!
+//! `results/incremental.json` fields (asserted by CI, enforced at write
+//! time by `save_checked`): `n_claims`, `n_objects`, `batch_claims`,
+//! `delta_batches`, `full_fallbacks`, `delta_refit_s`, `publish_patch_s`,
+//! `touched_objects`, `full_refit_s`, `publish_rebuild_s`,
+//! `refit_speedup`, `publish_speedup`.
+//!
+//! With `TDH_ASSERT_INCREMENTAL=1` the run additionally asserts the two
+//! properties the delta path exists for: per-batch delta-refit time stays
+//! near-flat across corpus sizes (within 1.5× of the smallest corpus plus
+//! a 10 ms absolute floor — `FlatObservations::refresh` keeps an O(corpus)
+//! row-copy component, so perfect flatness is not expected), and patch
+//! publication is cheaper than rebuilding the full `ServingState`.
+
+use std::time::Instant;
+
+use tdh_core::TdhConfig;
+use tdh_datagen::{generate_webscale, WebScaleConfig};
+use tdh_serve::{Claim, RefitKind, RefitPolicy, TruthServer};
+
+use super::serving::record_prefix;
+use crate::harness::{print_table, SEED};
+use crate::report::{save_checked, MetricRow};
+use crate::Scale;
+
+/// Batches streamed per corpus and record claims per batch.
+const N_BATCHES: usize = 8;
+const BATCH_CLAIMS: usize = 50;
+
+/// A webscale corpus shaped like `WebScaleConfig::quick` but sized to
+/// `n_claims`: ~5 claims per object, source/worker counts scaled with the
+/// corpus, hierarchy held constant so only volume varies across rows.
+fn webscale(n_claims: usize) -> WebScaleConfig {
+    WebScaleConfig {
+        name: format!("webscale-{n_claims}"),
+        n_objects: (n_claims / 5).max(100),
+        n_sources: (n_claims / 170).max(40),
+        n_workers: (n_claims / 850).max(20),
+        n_claims,
+        ..WebScaleConfig::quick()
+    }
+}
+
+/// Per-corpus measurements of the delta path against its full-fit baseline.
+struct CorpusRun {
+    n_claims: usize,
+    n_objects: usize,
+    delta_batches: usize,
+    full_fallbacks: usize,
+    /// Mean over delta batches, seconds.
+    delta_refit_s: f64,
+    /// Mean over delta batches, seconds.
+    publish_patch_s: f64,
+    /// Mean over delta batches.
+    touched_objects: f64,
+    full_refit_s: f64,
+    publish_rebuild_s: f64,
+}
+
+/// Stream the withheld tail through the delta path and measure it.
+fn run_corpus(n_claims: usize) -> CorpusRun {
+    let cfg = webscale(n_claims);
+    let corpus = generate_webscale(&cfg, SEED);
+    let ds_full = corpus.dataset;
+    let n_total = ds_full.records().len();
+    let n_tail = N_BATCHES * BATCH_CLAIMS;
+    assert!(n_tail < n_total, "corpus must exceed the streamed tail");
+
+    // The tail records as wire claims, before the prefix rebuild drops them.
+    let batches: Vec<Vec<Claim>> = ds_full.records()[n_total - n_tail..]
+        .chunks(BATCH_CLAIMS)
+        .map(|chunk| {
+            chunk
+                .iter()
+                .map(|r| Claim::Record {
+                    object: ds_full.object_name(r.object).to_string(),
+                    source: ds_full.source_name(r.source).to_string(),
+                    value: ds_full.hierarchy().name(r.value).to_string(),
+                })
+                .collect()
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut server = TruthServer::new(
+        record_prefix(&ds_full, n_total - n_tail),
+        TdhConfig::default(),
+        RefitPolicy::StalenessBound {
+            max_touched_frac: 0.1,
+        },
+    );
+    let bootstrap_s = t0.elapsed().as_secs_f64();
+    let n_objects = server.dataset().n_objects();
+
+    let mut delta_refit_s = 0.0;
+    let mut publish_patch_s = 0.0;
+    let mut touched_objects = 0usize;
+    let mut delta_batches = 0usize;
+    let mut full_fallbacks = 0usize;
+    for batch in &batches {
+        let report = server.ingest(batch).expect("streamed tail batch");
+        let refit = report.refit.expect("StalenessBound refits every batch");
+        match refit.kind {
+            RefitKind::Delta => {
+                let delta = refit.delta.expect("delta refits report their delta");
+                delta_refit_s += refit.duration.as_secs_f64();
+                publish_patch_s += refit.publish.as_secs_f64();
+                touched_objects += delta.touched_objects;
+                delta_batches += 1;
+            }
+            RefitKind::Full => full_fallbacks += 1,
+        }
+    }
+    assert!(
+        delta_batches > 0,
+        "no batch took the delta path at {n_claims} claims"
+    );
+
+    // Baseline: a forced full fit + full publication of the grown corpus.
+    let full = server.refit_now();
+    let n = delta_batches as f64;
+    println!(
+        "  {n_claims} claims / {n_objects} objects: bootstrap {bootstrap_s:.2}s, \
+         {delta_batches} delta batches ({full_fallbacks} full fallbacks), \
+         mean delta refit {:.2}ms vs full {:.2}ms",
+        delta_refit_s / n * 1e3,
+        full.duration.as_secs_f64() * 1e3,
+    );
+    CorpusRun {
+        n_claims,
+        n_objects,
+        delta_batches,
+        full_fallbacks,
+        delta_refit_s: delta_refit_s / n,
+        publish_patch_s: publish_patch_s / n,
+        touched_objects: touched_objects as f64 / n,
+        full_refit_s: full.duration.as_secs_f64(),
+        publish_rebuild_s: full.publish.as_secs_f64(),
+    }
+}
+
+/// The incremental scenario at the requested scale.
+pub fn incremental(scale: Scale) {
+    let sizes: Vec<usize> = match scale {
+        Scale::Paper => vec![10_000, 100_000, 1_000_000],
+        Scale::Quick => vec![10_000, 40_000],
+    };
+    println!(
+        "streaming {N_BATCHES} batches x {BATCH_CLAIMS} record claims per corpus \
+         under StalenessBound(0.1)"
+    );
+    let runs: Vec<CorpusRun> = sizes.iter().map(|&n| run_corpus(n)).collect();
+
+    let rows: Vec<MetricRow> = runs
+        .iter()
+        .map(|r| MetricRow {
+            label: "delta-vs-full".into(),
+            corpus: format!("webscale-{}", r.n_claims),
+            metrics: vec![
+                ("n_claims".into(), r.n_claims as f64),
+                ("n_objects".into(), r.n_objects as f64),
+                ("batch_claims".into(), BATCH_CLAIMS as f64),
+                ("delta_batches".into(), r.delta_batches as f64),
+                ("full_fallbacks".into(), r.full_fallbacks as f64),
+                ("delta_refit_s".into(), r.delta_refit_s),
+                ("publish_patch_s".into(), r.publish_patch_s),
+                ("touched_objects".into(), r.touched_objects),
+                ("full_refit_s".into(), r.full_refit_s),
+                ("publish_rebuild_s".into(), r.publish_rebuild_s),
+                ("refit_speedup".into(), r.full_refit_s / r.delta_refit_s),
+                (
+                    "publish_speedup".into(),
+                    r.publish_rebuild_s / r.publish_patch_s,
+                ),
+            ],
+        })
+        .collect();
+
+    print_table(
+        &[
+            "claims",
+            "objects",
+            "delta refit (ms)",
+            "patch publish (ms)",
+            "touched",
+            "full refit (ms)",
+            "rebuild publish (ms)",
+            "refit speedup",
+        ],
+        &runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n_claims.to_string(),
+                    r.n_objects.to_string(),
+                    format!("{:.3}", r.delta_refit_s * 1e3),
+                    format!("{:.3}", r.publish_patch_s * 1e3),
+                    format!("{:.1}", r.touched_objects),
+                    format!("{:.3}", r.full_refit_s * 1e3),
+                    format!("{:.3}", r.publish_rebuild_s * 1e3),
+                    format!("{:.1}x", r.full_refit_s / r.delta_refit_s),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    save_checked(
+        "incremental",
+        &rows,
+        &[
+            "delta_refit_s",
+            "full_refit_s",
+            "publish_patch_s",
+            "touched_objects",
+        ],
+    );
+
+    if std::env::var("TDH_ASSERT_INCREMENTAL").is_ok() {
+        // Near-flat per-batch delta time: within 1.5x of the smallest
+        // corpus plus a 10 ms floor (the flat-view refresh keeps an
+        // O(corpus) row-copy term, so exact flatness is off the table).
+        let fastest = runs
+            .iter()
+            .map(|r| r.delta_refit_s)
+            .fold(f64::INFINITY, f64::min);
+        let slowest = runs.iter().map(|r| r.delta_refit_s).fold(0.0, f64::max);
+        assert!(
+            slowest <= 1.5 * fastest + 0.010,
+            "delta refit not flat across corpus sizes: {:.1}ms at the largest \
+             vs {:.1}ms at the smallest",
+            slowest * 1e3,
+            fastest * 1e3,
+        );
+        for r in &runs {
+            assert!(
+                r.publish_patch_s < r.publish_rebuild_s,
+                "patch publication ({:.3}ms) must beat a state rebuild \
+                 ({:.3}ms) at {} claims",
+                r.publish_patch_s * 1e3,
+                r.publish_rebuild_s * 1e3,
+                r.n_claims,
+            );
+        }
+        println!("  TDH_ASSERT_INCREMENTAL: flatness and patch-publication assertions passed");
+    }
+}

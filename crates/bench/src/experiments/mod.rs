@@ -3,6 +3,7 @@
 
 mod ablation;
 mod crowdsourcing;
+mod incremental;
 mod inference;
 mod performance;
 mod serving;
@@ -11,10 +12,28 @@ mod sharding;
 use crate::Scale;
 
 /// All experiment ids: the paper's tables/figures in paper order, then the
-/// repo's own scenarios (`ablation`, `scaling`, `serving`, `sharding`).
-pub const ALL: [&str; 18] = [
-    "fig1", "table3", "fig5", "fig6", "fig7", "table4", "fig8", "fig11", "fig12", "fig13", "fig14",
-    "fig17", "table5", "table6", "ablation", "scaling", "serving", "sharding",
+/// repo's own scenarios (`ablation`, `scaling`, `serving`, `sharding`,
+/// `incremental`).
+pub const ALL: [&str; 19] = [
+    "fig1",
+    "table3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table4",
+    "fig8",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig17",
+    "table5",
+    "table6",
+    "ablation",
+    "scaling",
+    "serving",
+    "sharding",
+    "incremental",
 ];
 
 /// Run one experiment by id. Panics on unknown ids (the CLI validates).
@@ -39,6 +58,7 @@ pub fn run(id: &str, scale: Scale) {
         "scaling" => performance::scaling(scale),
         "serving" => serving::serving(scale),
         "sharding" => sharding::sharding(scale),
+        "incremental" => incremental::incremental(scale),
         other => panic!("unknown experiment id {other}"),
     }
     println!();

@@ -35,7 +35,7 @@ use crate::Scale;
 /// Rebuild `ds` with only its first `n_records` records (same hierarchy,
 /// same entity interning order, gold labels intact) — the "what the server
 /// had before the batch arrived" corpus.
-fn record_prefix(ds: &Dataset, n_records: usize) -> Dataset {
+pub(crate) fn record_prefix(ds: &Dataset, n_records: usize) -> Dataset {
     let mut out = Dataset::new(ds.hierarchy().clone());
     for o in ds.objects() {
         let no = out.intern_object(ds.object_name(o));

@@ -1,0 +1,542 @@
+//! Incremental delta refit: EM over only the objects a claim batch touched,
+//! with every other posterior frozen — work proportional to the delta, not
+//! the corpus.
+//!
+//! A full fit leaves three caches behind on the model: the flat tables it
+//! scanned, the final-iteration E-step `φ`/`ψ` sufficient statistics
+//! ([`crate::em`]'s merged accumulators — exactly what the stored parameters
+//! were computed from), and the per-object posteriors. [`TdhModel::fit_delta`]
+//! exploits the additivity of the M-step closed forms (Eq. 10/11): a
+//! source's update depends on the rest of the corpus only through the sum of
+//! its per-claim relationship posteriors `g`, so freezing every untouched
+//! object freezes its claims' contributions. The delta refit therefore
+//!
+//! 1. re-flattens only the touched rows
+//!    ([`tdh_data::FlatObservations::refresh`]),
+//! 2. subtracts the touched objects' *old* claims from the cached
+//!    accumulators (evaluated at the current parameters and the carried-over
+//!    posteriors — at convergence, the values the cache assigned them up to
+//!    the stopping tolerance),
+//! 3. runs EM over the touched objects only, updating the implicated
+//!    sources/workers (the delta's one-hop closure) against
+//!    `frozen base + live delta`,
+//! 4. folds the final contributions back into the cache.
+//!
+//! # Drift debt
+//!
+//! Steps 2–3 are exact at an exact EM fixed point and `O(tol)`-approximate at
+//! a converged one, and candidate-set growth shifts the likelihood geometry
+//! of frozen neighbours (popularity counts, wrong-set sizes) that a delta
+//! refit never revisits. Each accepted refit therefore adds its touched
+//! fraction to [`TdhModel`]'s *drift debt*; once the accumulated debt would
+//! exceed the caller's bound, [`TdhModel::fit_delta`] refuses with
+//! [`DeltaRejected::DriftExceeded`] and the caller falls back to a full fit
+//! (which resets the debt and rebuilds every cache exactly). A rejected call
+//! leaves the model untouched, so the fallback full fit behaves exactly as
+//! if the delta refit had never been attempted.
+
+use std::fmt;
+use std::mem;
+
+use tdh_data::{Dataset, DeltaSet, FlatObject, ObservationIndex, SourceId, WorkerId};
+
+use crate::em::{flat_source_likelihood, flat_worker_likelihood, relationship_posterior};
+use crate::model::{prior_mean, TdhConfig, TdhModel};
+use crate::traits::{argmax, TruthEstimate};
+
+/// Diagnostics from one accepted [`TdhModel::fit_delta`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeltaFitReport {
+    /// Number of objects the refit re-estimated.
+    pub touched_objects: usize,
+    /// Delta-EM iterations performed (zero for an empty delta).
+    pub iterations: usize,
+    /// Whether the parameter-step stopping rule fired before
+    /// [`TdhConfig::max_iters`].
+    pub converged: bool,
+    /// The delta's touched fraction of the corpus.
+    pub touched_frac: f64,
+    /// The model's accumulated drift debt *after* this refit.
+    pub debt: f64,
+}
+
+/// Why [`TdhModel::fit_delta`] declined to run. A rejected call leaves the
+/// model untouched; the caller should fall back to a full fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaRejected {
+    /// [`crate::TdhConfig::warm_start`] is off: the model deliberately
+    /// forgets its fit history, so there is no baseline to patch.
+    WarmStartDisabled,
+    /// No usable caches: the model was never fully fitted (or was
+    /// [`TdhModel::restore`]d from parameters alone, which carries no E-step
+    /// statistics).
+    NoBaseline,
+    /// Accepting this delta would push the accumulated drift debt past the
+    /// caller's bound.
+    DriftExceeded {
+        /// The debt the refit would have reached.
+        debt: f64,
+    },
+}
+
+impl fmt::Display for DeltaRejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaRejected::WarmStartDisabled => {
+                write!(
+                    f,
+                    "delta refit requires warm starts (TdhConfig::warm_start)"
+                )
+            }
+            DeltaRejected::NoBaseline => {
+                write!(
+                    f,
+                    "no full-fit baseline to patch (model never fully fitted)"
+                )
+            }
+            DeltaRejected::DriftExceeded { debt } => {
+                write!(f, "accumulated drift debt {debt:.3} exceeds the bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaRejected {}
+
+impl TdhModel {
+    /// The accumulated drift debt: the sum of touched fractions accepted by
+    /// delta refits since the last full fit (zero right after one).
+    pub fn delta_debt(&self) -> f64 {
+        self.delta_debt
+    }
+
+    /// Incremental EM over only the `delta`'s touched objects, with every
+    /// other posterior frozen. `idx` must already contain the delta's claims
+    /// (i.e. be the index whose [`tdh_data::ObservationIndex::append_from`]
+    /// produced — possibly via [`DeltaSet::merge`] — the `delta`).
+    ///
+    /// On success the model is in the same shape a full fit leaves it in:
+    /// `μ`/`N_{o,v}`/`D_o` updated for the touched objects, `φ`/`ψ` updated
+    /// for the implicated sources/workers, the warm-start parameters and the
+    /// delta caches refreshed — so full fits, delta refits and the
+    /// incremental posterior (Eq. 16–18) can be interleaved freely. The
+    /// [`crate::FitReport`] of the last *full* fit is left alone.
+    ///
+    /// `max_debt` bounds the accumulated drift debt (see the module docs);
+    /// `0.0` rejects every non-empty delta, `1.0` allows roughly a corpus
+    /// worth of touched rows between full fits. On `Err` the model is
+    /// untouched and the caller should run a full fit instead. At least one
+    /// E+M pass runs even when [`TdhConfig::max_iters`] is zero, so a new
+    /// claim is never silently ignored.
+    pub fn fit_delta(
+        &mut self,
+        ds: &Dataset,
+        idx: &ObservationIndex,
+        delta: &DeltaSet,
+        max_debt: f64,
+    ) -> Result<DeltaFitReport, DeltaRejected> {
+        let cfg = *self.config();
+        if delta.is_empty() {
+            return Ok(DeltaFitReport {
+                touched_objects: 0,
+                iterations: 0,
+                converged: true,
+                touched_frac: 0.0,
+                debt: self.delta_debt,
+            });
+        }
+        if !cfg.warm_start {
+            return Err(DeltaRejected::WarmStartDisabled);
+        }
+        if self.prev.is_none() || self.acc_cache.is_none() || self.flat_cache.is_none() {
+            return Err(DeltaRejected::NoBaseline);
+        }
+        let touched_frac = delta.touched_frac(idx.n_objects());
+        let debt = self.delta_debt + touched_frac;
+        if debt > max_debt {
+            return Err(DeltaRejected::DriftExceeded { debt });
+        }
+
+        // Re-flatten only the touched rows; untouched spans are copied.
+        let mut flat = self.flat_cache.take().expect("checked above");
+        flat.refresh(idx, delta);
+
+        // Grow the parameter tables to the post-delta universe (new entities
+        // start at the prior mean / empty rows, exactly like a cold init).
+        let n_obj = idx.n_objects();
+        let n_src = ds.n_sources().max(idx.n_sources());
+        let n_wrk = ds.n_workers().max(idx.n_workers());
+        if self.phi.len() < n_src {
+            self.phi.resize(n_src, prior_mean(&cfg.alpha));
+        }
+        if self.psi.len() < n_wrk {
+            self.psi.resize(n_wrk, prior_mean(&cfg.beta));
+        }
+        if self.mu.len() < n_obj {
+            self.mu.resize(n_obj, Vec::new());
+            self.n_ov.resize(n_obj, Vec::new());
+            self.d_o.resize(n_obj, 0.0);
+        }
+        let mut acc = self.acc_cache.take().expect("checked above");
+        if acc.phi.len() < self.phi.len() {
+            acc.phi.resize(self.phi.len(), [0.0; 3]);
+        }
+        if acc.psi.len() < self.psi.len() {
+            acc.psi.resize(self.psi.len(), [0.0; 3]);
+        }
+
+        // Working μ rows for the touched objects: the previous posterior
+        // carried over by candidate value (the same overlay a warm full fit
+        // applies), vote-prior mass for inserted candidates and new objects.
+        let touched = delta.objects();
+        let prev = self.prev.as_ref().expect("checked above");
+        let mut mu_rows: Vec<Vec<f64>> = Vec::with_capacity(touched.len());
+        for t in touched {
+            let view = idx.view(t.object);
+            let k = view.n_candidates();
+            if k == 0 {
+                mu_rows.push(Vec::new());
+                continue;
+            }
+            let total: f64 = (0..k)
+                .map(|v| f64::from(view.source_count[v] + view.worker_count[v]) + 1.0)
+                .sum();
+            let mut row: Vec<f64> = (0..k)
+                .map(|v| (f64::from(view.source_count[v] + view.worker_count[v]) + 1.0) / total)
+                .collect();
+            if let Some(prev_row) = prev.mu.get(t.object.index()) {
+                let mut missing = 0usize;
+                for (v, slot) in view.candidates.iter().zip(row.iter_mut()) {
+                    match prev_row.binary_search_by(|&(c, _)| c.cmp(v)) {
+                        Ok(p) => *slot = prev_row[p].1,
+                        Err(_) => missing += 1,
+                    }
+                }
+                if missing > 0 && missing < row.len() {
+                    let z: f64 = row.iter().sum();
+                    if z > 0.0 {
+                        for x in row.iter_mut() {
+                            *x /= z;
+                        }
+                    }
+                }
+            }
+            mu_rows.push(row);
+        }
+
+        // Local parameter tables over the implicated entities; the one-hop
+        // closure guarantees every claiming entity of a touched object is in
+        // them, so claim scans below always resolve.
+        let src_ids = delta.sources();
+        let wrk_ids = delta.workers();
+        let mut phi_l: Vec<[f64; 3]> = src_ids.iter().map(|s| self.phi[s.index()]).collect();
+        let mut psi_l: Vec<[f64; 3]> = wrk_ids.iter().map(|w| self.psi[w.index()]).collect();
+
+        // Subtract the touched objects' old-claim contributions from the
+        // cached sufficient statistics (only the old-claim *prefix* of each
+        // row predates the delta — see `TouchedObject`). What remains is the
+        // frozen rest of the corpus.
+        let mut base_phi: Vec<[f64; 3]> = src_ids.iter().map(|s| acc.phi[s.index()]).collect();
+        let mut base_psi: Vec<[f64; 3]> = wrk_ids.iter().map(|w| acc.psi[w.index()]).collect();
+        let mut scratch: Vec<f64> = Vec::new();
+        for (ti, t) in touched.iter().enumerate() {
+            let fo = flat.object(t.object.index());
+            if fo.n_candidates() == 0 {
+                continue;
+            }
+            let mu = &mu_rows[ti];
+            let old_r = t.old_records as usize;
+            for (&s, &c) in fo.rec_src()[..old_r].iter().zip(fo.rec_cand()) {
+                let li = local_source(src_ids, SourceId(s));
+                let Some((g, _)) = record_conditionals(&fo, &cfg, &phi_l[li], c, mu, &mut scratch)
+                else {
+                    continue;
+                };
+                for x in 0..3 {
+                    base_phi[li][x] -= g[x];
+                }
+            }
+            let old_a = t.old_answers as usize;
+            for (&w, &c) in fo.ans_wrk()[..old_a].iter().zip(fo.ans_cand()) {
+                let li = local_worker(wrk_ids, WorkerId(w));
+                let Some((g, _)) = answer_conditionals(&fo, &cfg, &psi_l[li], c, mu, &mut scratch)
+                else {
+                    continue;
+                };
+                for x in 0..3 {
+                    base_psi[li][x] -= g[x];
+                }
+            }
+        }
+
+        // EM over the touched objects against `frozen base + live delta`.
+        // Convergence is a parameter-step rule (the delta objective is not
+        // comparable across refits): stop when no μ/φ/ψ entry moved by tol.
+        let alpha_excess: f64 = cfg.alpha.iter().map(|a| a - 1.0).sum();
+        let beta_excess: f64 = cfg.beta.iter().map(|b| b - 1.0).sum();
+        let mut acc_mu_rows: Vec<Vec<f64>> = mu_rows.iter().map(|r| vec![0.0; r.len()]).collect();
+        let mut d_rows: Vec<f64> = vec![0.0; touched.len()];
+        let mut new_phi = vec![[0.0f64; 3]; phi_l.len()];
+        let mut new_psi = vec![[0.0f64; 3]; psi_l.len()];
+        let mut iterations = 0;
+        let mut converged = false;
+        for _ in 0..cfg.max_iters.max(1) {
+            iterations += 1;
+            // E phase.
+            for a in new_phi.iter_mut() {
+                *a = [0.0; 3];
+            }
+            for a in new_psi.iter_mut() {
+                *a = [0.0; 3];
+            }
+            for row in acc_mu_rows.iter_mut() {
+                for x in row.iter_mut() {
+                    *x = 0.0;
+                }
+            }
+            for (ti, t) in touched.iter().enumerate() {
+                let fo = flat.object(t.object.index());
+                if fo.n_candidates() == 0 {
+                    continue;
+                }
+                let mu = &mu_rows[ti];
+                let acc_mu = &mut acc_mu_rows[ti];
+                for (&s, &c) in fo.rec_src().iter().zip(fo.rec_cand()) {
+                    let li = local_source(src_ids, SourceId(s));
+                    let Some((g, z)) =
+                        record_conditionals(&fo, &cfg, &phi_l[li], c, mu, &mut scratch)
+                    else {
+                        continue;
+                    };
+                    for (slot, p) in acc_mu.iter_mut().zip(&scratch) {
+                        *slot += p / z;
+                    }
+                    for x in 0..3 {
+                        new_phi[li][x] += g[x];
+                    }
+                }
+                for (&w, &c) in fo.ans_wrk().iter().zip(fo.ans_cand()) {
+                    let li = local_worker(wrk_ids, WorkerId(w));
+                    let Some((g, z)) =
+                        answer_conditionals(&fo, &cfg, &psi_l[li], c, mu, &mut scratch)
+                    else {
+                        continue;
+                    };
+                    for (slot, p) in acc_mu.iter_mut().zip(&scratch) {
+                        *slot += p / z;
+                    }
+                    for x in 0..3 {
+                        new_psi[li][x] += g[x];
+                    }
+                }
+            }
+            // M phase (Eq. 9–11, restricted to the delta).
+            let mut max_step = 0.0f64;
+            for (ti, t) in touched.iter().enumerate() {
+                let fo = flat.object(t.object.index());
+                let k = fo.n_candidates();
+                if k == 0 {
+                    d_rows[ti] = 0.0;
+                    continue;
+                }
+                let d = fo.n_evidence() as f64 + k as f64 * (cfg.gamma - 1.0);
+                d_rows[ti] = d;
+                let acc_mu = &mut acc_mu_rows[ti];
+                for n in acc_mu.iter_mut() {
+                    *n += cfg.gamma - 1.0;
+                }
+                if d == 0.0 {
+                    continue;
+                }
+                for (slot, n) in mu_rows[ti].iter_mut().zip(acc_mu.iter()) {
+                    let next = n / d;
+                    max_step = max_step.max((next - *slot).abs());
+                    *slot = next;
+                }
+            }
+            for (li, s) in src_ids.iter().enumerate() {
+                let denom = f64::from(flat.recs_per_source[s.index()]) + alpha_excess;
+                for t in 0..3 {
+                    let next = (base_phi[li][t] + new_phi[li][t] + cfg.alpha[t] - 1.0) / denom;
+                    max_step = max_step.max((next - phi_l[li][t]).abs());
+                    phi_l[li][t] = next;
+                }
+            }
+            for (li, w) in wrk_ids.iter().enumerate() {
+                let n_ow = match flat.ans_per_worker.get(w.index()) {
+                    Some(&n) => f64::from(n),
+                    None => 0.0,
+                };
+                let denom = n_ow + beta_excess;
+                for t in 0..3 {
+                    let next = (base_psi[li][t] + new_psi[li][t] + cfg.beta[t] - 1.0) / denom;
+                    max_step = max_step.max((next - psi_l[li][t]).abs());
+                    psi_l[li][t] = next;
+                }
+            }
+            if max_step < cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        // Install the results: parameters, the incremental-EM cache rows and
+        // the refreshed sufficient statistics (final-iteration accumulators,
+        // preserving the `φ = (acc + α − 1) / denom` invariant a full fit
+        // maintains).
+        for (li, s) in src_ids.iter().enumerate() {
+            self.phi[s.index()] = phi_l[li];
+            let a = &mut acc.phi[s.index()];
+            for t in 0..3 {
+                a[t] = base_phi[li][t] + new_phi[li][t];
+            }
+        }
+        for (li, w) in wrk_ids.iter().enumerate() {
+            self.psi[w.index()] = psi_l[li];
+            let a = &mut acc.psi[w.index()];
+            for t in 0..3 {
+                a[t] = base_psi[li][t] + new_psi[li][t];
+            }
+        }
+        for (ti, t) in touched.iter().enumerate() {
+            let oi = t.object.index();
+            self.mu[oi] = mem::take(&mut mu_rows[ti]);
+            self.n_ov[oi] = mem::take(&mut acc_mu_rows[ti]);
+            self.d_o[oi] = d_rows[ti];
+        }
+
+        // Refresh the warm-start parameters so the next fit — full or delta —
+        // resumes from here.
+        let prev = self.prev.as_mut().expect("checked above");
+        prev.phi.clone_from(&self.phi);
+        prev.psi.clone_from(&self.psi);
+        if prev.mu.len() < n_obj {
+            prev.mu.resize(n_obj, Vec::new());
+        }
+        for t in touched {
+            let oi = t.object.index();
+            prev.mu[oi] = idx
+                .view(t.object)
+                .candidates
+                .iter()
+                .zip(&self.mu[oi])
+                .map(|(&c, &m)| (c, m))
+                .collect();
+        }
+
+        self.acc_cache = Some(acc);
+        self.flat_cache = Some(flat);
+        self.delta_debt = debt;
+        Ok(DeltaFitReport {
+            touched_objects: touched.len(),
+            iterations,
+            converged,
+            touched_frac,
+            debt,
+        })
+    }
+
+    /// Patch a previously-produced estimate in place after a successful
+    /// [`TdhModel::fit_delta`]: only the delta's touched rows are recomputed
+    /// (growing the estimate for objects appended since it was made), every
+    /// other row keeps its bits.
+    pub fn patch_estimate(
+        &self,
+        idx: &ObservationIndex,
+        delta: &DeltaSet,
+        est: &mut TruthEstimate,
+    ) {
+        let n = idx.n_objects();
+        if est.truths.len() < n {
+            est.truths.resize(n, None);
+            est.confidences.resize(n, Vec::new());
+        }
+        for t in delta.objects() {
+            let oi = t.object.index();
+            let mu = &self.mu[oi];
+            est.truths[oi] = argmax(mu).map(|i| idx.view(t.object).candidates[i]);
+            est.confidences[oi] = mu.clone();
+        }
+    }
+}
+
+/// Position of `s` in the delta's sorted implicated-source list.
+fn local_source(ids: &[SourceId], s: SourceId) -> usize {
+    ids.binary_search(&s)
+        .expect("one-hop closure covers every claiming source")
+}
+
+/// Position of `w` in the delta's sorted implicated-worker list.
+fn local_worker(ids: &[WorkerId], w: WorkerId) -> usize {
+    ids.binary_search(&w)
+        .expect("one-hop closure covers every answering worker")
+}
+
+/// One record claim's E-step conditionals at (`phi`, `mu`): the
+/// relationship-posterior triple `g` and the evidence `z`, with the
+/// unnormalised per-truth posterior left in `scratch`. `None` when the claim
+/// carries no evidence (`z ≤ 0`), matching the full E-step's skip. Mirrors
+/// `em::e_step_chunk`'s record branch operation for operation.
+fn record_conditionals(
+    fo: &FlatObject<'_>,
+    cfg: &TdhConfig,
+    phi: &[f64; 3],
+    c: u32,
+    mu: &[f64],
+    scratch: &mut Vec<f64>,
+) -> Option<([f64; 3], f64)> {
+    let k = fo.n_candidates();
+    scratch.clear();
+    let mut z = 0.0;
+    for t in 0..k as u32 {
+        let p = flat_source_likelihood(fo, phi, c, t, cfg.ablation) * mu[t as usize];
+        scratch.push(p);
+        z += p;
+    }
+    if z <= 0.0 {
+        return None;
+    }
+    let n1 = phi[0] * mu[c as usize];
+    let n2 = if fo.in_oh && cfg.ablation.hierarchy_aware {
+        fo.descendants(c)
+            .iter()
+            .map(|&v| phi[1] / fo.anc_len(v) as f64 * mu[v as usize])
+            .sum::<f64>()
+    } else {
+        phi[1] * mu[c as usize]
+    };
+    Some((relationship_posterior(n1, n2, z), z))
+}
+
+/// [`record_conditionals`] for a worker answer; mirrors `em::e_step_chunk`'s
+/// answer branch.
+fn answer_conditionals(
+    fo: &FlatObject<'_>,
+    cfg: &TdhConfig,
+    psi: &[f64; 3],
+    c: u32,
+    mu: &[f64],
+    scratch: &mut Vec<f64>,
+) -> Option<([f64; 3], f64)> {
+    let k = fo.n_candidates();
+    scratch.clear();
+    let mut z = 0.0;
+    for t in 0..k as u32 {
+        let p = flat_worker_likelihood(fo, psi, c, t, cfg.ablation) * mu[t as usize];
+        scratch.push(p);
+        z += p;
+    }
+    if z <= 0.0 {
+        return None;
+    }
+    let n1 = psi[0] * mu[c as usize];
+    let n2 = if fo.in_oh && cfg.ablation.hierarchy_aware {
+        fo.descendants(c)
+            .iter()
+            .map(|&v| flat_worker_likelihood(fo, psi, c, v, cfg.ablation) * mu[v as usize])
+            .sum::<f64>()
+    } else {
+        psi[1] * mu[c as usize]
+    };
+    Some((relationship_posterior(n1, n2, z), z))
+}

@@ -194,9 +194,19 @@ struct Params {
 /// chunk order by the driver), shared read-only with the M-batch `φ`/`ψ`
 /// jobs via `Arc` and reclaimed after the barrier so the buffers are reused
 /// across iterations.
-struct MergedAcc {
-    phi: Vec<[f64; 3]>,
-    psi: Vec<[f64; 3]>,
+///
+/// After the EM loop the final iteration's accumulators are exactly the
+/// sufficient statistics the stored `φ`/`ψ` were computed from
+/// (Eq. 10/11: `φ_s = (acc + α − 1) / (|O_s| + Σ(α − 1))`), so `run_em`
+/// retains them on the model as the delta-refit cache
+/// (`TdhModel::fit_delta` subtracts a touched object's old claims from
+/// them and folds the regrown rows back in).
+#[derive(Debug, Clone)]
+pub(crate) struct MergedAcc {
+    /// Summed `g^t_{o,s}` relationship-posterior triples per source.
+    pub(crate) phi: Vec<[f64; 3]>,
+    /// Summed `g^t_{o,w}` triples per worker.
+    pub(crate) psi: Vec<[f64; 3]>,
 }
 
 /// Everything one object-chunk owns for the duration of a fit. Moves into
@@ -396,7 +406,7 @@ pub(crate) fn run_em(
     };
     let mu_rows = mem::take(&mut model.mu);
     let worker = |job: EmJob| em_worker(&flat, &cfg, job);
-    let (report, params, chunks, mut timings, iter_timings) =
+    let (report, params, chunks, merged, mut timings, iter_timings) =
         par::with_pool(n_threads, &worker, |pool| {
             em_loop(&flat, &cfg, params, mu_rows, pool)
         });
@@ -424,6 +434,15 @@ pub(crate) fn run_em(
             model.d_o[oi] = d;
         }
     }
+    // Retain the delta-refit caches: the flat tables (refreshed in place by
+    // the next `fit_delta`) and the final iteration's E-step sufficient
+    // statistics — exactly the accumulators the stored `φ`/`ψ` were computed
+    // from. A zero-iteration run never produced accumulators, so it leaves
+    // no cache and the next refit must be full. A full fit resets the drift
+    // budget.
+    model.acc_cache = (report.iterations > 0).then_some(merged);
+    model.flat_cache = Some(flat);
+    model.delta_debt = 0.0;
     model.last_timings = Some(timings);
     // Observability: recorded strictly after the pool scope, on the driver
     // thread, so it can never perturb the deterministic EM arithmetic.
@@ -470,6 +489,7 @@ fn em_loop(
     FitReport,
     Params,
     Vec<ChunkState>,
+    MergedAcc,
     PhaseTimings,
     Vec<(Duration, Duration)>,
 ) {
@@ -561,7 +581,7 @@ fn em_loop(
         monotone: monitor.monotone(),
         trace,
     };
-    (report, params, chunks, timings, iter_timings)
+    (report, params, chunks, merged, timings, iter_timings)
 }
 
 /// Initial parameters: priors' means for `φ`/`ψ`, claim-frequency smoothing

@@ -13,6 +13,10 @@
 //!   (Eq. 16–18): the conditional confidence after one hypothetical answer,
 //!   computed from the cached M-step numerators `N_{o,v}` and denominators
 //!   `D_o` in O(|V_o|) instead of a full EM rerun.
+//! * [`TdhModel::fit_delta`] — the incremental *delta refit*: EM over only
+//!   the objects a claim batch touched ([`tdh_data::DeltaSet`]), with every
+//!   other posterior frozen and the implicated `φ`/`ψ` updated from cached
+//!   sufficient statistics; a drift bound falls back to a full fit.
 //! * [`EaiAssigner`] — the task assigner of §4: the *Expected Accuracy
 //!   Increase* quality measure (Eq. 14–15), the `UEAI` upper bound
 //!   (Lemma 4.1) and the heap-based Algorithm 1 that assigns the top-`k`
@@ -35,6 +39,7 @@
 #![forbid(unsafe_code)]
 
 mod assign;
+mod delta;
 mod em;
 mod model;
 pub mod numeric;
@@ -42,6 +47,7 @@ pub mod par;
 mod traits;
 
 pub use assign::{assign_exhaustive, eai, ueai, EaiAssigner};
+pub use delta::{DeltaFitReport, DeltaRejected};
 pub use em::{FitReport, PhaseTimings};
 pub use model::{AblationFlags, TdhConfig, TdhModel, WarmStart};
 pub use traits::{

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use tdh_data::{Dataset, ObjectId, ObjectView, ObservationIndex, WorkerId};
+use tdh_data::{Dataset, FlatObservations, ObjectId, ObjectView, ObservationIndex, WorkerId};
 use tdh_hierarchy::NodeId;
 
 use crate::em;
@@ -154,6 +154,21 @@ pub struct TdhModel {
     /// [`TdhConfig::warm_start`] is on so the next [`TruthDiscovery::infer`]
     /// resumes from them instead of starting cold.
     pub(crate) prev: Option<WarmStart>,
+    /// The flat tables of the last fit, retained (and incrementally
+    /// refreshed) so [`TdhModel::fit_delta`] never re-flattens the whole
+    /// corpus. `None` until the first full fit.
+    pub(crate) flat_cache: Option<FlatObservations>,
+    /// The last fit's final-iteration E-step `φ`/`ψ` sufficient statistics —
+    /// exactly the accumulators the stored parameters were computed from.
+    /// [`TdhModel::fit_delta`] subtracts a touched object's old claims from
+    /// them and folds the regrown rows back in. `None` for unfitted and
+    /// [`TdhModel::restore`]d models (no E-step ran), in which case the
+    /// next refit must be full.
+    pub(crate) acc_cache: Option<em::MergedAcc>,
+    /// Cumulative touched fraction accepted by delta refits since the last
+    /// full fit — the drift budget [`TdhModel::fit_delta`] spends before
+    /// forcing a full refit. Reset to zero by every full fit.
+    pub(crate) delta_debt: f64,
     /// Optional metrics registry. When set (see [`TdhModel::set_metrics`]),
     /// every fit records per-iteration E/M-step timings, flatten time,
     /// iteration counts and convergence facts into it — strictly after the
@@ -175,6 +190,9 @@ impl TdhModel {
             last_fit: None,
             last_timings: None,
             prev: None,
+            flat_cache: None,
+            acc_cache: None,
+            delta_debt: 0.0,
             obs: None,
         }
     }
@@ -335,6 +353,9 @@ impl TdhModel {
             last_fit: None,
             last_timings: None,
             prev: None,
+            flat_cache: None,
+            acc_cache: None,
+            delta_debt: 0.0,
             obs: None,
         };
         model.prev = model.warm_start_params(idx);

@@ -1,0 +1,256 @@
+//! The delta produced by an incremental index append.
+//!
+//! [`crate::ObservationIndex::append_from`] returns a [`DeltaSet`]: the
+//! objects a claim batch touched, plus the sources and workers those objects
+//! implicate — transitively closed **one hop**, i.e. every source/worker
+//! with *any* claim on a touched object, not just the ones appearing in the
+//! batch. One hop is exactly the dependency footprint of a delta E-step: a
+//! touched object's posterior reads the parameters of every entity that
+//! claimed about it, so those entities' sufficient statistics must move with
+//! it, while everything further away stays frozen.
+//!
+//! Each touched object also carries its **pre-batch claim counts**
+//! ([`TouchedObject::old_records`] / [`TouchedObject::old_answers`]).
+//! Incremental appends only ever push new claims at the *end* of an object's
+//! `S_o`/`W_o` rows, so the first `old_records` records and `old_answers`
+//! answers of the post-batch view are precisely the claims a previous fit
+//! already accounted for — the prefix a delta refit subtracts from its
+//! cached sufficient statistics before folding the grown rows back in.
+//!
+//! Deltas [`merge`](DeltaSet::merge) across batches: a server that defers
+//! refits accumulates one `DeltaSet` spanning every batch since the last
+//! fit. Merging keeps the **minimum** old counts per object (counts only
+//! grow, so the earliest snapshot is the true pre-delta prefix) and unions
+//! the implicated entity sets.
+
+use crate::ids::{ObjectId, SourceId, WorkerId};
+
+/// One object touched by a claim batch, with the length of the claim prefix
+/// that predates the delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TouchedObject {
+    /// The touched object.
+    pub object: ObjectId,
+    /// `|S_o|` before the delta: the object's first `old_records` records
+    /// were already present when the delta began.
+    pub old_records: u32,
+    /// `|W_o|` before the delta.
+    pub old_answers: u32,
+}
+
+/// The set of objects a claim batch touched, with the sources/workers they
+/// implicate (one-hop closure). See the module docs for the contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSet {
+    /// Touched objects, sorted by object id, deduplicated.
+    objects: Vec<TouchedObject>,
+    /// Implicated sources (any source with a claim on a touched object),
+    /// sorted, deduplicated.
+    sources: Vec<SourceId>,
+    /// Implicated workers, sorted, deduplicated.
+    workers: Vec<WorkerId>,
+}
+
+impl DeltaSet {
+    /// An empty delta (no objects touched).
+    pub fn new() -> Self {
+        DeltaSet::default()
+    }
+
+    /// Assemble a delta from parts. `objects` must be sorted by object id
+    /// and deduplicated; `sources`/`workers` sorted and deduplicated.
+    pub(crate) fn from_parts(
+        objects: Vec<TouchedObject>,
+        sources: Vec<SourceId>,
+        workers: Vec<WorkerId>,
+    ) -> Self {
+        debug_assert!(objects.windows(2).all(|w| w[0].object < w[1].object));
+        debug_assert!(sources.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(workers.windows(2).all(|w| w[0] < w[1]));
+        DeltaSet {
+            objects,
+            sources,
+            workers,
+        }
+    }
+
+    /// `true` when no object was touched.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// The touched objects, sorted by object id.
+    pub fn objects(&self) -> &[TouchedObject] {
+        &self.objects
+    }
+
+    /// The implicated sources (one-hop closure), sorted.
+    pub fn sources(&self) -> &[SourceId] {
+        &self.sources
+    }
+
+    /// The implicated workers (one-hop closure), sorted.
+    pub fn workers(&self) -> &[WorkerId] {
+        &self.workers
+    }
+
+    /// `true` iff object `o` was touched.
+    pub fn contains_object(&self, o: ObjectId) -> bool {
+        self.objects.binary_search_by_key(&o, |t| t.object).is_ok()
+    }
+
+    /// The touched object entry for `o`, if touched.
+    pub fn touched(&self, o: ObjectId) -> Option<&TouchedObject> {
+        self.objects
+            .binary_search_by_key(&o, |t| t.object)
+            .ok()
+            .map(|i| &self.objects[i])
+    }
+
+    /// The fraction of a corpus of `n_objects` objects this delta touches —
+    /// the quantity `RefitPolicy::StalenessBound` routes on. An empty delta
+    /// touches nothing; on an empty corpus a non-empty delta counts as
+    /// touching everything.
+    pub fn touched_frac(&self, n_objects: usize) -> f64 {
+        if self.objects.is_empty() {
+            return 0.0;
+        }
+        if n_objects == 0 {
+            return 1.0;
+        }
+        self.objects.len() as f64 / n_objects as f64
+    }
+
+    /// Fold `other` (a *later* delta) into this one. Per object the
+    /// **minimum** old counts win: claim counts only grow, so the earlier
+    /// snapshot marks the true pre-delta prefix. Entity sets are unioned.
+    pub fn merge(&mut self, other: &DeltaSet) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = other.clone();
+            return;
+        }
+        self.objects = merge_objects(&self.objects, &other.objects);
+        self.sources = merge_sorted(&self.sources, &other.sources);
+        self.workers = merge_sorted(&self.workers, &other.workers);
+    }
+}
+
+/// Merge two sorted touched-object lists, keeping the minimum old counts
+/// for objects present in both.
+fn merge_objects(a: &[TouchedObject], b: &[TouchedObject]) -> Vec<TouchedObject> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].object.cmp(&b[j].object) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(TouchedObject {
+                    object: a[i].object,
+                    old_records: a[i].old_records.min(b[j].old_records),
+                    old_answers: a[i].old_answers.min(b[j].old_answers),
+                });
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Union of two sorted deduplicated id lists.
+fn merge_sorted<T: Copy + Ord>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(o: u32, r: u32, a: u32) -> TouchedObject {
+        TouchedObject {
+            object: ObjectId(o),
+            old_records: r,
+            old_answers: a,
+        }
+    }
+
+    #[test]
+    fn empty_delta_touches_nothing() {
+        let d = DeltaSet::new();
+        assert!(d.is_empty());
+        assert_eq!(d.touched_frac(100), 0.0);
+        assert!(!d.contains_object(ObjectId(0)));
+    }
+
+    #[test]
+    fn touched_frac_counts_objects() {
+        let d = DeltaSet::from_parts(vec![t(1, 0, 0), t(7, 2, 1)], vec![], vec![]);
+        assert!((d.touched_frac(10) - 0.2).abs() < 1e-12);
+        assert_eq!(d.touched_frac(0), 1.0, "non-empty delta on empty corpus");
+        assert!(d.contains_object(ObjectId(7)));
+        assert!(!d.contains_object(ObjectId(2)));
+        assert_eq!(d.touched(ObjectId(7)), Some(&t(7, 2, 1)));
+    }
+
+    #[test]
+    fn merge_keeps_minimum_old_counts_and_unions_entities() {
+        let mut a = DeltaSet::from_parts(
+            vec![t(1, 3, 0), t(4, 5, 2)],
+            vec![SourceId(0), SourceId(2)],
+            vec![WorkerId(1)],
+        );
+        let b = DeltaSet::from_parts(
+            vec![t(2, 0, 0), t(4, 7, 1)],
+            vec![SourceId(1), SourceId(2)],
+            vec![WorkerId(0), WorkerId(1)],
+        );
+        a.merge(&b);
+        assert_eq!(a.objects(), &[t(1, 3, 0), t(2, 0, 0), t(4, 5, 1)]);
+        assert_eq!(a.sources(), &[SourceId(0), SourceId(1), SourceId(2)]);
+        assert_eq!(a.workers(), &[WorkerId(0), WorkerId(1)]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = DeltaSet::from_parts(vec![t(3, 1, 1)], vec![SourceId(5)], vec![]);
+        let before = a.clone();
+        a.merge(&DeltaSet::new());
+        assert_eq!(a, before);
+        let mut e = DeltaSet::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+}

@@ -23,7 +23,8 @@
 
 use tdh_hierarchy::NodeId;
 
-use crate::index::ObservationIndex;
+use crate::delta::DeltaSet;
+use crate::index::{ObjectView, ObservationIndex};
 
 /// The flattened observation tables. See the `flat` module docs for the
 /// layout discipline; all offset arrays have one trailing entry so
@@ -101,6 +102,151 @@ impl FlatObservations {
     #[inline]
     pub fn n_answers(&self) -> usize {
         self.ans_wrk.len()
+    }
+
+    /// Append one object's view to every arena (the shared per-object body
+    /// of [`ObservationIndex::flatten`] and [`FlatObservations::refresh`]).
+    fn push_view(&mut self, view: &ObjectView) {
+        let k = view.n_candidates();
+        self.cand_value.extend_from_slice(&view.candidates);
+        self.source_count.extend_from_slice(&view.source_count);
+        self.worker_count.extend_from_slice(&view.worker_count);
+        self.in_oh.push(view.in_oh);
+        for t in 0..k {
+            self.anc.extend_from_slice(&view.ancestors[t]);
+            self.anc_off.push(self.anc.len() as u32);
+            self.desc.extend_from_slice(&view.descendants[t]);
+            self.desc_off.push(self.desc.len() as u32);
+        }
+        for &(s, c) in &view.sources {
+            self.rec_src.push(s.0);
+            self.rec_cand.push(c);
+        }
+        for &(w, c) in &view.workers {
+            self.ans_wrk.push(w.0);
+            self.ans_cand.push(c);
+        }
+        if view.in_oh {
+            let words = (k * k).div_ceil(64);
+            let base = self.anc_mask.len();
+            self.anc_mask.resize(base + words, 0);
+            for (t, anc) in view.ancestors.iter().enumerate() {
+                for &c in anc {
+                    let bit = t * k + c as usize;
+                    self.anc_mask[base + bit / 64] |= 1u64 << (bit % 64);
+                }
+            }
+        }
+        self.cand_off.push(self.cand_value.len() as u32);
+        self.rec_off.push(self.rec_src.len() as u32);
+        self.ans_off.push(self.ans_wrk.len() as u32);
+        self.mask_off.push(self.anc_mask.len() as u32);
+    }
+
+    /// Copy object `oi`'s arena spans from `old` verbatim, re-basing the
+    /// per-slot and per-object offsets onto this table's current lengths.
+    fn copy_object(&mut self, old: &FlatObservations, oi: usize) {
+        let cand = old.cand_off[oi] as usize..old.cand_off[oi + 1] as usize;
+        self.cand_value
+            .extend_from_slice(&old.cand_value[cand.clone()]);
+        self.source_count
+            .extend_from_slice(&old.source_count[cand.clone()]);
+        self.worker_count
+            .extend_from_slice(&old.worker_count[cand.clone()]);
+        self.in_oh.push(old.in_oh[oi]);
+        let anc_base = self.anc.len() as u32;
+        let a0 = old.anc_off[cand.start];
+        self.anc
+            .extend_from_slice(&old.anc[a0 as usize..old.anc_off[cand.end] as usize]);
+        let desc_base = self.desc.len() as u32;
+        let d0 = old.desc_off[cand.start];
+        self.desc
+            .extend_from_slice(&old.desc[d0 as usize..old.desc_off[cand.end] as usize]);
+        for s in cand.clone() {
+            self.anc_off.push(anc_base + (old.anc_off[s + 1] - a0));
+            self.desc_off.push(desc_base + (old.desc_off[s + 1] - d0));
+        }
+        let rec = old.rec_off[oi] as usize..old.rec_off[oi + 1] as usize;
+        self.rec_src.extend_from_slice(&old.rec_src[rec.clone()]);
+        self.rec_cand.extend_from_slice(&old.rec_cand[rec]);
+        let ans = old.ans_off[oi] as usize..old.ans_off[oi + 1] as usize;
+        self.ans_wrk.extend_from_slice(&old.ans_wrk[ans.clone()]);
+        self.ans_cand.extend_from_slice(&old.ans_cand[ans]);
+        let mask = old.mask_off[oi] as usize..old.mask_off[oi + 1] as usize;
+        self.anc_mask.extend_from_slice(&old.anc_mask[mask]);
+        self.cand_off.push(self.cand_value.len() as u32);
+        self.rec_off.push(self.rec_src.len() as u32);
+        self.ans_off.push(self.ans_wrk.len() as u32);
+        self.mask_off.push(self.anc_mask.len() as u32);
+    }
+
+    /// Bring this flat view back in sync with `idx` after an incremental
+    /// append, re-flattening **only** the CSR rows of `delta`'s touched
+    /// objects (plus any objects appended past the old table's end, which
+    /// had no rows to keep). Untouched rows are copied span-for-span at
+    /// memcpy speed — no candidate dedup, no `O(k²)` ancestor rescans, no
+    /// bitmask rebuilds — so the recompute cost is proportional to the
+    /// delta's evidence, not the corpus.
+    ///
+    /// `idx` must be the index this view was flattened from, advanced by
+    /// exactly the appends `delta` describes (deltas from consecutive
+    /// [`ObservationIndex::append_from`] calls [`DeltaSet::merge`] into
+    /// one). The result is field-for-field identical to a fresh
+    /// [`ObservationIndex::flatten`] (pinned by the `flat_view` suite).
+    pub fn refresh(&mut self, idx: &ObservationIndex, delta: &DeltaSet) {
+        let views = idx.views();
+        let n_old = self.n_objects();
+        let mut f = FlatObservations::with_capacities(idx);
+        for (oi, view) in views.iter().enumerate() {
+            if oi < n_old && !delta.contains_object(crate::ObjectId::from_index(oi)) {
+                f.copy_object(self, oi);
+            } else {
+                f.push_view(view);
+            }
+        }
+        *self = f;
+    }
+
+    /// An empty table with arenas sized for `idx` and the leading offset
+    /// entries in place.
+    fn with_capacities(idx: &ObservationIndex) -> FlatObservations {
+        let views = idx.views();
+        let n_obj = views.len();
+        let n_records: usize = views.iter().map(|v| v.sources.len()).sum();
+        let n_answers: usize = views.iter().map(|v| v.workers.len()).sum();
+        let n_slots: usize = views.iter().map(|v| v.n_candidates()).sum();
+        let mut f = FlatObservations {
+            cand_off: Vec::with_capacity(n_obj + 1),
+            cand_value: Vec::with_capacity(n_slots),
+            source_count: Vec::with_capacity(n_slots),
+            worker_count: Vec::with_capacity(n_slots),
+            in_oh: Vec::with_capacity(n_obj),
+            rec_off: Vec::with_capacity(n_obj + 1),
+            rec_src: Vec::with_capacity(n_records),
+            rec_cand: Vec::with_capacity(n_records),
+            ans_off: Vec::with_capacity(n_obj + 1),
+            ans_wrk: Vec::with_capacity(n_answers),
+            ans_cand: Vec::with_capacity(n_answers),
+            anc_off: Vec::with_capacity(n_slots + 1),
+            anc: Vec::new(),
+            desc_off: Vec::with_capacity(n_slots + 1),
+            desc: Vec::new(),
+            mask_off: Vec::with_capacity(n_obj + 1),
+            anc_mask: Vec::new(),
+            recs_per_source: (0..idx.n_sources())
+                .map(|s| idx.objects_of_source(crate::SourceId::from_index(s)).len() as u32)
+                .collect(),
+            ans_per_worker: (0..idx.n_workers())
+                .map(|w| idx.objects_of_worker(crate::WorkerId::from_index(w)).len() as u32)
+                .collect(),
+        };
+        f.cand_off.push(0);
+        f.rec_off.push(0);
+        f.ans_off.push(0);
+        f.anc_off.push(0);
+        f.desc_off.push(0);
+        f.mask_off.push(0);
+        f
     }
 
     /// Borrow object `oi`'s slice of every table.
@@ -282,79 +428,9 @@ impl ObservationIndex {
     /// result after [`ObservationIndex::append_from`] is identical to
     /// flattening a from-scratch rebuild (pinned by the `flat_view` suite).
     pub fn flatten(&self) -> FlatObservations {
-        let views = self.views();
-        let n_obj = views.len();
-        let n_records: usize = views.iter().map(|v| v.sources.len()).sum();
-        let n_answers: usize = views.iter().map(|v| v.workers.len()).sum();
-        let n_slots: usize = views.iter().map(|v| v.n_candidates()).sum();
-
-        let mut f = FlatObservations {
-            cand_off: Vec::with_capacity(n_obj + 1),
-            cand_value: Vec::with_capacity(n_slots),
-            source_count: Vec::with_capacity(n_slots),
-            worker_count: Vec::with_capacity(n_slots),
-            in_oh: Vec::with_capacity(n_obj),
-            rec_off: Vec::with_capacity(n_obj + 1),
-            rec_src: Vec::with_capacity(n_records),
-            rec_cand: Vec::with_capacity(n_records),
-            ans_off: Vec::with_capacity(n_obj + 1),
-            ans_wrk: Vec::with_capacity(n_answers),
-            ans_cand: Vec::with_capacity(n_answers),
-            anc_off: Vec::with_capacity(n_slots + 1),
-            anc: Vec::new(),
-            desc_off: Vec::with_capacity(n_slots + 1),
-            desc: Vec::new(),
-            mask_off: Vec::with_capacity(n_obj + 1),
-            anc_mask: Vec::new(),
-            recs_per_source: (0..self.n_sources())
-                .map(|s| self.objects_of_source(crate::SourceId::from_index(s)).len() as u32)
-                .collect(),
-            ans_per_worker: (0..self.n_workers())
-                .map(|w| self.objects_of_worker(crate::WorkerId::from_index(w)).len() as u32)
-                .collect(),
-        };
-        f.cand_off.push(0);
-        f.rec_off.push(0);
-        f.ans_off.push(0);
-        f.anc_off.push(0);
-        f.desc_off.push(0);
-        f.mask_off.push(0);
-
-        for view in views {
-            let k = view.n_candidates();
-            f.cand_value.extend_from_slice(&view.candidates);
-            f.source_count.extend_from_slice(&view.source_count);
-            f.worker_count.extend_from_slice(&view.worker_count);
-            f.in_oh.push(view.in_oh);
-            for t in 0..k {
-                f.anc.extend_from_slice(&view.ancestors[t]);
-                f.anc_off.push(f.anc.len() as u32);
-                f.desc.extend_from_slice(&view.descendants[t]);
-                f.desc_off.push(f.desc.len() as u32);
-            }
-            for &(s, c) in &view.sources {
-                f.rec_src.push(s.0);
-                f.rec_cand.push(c);
-            }
-            for &(w, c) in &view.workers {
-                f.ans_wrk.push(w.0);
-                f.ans_cand.push(c);
-            }
-            if view.in_oh {
-                let words = (k * k).div_ceil(64);
-                let base = f.anc_mask.len();
-                f.anc_mask.resize(base + words, 0);
-                for (t, anc) in view.ancestors.iter().enumerate() {
-                    for &c in anc {
-                        let bit = t * k + c as usize;
-                        f.anc_mask[base + bit / 64] |= 1u64 << (bit % 64);
-                    }
-                }
-            }
-            f.cand_off.push(f.cand_value.len() as u32);
-            f.rec_off.push(f.rec_src.len() as u32);
-            f.ans_off.push(f.ans_wrk.len() as u32);
-            f.mask_off.push(f.anc_mask.len() as u32);
+        let mut f = FlatObservations::with_capacities(self);
+        for view in self.views() {
+            f.push_view(view);
         }
         f
     }
@@ -467,6 +543,39 @@ mod tests {
         assert_eq!(flat.mask_off[1], flat.mask_off[2]);
         let fo = flat.object(1);
         assert!(!fo.is_ancestor(0, 1) && !fo.is_ancestor(1, 0));
+    }
+
+    #[test]
+    fn refresh_after_append_equals_full_flatten() {
+        let (mut ds, mut idx) = fixture();
+        let mut flat = idx.flatten();
+        // A batch that inserts a candidate (remapping sol's rows), touches
+        // Big Ben too, and introduces a brand-new object.
+        let (nr, na) = (ds.records().len(), ds.answers().len());
+        let sol = ds.object_by_name("Statue of Liberty").unwrap();
+        let bb = ds.object_by_name("Big Ben").unwrap();
+        let tower = ds.intern_object("Eiffel Tower");
+        let s0 = ds.intern_source("s0");
+        let node = |ds: &Dataset, n: &str| ds.hierarchy().node_by_name(n).unwrap();
+        ds.add_record(sol, s0, node(&ds, "USA"));
+        ds.add_record(bb, s0, node(&ds, "London"));
+        ds.add_record(tower, s0, node(&ds, "LA"));
+        let delta = idx.append_from(&ds, nr, na);
+        flat.refresh(&idx, &delta);
+        assert_eq!(flat, idx.flatten(), "refresh must equal a full flatten");
+    }
+
+    #[test]
+    fn refresh_with_empty_delta_grows_new_objects_only() {
+        let (mut ds, mut idx) = fixture();
+        let mut flat = idx.flatten();
+        // Interning an object without claims grows the view table but
+        // produces an empty delta; refresh must still cover the new row.
+        ds.intern_object("claimless");
+        let delta = idx.append_from(&ds, ds.records().len(), ds.answers().len());
+        assert!(delta.is_empty());
+        flat.refresh(&idx, &delta);
+        assert_eq!(flat, idx.flatten());
     }
 
     #[test]

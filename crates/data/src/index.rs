@@ -5,6 +5,7 @@ use std::collections::HashSet;
 use tdh_hierarchy::{Hierarchy, NodeId};
 
 use crate::dataset::Dataset;
+use crate::delta::{DeltaSet, TouchedObject};
 use crate::ids::{ObjectId, SourceId, WorkerId};
 use crate::par;
 use crate::{Answer, Record};
@@ -338,13 +339,24 @@ impl ObservationIndex {
     /// as it was — the WAL-replay path in `tdh-serve` relies on a batch
     /// applying fully or not at all.
     ///
+    /// Returns the batch's [`DeltaSet`]: the touched objects (with their
+    /// pre-batch claim-prefix lengths) and the sources/workers they
+    /// implicate, one-hop closed — the footprint an incremental refit
+    /// (`TdhModel::fit_delta`) re-estimates while everything else stays
+    /// frozen. Callers that refit unconditionally may ignore it.
+    ///
     /// # Panics
     /// Panics if an appended answer's value is not among its object's
     /// candidates after the batch's records are applied (workers select
     /// from `V_o` by problem definition, §2.1), or if `n_prev_records` /
     /// `n_prev_answers` exceed the dataset's current counts. Either way
     /// the index is left unmodified.
-    pub fn append_from(&mut self, ds: &Dataset, n_prev_records: usize, n_prev_answers: usize) {
+    pub fn append_from(
+        &mut self,
+        ds: &Dataset,
+        n_prev_records: usize,
+        n_prev_answers: usize,
+    ) -> DeltaSet {
         // Validate the whole batch up front, before any mutation.
         assert!(
             n_prev_records <= ds.records().len() && n_prev_answers <= ds.answers().len(),
@@ -394,12 +406,50 @@ impl ObservationIndex {
         if self.by_worker.len() < ds.n_workers() {
             self.by_worker.resize(ds.n_workers(), Vec::new());
         }
+
+        // Snapshot each touched object's pre-batch claim-prefix lengths
+        // before any mutation; appends only ever push at the end of a
+        // view's `S_o`/`W_o` rows, so these prefixes survive the batch.
+        let mut touched: Vec<ObjectId> = ds.records()[n_prev_records..]
+            .iter()
+            .map(|r| r.object)
+            .chain(ds.answers()[n_prev_answers..].iter().map(|a| a.object))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let objects: Vec<TouchedObject> = touched
+            .iter()
+            .map(|&o| {
+                let view = &self.views[o.index()];
+                TouchedObject {
+                    object: o,
+                    old_records: view.sources.len() as u32,
+                    old_answers: view.workers.len() as u32,
+                }
+            })
+            .collect();
+
         for r in &ds.records()[n_prev_records..] {
             self.push_record(ds.hierarchy(), *r);
         }
         for a in &ds.answers()[n_prev_answers..] {
             self.push_answer(*a);
         }
+
+        // One-hop closure: every source/worker with any claim on a touched
+        // object (old or new — a delta refit moves *all* their statistics).
+        let mut sources: Vec<SourceId> = Vec::new();
+        let mut workers: Vec<WorkerId> = Vec::new();
+        for t in &objects {
+            let view = &self.views[t.object.index()];
+            sources.extend(view.sources.iter().map(|&(s, _)| s));
+            workers.extend(view.workers.iter().map(|&(w, _)| w));
+        }
+        sources.sort_unstable();
+        sources.dedup();
+        workers.sort_unstable();
+        workers.dedup();
+        DeltaSet::from_parts(objects, sources, workers)
     }
 
     /// Append one record, extending the object's candidate set when the
@@ -739,6 +789,40 @@ mod tests {
         assert_eq!(a.workers, b.workers);
         assert_eq!(a.worker_count, b.worker_count);
         assert_eq!(idx.objects_of_worker(w), rebuilt.objects_of_worker(w));
+    }
+
+    #[test]
+    fn append_from_reports_the_delta() {
+        let (mut ds, mut idx) = table1();
+        let (nr, na) = (ds.records().len(), ds.answers().len());
+        let sol = ds.object_by_name("Statue of Liberty").unwrap();
+        let w = ds.intern_worker("w0");
+        let ny = ds.hierarchy().node_by_name("NY").unwrap();
+        ds.add_answer(sol, w, ny);
+        let d = idx.append_from(&ds, nr, na);
+        // Only the Statue of Liberty was touched, with its pre-batch
+        // three-record / zero-answer prefix recorded.
+        assert_eq!(d.objects().len(), 1);
+        let t = d.touched(sol).expect("sol touched");
+        assert_eq!(t.old_records, 3);
+        assert_eq!(t.old_answers, 0);
+        // One-hop closure: every source that ever claimed about sol is
+        // implicated (UNESCO, Wikipedia, Arrangy), plus the new worker.
+        assert_eq!(
+            d.sources(),
+            &[SourceId(0), SourceId(1), SourceId(2)],
+            "sol's three sources"
+        );
+        assert_eq!(d.workers(), &[w]);
+        assert!((d.touched_frac(idx.n_objects()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn untouched_append_reports_an_empty_delta() {
+        let (ds, mut idx) = table1();
+        let d = idx.append_from(&ds, ds.records().len(), ds.answers().len());
+        assert!(d.is_empty());
+        assert_eq!(d.touched_frac(idx.n_objects()), 0.0);
     }
 
     #[test]

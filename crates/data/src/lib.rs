@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 mod dataset;
+mod delta;
 mod flat;
 mod ids;
 mod index;
@@ -37,6 +38,7 @@ mod numeric;
 pub mod par;
 
 pub use dataset::{Dataset, DatasetStats};
+pub use delta::{DeltaSet, TouchedObject};
 pub use flat::{FlatObject, FlatObservations};
 pub use ids::{ObjectId, SourceId, WorkerId};
 pub use index::{ObjectView, ObservationIndex};

@@ -241,6 +241,43 @@ proptest! {
         prop_assert_eq!(&inc, &reb, "append_from and rebuild must flatten identically");
         assert_flat_matches_views(&idx, &inc, "appended");
     }
+
+    #[test]
+    fn refresh_equals_rebuild_then_flatten(
+        n_obj in 1usize..6,
+        dims in (1usize..4, 1usize..3),
+        base_records in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 0..20),
+        grow_records in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 1..20),
+        grow_answers in proptest::collection::vec(
+            (0usize..1000, 0usize..1000, 0usize..1000), 0..12),
+        split in 0usize..20,
+    ) {
+        let (n_src, n_wrk) = dims;
+        // Flatten the base corpus, grow the dataset in TWO appends (their
+        // deltas merged), then refresh the stale flat view: it must equal a
+        // from-scratch rebuild + flatten, bit for bit.
+        let base = build_dataset(4, 3, n_obj, n_src, n_wrk, &base_records, &[]);
+        let mut idx = ObservationIndex::build(&base);
+        let mut flat = idx.flatten();
+        let (n_recs, n_ans) = (base.records().len(), base.answers().len());
+
+        let split = split.min(grow_records.len());
+        let mut raw = base_records.clone();
+        raw.extend_from_slice(&grow_records[..split]);
+        let mid = build_dataset(4, 3, n_obj, n_src, n_wrk, &raw, &[]);
+        let mut delta = idx.append_from(&mid, n_recs, n_ans);
+        let (m_recs, m_ans) = (mid.records().len(), mid.answers().len());
+
+        raw.extend_from_slice(&grow_records[split..]);
+        let grown = build_dataset(4, 3, n_obj, n_src, n_wrk, &raw, &grow_answers);
+        delta.merge(&idx.append_from(&grown, m_recs, m_ans));
+
+        flat.refresh(&idx, &delta);
+        let reb = ObservationIndex::build(&grown).flatten();
+        prop_assert_eq!(&flat, &reb, "refresh must equal rebuild + flatten");
+    }
 }
 
 #[test]

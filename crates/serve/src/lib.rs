@@ -32,6 +32,16 @@
 //!   ([`tdh_core::TdhModel::fit_from`]) seeded from the previous posterior
 //!   — on realistic batches this converges in a fraction of a cold fit's
 //!   iterations (the `tdh-bench` `serving` scenario measures both).
+//!   Under [`RefitPolicy::StalenessBound`] small batches take the
+//!   **incremental delta path** instead: [`tdh_core::TdhModel::fit_delta`]
+//!   re-estimates only the touched objects and
+//!   [`TruthServer::refit_delta_now`] publishes a structurally shared
+//!   [`ServingState`] *patch* — per-batch work proportional to the delta,
+//!   not the corpus, with a drift bound forcing a periodic full fit (the
+//!   `tdh-bench` `incremental` scenario measures the flatness).
+//!   [`TruthServer::ingest_group`] ingests several batches under one
+//!   **group-commit** durability barrier: each batch's claims are WAL
+//!   appended unsynced and a single fsync acknowledges the whole group.
 //! * [`ServingState`] / [`StateReader`] — the **publish-on-refit** read
 //!   path: every fit publishes an immutable snapshot of the queryable
 //!   surface (truths + paths + confidences, `φ`/`ψ` keyed by name, the
@@ -109,8 +119,8 @@ pub use metrics::ServerMetrics;
 pub use net::{serve_tcp, serve_tcp_with, ServeHandle, DEFAULT_NET_WORKERS};
 pub use router::{serve_router, serve_router_with, Router, RouterHandle};
 pub use server::{
-    CheckpointReport, Claim, DurableError, IngestReport, RecoveryReport, RefitPolicy, RefitSummary,
-    ServeError, ServerStats, TruthAnswer, TruthServer,
+    CheckpointReport, Claim, DurableError, IngestReport, RecoveryReport, RefitKind, RefitPolicy,
+    RefitSummary, ServeError, ServerStats, TruthAnswer, TruthServer, DELTA_MAX_DEBT,
 };
 pub use shard::{
     partition_dataset, shard_of, ShardedIngestError, ShardedIngestReport, ShardedServer,

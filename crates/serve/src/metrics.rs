@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use tdh_obs::{Counter, Gauge, Histogram, Registry};
 
-use crate::server::ServerStats;
+use crate::server::{RefitKind, ServerStats};
 
 /// Lock-free mirrors of one [`crate::TruthServer`]'s serving counters, plus
 /// its ingest/WAL/refit histograms, all living in a [`Registry`] the
@@ -41,12 +41,17 @@ pub struct ServerMetrics {
     records: Arc<Counter>,
     answers: Arc<Counter>,
     batches: Arc<Counter>,
-    refits_warm: Arc<Counter>,
-    refits_cold: Arc<Counter>,
+    /// `tdh_refits_total{warm, kind}` — indexed `[warm as usize][kind as
+    /// usize]` with [`RefitKind::Full`] = 0, [`RefitKind::Delta`] = 1. The
+    /// full `{warm} × {kind}` cross product is registered so either label
+    /// can be aggregated over without double counting (the cold/delta cell
+    /// stays zero — a delta refit always patches a warm baseline).
+    refits: [[Arc<Counter>; 2]; 2],
     publications: Arc<Counter>,
     checkpoints: Arc<Counter>,
     batch_claims: Arc<Histogram>,
     refit_us: Arc<Histogram>,
+    delta_refit_us: Arc<Histogram>,
     /// Milliseconds since `start` of the newest publication; `u64::MAX`
     /// until the first one.
     last_publication_ms: AtomicU64,
@@ -64,12 +69,20 @@ impl ServerMetrics {
             records: registry.counter("tdh_records_total", &[]),
             answers: registry.counter("tdh_answers_total", &[]),
             batches: registry.counter("tdh_ingest_batches_total", &[]),
-            refits_warm: registry.counter("tdh_refits_total", &[("warm", "true")]),
-            refits_cold: registry.counter("tdh_refits_total", &[("warm", "false")]),
+            refits: {
+                let cell = |warm, kind| {
+                    registry.counter("tdh_refits_total", &[("warm", warm), ("kind", kind)])
+                };
+                [
+                    [cell("false", "full"), cell("false", "delta")],
+                    [cell("true", "full"), cell("true", "delta")],
+                ]
+            },
             publications: registry.counter("tdh_publications_total", &[]),
             checkpoints: registry.counter("tdh_checkpoints_total", &[]),
             batch_claims: registry.histogram("tdh_ingest_batch_claims", &[]),
             refit_us: registry.histogram("tdh_refit_duration_us", &[]),
+            delta_refit_us: registry.histogram("tdh_delta_refit_duration_us", &[]),
             last_publication_ms: AtomicU64::new(u64::MAX),
             start: Instant::now(),
             registry,
@@ -90,6 +103,7 @@ impl ServerMetrics {
             fsync_us: self.registry.histogram("tdh_wal_fsync_us", &[]),
             appended_bytes: self.registry.counter("tdh_wal_appended_bytes_total", &[]),
             rotations: self.registry.counter("tdh_wal_rotations_total", &[]),
+            syncs: self.registry.counter("tdh_wal_syncs_total", &[]),
         }
     }
 
@@ -113,14 +127,19 @@ impl ServerMetrics {
         self.batch_claims.record(claims as u64);
     }
 
-    /// Record one refit.
-    pub(crate) fn on_refit(&self, warm: bool, duration: Duration) {
-        if warm {
-            self.refits_warm.inc();
-        } else {
-            self.refits_cold.inc();
-        }
+    /// Record one refit (full or delta; the delta path additionally feeds
+    /// its own latency histogram, whose scale is the delta's size rather
+    /// than the corpus').
+    pub(crate) fn on_refit(&self, warm: bool, kind: RefitKind, duration: Duration) {
+        let kind_idx = match kind {
+            RefitKind::Full => 0,
+            RefitKind::Delta => 1,
+        };
+        self.refits[usize::from(warm)][kind_idx].inc();
         self.refit_us.record_duration(duration);
+        if kind == RefitKind::Delta {
+            self.delta_refit_us.record_duration(duration);
+        }
         self.pending.set(0.0);
     }
 
@@ -164,7 +183,7 @@ impl ServerMetrics {
             n_answers: self.answers.get() as usize,
             pending_claims: self.pending.get() as usize,
             batches: self.batches.get(),
-            refits: self.refits_warm.get() + self.refits_cold.get(),
+            refits: self.refits.iter().flatten().map(|c| c.get()).sum(),
             publications: self.publications.get(),
         }
     }
@@ -286,7 +305,8 @@ mod tests {
         m.set_population(10, 3, 2);
         m.on_batch(5);
         m.on_applied(4, 1, 5);
-        m.on_refit(true, Duration::from_micros(250));
+        m.on_refit(true, RefitKind::Full, Duration::from_micros(250));
+        m.on_refit(true, RefitKind::Delta, Duration::from_micros(50));
         m.on_publish();
         let s = m.stats();
         assert_eq!(s.n_objects, 10);
@@ -294,9 +314,13 @@ mod tests {
         assert_eq!(s.n_answers, 1);
         assert_eq!(s.pending_claims, 0);
         assert_eq!(s.batches, 1);
-        assert_eq!(s.refits, 1);
+        assert_eq!(s.refits, 2);
         assert_eq!(s.publications, 1);
         assert!(m.publication_age().is_some());
+        let text = m.registry().render();
+        assert!(text.contains("kind=\"full\""));
+        assert!(text.contains("kind=\"delta\""));
+        assert!(text.contains("tdh_delta_refit_duration_us_count 1"));
     }
 
     #[test]

@@ -793,14 +793,16 @@ pub(crate) fn reliability_reply(
     )
 }
 
-/// Render a `TOPK` reply.
-pub(crate) fn topk_reply(items: &[(String, f64)]) -> String {
+/// Render a `TOPK` reply. Generic over the name representation so it
+/// accepts both a published state's `Arc<str>` ranking slice and the
+/// router's merged `String` list without copies.
+pub(crate) fn topk_reply<S: AsRef<str>>(items: &[(S, f64)]) -> String {
     let items: Vec<String> = items
         .iter()
         .map(|(o, u)| {
             format!(
                 "{{\"object\":{},\"uncertainty\":{}}}",
-                json_str(o),
+                json_str(o.as_ref()),
                 json_f64(*u)
             )
         })
@@ -961,8 +963,12 @@ pub(crate) fn refit_field(refit: Option<RefitSummary>) -> String {
 }
 
 pub(crate) fn refit_json(r: RefitSummary) -> String {
+    let kind = match r.kind {
+        crate::server::RefitKind::Full => "full",
+        crate::server::RefitKind::Delta => "delta",
+    };
     format!(
-        "{{\"iterations\":{},\"converged\":{},\"warm\":{},\"seconds\":{}}}",
+        "{{\"iterations\":{},\"converged\":{},\"warm\":{},\"kind\":\"{kind}\",\"seconds\":{}}}",
         r.iterations,
         r.converged,
         r.warm,

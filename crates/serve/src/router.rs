@@ -381,13 +381,18 @@ fn router_stats_json(server: &ShardedServer, session: &Session, net: &EndpointMe
 }
 
 /// Render an all-shard refit as one aggregate reply (iterations summed,
-/// `warm`/`converged` true only if every shard's was).
+/// `warm`/`converged` true only if every shard's was, delta-path refits
+/// counted across shards).
 fn refits_reply(summaries: &[RefitSummary]) -> String {
     let iterations: usize = summaries.iter().map(|r| r.iterations).sum();
     let seconds: f64 = summaries.iter().map(|r| r.duration.as_secs_f64()).sum();
+    let delta_refits = summaries
+        .iter()
+        .filter(|r| r.kind == crate::server::RefitKind::Delta)
+        .count();
     format!(
         "{{\"ok\":true,\"shards\":{},\"iterations\":{iterations},\"converged\":{},\
-         \"warm\":{},\"seconds\":{}}}",
+         \"warm\":{},\"delta_refits\":{delta_refits},\"seconds\":{}}}",
         summaries.len(),
         summaries.iter().all(|r| r.converged),
         summaries.iter().all(|r| r.warm),

@@ -20,8 +20,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use tdh_core::{TdhConfig, TdhModel, TruthDiscovery, TruthEstimate};
-use tdh_data::{Dataset, ObjectId, ObservationIndex};
+use tdh_core::{DeltaFitReport, TdhConfig, TdhModel, TruthDiscovery, TruthEstimate};
+use tdh_data::{Dataset, DeltaSet, ObjectId, ObservationIndex};
 use tdh_hierarchy::NodeId;
 use tdh_obs::Level;
 
@@ -36,14 +36,35 @@ const SNAPSHOT_FILE: &str = "snapshot.tdhsnap";
 /// The write-ahead-log subdirectory of a durable data directory.
 const WAL_DIR: &str = "wal";
 
+/// Drift-debt budget [`TruthServer::refit_delta_now`] hands to
+/// [`TdhModel::fit_delta`]: the summed touched fractions delta refits may
+/// accumulate before the next one is forced through a full fit. Half a
+/// corpus worth of frozen-neighbour approximation is a conservative point —
+/// the equivalence suite pins delta-vs-full posterior agreement well inside
+/// it.
+pub const DELTA_MAX_DEBT: f64 = 0.5;
+
 /// When the server refits after ingesting claims.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RefitPolicy {
     /// Refit at the end of every [`TruthServer::ingest`] batch.
     EveryBatch,
     /// Refit once at least this many claims accumulated since the last fit
     /// (checked at batch boundaries; a huge batch still refits once).
     ClaimThreshold(usize),
+    /// Refit at the end of every batch, like [`RefitPolicy::EveryBatch`],
+    /// but route the refit by *staleness*: when the pending claims touch at
+    /// most `max_touched_frac` of the corpus' objects, run an incremental
+    /// delta refit ([`TruthServer::refit_delta_now`]) whose cost is
+    /// proportional to the delta; otherwise (or when the delta path rejects
+    /// — drift budget spent, no warm baseline) run a full fit. `0.0` sends
+    /// every non-empty batch to the full path; `1.0` attempts the delta
+    /// path for every batch.
+    StalenessBound {
+        /// Largest fraction of objects a pending delta may touch and still
+        /// take the incremental path.
+        max_touched_frac: f64,
+    },
     /// Never refit automatically; the caller drives
     /// [`TruthServer::refit_now`].
     Manual,
@@ -78,6 +99,18 @@ pub enum Claim {
     },
 }
 
+/// Which fit path a refit took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefitKind {
+    /// A full EM fit over the whole corpus, publishing a freshly computed
+    /// [`ServingState`](crate::ServingState).
+    Full,
+    /// An incremental [`TdhModel::fit_delta`] over the pending delta's
+    /// objects, publishing a structurally shared patch of the previous
+    /// state.
+    Delta,
+}
+
 /// What one refit did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RefitSummary {
@@ -87,9 +120,18 @@ pub struct RefitSummary {
     pub converged: bool,
     /// Whether the fit was warm-started from previous parameters.
     pub warm: bool,
+    /// Whether this was a full fit or an incremental delta refit.
+    pub kind: RefitKind,
     /// Wall-clock time of the refit (EM only; the index was already
     /// current).
     pub duration: Duration,
+    /// Wall-clock time spent building and swapping the publication
+    /// ([`ServingState`](crate::ServingState) compute for full fits, patch
+    /// for delta refits).
+    pub publish: Duration,
+    /// The delta-path report, when [`RefitSummary::kind`] is
+    /// [`RefitKind::Delta`] (touched-object count, drift debt).
+    pub delta: Option<DeltaFitReport>,
 }
 
 /// The outcome of one [`TruthServer::ingest`] batch.
@@ -325,6 +367,11 @@ pub struct TruthServer {
     est: TruthEstimate,
     policy: RefitPolicy,
     pending: usize,
+    /// The objects/sources/workers touched by claims ingested since the
+    /// last refit (the union of every pending batch's
+    /// [`ObservationIndex::append_from`] delta). Cleared on every refit;
+    /// consumed by the delta path of [`TruthServer::refit_delta_now`].
+    pending_delta: DeltaSet,
     batches: u64,
     refits: u64,
     last_refit: Option<RefitSummary>,
@@ -346,16 +393,21 @@ impl TruthServer {
         let t0 = Instant::now();
         let est = model.infer(&ds, &idx);
         let report = model.fit_report().expect("infer records a report");
+        let duration = t0.elapsed();
+        let t1 = Instant::now();
+        let published = StateSlot::new(ServingState::compute(&ds, &model, &est, 1));
         let summary = RefitSummary {
             iterations: report.iterations,
             converged: report.converged,
             warm: false,
-            duration: t0.elapsed(),
+            kind: RefitKind::Full,
+            duration,
+            publish: t1.elapsed(),
+            delta: None,
         };
-        let published = StateSlot::new(ServingState::compute(&ds, &model, &est, 1));
         metrics.set_population(ds.n_objects(), ds.n_sources(), ds.n_workers());
         metrics.on_applied(ds.records().len(), ds.answers().len(), 0);
-        metrics.on_refit(false, summary.duration);
+        metrics.on_refit(false, RefitKind::Full, summary.duration);
         metrics.on_publish();
         TruthServer {
             ds,
@@ -364,6 +416,7 @@ impl TruthServer {
             est,
             policy,
             pending: 0,
+            pending_delta: DeltaSet::new(),
             batches: 0,
             refits: 1,
             last_refit: Some(summary),
@@ -437,6 +490,7 @@ impl TruthServer {
             est,
             policy,
             pending: 0,
+            pending_delta: DeltaSet::new(),
             batches: 0,
             refits: 0,
             last_refit: None,
@@ -659,38 +713,135 @@ impl TruthServer {
         // Durability barrier: log what was actually appended before any
         // ack (the Err path included — those claims stayed applied).
         let mut wal_time = None;
-        if let Some(d) = &mut self.durability {
-            if appended_records + appended_answers > 0 {
-                let records = self.ds.records();
-                let answers = self.ds.answers();
-                let mut logged = Vec::with_capacity(appended_records + appended_answers);
-                for r in &records[records.len() - appended_records..] {
-                    logged.push(Claim::Record {
-                        object: self.ds.object_name(r.object).to_string(),
-                        source: self.ds.source_name(r.source).to_string(),
-                        value: self.ds.hierarchy().name(r.value).to_string(),
-                    });
-                }
-                for a in &answers[answers.len() - appended_answers..] {
-                    logged.push(Claim::Answer {
-                        object: self.ds.object_name(a.object).to_string(),
-                        worker: self.ds.worker_name(a.worker).to_string(),
-                        value: self.ds.hierarchy().name(a.value).to_string(),
-                    });
-                }
-                let t0 = Instant::now();
-                d.wal
-                    .append(&logged)
-                    .map_err(|e| ServeError::Durability(e.to_string()))?;
-                wal_time = Some(t0.elapsed());
-            }
+        if self.durability.is_some() && appended_records + appended_answers > 0 {
+            let logged = self.logged_claims(appended_records, appended_answers);
+            let d = self.durability.as_mut().expect("checked above");
+            let t0 = Instant::now();
+            d.wal
+                .append(&logged)
+                .map_err(|e| ServeError::Durability(e.to_string()))?;
+            wal_time = Some(t0.elapsed());
         }
 
         if let Some(e) = failure {
             return Err(e);
         }
 
-        let refit = match self.policy {
+        let refit = self.policy_refit();
+        Ok(IngestReport {
+            appended_records,
+            appended_answers,
+            refit,
+            pending: self.pending,
+            wal: wal_time,
+        })
+    }
+
+    /// Ingest several batches under one durability barrier (**group
+    /// commit**): every batch's accepted claims are appended to the WAL
+    /// unsynced, then a *single* fsync acknowledges them all, and the refit
+    /// policy runs once at the group boundary (the refit, if any, lands on
+    /// the last successful report). With per-batch [`TruthServer::ingest`]
+    /// each batch pays its own fsync; here `n` batches cost one — the fsync
+    /// coalescing a front-end that buffers concurrent producers wants.
+    ///
+    /// Per-batch semantics are unchanged: each `Result` mirrors what
+    /// [`TruthServer::ingest`] would have returned for that batch (partial
+    /// failures keep their prefix applied and logged). If the group's final
+    /// sync fails, **every** batch of the group is reported as
+    /// unacknowledged — none of its appends are guaranteed on disk.
+    pub fn ingest_group(
+        &mut self,
+        batches: &[Vec<Claim>],
+    ) -> Vec<Result<IngestReport, ServeError>> {
+        let mut results: Vec<Result<IngestReport, ServeError>> = Vec::with_capacity(batches.len());
+        for batch in batches {
+            self.batches += 1;
+            self.metrics.on_batch(batch.len());
+            let (appended_records, appended_answers, failure) = self.apply_batch(batch);
+            let mut wal_time = None;
+            let mut wal_err = None;
+            if self.durability.is_some() && appended_records + appended_answers > 0 {
+                let logged = self.logged_claims(appended_records, appended_answers);
+                let d = self.durability.as_mut().expect("checked above");
+                let t0 = Instant::now();
+                match d.wal.append_unsynced(&logged) {
+                    Ok(_seq) => wal_time = Some(t0.elapsed()),
+                    Err(e) => wal_err = Some(ServeError::Durability(e.to_string())),
+                }
+            }
+            match (wal_err, failure) {
+                (Some(e), _) | (None, Some(e)) => results.push(Err(e)),
+                (None, None) => results.push(Ok(IngestReport {
+                    appended_records,
+                    appended_answers,
+                    refit: None,
+                    pending: self.pending,
+                    wal: wal_time,
+                })),
+            }
+        }
+
+        // The group's durability barrier: one fsync acks every batch
+        // appended above.
+        if let Some(d) = &mut self.durability {
+            let t0 = Instant::now();
+            if let Err(e) = d.wal.sync() {
+                for r in results.iter_mut() {
+                    if r.is_ok() {
+                        *r = Err(ServeError::Durability(e.to_string()));
+                    }
+                }
+                return results;
+            }
+            let sync_time = t0.elapsed();
+            // Charge the shared fsync to the last durable batch's report.
+            if let Some(r) = results
+                .iter_mut()
+                .rev()
+                .filter_map(|r| r.as_mut().ok())
+                .find(|r| r.wal.is_some())
+            {
+                r.wal = Some(r.wal.unwrap_or_default() + sync_time);
+            }
+        }
+
+        // Policy check once, at the group boundary.
+        let refit = self.policy_refit();
+        if let Some(last) = results.iter_mut().rev().find_map(|r| r.as_mut().ok()) {
+            last.refit = refit;
+            last.pending = self.pending;
+        }
+        results
+    }
+
+    /// The last `records`/`answers` appended to the dataset, re-encoded as
+    /// named claims for WAL logging.
+    fn logged_claims(&self, appended_records: usize, appended_answers: usize) -> Vec<Claim> {
+        let records = self.ds.records();
+        let answers = self.ds.answers();
+        let mut logged = Vec::with_capacity(appended_records + appended_answers);
+        for r in &records[records.len() - appended_records..] {
+            logged.push(Claim::Record {
+                object: self.ds.object_name(r.object).to_string(),
+                source: self.ds.source_name(r.source).to_string(),
+                value: self.ds.hierarchy().name(r.value).to_string(),
+            });
+        }
+        for a in &answers[answers.len() - appended_answers..] {
+            logged.push(Claim::Answer {
+                object: self.ds.object_name(a.object).to_string(),
+                worker: self.ds.worker_name(a.worker).to_string(),
+                value: self.ds.hierarchy().name(a.value).to_string(),
+            });
+        }
+        logged
+    }
+
+    /// Evaluate the refit policy against the pending claims, running the
+    /// refit it selects. `None` when the policy keeps the posterior stale.
+    fn policy_refit(&mut self) -> Option<RefitSummary> {
+        match self.policy {
             RefitPolicy::EveryBatch if self.pending > 0 => Some(self.refit_now()),
             // `pending > 0` matters when `t == 0`: a batch that appended
             // nothing (empty, or all claims rejected with what preceded
@@ -699,15 +850,16 @@ impl TruthServer {
             RefitPolicy::ClaimThreshold(t) if self.pending > 0 && self.pending >= t => {
                 Some(self.refit_now())
             }
+            RefitPolicy::StalenessBound { max_touched_frac } if self.pending > 0 => {
+                let frac = self.pending_delta.touched_frac(self.idx.n_objects());
+                Some(if frac <= max_touched_frac {
+                    self.refit_delta_now()
+                } else {
+                    self.refit_now()
+                })
+            }
             _ => None,
-        };
-        Ok(IngestReport {
-            appended_records,
-            appended_answers,
-            refit,
-            pending: self.pending,
-            wal: wal_time,
-        })
+        }
     }
 
     /// The two ingest passes, applied to the in-memory state only: no
@@ -743,7 +895,8 @@ impl TruthServer {
                 }
             }
         }
-        self.idx.append_from(&self.ds, n_rec, n_ans);
+        let d = self.idx.append_from(&self.ds, n_rec, n_ans);
+        self.pending_delta.merge(&d);
 
         // Pass 2: answers, validated against the updated candidate sets.
         if failure.is_none() {
@@ -767,8 +920,13 @@ impl TruthServer {
                     }
                 }
             }
-            self.idx
+            // Merging keeps the *minimum* old counts per object, so the
+            // pass-1 record count used as this call's baseline cannot
+            // shadow the true pre-batch snapshot captured above.
+            let d = self
+                .idx
                 .append_from(&self.ds, self.ds.records().len(), n_ans);
+            self.pending_delta.merge(&d);
         }
 
         let appended_records = self.ds.records().len() - n_rec;
@@ -810,23 +968,30 @@ impl TruthServer {
         let t0 = Instant::now();
         self.est = self.model.infer(&self.ds, &self.idx);
         let report = self.model.fit_report().expect("infer records a report");
-        let summary = RefitSummary {
-            iterations: report.iterations,
-            converged: report.converged,
-            warm,
-            duration: t0.elapsed(),
-        };
+        let duration = t0.elapsed();
         self.pending = 0;
+        self.pending_delta = DeltaSet::new();
         self.refits += 1;
-        self.last_refit = Some(summary);
         self.publications += 1;
+        let t1 = Instant::now();
         self.published.publish(ServingState::compute(
             &self.ds,
             &self.model,
             &self.est,
             self.publications,
         ));
-        self.metrics.on_refit(warm, summary.duration);
+        let summary = RefitSummary {
+            iterations: report.iterations,
+            converged: report.converged,
+            warm,
+            kind: RefitKind::Full,
+            duration,
+            publish: t1.elapsed(),
+            delta: None,
+        };
+        self.last_refit = Some(summary);
+        self.metrics
+            .on_refit(warm, RefitKind::Full, summary.duration);
         self.metrics.on_publish();
         tdh_obs::log_event!(
             Level::Info,
@@ -835,6 +1000,78 @@ impl TruthServer {
             version = self.publications,
             iterations = summary.iterations,
             warm = warm,
+        );
+        summary
+    }
+
+    /// Refit **incrementally**: run [`TdhModel::fit_delta`] over only the
+    /// objects the pending claims touched (every other posterior frozen),
+    /// then publish a [`ServingState`](crate::ServingState) *patch* that
+    /// structurally shares the untouched majority of the previous
+    /// publication. Work — model fit and publication alike — is
+    /// proportional to the delta, not the corpus.
+    ///
+    /// Falls back to [`TruthServer::refit_now`] when the delta path
+    /// declines (warm starts disabled, no full-fit baseline — e.g. right
+    /// after a snapshot restore — or the accumulated drift debt exceeding
+    /// [`DELTA_MAX_DEBT`]); a declined `fit_delta` leaves the model
+    /// untouched, so the fallback full fit is bitwise identical to having
+    /// never attempted the delta. The returned summary's
+    /// [`RefitSummary::kind`] says which path ran.
+    pub fn refit_delta_now(&mut self) -> RefitSummary {
+        let delta = std::mem::take(&mut self.pending_delta);
+        let t0 = Instant::now();
+        let report = match self
+            .model
+            .fit_delta(&self.ds, &self.idx, &delta, DELTA_MAX_DEBT)
+        {
+            Ok(report) => report,
+            Err(rejected) => {
+                tdh_obs::log_event!(
+                    Level::Info,
+                    "refit",
+                    "delta_fallback",
+                    touched_objects = delta.objects().len(),
+                    reason = rejected.to_string(),
+                );
+                return self.refit_now();
+            }
+        };
+        self.model.patch_estimate(&self.idx, &delta, &mut self.est);
+        let duration = t0.elapsed();
+        self.pending = 0;
+        self.refits += 1;
+        self.publications += 1;
+        let t1 = Instant::now();
+        let patched = self.published.load().patch(
+            &self.ds,
+            &self.model,
+            &self.est,
+            &delta,
+            self.publications,
+        );
+        self.published.publish(patched);
+        let summary = RefitSummary {
+            iterations: report.iterations,
+            converged: report.converged,
+            warm: true,
+            kind: RefitKind::Delta,
+            duration,
+            publish: t1.elapsed(),
+            delta: Some(report),
+        };
+        self.last_refit = Some(summary);
+        self.metrics
+            .on_refit(true, RefitKind::Delta, summary.duration);
+        self.metrics.on_publish();
+        tdh_obs::log_event!(
+            Level::Info,
+            "refit",
+            "published_delta",
+            version = self.publications,
+            iterations = summary.iterations,
+            touched_objects = report.touched_objects,
+            debt = report.debt,
         );
         summary
     }
@@ -867,7 +1104,11 @@ impl TruthServer {
     /// assigner's "where would crowd answers help most" question reduces
     /// to between rounds. Served pre-ranked from the published state.
     pub fn top_uncertain(&self, k: usize) -> Vec<(String, f64)> {
-        self.state().top_uncertain(k).to_vec()
+        self.state()
+            .top_uncertain(k)
+            .iter()
+            .map(|(name, u)| (name.to_string(), *u))
+            .collect()
     }
 
     /// The current [`ServingState`] publication.
@@ -1178,5 +1419,278 @@ mod tests {
         assert_eq!(top.len(), 3);
         assert_eq!(top[0].0, "contested");
         assert!(top[0].1 > top[2].1 - 1e-12, "sorted by uncertainty");
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DIR_ID: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tdh-server-{tag}-{}-{}",
+            std::process::id(),
+            DIR_ID.fetch_add(1, Ordering::SeqCst)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A batch claiming `n` fresh objects (3 records each, one answer).
+    fn wide_batch(round: usize, n: usize) -> Vec<Claim> {
+        let mut claims = Vec::new();
+        for i in 0..n {
+            let name = format!("r{round}x{i}");
+            let truth = format!("C{}T{}", i % 4, (i + 1) % 4);
+            let wrong = format!("C{}T{}", (i + 2) % 4, (i + 1) % 4);
+            claims.push(record(&name, "good1", &truth));
+            claims.push(record(&name, "good2", &truth));
+            claims.push(record(&name, "liar", &wrong));
+            claims.push(answer(&name, "w0", &truth));
+        }
+        claims
+    }
+
+    /// Counter value rendered by the server's metrics registry, by exact
+    /// exposition-line prefix.
+    fn counter_value(server: &TruthServer, name: &str) -> u64 {
+        let text = server.metrics().registry().render();
+        text.lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn staleness_bound_routes_by_touched_fraction() {
+        // 20 bootstrap objects; the bound admits deltas touching ≤ 30%.
+        let mut server = TruthServer::new(
+            corpus(),
+            TdhConfig::default(),
+            RefitPolicy::StalenessBound {
+                max_touched_frac: 0.3,
+            },
+        );
+        // 2 fresh objects over a 22-object corpus: well under the bound.
+        let refit = server.ingest(&wide_batch(0, 2)).unwrap().refit.unwrap();
+        assert_eq!(
+            refit.kind,
+            RefitKind::Delta,
+            "small batch takes the delta path"
+        );
+        let delta = refit.delta.expect("delta summary carries its report");
+        assert_eq!(delta.touched_objects, 2);
+        assert!(refit.warm);
+        // A batch touching far more than 30% of the corpus goes full.
+        let refit = server.ingest(&wide_batch(1, 30)).unwrap().refit.unwrap();
+        assert_eq!(refit.kind, RefitKind::Full, "wide batch crosses the bound");
+        assert!(refit.delta.is_none());
+        // Both paths folded their claims in: everything answers.
+        assert!(server.truth("r0x0").is_some());
+        assert!(server.truth("r1x29").is_some());
+        assert_eq!(server.stats().pending_claims, 0);
+    }
+
+    #[test]
+    fn staleness_bound_zero_always_runs_full_fits() {
+        let mut server = TruthServer::new(
+            corpus(),
+            TdhConfig::default(),
+            RefitPolicy::StalenessBound {
+                max_touched_frac: 0.0,
+            },
+        );
+        for round in 0..3 {
+            let refit = server.ingest(&wide_batch(round, 1)).unwrap().refit.unwrap();
+            assert_eq!(
+                refit.kind,
+                RefitKind::Full,
+                "a zero bound is EveryBatch-with-full-fits"
+            );
+        }
+    }
+
+    #[test]
+    fn staleness_bound_one_deltas_until_drift_budget_forces_full() {
+        let mut server = TruthServer::new(
+            corpus(),
+            TdhConfig::default(),
+            RefitPolicy::StalenessBound {
+                max_touched_frac: 1.0,
+            },
+        );
+        let mut kinds = Vec::new();
+        for round in 0..4 {
+            // Each batch touches ~1/5 of the corpus, so the 0.5 drift
+            // budget admits a couple of delta refits and then forces a
+            // full fit that resets the debt.
+            let refit = server.ingest(&wide_batch(round, 5)).unwrap().refit.unwrap();
+            kinds.push(refit.kind);
+        }
+        assert_eq!(
+            kinds[0],
+            RefitKind::Delta,
+            "bound 1.0 always attempts delta"
+        );
+        assert!(
+            kinds.contains(&RefitKind::Full),
+            "drift debt must eventually force a full fit: {kinds:?}"
+        );
+        let counted = counter_value(&server, "tdh_refits_total{kind=\"delta\",warm=\"true\"}");
+        let expected = kinds.iter().filter(|k| **k == RefitKind::Delta).count() as u64;
+        assert_eq!(counted, expected, "kind-labelled refit counter matches");
+    }
+
+    #[test]
+    fn delta_patch_publication_matches_compute() {
+        let mut server = TruthServer::new(
+            corpus(),
+            TdhConfig::default(),
+            RefitPolicy::StalenessBound {
+                max_touched_frac: 0.5,
+            },
+        );
+        // Mix fresh objects with claims/answers on existing ones so the
+        // patch exercises inserts, updates and reliability refreshes.
+        let mut batch = wide_batch(0, 2);
+        batch.push(record("o3", "good1", "C3T3"));
+        batch.push(answer("o5", "w9", "C1T1"));
+        let refit = server.ingest(&batch).unwrap().refit.unwrap();
+        assert_eq!(refit.kind, RefitKind::Delta);
+
+        let patched = server.state();
+        let recomputed =
+            ServingState::compute(&server.ds, &server.model, &server.est, patched.version());
+        assert_eq!(patched.version(), 2, "bootstrap publication + one patch");
+        for o in server.ds.objects() {
+            let name = server.ds.object_name(o);
+            assert_eq!(
+                patched.truth(name),
+                recomputed.truth(name),
+                "truth for {name} must match a from-scratch publication"
+            );
+        }
+        for s in server.ds.sources() {
+            let name = server.ds.source_name(s);
+            assert_eq!(
+                patched.source_reliability(name),
+                recomputed.source_reliability(name)
+            );
+        }
+        for w in server.ds.workers() {
+            let name = server.ds.worker_name(w);
+            assert_eq!(
+                patched.worker_reliability(name),
+                recomputed.worker_reliability(name)
+            );
+        }
+        let n = server.ds.n_objects();
+        let a: Vec<(String, f64)> = patched
+            .top_uncertain(n)
+            .iter()
+            .map(|(o, u)| (o.to_string(), *u))
+            .collect();
+        let b: Vec<(String, f64)> = recomputed
+            .top_uncertain(n)
+            .iter()
+            .map(|(o, u)| (o.to_string(), *u))
+            .collect();
+        assert_eq!(a, b, "patched ranking must equal the from-scratch sort");
+        assert_eq!(patched.n_resolved(), recomputed.n_resolved());
+    }
+
+    #[test]
+    fn ingest_group_coalesces_fsyncs() {
+        let dir = fresh_dir("group");
+        let mut server =
+            TruthServer::create_durable(&dir, corpus(), TdhConfig::default(), RefitPolicy::Manual)
+                .unwrap();
+        assert_eq!(counter_value(&server, "tdh_wal_syncs_total"), 0);
+
+        // Three batches under one barrier: one fsync.
+        let group: Vec<Vec<Claim>> = (0..3).map(|i| wide_batch(i, 1)).collect();
+        let results = server.ingest_group(&group);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            let r = r.as_ref().expect("all batches ack");
+            assert_eq!(r.appended_records, 3);
+            assert_eq!(r.appended_answers, 1);
+        }
+        assert_eq!(
+            counter_value(&server, "tdh_wal_syncs_total"),
+            1,
+            "group commit: one fsync acks all three batches"
+        );
+
+        // The same three batches via per-batch ingest: three fsyncs.
+        for i in 3..6 {
+            server.ingest(&wide_batch(i, 1)).unwrap();
+        }
+        assert_eq!(counter_value(&server, "tdh_wal_syncs_total"), 4);
+
+        // Everything the group acked is durable: recover and check.
+        server.refit_now();
+        drop(server);
+        let recovered = TruthServer::open(&dir, RefitPolicy::Manual).unwrap();
+        assert_eq!(
+            recovered.stats().n_records,
+            60 + 3 * 6,
+            "group-committed batches replay like per-batch ones"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ingest_group_policy_runs_once_at_group_boundary() {
+        let mut server = TruthServer::new(
+            corpus(),
+            TdhConfig::default(),
+            RefitPolicy::StalenessBound {
+                max_touched_frac: 0.5,
+            },
+        );
+        let group: Vec<Vec<Claim>> = (0..3).map(|i| wide_batch(i, 1)).collect();
+        let results = server.ingest_group(&group);
+        let refits: Vec<_> = results.iter().map(|r| r.as_ref().unwrap().refit).collect();
+        assert!(refits[0].is_none() && refits[1].is_none());
+        let refit = refits[2].expect("one refit at the group boundary");
+        assert_eq!(refit.kind, RefitKind::Delta);
+        assert_eq!(
+            refit.delta.unwrap().touched_objects,
+            3,
+            "the group's merged delta covers all three batches"
+        );
+        assert_eq!(server.stats().pending_claims, 0);
+    }
+
+    #[test]
+    fn manual_delta_refits_interact_with_recovery() {
+        let dir = fresh_dir("manual-delta");
+        let mut server =
+            TruthServer::create_durable(&dir, corpus(), TdhConfig::default(), RefitPolicy::Manual)
+                .unwrap();
+        // Manual policy: the caller drives the delta path explicitly.
+        server.ingest(&wide_batch(0, 1)).unwrap();
+        let refit = server.refit_delta_now();
+        assert_eq!(refit.kind, RefitKind::Delta, "live server has a baseline");
+        server.checkpoint().unwrap();
+        drop(server);
+
+        // A checkpointed restore carries parameters but no E-step caches:
+        // the first delta request must fall back to a full fit...
+        let mut recovered = TruthServer::open(&dir, RefitPolicy::Manual).unwrap();
+        let report = recovered.recovery().expect("opened durably");
+        assert_eq!(report.replayed_batches, 0, "checkpoint covered the WAL");
+        recovered.ingest(&wide_batch(1, 1)).unwrap();
+        let refit = recovered.refit_delta_now();
+        assert_eq!(
+            refit.kind,
+            RefitKind::Full,
+            "no baseline right after restore: transparent full fallback"
+        );
+        assert!(recovered.truth("r1x0").is_some());
+        // ...which rebuilds the caches, so the next one deltas again.
+        recovered.ingest(&wide_batch(2, 1)).unwrap();
+        let refit = recovered.refit_delta_now();
+        assert_eq!(refit.kind, RefitKind::Delta);
+        assert!(recovered.truth("r2x0").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

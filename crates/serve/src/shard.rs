@@ -294,6 +294,74 @@ impl ShardedServer {
         Ok(total)
     }
 
+    /// Ingest several batches with per-shard **group commit**: every
+    /// batch is split along shard lines, then each shard receives all of
+    /// its sub-batches in one [`TruthServer::ingest_group`] call — one
+    /// fsync per shard for the whole group instead of one per
+    /// (batch × shard). Result `i` mirrors what [`ShardedServer::ingest`]
+    /// would have reported for `batches[i]`, except that a failed group
+    /// sync marks every batch that touched the failing shard
+    /// unacknowledged and per-shard refits are policy-checked once at the
+    /// group boundary (counted on the group's last batch touching the
+    /// shard).
+    pub fn ingest_group(
+        &self,
+        batches: &[Vec<Claim>],
+    ) -> Vec<Result<ShardedIngestReport, ShardedIngestError>> {
+        // Split every batch along shard lines up front, remembering which
+        // batch each sub-batch came from.
+        let mut per_shard: Vec<Vec<(usize, Vec<Claim>)>> = vec![Vec::new(); self.shards.len()];
+        for (bi, batch) in batches.iter().enumerate() {
+            for (shard, group) in self.group_by_shard(batch) {
+                let owned: Vec<Claim> = group.into_iter().cloned().collect();
+                per_shard[shard].push((bi, owned));
+            }
+        }
+
+        let mut totals: Vec<ShardedIngestReport> =
+            (0..batches.len()).map(|_| Default::default()).collect();
+        let mut failures: Vec<Option<(usize, ServeError)>> =
+            (0..batches.len()).map(|_| None).collect();
+        for (shard, subs) in per_shard.into_iter().enumerate() {
+            if subs.is_empty() {
+                continue;
+            }
+            let owned: Vec<Vec<Claim>> = subs.iter().map(|(_, claims)| claims.clone()).collect();
+            let reports = self.locked(shard).ingest_group(&owned);
+            for ((bi, _), result) in subs.iter().zip(reports) {
+                match result {
+                    Ok(report) => {
+                        let total = &mut totals[*bi];
+                        total.appended_records += report.appended_records;
+                        total.appended_answers += report.appended_answers;
+                        total.pending += report.pending;
+                        total.shards_touched += 1;
+                        total.refits += usize::from(report.refit.is_some());
+                    }
+                    Err(error) => {
+                        if failures[*bi].is_none() {
+                            failures[*bi] = Some((shard, error));
+                        }
+                    }
+                }
+            }
+        }
+        totals
+            .into_iter()
+            .zip(failures)
+            .map(|(applied, failure)| match failure {
+                // `applied` reflects every shard that accepted the batch,
+                // including those processed after the failing one.
+                Some((shard, error)) => Err(ShardedIngestError {
+                    shard,
+                    error,
+                    applied,
+                }),
+                None => Ok(applied),
+            })
+            .collect()
+    }
+
     /// Refit every shard now (shard `i`'s summary at index `i`). Shards
     /// refit one after another under their own locks; readers keep
     /// answering from each shard's previous publication until its refit
@@ -425,15 +493,19 @@ fn mean_tables(tables: impl Iterator<Item = [f64; 3]>) -> Option<[f64; 3]> {
 
 /// Merge pre-ranked `(object, uncertainty)` lists into the top `k` under
 /// the shared total order (uncertainty desc via `total_cmp`, then name).
-pub(crate) fn merge_topk<'a>(
-    lists: impl Iterator<Item = &'a [(String, f64)]>,
+pub(crate) fn merge_topk<'a, S: AsRef<str> + 'a>(
+    lists: impl Iterator<Item = &'a [(S, f64)]>,
     k: usize,
 ) -> Vec<(String, f64)> {
     let mut all: Vec<(String, f64)> = Vec::new();
     for list in lists {
         // Each input is already sorted and an object is on exactly one
         // shard, so its own top-k is all a shard can contribute.
-        all.extend_from_slice(&list[..k.min(list.len())]);
+        all.extend(
+            list[..k.min(list.len())]
+                .iter()
+                .map(|(o, u)| (o.as_ref().to_string(), *u)),
+        );
     }
     all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     all.truncate(k);
@@ -582,6 +654,47 @@ mod tests {
                 "{object:?} must be answerable after its shard refit"
             );
         }
+    }
+
+    #[test]
+    fn cross_shard_ingest_group_reports_per_batch() {
+        let ds = corpus();
+        let sharded = ShardedServer::new(
+            ds,
+            TdhConfig::default(),
+            RefitPolicy::StalenessBound {
+                max_touched_frac: 0.5,
+            },
+            2,
+        );
+        let batches: Vec<Vec<Claim>> = (0..3)
+            .map(|i| {
+                vec![Claim::Record {
+                    object: format!("grouped object {i}"),
+                    source: "src-g".into(),
+                    value: format!("L1-{i}"),
+                }]
+            })
+            .collect();
+        let results = sharded.ingest_group(&batches);
+        assert_eq!(results.len(), 3);
+        let mut records = 0;
+        let mut refits = 0;
+        for r in &results {
+            let r = r.as_ref().expect("all batches apply");
+            records += r.appended_records;
+            refits += r.refits;
+        }
+        assert_eq!(records, 3);
+        assert!(
+            refits >= 1,
+            "each touched shard refits once at its group boundary"
+        );
+        for i in 0..3 {
+            let name = format!("grouped object {i}");
+            assert!(sharded.truth(&name).is_some(), "{name} answerable");
+        }
+        assert_eq!(sharded.stats().pending_claims, 0);
     }
 
     #[test]

@@ -13,6 +13,15 @@
 //! underneath them: every answer a reader derives from one `load()` comes
 //! from the same publication.
 //!
+//! Entity names and truth answers are stored behind `Arc`s so that a
+//! publication derived from a small claim delta can **structurally share**
+//! the untouched majority of the previous one: `ServingState::patch`
+//! clones the maps (refcount bumps, not string copies), rebuilds only the
+//! touched entries, and splices the re-scored objects back into the
+//! uncertainty ranking with one sorted merge — work proportional to the
+//! delta plus the map sizes' pointer width, never to the corpus' string
+//! bytes.
+//!
 //! The slot is a `RwLock<Arc<ServingState>>` rather than an `AtomicPtr`
 //! because the workspace builds offline against `std` only (see
 //! `vendor/README.md`) and `Arc` cannot be swapped atomically without
@@ -21,11 +30,11 @@
 //! only for the pointer assignment — the replacement state is fully
 //! constructed before the lock is taken.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, RwLock};
 
 use tdh_core::{TdhModel, TruthEstimate};
-use tdh_data::{Dataset, ObjectId};
+use tdh_data::{Dataset, DeltaSet, ObjectId};
 use tdh_hierarchy::{Hierarchy, NodeId};
 
 use crate::server::TruthAnswer;
@@ -38,15 +47,24 @@ use crate::server::TruthAnswer;
 #[derive(Debug)]
 pub struct ServingState {
     version: u64,
-    truths: HashMap<String, TruthAnswer>,
-    phi: HashMap<String, [f64; 3]>,
-    psi: HashMap<String, [f64; 3]>,
+    truths: HashMap<Arc<str>, Arc<TruthAnswer>>,
+    phi: HashMap<Arc<str>, [f64; 3]>,
+    psi: HashMap<Arc<str>, [f64; 3]>,
     /// `(object name, 1 − max μ)` over all objects with candidates, most
     /// uncertain first. Ties break by object **name** — a total order that
     /// does not depend on interning order, so identically ranked lists from
     /// different shards k-way-merge into the same sequence a single server
     /// would have produced.
-    uncertain: Vec<(String, f64)>,
+    uncertain: Vec<(Arc<str>, f64)>,
+}
+
+/// The publication-wide ranking order: uncertainty descending (`total_cmp`,
+/// so a degenerate NaN confidence can never panic a publication), ties by
+/// object name. The name tie-break — not interning order, which differs per
+/// shard — makes the ranking merge-stable across shards, and gives
+/// [`ServingState::patch`] a total order to splice re-scored entries into.
+fn rank_order(a: &(Arc<str>, f64), b: &(Arc<str>, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
 }
 
 impl ServingState {
@@ -59,30 +77,26 @@ impl ServingState {
     ) -> Self {
         let h = ds.hierarchy();
         let mut truths = HashMap::with_capacity(est.truths.len());
-        let mut scored: Vec<(String, f64)> = Vec::with_capacity(est.truths.len());
+        let mut scored: Vec<(Arc<str>, f64)> = Vec::with_capacity(est.truths.len());
         for (oi, truth) in est.truths.iter().enumerate() {
             let mu = &est.confidences[oi];
             let top = mu.iter().copied().fold(0.0f64, f64::max);
-            let name = ds.object_name(ObjectId::from_index(oi));
+            let name: Arc<str> = Arc::from(ds.object_name(ObjectId::from_index(oi)));
             if let Some(v) = truth {
                 truths.insert(
-                    name.to_string(),
-                    TruthAnswer {
+                    Arc::clone(&name),
+                    Arc::new(TruthAnswer {
                         value: h.name(*v).to_string(),
                         path: value_path(h, *v),
                         confidence: top,
-                    },
+                    }),
                 );
             }
             if !mu.is_empty() {
-                scored.push((name.to_string(), 1.0 - top));
+                scored.push((name, 1.0 - top));
             }
         }
-        // Total order: uncertainty (total_cmp, so a degenerate NaN
-        // confidence can never panic a publication), then object name. The
-        // name tie-break — not interning order, which differs per shard —
-        // makes the ranking merge-stable across shards.
-        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        scored.sort_by(rank_order);
         let uncertain = scored;
         let phi = ds
             .sources()
@@ -90,13 +104,130 @@ impl ServingState {
                 model
                     .phi_table()
                     .get(s.index())
-                    .map(|&p| (ds.source_name(s).to_string(), p))
+                    .map(|&p| (Arc::from(ds.source_name(s)), p))
             })
             .collect();
         let psi = ds
             .workers()
-            .map(|w| (ds.worker_name(w).to_string(), model.psi(w)))
+            .map(|w| (Arc::from(ds.worker_name(w)), model.psi(w)))
             .collect();
+        ServingState {
+            version,
+            truths,
+            phi,
+            psi,
+            uncertain,
+        }
+    }
+
+    /// Derive the next publication from this one after a delta refit,
+    /// rebuilding only what the `delta` touched.
+    ///
+    /// The untouched majority is shared structurally: the maps are cloned
+    /// (per-entry `Arc` refcount bumps), then only the delta's objects get a
+    /// fresh [`TruthAnswer`] and only the implicated sources/workers a fresh
+    /// reliability row. The uncertainty ranking is patched by
+    /// remove-and-reinsert — touched names are filtered out, the re-scored
+    /// replacements sorted among themselves, and the two sorted runs merged
+    /// in one pass — so the result is ordered exactly as [`Self::compute`]
+    /// would have ordered it (same [`rank_order`] total order), in
+    /// `O(|uncertain| + |delta| log |delta|)` comparisons and zero string
+    /// allocations for untouched objects.
+    pub(crate) fn patch(
+        &self,
+        ds: &Dataset,
+        model: &TdhModel,
+        est: &TruthEstimate,
+        delta: &DeltaSet,
+        version: u64,
+    ) -> Self {
+        let h = ds.hierarchy();
+        let mut truths = self.truths.clone();
+        let mut phi = self.phi.clone();
+        let mut psi = self.psi.clone();
+
+        // Rebuild the touched objects' answers and scores.
+        let mut touched_names: HashSet<Arc<str>> = HashSet::with_capacity(delta.objects().len());
+        let mut fresh: Vec<(Arc<str>, f64)> = Vec::with_capacity(delta.objects().len());
+        for t in delta.objects() {
+            let oi = t.object.index();
+            let mu = &est.confidences[oi];
+            let top = mu.iter().copied().fold(0.0f64, f64::max);
+            // Reuse the previous publication's interned name when the
+            // object was already ranked; intern once otherwise.
+            let name: Arc<str> = match self.truths.get_key_value(ds.object_name(t.object)) {
+                Some((k, _)) => Arc::clone(k),
+                None => Arc::from(ds.object_name(t.object)),
+            };
+            match est.truths[oi] {
+                Some(v) => {
+                    truths.insert(
+                        Arc::clone(&name),
+                        Arc::new(TruthAnswer {
+                            value: h.name(v).to_string(),
+                            path: value_path(h, v),
+                            confidence: top,
+                        }),
+                    );
+                }
+                None => {
+                    truths.remove(&*name);
+                }
+            }
+            if !mu.is_empty() {
+                fresh.push((Arc::clone(&name), 1.0 - top));
+            }
+            touched_names.insert(name);
+        }
+        fresh.sort_by(rank_order);
+
+        // Remove-and-reinsert: drop the touched objects' stale entries,
+        // then merge the (still sorted) survivors with the re-scored run.
+        let mut uncertain = Vec::with_capacity(self.uncertain.len() + fresh.len());
+        let mut fresh = fresh.into_iter().peekable();
+        for kept in self.uncertain.iter() {
+            if touched_names.contains(&*kept.0) {
+                continue;
+            }
+            while fresh
+                .peek()
+                .is_some_and(|f| rank_order(f, kept) == std::cmp::Ordering::Less)
+            {
+                uncertain.push(fresh.next().expect("peeked"));
+            }
+            uncertain.push(kept.clone());
+        }
+        uncertain.extend(fresh);
+
+        // Refresh the implicated sources'/workers' reliability rows.
+        for &s in delta.sources() {
+            if let Some(&p) = model.phi_table().get(s.index()) {
+                let name = ds.source_name(s);
+                match phi.get_key_value(name) {
+                    Some((k, _)) => {
+                        let k = Arc::clone(k);
+                        phi.insert(k, p);
+                    }
+                    None => {
+                        phi.insert(Arc::from(name), p);
+                    }
+                }
+            }
+        }
+        for &w in delta.workers() {
+            let name = ds.worker_name(w);
+            let row = model.psi(w);
+            match psi.get_key_value(name) {
+                Some((k, _)) => {
+                    let k = Arc::clone(k);
+                    psi.insert(k, row);
+                }
+                None => {
+                    psi.insert(Arc::from(name), row);
+                }
+            }
+        }
+
         ServingState {
             version,
             truths,
@@ -116,7 +247,7 @@ impl ServingState {
     /// The estimated truth for `object` as of this publication. `None` for
     /// objects unknown (or candidate-less) at publication time.
     pub fn truth(&self, object: &str) -> Option<&TruthAnswer> {
-        self.truths.get(object)
+        self.truths.get(object).map(|a| &**a)
     }
 
     /// `φ_s` for a source, by name. `None` for sources unknown to the
@@ -134,7 +265,7 @@ impl ServingState {
     /// The `k` objects the published fit is least certain about, as
     /// `(object name, 1 − max μ)`, most uncertain first (pre-ranked at
     /// publication; this is a slice of the full ranking).
-    pub fn top_uncertain(&self, k: usize) -> &[(String, f64)] {
+    pub fn top_uncertain(&self, k: usize) -> &[(Arc<str>, f64)] {
         &self.uncertain[..k.min(self.uncertain.len())]
     }
 

@@ -57,6 +57,10 @@ pub(crate) struct WalMetrics {
     pub(crate) fsync_us: Arc<Histogram>,
     pub(crate) appended_bytes: Arc<Counter>,
     pub(crate) rotations: Arc<Counter>,
+    /// Physical fsyncs issued ([`Wal::sync`] with fsync enabled). Under
+    /// group commit this grows once per *group*, not per batch — the
+    /// coalescing win in one number.
+    pub(crate) syncs: Arc<Counter>,
 }
 
 /// Hard cap on one record's payload, so a corrupt length prefix cannot ask
@@ -264,6 +268,17 @@ impl Wal {
     /// [`WalOptions::fsync`]) sync it to disk. Returns the batch's sequence
     /// number. Empty batches are legal but callers normally skip them.
     pub fn append(&mut self, claims: &[Claim]) -> Result<u64, WalError> {
+        let seq = self.append_unsynced(claims)?;
+        self.sync()?;
+        Ok(seq)
+    }
+
+    /// Append one batch record **without** syncing — the group-commit half
+    /// of [`Wal::append`]. The record is in the OS page cache only until
+    /// the next [`Wal::sync`] (or rotation); a caller coalescing fsyncs
+    /// appends every batch of a group through here and issues one `sync()`
+    /// to acknowledge them all.
+    pub fn append_unsynced(&mut self, claims: &[Claim]) -> Result<u64, WalError> {
         if self.len >= self.options.segment_bytes && self.len > 0 {
             self.rotate()?;
         }
@@ -276,12 +291,7 @@ impl Wal {
         record.extend_from_slice(&payload);
         let t_append = Instant::now();
         self.file.write_all(&record)?;
-        let t_fsync = Instant::now();
-        if self.options.fsync {
-            self.file.sync_data()?;
-        }
         if let Some(m) = &self.metrics {
-            m.fsync_us.record_duration(t_fsync.elapsed());
             m.append_us.record_duration(t_append.elapsed());
             m.appended_bytes.add(record.len() as u64);
         }
@@ -295,6 +305,22 @@ impl Wal {
         self.len += record.len() as u64;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Sync the live segment to disk (no-op when [`WalOptions::fsync`] is
+    /// off, mirroring what [`Wal::append`] has always done). Durability
+    /// barrier for every record appended since the previous sync.
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if !self.options.fsync {
+            return Ok(());
+        }
+        let t_fsync = Instant::now();
+        self.file.sync_data()?;
+        if let Some(m) = &self.metrics {
+            m.fsync_us.record_duration(t_fsync.elapsed());
+            m.syncs.inc();
+        }
+        Ok(())
     }
 
     /// Attach instrument handles; subsequent appends and rotations record

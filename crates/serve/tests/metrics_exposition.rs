@@ -176,11 +176,14 @@ fn single_server_exposition_covers_required_families() {
         "tdh_ingest_batch_claims",
         "tdh_refits_total",
         "tdh_refit_duration_us",
+        "tdh_delta_refit_duration_us",
+        "tdh_pending_claims",
         "tdh_publications_total",
         "tdh_checkpoints_total",
         "tdh_wal_append_us",
         "tdh_wal_fsync_us",
         "tdh_wal_appended_bytes_total",
+        "tdh_wal_syncs_total",
         "tdh_em_fits_total",
         "tdh_em_iterations",
         "tdh_em_e_step_us",
@@ -193,6 +196,11 @@ fn single_server_exposition_covers_required_families() {
     assert!(
         series_total(&lines, "tdh_request_latency_us_count{command=\"TRUTH\"}") >= 1.0,
         "no TRUTH latency observation"
+    );
+    // Refits are accounted under both a warm and a kind label.
+    assert!(
+        series_total(&lines, "tdh_refits_total{kind=\"full\"") >= 1.0,
+        "no kind-labelled refit series"
     );
 
     handle.shutdown();

@@ -68,7 +68,12 @@ fn published_answers_match_direct_calls_and_recomputed_tables() {
         );
     }
     // The uncertainty ranking is the same argsort the direct call does.
-    assert_eq!(server.top_uncertain(10), state.top_uncertain(10).to_vec());
+    let from_state: Vec<(String, f64)> = state
+        .top_uncertain(10)
+        .iter()
+        .map(|(name, u)| (name.to_string(), *u))
+        .collect();
+    assert_eq!(server.top_uncertain(10), from_state);
 }
 
 #[test]

@@ -1,0 +1,293 @@
+//! Pins the incremental delta refit (`TdhModel::fit_delta`) against the
+//! full EM path it approximates:
+//!
+//! * identical predicted truths and 1e-6 parameter agreement on touched
+//!   objects / implicated entities versus a warm full refit,
+//! * bit-identical frozen state on untouched objects,
+//! * a rejected delta leaves the model untouched, so the fallback full fit
+//!   reproduces the never-attempted full fit exactly,
+//! * drift debt accumulates across accepted refits and resets on full fits.
+
+use tdh::core::{DeltaRejected, TdhConfig, TdhModel, TruthDiscovery};
+use tdh::data::{Dataset, DeltaSet, ObjectId, ObservationIndex, SourceId, WorkerId};
+use tdh::hierarchy::HierarchyBuilder;
+
+/// Two reliable sources, a generalizer, an adversary and one worker over 40
+/// objects — strong enough signal that EM converges hard and decisively.
+fn corpus() -> Dataset {
+    let mut b = HierarchyBuilder::new();
+    for c in 0..6 {
+        for r in 0..4 {
+            for city in 0..4 {
+                b.add_path(&[
+                    &format!("C{c}"),
+                    &format!("C{c}R{r}"),
+                    &format!("C{c}R{r}T{city}"),
+                ]);
+            }
+        }
+    }
+    let mut ds = Dataset::new(b.build());
+    let good1 = ds.intern_source("good1");
+    let good2 = ds.intern_source("good2");
+    let generalizer = ds.intern_source("generalizer");
+    let liar = ds.intern_source("liar");
+    let w0 = ds.intern_worker("w0");
+    for i in 0..1000 {
+        let o = ds.intern_object(&format!("o{i}"));
+        let (c, r, city) = (i % 6, i % 4, i % 4);
+        let h = ds.hierarchy();
+        let truth = h.node_by_name(&format!("C{c}R{r}T{city}")).unwrap();
+        let region = h.node_by_name(&format!("C{c}R{r}")).unwrap();
+        let wrong = h
+            .node_by_name(&format!("C{}R{}T{}", (c + 1) % 6, r, city))
+            .unwrap();
+        ds.set_gold(o, truth);
+        ds.add_record(o, good1, truth);
+        ds.add_record(o, good2, truth);
+        ds.add_record(o, generalizer, region);
+        ds.add_record(o, liar, wrong);
+        if i % 3 == 0 {
+            ds.add_answer(o, w0, truth);
+        }
+    }
+    ds
+}
+
+/// Tightly-converging sequential config so fixed points are pinned well
+/// below the comparison tolerance.
+fn cfg() -> TdhConfig {
+    TdhConfig {
+        tol: 1e-12,
+        max_iters: 2000,
+        n_threads: 1,
+        ..TdhConfig::default()
+    }
+}
+
+/// Append a small batch re-claiming existing candidate values on o0/o1 and
+/// return its delta.
+fn append_small_batch(ds: &mut Dataset, idx: &mut ObservationIndex) -> tdh::data::DeltaSet {
+    let n_rec = ds.records().len();
+    let n_ans = ds.answers().len();
+    let t0 = ds.hierarchy().node_by_name("C0R0T0").unwrap();
+    let t1 = ds.hierarchy().node_by_name("C1R1T1").unwrap();
+    ds.add_record(ObjectId(0), SourceId(0), t0);
+    ds.add_record(ObjectId(1), SourceId(1), t1);
+    ds.add_answer(ObjectId(0), WorkerId(0), t0);
+    idx.append_from(ds, n_rec, n_ans)
+}
+
+#[test]
+fn delta_refit_matches_a_full_refit() {
+    let mut ds = corpus();
+    let mut idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(cfg());
+    let mut est = model.infer(&ds, &idx);
+    let frozen_mu = model.mu_table().to_vec();
+
+    let delta = append_small_batch(&mut ds, &mut idx);
+    assert_eq!(delta.objects().len(), 2);
+
+    let mut full = model.clone();
+    let report = model
+        .fit_delta(&ds, &idx, &delta, 1.0)
+        .expect("small delta within budget");
+    assert!(report.converged, "delta EM must converge: {report:?}");
+    assert_eq!(report.touched_objects, 2);
+    assert!((report.touched_frac - 2.0 / 1000.0).abs() < 1e-12);
+    model.patch_estimate(&idx, &delta, &mut est);
+
+    let full_est = full.infer(&ds, &idx);
+
+    // Identical truths everywhere; 1e-6 parameter agreement on the delta.
+    assert_eq!(est.truths, full_est.truths);
+    for t in delta.objects() {
+        let oi = t.object.index();
+        let (a, b) = (&model.mu_table()[oi], &full.mu_table()[oi]);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-6, "object {oi}: μ {x} vs full {y}");
+        }
+    }
+    // Implicated entity parameters: the delta refit freezes the entities'
+    // *other* objects, whose posteriors a full refit nudges slightly, so the
+    // agreement bound scales with the entity's frozen claim mass (1e-5 here;
+    // the touched-object posteriors above stay within 1e-6).
+    for &s in delta.sources() {
+        let (a, b) = (model.phi(s), full.phi(s));
+        for t in 0..3 {
+            assert!((a[t] - b[t]).abs() < 1e-5, "source {s:?}: φ {a:?} vs {b:?}");
+        }
+    }
+    for &w in delta.workers() {
+        let (a, b) = (model.psi(w), full.psi(w));
+        for t in 0..3 {
+            assert!((a[t] - b[t]).abs() < 1e-5, "worker {w:?}: ψ {a:?} vs {b:?}");
+        }
+    }
+
+    // Untouched objects keep their pre-delta posterior bit for bit.
+    for (oi, frozen) in frozen_mu.iter().enumerate() {
+        if delta.contains_object(ObjectId::from_index(oi)) {
+            continue;
+        }
+        assert_eq!(&model.mu_table()[oi], frozen, "object {oi} must be frozen");
+    }
+
+    // The incremental-posterior caches (`N_{o,v}`, `D_o`) stay usable after
+    // a delta refit: Eq. 16–18 posteriors agree with the full refit's (the
+    // bound follows the ψ agreement above — the posterior reads ψ directly).
+    use tdh::core::ProbabilisticCrowdModel;
+    for t in delta.objects() {
+        let o = t.object;
+        for c in 0..idx.view(o).n_candidates() as u32 {
+            let a = model.posterior_given_answer(&idx, o, WorkerId(0), c);
+            let b = full.posterior_given_answer(&idx, o, WorkerId(0), c);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-5, "object {o:?}: posterior {x} vs {y}");
+            }
+        }
+    }
+}
+
+#[test]
+fn rejected_delta_leaves_the_model_untouched() {
+    let mut ds = corpus();
+    let mut idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(cfg());
+    model.infer(&ds, &idx);
+
+    let delta = append_small_batch(&mut ds, &mut idx);
+    let before = model.clone();
+    let err = model.fit_delta(&ds, &idx, &delta, 0.0).unwrap_err();
+    assert!(matches!(err, DeltaRejected::DriftExceeded { .. }), "{err}");
+
+    assert_eq!(model.mu_table(), before.mu_table());
+    assert_eq!(model.phi_table(), before.phi_table());
+    assert_eq!(model.psi_table(), before.psi_table());
+
+    // The fallback full fit reproduces the never-attempted full fit exactly.
+    let mut untouched = before;
+    let a = model.infer(&ds, &idx);
+    let b = untouched.infer(&ds, &idx);
+    assert_eq!(a, b);
+    assert_eq!(model.fit_report(), untouched.fit_report());
+    assert_eq!(model.mu_table(), untouched.mu_table());
+    assert_eq!(model.phi_table(), untouched.phi_table());
+}
+
+#[test]
+fn delta_refit_rejection_reasons() {
+    let mut ds = corpus();
+    let mut idx = ObservationIndex::build(&ds);
+    let mut warm = TdhModel::new(cfg());
+    warm.infer(&ds, &idx);
+    let mut nowarm = TdhModel::new(TdhConfig {
+        warm_start: false,
+        ..cfg()
+    });
+    nowarm.infer(&ds, &idx);
+
+    let delta = append_small_batch(&mut ds, &mut idx);
+
+    // Never fitted: nothing to patch.
+    let mut cold = TdhModel::new(cfg());
+    assert_eq!(
+        cold.fit_delta(&ds, &idx, &delta, 1.0).unwrap_err(),
+        DeltaRejected::NoBaseline
+    );
+    // Warm starts off: the model deliberately forgets its history.
+    assert_eq!(
+        nowarm.fit_delta(&ds, &idx, &delta, 1.0).unwrap_err(),
+        DeltaRejected::WarmStartDisabled
+    );
+    // An empty delta is a no-op even under a zero budget.
+    let r = warm.fit_delta(&ds, &idx, &DeltaSet::new(), 0.0).unwrap();
+    assert_eq!(r.touched_objects, 0);
+    assert_eq!(r.iterations, 0);
+    assert_eq!(r.debt, 0.0);
+}
+
+#[test]
+fn drift_debt_accumulates_and_full_fits_reset_it() {
+    let mut ds = corpus();
+    let mut idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(cfg());
+    model.infer(&ds, &idx);
+    assert_eq!(model.delta_debt(), 0.0);
+
+    let delta = append_small_batch(&mut ds, &mut idx);
+    let r1 = model.fit_delta(&ds, &idx, &delta, 1.0).unwrap();
+    assert!(r1.debt > 0.0);
+    assert_eq!(model.delta_debt(), r1.debt);
+
+    // A second batch on fresh objects: debt adds up.
+    let n_rec = ds.records().len();
+    let t2 = ds.hierarchy().node_by_name("C2R2T2").unwrap();
+    ds.add_record(ObjectId(2), SourceId(0), t2);
+    let d2 = idx.append_from(&ds, n_rec, ds.answers().len());
+    let r2 = model.fit_delta(&ds, &idx, &d2, 1.0).unwrap();
+    assert!(r2.debt > r1.debt);
+
+    // Exhaust the budget: the next refit is refused with the would-be debt.
+    let n_rec = ds.records().len();
+    ds.add_record(
+        ObjectId(3),
+        SourceId(0),
+        ds.hierarchy().node_by_name("C3R3T3").unwrap(),
+    );
+    let d3 = idx.append_from(&ds, n_rec, ds.answers().len());
+    match model.fit_delta(&ds, &idx, &d3, r2.debt) {
+        Err(DeltaRejected::DriftExceeded { debt }) => assert!(debt > r2.debt),
+        other => panic!("expected DriftExceeded, got {other:?}"),
+    }
+
+    // A full fit clears the ledger.
+    model.infer(&ds, &idx);
+    assert_eq!(model.delta_debt(), 0.0);
+    // …and the refused delta now fits in any budget again.
+    // (Its claims were already absorbed by the full fit: old counts from the
+    // merge snapshot still mark it touched, which is safe — just more work.)
+    assert!(model.fit_delta(&ds, &idx, &d3, 1.0).is_ok());
+}
+
+#[test]
+fn delta_refit_handles_new_candidates_and_new_objects() {
+    let mut ds = corpus();
+    let mut idx = ObservationIndex::build(&ds);
+    let mut model = TdhModel::new(cfg());
+    let mut est = model.infer(&ds, &idx);
+
+    // A batch that inserts a brand-new candidate on o0 *and* a brand-new
+    // object with three claims.
+    let n_rec = ds.records().len();
+    let n_ans = ds.answers().len();
+    let stray = ds.hierarchy().node_by_name("C3R3T3").unwrap();
+    let truth = ds.hierarchy().node_by_name("C2R2T2").unwrap();
+    let wrong = ds.hierarchy().node_by_name("C4R2T2").unwrap();
+    ds.add_record(ObjectId(0), SourceId(3), stray);
+    let fresh = ds.intern_object("fresh");
+    ds.add_record(fresh, SourceId(0), truth);
+    ds.add_record(fresh, SourceId(1), truth);
+    ds.add_record(fresh, SourceId(3), wrong);
+    let delta = idx.append_from(&ds, n_rec, n_ans);
+    assert_eq!(delta.objects().len(), 2);
+
+    let mut full = model.clone();
+    model
+        .fit_delta(&ds, &idx, &delta, 1.0)
+        .expect("delta accepted");
+    model.patch_estimate(&idx, &delta, &mut est);
+    let full_est = full.infer(&ds, &idx);
+
+    assert_eq!(est.truths.len(), 1001, "estimate grew to the new universe");
+    assert_eq!(est.truths, full_est.truths);
+    assert_eq!(est.truths[fresh.index()], Some(truth));
+    for t in delta.objects() {
+        let oi = t.object.index();
+        for (x, y) in model.mu_table()[oi].iter().zip(&full.mu_table()[oi]) {
+            assert!((x - y).abs() < 1e-6, "object {oi}: μ {x} vs full {y}");
+        }
+    }
+}
